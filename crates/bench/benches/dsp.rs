@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the DSP hot paths: FFTs, preamble
+//! correlation, LS channel estimation and Viterbi decoding. These are the
+//! operations a phone must run in real time during a protocol round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uw_dsp::coding::{conv_decode_two_thirds, conv_encode_two_thirds};
+use uw_dsp::complex::to_complex;
+use uw_dsp::correlation::xcorr_normalized;
+use uw_dsp::fft::{fft, fft_any};
+use uw_ranging::channel_est::ls_channel_estimate;
+use uw_ranging::detect::{detect_preamble, DetectorConfig};
+use uw_ranging::preamble::RangingPreamble;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pow2: Vec<f64> = (0..2048).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let sym: Vec<f64> = (0..1920).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let pow2_c = to_complex(&pow2);
+    let sym_c = to_complex(&sym);
+    c.bench_function("fft_radix2_2048", |b| b.iter(|| fft(&pow2_c).unwrap()));
+    c.bench_function("fft_bluestein_1920", |b| b.iter(|| fft_any(&sym_c).unwrap()));
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let preamble = RangingPreamble::default_paper().unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut stream: Vec<f64> = (0..preamble.len() + 20_000).map(|_| 0.02 * rng.gen_range(-1.0..1.0)).collect();
+    for (i, &p) in preamble.waveform.iter().enumerate() {
+        stream[5_000 + i] += 0.5 * p;
+    }
+    let config = DetectorConfig::default();
+    c.bench_function("preamble_correlation_65k_stream", |b| {
+        b.iter(|| xcorr_normalized(&stream, &preamble.waveform).unwrap())
+    });
+    c.bench_function("preamble_detect_with_validation", |b| {
+        b.iter(|| detect_preamble(&stream, &preamble, &config).unwrap())
+    });
+    c.bench_function("ls_channel_estimate", |b| b.iter(|| ls_channel_estimate(&stream, &preamble, 4_744).unwrap()));
+}
+
+fn bench_coding(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    // A 5-device report payload: 8 + 4·10 + 16 = 64 bits.
+    let bits: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+    let coded = conv_encode_two_thirds(&bits);
+    c.bench_function("conv_encode_report", |b| b.iter(|| conv_encode_two_thirds(&bits)));
+    c.bench_function("viterbi_decode_report", |b| b.iter(|| conv_decode_two_thirds(&coded).unwrap()));
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fft, bench_detection, bench_coding
+}
+criterion_main!(benches);

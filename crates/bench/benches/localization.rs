@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the topology solver: SMACOF, the outlier
+//! detection loop (Algorithm 1), the rigidity checks that guard it, and the
+//! full localization pipeline the leader runs at the end of every round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uw_localization::ambiguity::geometric_side;
+use uw_localization::matrix::{DistanceMatrix, Vec2, WeightMatrix};
+use uw_localization::outlier::{localize_with_outlier_detection, OutlierConfig};
+use uw_localization::pipeline::{localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig};
+use uw_localization::project::distances_from_positions;
+use uw_localization::rigidity::{is_uniquely_realizable, LinkGraph};
+use uw_localization::smacof::{smacof, SmacofConfig};
+use uw_channel::geometry::Point3;
+
+fn testbed_2d() -> Vec<Vec2> {
+    vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(8.0, 0.0),
+        Vec2::new(12.0, 9.0),
+        Vec2::new(2.0, 14.0),
+        Vec2::new(-6.0, 7.0),
+    ]
+}
+
+fn testbed_3d() -> Vec<Point3> {
+    vec![
+        Point3::new(0.0, 0.0, 1.5),
+        Point3::new(2.0, 5.5, 2.0),
+        Point3::new(11.0, 9.0, 2.5),
+        Point3::new(-8.0, 12.0, 3.0),
+        Point3::new(6.0, -14.0, 2.0),
+    ]
+}
+
+fn bench_smacof(c: &mut Criterion) {
+    let d = DistanceMatrix::from_points_2d(&testbed_2d());
+    let w = WeightMatrix::ones(5);
+    let config = SmacofConfig::default();
+    c.bench_function("smacof_5_devices", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            smacof(&d, &w, &config, &mut rng).unwrap()
+        })
+    });
+}
+
+fn bench_outlier_detection(c: &mut Criterion) {
+    let mut d = DistanceMatrix::from_points_2d(&testbed_2d());
+    d.set(0, 1, d.get(0, 1).unwrap() + 15.0).unwrap();
+    c.bench_function("outlier_detection_one_bad_link", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_rigidity(c: &mut Criterion) {
+    let d = DistanceMatrix::from_points_2d(&testbed_2d());
+    let graph = LinkGraph::from_distances(&d);
+    c.bench_function("unique_realizability_k5", |b| b.iter(|| is_uniquely_realizable(&graph)));
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let truth = testbed_3d();
+    let frame = truth_in_leader_frame(&truth);
+    let input = LocalizationInput {
+        distances: distances_from_positions(&truth),
+        depths: truth.iter().map(|p| p.z).collect(),
+        pointing_azimuth_rad: truth[0].azimuth_to(&truth[1]),
+        side_signs: (0..truth.len())
+            .map(|i| if i < 2 { None } else { Some(geometric_side(&frame, i)) })
+            .collect(),
+    };
+    c.bench_function("localization_pipeline_5_devices", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            localize(&input, &LocalizerConfig::default(), &mut rng).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_smacof, bench_outlier_detection, bench_rigidity, bench_full_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmarks for end-to-end costs: one waveform-level pairwise
+//! ranging exchange, one protocol round over the statistical channel, and a
+//! full localization session — the three granularities at which the system
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uw_core::prelude::*;
+use uw_core::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
+
+fn bench_waveform_ranging(c: &mut Criterion) {
+    let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 15.0, 2.5);
+    c.bench_function("waveform_pairwise_ranging_15m", |b| {
+        b.iter(|| run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, 7).unwrap())
+    });
+}
+
+fn bench_session(c: &mut Criterion) {
+    let scenario = Scenario::dock_five_devices(1);
+    c.bench_function("localization_session_dock_5", |b| {
+        b.iter(|| {
+            let mut session = Session::new(scenario.config().clone()).unwrap();
+            session.run(scenario.network()).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_waveform_ranging, bench_session
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Fig. 11 — pairwise ranging accuracy versus device separation.
+//!
+//! (a) CDF of the absolute 1D ranging error at 10, 20, 35 and 45 m using
+//!     both microphones (paper medians: 0.48, 0.80, 0.86 m at 10/20/35 m).
+//! (b) 95th-percentile error using both microphones versus either
+//!     microphone alone (the dual-mic constraint trims the tail).
+
+use uw_bench::{compare, header, median, p95, print_cdf, seed, trials};
+use uw_core::metrics::SeriesStats;
+use uw_core::prelude::EnvironmentKind;
+use uw_core::waveform::{repeated_trial_errors, PairwiseTrial, RangingScheme};
+
+fn main() {
+    header(
+        "Fig. 11 — ranging accuracy vs separation",
+        "Waveform-level 1D ranging at the dock; dual-microphone vs single-microphone estimation",
+    );
+    let n_trials = trials(20);
+    let base_seed = seed();
+    let distances = [10.0, 20.0, 35.0, 45.0];
+    let paper_medians = [(10.0, 0.48), (20.0, 0.80), (35.0, 0.86)];
+
+    println!("(a) CDF of |error| with both microphones ({n_trials} trials per distance)");
+    let mut series = Vec::new();
+    for (k, &d) in distances.iter().enumerate() {
+        let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.5);
+        let errors = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 1000 * k as u64);
+        if let Some(s) = SeriesStats::from_samples(format!("{d:.0} m (both mics)"), &errors) {
+            series.push(s);
+        }
+        print_cdf(&format!("{d:.0} m"), &errors, 8);
+    }
+    println!();
+    for s in &series {
+        println!("{}", s.row());
+    }
+    println!();
+    for (d, paper) in paper_medians {
+        let idx = distances.iter().position(|&x| x == d).unwrap();
+        compare(&format!("median |error| at {d:.0} m"), paper, series[idx].stats.median, "m");
+    }
+
+    println!("\n(b) 95th-percentile |error|: both vs bottom-only vs top-only");
+    println!("{:<10} {:>12} {:>14} {:>12}", "distance", "both (m)", "bottom (m)", "top (m)");
+    for (k, &d) in distances.iter().enumerate() {
+        let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.5);
+        let both = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 1000 * k as u64);
+        let bottom = repeated_trial_errors(&trial, RangingScheme::BottomMicOnly, n_trials, base_seed + 1000 * k as u64);
+        let top = repeated_trial_errors(&trial, RangingScheme::TopMicOnly, n_trials, base_seed + 1000 * k as u64);
+        println!(
+            "{:<10} {:>12.2} {:>14.2} {:>12.2}",
+            format!("{d:.0} m"),
+            p95(&both),
+            p95(&bottom),
+            p95(&top)
+        );
+    }
+    println!("\nmedian across all distances (both mics): {:.2} m", {
+        let all: Vec<f64> = distances
+            .iter()
+            .enumerate()
+            .flat_map(|(k, &d)| {
+                repeated_trial_errors(
+                    &PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.5),
+                    RangingScheme::DualMicOfdm,
+                    n_trials,
+                    base_seed + 1000 * k as u64,
+                )
+            })
+            .collect();
+        median(&all)
+    });
+}

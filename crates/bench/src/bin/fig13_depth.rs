@@ -1,0 +1,64 @@
+//! Fig. 13 — effect of device depth and depth-sensor accuracy.
+//!
+//! (a) 1D ranging error CDF for devices at 2, 5 and 8 m depth with an 18 m
+//!     horizontal separation in the 9 m-deep dock (the paper finds mid-depth
+//!     is best because boundary multipath is weakest there).
+//! (b) Depth measured by the smartwatch depth gauge and the smartphone
+//!     pressure sensor against the true depth (paper: 0.15 m vs 0.42 m
+//!     average error).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uw_bench::{compare, header, median, print_cdf, seed, trials};
+use uw_core::prelude::EnvironmentKind;
+use uw_core::waveform::{repeated_trial_errors, PairwiseTrial, RangingScheme};
+use uw_device::sensors::{DepthSensor, DepthSensorKind};
+
+fn main() {
+    header(
+        "Fig. 13 — effect of depth and depth-sensor accuracy",
+        "Dock environment (9 m deep); 18 m horizontal separation for the ranging sweep",
+    );
+    let n_trials = trials(15);
+    let base_seed = seed();
+
+    println!("(a) |1D ranging error| vs device depth ({n_trials} trials per depth)");
+    let mut medians = Vec::new();
+    for (k, depth) in [2.0, 5.0, 8.0].into_iter().enumerate() {
+        let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 18.0, depth);
+        let errors = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 700 * k as u64);
+        print_cdf(&format!("depth {depth:.0} m"), &errors, 6);
+        medians.push((depth, median(&errors)));
+    }
+    println!();
+    for (depth, med) in &medians {
+        println!("depth {depth:>3.0} m: median |error| {med:5.2} m");
+    }
+    compare("median at 5 m depth (paper: best depth)", 0.28, medians[1].1, "m");
+
+    println!("\n(b) depth-sensor accuracy, 0–9 m in 1 m steps, 30 samples per depth");
+    let mut rng = StdRng::seed_from_u64(base_seed ^ 0x77);
+    let watch = DepthSensor::new(DepthSensorKind::WatchDepthGauge);
+    let phone = DepthSensor::new(DepthSensorKind::PhonePressure);
+    println!("{:<12} {:>16} {:>20}", "true depth", "watch mean (m)", "phone mean (m)");
+    let mut watch_errs = Vec::new();
+    let mut phone_errs = Vec::new();
+    for depth in 0..=9 {
+        let d = depth as f64;
+        let mut w_sum = 0.0;
+        let mut p_sum = 0.0;
+        for _ in 0..30 {
+            let w = watch.measure(d, &mut rng).unwrap();
+            let p = phone.measure_via_pressure(d, &mut rng).unwrap();
+            watch_errs.push((w - d).abs());
+            phone_errs.push((p - d).abs());
+            w_sum += w;
+            p_sum += p;
+        }
+        println!("{:<12} {:>16.2} {:>20.2}", format!("{d:.0} m"), w_sum / 30.0, p_sum / 30.0);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    compare("smartwatch average depth error", 0.15, mean(&watch_errs), "m");
+    compare("smartphone average depth error", 0.42, mean(&phone_errs), "m");
+}

@@ -1,0 +1,75 @@
+//! Fig. 18 — 2D localization error at the dock and boathouse testbeds,
+//! broken down by link distance to the leader.
+//!
+//! The paper collects ~240 measurements per site with a 5-device network
+//! and reports medians of 0.9 m (dock) and 1.6 m (boathouse), with errors
+//! growing with distance from the leader.
+
+use uw_bench::{compare, header, median, p95, print_cdf, seed, trials};
+use uw_core::prelude::*;
+use uw_core::scenario::Scenario as CoreScenario;
+
+fn run_site(label: &str, scenario: &CoreScenario, rounds: usize) -> (Vec<f64>, Vec<(String, Vec<f64>)>) {
+    let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
+    let mut all = Vec::new();
+    // Errors bucketed by the device's true distance to the leader.
+    let mut buckets: Vec<(String, Vec<f64>)> = vec![
+        ("0-10 m from leader".into(), Vec::new()),
+        ("10-15 m from leader".into(), Vec::new()),
+        ("15-25 m from leader".into(), Vec::new()),
+    ];
+    for _ in 0..rounds {
+        let outcome = session.run(scenario.network()).expect("round succeeds");
+        let truth = scenario.network().positions_at(outcome.latency.acoustic_s / 2.0);
+        for (i, err) in outcome.errors_2d.iter().enumerate() {
+            let device = i + 1;
+            let d_leader = truth[0].horizontal_distance(&truth[device]);
+            let bucket = if d_leader < 10.0 {
+                0
+            } else if d_leader < 15.0 {
+                1
+            } else {
+                2
+            };
+            buckets[bucket].1.push(*err);
+            all.push(*err);
+        }
+    }
+    println!("--- {label} ---");
+    (all, buckets)
+}
+
+fn main() {
+    header(
+        "Fig. 18 — testbed 2D localization CDFs",
+        "5-device deployments at the dock and boathouse; errors split by distance to the leader",
+    );
+    let rounds = trials(30);
+    let base_seed = seed();
+
+    let dock = CoreScenario::dock_five_devices(base_seed);
+    let boathouse = CoreScenario::boathouse_five_devices(base_seed + 1);
+
+    let (dock_all, dock_buckets) = run_site("Dock", &dock, rounds);
+    print_cdf("all links (dock)", &dock_all, 8);
+    for (label, errs) in &dock_buckets {
+        if !errs.is_empty() {
+            println!("  {label:<22} median {:.2} m  p95 {:.2} m  (n={})", median(errs), p95(errs), errs.len());
+        }
+    }
+    println!();
+
+    let (boat_all, boat_buckets) = run_site("Boathouse", &boathouse, rounds);
+    print_cdf("all links (boathouse)", &boat_all, 8);
+    for (label, errs) in &boat_buckets {
+        if !errs.is_empty() {
+            println!("  {label:<22} median {:.2} m  p95 {:.2} m  (n={})", median(errs), p95(errs), errs.len());
+        }
+    }
+
+    println!();
+    compare("dock median 2D error", 0.9, median(&dock_all), "m");
+    compare("dock 95th percentile", 3.2, p95(&dock_all), "m");
+    compare("boathouse median 2D error", 1.6, median(&boat_all), "m");
+    compare("boathouse 95th percentile", 4.9, p95(&boat_all), "m");
+}

@@ -1,0 +1,86 @@
+//! Fig. 19 — effect of erroneous links (occlusion) and of link/node removal.
+//!
+//! (a) With the leader–device-1 direct path occluded, the worst 10% of
+//!     localization errors with and without the outlier-detection algorithm
+//!     (paper: median 1.4 m / p95 3.4 m with detection; a long tail without).
+//! (b) Fully-connected network versus one random link dropped versus one
+//!     random node dropped (paper medians 0.9 / 1.0 m; p95 3.2 / 6.2 m),
+//!     plus the 4-device comparison from §3.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uw_bench::{compare, header, median, p95, seed, trials};
+use uw_core::prelude::*;
+use uw_core::scenario::Scenario as CoreScenario;
+
+fn collect_errors(scenario: &CoreScenario, rounds: usize) -> Vec<f64> {
+    let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
+    let mut errors = Vec::new();
+    for _ in 0..rounds {
+        if let Ok(outcome) = session.run(scenario.network()) {
+            errors.extend(outcome.errors_2d.clone());
+        }
+    }
+    errors
+}
+
+fn worst_decile(errors: &[f64]) -> Vec<f64> {
+    let mut sorted = errors.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let start = (sorted.len() as f64 * 0.9) as usize;
+    sorted[start..].to_vec()
+}
+
+fn main() {
+    header(
+        "Fig. 19 — erroneous links and link/node removal",
+        "Dock testbed; occluded leader–device-1 link and random link/node drops",
+    );
+    let rounds = trials(25);
+    let base_seed = seed();
+
+    println!("(a) occluded link: worst 10% of 2D errors with and without outlier detection");
+    let occlusion_bias_m = 6.0;
+    let with = collect_errors(&CoreScenario::dock_with_occlusion(base_seed, occlusion_bias_m), rounds);
+    let mut without_scenario = CoreScenario::dock_with_occlusion(base_seed, occlusion_bias_m);
+    without_scenario.config_mut().localizer.disable_outlier_detection = true;
+    let without = collect_errors(&without_scenario, rounds);
+    println!(
+        "  with detection    median {:.2} m  p95 {:.2} m  worst-decile mean {:.2} m",
+        median(&with),
+        p95(&with),
+        worst_decile(&with).iter().sum::<f64>() / worst_decile(&with).len().max(1) as f64
+    );
+    println!(
+        "  without detection median {:.2} m  p95 {:.2} m  worst-decile mean {:.2} m",
+        median(&without),
+        p95(&without),
+        worst_decile(&without).iter().sum::<f64>() / worst_decile(&without).len().max(1) as f64
+    );
+    compare("occluded median (with detection)", 1.4, median(&with), "m");
+    compare("occluded p95 (with detection)", 3.4, p95(&with), "m");
+
+    println!("\n(b) link and node removal");
+    let full = collect_errors(&CoreScenario::dock_five_devices(base_seed + 10), rounds);
+    // One random link dropped per batch of rounds.
+    let mut rng = StdRng::seed_from_u64(base_seed + 20);
+    let mut dropped_link_errors = Vec::new();
+    for _ in 0..4 {
+        let pairs = [(1usize, 2usize), (1, 3), (2, 4), (3, 4), (2, 3), (1, 4)];
+        let (a, b) = pairs[rng.gen_range(0..pairs.len())];
+        let scenario = CoreScenario::dock_with_missing_link(base_seed + 30, a, b).unwrap();
+        dropped_link_errors.extend(collect_errors(&scenario, rounds / 4 + 1));
+    }
+    // Node removal: the 4-device network.
+    let node_dropped = collect_errors(&CoreScenario::four_devices(base_seed + 40), rounds);
+
+    println!("  fully connected     median {:.2} m  p95 {:.2} m", median(&full), p95(&full));
+    println!("  random link dropped median {:.2} m  p95 {:.2} m", median(&dropped_link_errors), p95(&dropped_link_errors));
+    println!("  random node dropped median {:.2} m  p95 {:.2} m", median(&node_dropped), p95(&node_dropped));
+    println!();
+    compare("fully connected median", 0.9, median(&full), "m");
+    compare("link-dropped median", 1.0, median(&dropped_link_errors), "m");
+    compare("fully connected p95", 3.2, p95(&full), "m");
+    compare("link-dropped p95", 6.2, p95(&dropped_link_errors), "m");
+    compare("4-device median (§3.2)", 0.8, median(&node_dropped), "m");
+}

@@ -1,0 +1,49 @@
+//! Protocol round-trip-time table (§3.2).
+//!
+//! The paper measures the mean acoustic round time for 3–7 devices: 1.2,
+//! 1.6, 1.9, 2.2 and 2.5 s. The model is Δ₀ + (N−1)·Δ₁ and the simulated
+//! protocol engine should land on the same values; the report phase adds
+//! roughly a second of FSK airtime.
+
+use uw_bench::{compare, header, trials};
+use uw_core::prelude::*;
+use uw_core::scenario::Scenario as CoreScenario;
+use uw_protocol::latency::{round_trip_all_in_range, round_trip_worst_case, PAPER_MEASURED_RTT_S};
+use uw_protocol::schedule::TdmSchedule;
+
+fn main() {
+    header(
+        "Table — protocol round-trip time vs group size",
+        "Acoustic TDM phase duration for 3–7 devices (all in range of the leader)",
+    );
+    let rounds = trials(5);
+
+    println!(
+        "{:<10} {:>14} {:>16} {:>16} {:>16}",
+        "devices", "paper (s)", "model (s)", "simulated (s)", "worst case (s)"
+    );
+    for (n, paper) in PAPER_MEASURED_RTT_S {
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let model = round_trip_all_in_range(&schedule);
+        let worst = round_trip_worst_case(&schedule);
+        // Simulated: run actual sessions and report the acoustic duration.
+        let scenario = CoreScenario::dock_n_devices(n, 11).unwrap();
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let mut sim_total = 0.0;
+        for _ in 0..rounds {
+            sim_total += session.run(scenario.network()).unwrap().latency.acoustic_s;
+        }
+        let simulated = sim_total / rounds as f64;
+        println!("{:<10} {:>14.2} {:>16.2} {:>16.2} {:>16.2}", n, paper, model, simulated, worst);
+    }
+    println!();
+    let schedule5 = TdmSchedule::paper_defaults(5).unwrap();
+    compare("5-device round trip", 1.88, round_trip_all_in_range(&schedule5), "s");
+    let schedule4 = TdmSchedule::paper_defaults(4).unwrap();
+    compare("4-device round trip", 1.56, round_trip_all_in_range(&schedule4), "s");
+    println!("\nreport phase (§2.4): ~0.9–1.2 s of simultaneous FSK for 6–8 devices at 100 bit/s");
+    for n in [6usize, 7, 8] {
+        let report = uw_protocol::comm::report_airtime_s(n, 100.0);
+        println!("  N = {n}: report airtime {report:.2} s");
+    }
+}

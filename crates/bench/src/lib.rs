@@ -1,0 +1,87 @@
+//! # uw-bench — evaluation harness
+//!
+//! Shared helpers for the figure-regeneration binaries in `src/bin/`. Each
+//! binary reproduces one table or figure from the paper's evaluation
+//! (see `EXPERIMENTS.md` at the workspace root for the index) and prints
+//! the same rows/series the paper reports.
+//!
+//! The binaries accept two environment variables:
+//!
+//! * `UWGPS_TRIALS` — number of trials per data point (defaults are small
+//!   enough to finish in seconds; increase for smoother statistics),
+//! * `UWGPS_SEED` — base RNG seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use uw_core::metrics::SeriesStats;
+
+/// Number of trials per data point, from `UWGPS_TRIALS` (default
+/// `default_trials`).
+pub fn trials(default_trials: usize) -> usize {
+    std::env::var("UWGPS_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_trials)
+        .max(1)
+}
+
+/// Base RNG seed, from `UWGPS_SEED` (default 1).
+pub fn seed() -> u64 {
+    std::env::var("UWGPS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// Prints a figure/table header.
+pub fn header(experiment: &str, description: &str) {
+    println!("=== {experiment} ===");
+    println!("{description}");
+    println!();
+}
+
+/// Prints a series of statistics rows.
+pub fn print_series(series: &[SeriesStats]) {
+    for s in series {
+        println!("{}", s.row());
+    }
+}
+
+/// Prints a down-sampled CDF as `value fraction` pairs.
+pub fn print_cdf(label: &str, samples: &[f64], points: usize) {
+    println!("CDF — {label}");
+    for (value, frac) in uw_core::metrics::cdf_points(samples, points) {
+        println!("  {value:8.3} m  {frac:5.2}");
+    }
+}
+
+/// Prints the paper-reported reference value next to the measured one.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
+    println!("{label:<40} paper {paper:>7.2} {unit:<3} measured {measured:>7.2} {unit}");
+}
+
+/// Median of a sample set (NaN for an empty set).
+pub fn median(samples: &[f64]) -> f64 {
+    uw_dsp::peaks::percentile(samples, 50.0)
+}
+
+/// 95th percentile of a sample set.
+pub fn p95(samples: &[f64]) -> f64 {
+    uw_dsp::peaks::percentile(samples, 95.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_p95() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((median(&v) - 50.5).abs() < 1e-9);
+        assert!((p95(&v) - 95.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn trial_and_seed_defaults_are_positive() {
+        assert!(trials(7) >= 1);
+        let _ = seed();
+    }
+}

@@ -1,0 +1,129 @@
+//! System-wide configuration.
+
+use crate::{Result, SystemError};
+use serde::{Deserialize, Serialize};
+use uw_channel::environment::EnvironmentKind;
+use uw_localization::pipeline::LocalizerConfig;
+use uw_protocol::schedule::TdmSchedule;
+
+/// How faithfully the physical layer is simulated during a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Statistical model of ranging errors, packet loss and microphone-sign
+    /// errors, calibrated against the waveform pipeline. Fast enough for
+    /// hundreds of localization rounds.
+    Statistical,
+    /// Waveform-level ranging for the leader's links (channel synthesis,
+    /// detection, LS channel estimation and the dual-microphone search),
+    /// statistical for the rest. Slower but exercises the full §2.2
+    /// pipeline inside a session.
+    Hybrid,
+}
+
+/// Configuration of the end-to-end system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Deployment environment.
+    pub environment: EnvironmentKind,
+    /// Number of devices including the leader.
+    pub n_devices: usize,
+    /// Physical-layer fidelity.
+    pub fidelity: Fidelity,
+    /// Localization solver parameters.
+    pub localizer: LocalizerConfig,
+    /// Report-phase bit rate per device (bit/s).
+    pub report_bps: f64,
+    /// Standard deviation of the leader's pointing error towards device 1,
+    /// in radians (§3.1 measures ≈ 5°).
+    pub pointing_error_std_rad: f64,
+    /// Probability that a single device's dual-microphone side sign is
+    /// wrong (multipath flips it); ~0.1 reproduces the paper's 90.1%
+    /// single-voter flipping accuracy.
+    pub mic_sign_error_prob: f64,
+    /// Probability that any given message is lost outright.
+    pub packet_loss_prob: f64,
+    /// RNG seed controlling every stochastic element of a session.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Default configuration for a deployment in `environment` with
+    /// `n_devices` devices.
+    pub fn new(environment: EnvironmentKind, n_devices: usize, seed: u64) -> Self {
+        Self {
+            environment,
+            n_devices,
+            fidelity: Fidelity::Statistical,
+            localizer: LocalizerConfig::default(),
+            report_bps: 100.0,
+            pointing_error_std_rad: 5.0f64.to_radians(),
+            mic_sign_error_prob: 0.1,
+            packet_loss_prob: 0.02,
+            seed,
+        }
+    }
+
+    /// The TDM schedule for this group size.
+    pub fn schedule(&self) -> Result<TdmSchedule> {
+        TdmSchedule::paper_defaults(self.n_devices).map_err(SystemError::from)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_devices < 3 {
+            return Err(SystemError::InvalidConfig {
+                reason: format!("localization needs at least 3 devices, got {}", self.n_devices),
+            });
+        }
+        if self.n_devices > 12 {
+            return Err(SystemError::InvalidConfig {
+                reason: format!("{} devices exceeds the supported dive-group size", self.n_devices),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.mic_sign_error_prob) || !(0.0..=1.0).contains(&self.packet_loss_prob) {
+            return Err(SystemError::InvalidConfig { reason: "probabilities must be within [0, 1]".into() });
+        }
+        if self.report_bps <= 0.0 {
+            return Err(SystemError::InvalidConfig { reason: "report bit rate must be positive".into() });
+        }
+        if self.pointing_error_std_rad < 0.0 {
+            return Err(SystemError::InvalidConfig { reason: "pointing error must be non-negative".into() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = SystemConfig::new(EnvironmentKind::Dock, 5, 1);
+        c.validate().unwrap();
+        assert_eq!(c.schedule().unwrap().n_devices, 5);
+        assert_eq!(c.fidelity, Fidelity::Statistical);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = SystemConfig::new(EnvironmentKind::Dock, 2, 1);
+        assert!(c.validate().is_err());
+        c.n_devices = 20;
+        assert!(c.validate().is_err());
+        c.n_devices = 5;
+        c.mic_sign_error_prob = 1.5;
+        assert!(c.validate().is_err());
+        c.mic_sign_error_prob = 0.1;
+        c.packet_loss_prob = -0.1;
+        assert!(c.validate().is_err());
+        c.packet_loss_prob = 0.0;
+        c.report_bps = 0.0;
+        assert!(c.validate().is_err());
+        c.report_bps = 100.0;
+        c.pointing_error_std_rad = -1.0;
+        assert!(c.validate().is_err());
+        c.pointing_error_std_rad = 0.1;
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! The dive group: devices, ground truth and link conditions.
+
+use crate::{Result, SystemError};
+use serde::{Deserialize, Serialize};
+use uw_channel::environment::{Environment, EnvironmentKind};
+use uw_channel::geometry::Point3;
+use uw_device::device::{DeviceModel, SmartDevice};
+use uw_device::mobility::Trajectory;
+
+/// Condition of a specific pairwise link, overriding the default clear
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkCondition {
+    /// The link does not exist (devices out of range): no message is ever
+    /// received in either direction.
+    Missing,
+    /// The direct path is occluded: messages still get through, but ranging
+    /// locks onto a reflection and over-estimates the distance by roughly
+    /// the given bias (metres).
+    Occluded {
+        /// Extra path length of the reflection that replaces the direct
+        /// path (m).
+        bias_m: f64,
+    },
+}
+
+/// A dive group with ground-truth state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiveNetwork {
+    environment: Environment,
+    devices: Vec<SmartDevice>,
+    /// Per-pair link overrides, keyed by (min id, max id).
+    link_conditions: Vec<((usize, usize), LinkCondition)>,
+}
+
+impl DiveNetwork {
+    /// Builds a network of static devices at the given positions in the
+    /// given environment. Device 0 is the leader. All devices are Galaxy S9
+    /// phones unless changed later.
+    pub fn new(kind: EnvironmentKind, positions: &[Point3]) -> Result<Self> {
+        if positions.len() < 2 {
+            return Err(SystemError::InvalidConfig {
+                reason: format!("a dive group needs at least 2 devices, got {}", positions.len()),
+            });
+        }
+        let environment = Environment::preset(kind);
+        for (i, p) in positions.iter().enumerate() {
+            if p.z < 0.0 || p.z > environment.water_depth_m {
+                return Err(SystemError::InvalidConfig {
+                    reason: format!(
+                        "device {i} depth {} m is outside the {} water column (0..{} m)",
+                        p.z,
+                        environment.kind.name(),
+                        environment.water_depth_m
+                    ),
+                });
+            }
+        }
+        let devices = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| SmartDevice::ideal(i, DeviceModel::GalaxyS9, p))
+            .collect();
+        Ok(Self { environment, devices, link_conditions: Vec::new() })
+    }
+
+    /// The environment preset.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// Number of devices (including the leader).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The devices (index = device ID; 0 is the leader).
+    pub fn devices(&self) -> &[SmartDevice] {
+        &self.devices
+    }
+
+    /// Mutable access to a device (to set trajectories, models, clocks …).
+    pub fn device_mut(&mut self, id: usize) -> Result<&mut SmartDevice> {
+        let n = self.devices.len();
+        self.devices.get_mut(id).ok_or(SystemError::InvalidConfig {
+            reason: format!("device {id} does not exist in a group of {n}"),
+        })
+    }
+
+    /// Ground-truth positions at time `t` seconds.
+    pub fn positions_at(&self, t: f64) -> Vec<Point3> {
+        self.devices.iter().map(|d| d.position_at(t)).collect()
+    }
+
+    /// Ground-truth pairwise distance between two devices at time `t`.
+    pub fn true_distance(&self, i: usize, j: usize, t: f64) -> f64 {
+        self.devices[i].position_at(t).distance(&self.devices[j].position_at(t))
+    }
+
+    /// Marks the link between `a` and `b` with a condition.
+    pub fn set_link_condition(&mut self, a: usize, b: usize, condition: LinkCondition) -> Result<()> {
+        if a == b || a >= self.devices.len() || b >= self.devices.len() {
+            return Err(SystemError::InvalidConfig {
+                reason: format!("link ({a}, {b}) is not a valid device pair"),
+            });
+        }
+        let key = (a.min(b), a.max(b));
+        self.link_conditions.retain(|(k, _)| *k != key);
+        self.link_conditions.push((key, condition));
+        Ok(())
+    }
+
+    /// Link condition for a pair, if any override exists.
+    pub fn link_condition(&self, a: usize, b: usize) -> Option<LinkCondition> {
+        let key = (a.min(b), a.max(b));
+        self.link_conditions.iter().find(|(k, _)| *k == key).map(|(_, c)| *c)
+    }
+
+    /// Sets a device's motion trajectory.
+    pub fn set_trajectory(&mut self, id: usize, trajectory: Trajectory) -> Result<()> {
+        self.device_mut(id)?.trajectory = trajectory;
+        Ok(())
+    }
+
+    /// Sound speed of the environment (m/s).
+    pub fn sound_speed(&self) -> f64 {
+        self.environment.sound_speed()
+    }
+
+    /// Azimuth (radians) from the leader towards device 1 at time `t` — the
+    /// direction the leader physically points before starting a round.
+    pub fn leader_pointing_azimuth(&self, t: f64) -> Result<f64> {
+        if self.devices.len() < 2 {
+            return Err(SystemError::InvalidConfig { reason: "no device 1 to point at".into() });
+        }
+        let leader = self.devices[0].position_at(t);
+        let pointed = self.devices[1].position_at(t);
+        Ok(leader.azimuth_to(&pointed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uw_device::mobility::dock_sweep;
+
+    fn positions() -> Vec<Point3> {
+        vec![
+            Point3::new(0.0, 0.0, 1.5),
+            Point3::new(5.0, 3.0, 2.0),
+            Point3::new(15.0, -2.0, 3.0),
+            Point3::new(-8.0, 6.0, 2.5),
+        ]
+    }
+
+    #[test]
+    fn network_construction_and_accessors() {
+        let net = DiveNetwork::new(EnvironmentKind::Dock, &positions()).unwrap();
+        assert_eq!(net.device_count(), 4);
+        assert_eq!(net.devices()[0].id, 0);
+        assert!(net.devices()[0].is_leader());
+        assert!((net.true_distance(0, 1, 0.0) - positions()[0].distance(&positions()[1])).abs() < 1e-12);
+        assert!(net.sound_speed() > 1400.0);
+        let az = net.leader_pointing_azimuth(0.0).unwrap();
+        assert!((az - (3.0f64).atan2(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_geometry() {
+        assert!(DiveNetwork::new(EnvironmentKind::Dock, &positions()[..1]).is_err());
+        // Pool is only 2.5 m deep; a device at 5 m is outside the column.
+        let mut deep = positions();
+        deep[2].z = 5.0;
+        assert!(DiveNetwork::new(EnvironmentKind::Pool, &deep).is_err());
+    }
+
+    #[test]
+    fn link_conditions_are_symmetric_and_overridable() {
+        let mut net = DiveNetwork::new(EnvironmentKind::Dock, &positions()).unwrap();
+        assert!(net.link_condition(0, 1).is_none());
+        net.set_link_condition(1, 0, LinkCondition::Occluded { bias_m: 4.0 }).unwrap();
+        assert!(matches!(net.link_condition(0, 1), Some(LinkCondition::Occluded { .. })));
+        net.set_link_condition(0, 1, LinkCondition::Missing).unwrap();
+        assert_eq!(net.link_condition(1, 0), Some(LinkCondition::Missing));
+        assert!(net.set_link_condition(0, 0, LinkCondition::Missing).is_err());
+        assert!(net.set_link_condition(0, 9, LinkCondition::Missing).is_err());
+    }
+
+    #[test]
+    fn trajectories_move_devices() {
+        let mut net = DiveNetwork::new(EnvironmentKind::Dock, &positions()).unwrap();
+        net.set_trajectory(2, dock_sweep(positions()[2], 50.0)).unwrap();
+        let before = net.positions_at(0.0)[2];
+        let after = net.positions_at(10.0)[2];
+        assert!((before.distance(&after) - 5.0).abs() < 1e-9);
+        assert!(net.set_trajectory(9, dock_sweep(Point3::ORIGIN, 10.0)).is_err());
+    }
+}

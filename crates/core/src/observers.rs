@@ -1,0 +1,223 @@
+//! Physical-layer models plugged into the protocol engine.
+//!
+//! The protocol engine only needs to know, for each transmission, whether a
+//! receiver heard it and with what timestamping error. The
+//! [`StatisticalObserver`] draws those errors from a model calibrated
+//! against the waveform-level ranging pipeline (`uw-ranging` driven by
+//! `uw-channel`):
+//!
+//! * a small positive detection bias (the band-limited channel estimate
+//!   spreads the direct path over a few samples),
+//! * Gaussian jitter that grows with distance as SNR falls,
+//! * occasional outliers when the direct path is missed entirely,
+//! * packet loss, growing with distance,
+//! * occluded links (from [`crate::network::LinkCondition`]) produce large
+//!   positive biases — the reflection is detected instead of the direct
+//!   path — and missing links never deliver.
+
+use crate::network::{DiveNetwork, LinkCondition};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uw_protocol::engine::LinkObserver;
+
+/// Parameters of the statistical reception model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReceptionModel {
+    /// Constant detection bias in seconds (positive = late detection).
+    pub bias_s: f64,
+    /// Timestamp jitter standard deviation at zero range (s).
+    pub jitter_base_s: f64,
+    /// Additional jitter per metre of range (s/m).
+    pub jitter_per_m_s: f64,
+    /// Probability of an outlier detection (a later multipath arrival is
+    /// mistaken for the direct path).
+    pub outlier_prob: f64,
+    /// Mean extra delay of an outlier detection (s).
+    pub outlier_mean_s: f64,
+    /// Packet-loss probability at zero range.
+    pub loss_base_prob: f64,
+    /// Additional loss probability per metre of range.
+    pub loss_per_m_prob: f64,
+}
+
+impl Default for ReceptionModel {
+    /// Calibrated so that two-way distances reproduce the paper's medians:
+    /// ≈ 0.5 m at 10 m, ≈ 0.8 m at 20 m and ≈ 0.9 m at 35 m separation.
+    fn default() -> Self {
+        Self {
+            bias_s: 1.0e-4,
+            jitter_base_s: 4.5e-4,
+            jitter_per_m_s: 1.6e-5,
+            outlier_prob: 0.01,
+            outlier_mean_s: 2.0e-3,
+            loss_base_prob: 0.01,
+            loss_per_m_prob: 0.0015,
+        }
+    }
+}
+
+impl ReceptionModel {
+    /// A perfect channel: no bias, jitter, outliers or loss.
+    pub const fn ideal() -> Self {
+        Self {
+            bias_s: 0.0,
+            jitter_base_s: 0.0,
+            jitter_per_m_s: 0.0,
+            outlier_prob: 0.0,
+            outlier_mean_s: 0.0,
+            loss_base_prob: 0.0,
+            loss_per_m_prob: 0.0,
+        }
+    }
+}
+
+/// A [`LinkObserver`] backed by the statistical reception model and the
+/// network's link conditions.
+pub struct StatisticalObserver<'a> {
+    network: &'a DiveNetwork,
+    model: ReceptionModel,
+    extra_loss_prob: f64,
+    sound_speed: f64,
+    rng: StdRng,
+}
+
+impl<'a> StatisticalObserver<'a> {
+    /// Creates an observer over a network. `extra_loss_prob` adds a uniform
+    /// loss probability on top of the model's distance-dependent loss
+    /// (the system configuration's `packet_loss_prob`).
+    pub fn new(network: &'a DiveNetwork, model: ReceptionModel, extra_loss_prob: f64, rng: StdRng) -> Self {
+        let sound_speed = network.sound_speed();
+        Self { network, model, extra_loss_prob, sound_speed, rng }
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl LinkObserver for StatisticalObserver<'_> {
+    fn observe(&mut self, tx: usize, rx: usize, true_delay_s: f64) -> Option<f64> {
+        let distance_m = true_delay_s * self.sound_speed;
+        match self.network.link_condition(tx, rx) {
+            Some(LinkCondition::Missing) => return None,
+            Some(LinkCondition::Occluded { bias_m }) => {
+                // The message is still heard (through the reflection), but
+                // the detected arrival is late by the extra path length plus
+                // the usual jitter.
+                let jitter =
+                    self.gaussian() * (self.model.jitter_base_s + self.model.jitter_per_m_s * distance_m);
+                return Some(bias_m / self.sound_speed + self.model.bias_s + jitter);
+            }
+            None => {}
+        }
+        let loss =
+            self.model.loss_base_prob + self.model.loss_per_m_prob * distance_m + self.extra_loss_prob;
+        if self.rng.gen_bool(loss.clamp(0.0, 0.95)) {
+            return None;
+        }
+        let mut error = self.model.bias_s
+            + self.gaussian() * (self.model.jitter_base_s + self.model.jitter_per_m_s * distance_m);
+        if self.model.outlier_prob > 0.0 && self.rng.gen_bool(self.model.outlier_prob) {
+            error += self.rng.gen_range(0.2..1.0) * 2.0 * self.model.outlier_mean_s;
+        }
+        Some(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DiveNetwork;
+    use rand::SeedableRng;
+    use uw_channel::environment::EnvironmentKind;
+    use uw_channel::geometry::Point3;
+    use uw_protocol::engine::LinkObserver;
+
+    fn network() -> DiveNetwork {
+        DiveNetwork::new(
+            EnvironmentKind::Dock,
+            &[
+                Point3::new(0.0, 0.0, 2.0),
+                Point3::new(10.0, 0.0, 2.0),
+                Point3::new(0.0, 20.0, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ideal_model_reports_zero_error() {
+        let net = network();
+        let mut obs = StatisticalObserver::new(&net, ReceptionModel::ideal(), 0.0, StdRng::seed_from_u64(1));
+        for _ in 0..100 {
+            assert_eq!(obs.observe(0, 1, 0.01), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn default_model_errors_grow_with_distance() {
+        let net = network();
+        let model = ReceptionModel { outlier_prob: 0.0, loss_base_prob: 0.0, loss_per_m_prob: 0.0, ..ReceptionModel::default() };
+        let mut obs = StatisticalObserver::new(&net, model, 0.0, StdRng::seed_from_u64(2));
+        let spread = |obs: &mut StatisticalObserver, delay: f64| {
+            let samples: Vec<f64> = (0..3000).filter_map(|_| obs.observe(0, 1, delay)).collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            (samples.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / samples.len() as f64).sqrt()
+        };
+        let near = spread(&mut obs, 10.0 / 1480.0);
+        let far = spread(&mut obs, 35.0 / 1480.0);
+        assert!(far > near, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn missing_link_never_delivers_and_occlusion_biases() {
+        let mut net = network();
+        net.set_link_condition(0, 1, LinkCondition::Missing).unwrap();
+        net.set_link_condition(0, 2, LinkCondition::Occluded { bias_m: 6.0 }).unwrap();
+        let mut obs = StatisticalObserver::new(&net, ReceptionModel::default(), 0.0, StdRng::seed_from_u64(3));
+        for _ in 0..50 {
+            assert!(obs.observe(0, 1, 0.007).is_none());
+            assert!(obs.observe(1, 0, 0.007).is_none());
+        }
+        let mean_err: f64 = (0..200).filter_map(|_| obs.observe(0, 2, 0.0135)).sum::<f64>() / 200.0;
+        // 6 m of extra path ≈ 4.1 ms at ~1480 m/s.
+        assert!((mean_err - 6.0 / net.sound_speed()).abs() < 1e-3, "mean {mean_err}");
+    }
+
+    #[test]
+    fn extra_loss_probability_drops_packets() {
+        let net = network();
+        let mut obs = StatisticalObserver::new(&net, ReceptionModel::ideal(), 0.5, StdRng::seed_from_u64(4));
+        let delivered = (0..2000).filter(|_| obs.observe(0, 1, 0.01).is_some()).count();
+        assert!(delivered > 800 && delivered < 1200, "delivered {delivered}");
+    }
+
+    #[test]
+    fn calibration_matches_paper_scale() {
+        // Two-way distance error = c·(e₁ + e₂)/2 where e₁, e₂ are the two
+        // reception errors. The default model should land the median
+        // absolute distance error near 0.5 m at 10 m and below ~1.2 m at 35 m.
+        let net = network();
+        let model = ReceptionModel { outlier_prob: 0.0, loss_base_prob: 0.0, loss_per_m_prob: 0.0, ..ReceptionModel::default() };
+        let mut obs = StatisticalObserver::new(&net, model, 0.0, StdRng::seed_from_u64(5));
+        let c = net.sound_speed();
+        let median_err = |obs: &mut StatisticalObserver, dist: f64| {
+            let mut errs: Vec<f64> = (0..2001)
+                .map(|_| {
+                    let e1 = obs.observe(0, 1, dist / c).unwrap();
+                    let e2 = obs.observe(1, 0, dist / c).unwrap();
+                    (c * (e1 + e2) / 2.0).abs()
+                })
+                .collect();
+            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            errs[errs.len() / 2]
+        };
+        let at10 = median_err(&mut obs, 10.0);
+        let at35 = median_err(&mut obs, 35.0);
+        assert!(at10 > 0.25 && at10 < 0.75, "median at 10 m: {at10}");
+        assert!(at35 > at10 && at35 < 1.4, "median at 35 m: {at35}");
+    }
+}

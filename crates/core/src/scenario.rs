@@ -1,0 +1,235 @@
+//! Pre-built deployments matching the paper's testbeds (§3, Fig. 17).
+//!
+//! Each scenario bundles a [`SystemConfig`] and a [`DiveNetwork`]:
+//!
+//! * the dock and boathouse 5-device testbeds whose 2D localization CDFs
+//!   appear in Fig. 18,
+//! * the 4-device variant (§3.2 "4-device networks"),
+//! * occlusion and missing-link variants (Fig. 19),
+//! * mobility variants in which one device oscillates around its position
+//!   at 15–50 cm/s (Fig. 20),
+//! * a larger-group variant for the protocol-latency table.
+
+use crate::config::SystemConfig;
+use crate::network::{DiveNetwork, LinkCondition};
+use crate::{Result, SystemError};
+use uw_channel::environment::EnvironmentKind;
+use uw_channel::geometry::Point3;
+use uw_device::mobility::rope_oscillation;
+
+/// A ready-to-run deployment: configuration plus network ground truth.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    config: SystemConfig,
+    network: DiveNetwork,
+}
+
+impl Scenario {
+    /// Scenario name (used in benchmark output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (to switch fidelity, seeds, …).
+    pub fn config_mut(&mut self) -> &mut SystemConfig {
+        &mut self.config
+    }
+
+    /// The network ground truth.
+    pub fn network(&self) -> &DiveNetwork {
+        &self.network
+    }
+
+    /// Mutable access to the network.
+    pub fn network_mut(&mut self) -> &mut DiveNetwork {
+        &mut self.network
+    }
+
+    /// The paper's dock testbed: five devices spread 3–25 m from the leader
+    /// at 1–3 m depths along the dock (Fig. 17a).
+    pub fn dock_five_devices(seed: u64) -> Self {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 1.5),
+            Point3::new(2.0, 5.5, 2.0),
+            Point3::new(11.0, 9.0, 2.5),
+            Point3::new(-8.0, 12.0, 3.0),
+            Point3::new(6.0, -14.0, 2.0),
+        ];
+        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions).expect("static dock layout is valid");
+        let config = SystemConfig::new(EnvironmentKind::Dock, positions.len(), seed);
+        Self { name: "dock-5".into(), config, network }
+    }
+
+    /// The boathouse testbed: five devices across two small islands, larger
+    /// spread and a noisier site (Fig. 17b).
+    pub fn boathouse_five_devices(seed: u64) -> Self {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(4.0, 6.0, 1.5),
+            Point3::new(16.0, 12.0, 2.0),
+            Point3::new(-10.0, 12.0, 2.5),
+            Point3::new(12.0, -10.0, 1.5),
+        ];
+        let network =
+            DiveNetwork::new(EnvironmentKind::Boathouse, &positions).expect("static boathouse layout is valid");
+        let config = SystemConfig::new(EnvironmentKind::Boathouse, positions.len(), seed);
+        Self { name: "boathouse-5".into(), config, network }
+    }
+
+    /// A four-device network (the dock testbed with device 4 removed).
+    pub fn four_devices(seed: u64) -> Self {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 1.5),
+            Point3::new(2.0, 5.5, 2.0),
+            Point3::new(11.0, 9.0, 2.5),
+            Point3::new(-8.0, 12.0, 3.0),
+        ];
+        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions).expect("static dock layout is valid");
+        let config = SystemConfig::new(EnvironmentKind::Dock, positions.len(), seed);
+        Self { name: "dock-4".into(), config, network }
+    }
+
+    /// A swimming-pool deployment (shallow, short ranges, strong
+    /// reverberation).
+    pub fn pool_four_devices(seed: u64) -> Self {
+        let positions = vec![
+            Point3::new(0.0, 0.0, 1.0),
+            Point3::new(3.0, 4.0, 1.5),
+            Point3::new(10.0, 6.0, 2.0),
+            Point3::new(-6.0, 8.0, 1.2),
+        ];
+        let network = DiveNetwork::new(EnvironmentKind::Pool, &positions).expect("static pool layout is valid");
+        let config = SystemConfig::new(EnvironmentKind::Pool, positions.len(), seed);
+        Self { name: "pool-4".into(), config, network }
+    }
+
+    /// A dive group of `n` devices (3–8) scattered over the dock site, for
+    /// the analytical scaling experiments and the latency table.
+    pub fn dock_n_devices(n: usize, seed: u64) -> Result<Self> {
+        if !(3..=8).contains(&n) {
+            return Err(SystemError::InvalidConfig {
+                reason: format!("dock_n_devices supports 3–8 devices, got {n}"),
+            });
+        }
+        // Deterministic spiral placement keeps pairwise distances well-spread
+        // within the guard-interval limit (≤ ~30 m).
+        let mut positions = vec![Point3::new(0.0, 0.0, 1.5)];
+        for i in 1..n {
+            let angle = i as f64 * 2.399963; // golden angle keeps bearings diverse
+            let radius = 5.0 + 3.0 * i as f64;
+            positions.push(Point3::new(
+                radius * angle.cos(),
+                radius * angle.sin(),
+                1.0 + (i as f64 * 0.7) % 5.0,
+            ));
+        }
+        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions)?;
+        let config = SystemConfig::new(EnvironmentKind::Dock, n, seed);
+        Ok(Self { name: format!("dock-{n}"), config, network })
+    }
+
+    /// The dock testbed with the leader–device-1 link occluded by a solid
+    /// sheet (Fig. 19a): the link still carries packets but its distance
+    /// estimate is biased by the reflection's extra path length.
+    pub fn dock_with_occlusion(seed: u64, bias_m: f64) -> Self {
+        let mut scenario = Self::dock_five_devices(seed);
+        scenario
+            .network
+            .set_link_condition(0, 1, LinkCondition::Occluded { bias_m })
+            .expect("link (0,1) exists");
+        scenario.name = "dock-5-occluded".into();
+        scenario
+    }
+
+    /// The dock testbed with one link removed entirely (out-of-range pair),
+    /// as in the Fig. 19b link-removal study.
+    pub fn dock_with_missing_link(seed: u64, a: usize, b: usize) -> Result<Self> {
+        let mut scenario = Self::dock_five_devices(seed);
+        scenario.network.set_link_condition(a, b, LinkCondition::Missing)?;
+        scenario.name = format!("dock-5-missing-{a}-{b}");
+        Ok(scenario)
+    }
+
+    /// The dock testbed with one device moving back and forth around its
+    /// position at the given peak speed (Fig. 20).
+    pub fn dock_with_moving_device(seed: u64, device: usize, speed_cm_s: f64) -> Result<Self> {
+        let mut scenario = Self::dock_five_devices(seed);
+        let centre = scenario.network.devices()[device].position_at(0.0);
+        scenario.network.set_trajectory(device, rope_oscillation(centre, speed_cm_s))?;
+        scenario.name = format!("dock-5-moving-{device}");
+        Ok(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_scenarios_are_valid_and_within_protocol_range() {
+        for scenario in [
+            Scenario::dock_five_devices(1),
+            Scenario::boathouse_five_devices(1),
+            Scenario::four_devices(1),
+            Scenario::pool_four_devices(1),
+        ] {
+            scenario.config().validate().unwrap();
+            assert_eq!(scenario.config().n_devices, scenario.network().device_count());
+            assert!(!scenario.name().is_empty());
+            // All pairwise distances stay within the 32 m the guard interval
+            // supports.
+            let n = scenario.network().device_count();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = scenario.network().true_distance(i, j, 0.0);
+                    assert!(d < 32.0, "{}: d({i},{j}) = {d}", scenario.name());
+                    assert!(d > 2.0, "{}: devices {i},{j} unrealistically close", scenario.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dock_n_devices_scales() {
+        for n in 3..=8 {
+            let s = Scenario::dock_n_devices(n, 2).unwrap();
+            assert_eq!(s.network().device_count(), n);
+            s.config().validate().unwrap();
+        }
+        assert!(Scenario::dock_n_devices(2, 2).is_err());
+        assert!(Scenario::dock_n_devices(9, 2).is_err());
+    }
+
+    #[test]
+    fn variant_scenarios_modify_the_network() {
+        let occluded = Scenario::dock_with_occlusion(1, 5.0);
+        assert!(matches!(
+            occluded.network().link_condition(0, 1),
+            Some(LinkCondition::Occluded { .. })
+        ));
+        let missing = Scenario::dock_with_missing_link(1, 2, 4).unwrap();
+        assert_eq!(missing.network().link_condition(2, 4), Some(LinkCondition::Missing));
+        assert!(Scenario::dock_with_missing_link(1, 0, 9).is_err());
+        let moving = Scenario::dock_with_moving_device(1, 2, 40.0).unwrap();
+        let p0 = moving.network().positions_at(0.0)[2];
+        let p1 = moving.network().positions_at(2.0)[2];
+        assert!(p0.distance(&p1) > 0.05);
+    }
+
+    #[test]
+    fn scenario_mutators_work() {
+        let mut s = Scenario::dock_five_devices(4);
+        s.config_mut().seed = 99;
+        assert_eq!(s.config().seed, 99);
+        s.network_mut()
+            .set_link_condition(1, 2, LinkCondition::Missing)
+            .unwrap();
+        assert_eq!(s.network().link_condition(2, 1), Some(LinkCondition::Missing));
+    }
+}

@@ -1,0 +1,300 @@
+//! One localization round, end to end.
+//!
+//! [`Session::run`] reproduces what the leader's device does when the diver
+//! taps "locate my group":
+//!
+//! 1. run the distributed timestamp protocol over the acoustic channel,
+//! 2. collect the report payloads (timestamps + depths) from every device,
+//! 3. build the pairwise distance matrix,
+//! 4. project to 2D with the reported depths, solve the topology with
+//!    SMACOF + outlier detection, resolve rotation with the leader's
+//!    pointing direction and flipping with the dual-microphone votes,
+//! 5. report every diver's 3D position relative to the leader.
+//!
+//! Ground truth is available from the simulated network, so the outcome
+//! also carries the per-device 2D localization errors and per-link ranging
+//! errors that the evaluation figures plot.
+
+use crate::config::{Fidelity, SystemConfig};
+use crate::network::DiveNetwork;
+use crate::observers::{ReceptionModel, StatisticalObserver};
+use crate::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
+use crate::{Result, SystemError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uw_channel::geometry::Point3;
+use uw_localization::ambiguity::geometric_side;
+use uw_localization::matrix::{DistanceMatrix, Vec2};
+use uw_localization::pipeline::{
+    localize, localization_errors_2d, truth_in_leader_frame, LocalizationInput, LocalizationOutput,
+};
+use uw_protocol::engine::{DeviceRoundState, FnObserver, ProtocolEngine, SyncSource};
+use uw_protocol::latency::{round_latency, RoundLatency};
+
+/// Result of one localization session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Estimated 3D positions relative to the leader (index = device ID).
+    pub positions: Vec<Point3>,
+    /// Estimated horizontal positions.
+    pub positions_2d: Vec<Vec2>,
+    /// Pairwise distance matrix measured by the protocol.
+    pub distances: DistanceMatrix,
+    /// Full localization solver output.
+    pub localization: LocalizationOutput,
+    /// Per-device 2D localization error against ground truth, excluding the
+    /// leader (index 0 ↔ device 1).
+    pub errors_2d: Vec<f64>,
+    /// Per-link absolute ranging errors (m) for the links the protocol
+    /// measured.
+    pub ranging_errors: Vec<f64>,
+    /// Latency model of the round.
+    pub latency: RoundLatency,
+    /// Whether the flipping decision matches the ground-truth chirality.
+    pub flipping_correct: bool,
+    /// How each device synchronised during the round.
+    pub sync_sources: Vec<SyncSource>,
+}
+
+/// A configured localization system, ready to run rounds.
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: SystemConfig,
+    rounds_run: usize,
+}
+
+impl Session {
+    /// Creates a session from a configuration.
+    pub fn new(config: SystemConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config, rounds_run: 0 })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of rounds run so far.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Runs one localization round over a network. Each call advances the
+    /// session's RNG stream so repeated rounds see fresh noise.
+    pub fn run(&mut self, network: &DiveNetwork) -> Result<SessionOutcome> {
+        if network.device_count() != self.config.n_devices {
+            return Err(SystemError::InvalidConfig {
+                reason: format!(
+                    "network has {} devices but the configuration expects {}",
+                    network.device_count(),
+                    self.config.n_devices
+                ),
+            });
+        }
+        let round_index = self.rounds_run as u64;
+        self.rounds_run += 1;
+        let seed = self.config.seed.wrapping_add(round_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let schedule = self.config.schedule()?;
+        let sound_speed = network.sound_speed();
+        let engine = ProtocolEngine::new(schedule, sound_speed)?;
+        let latency = round_latency(self.config.n_devices, self.config.report_bps)?;
+
+        // Ground-truth positions: the paper uses the trajectory midpoint as
+        // truth for moving devices, so evaluate at mid-round.
+        let round_mid_s = latency.acoustic_s / 2.0;
+        let truth_positions = network.positions_at(round_mid_s);
+
+        // Per-device approximate transmission instants, used to model how a
+        // moving device's position differs between packet exchanges.
+        let tx_instant = |id: usize| -> f64 {
+            if id == 0 {
+                0.0
+            } else {
+                schedule.slot_after_leader(id).unwrap_or(0.0)
+            }
+        };
+
+        // Protocol round with the statistical channel (plus motion-induced
+        // delay differences).
+        let devices: Vec<DeviceRoundState> = network
+            .devices()
+            .iter()
+            .map(|d| DeviceRoundState { id: d.id, position: d.position_at(round_mid_s), clock: d.clock })
+            .collect();
+        let model = ReceptionModel::default();
+        let mut stat_observer =
+            StatisticalObserver::new(network, model, self.config.packet_loss_prob, StdRng::seed_from_u64(seed ^ 0xABCD));
+        let mut observer = FnObserver(|tx: usize, rx: usize, tau: f64| {
+            use uw_protocol::engine::LinkObserver as _;
+            let base = stat_observer.observe(tx, rx, tau)?;
+            // Positions drift between the mid-round reference and the actual
+            // transmission instant; the difference shows up as extra delay.
+            let d_actual = network.true_distance(tx, rx, tx_instant(tx));
+            let d_reference = network.true_distance(tx, rx, round_mid_s);
+            Some(base + (d_actual - d_reference) / sound_speed)
+        });
+        let outcome = engine.run_round(&devices, &mut observer)?;
+        let mut distances = outcome.distances.clone();
+
+        // Hybrid fidelity: re-measure the leader's links with the full
+        // waveform pipeline (channel synthesis + detection + dual-mic LOS).
+        if self.config.fidelity == Fidelity::Hybrid {
+            for other in 1..self.config.n_devices {
+                if matches!(network.link_condition(0, other), Some(crate::network::LinkCondition::Missing)) {
+                    continue;
+                }
+                let occlusion_db = match network.link_condition(0, other) {
+                    Some(crate::network::LinkCondition::Occluded { .. }) => 35.0,
+                    _ => 0.0,
+                };
+                let trial = PairwiseTrial {
+                    environment: network.environment().kind,
+                    tx_position: truth_positions[other],
+                    rx_position: truth_positions[0],
+                    rx_azimuth_rad: network.leader_pointing_azimuth(round_mid_s)?,
+                    source_level: network.devices()[other].model.source_level(),
+                    occlusion_db,
+                    orientation_loss_db: 0.0,
+                };
+                if let Ok(result) = run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, seed ^ (other as u64) << 8) {
+                    distances
+                        .set(0, other, result.estimated_distance_m.max(0.0))
+                        .map_err(SystemError::from)?;
+                }
+            }
+        }
+
+        // Depth reports from the on-device sensors (quantised as in §2.4).
+        let depths: Vec<f64> = network
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let measured = d.measure_depth(round_mid_s, &mut rng).unwrap_or(truth_positions[i].z);
+                uw_device::sensors::quantize_depth(measured)
+            })
+            .collect();
+
+        // Leader pointing direction (towards device 1) with pointing error.
+        let pointing_error = gaussian(&mut rng) * self.config.pointing_error_std_rad;
+        let pointing_azimuth = network.leader_pointing_azimuth(round_mid_s)? + pointing_error;
+
+        // Dual-microphone side signs observed by the leader. In statistical
+        // mode the geometric truth is flipped with the configured error
+        // probability; devices the leader never heard give no vote.
+        let truth_frame = truth_in_leader_frame(&truth_positions);
+        let side_signs: Vec<Option<i8>> = (0..self.config.n_devices)
+            .map(|i| {
+                if i < 2 {
+                    return None;
+                }
+                if outcome.tables[0].reception(i).is_none() {
+                    return None;
+                }
+                let mut sign = geometric_side(&truth_frame, i);
+                if sign != 0 && rng.gen_bool(self.config.mic_sign_error_prob) {
+                    sign = -sign;
+                }
+                Some(sign)
+            })
+            .collect();
+
+        // Topology solve.
+        let input = LocalizationInput {
+            distances: distances.clone(),
+            depths,
+            pointing_azimuth_rad: pointing_azimuth,
+            side_signs,
+        };
+        let localization = localize(&input, &self.config.localizer, &mut rng)?;
+
+        // Error metrics against ground truth.
+        let truth_2d = truth_in_leader_frame(&truth_positions);
+        let errors_2d = localization_errors_2d(&localization.positions_2d, &truth_2d)?;
+        let mut ranging_errors = Vec::new();
+        for (i, j) in distances.links() {
+            let est = distances.get(i, j).expect("link exists");
+            let truth = truth_positions[i].distance(&truth_positions[j]);
+            ranging_errors.push((est - truth).abs());
+        }
+
+        // Flipping correctness: the chosen configuration should fit ground
+        // truth at least as well as its mirror image.
+        let mirrored: Vec<Vec2> = uw_localization::ambiguity::mirror_across_pointing(
+            &localization.positions_2d,
+            pointing_azimuth,
+        );
+        let err_chosen: f64 = errors_2d.iter().sum();
+        let err_mirrored: f64 = localization_errors_2d(&mirrored, &truth_2d)?.iter().sum();
+        let flipping_correct = err_chosen <= err_mirrored + 1e-9;
+
+        Ok(SessionOutcome {
+            positions: localization.positions.clone(),
+            positions_2d: localization.positions_2d.clone(),
+            distances,
+            localization,
+            errors_2d,
+            ranging_errors,
+            latency,
+            flipping_correct,
+            sync_sources: outcome.sync_sources,
+        })
+    }
+
+    /// Runs `n` rounds and returns all outcomes (convenience for the
+    /// evaluation harness).
+    pub fn run_many(&mut self, network: &DiveNetwork, n: usize) -> Result<Vec<SessionOutcome>> {
+        (0..n).map(|_| self.run(network)).collect()
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn dock_session_produces_sub_metre_median_errors() {
+        let scenario = Scenario::dock_five_devices(3);
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let outcomes = session.run_many(scenario.network(), 12).unwrap();
+        assert_eq!(session.rounds_run(), 12);
+        let mut all_errors: Vec<f64> = outcomes.iter().flat_map(|o| o.errors_2d.clone()).collect();
+        all_errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = all_errors[all_errors.len() / 2];
+        assert!(median < 1.6, "median 2D error {median}");
+        // Ranging errors are sub-metre in the median as well.
+        let mut ranging: Vec<f64> = outcomes.iter().flat_map(|o| o.ranging_errors.clone()).collect();
+        ranging.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(ranging[ranging.len() / 2] < 1.0);
+        // Latency matches the 5-device protocol model (~1.88 s acoustic).
+        assert!((outcomes[0].latency.acoustic_s - 1.88).abs() < 0.01);
+    }
+
+    #[test]
+    fn repeated_rounds_differ() {
+        let scenario = Scenario::dock_five_devices(9);
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let a = session.run(scenario.network()).unwrap();
+        let b = session.run(scenario.network()).unwrap();
+        assert_ne!(a.errors_2d, b.errors_2d);
+    }
+
+    #[test]
+    fn network_size_must_match_config() {
+        let scenario = Scenario::dock_five_devices(1);
+        let other = Scenario::four_devices(1);
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        assert!(session.run(other.network()).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Propagation loss: geometric spreading and frequency-dependent absorption.
+//!
+//! Underwater acoustic energy is lost to two mechanisms that matter at the
+//! paper's ranges (up to ~45 m) and frequencies (1–5 kHz):
+//!
+//! * **Geometric spreading** — between cylindrical (10·log₁₀ r) and
+//!   spherical (20·log₁₀ r) spreading depending on how strongly the shallow
+//!   water column ducts the energy.
+//! * **Absorption** — Thorp's empirical formula gives the chemical
+//!   relaxation / viscous absorption in dB per km as a function of
+//!   frequency. At 5 kHz it is ≈ 0.3 dB/km, negligible at 45 m but included
+//!   for completeness and used by the SNR-versus-distance experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Spreading model exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Spreading {
+    /// Spherical spreading (deep, open water): 20·log₁₀(r).
+    Spherical,
+    /// Cylindrical spreading (strongly ducted shallow water): 10·log₁₀(r).
+    Cylindrical,
+    /// Practical intermediate: 15·log₁₀(r).
+    Practical,
+}
+
+impl Spreading {
+    /// The multiplier `k` in `k·log₁₀(r)`.
+    pub fn factor(&self) -> f64 {
+        match self {
+            Spreading::Spherical => 20.0,
+            Spreading::Cylindrical => 10.0,
+            Spreading::Practical => 15.0,
+        }
+    }
+}
+
+/// Thorp absorption coefficient in dB/km at frequency `freq_hz`.
+///
+/// Thorp's formula (f in kHz):
+/// `α = 0.11 f²/(1+f²) + 44 f²/(4100+f²) + 2.75e-4 f² + 0.003`.
+pub fn thorp_absorption_db_per_km(freq_hz: f64) -> f64 {
+    let f_khz = (freq_hz / 1000.0).max(0.0);
+    let f2 = f_khz * f_khz;
+    0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) + 2.75e-4 * f2 + 0.003
+}
+
+/// Total one-way transmission loss in dB over `range_m` metres at
+/// `freq_hz`, using the given spreading model.
+///
+/// Ranges below 1 m are clamped to 1 m so the spreading term never goes
+/// negative (the reference distance is 1 m).
+pub fn transmission_loss_db(range_m: f64, freq_hz: f64, spreading: Spreading) -> f64 {
+    let r = range_m.max(1.0);
+    let spread = spreading.factor() * r.log10();
+    let absorb = thorp_absorption_db_per_km(freq_hz) * (r / 1000.0);
+    spread + absorb
+}
+
+/// Converts a loss in dB to a linear amplitude gain (≤ 1).
+pub fn db_loss_to_amplitude(loss_db: f64) -> f64 {
+    10f64.powf(-loss_db / 20.0)
+}
+
+/// Linear amplitude gain after propagating `range_m` at `freq_hz`.
+pub fn propagation_amplitude(range_m: f64, freq_hz: f64, spreading: Spreading) -> f64 {
+    db_loss_to_amplitude(transmission_loss_db(range_m, freq_hz, spreading))
+}
+
+/// Additional attenuation (in dB) applied to each boundary reflection.
+/// Surface reflections lose little energy; bottom reflections lose more,
+/// depending on the sediment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryLoss {
+    /// Loss per surface bounce (dB).
+    pub surface_db: f64,
+    /// Loss per bottom bounce (dB).
+    pub bottom_db: f64,
+}
+
+impl Default for BoundaryLoss {
+    fn default() -> Self {
+        // Calm surface ≈ 1 dB per bounce; muddy lake bottom ≈ 6 dB.
+        Self { surface_db: 1.0, bottom_db: 6.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thorp_is_increasing_in_frequency() {
+        let a1 = thorp_absorption_db_per_km(1000.0);
+        let a5 = thorp_absorption_db_per_km(5000.0);
+        let a50 = thorp_absorption_db_per_km(50_000.0);
+        assert!(a1 < a5 && a5 < a50);
+        // At 5 kHz absorption is well under 1 dB/km.
+        assert!(a5 < 1.0, "a5 = {a5}");
+        // At 50 kHz it is tens of dB/km.
+        assert!(a50 > 10.0, "a50 = {a50}");
+    }
+
+    #[test]
+    fn spreading_factors() {
+        assert_eq!(Spreading::Spherical.factor(), 20.0);
+        assert_eq!(Spreading::Cylindrical.factor(), 10.0);
+        assert_eq!(Spreading::Practical.factor(), 15.0);
+    }
+
+    #[test]
+    fn loss_monotone_in_range() {
+        let l10 = transmission_loss_db(10.0, 3000.0, Spreading::Practical);
+        let l20 = transmission_loss_db(20.0, 3000.0, Spreading::Practical);
+        let l45 = transmission_loss_db(45.0, 3000.0, Spreading::Practical);
+        assert!(l10 < l20 && l20 < l45);
+        // Doubling the range under 15·log spreading adds ~4.5 dB.
+        assert!((l20 - l10 - 4.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn sub_metre_range_is_clamped() {
+        let l = transmission_loss_db(0.1, 3000.0, Spreading::Spherical);
+        assert!(l >= 0.0);
+        assert_eq!(l, transmission_loss_db(1.0, 3000.0, Spreading::Spherical));
+    }
+
+    #[test]
+    fn amplitude_conversion() {
+        assert!((db_loss_to_amplitude(0.0) - 1.0).abs() < 1e-12);
+        assert!((db_loss_to_amplitude(20.0) - 0.1).abs() < 1e-12);
+        assert!((db_loss_to_amplitude(40.0) - 0.01).abs() < 1e-12);
+        // 35 m at practical spreading: amplitude noticeably below 1 but
+        // still detectable.
+        let a = propagation_amplitude(35.0, 3000.0, Spreading::Practical);
+        assert!(a > 0.001 && a < 0.2, "a = {a}");
+    }
+
+    #[test]
+    fn default_boundary_loss_orders() {
+        let b = BoundaryLoss::default();
+        assert!(b.surface_db < b.bottom_db);
+        assert!(b.surface_db >= 0.0);
+    }
+}

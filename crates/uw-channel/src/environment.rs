@@ -1,0 +1,189 @@
+//! Environment presets for the four deployment sites in the paper (Fig. 10).
+//!
+//! | Site       | Depth     | Extent | Character                                  |
+//! |------------|-----------|--------|--------------------------------------------|
+//! | Pool       | 1–2.5 m   | 23 m   | hard walls, strong reverberation, quiet    |
+//! | Dock       | 9 m       | 50 m   | boats/seaplanes, aquatic plants & animals  |
+//! | Viewpoint  | 1–1.5 m   | 40 m   | very shallow waterfront                    |
+//! | Boathouse  | 5 m       | 30 m   | busy fishing dock, people kayaking         |
+//!
+//! Each preset bundles the water properties, multipath severity, boundary
+//! losses and noise profile used by the channel simulator.
+
+use crate::absorption::{BoundaryLoss, Spreading};
+use crate::multipath::MultipathConfig;
+use crate::noise::NoiseProfile;
+use crate::sound_speed::{wilson_sound_speed, WaterProperties};
+use serde::{Deserialize, Serialize};
+
+/// The four deployment sites used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvironmentKind {
+    /// Indoor swimming pool (23 m long, 1–2.5 m deep).
+    Pool,
+    /// Outdoor boat dock (50 m long, 9 m deep).
+    Dock,
+    /// Waterfront park viewpoint (40 m long, 1–1.5 m deep).
+    Viewpoint,
+    /// Fishing dock by a lake (30 m long, 5 m deep), busy with people.
+    Boathouse,
+}
+
+impl EnvironmentKind {
+    /// All four presets.
+    pub const ALL: [EnvironmentKind; 4] =
+        [EnvironmentKind::Pool, EnvironmentKind::Dock, EnvironmentKind::Viewpoint, EnvironmentKind::Boathouse];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnvironmentKind::Pool => "Swimming pool",
+            EnvironmentKind::Dock => "Dock",
+            EnvironmentKind::Viewpoint => "Viewpoint",
+            EnvironmentKind::Boathouse => "Boathouse",
+        }
+    }
+}
+
+/// A fully-parameterised acoustic environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Which site this models.
+    pub kind: EnvironmentKind,
+    /// Water depth in metres.
+    pub water_depth_m: f64,
+    /// Maximum horizontal extent of the site in metres.
+    pub max_range_m: f64,
+    /// Water properties (temperature, salinity) for sound-speed computation.
+    pub water: WaterProperties,
+    /// Geometric spreading model.
+    pub spreading: Spreading,
+    /// Per-bounce boundary losses.
+    pub boundary_loss: BoundaryLoss,
+    /// Maximum number of boundary bounces simulated.
+    pub max_bounces: usize,
+    /// Background noise profile.
+    pub noise: NoiseProfile,
+}
+
+impl Environment {
+    /// Builds the preset for a given site.
+    pub fn preset(kind: EnvironmentKind) -> Self {
+        match kind {
+            EnvironmentKind::Pool => Self {
+                kind,
+                water_depth_m: 2.5,
+                max_range_m: 23.0,
+                water: WaterProperties::pool(),
+                spreading: Spreading::Cylindrical,
+                // Tiled walls reflect strongly: low boundary loss, deep
+                // reverberation tail.
+                boundary_loss: BoundaryLoss { surface_db: 0.5, bottom_db: 2.0 },
+                max_bounces: 6,
+                noise: NoiseProfile::quiet(),
+            },
+            EnvironmentKind::Dock => Self {
+                kind,
+                water_depth_m: 9.0,
+                max_range_m: 50.0,
+                water: WaterProperties::default(),
+                spreading: Spreading::Practical,
+                boundary_loss: BoundaryLoss::default(),
+                max_bounces: 4,
+                noise: NoiseProfile::default(),
+            },
+            EnvironmentKind::Viewpoint => Self {
+                kind,
+                water_depth_m: 1.5,
+                max_range_m: 40.0,
+                water: WaterProperties::default(),
+                spreading: Spreading::Cylindrical,
+                boundary_loss: BoundaryLoss { surface_db: 1.0, bottom_db: 4.0 },
+                max_bounces: 6,
+                noise: NoiseProfile::default(),
+            },
+            EnvironmentKind::Boathouse => Self {
+                kind,
+                water_depth_m: 5.0,
+                max_range_m: 30.0,
+                water: WaterProperties::default(),
+                spreading: Spreading::Practical,
+                boundary_loss: BoundaryLoss { surface_db: 1.0, bottom_db: 5.0 },
+                max_bounces: 4,
+                noise: NoiseProfile::busy(),
+            },
+        }
+    }
+
+    /// Speed of sound for this environment (m/s), from Wilson's equation at
+    /// mid-depth.
+    pub fn sound_speed(&self) -> f64 {
+        let props = WaterProperties { depth_m: self.water_depth_m / 2.0, ..self.water };
+        wilson_sound_speed(&props)
+    }
+
+    /// Builds a [`MultipathConfig`] for a link in this environment, with an
+    /// optional extra direct-path loss in dB to model an occluded link.
+    pub fn multipath_config(&self, occlusion_db: f64) -> MultipathConfig {
+        MultipathConfig {
+            water_depth_m: self.water_depth_m,
+            sound_speed: self.sound_speed(),
+            max_bounces: self.max_bounces,
+            spreading: self.spreading,
+            boundary_loss: self.boundary_loss,
+            center_freq_hz: 3000.0,
+            direct_path_extra_loss_db: occlusion_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_are_physical() {
+        for kind in EnvironmentKind::ALL {
+            let env = Environment::preset(kind);
+            assert!(env.water_depth_m > 0.0);
+            assert!(env.max_range_m > env.water_depth_m);
+            let c = env.sound_speed();
+            assert!(c > 1400.0 && c < 1600.0, "{:?}: c = {c}", kind);
+            env.multipath_config(0.0).validate().unwrap();
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn pool_is_warmest_and_shallow() {
+        let pool = Environment::preset(EnvironmentKind::Pool);
+        let dock = Environment::preset(EnvironmentKind::Dock);
+        assert!(pool.water.temperature_c > dock.water.temperature_c);
+        assert!(pool.water_depth_m < dock.water_depth_m);
+        // Warmer water → faster sound.
+        assert!(pool.sound_speed() > dock.sound_speed());
+    }
+
+    #[test]
+    fn boathouse_is_noisiest() {
+        let boathouse = Environment::preset(EnvironmentKind::Boathouse);
+        let pool = Environment::preset(EnvironmentKind::Pool);
+        assert!(boathouse.noise.spike_rate_hz > pool.noise.spike_rate_hz);
+        assert!(boathouse.noise.ambient_rms > pool.noise.ambient_rms);
+    }
+
+    #[test]
+    fn occlusion_is_passed_through() {
+        let env = Environment::preset(EnvironmentKind::Dock);
+        assert_eq!(env.multipath_config(25.0).direct_path_extra_loss_db, 25.0);
+        assert_eq!(env.multipath_config(0.0).direct_path_extra_loss_db, 0.0);
+    }
+
+    #[test]
+    fn presets_are_cloneable_and_comparable() {
+        let env = Environment::preset(EnvironmentKind::Dock);
+        let copy = env.clone();
+        assert_eq!(env, copy);
+        assert_ne!(Environment::preset(EnvironmentKind::Pool), env);
+    }
+}

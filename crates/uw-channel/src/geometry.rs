@@ -1,0 +1,152 @@
+//! 3D geometry primitives used across the workspace.
+//!
+//! The coordinate convention follows the paper: `x`/`y` span the horizontal
+//! plane and `z` is depth in metres, increasing downwards (the water surface
+//! is `z = 0`).
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or vector) in 3D space. Units are metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Horizontal x coordinate (m).
+    pub x: f64,
+    /// Horizontal y coordinate (m).
+    pub y: f64,
+    /// Depth below the surface (m, positive down).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Horizontal (x–y plane) distance to another point.
+    pub fn horizontal_distance(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Vector difference `self - other`.
+    pub fn sub(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Vector sum.
+    pub fn add(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+
+    /// Scales all components.
+    pub fn scale(&self, k: f64) -> Point3 {
+        Point3::new(self.x * k, self.y * k, self.z * k)
+    }
+
+    /// Euclidean norm of the point treated as a vector.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Returns the point with its depth mirrored about the surface plane
+    /// `z = 0` (used by the image method for surface reflections).
+    pub fn mirror_surface(&self) -> Point3 {
+        Point3::new(self.x, self.y, -self.z)
+    }
+
+    /// Returns the point mirrored about the bottom plane `z = bottom_depth`.
+    pub fn mirror_bottom(&self, bottom_depth: f64) -> Point3 {
+        Point3::new(self.x, self.y, 2.0 * bottom_depth - self.z)
+    }
+
+    /// Azimuth (radians) of the horizontal direction from `self` towards
+    /// `other`, measured from the +x axis counter-clockwise.
+    pub fn azimuth_to(&self, other: &Point3) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x)
+    }
+}
+
+/// Returns the angle in radians between two 2D headings, wrapped to
+/// `[-π, π]`.
+pub fn wrap_angle(theta: f64) -> f64 {
+    let mut t = theta % (2.0 * std::f64::consts::PI);
+    if t > std::f64::consts::PI {
+        t -= 2.0 * std::f64::consts::PI;
+    } else if t < -std::f64::consts::PI {
+        t += 2.0 * std::f64::consts::PI;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_pythagoras() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        let c = Point3::new(3.0, 4.0, 12.0);
+        assert!((a.distance(&c) - 13.0).abs() < 1e-12);
+        assert!((a.horizontal_distance(&c) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.add(&b), Point3::new(5.0, 7.0, 9.0));
+        assert_eq!(b.sub(&a), Point3::new(3.0, 3.0, 3.0));
+        assert_eq!(a.scale(2.0), Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(&b), 32.0);
+        assert!((Point3::new(1.0, 2.0, 2.0).norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirrors() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p.mirror_surface(), Point3::new(1.0, 2.0, -3.0));
+        assert_eq!(p.mirror_bottom(9.0), Point3::new(1.0, 2.0, 15.0));
+        // Mirroring twice about the same plane is the identity.
+        assert_eq!(p.mirror_surface().mirror_surface(), p);
+        assert_eq!(p.mirror_bottom(5.0).mirror_bottom(5.0), p);
+    }
+
+    #[test]
+    fn azimuth_quadrants() {
+        let o = Point3::ORIGIN;
+        assert!((o.azimuth_to(&Point3::new(1.0, 0.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.azimuth_to(&Point3::new(0.0, 1.0, 0.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((o.azimuth_to(&Point3::new(-1.0, 0.0, 0.0)).abs() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_angle_range() {
+        for k in -10..=10 {
+            let theta = k as f64 * 1.3;
+            let w = wrap_angle(theta);
+            assert!(w >= -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+            // Same direction.
+            assert!(((theta - w) / (2.0 * std::f64::consts::PI)).fract().abs() < 1e-9);
+        }
+    }
+}

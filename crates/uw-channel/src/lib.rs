@@ -1,0 +1,83 @@
+//! # uw-channel — underwater acoustic channel simulator
+//!
+//! The paper's evaluation ran in four real bodies of water (a swimming pool,
+//! a boat dock, a waterfront park and a fishing dock). This crate replaces
+//! that physical substrate with a waveform-level simulator that produces the
+//! same impairments the ranging pipeline must survive:
+//!
+//! * **Sound speed** from Wilson's equation as a function of temperature,
+//!   salinity and depth ([`sound_speed`]).
+//! * **Propagation loss** — geometric spreading plus Thorp frequency-
+//!   dependent absorption ([`absorption`]).
+//! * **Multipath** — an image-method ray model that enumerates surface and
+//!   bottom reflections between two 3D positions, giving the dense delay
+//!   spread and the possibly-attenuated direct path the paper describes
+//!   ([`multipath`]).
+//! * **Noise** — Gaussian ambient noise with a low-frequency-heavy spectrum
+//!   plus impulsive "spiky" noise from bubbles and boat traffic
+//!   ([`noise`]).
+//! * **Propagation** of an arbitrary transmit waveform to one or more
+//!   microphones, combining all of the above ([`propagate`]).
+//! * **Environment presets** matching the four deployment sites
+//!   ([`environment`]).
+//!
+//! Everything is deterministic given an RNG seed so experiments are exactly
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absorption;
+pub mod environment;
+pub mod geometry;
+pub mod multipath;
+pub mod noise;
+pub mod propagate;
+pub mod sound_speed;
+
+pub use environment::{Environment, EnvironmentKind};
+pub use geometry::Point3;
+pub use propagate::{ChannelSimulator, ReceivedSignal};
+
+/// Errors produced by the channel simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A physical parameter was out of range (negative depth, zero sound
+    /// speed, positions outside the water column, …).
+    InvalidParameter {
+        /// Description of the offending parameter.
+        reason: String,
+    },
+    /// A waveform buffer had an unusable length.
+    InvalidLength {
+        /// Description of the length problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            ChannelError::InvalidLength { reason } => write!(f, "invalid length: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Convenience result alias for the channel layer.
+pub type Result<T> = std::result::Result<T, ChannelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ChannelError::InvalidParameter { reason: "depth below seabed".into() };
+        assert!(e.to_string().contains("depth below seabed"));
+        let e = ChannelError::InvalidLength { reason: "empty waveform".into() };
+        assert!(e.to_string().contains("empty waveform"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Image-method multipath model for a shallow-water channel.
+//!
+//! The water column is bounded by the surface (`z = 0`) and the bottom
+//! (`z = water_depth`). Every acoustic path between a source and a receiver
+//! can be described by an *image* of the source obtained by repeatedly
+//! mirroring it about those two planes. Enumerating images up to a maximum
+//! number of boundary interactions yields the familiar dense underwater
+//! impulse response: a direct arrival followed by clusters of surface and
+//! bottom reflections whose spacing shrinks as the devices approach a
+//! boundary — exactly the effect the paper measures in Fig. 13a (errors are
+//! lowest at mid-depth).
+//!
+//! Each path carries:
+//! * a propagation delay (path length / sound speed),
+//! * an amplitude from spreading + absorption + per-bounce boundary loss,
+//! * a sign flip for every surface reflection (pressure-release boundary).
+//!
+//! Occlusion of the direct path (a diver, rock or the thick sheet used in
+//! the paper's Fig. 19a experiment) is modelled by attenuating the
+//! zero-bounce path by a configurable number of dB, which is what turns
+//! multipath arrivals into "outlier" distance estimates.
+
+use crate::absorption::{db_loss_to_amplitude, transmission_loss_db, BoundaryLoss, Spreading};
+use crate::geometry::Point3;
+use crate::{ChannelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One propagation path between a source and a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathComponent {
+    /// One-way propagation delay in seconds.
+    pub delay_s: f64,
+    /// Linear amplitude gain of this path (signed: surface bounces flip the
+    /// sign).
+    pub amplitude: f64,
+    /// Number of surface reflections along the path.
+    pub n_surface: usize,
+    /// Number of bottom reflections along the path.
+    pub n_bottom: usize,
+}
+
+impl PathComponent {
+    /// Total number of boundary interactions.
+    pub fn bounces(&self) -> usize {
+        self.n_surface + self.n_bottom
+    }
+
+    /// True for the direct (line-of-sight) path.
+    pub fn is_direct(&self) -> bool {
+        self.bounces() == 0
+    }
+}
+
+/// Parameters of the multipath model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultipathConfig {
+    /// Water depth in metres.
+    pub water_depth_m: f64,
+    /// Sound speed in m/s.
+    pub sound_speed: f64,
+    /// Maximum total number of boundary bounces to enumerate.
+    pub max_bounces: usize,
+    /// Spreading model.
+    pub spreading: Spreading,
+    /// Per-bounce boundary losses.
+    pub boundary_loss: BoundaryLoss,
+    /// Representative frequency (Hz) used for the absorption term.
+    pub center_freq_hz: f64,
+    /// Extra attenuation applied to the direct path (dB); 0 for a clear
+    /// line of sight, 20–40 dB for an occluded link.
+    pub direct_path_extra_loss_db: f64,
+}
+
+impl Default for MultipathConfig {
+    fn default() -> Self {
+        Self {
+            water_depth_m: 9.0,
+            sound_speed: 1481.0,
+            max_bounces: 4,
+            spreading: Spreading::Practical,
+            boundary_loss: BoundaryLoss::default(),
+            center_freq_hz: 3000.0,
+            direct_path_extra_loss_db: 0.0,
+        }
+    }
+}
+
+impl MultipathConfig {
+    /// Validates the physical parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.water_depth_m <= 0.0 {
+            return Err(ChannelError::InvalidParameter { reason: "water depth must be positive".into() });
+        }
+        if self.sound_speed < 1300.0 || self.sound_speed > 1700.0 {
+            return Err(ChannelError::InvalidParameter {
+                reason: format!("sound speed {} m/s is not an underwater value", self.sound_speed),
+            });
+        }
+        if self.center_freq_hz <= 0.0 {
+            return Err(ChannelError::InvalidParameter { reason: "centre frequency must be positive".into() });
+        }
+        if self.direct_path_extra_loss_db < 0.0 {
+            return Err(ChannelError::InvalidParameter { reason: "occlusion loss must be non-negative".into() });
+        }
+        Ok(())
+    }
+
+    fn check_in_column(&self, p: &Point3, label: &str) -> Result<()> {
+        if p.z < 0.0 || p.z > self.water_depth_m {
+            return Err(ChannelError::InvalidParameter {
+                reason: format!("{label} depth {} m is outside the water column (0..{} m)", p.z, self.water_depth_m),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates propagation paths between `tx` and `rx` using the image
+/// method, sorted by increasing delay. The direct path is always first.
+pub fn image_method_paths(config: &MultipathConfig, tx: &Point3, rx: &Point3) -> Result<Vec<PathComponent>> {
+    config.validate()?;
+    config.check_in_column(tx, "transmitter")?;
+    config.check_in_column(rx, "receiver")?;
+
+    let r = tx.horizontal_distance(rx);
+    let d = config.water_depth_m;
+    let zs = tx.z;
+    let zr = rx.z;
+
+    // Image families: (image depth, surface bounces, bottom bounces).
+    // k = 0, 1, 2, … ; see module docs for the derivation of each family.
+    let mut images: Vec<(f64, usize, usize)> = Vec::new();
+    let max_k = config.max_bounces; // generous upper bound; filtered below
+    for k in 0..=max_k {
+        // Family A: 2kD + zs — k surface, k bottom (direct path at k = 0).
+        images.push((2.0 * d * k as f64 + zs, k, k));
+        // Family B: −2kD − zs — (k+1) surface, k bottom.
+        images.push((-2.0 * d * k as f64 - zs, k + 1, k));
+        // Family C: 2(k+1)D − zs — k surface, (k+1) bottom.
+        images.push((2.0 * d * (k + 1) as f64 - zs, k, k + 1));
+        // Family D: −2kD + zs for k ≥ 1 — k surface, k bottom.
+        if k >= 1 {
+            images.push((-2.0 * d * k as f64 + zs, k, k));
+        }
+    }
+
+    let mut paths = Vec::new();
+    for (z_img, n_surf, n_bot) in images {
+        let bounces = n_surf + n_bot;
+        if bounces > config.max_bounces {
+            continue;
+        }
+        let dz = zr - z_img;
+        let length = (r * r + dz * dz).sqrt().max(1e-3);
+        let mut loss_db = transmission_loss_db(length, config.center_freq_hz, config.spreading);
+        loss_db += n_surf as f64 * config.boundary_loss.surface_db;
+        loss_db += n_bot as f64 * config.boundary_loss.bottom_db;
+        if bounces == 0 {
+            loss_db += config.direct_path_extra_loss_db;
+        }
+        // Pressure-release surface flips the sign once per surface bounce.
+        let sign = if n_surf % 2 == 0 { 1.0 } else { -1.0 };
+        paths.push(PathComponent {
+            delay_s: length / config.sound_speed,
+            amplitude: sign * db_loss_to_amplitude(loss_db),
+            n_surface: n_surf,
+            n_bottom: n_bot,
+        });
+    }
+
+    paths.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(paths)
+}
+
+/// A sampled channel impulse response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpulseResponse {
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Tap gains; index `i` corresponds to a delay of `i / sample_rate`
+    /// seconds **after** `base_delay_s`.
+    pub taps: Vec<f64>,
+    /// Delay of tap 0 in seconds (the direct-path delay).
+    pub base_delay_s: f64,
+}
+
+impl ImpulseResponse {
+    /// Builds a sampled impulse response from path components. `span_s`
+    /// limits the response duration after the earliest arrival.
+    pub fn from_paths(paths: &[PathComponent], sample_rate: f64, span_s: f64) -> Result<Self> {
+        if paths.is_empty() {
+            return Err(ChannelError::InvalidLength { reason: "no propagation paths".into() });
+        }
+        if sample_rate <= 0.0 || span_s <= 0.0 {
+            return Err(ChannelError::InvalidParameter { reason: "sample rate and span must be positive".into() });
+        }
+        let base = paths.iter().map(|p| p.delay_s).fold(f64::INFINITY, f64::min);
+        let n_taps = (span_s * sample_rate).ceil() as usize + 1;
+        let mut taps = vec![0.0; n_taps];
+        for p in paths {
+            let offset = (p.delay_s - base) * sample_rate;
+            let idx = offset.floor() as usize;
+            let frac = offset - idx as f64;
+            if idx < n_taps {
+                taps[idx] += p.amplitude * (1.0 - frac);
+            }
+            if frac > 0.0 && idx + 1 < n_taps {
+                taps[idx + 1] += p.amplitude * frac;
+            }
+        }
+        Ok(Self { sample_rate, taps, base_delay_s: base })
+    }
+
+    /// RMS delay spread of the response in seconds (second moment of the
+    /// power-weighted delay distribution).
+    pub fn rms_delay_spread(&self) -> f64 {
+        let total_power: f64 = self.taps.iter().map(|t| t * t).sum();
+        if total_power == 0.0 {
+            return 0.0;
+        }
+        let mean: f64 = self
+            .taps
+            .iter()
+            .enumerate()
+            .map(|(i, t)| i as f64 / self.sample_rate * t * t)
+            .sum::<f64>()
+            / total_power;
+        let second: f64 = self
+            .taps
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let d = i as f64 / self.sample_rate;
+                d * d * t * t
+            })
+            .sum::<f64>()
+            / total_power;
+        (second - mean * mean).max(0.0).sqrt()
+    }
+
+    /// Index of the strongest tap.
+    pub fn strongest_tap(&self) -> usize {
+        self.taps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_positions() -> (Point3, Point3) {
+        (Point3::new(0.0, 0.0, 2.5), Point3::new(20.0, 0.0, 3.0))
+    }
+
+    #[test]
+    fn direct_path_is_first_and_correct() {
+        let config = MultipathConfig::default();
+        let (tx, rx) = default_positions();
+        let paths = image_method_paths(&config, &tx, &rx).unwrap();
+        let direct = &paths[0];
+        assert!(direct.is_direct());
+        let expected = tx.distance(&rx) / config.sound_speed;
+        assert!((direct.delay_s - expected).abs() < 1e-12);
+        assert!(direct.amplitude > 0.0);
+    }
+
+    #[test]
+    fn reflections_arrive_later_and_weaker_on_average() {
+        let config = MultipathConfig::default();
+        let (tx, rx) = default_positions();
+        let paths = image_method_paths(&config, &tx, &rx).unwrap();
+        assert!(paths.len() > 4, "expected several multipath components, got {}", paths.len());
+        let direct = &paths[0];
+        for p in &paths[1..] {
+            assert!(p.delay_s >= direct.delay_s);
+            assert!(p.amplitude.abs() <= direct.amplitude.abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn surface_bounce_flips_sign() {
+        let config = MultipathConfig::default();
+        let (tx, rx) = default_positions();
+        let paths = image_method_paths(&config, &tx, &rx).unwrap();
+        let single_surface = paths.iter().find(|p| p.n_surface == 1 && p.n_bottom == 0).unwrap();
+        assert!(single_surface.amplitude < 0.0);
+        let single_bottom = paths.iter().find(|p| p.n_surface == 0 && p.n_bottom == 1).unwrap();
+        assert!(single_bottom.amplitude > 0.0);
+    }
+
+    #[test]
+    fn bounce_cap_is_respected() {
+        let config = MultipathConfig { max_bounces: 2, ..MultipathConfig::default() };
+        let (tx, rx) = default_positions();
+        let paths = image_method_paths(&config, &tx, &rx).unwrap();
+        assert!(paths.iter().all(|p| p.bounces() <= 2));
+        let bigger = MultipathConfig { max_bounces: 6, ..MultipathConfig::default() };
+        let more = image_method_paths(&bigger, &tx, &rx).unwrap();
+        assert!(more.len() > paths.len());
+    }
+
+    #[test]
+    fn occlusion_attenuates_only_the_direct_path() {
+        let clear = MultipathConfig::default();
+        let blocked = MultipathConfig { direct_path_extra_loss_db: 30.0, ..clear };
+        let (tx, rx) = default_positions();
+        let p_clear = image_method_paths(&clear, &tx, &rx).unwrap();
+        let p_blocked = image_method_paths(&blocked, &tx, &rx).unwrap();
+        let d_clear = p_clear.iter().find(|p| p.is_direct()).unwrap();
+        let d_blocked = p_blocked.iter().find(|p| p.is_direct()).unwrap();
+        assert!(d_blocked.amplitude < d_clear.amplitude * 0.1);
+        // A reflected path keeps its amplitude.
+        let r_clear = p_clear.iter().find(|p| p.n_bottom == 1 && p.n_surface == 0).unwrap();
+        let r_blocked = p_blocked.iter().find(|p| p.n_bottom == 1 && p.n_surface == 0).unwrap();
+        assert!((r_clear.amplitude - r_blocked.amplitude).abs() < 1e-12);
+        // With heavy occlusion, the strongest arrival is no longer the direct
+        // path — this is exactly what produces outlier distance estimates.
+        let strongest = p_blocked
+            .iter()
+            .max_by(|a, b| a.amplitude.abs().partial_cmp(&b.amplitude.abs()).unwrap())
+            .unwrap();
+        assert!(!strongest.is_direct());
+    }
+
+    #[test]
+    fn shallow_devices_have_denser_early_multipath() {
+        // Near-surface devices: the surface image nearly coincides with the
+        // source, so the first reflection arrives very soon after the direct
+        // path (this is why Fig. 13a sees larger errors near the surface).
+        let config = MultipathConfig::default();
+        let shallow_tx = Point3::new(0.0, 0.0, 0.5);
+        let shallow_rx = Point3::new(18.0, 0.0, 0.5);
+        let mid_tx = Point3::new(0.0, 0.0, 5.0);
+        let mid_rx = Point3::new(18.0, 0.0, 5.0);
+        let gap = |paths: &[PathComponent]| paths[1].delay_s - paths[0].delay_s;
+        let shallow = image_method_paths(&config, &shallow_tx, &shallow_rx).unwrap();
+        let mid = image_method_paths(&config, &mid_tx, &mid_rx).unwrap();
+        assert!(gap(&shallow) < gap(&mid));
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let config = MultipathConfig::default();
+        let inside = Point3::new(0.0, 0.0, 2.0);
+        let above = Point3::new(0.0, 0.0, -1.0);
+        let below = Point3::new(0.0, 0.0, 20.0);
+        assert!(image_method_paths(&config, &above, &inside).is_err());
+        assert!(image_method_paths(&config, &inside, &below).is_err());
+        let bad = MultipathConfig { water_depth_m: -1.0, ..config };
+        assert!(bad.validate().is_err());
+        let bad = MultipathConfig { sound_speed: 300.0, ..config };
+        assert!(bad.validate().is_err());
+        let bad = MultipathConfig { direct_path_extra_loss_db: -3.0, ..config };
+        assert!(bad.validate().is_err());
+        let bad = MultipathConfig { center_freq_hz: 0.0, ..config };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn impulse_response_sampling() {
+        let config = MultipathConfig::default();
+        let (tx, rx) = default_positions();
+        let paths = image_method_paths(&config, &tx, &rx).unwrap();
+        let ir = ImpulseResponse::from_paths(&paths, 44_100.0, 0.05).unwrap();
+        assert_eq!(ir.taps.len(), (0.05f64 * 44_100.0).ceil() as usize + 1);
+        assert!((ir.base_delay_s - paths[0].delay_s).abs() < 1e-12);
+        // Direct path tap should be at or near index 0 and positive.
+        assert!(ir.taps[0] > 0.0 || ir.taps[1] > 0.0);
+        assert!(ir.rms_delay_spread() > 0.0);
+        assert!(ImpulseResponse::from_paths(&[], 44_100.0, 0.05).is_err());
+        assert!(ImpulseResponse::from_paths(&paths, 0.0, 0.05).is_err());
+        assert!(ImpulseResponse::from_paths(&paths, 44_100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn strongest_tap_is_direct_when_unoccluded() {
+        let config = MultipathConfig::default();
+        let (tx, rx) = default_positions();
+        let paths = image_method_paths(&config, &tx, &rx).unwrap();
+        let ir = ImpulseResponse::from_paths(&paths, 44_100.0, 0.05).unwrap();
+        // The direct path is the strongest arrival in a clear channel, and it
+        // is the earliest, so the strongest tap should be within a couple of
+        // taps of index 0.
+        assert!(ir.strongest_tap() <= 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! Waveform propagation: transmit waveform → microphone stream.
+//!
+//! [`ChannelSimulator`] ties the whole channel together. Given a transmit
+//! waveform, a transmitter position and a receiver (microphone) position it
+//! produces the sampled signal that microphone records:
+//!
+//! 1. enumerate multipath components with the image method,
+//! 2. superimpose a delayed, scaled copy of the waveform per path
+//!    (fractional-sample delays via linear interpolation),
+//! 3. optionally add a couple of very-short-delay "case reflections"
+//!    modelling the waterproof pouch, which differ per microphone,
+//! 4. add ambient + impulsive noise.
+//!
+//! The true propagation delay of the direct path is reported alongside the
+//! samples so experiments can compute ground-truth errors.
+
+use crate::environment::Environment;
+use crate::geometry::Point3;
+use crate::multipath::{image_method_paths, MultipathConfig, PathComponent};
+use crate::noise::{combined_noise, NoiseProfile};
+use crate::{ChannelError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Options for one propagation call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagateOptions {
+    /// Extra attenuation of the direct path in dB (occluded link).
+    pub occlusion_db: f64,
+    /// Scale factor applied to this microphone's noise level (models
+    /// per-microphone hardware gain differences).
+    pub noise_level_scale: f64,
+    /// Whether to add short-delay reflections from the waterproof case.
+    pub case_reflections: bool,
+    /// Number of silent samples inserted before the transmission starts
+    /// (lets detectors estimate the noise floor).
+    pub lead_in_samples: usize,
+    /// Number of samples of tail (multipath decay + noise) after the
+    /// waveform ends.
+    pub tail_samples: usize,
+}
+
+impl Default for PropagateOptions {
+    fn default() -> Self {
+        Self {
+            occlusion_db: 0.0,
+            noise_level_scale: 1.0,
+            case_reflections: true,
+            lead_in_samples: 2048,
+            tail_samples: 4096,
+        }
+    }
+}
+
+/// Result of propagating a waveform to one microphone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceivedSignal {
+    /// Received samples (lead-in noise, signal + multipath, tail).
+    pub samples: Vec<f64>,
+    /// Ground-truth direct-path propagation delay in seconds.
+    pub true_delay_s: f64,
+    /// Sample index (within `samples`, fractional) at which the direct path
+    /// of the waveform's first sample arrives.
+    pub true_arrival_sample: f64,
+    /// Amplitude of the direct path after propagation loss.
+    pub direct_amplitude: f64,
+    /// Number of multipath components simulated.
+    pub n_paths: usize,
+}
+
+/// Waveform-level channel simulator for one environment.
+#[derive(Debug, Clone)]
+pub struct ChannelSimulator {
+    environment: Environment,
+    sample_rate: f64,
+}
+
+impl ChannelSimulator {
+    /// Creates a simulator for an environment at the given audio sampling
+    /// rate (Hz).
+    pub fn new(environment: Environment, sample_rate: f64) -> Result<Self> {
+        if sample_rate <= 0.0 {
+            return Err(ChannelError::InvalidParameter { reason: "sample rate must be positive".into() });
+        }
+        Ok(Self { environment, sample_rate })
+    }
+
+    /// The environment this simulator models.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// Audio sampling rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Speed of sound used by the simulator (m/s).
+    pub fn sound_speed(&self) -> f64 {
+        self.environment.sound_speed()
+    }
+
+    /// Enumerates the multipath components between two positions.
+    pub fn paths(&self, tx: &Point3, rx: &Point3, occlusion_db: f64) -> Result<Vec<PathComponent>> {
+        let config: MultipathConfig = self.environment.multipath_config(occlusion_db);
+        image_method_paths(&config, tx, rx)
+    }
+
+    /// Propagates `waveform` from `tx_pos` to a microphone at `rx_pos`.
+    pub fn propagate<R: Rng>(
+        &self,
+        waveform: &[f64],
+        tx_pos: &Point3,
+        rx_pos: &Point3,
+        options: &PropagateOptions,
+        rng: &mut R,
+    ) -> Result<ReceivedSignal> {
+        if waveform.is_empty() {
+            return Err(ChannelError::InvalidLength { reason: "cannot propagate an empty waveform".into() });
+        }
+        if options.noise_level_scale < 0.0 {
+            return Err(ChannelError::InvalidParameter { reason: "noise level scale must be non-negative".into() });
+        }
+        let paths = self.paths(tx_pos, rx_pos, options.occlusion_db)?;
+        let direct = paths
+            .iter()
+            .find(|p| p.is_direct())
+            .copied()
+            .ok_or_else(|| ChannelError::InvalidParameter { reason: "no direct path enumerated".into() })?;
+
+        let max_delay = paths.iter().map(|p| p.delay_s).fold(0.0f64, f64::max);
+        let total_len = options.lead_in_samples
+            + (max_delay * self.sample_rate).ceil() as usize
+            + waveform.len()
+            + options.tail_samples;
+        let mut samples = vec![0.0; total_len];
+
+        // Superimpose each multipath component.
+        for p in &paths {
+            let delay_samples = options.lead_in_samples as f64 + p.delay_s * self.sample_rate;
+            add_delayed(&mut samples, waveform, delay_samples, p.amplitude);
+        }
+
+        // Waterproof-case reflections: 1–3 weak copies within a millisecond
+        // of the direct path, different for every call (and hence for every
+        // microphone), as described in §2.2.
+        if options.case_reflections {
+            let n_case = rng.gen_range(1..=3);
+            for _ in 0..n_case {
+                let extra_delay_s = rng.gen_range(0.0001..0.001);
+                let gain = direct.amplitude * rng.gen_range(0.1..0.45);
+                let delay_samples =
+                    options.lead_in_samples as f64 + (direct.delay_s + extra_delay_s) * self.sample_rate;
+                add_delayed(&mut samples, waveform, delay_samples, gain);
+            }
+        }
+
+        // Additive noise across the whole buffer.
+        let noise_profile: NoiseProfile = self.environment.noise.with_level_scale(options.noise_level_scale);
+        let noise = combined_noise(&noise_profile, total_len, self.sample_rate, rng);
+        for (s, n) in samples.iter_mut().zip(noise.iter()) {
+            *s += n;
+        }
+
+        Ok(ReceivedSignal {
+            samples,
+            true_delay_s: direct.delay_s,
+            true_arrival_sample: options.lead_in_samples as f64 + direct.delay_s * self.sample_rate,
+            direct_amplitude: direct.amplitude,
+            n_paths: paths.len(),
+        })
+    }
+
+    /// Propagates the same transmission to the two microphones of a
+    /// receiving device. The microphones share the channel geometry apart
+    /// from their small position offset and may have different noise levels
+    /// and case reflections.
+    pub fn propagate_dual_mic<R: Rng>(
+        &self,
+        waveform: &[f64],
+        tx_pos: &Point3,
+        mic_positions: &[Point3; 2],
+        options: &PropagateOptions,
+        mic_noise_scales: &[f64; 2],
+        rng: &mut R,
+    ) -> Result<[ReceivedSignal; 2]> {
+        let opts0 = PropagateOptions { noise_level_scale: options.noise_level_scale * mic_noise_scales[0], ..*options };
+        let opts1 = PropagateOptions { noise_level_scale: options.noise_level_scale * mic_noise_scales[1], ..*options };
+        let rx0 = self.propagate(waveform, tx_pos, &mic_positions[0], &opts0, rng)?;
+        let rx1 = self.propagate(waveform, tx_pos, &mic_positions[1], &opts1, rng)?;
+        Ok([rx0, rx1])
+    }
+}
+
+/// Adds a delayed, scaled copy of `source` into `target` (fractional delay
+/// split across two adjacent samples).
+fn add_delayed(target: &mut [f64], source: &[f64], delay_samples: f64, gain: f64) {
+    let int_delay = delay_samples.floor() as usize;
+    let frac = delay_samples - int_delay as f64;
+    for (i, &s) in source.iter().enumerate() {
+        let idx0 = int_delay + i;
+        if idx0 < target.len() {
+            target[idx0] += gain * s * (1.0 - frac);
+        }
+        let idx1 = idx0 + 1;
+        if frac > 0.0 && idx1 < target.len() {
+            target[idx1] += gain * s * frac;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::EnvironmentKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tone(n: usize, freq: f64, fs: f64) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin()).collect()
+    }
+
+    fn simulator(kind: EnvironmentKind) -> ChannelSimulator {
+        ChannelSimulator::new(Environment::preset(kind), 44_100.0).unwrap()
+    }
+
+    #[test]
+    fn propagation_delay_matches_distance() {
+        let sim = simulator(EnvironmentKind::Dock);
+        let tx = Point3::new(0.0, 0.0, 2.5);
+        let rx = Point3::new(30.0, 0.0, 2.5);
+        let wave = tone(2000, 3000.0, 44_100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let received = sim.propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng).unwrap();
+        let expected_delay = 30.0 / sim.sound_speed();
+        assert!((received.true_delay_s - expected_delay).abs() < 1e-9);
+        assert!(received.n_paths > 3);
+        assert!(received.samples.len() > wave.len());
+    }
+
+    #[test]
+    fn received_energy_decreases_with_distance() {
+        let sim = simulator(EnvironmentKind::Dock);
+        let wave = tone(4000, 3000.0, 44_100.0);
+        let tx = Point3::new(0.0, 0.0, 3.0);
+        let near = Point3::new(10.0, 0.0, 3.0);
+        let far = Point3::new(40.0, 0.0, 3.0);
+        // Disable noise influence by comparing direct amplitudes.
+        let mut rng = StdRng::seed_from_u64(2);
+        let rx_near = sim.propagate(&wave, &tx, &near, &PropagateOptions::default(), &mut rng).unwrap();
+        let rx_far = sim.propagate(&wave, &tx, &far, &PropagateOptions::default(), &mut rng).unwrap();
+        assert!(rx_near.direct_amplitude > rx_far.direct_amplitude);
+    }
+
+    #[test]
+    fn occlusion_suppresses_direct_amplitude() {
+        let sim = simulator(EnvironmentKind::Dock);
+        let wave = tone(2000, 3000.0, 44_100.0);
+        let tx = Point3::new(0.0, 0.0, 1.5);
+        let rx = Point3::new(15.0, 0.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let clear = sim.propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng).unwrap();
+        let occluded_opts = PropagateOptions { occlusion_db: 30.0, ..PropagateOptions::default() };
+        let blocked = sim.propagate(&wave, &tx, &rx, &occluded_opts, &mut rng).unwrap();
+        assert!(blocked.direct_amplitude < clear.direct_amplitude * 0.1);
+        // The true delay is unchanged — only the amplitude drops.
+        assert!((blocked.true_delay_s - clear.true_delay_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_mic_delays_differ_by_mic_offset() {
+        let sim = simulator(EnvironmentKind::Dock);
+        let wave = tone(2000, 3000.0, 44_100.0);
+        let tx = Point3::new(0.0, 0.0, 2.0);
+        // Microphones 16 cm apart along the propagation axis.
+        let mics = [Point3::new(20.0, 0.0, 2.0), Point3::new(20.16, 0.0, 2.0)];
+        let mut rng = StdRng::seed_from_u64(4);
+        let [rx0, rx1] = sim
+            .propagate_dual_mic(&wave, &tx, &mics, &PropagateOptions::default(), &[1.0, 1.3], &mut rng)
+            .unwrap();
+        let dt = rx1.true_delay_s - rx0.true_delay_s;
+        let expected = 0.16 / sim.sound_speed();
+        assert!((dt - expected).abs() < 1e-9, "dt {dt} vs {expected}");
+    }
+
+    #[test]
+    fn lead_in_contains_mostly_noise() {
+        let sim = simulator(EnvironmentKind::Pool);
+        let wave = tone(2000, 3000.0, 44_100.0);
+        let tx = Point3::new(0.0, 0.0, 1.0);
+        let rx = Point3::new(10.0, 0.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let received = sim.propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng).unwrap();
+        let lead_in_rms = crate::noise::rms(&received.samples[..1500]);
+        let signal_start = received.true_arrival_sample as usize;
+        let signal_rms = crate::noise::rms(&received.samples[signal_start..signal_start + 2000]);
+        assert!(signal_rms > 3.0 * lead_in_rms, "signal {signal_rms} vs lead-in {lead_in_rms}");
+    }
+
+    #[test]
+    fn error_cases() {
+        let sim = simulator(EnvironmentKind::Dock);
+        let tx = Point3::new(0.0, 0.0, 2.0);
+        let rx = Point3::new(10.0, 0.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(sim.propagate(&[], &tx, &rx, &PropagateOptions::default(), &mut rng).is_err());
+        let bad_opts = PropagateOptions { noise_level_scale: -1.0, ..PropagateOptions::default() };
+        assert!(sim.propagate(&[1.0], &tx, &rx, &bad_opts, &mut rng).is_err());
+        assert!(ChannelSimulator::new(Environment::preset(EnvironmentKind::Dock), 0.0).is_err());
+        // Position outside the water column.
+        let out = Point3::new(10.0, 0.0, 30.0);
+        assert!(sim.propagate(&[1.0; 10], &tx, &out, &PropagateOptions::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = simulator(EnvironmentKind::Boathouse);
+        let wave = tone(1000, 2500.0, 44_100.0);
+        let tx = Point3::new(0.0, 0.0, 2.0);
+        let rx = Point3::new(12.0, 3.0, 2.5);
+        let a = sim
+            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        let b = sim
+            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut StdRng::seed_from_u64(42))
+            .unwrap();
+        assert_eq!(a.samples, b.samples);
+    }
+}

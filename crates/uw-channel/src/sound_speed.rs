@@ -1,0 +1,112 @@
+//! Underwater sound-speed model.
+//!
+//! The paper (§2) uses Wilson's equation to approximate the speed of sound
+//! as a function of temperature `T` (°C), salinity `S` (parts per thousand)
+//! and depth `D` (m):
+//!
+//! ```text
+//! c = 1449 + 4.6·T − 0.055·T² + 0.0003·T³ + 1.39·(S − 35) + 0.017·D
+//! ```
+//!
+//! At recreational-diving depths (≤ 40 m) the total variation is ≲ 30 m/s —
+//! about 2% of 1500 m/s — so treating `c` as constant per environment is
+//! accurate enough for sub-metre ranging, exactly as the paper argues.
+
+use serde::{Deserialize, Serialize};
+
+/// Water properties relevant to sound-speed computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaterProperties {
+    /// Temperature in degrees Celsius.
+    pub temperature_c: f64,
+    /// Salinity in parts per thousand (ocean ≈ 35, fresh water ≈ 0).
+    pub salinity_ppt: f64,
+    /// Depth in metres at which the sound speed is evaluated.
+    pub depth_m: f64,
+}
+
+impl Default for WaterProperties {
+    /// Temperate freshwater lake at modest depth — matches the paper's
+    /// Seattle-area deployments.
+    fn default() -> Self {
+        Self { temperature_c: 15.0, salinity_ppt: 0.5, depth_m: 3.0 }
+    }
+}
+
+impl WaterProperties {
+    /// Ocean water at recreational diving depth.
+    pub fn ocean() -> Self {
+        Self { temperature_c: 12.0, salinity_ppt: 35.0, depth_m: 10.0 }
+    }
+
+    /// Heated swimming pool.
+    pub fn pool() -> Self {
+        Self { temperature_c: 27.0, salinity_ppt: 0.0, depth_m: 1.5 }
+    }
+}
+
+/// Wilson's equation for the underwater speed of sound in m/s.
+pub fn wilson_sound_speed(props: &WaterProperties) -> f64 {
+    let t = props.temperature_c;
+    let s = props.salinity_ppt;
+    let d = props.depth_m;
+    1449.0 + 4.6 * t - 0.055 * t * t + 0.0003 * t * t * t + 1.39 * (s - 35.0) + 0.017 * d
+}
+
+/// Nominal sound speed used when the water properties are unknown (m/s).
+pub const NOMINAL_SOUND_SPEED: f64 = 1500.0;
+
+/// Relative ranging error incurred by assuming `assumed` m/s when the true
+/// speed is `actual` m/s.
+pub fn speed_mismatch_error(assumed: f64, actual: f64) -> f64 {
+    ((assumed - actual) / actual).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_reference_values() {
+        // Standard ocean water (T=10 °C, S=35 ppt, D=0) — Wilson's formula
+        // evaluates to 1449 + 46 − 5.5 + 0.3 = 1489.8 m/s.
+        let c = wilson_sound_speed(&WaterProperties { temperature_c: 10.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        assert!((c - 1489.8).abs() < 0.1, "c = {c}");
+    }
+
+    #[test]
+    fn warm_water_is_faster() {
+        let cold = wilson_sound_speed(&WaterProperties { temperature_c: 5.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        let warm = wilson_sound_speed(&WaterProperties { temperature_c: 25.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        assert!(warm > cold);
+    }
+
+    #[test]
+    fn salinity_and_depth_increase_speed() {
+        let fresh = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 0.0, depth_m: 0.0 });
+        let salty = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        assert!(salty > fresh);
+        let shallow = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        let deep = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 35.0, depth_m: 40.0 });
+        assert!(deep > shallow);
+        // The depth term is small: 40 m adds 0.68 m/s.
+        assert!((deep - shallow - 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recreational_depth_variation_is_small() {
+        // The paper: at ≤40 m the max change is ~30 m/s, i.e. ~2% of 1500.
+        let props = WaterProperties::ocean();
+        let c = wilson_sound_speed(&props);
+        assert!(c > 1400.0 && c < 1560.0);
+        assert!(speed_mismatch_error(NOMINAL_SOUND_SPEED, c) < 0.03);
+    }
+
+    #[test]
+    fn presets_are_physical() {
+        for props in [WaterProperties::default(), WaterProperties::ocean(), WaterProperties::pool()] {
+            let c = wilson_sound_speed(&props);
+            assert!(c > 1400.0 && c < 1600.0, "c = {c} for {props:?}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Unsynchronised speaker/microphone sample streams and self-calibration.
+//!
+//! The appendix of the paper explains the central low-level problem: the OS
+//! fills the microphone buffer and drains the speaker buffer independently,
+//! so sample index `m` in the microphone stream and sample index `n` in the
+//! speaker stream map to true time through *different* unknown start
+//! offsets and slightly different actual sampling rates:
+//!
+//! ```text
+//! t_s(n) = n / f_s^spk + t0_spk        t_m(m) = m / f_s^mic + t0_mic
+//! ```
+//!
+//! The device cannot observe `t0_spk` or `t0_mic`. What it can do is play a
+//! calibration signal through its own speaker at a chosen speaker index
+//! `n1`, detect it in its own microphone stream at index `m1`, and remember
+//! the offset `Δn = n1 − m1`. As long as both streams stay open, that offset
+//! stays constant, so a reply can later be scheduled at speaker index
+//! `n2 = m2 + Δn + f_s · t_reply` to leave the device exactly `t_reply`
+//! after an incoming message arrived at microphone index `m2` — which is
+//! what the distributed timestamp protocol requires.
+//!
+//! [`AudioStack`] simulates both streams with configurable per-converter
+//! clock skew (α for the speaker, β for the microphone) so the residual
+//! reply-time error derived in the appendix (Eq. 6) can be measured.
+
+use crate::{DeviceError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Nominal audio sampling rate (Hz) used by the scheduling arithmetic.
+pub const NOMINAL_SAMPLE_RATE: f64 = 44_100.0;
+
+/// Simulated speaker + microphone sample streams of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioStack {
+    /// Nominal sampling rate the software assumes (Hz).
+    pub nominal_rate: f64,
+    /// Speaker converter skew α: actual rate is `nominal / (1 − α)`.
+    pub speaker_skew: f64,
+    /// Microphone converter skew β: actual rate is `nominal / (1 − β)`.
+    pub mic_skew: f64,
+    /// True time at which speaker stream sample 0 plays (unknown to the
+    /// device software).
+    pub speaker_start_true_s: f64,
+    /// True time at which microphone stream sample 0 was captured (unknown
+    /// to the device software).
+    pub mic_start_true_s: f64,
+    /// Acoustic propagation delay from the device's own speaker to its own
+    /// microphone (δ₂ in the appendix), in seconds.
+    pub self_loopback_delay_s: f64,
+    /// Buffer offset Δn measured by the last calibration, if any.
+    pub calibrated_offset: Option<f64>,
+}
+
+impl AudioStack {
+    /// Creates an audio stack with ideal converters and aligned streams.
+    pub fn ideal() -> Self {
+        Self {
+            nominal_rate: NOMINAL_SAMPLE_RATE,
+            speaker_skew: 0.0,
+            mic_skew: 0.0,
+            speaker_start_true_s: 0.0,
+            mic_start_true_s: 0.0,
+            self_loopback_delay_s: 0.0001,
+            calibrated_offset: None,
+        }
+    }
+
+    /// Creates an audio stack with the given converter skews (dimensionless,
+    /// e.g. `40e-6` for 40 ppm) and stream start offsets in true seconds.
+    pub fn new(
+        speaker_skew: f64,
+        mic_skew: f64,
+        speaker_start_true_s: f64,
+        mic_start_true_s: f64,
+        self_loopback_delay_s: f64,
+    ) -> Result<Self> {
+        if speaker_skew.abs() >= 0.01 || mic_skew.abs() >= 0.01 {
+            return Err(DeviceError::InvalidParameter {
+                reason: "converter skew must be well below 1% (expected a few ppm)".into(),
+            });
+        }
+        if self_loopback_delay_s < 0.0 {
+            return Err(DeviceError::InvalidParameter { reason: "loopback delay must be non-negative".into() });
+        }
+        Ok(Self {
+            nominal_rate: NOMINAL_SAMPLE_RATE,
+            speaker_skew,
+            mic_skew,
+            speaker_start_true_s,
+            mic_start_true_s,
+            self_loopback_delay_s,
+            calibrated_offset: None,
+        })
+    }
+
+    /// Actual speaker sampling rate in Hz.
+    pub fn speaker_rate(&self) -> f64 {
+        self.nominal_rate / (1.0 - self.speaker_skew)
+    }
+
+    /// Actual microphone sampling rate in Hz.
+    pub fn mic_rate(&self) -> f64 {
+        self.nominal_rate / (1.0 - self.mic_skew)
+    }
+
+    /// True time at which speaker stream sample `n` is emitted.
+    pub fn speaker_index_to_true(&self, n: f64) -> f64 {
+        self.speaker_start_true_s + n / self.speaker_rate()
+    }
+
+    /// True time at which microphone stream sample `m` was captured.
+    pub fn mic_index_to_true(&self, m: f64) -> f64 {
+        self.mic_start_true_s + m / self.mic_rate()
+    }
+
+    /// Microphone stream index corresponding to a true time.
+    pub fn true_to_mic_index(&self, true_time_s: f64) -> Result<f64> {
+        let idx = (true_time_s - self.mic_start_true_s) * self.mic_rate();
+        if idx < 0.0 {
+            return Err(DeviceError::BufferRange {
+                reason: format!("true time {true_time_s} s precedes the microphone stream start"),
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Speaker stream index corresponding to a true time.
+    pub fn true_to_speaker_index(&self, true_time_s: f64) -> Result<f64> {
+        let idx = (true_time_s - self.speaker_start_true_s) * self.speaker_rate();
+        if idx < 0.0 {
+            return Err(DeviceError::BufferRange {
+                reason: format!("true time {true_time_s} s precedes the speaker stream start"),
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Runs the initial self-calibration: the device writes a calibration
+    /// signal at speaker index `n1` and detects it in its own microphone at
+    /// index `m1` (after the self-loopback delay δ₂ plus a detection error
+    /// of `detection_error_samples`). Stores and returns the offset
+    /// `Δn = n1 − m1`.
+    pub fn calibrate(&mut self, n1: f64, detection_error_samples: f64) -> Result<f64> {
+        if n1 < 0.0 {
+            return Err(DeviceError::InvalidParameter { reason: "calibration index must be non-negative".into() });
+        }
+        let emit_true = self.speaker_index_to_true(n1);
+        let arrive_true = emit_true + self.self_loopback_delay_s;
+        let m1 = self.true_to_mic_index(arrive_true)? + detection_error_samples;
+        let offset = n1 - m1;
+        self.calibrated_offset = Some(offset);
+        Ok(offset)
+    }
+
+    /// Schedules a reply: given that an incoming message was detected at
+    /// microphone index `m2`, returns the speaker index `n2` at which the
+    /// reply must be written so that the reply *arrives at this device's own
+    /// microphone* `t_reply` seconds after `m2` (Eq. 4 of the appendix).
+    ///
+    /// Requires a prior [`calibrate`](Self::calibrate) call.
+    pub fn schedule_reply(&self, m2: f64, t_reply_s: f64) -> Result<f64> {
+        let offset = self.calibrated_offset.ok_or_else(|| DeviceError::InvalidParameter {
+            reason: "schedule_reply called before calibration".into(),
+        })?;
+        if t_reply_s <= 0.0 {
+            return Err(DeviceError::InvalidParameter { reason: "reply interval must be positive".into() });
+        }
+        Ok(m2 + offset + self.nominal_rate * t_reply_s)
+    }
+
+    /// The *actual* reply interval achieved when the reply is written at
+    /// speaker index `n2` in response to a message detected at microphone
+    /// index `m2`: the true time between the incoming arrival and the moment
+    /// the reply signal reaches this device's own microphone (Eq. 2).
+    pub fn actual_reply_interval(&self, m2: f64, n2: f64) -> f64 {
+        let incoming_arrival = self.mic_index_to_true(m2);
+        let reply_emitted = self.speaker_index_to_true(n2);
+        reply_emitted + self.self_loopback_delay_s - incoming_arrival
+    }
+
+    /// Residual scheduling error for a desired reply interval, in seconds:
+    /// `actual − desired` (Eq. 6 predicts this is dominated by
+    /// `−α·t_reply + (m2 − m1)(β − α)/fs`).
+    pub fn reply_error(&self, m2: f64, t_reply_s: f64) -> Result<f64> {
+        let n2 = self.schedule_reply(m2, t_reply_s)?;
+        Ok(self.actual_reply_interval(m2, n2) - t_reply_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_stack() -> AudioStack {
+        // 30 ppm fast speaker, 10 ppm slow mic, very different stream starts.
+        AudioStack::new(30e-6, -10e-6, 0.320, 0.087, 0.0001).unwrap()
+    }
+
+    #[test]
+    fn rates_reflect_skew() {
+        let s = skewed_stack();
+        assert!(s.speaker_rate() > NOMINAL_SAMPLE_RATE);
+        assert!(s.mic_rate() < NOMINAL_SAMPLE_RATE);
+        let ideal = AudioStack::ideal();
+        assert_eq!(ideal.speaker_rate(), NOMINAL_SAMPLE_RATE);
+        assert_eq!(ideal.mic_rate(), NOMINAL_SAMPLE_RATE);
+    }
+
+    #[test]
+    fn index_time_roundtrips() {
+        let s = skewed_stack();
+        for n in [0.0, 100.0, 88_200.0] {
+            let t = s.speaker_index_to_true(n);
+            let back = s.true_to_speaker_index(t).unwrap();
+            assert!((back - n).abs() < 1e-6);
+        }
+        for m in [0.0, 441.0, 123_456.0] {
+            let t = s.mic_index_to_true(m);
+            let back = s.true_to_mic_index(t).unwrap();
+            assert!((back - m).abs() < 1e-6);
+        }
+        // Times before the stream start are rejected.
+        assert!(s.true_to_mic_index(0.0).is_err());
+        assert!(s.true_to_speaker_index(0.0).is_err());
+    }
+
+    #[test]
+    fn calibration_then_reply_is_accurate_on_ideal_hardware() {
+        let mut s = AudioStack::ideal();
+        s.calibrate(1000.0, 0.0).unwrap();
+        let t_reply = 0.6;
+        let m2 = 44_100.0; // message arrived 1 s into the mic stream
+        let err = s.reply_error(m2, t_reply).unwrap();
+        assert!(err.abs() < 1e-9, "ideal hardware should reply exactly on time, err {err}");
+    }
+
+    #[test]
+    fn reply_error_is_bounded_by_ppm_skew() {
+        let mut s = skewed_stack();
+        s.calibrate(2000.0, 0.0).unwrap();
+        // Reply 600 ms after a message that arrives 3 s into the stream.
+        let m2 = 3.0 * NOMINAL_SAMPLE_RATE;
+        let err = s.reply_error(m2, 0.6).unwrap();
+        // Appendix Eq. 6: error ≈ −α·t_reply + (m2−m1)(β−α)/fs.
+        // With tens of ppm and a few seconds this is tens of microseconds —
+        // well below a sample period (22.7 µs is one sample at 44.1 kHz,
+        // and 150 µs is ~22 cm at 1500 m/s).
+        assert!(err.abs() < 200e-6, "reply error {err}");
+        // And the error should be non-zero for skewed hardware.
+        assert!(err.abs() > 1e-9);
+    }
+
+    #[test]
+    fn reply_error_grows_with_time_since_calibration() {
+        let mut s = AudioStack::new(40e-6, -40e-6, 0.1, 0.05, 0.0001).unwrap();
+        s.calibrate(500.0, 0.0).unwrap();
+        let early = s.reply_error(1.0 * NOMINAL_SAMPLE_RATE, 0.6).unwrap().abs();
+        let late = s.reply_error(60.0 * NOMINAL_SAMPLE_RATE, 0.6).unwrap().abs();
+        assert!(late > early, "drift should accumulate: early {early}, late {late}");
+    }
+
+    #[test]
+    fn recalibration_removes_accumulated_drift() {
+        let mut s = AudioStack::new(40e-6, -40e-6, 0.1, 0.05, 0.0001).unwrap();
+        s.calibrate(500.0, 0.0).unwrap();
+        let late_m2 = 60.0 * NOMINAL_SAMPLE_RATE;
+        let drifted = s.reply_error(late_m2, 0.6).unwrap().abs();
+        // Re-calibrate at a speaker index around the same wall-clock time as
+        // the late message (the paper re-uses the device's own response
+        // signal for this).
+        let n_recal = s.true_to_speaker_index(s.mic_index_to_true(late_m2)).unwrap();
+        s.calibrate(n_recal, 0.0).unwrap();
+        let fresh = s.reply_error(late_m2, 0.6).unwrap().abs();
+        assert!(fresh < drifted, "recalibration should reduce error: {fresh} vs {drifted}");
+    }
+
+    #[test]
+    fn detection_error_propagates_to_offset() {
+        let mut a = AudioStack::ideal();
+        let mut b = AudioStack::ideal();
+        let clean = a.calibrate(1000.0, 0.0).unwrap();
+        let noisy = b.calibrate(1000.0, 2.0).unwrap();
+        assert!((clean - noisy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(AudioStack::new(0.5, 0.0, 0.0, 0.0, 0.0).is_err());
+        assert!(AudioStack::new(0.0, 0.0, 0.0, 0.0, -1.0).is_err());
+        let mut s = AudioStack::ideal();
+        assert!(s.schedule_reply(100.0, 0.6).is_err()); // not calibrated
+        assert!(s.calibrate(-5.0, 0.0).is_err());
+        s.calibrate(100.0, 0.0).unwrap();
+        assert!(s.schedule_reply(100.0, 0.0).is_err());
+        assert!(s.schedule_reply(100.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! # uw-device — smart-device model
+//!
+//! The paper runs on commodity Android phones and the Apple Watch Ultra.
+//! This crate models the parts of those devices that matter for underwater
+//! ranging and localization, so the rest of the workspace can run
+//! waveform-accurately without hardware:
+//!
+//! * [`clock`] — per-device local clocks with parts-per-million skew and an
+//!   arbitrary offset; no global clock exists underwater.
+//! * [`audio`] — the unsynchronised speaker/microphone sample streams the
+//!   appendix describes, with the self-calibration procedure that measures
+//!   the buffer offset Δn and schedules replies at exact sample indices.
+//! * [`sensors`] — pressure-sensor depth estimation (with noise and the
+//!   0.2 m quantisation used by the communication payload), the smartwatch
+//!   depth gauge, and device orientation.
+//! * [`mobility`] — trajectories for static, swept and oscillating devices
+//!   (the rope/pole experiments and the moving-diver evaluations).
+//! * [`device`] — [`device::SmartDevice`] ties the pieces together, adds the
+//!   dual-microphone geometry (16 cm separation) and per-model presets for
+//!   the phones the paper tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod clock;
+pub mod device;
+pub mod mobility;
+pub mod sensors;
+
+pub use device::{DeviceId, DeviceModel, SmartDevice};
+
+/// Errors produced by the device layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A configuration value was out of range.
+    InvalidParameter {
+        /// Description of the offending parameter.
+        reason: String,
+    },
+    /// An audio-buffer operation referenced samples that do not exist yet.
+    BufferRange {
+        /// Description of the range problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            DeviceError::BufferRange { reason } => write!(f, "buffer range error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Convenience result alias for the device layer.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = DeviceError::InvalidParameter { reason: "negative ppm bound".into() };
+        assert!(e.to_string().contains("negative ppm bound"));
+        let e = DeviceError::BufferRange { reason: "index before stream start".into() };
+        assert!(e.to_string().contains("index before stream start"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Device mobility: trajectories for the paper's motion experiments.
+//!
+//! The evaluation moves devices in two ways:
+//!
+//! * a phone on an extension pole swept **linearly** along the dock at
+//!   32–56 cm/s (Fig. 15), and
+//! * a phone on a rope moved **back and forth** around its original position
+//!   at 15–50 cm/s while its orientation keeps changing (Fig. 20).
+//!
+//! [`Trajectory`] provides those motion patterns (plus static placement) as
+//! pure functions of time so every subsystem sees a consistent ground-truth
+//! position.
+
+use serde::{Deserialize, Serialize};
+use uw_channel::geometry::Point3;
+
+/// A deterministic motion pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trajectory {
+    /// The device does not move.
+    Static {
+        /// Fixed position.
+        position: Point3,
+    },
+    /// Constant-velocity motion starting at `start`.
+    Linear {
+        /// Position at `t = 0`.
+        start: Point3,
+        /// Velocity vector in m/s.
+        velocity: Point3,
+    },
+    /// Sinusoidal back-and-forth motion around `center` along `direction`.
+    Oscillating {
+        /// Centre of the oscillation (also the position at `t = 0` ±
+        /// phase).
+        center: Point3,
+        /// Unit-ish direction of the oscillation (not required to be
+        /// normalised; amplitude scales it).
+        direction: Point3,
+        /// Peak displacement from the centre in metres.
+        amplitude_m: f64,
+        /// Oscillation period in seconds.
+        period_s: f64,
+    },
+}
+
+impl Trajectory {
+    /// Convenience constructor for a static device.
+    pub fn fixed(position: Point3) -> Self {
+        Trajectory::Static { position }
+    }
+
+    /// Ground-truth position at time `t` seconds.
+    pub fn position_at(&self, t: f64) -> Point3 {
+        match self {
+            Trajectory::Static { position } => *position,
+            Trajectory::Linear { start, velocity } => start.add(&velocity.scale(t)),
+            Trajectory::Oscillating { center, direction, amplitude_m, period_s } => {
+                let phase = 2.0 * std::f64::consts::PI * t / period_s.max(1e-9);
+                let norm = direction.norm().max(1e-12);
+                let unit = direction.scale(1.0 / norm);
+                center.add(&unit.scale(amplitude_m * phase.sin()))
+            }
+        }
+    }
+
+    /// Instantaneous speed at time `t` in m/s (numerically exact for the
+    /// closed forms used here).
+    pub fn speed_at(&self, t: f64) -> f64 {
+        match self {
+            Trajectory::Static { .. } => 0.0,
+            Trajectory::Linear { velocity, .. } => velocity.norm(),
+            Trajectory::Oscillating { amplitude_m, period_s, .. } => {
+                let omega = 2.0 * std::f64::consts::PI / period_s.max(1e-9);
+                (amplitude_m * omega * (omega * t).cos()).abs()
+            }
+        }
+    }
+
+    /// Mean speed over the interval `[0, duration]`, estimated from the path
+    /// length at a 10 ms resolution.
+    pub fn mean_speed(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        let dt = 0.01;
+        let steps = (duration_s / dt).ceil() as usize;
+        let mut length = 0.0;
+        let mut prev = self.position_at(0.0);
+        for k in 1..=steps {
+            let t = (k as f64 * dt).min(duration_s);
+            let p = self.position_at(t);
+            length += prev.distance(&p);
+            prev = p;
+        }
+        length / duration_s
+    }
+
+    /// Midpoint of the trajectory over `[0, duration]` — the paper uses the
+    /// trajectory midpoint as the ground truth for moving devices (Fig. 20).
+    pub fn midpoint(&self, duration_s: f64) -> Point3 {
+        match self {
+            Trajectory::Static { position } => *position,
+            Trajectory::Linear { .. } => {
+                let a = self.position_at(0.0);
+                let b = self.position_at(duration_s);
+                a.add(&b).scale(0.5)
+            }
+            Trajectory::Oscillating { center, .. } => *center,
+        }
+    }
+}
+
+/// Builds the paper's Fig. 15 sweep: linear motion parallel to the coast at
+/// the given speed (cm/s), starting at `start` and moving along +y.
+pub fn dock_sweep(start: Point3, speed_cm_s: f64) -> Trajectory {
+    Trajectory::Linear { start, velocity: Point3::new(0.0, speed_cm_s / 100.0, 0.0) }
+}
+
+/// Builds the paper's Fig. 20 motion: back-and-forth around the original
+/// position with roughly the requested peak speed (cm/s).
+pub fn rope_oscillation(center: Point3, peak_speed_cm_s: f64) -> Trajectory {
+    // Peak speed of A·sin(ωt) motion is A·ω. Pick a 1.5 m amplitude (a rope
+    // swings about that much) and derive the period.
+    let amplitude = 1.5;
+    let omega = (peak_speed_cm_s / 100.0) / amplitude;
+    let period = 2.0 * std::f64::consts::PI / omega.max(1e-9);
+    Trajectory::Oscillating {
+        center,
+        direction: Point3::new(1.0, 0.0, 0.0),
+        amplitude_m: amplitude,
+        period_s: period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_trajectory_never_moves() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let t = Trajectory::fixed(p);
+        assert_eq!(t.position_at(0.0), p);
+        assert_eq!(t.position_at(100.0), p);
+        assert_eq!(t.speed_at(5.0), 0.0);
+        assert_eq!(t.mean_speed(10.0), 0.0);
+        assert_eq!(t.midpoint(10.0), p);
+    }
+
+    #[test]
+    fn linear_trajectory_speed_and_midpoint() {
+        let t = dock_sweep(Point3::new(0.0, 0.0, 2.0), 32.0);
+        assert!((t.speed_at(3.0) - 0.32).abs() < 1e-12);
+        assert!((t.mean_speed(10.0) - 0.32).abs() < 1e-3);
+        let p = t.position_at(10.0);
+        assert!((p.y - 3.2).abs() < 1e-12);
+        assert_eq!(p.z, 2.0);
+        let mid = t.midpoint(10.0);
+        assert!((mid.y - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillation_stays_within_amplitude() {
+        let center = Point3::new(5.0, 5.0, 2.0);
+        let t = rope_oscillation(center, 50.0);
+        for k in 0..500 {
+            let p = t.position_at(k as f64 * 0.1);
+            assert!(p.distance(&center) <= 1.5 + 1e-9);
+            assert_eq!(p.y, center.y);
+            assert_eq!(p.z, center.z);
+        }
+        assert_eq!(t.midpoint(60.0), center);
+    }
+
+    #[test]
+    fn oscillation_peak_speed_matches_request() {
+        let t = rope_oscillation(Point3::ORIGIN, 50.0);
+        // Peak of |cos| is at t = 0 for the sine motion.
+        assert!((t.speed_at(0.0) - 0.5).abs() < 1e-9);
+        // Mean speed of sinusoidal motion is 2/π of the peak ≈ 0.318.
+        let mean = t.mean_speed(120.0);
+        assert!((mean - 0.318).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn mobility_speeds_cover_paper_range() {
+        // The paper evaluates 15–56 cm/s; make sure both builders can hit
+        // the endpoints.
+        let slow = rope_oscillation(Point3::ORIGIN, 15.0);
+        let fast = dock_sweep(Point3::ORIGIN, 56.0);
+        assert!((slow.speed_at(0.0) - 0.15).abs() < 1e-9);
+        assert!((fast.speed_at(0.0) - 0.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_durations() {
+        let t = dock_sweep(Point3::ORIGIN, 30.0);
+        assert_eq!(t.mean_speed(0.0), 0.0);
+        assert_eq!(t.mean_speed(-5.0), 0.0);
+    }
+}

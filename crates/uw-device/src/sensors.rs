@@ -1,0 +1,251 @@
+//! On-device sensors: pressure-based depth, smartwatch depth gauge and
+//! orientation.
+//!
+//! Android phones have no dive depth gauge, so the paper estimates depth
+//! from the barometric pressure sensor with the hydrostatic relation
+//! `h = (P − P0) / (ρ g)` (§3.1). The Apple Watch Ultra has a dedicated
+//! depth gauge with roughly 3× lower error (0.15 m vs 0.42 m average in
+//! Fig. 13b). Depth is then quantised to 0.2 m for transmission (§2.4).
+
+use crate::{DeviceError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Density of fresh water used in the paper's conversion (kg/m³).
+pub const WATER_DENSITY: f64 = 997.0;
+
+/// Gravitational acceleration (m/s²).
+pub const GRAVITY: f64 = 9.81;
+
+/// Atmospheric pressure at sea level (Pa).
+pub const ATMOSPHERIC_PRESSURE: f64 = 101_325.0;
+
+/// Depth quantisation step used in the report payload (m).
+pub const DEPTH_QUANTIZATION_M: f64 = 0.2;
+
+/// Maximum depth representable in the 8-bit report field (m).
+pub const MAX_REPORT_DEPTH_M: f64 = 40.0;
+
+/// Converts an absolute pressure reading in Pascals to depth in metres.
+pub fn pressure_to_depth(pressure_pa: f64) -> f64 {
+    ((pressure_pa - ATMOSPHERIC_PRESSURE) / (WATER_DENSITY * GRAVITY)).max(0.0)
+}
+
+/// Converts a depth in metres to the absolute pressure in Pascals.
+pub fn depth_to_pressure(depth_m: f64) -> f64 {
+    ATMOSPHERIC_PRESSURE + WATER_DENSITY * GRAVITY * depth_m.max(0.0)
+}
+
+/// Quantises a depth to the 0.2 m payload resolution and clamps to the
+/// representable range.
+pub fn quantize_depth(depth_m: f64) -> f64 {
+    let clamped = depth_m.clamp(0.0, MAX_REPORT_DEPTH_M);
+    (clamped / DEPTH_QUANTIZATION_M).round() * DEPTH_QUANTIZATION_M
+}
+
+/// Encodes a depth as the 8-bit field used in the report payload.
+pub fn encode_depth(depth_m: f64) -> u8 {
+    let clamped = depth_m.clamp(0.0, MAX_REPORT_DEPTH_M);
+    ((clamped / DEPTH_QUANTIZATION_M).round() as u16).min(u8::MAX as u16) as u8
+}
+
+/// Decodes the 8-bit depth field back to metres.
+pub fn decode_depth(code: u8) -> f64 {
+    code as f64 * DEPTH_QUANTIZATION_M
+}
+
+/// Kind of depth sensor fitted to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DepthSensorKind {
+    /// Smartphone barometric pressure sensor inside a waterproof pouch
+    /// (average error ≈ 0.42 m in the paper).
+    PhonePressure,
+    /// Dedicated dive depth gauge (Apple Watch Ultra, average error ≈ 0.15 m).
+    WatchDepthGauge,
+}
+
+impl DepthSensorKind {
+    /// One-sigma measurement noise in metres.
+    pub fn noise_sigma_m(&self) -> f64 {
+        match self {
+            DepthSensorKind::PhonePressure => 0.42,
+            DepthSensorKind::WatchDepthGauge => 0.15,
+        }
+    }
+}
+
+/// A depth sensor with Gaussian noise and a constant bias.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthSensor {
+    /// Which hardware this models.
+    pub kind: DepthSensorKind,
+    /// Constant bias in metres (calibration residual).
+    pub bias_m: f64,
+}
+
+impl DepthSensor {
+    /// Creates a sensor of the given kind with zero bias.
+    pub fn new(kind: DepthSensorKind) -> Self {
+        Self { kind, bias_m: 0.0 }
+    }
+
+    /// Simulates one measurement of the true depth.
+    pub fn measure<R: Rng>(&self, true_depth_m: f64, rng: &mut R) -> Result<f64> {
+        if true_depth_m < 0.0 {
+            return Err(DeviceError::InvalidParameter { reason: "true depth must be non-negative".into() });
+        }
+        let sigma = self.kind.noise_sigma_m();
+        // Box–Muller Gaussian noise.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        Ok((true_depth_m + self.bias_m + sigma * g).max(0.0))
+    }
+
+    /// Simulates a measurement for the phone pressure path: depth → pressure
+    /// → noisy pressure → depth, mirroring how the real pipeline works.
+    pub fn measure_via_pressure<R: Rng>(&self, true_depth_m: f64, rng: &mut R) -> Result<f64> {
+        if true_depth_m < 0.0 {
+            return Err(DeviceError::InvalidParameter { reason: "true depth must be non-negative".into() });
+        }
+        let true_pressure = depth_to_pressure(true_depth_m);
+        let sigma_pa = self.kind.noise_sigma_m() * WATER_DENSITY * GRAVITY;
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let measured_pressure = true_pressure + self.bias_m * WATER_DENSITY * GRAVITY + sigma_pa * g;
+        Ok(pressure_to_depth(measured_pressure))
+    }
+}
+
+/// Device orientation: azimuth (heading in the horizontal plane) and polar
+/// angle (tilt from straight down), both in radians. Used for the
+/// speaker/microphone directivity experiments (Fig. 14a) and for the
+/// leader's pointing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Orientation {
+    /// Azimuth in radians, measured counter-clockwise from the +x axis.
+    pub azimuth_rad: f64,
+    /// Polar angle in radians; 0 points the speaker horizontally forward,
+    /// π/2 points it upward toward the surface.
+    pub polar_rad: f64,
+}
+
+impl Orientation {
+    /// Creates an orientation from degrees.
+    pub fn from_degrees(azimuth_deg: f64, polar_deg: f64) -> Self {
+        Self { azimuth_rad: azimuth_deg.to_radians(), polar_rad: polar_deg.to_radians() }
+    }
+
+    /// Extra transmission loss in dB caused by speaker/mic directivity when
+    /// the device is rotated away from the receiver by `angle_off_axis_rad`.
+    /// Phones are roughly omnidirectional underwater but the pouch and body
+    /// shadowing cost a few dB at 90–180°, and pointing at the surface adds
+    /// near-surface multipath (handled by the channel, not here).
+    pub fn directivity_loss_db(angle_off_axis_rad: f64) -> f64 {
+        // Smooth cardioid-like pattern: 0 dB on-axis, ~4 dB at 90°, ~6 dB at 180°.
+        let x = (1.0 - angle_off_axis_rad.cos()) / 2.0; // 0 at 0°, 1 at 180°
+        6.0 * x.powf(0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pressure_depth_roundtrip() {
+        for d in [0.0, 1.0, 2.5, 9.0, 40.0] {
+            let p = depth_to_pressure(d);
+            assert!((pressure_to_depth(p) - d).abs() < 1e-9);
+        }
+        // 1 m of water is about 9.78 kPa above atmospheric.
+        assert!((depth_to_pressure(1.0) - ATMOSPHERIC_PRESSURE - 9780.57).abs() < 1.0);
+        // Below-atmospheric pressure clamps to zero depth.
+        assert_eq!(pressure_to_depth(50_000.0), 0.0);
+    }
+
+    #[test]
+    fn depth_quantisation_and_encoding() {
+        assert!((quantize_depth(1.23) - 1.2).abs() < 1e-9);
+        assert!((quantize_depth(1.31) - 1.4).abs() < 1e-9);
+        assert_eq!(quantize_depth(-3.0), 0.0);
+        assert_eq!(quantize_depth(100.0), 40.0);
+        // 8-bit encode/decode round-trips to within half a step.
+        for d in [0.0, 0.2, 5.3, 17.77, 39.9, 40.0] {
+            let code = encode_depth(d);
+            let back = decode_depth(code);
+            assert!((back - d).abs() <= DEPTH_QUANTIZATION_M / 2.0 + 1e-9, "d {d} back {back}");
+        }
+        // 40 m fits in 8 bits: 40 / 0.2 = 200 < 256.
+        assert_eq!(encode_depth(40.0), 200);
+    }
+
+    #[test]
+    fn watch_is_more_accurate_than_phone() {
+        let watch = DepthSensor::new(DepthSensorKind::WatchDepthGauge);
+        let phone = DepthSensor::new(DepthSensorKind::PhonePressure);
+        let mut rng = StdRng::seed_from_u64(1);
+        let true_depth = 5.0;
+        let n = 3000;
+        let mean_abs_err = |sensor: &DepthSensor, rng: &mut StdRng| {
+            (0..n)
+                .map(|_| (sensor.measure(true_depth, rng).unwrap() - true_depth).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let watch_err = mean_abs_err(&watch, &mut rng);
+        let phone_err = mean_abs_err(&phone, &mut rng);
+        assert!(watch_err < phone_err, "watch {watch_err} vs phone {phone_err}");
+        // Mean absolute error of a Gaussian is sigma·sqrt(2/π) ≈ 0.8·sigma.
+        assert!((watch_err - 0.12).abs() < 0.05, "watch err {watch_err}");
+        assert!((phone_err - 0.335).abs() < 0.08, "phone err {phone_err}");
+    }
+
+    #[test]
+    fn pressure_path_matches_direct_path_statistics() {
+        let phone = DepthSensor::new(DepthSensorKind::PhonePressure);
+        let mut rng = StdRng::seed_from_u64(2);
+        let true_depth = 3.0;
+        let n = 2000;
+        let errs: Vec<f64> = (0..n)
+            .map(|_| phone.measure_via_pressure(true_depth, &mut rng).unwrap() - true_depth)
+            .collect();
+        let mean = errs.iter().sum::<f64>() / n as f64;
+        let std = (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((std - 0.42).abs() < 0.08, "std {std}");
+    }
+
+    #[test]
+    fn sensors_reject_negative_depth() {
+        let s = DepthSensor::new(DepthSensorKind::PhonePressure);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(s.measure(-1.0, &mut rng).is_err());
+        assert!(s.measure_via_pressure(-1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn measurements_never_go_negative() {
+        let s = DepthSensor::new(DepthSensorKind::PhonePressure);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(s.measure(0.1, &mut rng).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn orientation_directivity_monotone() {
+        let on_axis = Orientation::directivity_loss_db(0.0);
+        let side = Orientation::directivity_loss_db(std::f64::consts::FRAC_PI_2);
+        let behind = Orientation::directivity_loss_db(std::f64::consts::PI);
+        assert!(on_axis.abs() < 1e-9);
+        assert!(side > on_axis && behind > side);
+        assert!(behind <= 6.0 + 1e-9);
+        let o = Orientation::from_degrees(90.0, 180.0);
+        assert!((o.azimuth_rad - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((o.polar_rad - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Linear chirps and FMCW sweeps.
+//!
+//! These waveforms implement the two baselines the paper compares against
+//! (Fig. 12):
+//!
+//! * **BeepBeep** [Peng et al., SenSys'07] transmits a linear chirp and
+//!   detects it with correlation plus a window-based power threshold.
+//! * **CAT** [Mao et al., MobiCom'16] uses FMCW: the receiver mixes the
+//!   received sweep with the transmitted sweep and reads the range from the
+//!   beat frequency.
+//!
+//! Both are generated here with the same duration and bandwidth as the
+//! ZC-OFDM preamble so the comparison is fair, exactly as §3.1 does.
+
+use crate::{DspError, Result};
+
+/// Parameters of a linear chirp / FMCW sweep.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChirpConfig {
+    /// Audio sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Start frequency in Hz.
+    pub f_start_hz: f64,
+    /// End frequency in Hz.
+    pub f_end_hz: f64,
+    /// Sweep duration in seconds.
+    pub duration_s: f64,
+}
+
+impl ChirpConfig {
+    /// A chirp occupying the same band and duration as the paper's
+    /// default OFDM preamble (1–5 kHz, ~223 ms).
+    pub fn matched_to_preamble() -> Self {
+        Self {
+            sample_rate: crate::SAMPLE_RATE,
+            f_start_hz: crate::BAND_LOW_HZ,
+            f_end_hz: crate::BAND_HIGH_HZ,
+            duration_s: 4.0 * (1920.0 + 540.0) / crate::SAMPLE_RATE,
+        }
+    }
+
+    /// Number of samples in the sweep.
+    pub fn len(&self) -> usize {
+        (self.duration_s * self.sample_rate).round() as usize
+    }
+
+    /// Returns true when the sweep would contain no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sweep slope in Hz per second.
+    pub fn slope_hz_per_s(&self) -> f64 {
+        (self.f_end_hz - self.f_start_hz) / self.duration_s
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.sample_rate <= 0.0 {
+            return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+        }
+        if self.duration_s <= 0.0 {
+            return Err(DspError::InvalidParameter { reason: "chirp duration must be positive" });
+        }
+        if self.f_start_hz <= 0.0 || self.f_end_hz <= 0.0 {
+            return Err(DspError::InvalidParameter { reason: "chirp frequencies must be positive" });
+        }
+        if self.f_start_hz.max(self.f_end_hz) >= self.sample_rate / 2.0 {
+            return Err(DspError::InvalidParameter { reason: "chirp exceeds Nyquist frequency" });
+        }
+        Ok(())
+    }
+}
+
+/// Generates a unit-amplitude linear chirp.
+pub fn linear_chirp(config: &ChirpConfig) -> Result<Vec<f64>> {
+    config.validate()?;
+    let n = config.len();
+    let k = config.slope_hz_per_s();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / config.sample_rate;
+        let phase = 2.0 * std::f64::consts::PI * (config.f_start_hz * t + 0.5 * k * t * t);
+        out.push(phase.sin());
+    }
+    Ok(out)
+}
+
+/// Mixes (multiplies) a received FMCW sweep with the reference sweep and
+/// returns the product signal whose dominant beat frequency encodes the
+/// delay. Inputs must be equal length.
+pub fn fmcw_mix(received: &[f64], reference: &[f64]) -> Result<Vec<f64>> {
+    if received.len() != reference.len() || received.is_empty() {
+        return Err(DspError::InvalidLength { reason: "FMCW mix requires equal-length, non-empty inputs" });
+    }
+    Ok(received.iter().zip(reference.iter()).map(|(r, s)| r * s).collect())
+}
+
+/// Estimates the beat frequency (Hz) of an FMCW mixed signal by locating
+/// the dominant low-frequency bin of its spectrum.
+///
+/// `max_beat_hz` limits the search range (it corresponds to the maximum
+/// expected delay), keeping the image at `f1 + f2` out of the search.
+pub fn fmcw_beat_frequency(mixed: &[f64], sample_rate: f64, max_beat_hz: f64) -> Result<f64> {
+    if mixed.is_empty() {
+        return Err(DspError::InvalidLength { reason: "mixed signal must be non-empty" });
+    }
+    if sample_rate <= 0.0 || max_beat_hz <= 0.0 {
+        return Err(DspError::InvalidParameter { reason: "rates must be positive" });
+    }
+    let n_fft = crate::fft::next_pow2(mixed.len().max(8));
+    let spec = crate::fft::rfft(mixed, n_fft)?;
+    let max_bin = crate::fft::bin_for_freq(max_beat_hz, n_fft, sample_rate).max(2);
+    let mut best_bin = 1usize;
+    let mut best_mag = 0.0;
+    for (bin, c) in spec.iter().enumerate().take(max_bin).skip(1) {
+        let m = c.norm_sqr();
+        if m > best_mag {
+            best_mag = m;
+            best_bin = bin;
+        }
+    }
+    Ok(crate::fft::freq_for_bin(best_bin, n_fft, sample_rate))
+}
+
+/// Converts an FMCW beat frequency into a propagation delay in seconds.
+pub fn beat_to_delay(beat_hz: f64, config: &ChirpConfig) -> f64 {
+    beat_hz / config.slope_hz_per_s().abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_config_is_valid() {
+        let c = ChirpConfig::matched_to_preamble();
+        c.validate().unwrap();
+        assert_eq!(c.len(), 4 * (1920 + 540));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let base = ChirpConfig::matched_to_preamble();
+        assert!(ChirpConfig { sample_rate: -1.0, ..base }.validate().is_err());
+        assert!(ChirpConfig { duration_s: 0.0, ..base }.validate().is_err());
+        assert!(ChirpConfig { f_start_hz: 0.0, ..base }.validate().is_err());
+        assert!(ChirpConfig { f_end_hz: 40_000.0, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn chirp_is_unit_amplitude_and_correct_length() {
+        let c = ChirpConfig::matched_to_preamble();
+        let chirp = linear_chirp(&c).unwrap();
+        assert_eq!(chirp.len(), c.len());
+        assert!(chirp.iter().all(|s| s.abs() <= 1.0 + 1e-12));
+        let energy: f64 = chirp.iter().map(|s| s * s).sum::<f64>() / chirp.len() as f64;
+        assert!((energy - 0.5).abs() < 0.05, "mean power of a sinusoidal sweep should be ~0.5, got {energy}");
+    }
+
+    #[test]
+    fn fmcw_detects_known_delay() {
+        let c = ChirpConfig {
+            sample_rate: 44_100.0,
+            f_start_hz: 1000.0,
+            f_end_hz: 5000.0,
+            duration_s: 0.2,
+        };
+        let reference = linear_chirp(&c).unwrap();
+        let delay_samples = 441usize; // 10 ms => ~15 m underwater
+        // Delayed copy: shift right, keep equal length.
+        let mut received = vec![0.0; reference.len()];
+        for i in delay_samples..reference.len() {
+            received[i] = reference[i - delay_samples];
+        }
+        let mixed = fmcw_mix(&received, &reference).unwrap();
+        let beat = fmcw_beat_frequency(&mixed, c.sample_rate, 2000.0).unwrap();
+        let delay = beat_to_delay(beat, &c);
+        let expected = delay_samples as f64 / c.sample_rate;
+        // FMCW resolution is bandwidth-limited; accept 15% error here.
+        assert!((delay - expected).abs() < 0.15 * expected + 1e-3, "delay {delay} vs {expected}");
+    }
+
+    #[test]
+    fn fmcw_mix_rejects_mismatched_lengths() {
+        assert!(fmcw_mix(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(fmcw_mix(&[], &[]).is_err());
+        assert!(fmcw_beat_frequency(&[], 44_100.0, 100.0).is_err());
+        assert!(fmcw_beat_frequency(&[1.0], -1.0, 100.0).is_err());
+    }
+}

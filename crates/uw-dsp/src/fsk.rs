@@ -1,0 +1,348 @@
+//! FSK data modulation and MFSK device-ID encoding.
+//!
+//! Two distinct uses in the paper:
+//!
+//! * **MFSK device IDs** (§2.3): the 1–5 kHz band is divided into `N` bins
+//!   (one per device). To announce ID `i`, the transmitter puts energy only
+//!   in bin `i`. The receiver decodes with a maximum-likelihood rule —
+//!   whichever bin carries the most energy wins.
+//! * **FSK report payloads** (§2.4): the 1–5 kHz band is divided into `N`
+//!   sub-bands, one per device, so all devices can transmit their timestamp
+//!   reports to the leader simultaneously. Inside its sub-band each device
+//!   sends binary FSK at roughly 100 bit/s.
+
+use crate::{DspError, Result};
+
+/// A contiguous frequency band.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Band {
+    /// Lower edge (Hz).
+    pub low_hz: f64,
+    /// Upper edge (Hz).
+    pub high_hz: f64,
+}
+
+impl Band {
+    /// Band width in Hz.
+    pub fn width(&self) -> f64 {
+        self.high_hz - self.low_hz
+    }
+
+    /// Centre frequency in Hz.
+    pub fn center(&self) -> f64 {
+        (self.high_hz + self.low_hz) / 2.0
+    }
+
+    /// Returns true when `freq_hz` lies inside the band.
+    pub fn contains(&self, freq_hz: f64) -> bool {
+        freq_hz >= self.low_hz && freq_hz < self.high_hz
+    }
+}
+
+/// Splits `[low, high]` into `n` equal sub-bands.
+pub fn split_band(low_hz: f64, high_hz: f64, n: usize) -> Result<Vec<Band>> {
+    if n == 0 {
+        return Err(DspError::InvalidParameter { reason: "cannot split a band into zero sub-bands" });
+    }
+    if high_hz <= low_hz {
+        return Err(DspError::InvalidParameter { reason: "band edges must satisfy low < high" });
+    }
+    let step = (high_hz - low_hz) / n as f64;
+    Ok((0..n)
+        .map(|i| Band { low_hz: low_hz + i as f64 * step, high_hz: low_hz + (i + 1) as f64 * step })
+        .collect())
+}
+
+/// Configuration for binary FSK inside one sub-band.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FskConfig {
+    /// Audio sampling rate (Hz).
+    pub sample_rate: f64,
+    /// Sub-band used by this transmitter.
+    pub band: Band,
+    /// Symbol (bit) duration in seconds.
+    pub bit_duration_s: f64,
+}
+
+impl FskConfig {
+    /// Creates a config for device `device_id` out of `n_devices`, sharing
+    /// the 1–5 kHz band at the paper's ~100 bit/s per device.
+    pub fn for_device(device_id: usize, n_devices: usize) -> Result<Self> {
+        let bands = split_band(crate::BAND_LOW_HZ, crate::BAND_HIGH_HZ, n_devices)?;
+        let band = *bands.get(device_id).ok_or(DspError::InvalidParameter {
+            reason: "device id exceeds the number of allocated sub-bands",
+        })?;
+        Ok(Self { sample_rate: crate::SAMPLE_RATE, band, bit_duration_s: 0.01 })
+    }
+
+    /// Samples per bit.
+    pub fn samples_per_bit(&self) -> usize {
+        (self.bit_duration_s * self.sample_rate).round() as usize
+    }
+
+    /// Mark (bit = 1) frequency: upper quarter of the sub-band.
+    pub fn mark_hz(&self) -> f64 {
+        self.band.low_hz + 0.75 * self.band.width()
+    }
+
+    /// Space (bit = 0) frequency: lower quarter of the sub-band.
+    pub fn space_hz(&self) -> f64 {
+        self.band.low_hz + 0.25 * self.band.width()
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.sample_rate <= 0.0 {
+            return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+        }
+        if self.band.width() <= 0.0 {
+            return Err(DspError::InvalidParameter { reason: "FSK band must have positive width" });
+        }
+        if self.band.high_hz >= self.sample_rate / 2.0 {
+            return Err(DspError::InvalidParameter { reason: "FSK band exceeds Nyquist frequency" });
+        }
+        if self.samples_per_bit() < 8 {
+            return Err(DspError::InvalidParameter { reason: "bit duration too short for the sampling rate" });
+        }
+        Ok(())
+    }
+}
+
+/// Modulates a bit sequence as binary FSK, with phase continuity across bit
+/// boundaries to limit spectral splatter.
+pub fn fsk_modulate(config: &FskConfig, bits: &[bool]) -> Result<Vec<f64>> {
+    config.validate()?;
+    let spb = config.samples_per_bit();
+    let mut out = Vec::with_capacity(bits.len() * spb);
+    let mut phase = 0.0f64;
+    for &bit in bits {
+        let freq = if bit { config.mark_hz() } else { config.space_hz() };
+        let dphase = 2.0 * std::f64::consts::PI * freq / config.sample_rate;
+        for _ in 0..spb {
+            out.push(phase.sin());
+            phase += dphase;
+            if phase > 2.0 * std::f64::consts::PI {
+                phase -= 2.0 * std::f64::consts::PI;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Demodulates binary FSK by non-coherent energy comparison (Goertzel-style
+/// single-bin DFT at the mark and space frequencies for each bit window).
+pub fn fsk_demodulate(config: &FskConfig, samples: &[f64], n_bits: usize) -> Result<Vec<bool>> {
+    config.validate()?;
+    let spb = config.samples_per_bit();
+    if samples.len() < n_bits * spb {
+        return Err(DspError::InvalidLength { reason: "sample buffer shorter than the requested bits" });
+    }
+    let mut bits = Vec::with_capacity(n_bits);
+    for k in 0..n_bits {
+        let window = &samples[k * spb..(k + 1) * spb];
+        let mark = tone_energy(window, config.mark_hz(), config.sample_rate);
+        let space = tone_energy(window, config.space_hz(), config.sample_rate);
+        bits.push(mark > space);
+    }
+    Ok(bits)
+}
+
+/// Energy of a single frequency in a window (magnitude of the DFT at that
+/// frequency, computed directly).
+pub fn tone_energy(window: &[f64], freq_hz: f64, sample_rate: f64) -> f64 {
+    let mut re = 0.0;
+    let mut im = 0.0;
+    let w = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+    for (n, &s) in window.iter().enumerate() {
+        let angle = w * n as f64;
+        re += s * angle.cos();
+        im += s * angle.sin();
+    }
+    re * re + im * im
+}
+
+/// MFSK device-ID codec: the 1–5 kHz band is split into `n_devices` bins and
+/// device `i` transmits a tone at the centre of bin `i`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MfskIdCodec {
+    /// Audio sampling rate (Hz).
+    pub sample_rate: f64,
+    /// Number of devices (and hence bins).
+    pub n_devices: usize,
+    /// Tone duration in seconds.
+    pub duration_s: f64,
+}
+
+impl MfskIdCodec {
+    /// Creates a codec for a dive group of `n_devices`.
+    pub fn new(n_devices: usize) -> Result<Self> {
+        if n_devices == 0 {
+            return Err(DspError::InvalidParameter { reason: "need at least one device" });
+        }
+        Ok(Self { sample_rate: crate::SAMPLE_RATE, n_devices, duration_s: 0.05 })
+    }
+
+    /// The sub-band assigned to `device_id`.
+    pub fn band_for(&self, device_id: usize) -> Result<Band> {
+        let bands = split_band(crate::BAND_LOW_HZ, crate::BAND_HIGH_HZ, self.n_devices)?;
+        bands.get(device_id).copied().ok_or(DspError::InvalidParameter {
+            reason: "device id exceeds the number of MFSK bins",
+        })
+    }
+
+    /// Number of samples in one encoded ID tone.
+    pub fn tone_len(&self) -> usize {
+        (self.duration_s * self.sample_rate).round() as usize
+    }
+
+    /// Encodes a device ID as a tone in its bin.
+    pub fn encode(&self, device_id: usize) -> Result<Vec<f64>> {
+        let band = self.band_for(device_id)?;
+        let freq = band.center();
+        let n = self.tone_len();
+        Ok((0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / self.sample_rate).sin())
+            .collect())
+    }
+
+    /// Decodes a device ID by maximum-likelihood bin-energy comparison.
+    /// Returns the winning ID and the ratio of best to second-best energy
+    /// (a confidence measure ≥ 1).
+    pub fn decode(&self, samples: &[f64]) -> Result<(usize, f64)> {
+        if samples.is_empty() {
+            return Err(DspError::InvalidLength { reason: "cannot decode an empty ID tone" });
+        }
+        let mut energies = Vec::with_capacity(self.n_devices);
+        for id in 0..self.n_devices {
+            let band = self.band_for(id)?;
+            energies.push(tone_energy(samples, band.center(), self.sample_rate));
+        }
+        let (best_id, &best) = energies
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("n_devices >= 1");
+        let second = energies
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != best_id)
+            .map(|(_, &e)| e)
+            .fold(0.0f64, f64::max);
+        let confidence = if second > 0.0 { best / second } else { f64::INFINITY };
+        Ok((best_id, confidence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn split_band_covers_range_without_gaps() {
+        let bands = split_band(1000.0, 5000.0, 8).unwrap();
+        assert_eq!(bands.len(), 8);
+        assert!((bands[0].low_hz - 1000.0).abs() < 1e-9);
+        assert!((bands[7].high_hz - 5000.0).abs() < 1e-9);
+        for w in bands.windows(2) {
+            assert!((w[0].high_hz - w[1].low_hz).abs() < 1e-9);
+        }
+        assert!(split_band(1000.0, 5000.0, 0).is_err());
+        assert!(split_band(5000.0, 1000.0, 3).is_err());
+    }
+
+    #[test]
+    fn band_helpers() {
+        let b = Band { low_hz: 1000.0, high_hz: 2000.0 };
+        assert_eq!(b.width(), 1000.0);
+        assert_eq!(b.center(), 1500.0);
+        assert!(b.contains(1500.0));
+        assert!(!b.contains(2500.0));
+    }
+
+    #[test]
+    fn fsk_roundtrip_clean() {
+        let config = FskConfig::for_device(2, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let bits: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+        let wave = fsk_modulate(&config, &bits).unwrap();
+        let decoded = fsk_demodulate(&config, &wave, bits.len()).unwrap();
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn fsk_roundtrip_with_noise() {
+        let config = FskConfig::for_device(0, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let bits: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+        let mut wave = fsk_modulate(&config, &bits).unwrap();
+        for s in wave.iter_mut() {
+            *s += 0.3 * rng.gen_range(-1.0..1.0);
+        }
+        let decoded = fsk_demodulate(&config, &wave, bits.len()).unwrap();
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn simultaneous_subband_transmissions_are_separable() {
+        // Two devices transmit different bit patterns in their own bands at
+        // the same time; each should decode correctly from the sum.
+        let c1 = FskConfig::for_device(1, 6).unwrap();
+        let c4 = FskConfig::for_device(4, 6).unwrap();
+        let bits1 = vec![true, false, true, true, false, false, true, false];
+        let bits4 = vec![false, true, true, false, true, false, false, true];
+        let w1 = fsk_modulate(&c1, &bits1).unwrap();
+        let w4 = fsk_modulate(&c4, &bits4).unwrap();
+        let mixed: Vec<f64> = w1.iter().zip(w4.iter()).map(|(a, b)| a + b).collect();
+        assert_eq!(fsk_demodulate(&c1, &mixed, bits1.len()).unwrap(), bits1);
+        assert_eq!(fsk_demodulate(&c4, &mixed, bits4.len()).unwrap(), bits4);
+    }
+
+    #[test]
+    fn fsk_error_cases() {
+        let config = FskConfig::for_device(0, 6).unwrap();
+        assert!(fsk_demodulate(&config, &[0.0; 10], 100).is_err());
+        assert!(FskConfig::for_device(7, 6).is_err());
+        let bad = FskConfig { bit_duration_s: 1e-5, ..config };
+        assert!(bad.validate().is_err());
+        let bad = FskConfig { band: Band { low_hz: 23_000.0, high_hz: 24_000.0 }, ..config };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn mfsk_id_roundtrip_all_ids() {
+        for n in [3usize, 5, 8] {
+            let codec = MfskIdCodec::new(n).unwrap();
+            for id in 0..n {
+                let tone = codec.encode(id).unwrap();
+                let (decoded, conf) = codec.decode(&tone).unwrap();
+                assert_eq!(decoded, id);
+                assert!(conf > 10.0, "confidence {conf} for id {id}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn mfsk_id_roundtrip_with_noise() {
+        let codec = MfskIdCodec::new(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for id in 0..6 {
+            let mut tone = codec.encode(id).unwrap();
+            for s in tone.iter_mut() {
+                *s += 0.5 * rng.gen_range(-1.0..1.0);
+            }
+            let (decoded, _) = codec.decode(&tone).unwrap();
+            assert_eq!(decoded, id);
+        }
+    }
+
+    #[test]
+    fn mfsk_error_cases() {
+        assert!(MfskIdCodec::new(0).is_err());
+        let codec = MfskIdCodec::new(4).unwrap();
+        assert!(codec.band_for(4).is_err());
+        assert!(codec.decode(&[]).is_err());
+        assert!(codec.encode(9).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! # uw-dsp — signal-processing substrate for underwater acoustic positioning
+//!
+//! Everything the ranging and communication layers need is implemented here
+//! from scratch (the workspace deliberately avoids external DSP crates):
+//!
+//! * [`complex`] — a small `Complex64` type with the arithmetic the FFT needs.
+//! * [`fft`] — iterative radix-2 FFT / inverse FFT and real-signal helpers.
+//! * [`correlation`] — direct and FFT-based cross-correlation, normalised
+//!   correlation, and the 4-segment auto-correlation validation used for
+//!   preamble detection.
+//! * [`zc`] — Zadoff–Chu sequences used to fill the OFDM bins of the preamble.
+//! * [`ofdm`] — OFDM symbol synthesis, cyclic prefixes, and the paper's
+//!   4-symbol PN-signed preamble.
+//! * [`chirp`] — linear chirps and FMCW sweeps for the BeepBeep / CAT
+//!   baselines.
+//! * [`fsk`] — FSK data modulation inside per-device sub-bands and MFSK
+//!   device-ID encoding with maximum-likelihood decoding.
+//! * [`coding`] — rate-2/3 punctured convolutional coding with a Viterbi
+//!   decoder, plus CRC-16 integrity checks.
+//! * [`peaks`] — peak detection and noise-floor estimation used by the
+//!   dual-microphone direct-path search.
+//! * [`window`] — analysis windows and a small FIR band-pass design.
+//! * [`resample`] — fractional-delay and sample-rate-offset resampling used
+//!   to model clock skew between devices.
+//! * [`spectrum`] — per-subcarrier SNR estimation (paper Fig. 22).
+//!
+//! All functions operate on `f64` sample buffers at a nominal 44.1 kHz
+//! sampling rate (the rate exposed by commodity smart devices underwater).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chirp;
+pub mod coding;
+pub mod complex;
+pub mod correlation;
+pub mod fft;
+pub mod fsk;
+pub mod ofdm;
+pub mod peaks;
+pub mod resample;
+pub mod spectrum;
+pub mod window;
+pub mod zc;
+
+pub use complex::Complex64;
+
+/// Nominal audio sampling rate of commodity smart devices (Hz).
+pub const SAMPLE_RATE: f64 = 44_100.0;
+
+/// Lower edge of the usable underwater band on smart devices (Hz).
+pub const BAND_LOW_HZ: f64 = 1_000.0;
+
+/// Upper edge of the usable underwater band on smart devices (Hz).
+pub const BAND_HIGH_HZ: f64 = 5_000.0;
+
+/// Errors produced by the DSP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// The input length was invalid (empty, not a power of two where one is
+    /// required, or mismatched with a paired buffer).
+    InvalidLength {
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A parameter was outside its legal range.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        reason: &'static str,
+    },
+    /// Decoding failed (e.g. Viterbi traceback on a corrupted stream).
+    DecodeFailure {
+        /// Human-readable description of the decode problem.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for DspError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DspError::InvalidLength { reason } => write!(f, "invalid length: {reason}"),
+            DspError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            DspError::DecodeFailure { reason } => write!(f, "decode failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+/// Convenience result alias for the DSP layer.
+pub type Result<T> = std::result::Result<T, DspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_constants_are_sane() {
+        assert!(BAND_LOW_HZ < BAND_HIGH_HZ);
+        assert!(BAND_HIGH_HZ < SAMPLE_RATE / 2.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DspError::InvalidLength { reason: "empty input" };
+        assert!(e.to_string().contains("empty input"));
+        let e = DspError::InvalidParameter { reason: "negative rate" };
+        assert!(e.to_string().contains("negative rate"));
+        let e = DspError::DecodeFailure { reason: "bad crc" };
+        assert!(e.to_string().contains("bad crc"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Analysis windows and small FIR filters.
+//!
+//! Used to shape transmitted packets (ramping the preamble edges avoids
+//! speaker clicks), to band-limit microphone streams to the usable 1–5 kHz
+//! underwater band, and by the spectrum/SNR estimation code.
+
+use crate::{DspError, Result};
+
+/// Hann window of length `n`.
+pub fn hann(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            0.5 * (1.0 - x.cos())
+        })
+        .collect()
+}
+
+/// Hamming window of length `n`.
+pub fn hamming(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64;
+            0.54 - 0.46 * x.cos()
+        })
+        .collect()
+}
+
+/// Applies a raised-cosine ramp of `ramp_len` samples to both ends of a
+/// signal in place, to avoid clicks when the speaker starts/stops.
+pub fn apply_edge_ramp(signal: &mut [f64], ramp_len: usize) {
+    let n = signal.len();
+    if n == 0 || ramp_len == 0 {
+        return;
+    }
+    let ramp = ramp_len.min(n / 2);
+    for i in 0..ramp {
+        let g = 0.5 * (1.0 - (std::f64::consts::PI * i as f64 / ramp as f64).cos());
+        signal[i] *= g;
+        signal[n - 1 - i] *= g;
+    }
+}
+
+/// Designs a linear-phase FIR band-pass filter with `taps` coefficients
+/// (windowed-sinc method, Hamming window). `taps` must be odd and ≥ 3.
+pub fn fir_bandpass(taps: usize, low_hz: f64, high_hz: f64, sample_rate: f64) -> Result<Vec<f64>> {
+    if taps < 3 || taps % 2 == 0 {
+        return Err(DspError::InvalidParameter { reason: "FIR taps must be odd and at least 3" });
+    }
+    if sample_rate <= 0.0 {
+        return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+    }
+    if low_hz <= 0.0 || high_hz <= low_hz || high_hz >= sample_rate / 2.0 {
+        return Err(DspError::InvalidParameter { reason: "band edges must satisfy 0 < low < high < Nyquist" });
+    }
+    let fl = low_hz / sample_rate;
+    let fh = high_hz / sample_rate;
+    let m = (taps - 1) as f64 / 2.0;
+    let window = hamming(taps);
+    let mut coeffs = Vec::with_capacity(taps);
+    for (i, w) in window.iter().enumerate() {
+        let x = i as f64 - m;
+        let ideal = if x == 0.0 {
+            2.0 * (fh - fl)
+        } else {
+            ((2.0 * std::f64::consts::PI * fh * x).sin() - (2.0 * std::f64::consts::PI * fl * x).sin())
+                / (std::f64::consts::PI * x)
+        };
+        coeffs.push(ideal * w);
+    }
+    Ok(coeffs)
+}
+
+/// Convolves a signal with FIR coefficients, returning an output of the same
+/// length as the input (group delay of `(taps-1)/2` samples is compensated).
+pub fn fir_filter(signal: &[f64], coeffs: &[f64]) -> Result<Vec<f64>> {
+    if coeffs.is_empty() {
+        return Err(DspError::InvalidLength { reason: "FIR coefficients must be non-empty" });
+    }
+    if signal.is_empty() {
+        return Ok(Vec::new());
+    }
+    let delay = (coeffs.len() - 1) / 2;
+    let mut out = vec![0.0; signal.len()];
+    for (n, o) in out.iter_mut().enumerate() {
+        let centre = n + delay;
+        let mut acc = 0.0;
+        for (k, &c) in coeffs.iter().enumerate() {
+            if let Some(idx) = centre.checked_sub(k) {
+                if idx < signal.len() {
+                    acc += c * signal[idx];
+                }
+            }
+        }
+        *o = acc;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{bin_for_freq, next_pow2, rfft};
+
+    #[test]
+    fn windows_have_expected_shape() {
+        let h = hann(64);
+        assert_eq!(h.len(), 64);
+        assert!(h[0].abs() < 1e-12);
+        assert!((h[32] - 1.0).abs() < 0.01);
+        let hm = hamming(64);
+        assert!((hm[0] - 0.08).abs() < 1e-9);
+        assert!(hann(0).is_empty());
+        assert_eq!(hann(1), vec![1.0]);
+        assert_eq!(hamming(1), vec![1.0]);
+        assert!(hamming(0).is_empty());
+    }
+
+    #[test]
+    fn edge_ramp_zeroes_first_sample_and_preserves_middle() {
+        let mut s = vec![1.0; 100];
+        apply_edge_ramp(&mut s, 10);
+        assert!(s[0].abs() < 1e-12);
+        assert!(s[99].abs() < 1e-12);
+        assert!((s[50] - 1.0).abs() < 1e-12);
+        // No-ops are safe.
+        apply_edge_ramp(&mut [], 10);
+        let mut t = vec![1.0, 1.0];
+        apply_edge_ramp(&mut t, 0);
+        assert_eq!(t, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn bandpass_passes_in_band_and_rejects_out_of_band() {
+        let fs = 44_100.0;
+        let coeffs = fir_bandpass(201, 1000.0, 5000.0, fs).unwrap();
+        let n = 4096;
+        let in_band: Vec<f64> = (0..n).map(|i| (2.0 * std::f64::consts::PI * 3000.0 * i as f64 / fs).sin()).collect();
+        let out_band: Vec<f64> = (0..n).map(|i| (2.0 * std::f64::consts::PI * 10_000.0 * i as f64 / fs).sin()).collect();
+        let y_in = fir_filter(&in_band, &coeffs).unwrap();
+        let y_out = fir_filter(&out_band, &coeffs).unwrap();
+        // Skip the transient at the edges.
+        let energy = |v: &[f64]| v[300..v.len() - 300].iter().map(|s| s * s).sum::<f64>();
+        let gain_in = energy(&y_in) / energy(&in_band);
+        let gain_out = energy(&y_out) / energy(&out_band);
+        assert!(gain_in > 0.7, "in-band gain {gain_in}");
+        assert!(gain_out < 0.01, "out-of-band gain {gain_out}");
+    }
+
+    #[test]
+    fn bandpass_spectrum_is_centered_in_band() {
+        let fs = 44_100.0;
+        let coeffs = fir_bandpass(101, 1000.0, 5000.0, fs).unwrap();
+        let n_fft = next_pow2(1024);
+        let spec = rfft(&coeffs, n_fft).unwrap();
+        let mid = bin_for_freq(3000.0, n_fft, fs);
+        let stop = bin_for_freq(12_000.0, n_fft, fs);
+        assert!(spec[mid].abs() > 0.8);
+        assert!(spec[stop].abs() < 0.05);
+    }
+
+    #[test]
+    fn fir_design_error_cases() {
+        assert!(fir_bandpass(4, 1000.0, 5000.0, 44_100.0).is_err());
+        assert!(fir_bandpass(1, 1000.0, 5000.0, 44_100.0).is_err());
+        assert!(fir_bandpass(101, 5000.0, 1000.0, 44_100.0).is_err());
+        assert!(fir_bandpass(101, 1000.0, 30_000.0, 44_100.0).is_err());
+        assert!(fir_bandpass(101, 1000.0, 5000.0, -1.0).is_err());
+        assert!(fir_filter(&[1.0], &[]).is_err());
+        assert!(fir_filter(&[], &[1.0]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Rotation and flipping ambiguity resolution (§2.1.4).
+//!
+//! SMACOF recovers the network *shape*; the absolute pose in the horizontal
+//! plane is still free to rotate about the leader and to mirror across any
+//! line. Two pieces of side information pin it down:
+//!
+//! * **Rotation** — the dive leader physically points their device at a
+//!   visible diver (device 1). After translating the topology so the leader
+//!   sits at the origin, we rotate it so the bearing of device 1 equals the
+//!   leader's pointing azimuth.
+//! * **Flipping** — the remaining mirror ambiguity (across the
+//!   leader→device-1 line) is resolved by a vote over the leader's
+//!   dual-microphone observations: for every other device `i`, the sign of
+//!   the inter-microphone arrival difference says which side of the pointing
+//!   line the device is on. The configuration (original or mirrored) whose
+//!   geometric sides agree with more of the microphone signs wins.
+//!
+//! ### Sign convention
+//!
+//! `side_signs[i] = +1` means the leader's *right* microphone (the one
+//! offset clockwise from the pointing direction) heard device `i` first,
+//! i.e. the device is believed to be on the right-hand side of the pointing
+//! line. The geometric side is `sgn((xᵢ−x₀)(y₁−y₀) − (yᵢ−y₀)(x₁−x₀))`,
+//! which is +1 exactly when device `i` lies to the right of the ray from
+//! the leader towards device 1 — the same formula as the paper's
+//! `V({Pᵢ})` voting function.
+
+use crate::matrix::Vec2;
+use crate::{LocalizationError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the ambiguity-resolution stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedTopology {
+    /// Final 2D positions (leader at the origin, device 1 on the pointing
+    /// bearing).
+    pub positions: Vec<Vec2>,
+    /// True when the mirrored configuration was chosen.
+    pub flipped: bool,
+    /// The vote margin: `V(chosen) − V(rejected)`; larger is more
+    /// confident. Zero when no usable votes were available.
+    pub vote_margin: i32,
+}
+
+/// Translates the topology so device 0 (the leader) is at the origin and
+/// rotates it so device 1 lies at bearing `pointing_azimuth_rad` from the
+/// leader (the direction the leader physically points).
+pub fn align_to_pointing(positions: &[Vec2], pointing_azimuth_rad: f64) -> Result<Vec<Vec2>> {
+    if positions.len() < 2 {
+        return Err(LocalizationError::InvalidInput {
+            reason: "need at least the leader and the pointed device to align".into(),
+        });
+    }
+    let origin = positions[0];
+    let translated: Vec<Vec2> = positions.iter().map(|p| p.sub(&origin)).collect();
+    let current_bearing = translated[1].y.atan2(translated[1].x);
+    if translated[1].norm() < 1e-9 {
+        return Err(LocalizationError::InvalidInput {
+            reason: "pointed device coincides with the leader; bearing undefined".into(),
+        });
+    }
+    let rotation = pointing_azimuth_rad - current_bearing;
+    Ok(translated.iter().map(|p| p.rotate(rotation)).collect())
+}
+
+/// Mirrors a topology across the line through the origin at angle
+/// `axis_azimuth_rad` (the leader→device-1 line after alignment).
+pub fn mirror_across_pointing(positions: &[Vec2], axis_azimuth_rad: f64) -> Vec<Vec2> {
+    positions.iter().map(|p| p.reflect_across(axis_azimuth_rad)).collect()
+}
+
+/// Geometric side sign of device `i` relative to the ray from device 0
+/// towards device 1: +1 on the right-hand side, −1 on the left, 0 on the
+/// line. This is the `sgn((xᵢ−x₀)(y₁−y₀) − (yᵢ−y₀)(x₁−x₀))` term of the
+/// paper's voting function.
+pub fn geometric_side(positions: &[Vec2], i: usize) -> i8 {
+    let p0 = positions[0];
+    let p1 = positions[1];
+    let pi = positions[i];
+    let cross = (pi.x - p0.x) * (p1.y - p0.y) - (pi.y - p0.y) * (p1.x - p0.x);
+    if cross > 1e-12 {
+        1
+    } else if cross < -1e-12 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// The paper's voting function `V({Pᵢ})`: agreement between microphone
+/// side signs and geometric sides, summed over devices 2..N−1. Devices with
+/// no usable microphone sign (`None` or 0) contribute nothing.
+pub fn vote(positions: &[Vec2], side_signs: &[Option<i8>]) -> i32 {
+    let mut v = 0i32;
+    for i in 2..positions.len() {
+        let Some(mic_sign) = side_signs.get(i).copied().flatten() else { continue };
+        if mic_sign == 0 {
+            continue;
+        }
+        let geo = geometric_side(positions, i);
+        v += (mic_sign.signum() as i32) * (geo as i32);
+    }
+    v
+}
+
+/// Resolves rotation and flipping: aligns the topology to the pointing
+/// direction and picks the mirror image that agrees best with the
+/// microphone side signs.
+///
+/// `side_signs[i]` is the leader's dual-microphone observation for device
+/// `i` (see the module docs for the convention); entries for devices 0 and
+/// 1 are ignored. When no votes are available the unmirrored configuration
+/// is returned with `vote_margin = 0`.
+pub fn resolve_ambiguities(
+    positions: &[Vec2],
+    pointing_azimuth_rad: f64,
+    side_signs: &[Option<i8>],
+) -> Result<ResolvedTopology> {
+    if side_signs.len() != positions.len() {
+        return Err(LocalizationError::InvalidInput {
+            reason: format!("{} side signs for {} devices", side_signs.len(), positions.len()),
+        });
+    }
+    let aligned = align_to_pointing(positions, pointing_azimuth_rad)?;
+    let mirrored = mirror_across_pointing(&aligned, pointing_azimuth_rad);
+
+    let v_original = vote(&aligned, side_signs);
+    let v_mirrored = vote(&mirrored, side_signs);
+
+    if v_mirrored > v_original {
+        Ok(ResolvedTopology { positions: mirrored, flipped: true, vote_margin: v_mirrored - v_original })
+    } else {
+        Ok(ResolvedTopology { positions: aligned, flipped: false, vote_margin: v_original - v_mirrored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-device topology: leader at origin, device 1 north of it, devices
+    /// 2–4 scattered on both sides.
+    fn truth() -> Vec<Vec2> {
+        vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.0, 7.0),
+            Vec2::new(6.0, 10.0),  // right of the pointing line
+            Vec2::new(-8.0, 4.0),  // left
+            Vec2::new(3.0, -5.0),  // right
+        ]
+    }
+
+    /// Microphone signs consistent with `truth()` and a leader pointing
+    /// north: +1 for right-side devices, −1 for left-side.
+    fn truth_signs() -> Vec<Option<i8>> {
+        vec![None, None, Some(1), Some(-1), Some(1)]
+    }
+
+    #[test]
+    fn alignment_puts_leader_at_origin_and_device1_on_bearing() {
+        // Start from an arbitrarily rotated/translated copy of the truth.
+        let rotated: Vec<Vec2> = truth().iter().map(|p| p.rotate(1.1).add(&Vec2::new(40.0, -17.0))).collect();
+        let pointing = std::f64::consts::FRAC_PI_2; // leader points "north"
+        let aligned = align_to_pointing(&rotated, pointing).unwrap();
+        assert!(aligned[0].norm() < 1e-9);
+        let bearing = aligned[1].y.atan2(aligned[1].x);
+        assert!((bearing - pointing).abs() < 1e-9);
+        // Distances are preserved by the rigid alignment.
+        for i in 0..truth().len() {
+            for j in (i + 1)..truth().len() {
+                let orig = rotated[i].distance(&rotated[j]);
+                let now = aligned[i].distance(&aligned[j]);
+                assert!((orig - now).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_side_signs_match_layout() {
+        let t = truth();
+        assert_eq!(geometric_side(&t, 2), 1);
+        assert_eq!(geometric_side(&t, 3), -1);
+        assert_eq!(geometric_side(&t, 4), 1);
+        // A device exactly on the line has side 0.
+        let mut with_online = t.clone();
+        with_online.push(Vec2::new(0.0, 3.0));
+        assert_eq!(geometric_side(&with_online, 5), 0);
+    }
+
+    #[test]
+    fn correct_configuration_wins_the_vote() {
+        let t = truth();
+        let signs = truth_signs();
+        let resolved = resolve_ambiguities(&t, std::f64::consts::FRAC_PI_2, &signs).unwrap();
+        assert!(!resolved.flipped);
+        assert_eq!(resolved.vote_margin, 6); // 3 votes, each worth ±1 → margin 6
+        for (a, b) in resolved.positions.iter().zip(t.iter()) {
+            assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mirrored_input_is_flipped_back() {
+        // Feed the solver the mirror image of the truth (what SMACOF might
+        // produce); the microphone votes should flip it back.
+        let pointing = std::f64::consts::FRAC_PI_2;
+        let mirrored_input = mirror_across_pointing(&truth(), pointing);
+        let resolved = resolve_ambiguities(&mirrored_input, pointing, &truth_signs()).unwrap();
+        assert!(resolved.flipped);
+        for (a, b) in resolved.positions.iter().zip(truth().iter()) {
+            assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn single_wrong_vote_is_outvoted() {
+        // Device 2's sign is wrong (multipath flipped it) but devices 3 and 4
+        // still carry the vote — this is the 90.1% → 100% improvement the
+        // paper reports when using all devices.
+        let mut signs = truth_signs();
+        signs[2] = Some(-1);
+        let resolved = resolve_ambiguities(&truth(), std::f64::consts::FRAC_PI_2, &signs).unwrap();
+        assert!(!resolved.flipped);
+        assert_eq!(resolved.vote_margin, 2);
+    }
+
+    #[test]
+    fn single_voter_can_be_wrong() {
+        // With only one (wrong) voter the result flips — the failure mode
+        // that limits single-device disambiguation to ~90% in the paper.
+        let signs = vec![None, None, Some(-1), None, None];
+        let resolved = resolve_ambiguities(&truth(), std::f64::consts::FRAC_PI_2, &signs).unwrap();
+        assert!(resolved.flipped);
+    }
+
+    #[test]
+    fn no_votes_defaults_to_unflipped() {
+        let signs = vec![None; 5];
+        let resolved = resolve_ambiguities(&truth(), std::f64::consts::FRAC_PI_2, &signs).unwrap();
+        assert!(!resolved.flipped);
+        assert_eq!(resolved.vote_margin, 0);
+        // Zero-valued signs are also ignored.
+        let signs = vec![None, None, Some(0), Some(0), Some(0)];
+        let resolved = resolve_ambiguities(&truth(), std::f64::consts::FRAC_PI_2, &signs).unwrap();
+        assert_eq!(resolved.vote_margin, 0);
+    }
+
+    #[test]
+    fn error_cases() {
+        let t = truth();
+        assert!(resolve_ambiguities(&t, 0.0, &[None; 3]).is_err());
+        assert!(align_to_pointing(&t[..1], 0.0).is_err());
+        // Device 1 on top of the leader: bearing undefined.
+        let degenerate = vec![Vec2::new(0.0, 0.0), Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)];
+        assert!(align_to_pointing(&degenerate, 0.0).is_err());
+    }
+
+    #[test]
+    fn mirror_is_an_involution_and_preserves_the_axis() {
+        let t = truth();
+        let axis = 0.3;
+        let once = mirror_across_pointing(&t, axis);
+        let twice = mirror_across_pointing(&once, axis);
+        for (a, b) in twice.iter().zip(t.iter()) {
+            assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
+        }
+        // A point on the axis is unchanged.
+        let on_axis = vec![Vec2::new(axis.cos() * 5.0, axis.sin() * 5.0)];
+        let mirrored = mirror_across_pointing(&on_axis, axis);
+        assert!((mirrored[0].x - on_axis[0].x).abs() < 1e-9);
+        assert!((mirrored[0].y - on_axis[0].y).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! # uw-localization — topology-based 3D localization
+//!
+//! Implements §2.1 of the paper: given noisy (and possibly incomplete or
+//! partially wrong) pairwise distances between N devices plus per-device
+//! depth readings, recover every device's 3D position relative to the dive
+//! leader.
+//!
+//! The solver runs in stages:
+//!
+//! 1. **Projection** ([`project`]) — use depths to reduce the 3D problem to
+//!    2D: `D²ᵢⱼ(2D) = D²ᵢⱼ − (hᵢ − hⱼ)²`.
+//! 2. **Topology estimation** ([`smacof`]) — weighted SMACOF
+//!    multidimensional scaling minimises the stress function over the
+//!    available links (missing links get weight 0).
+//! 3. **Outlier detection** ([`outlier`]) — if the normalised stress exceeds
+//!    a threshold, iteratively drop link subsets and re-run SMACOF until the
+//!    stress collapses, while keeping the remaining graph uniquely
+//!    realizable ([`rigidity`]).
+//! 4. **Ambiguity resolution** ([`ambiguity`]) — rotate the topology so the
+//!    leader points at device 1, then resolve the remaining mirror ambiguity
+//!    by voting over the leader's dual-microphone arrival signs.
+//!
+//! [`pipeline`] ties the stages together and computes the error metrics used
+//! throughout the evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambiguity;
+pub mod matrix;
+pub mod outlier;
+pub mod pipeline;
+pub mod project;
+pub mod rigidity;
+pub mod smacof;
+
+pub use matrix::{DistanceMatrix, Vec2};
+pub use pipeline::{localize, LocalizationInput, LocalizationOutput, LocalizerConfig};
+
+/// Errors produced by the localization layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalizationError {
+    /// The input matrices were inconsistent or too small.
+    InvalidInput {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The link graph is not rigid / uniquely realizable enough to localize.
+    NotLocalizable {
+        /// Description of the failed requirement.
+        reason: String,
+    },
+    /// The optimisation failed to produce a usable embedding.
+    SolverFailure {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for LocalizationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalizationError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            LocalizationError::NotLocalizable { reason } => write!(f, "network not localizable: {reason}"),
+            LocalizationError::SolverFailure { reason } => write!(f, "solver failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LocalizationError {}
+
+/// Convenience result alias for the localization layer.
+pub type Result<T> = std::result::Result<T, LocalizationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = LocalizationError::InvalidInput { reason: "matrix not square".into() };
+        assert!(e.to_string().contains("matrix not square"));
+        let e = LocalizationError::NotLocalizable { reason: "graph not rigid".into() };
+        assert!(e.to_string().contains("graph not rigid"));
+        let e = LocalizationError::SolverFailure { reason: "diverged".into() };
+        assert!(e.to_string().contains("diverged"));
+    }
+}

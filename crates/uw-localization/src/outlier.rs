@@ -1,0 +1,309 @@
+//! Iterative outlier detection (§2.1.3, Algorithm 1).
+//!
+//! Occluded links mistake a reflection for the direct path, producing a
+//! distance that is wrong by metres yet not wrong enough to violate the
+//! triangle inequality. Because SMACOF weights every link equally, even one
+//! such outlier distorts the whole topology.
+//!
+//! The paper's Algorithm 1 exploits two observations: without outliers the
+//! normalised stress stays below a threshold (1.5 m), and dropping exactly
+//! the outlier links makes the stress collapse (by more than 90%). The
+//! algorithm therefore:
+//!
+//! 1. solves with all links; if the normalised stress is already below the
+//!    threshold, done;
+//! 2. otherwise tries dropping every subset of links of size 1, then 2, …,
+//!    up to `max_outliers` (3), keeping the subset that most reduces the
+//!    stress *and* reduces it by at least the improvement factor;
+//! 3. only evaluates subsets whose removal leaves the graph uniquely
+//!    realizable, so the solution cannot silently become ambiguous.
+
+use crate::matrix::{DistanceMatrix, Vec2, WeightMatrix};
+use crate::rigidity::realizable_after_dropping;
+use crate::smacof::{smacof, SmacofConfig, SmacofSolution};
+use crate::Result;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the outlier-detection loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutlierConfig {
+    /// Normalised-stress threshold below which the solution is accepted
+    /// (1.5 m in the paper).
+    pub stress_threshold_m: f64,
+    /// Maximum number of links that may be dropped (3 in the paper).
+    pub max_outliers: usize,
+    /// Required relative stress reduction for a drop subset to be considered
+    /// an outlier set (0.9 in the paper).
+    pub improvement_factor: f64,
+}
+
+impl Default for OutlierConfig {
+    fn default() -> Self {
+        Self { stress_threshold_m: 1.5, max_outliers: 3, improvement_factor: 0.9 }
+    }
+}
+
+/// Result of outlier-aware topology estimation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlierResult {
+    /// Estimated 2D positions.
+    pub positions: Vec<Vec2>,
+    /// Links identified as outliers and excluded from the final solve.
+    pub dropped_links: Vec<(usize, usize)>,
+    /// Normalised stress of the final solution (m).
+    pub normalized_stress: f64,
+    /// True when the final stress is below the acceptance threshold.
+    pub converged: bool,
+}
+
+/// Runs Algorithm 1: SMACOF with iterative outlier-subset dropping.
+pub fn localize_with_outlier_detection<R: Rng>(
+    distances_2d: &DistanceMatrix,
+    smacof_config: &SmacofConfig,
+    outlier_config: &OutlierConfig,
+    rng: &mut R,
+) -> Result<OutlierResult> {
+    let base_weights = WeightMatrix::from_distances(distances_2d);
+    let initial = smacof(distances_2d, &base_weights, smacof_config, rng)?;
+
+    // Fast path: no outliers suspected.
+    if initial.normalized_stress < outlier_config.stress_threshold_m {
+        return Ok(OutlierResult {
+            positions: initial.positions,
+            dropped_links: Vec::new(),
+            normalized_stress: initial.normalized_stress,
+            converged: true,
+        });
+    }
+
+    let links = distances_2d.links();
+    let mut current_best: SmacofSolution = initial;
+    let mut current_drop: Vec<(usize, usize)> = Vec::new();
+
+    for n_drop in 1..=outlier_config.max_outliers {
+        let mut round_best: Option<(SmacofSolution, Vec<(usize, usize)>)> = None;
+        for subset in subsets_of_size(&links, n_drop) {
+            // Never evaluate a drop set that destroys unique realizability.
+            if !realizable_after_dropping(distances_2d, &subset) {
+                continue;
+            }
+            let mut weights = base_weights.clone();
+            weights.drop_links(&subset);
+            let candidate = match smacof(distances_2d, &weights, smacof_config, rng) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let improved = current_best.normalized_stress - candidate.normalized_stress
+                > outlier_config.improvement_factor * current_best.normalized_stress;
+            let better_than_round = round_best
+                .as_ref()
+                .map_or(true, |(best, _)| candidate.normalized_stress < best.normalized_stress);
+            if improved && better_than_round {
+                round_best = Some((candidate, subset));
+            }
+        }
+
+        if let Some((best, drop)) = round_best {
+            current_best = best;
+            current_drop = drop;
+            if current_best.normalized_stress < outlier_config.stress_threshold_m {
+                return Ok(OutlierResult {
+                    positions: current_best.positions,
+                    dropped_links: current_drop,
+                    normalized_stress: current_best.normalized_stress,
+                    converged: true,
+                });
+            }
+        }
+    }
+
+    let converged = current_best.normalized_stress < outlier_config.stress_threshold_m;
+    Ok(OutlierResult {
+        positions: current_best.positions,
+        dropped_links: current_drop,
+        normalized_stress: current_best.normalized_stress,
+        converged,
+    })
+}
+
+/// Enumerates all subsets of `items` with exactly `k` elements.
+fn subsets_of_size<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if k == 0 || k > items.len() {
+        return out;
+    }
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(indices.iter().map(|&i| items[i].clone()).collect());
+        // Advance the combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if indices[i] != i + items.len() - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        indices[i] += 1;
+        for j in (i + 1)..k {
+            indices[j] = indices[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smacof::procrustes_errors;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn testbed_points() -> Vec<Vec2> {
+        vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(8.0, 0.0),
+            Vec2::new(12.0, 9.0),
+            Vec2::new(2.0, 14.0),
+            Vec2::new(-6.0, 7.0),
+        ]
+    }
+
+    fn mean(errors: &[f64]) -> f64 {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let items = vec![1, 2, 3, 4];
+        assert_eq!(subsets_of_size(&items, 1).len(), 4);
+        assert_eq!(subsets_of_size(&items, 2).len(), 6);
+        assert_eq!(subsets_of_size(&items, 3).len(), 4);
+        assert_eq!(subsets_of_size(&items, 4).len(), 1);
+        assert!(subsets_of_size(&items, 0).is_empty());
+        assert!(subsets_of_size(&items, 5).is_empty());
+        // Each 2-subset is distinct.
+        let twos = subsets_of_size(&items, 2);
+        for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+            assert_ne!(twos[a], twos[b]);
+        }
+    }
+
+    #[test]
+    fn clean_distances_need_no_outlier_removal() {
+        let truth = testbed_points();
+        let d = DistanceMatrix::from_points_2d(&truth);
+        let mut rng = StdRng::seed_from_u64(1);
+        let result =
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap();
+        assert!(result.converged);
+        assert!(result.dropped_links.is_empty());
+        assert!(result.normalized_stress < 0.1);
+        let errs = procrustes_errors(&result.positions, &truth).unwrap();
+        assert!(mean(&errs) < 0.05, "mean error {}", mean(&errs));
+    }
+
+    #[test]
+    fn single_outlier_link_is_identified_and_dropped() {
+        let truth = testbed_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        // Corrupt one link by +15 m (an occluded direct path replaced by a
+        // long reflection) — large enough that the stress cannot be absorbed
+        // by deforming the topology, so Algorithm 1 must drop the link.
+        let true_d01 = d.get(0, 1).unwrap();
+        d.set(0, 1, true_d01 + 15.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let result =
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap();
+        assert!(result.converged, "stress {}", result.normalized_stress);
+        assert_eq!(result.dropped_links, vec![(0, 1)]);
+        let errs = procrustes_errors(&result.positions, &truth).unwrap();
+        assert!(mean(&errs) < 0.5, "mean error {}", mean(&errs));
+    }
+
+    #[test]
+    fn outlier_detection_improves_over_plain_smacof() {
+        let truth = testbed_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        let true_d13 = d.get(1, 3).unwrap();
+        d.set(1, 3, true_d13 + 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+
+        // Plain SMACOF with the corrupted link.
+        let w = WeightMatrix::from_distances(&d);
+        let plain = smacof(&d, &w, &SmacofConfig::default(), &mut rng).unwrap();
+        let plain_err = mean(&procrustes_errors(&plain.positions, &truth).unwrap());
+
+        let with_outliers =
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap();
+        let outlier_err = mean(&procrustes_errors(&with_outliers.positions, &truth).unwrap());
+        assert!(
+            outlier_err < plain_err * 0.5,
+            "outlier detection {outlier_err} should beat plain {plain_err}"
+        );
+    }
+
+    #[test]
+    fn two_outliers_within_budget_are_dropped() {
+        // Two disjoint links are corrupted so badly (+30 m / +25 m on a
+        // ~15 m-wide layout) that no alternative embedding can absorb them:
+        // the only way to collapse the stress is to drop exactly those two.
+        let truth = testbed_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        d.set(0, 2, d.get(0, 2).unwrap() + 30.0).unwrap();
+        d.set(1, 4, d.get(1, 4).unwrap() + 25.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let result =
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap();
+        let mut dropped = result.dropped_links.clone();
+        dropped.sort_unstable();
+        assert!(result.converged, "stress {}", result.normalized_stress);
+        assert_eq!(dropped, vec![(0, 2), (1, 4)]);
+        let errs = procrustes_errors(&result.positions, &truth).unwrap();
+        assert!(mean(&errs) < 0.5, "mean error {}", mean(&errs));
+    }
+
+    #[test]
+    fn small_noise_does_not_trigger_dropping() {
+        // Uniform ±0.4 m noise keeps normalized stress below 1.5 m, so no
+        // links should be dropped even though the stress is non-zero.
+        let truth = testbed_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        let mut rng = StdRng::seed_from_u64(5);
+        for (i, j) in d.links() {
+            let v = d.get(i, j).unwrap();
+            d.set(i, j, (v + rng.gen_range(-0.4..0.4)).max(0.1)).unwrap();
+        }
+        let result =
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap();
+        assert!(result.converged);
+        assert!(result.dropped_links.is_empty(), "dropped {:?}", result.dropped_links);
+    }
+
+    #[test]
+    fn realizability_guard_prevents_excessive_dropping() {
+        // A 4-node complete graph: dropping any link makes it non-unique, so
+        // even with a huge outlier nothing can be dropped and the result is
+        // flagged as not converged.
+        let truth = vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), Vec2::new(10.0, 10.0), Vec2::new(0.0, 10.0)];
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        d.set(0, 2, 40.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let result =
+            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+                .unwrap();
+        assert!(result.dropped_links.is_empty());
+        assert!(!result.converged);
+        assert!(result.normalized_stress >= 1.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Projection of 3D ranging measurements onto the horizontal plane (§2.1.1).
+//!
+//! Every device reports its depth `hᵢ` from an on-board sensor, so the 3D
+//! problem collapses to 2D: the horizontal component of each measured
+//! distance is `D²ᵢⱼ(2D) = D²ᵢⱼ − (hᵢ − hⱼ)²`. When ranging noise makes the
+//! measured slant distance *smaller* than the depth difference the term
+//! under the square root goes negative; the projection clamps it at zero
+//! (the devices are then treated as horizontally coincident), mirroring how
+//! a practical implementation must behave.
+
+use crate::matrix::DistanceMatrix;
+use crate::{LocalizationError, Result};
+use uw_channel::geometry::Point3;
+
+/// Projects a matrix of 3D (slant) distances to horizontal 2D distances
+/// using the per-device depths.
+pub fn project_to_2d(distances_3d: &DistanceMatrix, depths: &[f64]) -> Result<DistanceMatrix> {
+    let n = distances_3d.len();
+    if depths.len() != n {
+        return Err(LocalizationError::InvalidInput {
+            reason: format!("{} depths provided for {n} devices", depths.len()),
+        });
+    }
+    if let Some(bad) = depths.iter().find(|d| !d.is_finite()) {
+        return Err(LocalizationError::InvalidInput { reason: format!("non-finite depth {bad}") });
+    }
+    let mut out = DistanceMatrix::new(n);
+    for (i, j) in distances_3d.links() {
+        let d3 = distances_3d.get(i, j).expect("link exists");
+        let dh = depths[i] - depths[j];
+        let sq = d3 * d3 - dh * dh;
+        out.set(i, j, sq.max(0.0).sqrt())?;
+    }
+    Ok(out)
+}
+
+/// Reconstructs 3D positions from solved 2D positions and the measured
+/// depths (the inverse of the projection step).
+pub fn lift_to_3d(positions_2d: &[crate::matrix::Vec2], depths: &[f64]) -> Result<Vec<Point3>> {
+    if positions_2d.len() != depths.len() {
+        return Err(LocalizationError::InvalidInput {
+            reason: format!("{} positions but {} depths", positions_2d.len(), depths.len()),
+        });
+    }
+    Ok(positions_2d
+        .iter()
+        .zip(depths.iter())
+        .map(|(p, &h)| Point3::new(p.x, p.y, h))
+        .collect())
+}
+
+/// Builds the ground-truth 3D distance matrix from exact positions (used by
+/// the analytical evaluation and the simulator's ground truth).
+pub fn distances_from_positions(positions: &[Point3]) -> DistanceMatrix {
+    let n = positions.len();
+    let mut m = DistanceMatrix::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let _ = m.set(i, j, positions[i].distance(&positions[j]));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Vec2;
+
+    #[test]
+    fn projection_removes_depth_component() {
+        // Two devices 3 m apart horizontally with a 4 m depth difference:
+        // slant distance 5 m, projected distance 3 m.
+        let positions = vec![Point3::new(0.0, 0.0, 1.0), Point3::new(3.0, 0.0, 5.0)];
+        let d3 = distances_from_positions(&positions);
+        assert!((d3.get(0, 1).unwrap() - 5.0).abs() < 1e-12);
+        let d2 = project_to_2d(&d3, &[1.0, 5.0]).unwrap();
+        assert!((d2.get(0, 1).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_preserves_missing_links() {
+        let mut d3 = DistanceMatrix::new(3);
+        d3.set(0, 1, 10.0).unwrap();
+        let d2 = project_to_2d(&d3, &[0.0, 0.0, 0.0]).unwrap();
+        assert!(d2.has_link(0, 1));
+        assert!(!d2.has_link(0, 2));
+        assert!(!d2.has_link(1, 2));
+    }
+
+    #[test]
+    fn projection_clamps_impossible_geometry() {
+        // Measured slant distance smaller than the depth difference (ranging
+        // noise): projected distance clamps to 0 rather than NaN.
+        let mut d3 = DistanceMatrix::new(2);
+        d3.set(0, 1, 1.0).unwrap();
+        let d2 = project_to_2d(&d3, &[0.0, 3.0]).unwrap();
+        assert_eq!(d2.get(0, 1), Some(0.0));
+    }
+
+    #[test]
+    fn projection_validates_inputs() {
+        let d3 = DistanceMatrix::new(3);
+        assert!(project_to_2d(&d3, &[0.0, 0.0]).is_err());
+        assert!(project_to_2d(&d3, &[0.0, f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn lift_combines_positions_and_depths() {
+        let pts = vec![Vec2::new(1.0, 2.0), Vec2::new(-3.0, 4.0)];
+        let lifted = lift_to_3d(&pts, &[2.5, 7.0]).unwrap();
+        assert_eq!(lifted[0], Point3::new(1.0, 2.0, 2.5));
+        assert_eq!(lifted[1], Point3::new(-3.0, 4.0, 7.0));
+        assert!(lift_to_3d(&pts, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn projection_roundtrip_through_lift() {
+        let truth = vec![
+            Point3::new(0.0, 0.0, 2.0),
+            Point3::new(10.0, 0.0, 4.0),
+            Point3::new(3.0, 8.0, 1.0),
+            Point3::new(-5.0, 6.0, 6.0),
+        ];
+        let depths: Vec<f64> = truth.iter().map(|p| p.z).collect();
+        let d3 = distances_from_positions(&truth);
+        let d2 = project_to_2d(&d3, &depths).unwrap();
+        // The projected distances must equal the horizontal distances.
+        for i in 0..truth.len() {
+            for j in (i + 1)..truth.len() {
+                let expected = truth[i].horizontal_distance(&truth[j]);
+                assert!((d2.get(i, j).unwrap() - expected).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Graph rigidity and unique realizability (§2.1.2).
+//!
+//! The topology solver only makes sense when the link graph pins the shape
+//! down. Three properties matter, with dive-group-sized graphs (N ≤ ~10)
+//! small enough for exact checks:
+//!
+//! * **Rigidity** (Laman's theorem): a graph with `n` nodes and `2n − 3`
+//!   links is rigid in 2D iff no subgraph on `n'` nodes has more than
+//!   `2n' − 3` links. We check the generic-rigidity condition directly with
+//!   a pebble-game-equivalent subset test (exponential, but trivial at this
+//!   scale).
+//! * **Redundant rigidity**: the graph stays rigid after removing any
+//!   single link.
+//! * **Unique realizability** (global rigidity): redundantly rigid *and*
+//!   3-connected (deleting any two nodes leaves the graph connected) — the
+//!   condition quoted in the paper from Goldenberg et al.
+//!
+//! The outlier-detection loop calls [`is_uniquely_realizable`] before
+//! dropping a link subset, so it never evaluates a candidate whose solution
+//! would be ambiguous anyway.
+
+use crate::matrix::DistanceMatrix;
+
+/// An undirected link graph over `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl LinkGraph {
+    /// Builds a graph from an explicit edge list (edges with out-of-range or
+    /// self-loop endpoints are ignored).
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut normalized: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|(a, b)| a != b && *a < n && *b < n)
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        normalized.sort_unstable();
+        normalized.dedup();
+        Self { n, edges: normalized }
+    }
+
+    /// Builds the graph of present links in a distance matrix.
+    pub fn from_distances(distances: &DistanceMatrix) -> Self {
+        Self::new(distances.len(), &distances.links())
+    }
+
+    /// Builds the graph after removing the links in `dropped`.
+    pub fn from_distances_without(distances: &DistanceMatrix, dropped: &[(usize, usize)]) -> Self {
+        let dropped_normalized: Vec<(usize, usize)> =
+            dropped.iter().map(|&(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
+        let edges: Vec<(usize, usize)> = distances
+            .links()
+            .into_iter()
+            .filter(|e| !dropped_normalized.contains(e))
+            .collect();
+        Self::new(distances.len(), &edges)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list (sorted, deduplicated).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Degree of each node.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for &(a, b) in &self.edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        deg
+    }
+
+    /// Whether the graph (restricted to the nodes in `keep`) is connected.
+    /// An empty or single-node restriction counts as connected.
+    pub fn is_connected_over(&self, keep: &[bool]) -> bool {
+        let nodes: Vec<usize> = (0..self.n).filter(|&i| keep[i]).collect();
+        if nodes.len() <= 1 {
+            return true;
+        }
+        let mut visited = vec![false; self.n];
+        let mut stack = vec![nodes[0]];
+        visited[nodes[0]] = true;
+        while let Some(u) = stack.pop() {
+            for &(a, b) in &self.edges {
+                let (x, y) = (a, b);
+                if x == u && keep[y] && !visited[y] {
+                    visited[y] = true;
+                    stack.push(y);
+                } else if y == u && keep[x] && !visited[x] {
+                    visited[x] = true;
+                    stack.push(x);
+                }
+            }
+        }
+        nodes.iter().all(|&i| visited[i])
+    }
+
+    /// Whether the whole graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.is_connected_over(&vec![true; self.n])
+    }
+}
+
+/// Generic 2D rigidity via the Laman condition, checked exactly: the graph
+/// must contain a spanning Laman subgraph, i.e. have at least `2n − 3`
+/// edges with some subset of exactly `2n − 3` edges that is independent
+/// (no sub-multigraph violates `e' ≤ 2n' − 3`).
+///
+/// For the graph sizes this system handles (dive groups of ≤ ~10 devices)
+/// we use the equivalent characterisation: the rank of the rigidity matroid
+/// equals `2n − 3`. Rank is computed with the pebble-game-equivalent
+/// subset check over *edge-induced* node subsets, which is exact for these
+/// sizes.
+pub fn is_rigid(graph: &LinkGraph) -> bool {
+    let n = graph.node_count();
+    if n <= 1 {
+        return true;
+    }
+    if n == 2 {
+        return graph.edge_count() >= 1;
+    }
+    if graph.edge_count() < 2 * n - 3 {
+        return false;
+    }
+    if !graph.is_connected() {
+        return false;
+    }
+    // Count the generic rank by greedily inserting edges that keep every
+    // node-subset count within the Laman bound (matroid greedy works because
+    // independence in the rigidity matroid is checked exactly below).
+    let mut independent: Vec<(usize, usize)> = Vec::new();
+    for &edge in graph.edges() {
+        let mut candidate = independent.clone();
+        candidate.push(edge);
+        if laman_independent(n, &candidate) {
+            independent = candidate;
+            if independent.len() == 2 * n - 3 {
+                return true;
+            }
+        }
+    }
+    independent.len() == 2 * n - 3
+}
+
+/// Checks Laman independence: every subset of nodes `S` with `|S| ≥ 2`
+/// induces at most `2|S| − 3` of the given edges. Exponential in `n`, fine
+/// for n ≤ ~12.
+fn laman_independent(n: usize, edges: &[(usize, usize)]) -> bool {
+    if n > 20 {
+        // Defensive cap: the exact check is exponential. Graphs this large
+        // never occur in a dive group.
+        return false;
+    }
+    for mask in 1u32..(1u32 << n) {
+        let size = mask.count_ones() as usize;
+        if size < 2 {
+            continue;
+        }
+        let induced = edges
+            .iter()
+            .filter(|&&(a, b)| (mask >> a) & 1 == 1 && (mask >> b) & 1 == 1)
+            .count();
+        if induced > 2 * size - 3 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Redundant rigidity: the graph remains rigid after removing any single
+/// edge.
+pub fn is_redundantly_rigid(graph: &LinkGraph) -> bool {
+    if !is_rigid(graph) {
+        return false;
+    }
+    for skip in 0..graph.edge_count() {
+        let reduced: Vec<(usize, usize)> = graph
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != skip)
+            .map(|(_, &e)| e)
+            .collect();
+        if !is_rigid(&LinkGraph::new(graph.node_count(), &reduced)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// 3-connectivity in the sense used by the unique-realizability theorem:
+/// deleting any two nodes leaves the remaining graph connected.
+pub fn is_three_connected(graph: &LinkGraph) -> bool {
+    let n = graph.node_count();
+    if n <= 3 {
+        // For n ≤ 3, deleting two nodes leaves at most one node.
+        return graph.is_connected();
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mut keep = vec![true; n];
+            keep[a] = false;
+            keep[b] = false;
+            if !graph.is_connected_over(&keep) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Unique realizability (global rigidity) per the condition quoted in the
+/// paper: redundantly rigid and still connected after deleting any two
+/// nodes. Triangles (n = 3 with all three links) are uniquely realizable.
+pub fn is_uniquely_realizable(graph: &LinkGraph) -> bool {
+    let n = graph.node_count();
+    if n < 3 {
+        return false;
+    }
+    if n == 3 {
+        return graph.edge_count() == 3;
+    }
+    is_redundantly_rigid(graph) && is_three_connected(graph)
+}
+
+/// Convenience check on a distance matrix after dropping a set of links.
+pub fn realizable_after_dropping(distances: &DistanceMatrix, dropped: &[(usize, usize)]) -> bool {
+    is_uniquely_realizable(&LinkGraph::from_distances_without(distances, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> LinkGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        LinkGraph::new(n, &edges)
+    }
+
+    #[test]
+    fn complete_graphs_are_uniquely_realizable() {
+        for n in 3..=7 {
+            let g = complete_graph(n);
+            assert!(is_rigid(&g), "K{n} should be rigid");
+            assert!(is_uniquely_realizable(&g), "K{n} should be uniquely realizable");
+        }
+        // Redundant rigidity holds for K4 and larger; K3 loses rigidity when
+        // any of its three edges is removed (it is globally rigid anyway,
+        // which is why the triangle gets a special case).
+        assert!(!is_redundantly_rigid(&complete_graph(3)));
+        for n in 4..=7 {
+            assert!(is_redundantly_rigid(&complete_graph(n)), "K{n} should be redundantly rigid");
+        }
+    }
+
+    #[test]
+    fn square_without_diagonal_is_not_rigid() {
+        // Fig. 4a: a 4-cycle can be continuously deformed.
+        let g = LinkGraph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(!is_rigid(&g));
+        assert!(!is_uniquely_realizable(&g));
+    }
+
+    #[test]
+    fn square_with_one_diagonal_is_rigid_but_not_redundant() {
+        let g = LinkGraph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert!(is_rigid(&g));
+        // Removing the diagonal breaks rigidity.
+        assert!(!is_redundantly_rigid(&g));
+        assert!(!is_uniquely_realizable(&g));
+    }
+
+    #[test]
+    fn partial_reflection_case_is_rigid_but_not_unique() {
+        // Fig. 4b: two triangles sharing an edge — node 3 can reflect across
+        // the mirror line through nodes 1 and 2. Rigid, but not redundantly
+        // rigid, hence not uniquely realizable.
+        let g = LinkGraph::new(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert!(is_rigid(&g));
+        assert!(!is_uniquely_realizable(&g));
+    }
+
+    #[test]
+    fn triangle_is_uniquely_realizable() {
+        let g = complete_graph(3);
+        assert!(is_uniquely_realizable(&g));
+        let open = LinkGraph::new(3, &[(0, 1), (1, 2)]);
+        assert!(!is_uniquely_realizable(&open));
+    }
+
+    #[test]
+    fn k5_minus_one_edge_is_still_uniquely_realizable() {
+        // A fully-connected 5-device network tolerates a missing link — the
+        // property the paper's missing-link evaluation relies on.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                if (i, j) != (0, 3) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = LinkGraph::new(5, &edges);
+        assert!(is_uniquely_realizable(&g));
+    }
+
+    #[test]
+    fn star_graph_is_not_rigid() {
+        // A node connected to everyone else (and no other links) can rotate
+        // each leaf independently.
+        let g = LinkGraph::new(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!(!is_rigid(&g));
+        assert!(!is_three_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_graph_is_not_rigid() {
+        let g = LinkGraph::new(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]);
+        assert!(!g.is_connected());
+        assert!(!is_rigid(&g));
+    }
+
+    #[test]
+    fn graph_helpers() {
+        let g = LinkGraph::new(4, &[(0, 1), (1, 0), (1, 2), (3, 3), (0, 9)]);
+        // Duplicates, self-loops and out-of-range edges are dropped.
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degrees(), vec![1, 2, 1, 0]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn from_distances_and_dropping() {
+        let mut d = DistanceMatrix::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                d.set(i, j, 1.0).unwrap();
+            }
+        }
+        assert!(realizable_after_dropping(&d, &[]));
+        // K4 minus one edge is rigid but NOT redundantly rigid.
+        assert!(!realizable_after_dropping(&d, &[(0, 1)]));
+        let g = LinkGraph::from_distances(&d);
+        assert_eq!(g.edge_count(), 6);
+        let g = LinkGraph::from_distances_without(&d, &[(1, 0), (2, 3)]);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

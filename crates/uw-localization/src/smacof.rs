@@ -1,0 +1,495 @@
+//! Weighted SMACOF multidimensional scaling (§2.1.2).
+//!
+//! SMACOF (Scaling by MAjorizing a COmplicated Function) minimises the
+//! weighted stress
+//!
+//! ```text
+//! S(P) = Σ_{i<j} w_ij (D_ij − ‖P_i − P_j‖)²
+//! ```
+//!
+//! by iterating the Guttman transform, which majorises the stress with a
+//! convex quadratic at each step and therefore decreases monotonically —
+//! the property the paper relies on for fast, reliable convergence compared
+//! with plain gradient descent. Missing links carry weight 0 and simply
+//! drop out of both the stress and the transform.
+//!
+//! The embedding is recovered only up to rotation, translation and
+//! reflection; [`crate::ambiguity`] fixes those gauge freedoms afterwards.
+
+use crate::matrix::{solve_linear, symmetric_eigen, DistanceMatrix, Vec2, WeightMatrix};
+use crate::{LocalizationError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// SMACOF solver parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmacofConfig {
+    /// Maximum number of Guttman iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the relative stress decrease per iteration.
+    pub tolerance: f64,
+    /// Number of random restarts; the embedding with the lowest stress wins.
+    pub restarts: usize,
+    /// Scale of the random initial placement (m). Should be on the order of
+    /// the deployment extent.
+    pub init_scale: f64,
+}
+
+impl Default for SmacofConfig {
+    fn default() -> Self {
+        Self { max_iterations: 300, tolerance: 1e-9, restarts: 4, init_scale: 30.0 }
+    }
+}
+
+/// Result of one SMACOF solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmacofSolution {
+    /// Estimated 2D positions, one per device.
+    pub positions: Vec<Vec2>,
+    /// Raw (unnormalised) stress of the solution.
+    pub stress: f64,
+    /// Normalised stress: `sqrt(stress / link_count)` in metres — the
+    /// quantity the paper thresholds at 1.5 m for outlier detection.
+    pub normalized_stress: f64,
+    /// Number of iterations used by the best restart.
+    pub iterations: usize,
+}
+
+/// Computes the weighted raw stress of an embedding.
+pub fn stress(positions: &[Vec2], distances: &DistanceMatrix, weights: &WeightMatrix) -> f64 {
+    let n = positions.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = weights.get(i, j);
+            if w == 0.0 {
+                continue;
+            }
+            if let Some(d) = distances.get(i, j) {
+                let emb = positions[i].distance(&positions[j]);
+                s += w * (d - emb) * (d - emb);
+            }
+        }
+    }
+    s
+}
+
+/// Normalised stress in metres: root-mean-square residual per weighted link.
+pub fn normalized_stress(positions: &[Vec2], distances: &DistanceMatrix, weights: &WeightMatrix) -> f64 {
+    let n_links = active_link_count(distances, weights);
+    if n_links == 0 {
+        return 0.0;
+    }
+    (stress(positions, distances, weights) / n_links as f64).sqrt()
+}
+
+/// Number of links that both have a measurement and a non-zero weight.
+pub fn active_link_count(distances: &DistanceMatrix, weights: &WeightMatrix) -> usize {
+    distances.links().iter().filter(|&&(i, j)| weights.get(i, j) > 0.0).count()
+}
+
+/// Runs weighted SMACOF and returns the best embedding over the configured
+/// restarts. `rng` drives the random initial placements, so results are
+/// reproducible for a seeded generator.
+pub fn smacof<R: Rng>(
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+    config: &SmacofConfig,
+    rng: &mut R,
+) -> Result<SmacofSolution> {
+    let n = distances.len();
+    if n < 3 {
+        return Err(LocalizationError::InvalidInput {
+            reason: format!("need at least 3 devices to localize, got {n}"),
+        });
+    }
+    if weights.len() != n {
+        return Err(LocalizationError::InvalidInput { reason: "weight matrix size mismatch".into() });
+    }
+    if active_link_count(distances, weights) < 2 * n - 3 {
+        // Fewer links than degrees of freedom: the solve is hopeless.
+        return Err(LocalizationError::NotLocalizable {
+            reason: format!(
+                "{} links present but a rigid 2D embedding of {n} nodes needs at least {}",
+                active_link_count(distances, weights),
+                2 * n - 3
+            ),
+        });
+    }
+
+    let mut best: Option<SmacofSolution> = None;
+    for restart in 0..config.restarts.max(1) {
+        // The first start uses a classical-MDS (Torgerson) embedding of the
+        // shortest-path-completed distance matrix — it lands close to the
+        // global optimum for most inputs. Subsequent restarts use random
+        // placements to escape local minima when the data is inconsistent.
+        let init: Vec<Vec2> = if restart == 0 {
+            classical_mds_init(distances, weights).unwrap_or_else(|| {
+                (0..n)
+                    .map(|_| {
+                        Vec2::new(
+                            rng.gen_range(-config.init_scale..config.init_scale),
+                            rng.gen_range(-config.init_scale..config.init_scale),
+                        )
+                    })
+                    .collect()
+            })
+        } else {
+            (0..n)
+                .map(|_| {
+                    Vec2::new(
+                        rng.gen_range(-config.init_scale..config.init_scale),
+                        rng.gen_range(-config.init_scale..config.init_scale),
+                    )
+                })
+                .collect()
+        };
+        let (positions, stress_val, iterations) = run_single(init, distances, weights, config)?;
+        let solution = SmacofSolution {
+            normalized_stress: {
+                let links = active_link_count(distances, weights);
+                if links == 0 {
+                    0.0
+                } else {
+                    (stress_val / links as f64).sqrt()
+                }
+            },
+            positions,
+            stress: stress_val,
+            iterations,
+        };
+        if best.as_ref().map_or(true, |b| solution.stress < b.stress) {
+            best = Some(solution);
+        }
+    }
+    best.ok_or(LocalizationError::SolverFailure { reason: "no SMACOF restart produced a solution".into() })
+}
+
+/// Classical-MDS (Torgerson) initial embedding. Missing or zero-weight
+/// links are filled with graph shortest-path distances; returns `None`
+/// when the active-link graph is disconnected (the caller falls back to a
+/// random start).
+fn classical_mds_init(distances: &DistanceMatrix, weights: &WeightMatrix) -> Option<Vec<Vec2>> {
+    let n = distances.len();
+    const INF: f64 = 1e18;
+    let mut d = vec![INF; n * n];
+    for i in 0..n {
+        d[i * n + i] = 0.0;
+    }
+    for (i, j) in distances.links() {
+        if weights.get(i, j) > 0.0 {
+            let v = distances.get(i, j)?;
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+    // Floyd–Warshall completion.
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i * n + k] + d[k * n + j];
+                if via < d[i * n + j] {
+                    d[i * n + j] = via;
+                }
+            }
+        }
+    }
+    if d.iter().any(|&v| v >= INF) {
+        return None;
+    }
+    // Double centring: B = −½ J D² J.
+    let d2: Vec<f64> = d.iter().map(|&v| v * v).collect();
+    let row_mean: Vec<f64> = (0..n).map(|i| (0..n).map(|j| d2[i * n + j]).sum::<f64>() / n as f64).collect();
+    let grand_mean: f64 = row_mean.iter().sum::<f64>() / n as f64;
+    let mut b = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            b[i * n + j] = -0.5 * (d2[i * n + j] - row_mean[i] - row_mean[j] + grand_mean);
+        }
+    }
+    let (vals, vecs) = symmetric_eigen(&b, n).ok()?;
+    if vals.len() < 2 || vals[0] <= 0.0 {
+        return None;
+    }
+    let s0 = vals[0].max(0.0).sqrt();
+    let s1 = vals.get(1).copied().unwrap_or(0.0).max(0.0).sqrt();
+    Some((0..n).map(|i| Vec2::new(vecs[0][i] * s0, vecs[1][i] * s1)).collect())
+}
+
+/// One SMACOF run from a given initial placement.
+fn run_single(
+    mut positions: Vec<Vec2>,
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+    config: &SmacofConfig,
+) -> Result<(Vec<Vec2>, f64, usize)> {
+    let n = positions.len();
+
+    // V matrix of the Guttman transform (constant across iterations):
+    // V_ij = -w_ij (i≠j), V_ii = Σ_j w_ij. V is rank n-1; the standard
+    // trick adds 1·1ᵀ/n to make it invertible without changing the solution
+    // (the embedding is centred).
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let w = weights.get(i, j);
+                v[i * n + j] = -w;
+                v[i * n + i] += w;
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            v[i * n + j] += 1.0 / n as f64;
+        }
+    }
+
+    let mut prev_stress = stress(&positions, distances, weights);
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // B(X) matrix.
+        let mut b = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = weights.get(i, j);
+                if w == 0.0 {
+                    continue;
+                }
+                if let Some(d) = distances.get(i, j) {
+                    let emb = positions[i].distance(&positions[j]).max(1e-9);
+                    let val = -w * d / emb;
+                    b[i * n + j] += val;
+                    b[i * n + i] -= val;
+                }
+            }
+        }
+        // Right-hand sides B(X)·X for x and y coordinates.
+        let mut bx = vec![0.0; n];
+        let mut by = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                bx[i] += b[i * n + j] * positions[j].x;
+                by[i] += b[i * n + j] * positions[j].y;
+            }
+        }
+        let new_x = solve_linear(&v, &bx, n)?;
+        let new_y = solve_linear(&v, &by, n)?;
+        positions = new_x.iter().zip(new_y.iter()).map(|(&x, &y)| Vec2::new(x, y)).collect();
+
+        let s = stress(&positions, distances, weights);
+        if prev_stress - s < config.tolerance * prev_stress.max(1e-12) {
+            prev_stress = s;
+            break;
+        }
+        prev_stress = s;
+    }
+    Ok((positions, prev_stress, iterations))
+}
+
+/// Computes the per-device embedding error between two point sets after
+/// optimally aligning them (translation + rotation + optional reflection):
+/// a Procrustes alignment. Returns the per-device distances after
+/// alignment. Used to score topology recovery independent of the gauge
+/// freedoms SMACOF cannot resolve.
+pub fn procrustes_errors(estimate: &[Vec2], truth: &[Vec2]) -> Result<Vec<f64>> {
+    if estimate.len() != truth.len() || estimate.is_empty() {
+        return Err(LocalizationError::InvalidInput {
+            reason: "procrustes requires equal-length, non-empty point sets".into(),
+        });
+    }
+    let n = estimate.len() as f64;
+    let cent = |pts: &[Vec2]| {
+        let mut c = Vec2::default();
+        for p in pts {
+            c = c.add(p);
+        }
+        c.scale(1.0 / n)
+    };
+    let ce = cent(estimate);
+    let ct = cent(truth);
+    let est: Vec<Vec2> = estimate.iter().map(|p| p.sub(&ce)).collect();
+    let tru: Vec<Vec2> = truth.iter().map(|p| p.sub(&ct)).collect();
+
+    let mut best: Option<Vec<f64>> = None;
+    for reflect in [false, true] {
+        let est_r: Vec<Vec2> = if reflect {
+            est.iter().map(|p| Vec2::new(p.x, -p.y)).collect()
+        } else {
+            est.clone()
+        };
+        // Optimal rotation angle via the cross/dot sums.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (e, t) in est_r.iter().zip(tru.iter()) {
+            num += e.x * t.y - e.y * t.x;
+            den += e.x * t.x + e.y * t.y;
+        }
+        let theta = num.atan2(den);
+        let errors: Vec<f64> = est_r
+            .iter()
+            .zip(tru.iter())
+            .map(|(e, t)| e.rotate(theta).distance(t))
+            .collect();
+        let total: f64 = errors.iter().map(|e| e * e).sum();
+        let is_better = match &best {
+            None => true,
+            Some(b) => total < b.iter().map(|e| e * e).sum::<f64>(),
+        };
+        if is_better {
+            best = Some(errors);
+        }
+    }
+    Ok(best.expect("at least one orientation evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square_points() -> Vec<Vec2> {
+        vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 10.0),
+            Vec2::new(0.0, 10.0),
+            Vec2::new(5.0, 5.0),
+        ]
+    }
+
+    #[test]
+    fn recovers_exact_topology_from_exact_distances() {
+        let truth = square_points();
+        let d = DistanceMatrix::from_points_2d(&truth);
+        let w = WeightMatrix::ones(truth.len());
+        let mut rng = StdRng::seed_from_u64(1);
+        let sol = smacof(&d, &w, &SmacofConfig::default(), &mut rng).unwrap();
+        assert!(sol.normalized_stress < 1e-3, "stress {}", sol.normalized_stress);
+        let errs = procrustes_errors(&sol.positions, &truth).unwrap();
+        for e in errs {
+            assert!(e < 0.01, "embedding error {e}");
+        }
+    }
+
+    #[test]
+    fn stress_decreases_with_better_fit() {
+        let truth = square_points();
+        let d = DistanceMatrix::from_points_2d(&truth);
+        let w = WeightMatrix::ones(truth.len());
+        let bad = vec![Vec2::new(0.0, 0.0); 5];
+        let good = truth.clone();
+        assert!(stress(&good, &d, &w) < stress(&bad, &d, &w));
+        assert!(normalized_stress(&good, &d, &w) < 1e-9);
+    }
+
+    #[test]
+    fn handles_noisy_distances_with_bounded_error() {
+        let truth = square_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        // Add ±0.5 m noise.
+        let mut rng = StdRng::seed_from_u64(2);
+        for (i, j) in d.links() {
+            let v = d.get(i, j).unwrap();
+            let noisy = (v + rng.gen_range(-0.5..0.5)).max(0.1);
+            d.set(i, j, noisy).unwrap();
+        }
+        let w = WeightMatrix::ones(truth.len());
+        let sol = smacof(&d, &w, &SmacofConfig::default(), &mut rng).unwrap();
+        let errs = procrustes_errors(&sol.positions, &truth).unwrap();
+        let mean: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean < 1.0, "mean embedding error {mean}");
+        assert!(sol.normalized_stress < 1.5);
+    }
+
+    #[test]
+    fn missing_link_is_tolerated() {
+        let truth = square_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        d.clear(0, 2); // drop one diagonal
+        let w = WeightMatrix::from_distances(&d);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sol = smacof(&d, &w, &SmacofConfig::default(), &mut rng).unwrap();
+        let errs = procrustes_errors(&sol.positions, &truth).unwrap();
+        for e in errs {
+            assert!(e < 0.1, "error {e}");
+        }
+    }
+
+    #[test]
+    fn too_few_devices_or_links_rejected() {
+        let d = DistanceMatrix::from_points_2d(&[Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)]);
+        let w = WeightMatrix::ones(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(smacof(&d, &w, &SmacofConfig::default(), &mut rng).is_err());
+
+        // 5 nodes but only 4 links (< 2n-3 = 7): not localizable.
+        let mut sparse = DistanceMatrix::new(5);
+        sparse.set(0, 1, 1.0).unwrap();
+        sparse.set(1, 2, 1.0).unwrap();
+        sparse.set(2, 3, 1.0).unwrap();
+        sparse.set(3, 4, 1.0).unwrap();
+        let w = WeightMatrix::from_distances(&sparse);
+        assert!(matches!(
+            smacof(&sparse, &w, &SmacofConfig::default(), &mut rng),
+            Err(LocalizationError::NotLocalizable { .. })
+        ));
+
+        // Mismatched weight matrix size.
+        let d = DistanceMatrix::from_points_2d(&square_points());
+        let w = WeightMatrix::ones(3);
+        assert!(smacof(&d, &w, &SmacofConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn wrong_distance_raises_stress() {
+        // One corrupted link: the normalized stress should exceed the clean
+        // case substantially (this is what drives outlier detection).
+        let truth = square_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        let clean_w = WeightMatrix::ones(truth.len());
+        let mut rng = StdRng::seed_from_u64(5);
+        let clean = smacof(&d, &clean_w, &SmacofConfig::default(), &mut rng).unwrap();
+        d.set(0, 2, 25.0).unwrap(); // true distance is 14.14 m
+        let corrupted = smacof(&d, &clean_w, &SmacofConfig::default(), &mut rng).unwrap();
+        assert!(corrupted.normalized_stress > 10.0 * clean.normalized_stress.max(1e-6));
+        assert!(corrupted.normalized_stress > 1.5, "stress {}", corrupted.normalized_stress);
+    }
+
+    #[test]
+    fn procrustes_is_invariant_to_rigid_motions() {
+        let truth = square_points();
+        let moved: Vec<Vec2> = truth
+            .iter()
+            .map(|p| p.rotate(0.7).add(&Vec2::new(100.0, -50.0)))
+            .collect();
+        let errs = procrustes_errors(&moved, &truth).unwrap();
+        for e in errs {
+            assert!(e < 1e-9);
+        }
+        // Reflection is also absorbed.
+        let mirrored: Vec<Vec2> = truth.iter().map(|p| Vec2::new(-p.x, p.y)).collect();
+        let errs = procrustes_errors(&mirrored, &truth).unwrap();
+        for e in errs {
+            assert!(e < 1e-9);
+        }
+        assert!(procrustes_errors(&truth, &truth[..3]).is_err());
+        assert!(procrustes_errors(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn iterations_are_reported_and_bounded() {
+        let truth = square_points();
+        let d = DistanceMatrix::from_points_2d(&truth);
+        let w = WeightMatrix::ones(truth.len());
+        let config = SmacofConfig { max_iterations: 50, ..SmacofConfig::default() };
+        let mut rng = StdRng::seed_from_u64(6);
+        let sol = smacof(&d, &w, &config, &mut rng).unwrap();
+        assert!(sol.iterations >= 1 && sol.iterations <= 50);
+    }
+}

@@ -1,0 +1,337 @@
+//! Report back-channel (§2.4).
+//!
+//! After the TDM round every device sends the leader a compressed report:
+//!
+//! * its depth, quantised at 0.2 m into 8 bits (0–40 m), and
+//! * for every other device, the difference between the reception timestamp
+//!   and that device's nominal slot start, bounded by `2·τ_max` (42 ms ≈
+//!   1852 samples at 44.1 kHz) and quantised at 2 samples into 10 bits.
+//!
+//! A CRC-16 is appended, the whole payload is protected with the rate-2/3
+//! convolutional code, and the coded bits are sent as binary FSK inside the
+//! device's own sub-band of 1–5 kHz so all devices can transmit to the
+//! leader simultaneously (~100 bit/s each).
+
+use crate::message::DeviceId;
+use crate::schedule::TdmSchedule;
+use crate::timestamps::TimestampTable;
+use crate::{ProtocolError, Result};
+use serde::{Deserialize, Serialize};
+use uw_dsp::coding::{conv_decode_two_thirds, conv_encode_two_thirds, crc16, push_uint, read_uint};
+use uw_dsp::fsk::{fsk_demodulate, fsk_modulate, FskConfig};
+use uw_device::sensors::{decode_depth, encode_depth};
+
+/// Timestamp quantisation resolution in samples (§2.4).
+pub const TIMESTAMP_RESOLUTION_SAMPLES: u64 = 2;
+
+/// Number of bits per relative timestamp field.
+pub const TIMESTAMP_BITS: usize = 10;
+
+/// Number of bits for the depth field.
+pub const DEPTH_BITS: usize = 8;
+
+/// Audio sampling rate assumed for timestamp quantisation (Hz).
+pub const REPORT_SAMPLE_RATE: f64 = 44_100.0;
+
+/// One device's decoded report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Reporting device.
+    pub device: DeviceId,
+    /// Quantised depth in metres.
+    pub depth_m: f64,
+    /// Per-device slot-relative reception offsets in seconds
+    /// (`None` where the device was not heard). Index = device ID; the
+    /// reporting device's own entry is `None`.
+    pub reception_offsets_s: Vec<Option<f64>>,
+}
+
+/// Packs a report into its payload bits (before coding).
+///
+/// `table` supplies the reception timestamps (local clock, seconds) and
+/// `sync_local_time` is the local time this device treats as the start of
+/// the round (the moment it synchronised). Devices that were not heard are
+/// encoded with the all-ones escape value.
+pub fn pack_report(
+    device: DeviceId,
+    n_devices: usize,
+    depth_m: f64,
+    table: &TimestampTable,
+    sync_local_time: f64,
+    schedule: &TdmSchedule,
+) -> Result<Vec<bool>> {
+    if n_devices < 2 || device >= n_devices {
+        return Err(ProtocolError::InvalidParameter {
+            reason: format!("device {device} invalid for a group of {n_devices}"),
+        });
+    }
+    let mut bits = Vec::new();
+    push_uint(&mut bits, encode_depth(depth_m) as u64, DEPTH_BITS);
+    let escape = (1u64 << TIMESTAMP_BITS) - 1;
+    for other in 0..n_devices {
+        if other == device {
+            continue;
+        }
+        let field = match table.reception(other) {
+            Some(t_rx) => {
+                // Offset of the reception relative to the other device's slot
+                // start, measured from this device's sync instant.
+                let slot_start = if other == 0 {
+                    0.0
+                } else {
+                    schedule.slot_after_leader(other)?
+                };
+                let offset_s = t_rx - sync_local_time - slot_start;
+                let offset_samples = offset_s * REPORT_SAMPLE_RATE;
+                if offset_samples < 0.0 {
+                    escape
+                } else {
+                    let q = (offset_samples / TIMESTAMP_RESOLUTION_SAMPLES as f64).round() as u64;
+                    q.min(escape - 1)
+                }
+            }
+            None => escape,
+        };
+        push_uint(&mut bits, field, TIMESTAMP_BITS);
+    }
+    let crc = crc16(&bits);
+    push_uint(&mut bits, crc as u64, 16);
+    Ok(bits)
+}
+
+/// Unpacks a report payload (after decoding) back into reception offsets.
+pub fn unpack_report(device: DeviceId, n_devices: usize, bits: &[bool]) -> Result<Report> {
+    let expected = DEPTH_BITS + (n_devices - 1) * TIMESTAMP_BITS + 16;
+    if bits.len() < expected {
+        return Err(ProtocolError::DecodeFailure {
+            reason: format!("report has {} bits, expected at least {expected}", bits.len()),
+        });
+    }
+    let payload = &bits[..expected - 16];
+    let (crc_field, _) = read_uint(bits, expected - 16, 16).map_err(ProtocolError::from)?;
+    if crc16(payload) as u64 != crc_field {
+        return Err(ProtocolError::DecodeFailure { reason: "CRC mismatch in report".into() });
+    }
+    let (depth_code, mut offset) = read_uint(payload, 0, DEPTH_BITS).map_err(ProtocolError::from)?;
+    let escape = (1u64 << TIMESTAMP_BITS) - 1;
+    let mut reception_offsets_s = vec![None; n_devices];
+    for other in 0..n_devices {
+        if other == device {
+            continue;
+        }
+        let (field, next) = read_uint(payload, offset, TIMESTAMP_BITS).map_err(ProtocolError::from)?;
+        offset = next;
+        if field != escape {
+            let samples = field * TIMESTAMP_RESOLUTION_SAMPLES;
+            reception_offsets_s[other] = Some(samples as f64 / REPORT_SAMPLE_RATE);
+        }
+    }
+    Ok(Report { device, depth_m: decode_depth(depth_code as u8), reception_offsets_s })
+}
+
+/// Encodes a packed report into its transmit waveform: rate-2/3
+/// convolutional coding followed by binary FSK in the device's sub-band.
+pub fn encode_report_waveform(device: DeviceId, n_devices: usize, payload_bits: &[bool]) -> Result<Vec<f64>> {
+    let coded = conv_encode_two_thirds(payload_bits);
+    let fsk = FskConfig::for_device(device, n_devices).map_err(ProtocolError::from)?;
+    fsk_modulate(&fsk, &coded).map_err(ProtocolError::from)
+}
+
+/// Decodes one device's report waveform (possibly a sum of several devices'
+/// simultaneous transmissions) back into payload bits.
+pub fn decode_report_waveform(
+    device: DeviceId,
+    n_devices: usize,
+    samples: &[f64],
+    payload_bit_count: usize,
+) -> Result<Vec<bool>> {
+    let fsk = FskConfig::for_device(device, n_devices).map_err(ProtocolError::from)?;
+    // Coded length: tail-terminated rate-2/3.
+    let coded_bits = 3 * (payload_bit_count + 6) / 2;
+    let coded = fsk_demodulate(&fsk, samples, coded_bits).map_err(ProtocolError::from)?;
+    let decoded = conv_decode_two_thirds(&coded).map_err(ProtocolError::from)?;
+    Ok(decoded[..payload_bit_count.min(decoded.len())].to_vec())
+}
+
+/// Number of payload bits in a report for a group of `n_devices`
+/// (`10·(N−1) + 8` plus the 16-bit CRC).
+pub fn report_payload_bits(n_devices: usize) -> usize {
+    DEPTH_BITS + (n_devices - 1) * TIMESTAMP_BITS + 16
+}
+
+/// Airtime of one report at the paper's ~100 bit/s per-device rate, in
+/// seconds (used by the latency analysis: ~0.9–1.2 s for 6–8 devices).
+pub fn report_airtime_s(n_devices: usize, bits_per_second: f64) -> f64 {
+    let coded_bits = 3 * (report_payload_bits(n_devices) + 6) / 2;
+    coded_bits as f64 / bits_per_second
+}
+
+/// Converts a leader-received report plus the schedule back into absolute
+/// local reception times on the reporting device's clock, relative to its
+/// sync instant (the inverse of the compression in [`pack_report`]).
+pub fn report_to_timestamp_table(report: &Report, schedule: &TdmSchedule) -> Result<TimestampTable> {
+    let mut table = TimestampTable::new(report.device);
+    if report.device != 0 {
+        table.record_own_tx(schedule.slot_after_leader(report.device)?);
+    } else {
+        table.record_own_tx(0.0);
+    }
+    for (other, offset) in report.reception_offsets_s.iter().enumerate() {
+        if let Some(off) = offset {
+            let slot_start = if other == 0 { 0.0 } else { schedule.slot_after_leader(other)? };
+            table.record_reception(other, slot_start + off);
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn example_table(device: DeviceId, n: usize, schedule: &TdmSchedule, sync: f64) -> TimestampTable {
+        let mut t = TimestampTable::new(device);
+        t.record_own_tx(sync + schedule.slot_after_leader(device).unwrap_or(0.0));
+        for other in 0..n {
+            if other == device {
+                continue;
+            }
+            let slot = if other == 0 { 0.0 } else { schedule.slot_after_leader(other).unwrap() };
+            // Reception a few ms after the slot start (propagation delay).
+            t.record_reception(other, sync + slot + 0.012 + other as f64 * 0.001);
+        }
+        t
+    }
+
+    #[test]
+    fn payload_size_matches_paper() {
+        // N divers: 10(N−1) + 8 bits plus CRC-16.
+        assert_eq!(report_payload_bits(6), 8 + 50 + 16);
+        assert_eq!(report_payload_bits(8), 8 + 70 + 16);
+        // ~1 s airtime at 100 bps for N=6–8, matching §2.4.
+        let t6 = report_airtime_s(6, 100.0);
+        let t8 = report_airtime_s(8, 100.0);
+        assert!(t6 > 0.8 && t6 < 1.4, "t6 {t6}");
+        assert!(t8 > t6 && t8 < 1.7, "t8 {t8}");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let n = 6;
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let sync = 3.7;
+        let table = example_table(2, n, &schedule, sync);
+        let bits = pack_report(2, n, 7.35, &table, sync, &schedule).unwrap();
+        assert_eq!(bits.len(), report_payload_bits(n));
+        let report = unpack_report(2, n, &bits).unwrap();
+        assert!((report.depth_m - 7.4).abs() < 0.11, "depth {}", report.depth_m);
+        for other in 0..n {
+            if other == 2 {
+                assert!(report.reception_offsets_s[other].is_none());
+            } else {
+                let expected = 0.012 + other as f64 * 0.001;
+                let got = report.reception_offsets_s[other].unwrap();
+                // 2-sample resolution at 44.1 kHz is ~45 µs.
+                assert!((got - expected).abs() < 1e-4, "device {other}: {got} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_receptions_survive_roundtrip() {
+        let n = 5;
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let mut table = example_table(3, n, &schedule, 0.0);
+        table.receptions.remove(&1);
+        let bits = pack_report(3, n, 2.0, &table, 0.0, &schedule).unwrap();
+        let report = unpack_report(3, n, &bits).unwrap();
+        assert!(report.reception_offsets_s[1].is_none());
+        assert!(report.reception_offsets_s[0].is_some());
+    }
+
+    #[test]
+    fn corrupted_report_fails_crc() {
+        let n = 5;
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let table = example_table(1, n, &schedule, 0.0);
+        let mut bits = pack_report(1, n, 2.0, &table, 0.0, &schedule).unwrap();
+        bits[12] = !bits[12];
+        assert!(matches!(unpack_report(1, n, &bits), Err(ProtocolError::DecodeFailure { .. })));
+        assert!(unpack_report(1, n, &bits[..10]).is_err());
+    }
+
+    #[test]
+    fn waveform_roundtrip_single_device() {
+        let n = 6;
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let table = example_table(4, n, &schedule, 1.0);
+        let bits = pack_report(4, n, 12.6, &table, 1.0, &schedule).unwrap();
+        let wave = encode_report_waveform(4, n, &bits).unwrap();
+        let decoded = decode_report_waveform(4, n, &wave, bits.len()).unwrap();
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn simultaneous_reports_decode_in_their_own_bands() {
+        let n = 5;
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let mut waves = Vec::new();
+        let mut payloads = Vec::new();
+        for device in 1..n {
+            let table = example_table(device, n, &schedule, 0.5);
+            let bits = pack_report(device, n, device as f64, &table, 0.5, &schedule).unwrap();
+            waves.push(encode_report_waveform(device, n, &bits).unwrap());
+            payloads.push(bits);
+        }
+        let max_len = waves.iter().map(Vec::len).max().unwrap();
+        let mut mixed = vec![0.0; max_len];
+        let mut rng = StdRng::seed_from_u64(9);
+        for w in &waves {
+            for (i, &s) in w.iter().enumerate() {
+                mixed[i] += s;
+            }
+        }
+        for s in mixed.iter_mut() {
+            *s += 0.2 * rng.gen_range(-1.0..1.0);
+        }
+        for device in 1..n {
+            let decoded = decode_report_waveform(device, n, &mixed, payloads[device - 1].len()).unwrap();
+            assert_eq!(decoded, payloads[device - 1], "device {device}");
+            let report = unpack_report(device, n, &decoded).unwrap();
+            assert!((report.depth_m - device as f64).abs() < 0.11);
+        }
+    }
+
+    #[test]
+    fn report_to_table_reconstruction() {
+        let n = 5;
+        let schedule = TdmSchedule::paper_defaults(n).unwrap();
+        let sync = 0.0;
+        let table = example_table(2, n, &schedule, sync);
+        let bits = pack_report(2, n, 5.0, &table, sync, &schedule).unwrap();
+        let report = unpack_report(2, n, &bits).unwrap();
+        let rebuilt = report_to_timestamp_table(&report, &schedule).unwrap();
+        assert_eq!(rebuilt.device, 2);
+        // Reconstructed reception times match the original table (both are
+        // expressed relative to the device's sync instant).
+        for other in 0..n {
+            if other == 2 {
+                continue;
+            }
+            let original = table.reception(other).unwrap() - sync;
+            let rebuilt_t = rebuilt.reception(other).unwrap();
+            assert!((original - rebuilt_t).abs() < 1e-4, "device {other}");
+        }
+        assert!((rebuilt.own_tx.unwrap() - schedule.slot_after_leader(2).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pack_validates_inputs() {
+        let schedule = TdmSchedule::paper_defaults(4).unwrap();
+        let table = TimestampTable::new(1);
+        assert!(pack_report(5, 4, 1.0, &table, 0.0, &schedule).is_err());
+        assert!(pack_report(0, 1, 1.0, &table, 0.0, &schedule).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Messages exchanged during a localization round.
+//!
+//! Three message types travel over the acoustic channel:
+//!
+//! * the leader's **query** that opens the round,
+//! * each device's **response** — a ranging preamble followed by an MFSK
+//!   tone carrying its ID and, when the device synchronised to a peer
+//!   rather than the leader, the ID of that reference device,
+//! * each device's **report** carrying its timestamp table and depth back
+//!   to the leader (encoded by [`crate::comm`]).
+
+use crate::{ProtocolError, Result};
+use serde::{Deserialize, Serialize};
+use uw_dsp::fsk::MfskIdCodec;
+
+/// Identifier of a device within the dive group (0 = leader).
+pub type DeviceId = usize;
+
+/// A message transmitted during the timestamp protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolMessage {
+    /// The leader's query that initiates a round.
+    Query {
+        /// Leader ID (always 0).
+        leader: DeviceId,
+    },
+    /// A device's TDM response.
+    Response {
+        /// Responding device ID.
+        device: DeviceId,
+        /// Device whose message this responder used to synchronise its
+        /// slot: the leader (0) in the common case, or a peer ID when the
+        /// leader was out of range.
+        reference: DeviceId,
+    },
+}
+
+impl ProtocolMessage {
+    /// The ID of the transmitting device.
+    pub fn sender(&self) -> DeviceId {
+        match self {
+            ProtocolMessage::Query { leader } => *leader,
+            ProtocolMessage::Response { device, .. } => *device,
+        }
+    }
+}
+
+/// Encodes and decodes the ID fields of protocol messages as MFSK tones
+/// (§2.3: the 1–5 kHz band is divided into one bin per device and the
+/// transmitter puts energy only in its own bin).
+#[derive(Debug, Clone)]
+pub struct IdCodec {
+    codec: MfskIdCodec,
+}
+
+impl IdCodec {
+    /// Creates a codec for a group of `n_devices`.
+    pub fn new(n_devices: usize) -> Result<Self> {
+        let codec = MfskIdCodec::new(n_devices)
+            .map_err(|e| ProtocolError::InvalidParameter { reason: e.to_string() })?;
+        Ok(Self { codec })
+    }
+
+    /// Number of samples of one encoded ID tone.
+    pub fn tone_len(&self) -> usize {
+        self.codec.tone_len()
+    }
+
+    /// Encodes a message's ID fields as a waveform: the sender ID tone
+    /// followed by the reference ID tone (queries encode the leader ID
+    /// twice, keeping the message length constant).
+    pub fn encode(&self, message: &ProtocolMessage) -> Result<Vec<f64>> {
+        let (a, b) = match message {
+            ProtocolMessage::Query { leader } => (*leader, *leader),
+            ProtocolMessage::Response { device, reference } => (*device, *reference),
+        };
+        let mut wave = self
+            .codec
+            .encode(a)
+            .map_err(|e| ProtocolError::InvalidParameter { reason: e.to_string() })?;
+        wave.extend(
+            self.codec
+                .encode(b)
+                .map_err(|e| ProtocolError::InvalidParameter { reason: e.to_string() })?,
+        );
+        Ok(wave)
+    }
+
+    /// Decodes the two ID fields from a received waveform, returning
+    /// `(sender, reference)` and the lower of the two decode confidences.
+    pub fn decode(&self, samples: &[f64]) -> Result<((DeviceId, DeviceId), f64)> {
+        let tone = self.tone_len();
+        if samples.len() < 2 * tone {
+            return Err(ProtocolError::DecodeFailure {
+                reason: format!("ID waveform of {} samples is shorter than two tones ({})", samples.len(), 2 * tone),
+            });
+        }
+        let (a, conf_a) = self
+            .codec
+            .decode(&samples[..tone])
+            .map_err(|e| ProtocolError::DecodeFailure { reason: e.to_string() })?;
+        let (b, conf_b) = self
+            .codec
+            .decode(&samples[tone..2 * tone])
+            .map_err(|e| ProtocolError::DecodeFailure { reason: e.to_string() })?;
+        Ok(((a, b), conf_a.min(conf_b)))
+    }
+
+    /// Decodes a full protocol message from the ID waveform. A message whose
+    /// sender equals its reference and is 0 is interpreted as the query.
+    pub fn decode_message(&self, samples: &[f64]) -> Result<(ProtocolMessage, f64)> {
+        let ((sender, reference), confidence) = self.decode(samples)?;
+        let message = if sender == 0 {
+            ProtocolMessage::Query { leader: 0 }
+        } else {
+            ProtocolMessage::Response { device: sender, reference }
+        };
+        Ok((message, confidence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn message_sender() {
+        assert_eq!(ProtocolMessage::Query { leader: 0 }.sender(), 0);
+        assert_eq!(ProtocolMessage::Response { device: 3, reference: 0 }.sender(), 3);
+    }
+
+    #[test]
+    fn id_roundtrip_for_all_message_types() {
+        let codec = IdCodec::new(6).unwrap();
+        for message in [
+            ProtocolMessage::Query { leader: 0 },
+            ProtocolMessage::Response { device: 1, reference: 0 },
+            ProtocolMessage::Response { device: 4, reference: 2 },
+            ProtocolMessage::Response { device: 5, reference: 5 },
+        ] {
+            let wave = codec.encode(&message).unwrap();
+            assert_eq!(wave.len(), 2 * codec.tone_len());
+            let (decoded, confidence) = codec.decode_message(&wave).unwrap();
+            assert_eq!(decoded, message);
+            assert!(confidence > 5.0, "confidence {confidence}");
+        }
+    }
+
+    #[test]
+    fn id_roundtrip_with_noise() {
+        let codec = IdCodec::new(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let message = ProtocolMessage::Response { device: 6, reference: 3 };
+        let mut wave = codec.encode(&message).unwrap();
+        for s in wave.iter_mut() {
+            *s += 0.6 * rng.gen_range(-1.0..1.0);
+        }
+        let (decoded, _) = codec.decode_message(&wave).unwrap();
+        assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let codec = IdCodec::new(4).unwrap();
+        assert!(codec.encode(&ProtocolMessage::Response { device: 9, reference: 0 }).is_err());
+        assert!(codec.decode(&[0.0; 10]).is_err());
+        assert!(IdCodec::new(0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! # uw-ranging — pairwise acoustic distance estimation
+//!
+//! Implements §2.2 of the paper: estimating the exact arrival time of a
+//! ZC-OFDM preamble at a device with two microphones, despite severe
+//! underwater multipath, and converting arrival times to distances.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. **Detection** ([`detect`]) — cross-correlate the microphone stream
+//!    with the known preamble, then validate candidates with the 4-segment
+//!    PN auto-correlation (threshold 0.35). This rejects the spiky noise
+//!    that fools plain correlation detectors.
+//! 2. **Channel estimation** ([`channel_est`]) — least-squares estimation of
+//!    the channel impulse response from the four received OFDM symbols.
+//! 3. **Direct-path identification** ([`los`]) — the dual-microphone joint
+//!    search: the direct path is the earliest pair of peaks (one per
+//!    microphone channel) whose sample offset respects the physical 16 cm
+//!    microphone separation.
+//!
+//! [`ranging`] glues the stages into arrival-time and distance estimators,
+//! and [`baselines`] implements the BeepBeep (chirp auto-correlation) and
+//! CAT (FMCW) comparison schemes from Fig. 12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod channel_est;
+pub mod detect;
+pub mod los;
+pub mod preamble;
+pub mod ranging;
+
+pub use preamble::RangingPreamble;
+pub use ranging::{ArrivalEstimate, RangingConfig};
+
+/// Errors produced by the ranging layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangingError {
+    /// The preamble was not detected in the stream.
+    NotDetected {
+        /// Best validation score observed (for diagnostics).
+        best_score: f64,
+    },
+    /// No direct path satisfying the dual-microphone constraint was found.
+    NoDirectPath,
+    /// Input buffers were too short or inconsistent.
+    InvalidInput {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An underlying DSP error.
+    Dsp(uw_dsp::DspError),
+}
+
+impl std::fmt::Display for RangingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangingError::NotDetected { best_score } => {
+                write!(f, "preamble not detected (best validation score {best_score:.3})")
+            }
+            RangingError::NoDirectPath => write!(f, "no direct path satisfying the dual-mic constraint"),
+            RangingError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            RangingError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RangingError {}
+
+impl From<uw_dsp::DspError> for RangingError {
+    fn from(e: uw_dsp::DspError) -> Self {
+        RangingError::Dsp(e)
+    }
+}
+
+/// Convenience result alias for the ranging layer.
+pub type Result<T> = std::result::Result<T, RangingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = RangingError::NotDetected { best_score: 0.12 };
+        assert!(e.to_string().contains("0.12"));
+        assert!(RangingError::NoDirectPath.to_string().contains("direct path"));
+        let e = RangingError::InvalidInput { reason: "empty stream".into() };
+        assert!(e.to_string().contains("empty stream"));
+        let e: RangingError = uw_dsp::DspError::InvalidLength { reason: "x" }.into();
+        assert!(e.to_string().contains("dsp error"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Direct-path (line-of-sight) identification from channel profiles.
+//!
+//! Underwater, the direct path can be *weaker* than later multipath
+//! arrivals, so neither "highest peak" nor "first non-negligible peak" is
+//! reliable on a single microphone. The paper's §2.2 formulation uses both
+//! microphones jointly:
+//!
+//! ```text
+//! minimise   τ_LOS = (n + m) / 2
+//! subject to h1(n) > w1 + λ,      h2(m) > w2 + λ,
+//!            IsPeak(n, h1) ∧ IsPeak(m, h2),
+//!            |n − m| ≤ d / c · fs
+//! ```
+//!
+//! where `w1`, `w2` are per-channel noise floors (mean of the last 100
+//! taps), `λ = 0.2` is a conservative margin, and `d` is the physical
+//! microphone separation (16 cm) — the time difference of arrival between
+//! the microphones can never exceed the acoustic travel time across the
+//! device. Case reflections and per-microphone noise differ between the two
+//! channels, so a spurious early peak in one channel rarely has a partner
+//! within the allowed offset in the other.
+
+use crate::channel_est::NOISE_TAIL_TAPS;
+use crate::{RangingError, Result};
+use serde::{Deserialize, Serialize};
+use uw_dsp::peaks::{find_peaks_above, is_peak, noise_floor, normalize_profile};
+
+/// Parameters of the direct-path search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LosConfig {
+    /// Conservative margin λ added to the noise floor (0.2 in the paper).
+    pub lambda: f64,
+    /// Physical separation between the two microphones in metres (0.16 m).
+    pub mic_separation_m: f64,
+    /// Speed of sound in m/s.
+    pub sound_speed: f64,
+    /// Audio sampling rate in Hz.
+    pub sample_rate: f64,
+}
+
+impl Default for LosConfig {
+    fn default() -> Self {
+        Self { lambda: 0.2, mic_separation_m: 0.16, sound_speed: 1500.0, sample_rate: 44_100.0 }
+    }
+}
+
+impl LosConfig {
+    /// Maximum allowed tap offset between the two channels, in samples.
+    pub fn max_offset_taps(&self) -> usize {
+        ((self.mic_separation_m / self.sound_speed) * self.sample_rate).ceil() as usize
+    }
+}
+
+/// Result of the dual-microphone direct-path search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LosEstimate {
+    /// Direct-path delay in channel taps: `(n + m) / 2`.
+    pub tau_taps: f64,
+    /// Direct-path tap index in the first microphone's channel.
+    pub tap_mic1: usize,
+    /// Direct-path tap index in the second microphone's channel.
+    pub tap_mic2: usize,
+}
+
+/// Joint dual-microphone direct-path search over two channel magnitude
+/// profiles (which need not be normalised; normalisation happens inside).
+pub fn dual_mic_los(h1: &[f64], h2: &[f64], config: &LosConfig) -> Result<LosEstimate> {
+    if h1.is_empty() || h2.is_empty() {
+        return Err(RangingError::InvalidInput { reason: "empty channel profile".into() });
+    }
+    if h1.len() != h2.len() {
+        return Err(RangingError::InvalidInput {
+            reason: format!("channel profiles differ in length ({} vs {})", h1.len(), h2.len()),
+        });
+    }
+    let n1 = normalize_profile(h1);
+    let n2 = normalize_profile(h2);
+    let w1 = noise_floor(&n1, NOISE_TAIL_TAPS).map_err(RangingError::from)?;
+    let w2 = noise_floor(&n2, NOISE_TAIL_TAPS).map_err(RangingError::from)?;
+    let t1 = w1 + config.lambda;
+    let t2 = w2 + config.lambda;
+    let max_off = config.max_offset_taps() as i64;
+
+    let peaks1 = find_peaks_above(&n1, t1);
+    let peaks2 = find_peaks_above(&n2, t2);
+    if peaks1.is_empty() || peaks2.is_empty() {
+        return Err(RangingError::NoDirectPath);
+    }
+
+    let mut best: Option<LosEstimate> = None;
+    for &n in &peaks1 {
+        for &m in &peaks2 {
+            if (n as i64 - m as i64).abs() > max_off {
+                continue;
+            }
+            let tau = (n + m) as f64 / 2.0;
+            if best.map_or(true, |b| tau < b.tau_taps) {
+                best = Some(LosEstimate { tau_taps: tau, tap_mic1: n, tap_mic2: m });
+            }
+        }
+    }
+    best.ok_or(RangingError::NoDirectPath)
+}
+
+/// Single-microphone fallback: the earliest peak exceeding the noise floor
+/// plus λ. Used for the ablation in Fig. 11b ("bottom only" / "top only").
+pub fn single_mic_los(h: &[f64], config: &LosConfig) -> Result<LosEstimate> {
+    if h.is_empty() {
+        return Err(RangingError::InvalidInput { reason: "empty channel profile".into() });
+    }
+    let n = normalize_profile(h);
+    let w = noise_floor(&n, NOISE_TAIL_TAPS).map_err(RangingError::from)?;
+    let threshold = w + config.lambda;
+    let idx = (0..n.len())
+        .find(|&i| n[i] > threshold && is_peak(&n, i))
+        .ok_or(RangingError::NoDirectPath)?;
+    Ok(LosEstimate { tau_taps: idx as f64, tap_mic1: idx, tap_mic2: idx })
+}
+
+/// The dual-microphone *sign* used for flipping disambiguation (§2.1.4):
+/// `sgn(m − n)` tells which microphone heard the signal first and therefore
+/// which side of the leader's pointing line the transmitter is on. Returns
+/// +1 when the signal reached microphone 1 first, −1 when microphone 2 was
+/// first, and 0 when they tie.
+pub fn arrival_sign(estimate: &LosEstimate) -> i8 {
+    match estimate.tap_mic2.cmp(&estimate.tap_mic1) {
+        std::cmp::Ordering::Greater => 1,
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic channel profile with taps at the given (index,
+    /// amplitude) pairs over `len` taps plus a small noise floor.
+    fn profile(len: usize, taps: &[(usize, f64)], noise: f64) -> Vec<f64> {
+        let mut h = vec![noise; len];
+        // Slight deterministic ripple so the tail is not perfectly flat.
+        for (i, v) in h.iter_mut().enumerate() {
+            *v += noise * 0.2 * ((i as f64) * 0.7).sin().abs();
+        }
+        for &(idx, amp) in taps {
+            h[idx] = amp;
+        }
+        h
+    }
+
+    #[test]
+    fn finds_direct_path_when_it_is_strongest() {
+        let config = LosConfig::default();
+        let h1 = profile(1920, &[(40, 1.0), (80, 0.6)], 0.02);
+        let h2 = profile(1920, &[(42, 1.0), (83, 0.6)], 0.03);
+        let est = dual_mic_los(&h1, &h2, &config).unwrap();
+        assert_eq!(est.tap_mic1, 40);
+        assert_eq!(est.tap_mic2, 42);
+        assert!((est.tau_taps - 41.0).abs() < 1e-12);
+        assert_eq!(arrival_sign(&est), 1);
+    }
+
+    #[test]
+    fn finds_attenuated_direct_path_before_stronger_multipath() {
+        // The direct path (0.35) is weaker than the reflection (1.0) but
+        // still above noise+λ; the joint search must pick the earlier pair.
+        let config = LosConfig::default();
+        let h1 = profile(1920, &[(50, 0.35), (120, 1.0)], 0.02);
+        let h2 = profile(1920, &[(52, 0.4), (118, 1.0)], 0.02);
+        let est = dual_mic_los(&h1, &h2, &config).unwrap();
+        assert_eq!((est.tap_mic1, est.tap_mic2), (50, 52));
+    }
+
+    #[test]
+    fn rejects_early_spurious_peak_present_in_only_one_channel() {
+        // Channel 1 has a spurious early peak (hardware noise / case
+        // reflection) at tap 20; channel 2 has nothing within the allowed
+        // ±5-tap offset, so the search must skip it.
+        let config = LosConfig::default();
+        let h1 = profile(1920, &[(20, 0.5), (60, 0.9)], 0.02);
+        let h2 = profile(1920, &[(62, 0.9)], 0.02);
+        let est = dual_mic_los(&h1, &h2, &config).unwrap();
+        assert_eq!((est.tap_mic1, est.tap_mic2), (60, 62));
+        // A single-microphone estimator on channel 1 falls for the spur —
+        // this is exactly the failure mode Fig. 11b measures.
+        let single = single_mic_los(&h1, &config).unwrap();
+        assert_eq!(single.tap_mic1, 20);
+    }
+
+    #[test]
+    fn offset_constraint_uses_mic_separation() {
+        let config = LosConfig::default();
+        assert_eq!(config.max_offset_taps(), 5); // 0.16 m / 1500 m/s · 44.1 kHz ≈ 4.7
+        let wide = LosConfig { mic_separation_m: 1.0, ..config };
+        assert_eq!(wide.max_offset_taps(), 30);
+    }
+
+    #[test]
+    fn below_threshold_profiles_yield_no_path() {
+        let config = LosConfig::default();
+        // Everything below noise floor + λ after normalisation has no peaks
+        // above threshold other than... make a truly flat profile.
+        let h = vec![0.5; 1920];
+        assert!(matches!(dual_mic_los(&h, &h, &config), Err(RangingError::NoDirectPath)));
+        assert!(matches!(single_mic_los(&h, &config), Err(RangingError::NoDirectPath)));
+    }
+
+    #[test]
+    fn input_validation() {
+        let config = LosConfig::default();
+        assert!(dual_mic_los(&[], &[], &config).is_err());
+        assert!(dual_mic_los(&[1.0; 10], &[1.0; 20], &config).is_err());
+        assert!(single_mic_los(&[], &config).is_err());
+    }
+
+    #[test]
+    fn arrival_sign_values() {
+        let e = LosEstimate { tau_taps: 10.0, tap_mic1: 10, tap_mic2: 12 };
+        assert_eq!(arrival_sign(&e), 1);
+        let e = LosEstimate { tau_taps: 10.0, tap_mic1: 12, tap_mic2: 10 };
+        assert_eq!(arrival_sign(&e), -1);
+        let e = LosEstimate { tau_taps: 10.0, tap_mic1: 10, tap_mic2: 10 };
+        assert_eq!(arrival_sign(&e), 0);
+    }
+
+    #[test]
+    fn single_mic_equals_dual_when_channels_identical() {
+        let config = LosConfig::default();
+        let h = profile(1920, &[(33, 0.9), (70, 0.7)], 0.01);
+        let dual = dual_mic_los(&h, &h, &config).unwrap();
+        let single = single_mic_los(&h, &config).unwrap();
+        assert_eq!(dual.tap_mic1, single.tap_mic1);
+        assert_eq!(dual.tau_taps, single.tau_taps);
+    }
+}

@@ -1,0 +1,130 @@
+//! The ranging preamble and its transmit-side representation.
+//!
+//! Wraps the OFDM preamble construction from `uw-dsp` together with the
+//! quantities the receiver needs repeatedly (the base symbol spectrum for
+//! LS channel estimation, PN signs, block boundaries), so they are computed
+//! once per configuration instead of per packet.
+
+use crate::Result;
+use uw_dsp::complex::Complex64;
+use uw_dsp::ofdm::{base_symbol_spectrum, build_preamble, OfdmConfig};
+
+/// A fully-built ranging preamble.
+#[derive(Debug, Clone)]
+pub struct RangingPreamble {
+    /// The OFDM design parameters.
+    pub config: OfdmConfig,
+    /// Time-domain transmit waveform (PN-signed symbols with cyclic
+    /// prefixes, edge-ramped).
+    pub waveform: Vec<f64>,
+    /// Frequency-domain values on the occupied bins of the base symbol
+    /// (before PN signing) — the `X(k)` of the LS estimator.
+    pub base_bins: Vec<Complex64>,
+    /// First occupied FFT bin index.
+    pub first_bin: usize,
+    /// PN signs of the preamble symbols.
+    pub pn_signs: Vec<f64>,
+}
+
+impl RangingPreamble {
+    /// Builds the preamble for a configuration.
+    pub fn new(config: OfdmConfig) -> Result<Self> {
+        let spectrum = base_symbol_spectrum(&config)?;
+        let mut waveform = build_preamble(&config)?;
+        // A 2 ms raised-cosine up-ramp at the start avoids a speaker click.
+        // It only touches the first symbol's cyclic prefix, so the channel
+        // estimate — which operates on the symbol bodies — is unaffected.
+        // The tail is left unramped: ramping the last symbol's samples would
+        // distort the LS channel estimate and create spurious early taps.
+        let ramp = ((0.002 * config.sample_rate) as usize).min(config.cyclic_prefix / 2);
+        for (i, s) in waveform.iter_mut().take(ramp).enumerate() {
+            *s *= 0.5 * (1.0 - (std::f64::consts::PI * i as f64 / ramp as f64).cos());
+        }
+        let pn_signs = config.pn_signs();
+        Ok(Self { config, waveform, base_bins: spectrum.bins, first_bin: spectrum.first_bin, pn_signs })
+    }
+
+    /// Builds the preamble with the paper's default parameters
+    /// (4 × 1920-sample ZC-OFDM symbols, 540-sample cyclic prefixes,
+    /// 1–5 kHz).
+    pub fn default_paper() -> Result<Self> {
+        Self::new(OfdmConfig::default())
+    }
+
+    /// Length of one symbol block (cyclic prefix + symbol) in samples.
+    pub fn block_len(&self) -> usize {
+        self.config.symbol_len + self.config.cyclic_prefix
+    }
+
+    /// Total preamble length in samples.
+    pub fn len(&self) -> usize {
+        self.waveform.len()
+    }
+
+    /// Returns true when the preamble contains no samples (never the case
+    /// for a successfully-built preamble).
+    pub fn is_empty(&self) -> bool {
+        self.waveform.is_empty()
+    }
+
+    /// Duration of the preamble in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.len() as f64 / self.config.sample_rate
+    }
+
+    /// Start offset of the `i`-th OFDM symbol (excluding its cyclic prefix)
+    /// within the preamble.
+    pub fn symbol_start(&self, i: usize) -> usize {
+        i * self.block_len() + self.config.cyclic_prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preamble_matches_paper_dimensions() {
+        let p = RangingPreamble::default_paper().unwrap();
+        assert_eq!(p.len(), 4 * (1920 + 540));
+        assert_eq!(p.block_len(), 2460);
+        assert!(!p.is_empty());
+        assert_eq!(p.pn_signs, vec![1.0, 1.0, -1.0, 1.0]);
+        assert!(p.duration_s() > 0.2 && p.duration_s() < 0.25);
+        assert!(!p.base_bins.is_empty());
+        assert!(p.first_bin > 0);
+    }
+
+    #[test]
+    fn symbol_start_offsets() {
+        let p = RangingPreamble::default_paper().unwrap();
+        assert_eq!(p.symbol_start(0), 540);
+        assert_eq!(p.symbol_start(1), 2460 + 540);
+        assert_eq!(p.symbol_start(3), 3 * 2460 + 540);
+        assert!(p.symbol_start(3) + p.config.symbol_len <= p.len());
+    }
+
+    #[test]
+    fn waveform_start_is_ramped() {
+        let p = RangingPreamble::default_paper().unwrap();
+        // The up-ramp starts from silence and only spans part of the first
+        // cyclic prefix.
+        assert!(p.waveform[0].abs() < 1e-9);
+        let ramp = (0.002 * p.config.sample_rate) as usize;
+        assert!(ramp < p.config.cyclic_prefix);
+        // Peak is still ~1 in the interior.
+        let peak = p.waveform.iter().fold(0.0f64, |m, &s| m.max(s.abs()));
+        assert!(peak > 0.9);
+        // Beyond the ramp the waveform matches the unramped construction.
+        let raw = uw_dsp::ofdm::build_preamble(&p.config).unwrap();
+        for i in ramp..p.len() {
+            assert!((p.waveform[i] - raw[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let config = OfdmConfig { n_symbols: 1, ..OfdmConfig::default() };
+        assert!(RangingPreamble::new(config).is_err());
+    }
+}

