@@ -1,6 +1,10 @@
 //! Criterion micro-benchmarks for the DSP hot paths: FFTs, preamble
 //! correlation, LS channel estimation and Viterbi decoding. These are the
 //! operations a phone must run in real time during a protocol round.
+//!
+//! The `*_naive`/`*_oneshot` entries measure the plan-free reference path
+//! (twiddles, Bluestein chirps and buffers rebuilt per call) so every run
+//! records the planned-vs-naive ratio alongside the absolute numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -9,6 +13,7 @@ use uw_dsp::coding::{conv_decode_two_thirds, conv_encode_two_thirds};
 use uw_dsp::complex::to_complex;
 use uw_dsp::correlation::xcorr_normalized;
 use uw_dsp::fft::{fft, fft_any};
+use uw_dsp::plan::FftPlan;
 use uw_ranging::channel_est::ls_channel_estimate;
 use uw_ranging::detect::{detect_preamble, DetectorConfig};
 use uw_ranging::preamble::RangingPreamble;
@@ -19,25 +24,65 @@ fn bench_fft(c: &mut Criterion) {
     let sym: Vec<f64> = (0..1920).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let pow2_c = to_complex(&pow2);
     let sym_c = to_complex(&sym);
-    c.bench_function("fft_radix2_2048", |b| b.iter(|| fft(&pow2_c).unwrap()));
-    c.bench_function("fft_bluestein_1920", |b| b.iter(|| fft_any(&sym_c).unwrap()));
+
+    c.bench_function("fft_radix2_2048_naive", |b| {
+        b.iter(|| fft(&pow2_c).unwrap())
+    });
+    let mut plan2048 = FftPlan::new(2048).unwrap();
+    let mut buf2048 = pow2_c.clone();
+    c.bench_function("fft_radix2_2048", |b| {
+        b.iter(|| {
+            buf2048.copy_from_slice(&pow2_c);
+            plan2048.process_forward(&mut buf2048).unwrap();
+        })
+    });
+
+    c.bench_function("fft_bluestein_1920_naive", |b| {
+        b.iter(|| fft_any(&sym_c).unwrap())
+    });
+    let mut plan1920 = FftPlan::new(1920).unwrap();
+    let mut buf1920 = sym_c.clone();
+    c.bench_function("fft_bluestein_1920", |b| {
+        b.iter(|| {
+            buf1920.copy_from_slice(&sym_c);
+            plan1920.process_forward(&mut buf1920).unwrap();
+        })
+    });
 }
 
 fn bench_detection(c: &mut Criterion) {
     let preamble = RangingPreamble::default_paper().unwrap();
     let mut rng = StdRng::seed_from_u64(2);
-    let mut stream: Vec<f64> = (0..preamble.len() + 20_000).map(|_| 0.02 * rng.gen_range(-1.0..1.0)).collect();
+    let mut stream: Vec<f64> = (0..preamble.len() + 20_000)
+        .map(|_| 0.02 * rng.gen_range(-1.0..1.0))
+        .collect();
     for (i, &p) in preamble.waveform.iter().enumerate() {
         stream[5_000 + i] += 0.5 * p;
     }
     let config = DetectorConfig::default();
-    c.bench_function("preamble_correlation_65k_stream", |b| {
+
+    // One-shot reference: template spectrum + next_pow2(signal + template)
+    // monster FFT rebuilt per call.
+    c.bench_function("preamble_correlation_65k_oneshot", |b| {
         b.iter(|| xcorr_normalized(&stream, &preamble.waveform).unwrap())
     });
+    // Streaming matched filter: cached template spectrum, overlap-save
+    // blocks through a cached plan, pooled scratch, reused output buffer.
+    let mut corr_out: Vec<f64> = Vec::new();
+    c.bench_function("preamble_correlation_65k_stream", |b| {
+        b.iter(|| {
+            preamble
+                .correlate_normalized_into(&stream, &mut corr_out)
+                .unwrap()
+        })
+    });
+
     c.bench_function("preamble_detect_with_validation", |b| {
         b.iter(|| detect_preamble(&stream, &preamble, &config).unwrap())
     });
-    c.bench_function("ls_channel_estimate", |b| b.iter(|| ls_channel_estimate(&stream, &preamble, 4_744).unwrap()));
+    c.bench_function("ls_channel_estimate", |b| {
+        b.iter(|| ls_channel_estimate(&stream, &preamble, 4_744).unwrap())
+    });
 }
 
 fn bench_coding(c: &mut Criterion) {
@@ -45,8 +90,12 @@ fn bench_coding(c: &mut Criterion) {
     // A 5-device report payload: 8 + 4·10 + 16 = 64 bits.
     let bits: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
     let coded = conv_encode_two_thirds(&bits);
-    c.bench_function("conv_encode_report", |b| b.iter(|| conv_encode_two_thirds(&bits)));
-    c.bench_function("viterbi_decode_report", |b| b.iter(|| conv_decode_two_thirds(&coded).unwrap()));
+    c.bench_function("conv_encode_report", |b| {
+        b.iter(|| conv_encode_two_thirds(&bits))
+    });
+    c.bench_function("viterbi_decode_report", |b| {
+        b.iter(|| conv_decode_two_thirds(&coded).unwrap())
+    });
 }
 
 fn config() -> Criterion {

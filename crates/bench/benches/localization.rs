@@ -5,14 +5,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use uw_channel::geometry::Point3;
 use uw_localization::ambiguity::geometric_side;
 use uw_localization::matrix::{DistanceMatrix, Vec2, WeightMatrix};
 use uw_localization::outlier::{localize_with_outlier_detection, OutlierConfig};
-use uw_localization::pipeline::{localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig};
+use uw_localization::pipeline::{
+    localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig,
+};
 use uw_localization::project::distances_from_positions;
 use uw_localization::rigidity::{is_uniquely_realizable, LinkGraph};
 use uw_localization::smacof::{smacof, SmacofConfig};
-use uw_channel::geometry::Point3;
 
 fn testbed_2d() -> Vec<Vec2> {
     vec![
@@ -52,8 +54,13 @@ fn bench_outlier_detection(c: &mut Criterion) {
     c.bench_function("outlier_detection_one_bad_link", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
-                .unwrap()
+            localize_with_outlier_detection(
+                &d,
+                &SmacofConfig::default(),
+                &OutlierConfig::default(),
+                &mut rng,
+            )
+            .unwrap()
         })
     });
 }
@@ -61,7 +68,9 @@ fn bench_outlier_detection(c: &mut Criterion) {
 fn bench_rigidity(c: &mut Criterion) {
     let d = DistanceMatrix::from_points_2d(&testbed_2d());
     let graph = LinkGraph::from_distances(&d);
-    c.bench_function("unique_realizability_k5", |b| b.iter(|| is_uniquely_realizable(&graph)));
+    c.bench_function("unique_realizability_k5", |b| {
+        b.iter(|| is_uniquely_realizable(&graph))
+    });
 }
 
 fn bench_full_pipeline(c: &mut Criterion) {
@@ -72,7 +81,13 @@ fn bench_full_pipeline(c: &mut Criterion) {
         depths: truth.iter().map(|p| p.z).collect(),
         pointing_azimuth_rad: truth[0].azimuth_to(&truth[1]),
         side_signs: (0..truth.len())
-            .map(|i| if i < 2 { None } else { Some(geometric_side(&frame, i)) })
+            .map(|i| {
+                if i < 2 {
+                    None
+                } else {
+                    Some(geometric_side(&frame, i))
+                }
+            })
             .collect(),
     };
     c.bench_function("localization_pipeline_5_devices", |b| {

@@ -9,7 +9,9 @@ use uw_bench::{compare, header, seed, trials};
 use uw_channel::geometry::Point3;
 use uw_localization::ambiguity::geometric_side;
 use uw_localization::matrix::DistanceMatrix;
-use uw_localization::pipeline::{localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig};
+use uw_localization::pipeline::{
+    localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig,
+};
 
 /// Parameters of one analytical run, mirroring §2.1.5.
 struct Setup {
@@ -29,7 +31,11 @@ fn mean_2d_error(setup: &Setup, samples: usize, rng: &mut StdRng) -> f64 {
         let mut positions = vec![Point3::new(0.0, 0.0, rng.gen_range(0.0..10.0))];
         let d01 = rng.gen_range(4.0..9.0);
         let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-        positions.push(Point3::new(d01 * theta.cos(), d01 * theta.sin(), rng.gen_range(0.0..10.0)));
+        positions.push(Point3::new(
+            d01 * theta.cos(),
+            d01 * theta.sin(),
+            rng.gen_range(0.0..10.0),
+        ));
         for _ in 2..n {
             positions.push(Point3::new(
                 rng.gen_range(-30.0..30.0),
@@ -62,11 +68,23 @@ fn mean_2d_error(setup: &Setup, samples: usize, rng: &mut StdRng) -> f64 {
             .map(|p| (p.z + rng.gen_range(-setup.eps_h_m..=setup.eps_h_m)).max(0.0))
             .collect();
         let frame = truth_in_leader_frame(&positions);
-        let side_signs: Vec<Option<i8>> =
-            (0..n).map(|i| if i < 2 { None } else { Some(geometric_side(&frame, i)) }).collect();
+        let side_signs: Vec<Option<i8>> = (0..n)
+            .map(|i| {
+                if i < 2 {
+                    None
+                } else {
+                    Some(geometric_side(&frame, i))
+                }
+            })
+            .collect();
         let pointing = positions[0].azimuth_to(&positions[1])
             + rng.gen_range(-setup.eps_theta_rad..=setup.eps_theta_rad.max(1e-12));
-        let input = LocalizationInput { distances, depths, pointing_azimuth_rad: pointing, side_signs };
+        let input = LocalizationInput {
+            distances,
+            depths,
+            pointing_azimuth_rad: pointing,
+            side_signs,
+        };
         if let Ok(out) = localize(&input, &LocalizerConfig::default(), rng) {
             let truth_2d = truth_in_leader_frame(&positions);
             for (est, t) in out.positions_2d.iter().zip(truth_2d.iter()).skip(1) {
@@ -89,37 +107,78 @@ fn main() {
 
     println!("(a) error vs 1D ranging error (N=6, eps_h=0.4 m, eps_theta=0)");
     for eps in [0.0, 0.5, 1.0, 1.5, 2.0] {
-        let setup = Setup { n_devices: 6, eps_1d_m: eps, eps_h_m: 0.4, eps_theta_rad: 0.0, dropped_links: 0 };
-        println!("  eps_1d = {eps:3.1} m  ->  mean 2D error {:5.2} m", mean_2d_error(&setup, samples, &mut rng));
+        let setup = Setup {
+            n_devices: 6,
+            eps_1d_m: eps,
+            eps_h_m: 0.4,
+            eps_theta_rad: 0.0,
+            dropped_links: 0,
+        };
+        println!(
+            "  eps_1d = {eps:3.1} m  ->  mean 2D error {:5.2} m",
+            mean_2d_error(&setup, samples, &mut rng)
+        );
     }
 
     println!("\n(b) error vs number of users (eps_1d=0.8 m, eps_h=0.4 m)");
     for n in [3usize, 4, 5, 6, 7, 8] {
-        let setup = Setup { n_devices: n, eps_1d_m: 0.8, eps_h_m: 0.4, eps_theta_rad: 0.0, dropped_links: 0 };
-        println!("  N = {n}  ->  mean 2D error {:5.2} m", mean_2d_error(&setup, samples, &mut rng));
+        let setup = Setup {
+            n_devices: n,
+            eps_1d_m: 0.8,
+            eps_h_m: 0.4,
+            eps_theta_rad: 0.0,
+            dropped_links: 0,
+        };
+        println!(
+            "  N = {n}  ->  mean 2D error {:5.2} m",
+            mean_2d_error(&setup, samples, &mut rng)
+        );
     }
 
     println!("\n(c) error vs leader orientation error (N=6, eps_1d=0.8 m)");
-    for deg in [0.0, 5.0, 10.0, 15.0, 20.0] {
+    for deg in [0.0f64, 5.0, 10.0, 15.0, 20.0] {
         let setup = Setup {
             n_devices: 6,
             eps_1d_m: 0.8,
             eps_h_m: 0.4,
-            eps_theta_rad: (deg as f64).to_radians(),
+            eps_theta_rad: deg.to_radians(),
             dropped_links: 0,
         };
-        println!("  eps_theta = {deg:4.1} deg  ->  mean 2D error {:5.2} m", mean_2d_error(&setup, samples, &mut rng));
+        println!(
+            "  eps_theta = {deg:4.1} deg  ->  mean 2D error {:5.2} m",
+            mean_2d_error(&setup, samples, &mut rng)
+        );
     }
 
     println!("\n(d) error vs dropped links (N=6, eps_1d=0.8 m)");
     for dropped in [0usize, 1, 2, 3] {
-        let setup = Setup { n_devices: 6, eps_1d_m: 0.8, eps_h_m: 0.4, eps_theta_rad: 0.0, dropped_links: dropped };
-        println!("  dropped = {dropped}  ->  mean 2D error {:5.2} m", mean_2d_error(&setup, samples, &mut rng));
+        let setup = Setup {
+            n_devices: 6,
+            eps_1d_m: 0.8,
+            eps_h_m: 0.4,
+            eps_theta_rad: 0.0,
+            dropped_links: dropped,
+        };
+        println!(
+            "  dropped = {dropped}  ->  mean 2D error {:5.2} m",
+            mean_2d_error(&setup, samples, &mut rng)
+        );
     }
 
     println!();
-    compare("Fig. 6a at eps_1d = 0.8 m (reference point)", 1.0, {
-        let setup = Setup { n_devices: 6, eps_1d_m: 0.8, eps_h_m: 0.4, eps_theta_rad: 0.0, dropped_links: 0 };
-        mean_2d_error(&setup, samples, &mut rng)
-    }, "m");
+    compare(
+        "Fig. 6a at eps_1d = 0.8 m (reference point)",
+        1.0,
+        {
+            let setup = Setup {
+                n_devices: 6,
+                eps_1d_m: 0.8,
+                eps_h_m: 0.4,
+                eps_theta_rad: 0.0,
+                dropped_links: 0,
+            };
+            mean_2d_error(&setup, samples, &mut rng)
+        },
+        "m",
+    );
 }

@@ -24,7 +24,12 @@ fn main() {
     let mut series = Vec::new();
     for (k, &d) in distances.iter().enumerate() {
         let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.5);
-        let errors = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 1000 * k as u64);
+        let errors = repeated_trial_errors(
+            &trial,
+            RangingScheme::DualMicOfdm,
+            n_trials,
+            base_seed + 1000 * k as u64,
+        );
         if let Some(s) = SeriesStats::from_samples(format!("{d:.0} m (both mics)"), &errors) {
             series.push(s);
         }
@@ -37,16 +42,39 @@ fn main() {
     println!();
     for (d, paper) in paper_medians {
         let idx = distances.iter().position(|&x| x == d).unwrap();
-        compare(&format!("median |error| at {d:.0} m"), paper, series[idx].stats.median, "m");
+        compare(
+            &format!("median |error| at {d:.0} m"),
+            paper,
+            series[idx].stats.median,
+            "m",
+        );
     }
 
     println!("\n(b) 95th-percentile |error|: both vs bottom-only vs top-only");
-    println!("{:<10} {:>12} {:>14} {:>12}", "distance", "both (m)", "bottom (m)", "top (m)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "distance", "both (m)", "bottom (m)", "top (m)"
+    );
     for (k, &d) in distances.iter().enumerate() {
         let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.5);
-        let both = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 1000 * k as u64);
-        let bottom = repeated_trial_errors(&trial, RangingScheme::BottomMicOnly, n_trials, base_seed + 1000 * k as u64);
-        let top = repeated_trial_errors(&trial, RangingScheme::TopMicOnly, n_trials, base_seed + 1000 * k as u64);
+        let both = repeated_trial_errors(
+            &trial,
+            RangingScheme::DualMicOfdm,
+            n_trials,
+            base_seed + 1000 * k as u64,
+        );
+        let bottom = repeated_trial_errors(
+            &trial,
+            RangingScheme::BottomMicOnly,
+            n_trials,
+            base_seed + 1000 * k as u64,
+        );
+        let top = repeated_trial_errors(
+            &trial,
+            RangingScheme::TopMicOnly,
+            n_trials,
+            base_seed + 1000 * k as u64,
+        );
         println!(
             "{:<10} {:>12.2} {:>14.2} {:>12.2}",
             format!("{d:.0} m"),

@@ -9,8 +9,8 @@
 use uw_bench::{header, seed, trials};
 use uw_core::prelude::EnvironmentKind;
 use uw_core::waveform::{
-    detection_trial_fmcw, detection_trial_ours, noise_trial_ours, repeated_trial_errors, DetectionTrialOutcome,
-    PairwiseTrial, RangingScheme,
+    detection_trial_fmcw, detection_trial_ours, noise_trial_ours, repeated_trial_errors,
+    DetectionTrialOutcome, PairwiseTrial, RangingScheme,
 };
 use uw_ranging::detect::DetectionStats;
 
@@ -24,18 +24,27 @@ fn main() {
     let distances = [10.0, 20.0, 28.0];
 
     println!("(a) detection FP/FN rates vs threshold ({n_trials} signal + {n_trials} noise trials per point)");
-    println!("{:<26} {:>10} {:>10}", "detector / threshold", "FN rate", "FP rate");
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "detector / threshold", "FN rate", "FP rate"
+    );
     for threshold in [0.25, 0.35, 0.45] {
         let mut stats = DetectionStats::default();
         for (k, &d) in distances.iter().enumerate() {
             for t in 0..n_trials {
                 let s = base_seed + (k * n_trials + t) as u64;
-                let outcome = detection_trial_ours(EnvironmentKind::Boathouse, d, threshold, s).unwrap();
+                let outcome =
+                    detection_trial_ours(EnvironmentKind::Boathouse, d, threshold, s).unwrap();
                 stats.record_signal_trial(outcome == DetectionTrialOutcome::Detected);
             }
         }
         for t in 0..n_trials * distances.len() {
-            let outcome = noise_trial_ours(EnvironmentKind::Boathouse, threshold, base_seed + 5000 + t as u64).unwrap();
+            let outcome = noise_trial_ours(
+                EnvironmentKind::Boathouse,
+                threshold,
+                base_seed + 5000 + t as u64,
+            )
+            .unwrap();
             stats.record_noise_trial(outcome == DetectionTrialOutcome::Detected);
         }
         println!(
@@ -51,14 +60,19 @@ fn main() {
             for t in 0..n_trials {
                 let s = base_seed + (k * n_trials + t) as u64;
                 let outcome =
-                    detection_trial_fmcw(EnvironmentKind::Boathouse, Some(d), threshold_db, s).unwrap();
+                    detection_trial_fmcw(EnvironmentKind::Boathouse, Some(d), threshold_db, s)
+                        .unwrap();
                 stats.record_signal_trial(outcome == DetectionTrialOutcome::Detected);
             }
         }
         for t in 0..n_trials * distances.len() {
-            let outcome =
-                detection_trial_fmcw(EnvironmentKind::Boathouse, None, threshold_db, base_seed + 9000 + t as u64)
-                    .unwrap();
+            let outcome = detection_trial_fmcw(
+                EnvironmentKind::Boathouse,
+                None,
+                threshold_db,
+                base_seed + 9000 + t as u64,
+            )
+            .unwrap();
             stats.record_noise_trial(outcome == DetectionTrialOutcome::Detected);
         }
         println!(
@@ -70,11 +84,19 @@ fn main() {
     }
 
     println!("\n(b) mean 1D ranging error vs distance (boathouse, {n_trials} trials per point)");
-    println!("{:<10} {:>18} {:>22} {:>14}", "distance", "ours (dual-mic)", "BeepBeep (corr.)", "CAT (FMCW)");
+    println!(
+        "{:<10} {:>18} {:>22} {:>14}",
+        "distance", "ours (dual-mic)", "BeepBeep (corr.)", "CAT (FMCW)"
+    );
     for (k, &d) in distances.iter().enumerate() {
         let trial = PairwiseTrial::at_distance(EnvironmentKind::Boathouse, d, 1.0);
         let mean = |scheme: RangingScheme, offset: u64| {
-            let errs = repeated_trial_errors(&trial, scheme, n_trials, base_seed + offset + 100 * k as u64);
+            let errs = repeated_trial_errors(
+                &trial,
+                scheme,
+                n_trials,
+                base_seed + offset + 100 * k as u64,
+            );
             if errs.is_empty() {
                 f64::NAN
             } else {

@@ -26,7 +26,12 @@ fn main() {
     let mut medians = Vec::new();
     for (k, depth) in [2.0, 5.0, 8.0].into_iter().enumerate() {
         let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 18.0, depth);
-        let errors = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 700 * k as u64);
+        let errors = repeated_trial_errors(
+            &trial,
+            RangingScheme::DualMicOfdm,
+            n_trials,
+            base_seed + 700 * k as u64,
+        );
         print_cdf(&format!("depth {depth:.0} m"), &errors, 6);
         medians.push((depth, median(&errors)));
     }
@@ -34,13 +39,21 @@ fn main() {
     for (depth, med) in &medians {
         println!("depth {depth:>3.0} m: median |error| {med:5.2} m");
     }
-    compare("median at 5 m depth (paper: best depth)", 0.28, medians[1].1, "m");
+    compare(
+        "median at 5 m depth (paper: best depth)",
+        0.28,
+        medians[1].1,
+        "m",
+    );
 
     println!("\n(b) depth-sensor accuracy, 0–9 m in 1 m steps, 30 samples per depth");
     let mut rng = StdRng::seed_from_u64(base_seed ^ 0x77);
     let watch = DepthSensor::new(DepthSensorKind::WatchDepthGauge);
     let phone = DepthSensor::new(DepthSensorKind::PhonePressure);
-    println!("{:<12} {:>16} {:>20}", "true depth", "watch mean (m)", "phone mean (m)");
+    println!(
+        "{:<12} {:>16} {:>20}",
+        "true depth", "watch mean (m)", "phone mean (m)"
+    );
     let mut watch_errs = Vec::new();
     let mut phone_errs = Vec::new();
     for depth in 0..=9 {
@@ -55,10 +68,25 @@ fn main() {
             w_sum += w;
             p_sum += p;
         }
-        println!("{:<12} {:>16.2} {:>20.2}", format!("{d:.0} m"), w_sum / 30.0, p_sum / 30.0);
+        println!(
+            "{:<12} {:>16.2} {:>20.2}",
+            format!("{d:.0} m"),
+            w_sum / 30.0,
+            p_sum / 30.0
+        );
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!();
-    compare("smartwatch average depth error", 0.15, mean(&watch_errs), "m");
-    compare("smartphone average depth error", 0.42, mean(&phone_errs), "m");
+    compare(
+        "smartwatch average depth error",
+        0.15,
+        mean(&watch_errs),
+        "m",
+    );
+    compare(
+        "smartphone average depth error",
+        0.42,
+        mean(&phone_errs),
+        "m",
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
     let base_seed = seed();
 
     println!("(a) |1D error| vs sender orientation ({n_trials} trials per case)");
-    println!("{:<34} {:>12} {:>10}", "orientation (azimuth, polar)", "median (m)", "p95 (m)");
+    println!(
+        "{:<34} {:>12} {:>10}",
+        "orientation (azimuth, polar)", "median (m)", "p95 (m)"
+    );
     let cases = [
         ("facing (0 deg, 180 deg)", 0.0, 180.0, 2.5),
         ("rotated (90 deg, 180 deg)", 90.0, 180.0, 2.5),
@@ -30,7 +33,12 @@ fn main() {
     for (k, (label, az, polar, depth)) in cases.into_iter().enumerate() {
         let mut trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 20.0, depth);
         trial.orientation_loss_db = orientation_loss_db(az, polar);
-        let errors = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 300 * k as u64);
+        let errors = repeated_trial_errors(
+            &trial,
+            RangingScheme::DualMicOfdm,
+            n_trials,
+            base_seed + 300 * k as u64,
+        );
         println!(
             "{:<34} {:>12.2} {:>10.2}",
             label,
@@ -45,13 +53,27 @@ fn main() {
     let pairs = [
         ("Pixel & Samsung", DeviceModel::Pixel, DeviceModel::GalaxyS9),
         ("Pixel & OnePlus", DeviceModel::Pixel, DeviceModel::OnePlus),
-        ("Samsung & OnePlus", DeviceModel::GalaxyS9, DeviceModel::OnePlus),
+        (
+            "Samsung & OnePlus",
+            DeviceModel::GalaxyS9,
+            DeviceModel::OnePlus,
+        ),
     ];
     for (k, (label, tx_model, _rx_model)) in pairs.into_iter().enumerate() {
         let mut trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 20.0, 2.5);
         trial.source_level = tx_model.source_level();
-        let errors = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, n_trials, base_seed + 900 * k as u64);
-        println!("{:<28} {:>12.2} {:>10.2}", label, median(&errors), uw_bench::p95(&errors));
+        let errors = repeated_trial_errors(
+            &trial,
+            RangingScheme::DualMicOfdm,
+            n_trials,
+            base_seed + 900 * k as u64,
+        );
+        println!(
+            "{:<28} {:>12.2} {:>10.2}",
+            label,
+            median(&errors),
+            uw_bench::p95(&errors)
+        );
     }
     println!("(the paper finds all pairs comparable, with sub-metre medians)");
 }

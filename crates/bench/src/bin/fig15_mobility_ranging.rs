@@ -25,7 +25,10 @@ fn main() {
         let receiver = Point3::new(0.0, 0.0, 2.0);
         let mut errors = Vec::new();
         println!("speed {speed_cm_s:.0} cm/s ({n_pings} pings, 1 s apart)");
-        println!("{:>6} {:>12} {:>14} {:>10}", "t (s)", "true (m)", "estimated (m)", "error (m)");
+        println!(
+            "{:>6} {:>12} {:>14} {:>10}",
+            "t (s)", "true (m)", "estimated (m)", "error (m)"
+        );
         for ping in 0..n_pings {
             let t = ping as f64;
             let tx = trajectory.position_at(t);
@@ -38,9 +41,11 @@ fn main() {
                 occlusion_db: 0.0,
                 orientation_loss_db: 0.0,
             };
-            if let Ok(result) =
-                run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, base_seed + (k * n_pings + ping) as u64)
-            {
+            if let Ok(result) = run_pairwise_trial(
+                &trial,
+                RangingScheme::DualMicOfdm,
+                base_seed + (k * n_pings + ping) as u64,
+            ) {
                 if ping % 4 == 0 {
                     println!(
                         "{:>6.0} {:>12.2} {:>14.2} {:>10.2}",
@@ -57,6 +62,16 @@ fn main() {
         );
         all_errors.extend(errors);
     }
-    compare("median |error| while moving", 0.51, median(&all_errors), "m");
-    compare("95th percentile |error| while moving", 1.17, p95(&all_errors), "m");
+    compare(
+        "median |error| while moving",
+        0.51,
+        median(&all_errors),
+        "m",
+    );
+    compare(
+        "95th percentile |error| while moving",
+        1.17,
+        p95(&all_errors),
+        "m",
+    );
 }

@@ -28,7 +28,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed());
     let distances = [2.0, 4.0, 6.0, 8.0, 10.0];
 
-    println!("{:<12} {:>18} {:>18}", "distance", "user A mean (deg)", "user B mean (deg)");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "distance", "user A mean (deg)", "user B mean (deg)"
+    );
     let mut all = Vec::new();
     for &d in &distances {
         let sigma = pointing_sigma_deg(d);
@@ -42,11 +45,21 @@ fn main() {
             }
             *mean_slot = total / n_attempts as f64;
         }
-        println!("{:<12} {:>18.1} {:>18.1}", format!("{d:.0} m"), means[0], means[1]);
+        println!(
+            "{:<12} {:>18.1} {:>18.1}",
+            format!("{d:.0} m"),
+            means[0],
+            means[1]
+        );
     }
     let overall = all.iter().sum::<f64>() / all.len() as f64;
     println!();
-    compare("mean pointing error across users/distances", 5.0, overall, "deg");
+    compare(
+        "mean pointing error across users/distances",
+        5.0,
+        overall,
+        "deg",
+    );
     println!("\nFig. 6c context: a 5 deg pointing error adds roughly 0.1–0.3 m of 2D error at 10–30 m range,");
     println!("which is why the rotation-alignment step tolerates human pointing accuracy.");
 }

@@ -9,7 +9,11 @@ use uw_bench::{compare, header, median, p95, print_cdf, seed, trials};
 use uw_core::prelude::*;
 use uw_core::scenario::Scenario as CoreScenario;
 
-fn run_site(label: &str, scenario: &CoreScenario, rounds: usize) -> (Vec<f64>, Vec<(String, Vec<f64>)>) {
+fn run_site(
+    label: &str,
+    scenario: &CoreScenario,
+    rounds: usize,
+) -> (Vec<f64>, Vec<(String, Vec<f64>)>) {
     let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
     let mut all = Vec::new();
     // Errors bucketed by the device's true distance to the leader.
@@ -20,7 +24,9 @@ fn run_site(label: &str, scenario: &CoreScenario, rounds: usize) -> (Vec<f64>, V
     ];
     for _ in 0..rounds {
         let outcome = session.run(scenario.network()).expect("round succeeds");
-        let truth = scenario.network().positions_at(outcome.latency.acoustic_s / 2.0);
+        let truth = scenario
+            .network()
+            .positions_at(outcome.latency.acoustic_s / 2.0);
         for (i, err) in outcome.errors_2d.iter().enumerate() {
             let device = i + 1;
             let d_leader = truth[0].horizontal_distance(&truth[device]);
@@ -54,7 +60,12 @@ fn main() {
     print_cdf("all links (dock)", &dock_all, 8);
     for (label, errs) in &dock_buckets {
         if !errs.is_empty() {
-            println!("  {label:<22} median {:.2} m  p95 {:.2} m  (n={})", median(errs), p95(errs), errs.len());
+            println!(
+                "  {label:<22} median {:.2} m  p95 {:.2} m  (n={})",
+                median(errs),
+                p95(errs),
+                errs.len()
+            );
         }
     }
     println!();
@@ -63,7 +74,12 @@ fn main() {
     print_cdf("all links (boathouse)", &boat_all, 8);
     for (label, errs) in &boat_buckets {
         if !errs.is_empty() {
-            println!("  {label:<22} median {:.2} m  p95 {:.2} m  (n={})", median(errs), p95(errs), errs.len());
+            println!(
+                "  {label:<22} median {:.2} m  p95 {:.2} m  (n={})",
+                median(errs),
+                p95(errs),
+                errs.len()
+            );
         }
     }
 

@@ -41,9 +41,15 @@ fn main() {
 
     println!("(a) occluded link: worst 10% of 2D errors with and without outlier detection");
     let occlusion_bias_m = 6.0;
-    let with = collect_errors(&CoreScenario::dock_with_occlusion(base_seed, occlusion_bias_m), rounds);
+    let with = collect_errors(
+        &CoreScenario::dock_with_occlusion(base_seed, occlusion_bias_m),
+        rounds,
+    );
     let mut without_scenario = CoreScenario::dock_with_occlusion(base_seed, occlusion_bias_m);
-    without_scenario.config_mut().localizer.disable_outlier_detection = true;
+    without_scenario
+        .config_mut()
+        .localizer
+        .disable_outlier_detection = true;
     let without = collect_errors(&without_scenario, rounds);
     println!(
         "  with detection    median {:.2} m  p95 {:.2} m  worst-decile mean {:.2} m",
@@ -74,12 +80,29 @@ fn main() {
     // Node removal: the 4-device network.
     let node_dropped = collect_errors(&CoreScenario::four_devices(base_seed + 40), rounds);
 
-    println!("  fully connected     median {:.2} m  p95 {:.2} m", median(&full), p95(&full));
-    println!("  random link dropped median {:.2} m  p95 {:.2} m", median(&dropped_link_errors), p95(&dropped_link_errors));
-    println!("  random node dropped median {:.2} m  p95 {:.2} m", median(&node_dropped), p95(&node_dropped));
+    println!(
+        "  fully connected     median {:.2} m  p95 {:.2} m",
+        median(&full),
+        p95(&full)
+    );
+    println!(
+        "  random link dropped median {:.2} m  p95 {:.2} m",
+        median(&dropped_link_errors),
+        p95(&dropped_link_errors)
+    );
+    println!(
+        "  random node dropped median {:.2} m  p95 {:.2} m",
+        median(&node_dropped),
+        p95(&node_dropped)
+    );
     println!();
     compare("fully connected median", 0.9, median(&full), "m");
-    compare("link-dropped median", 1.0, median(&dropped_link_errors), "m");
+    compare(
+        "link-dropped median",
+        1.0,
+        median(&dropped_link_errors),
+        "m",
+    );
     compare("fully connected p95", 3.2, p95(&full), "m");
     compare("link-dropped p95", 6.2, p95(&dropped_link_errors), "m");
     compare("4-device median (§3.2)", 0.8, median(&node_dropped), "m");

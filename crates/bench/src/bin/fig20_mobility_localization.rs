@@ -35,7 +35,8 @@ fn main() {
     let static_medians = per_device_medians(&static_scenario, rounds);
 
     for moving in [1usize, 2] {
-        let scenario = CoreScenario::dock_with_moving_device(base_seed + moving as u64, moving, 40.0).unwrap();
+        let scenario =
+            CoreScenario::dock_with_moving_device(base_seed + moving as u64, moving, 40.0).unwrap();
         let medians = per_device_medians(&scenario, rounds);
         println!("user {moving} moving at ~40 cm/s:");
         for device in 1..=4usize {
@@ -48,6 +49,8 @@ fn main() {
         }
         println!();
     }
-    println!("paper: the moving device's median rises from 0.2→0.3 m (user 1) and 0.4→0.8 m (user 2);");
+    println!(
+        "paper: the moving device's median rises from 0.2→0.3 m (user 1) and 0.4→0.8 m (user 2);"
+    );
     println!("the distributed protocol keeps the increase modest because every pairwise exchange is short.");
 }

@@ -22,7 +22,10 @@ fn main() {
     );
     let base_seed = seed();
     // 8-symbol preamble as in the appendix.
-    let config = OfdmConfig { n_symbols: 8, ..OfdmConfig::default() };
+    let config = OfdmConfig {
+        n_symbols: 8,
+        ..OfdmConfig::default()
+    };
     let preamble = RangingPreamble::new(config.clone()).expect("valid preamble");
     let environment = Environment::preset(EnvironmentKind::Boathouse);
     let simulator = ChannelSimulator::new(environment, SAMPLE_RATE).expect("valid simulator");
@@ -32,7 +35,13 @@ fn main() {
         let tx = Point3::new(0.0, 0.0, 1.0);
         let rx = Point3::new(distance, 0.0, 1.0);
         let received = simulator
-            .propagate(&preamble.waveform, &tx, &rx, &PropagateOptions::default(), &mut rng)
+            .propagate(
+                &preamble.waveform,
+                &tx,
+                &rx,
+                &PropagateOptions::default(),
+                &mut rng,
+            )
             .expect("propagation succeeds");
 
         // Segment the received symbols from the known arrival (benchmarks may
@@ -46,9 +55,13 @@ fn main() {
             })
             .collect();
         let noise_segment = &received.samples[..config.symbol_len];
-        let snrs = per_subcarrier_snr(&config, &symbols, noise_segment).expect("snr estimation succeeds");
+        let snrs =
+            per_subcarrier_snr(&config, &symbols, noise_segment).expect("snr estimation succeeds");
 
-        println!("distance {distance:.0} m — mean SNR {:.1} dB", mean_snr_db(&snrs).unwrap_or(f64::NAN));
+        println!(
+            "distance {distance:.0} m — mean SNR {:.1} dB",
+            mean_snr_db(&snrs).unwrap_or(f64::NAN)
+        );
         // Print every ~8th subcarrier to keep the output readable.
         for chunk in snrs.chunks(8) {
             let s = &chunk[0];
@@ -56,5 +69,7 @@ fn main() {
         }
         println!();
     }
-    println!("(the paper's Fig. 22 shows SNR falling from ~30-40 dB at 10 m towards 0-10 dB at 28 m)");
+    println!(
+        "(the paper's Fig. 22 shows SNR falling from ~30-40 dB at 10 m towards 0-10 dB at 28 m)"
+    );
 }

@@ -20,8 +20,18 @@ fn main() {
     let phone = BatteryModel::galaxy_s9();
 
     println!("continuous-transmission reference (4.5 h):");
-    compare("  Apple Watch Ultra battery used", 90.0, watch.drain(4.5, 1.0) * 100.0, "%");
-    compare("  Galaxy S9 battery used", 63.0, phone.drain(4.5, 0.074) * 100.0, "%");
+    compare(
+        "  Apple Watch Ultra battery used",
+        90.0,
+        watch.drain(4.5, 1.0) * 100.0,
+        "%",
+    );
+    compare(
+        "  Galaxy S9 battery used",
+        63.0,
+        phone.drain(4.5, 0.074) * 100.0,
+        "%",
+    );
 
     println!("\nlocalization workload (5-device group, one round per trigger):");
     let latency = round_latency(5, 100.0).unwrap();

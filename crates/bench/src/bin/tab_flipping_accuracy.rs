@@ -10,9 +10,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uw_bench::{compare, header, seed, trials};
+use uw_core::scenario::Scenario as CoreScenario;
 use uw_localization::ambiguity::{geometric_side, resolve_ambiguities};
 use uw_localization::pipeline::truth_in_leader_frame;
-use uw_core::scenario::Scenario as CoreScenario;
 
 fn main() {
     header(
@@ -57,7 +57,10 @@ fn main() {
 
     let one = run(1);
     let three = run(3);
-    println!("{rounds} simulated rounds, {:.0}% per-device sign-error rate\n", sign_error_prob * 100.0);
+    println!(
+        "{rounds} simulated rounds, {:.0}% per-device sign-error rate\n",
+        sign_error_prob * 100.0
+    );
     println!("votes from 1 device:  {one:.1}% correct");
     println!("votes from 3 devices: {three:.1}% correct");
     println!();

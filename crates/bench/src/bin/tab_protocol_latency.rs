@@ -34,13 +34,26 @@ fn main() {
             sim_total += session.run(scenario.network()).unwrap().latency.acoustic_s;
         }
         let simulated = sim_total / rounds as f64;
-        println!("{:<10} {:>14.2} {:>16.2} {:>16.2} {:>16.2}", n, paper, model, simulated, worst);
+        println!(
+            "{:<10} {:>14.2} {:>16.2} {:>16.2} {:>16.2}",
+            n, paper, model, simulated, worst
+        );
     }
     println!();
     let schedule5 = TdmSchedule::paper_defaults(5).unwrap();
-    compare("5-device round trip", 1.88, round_trip_all_in_range(&schedule5), "s");
+    compare(
+        "5-device round trip",
+        1.88,
+        round_trip_all_in_range(&schedule5),
+        "s",
+    );
     let schedule4 = TdmSchedule::paper_defaults(4).unwrap();
-    compare("4-device round trip", 1.56, round_trip_all_in_range(&schedule4), "s");
+    compare(
+        "4-device round trip",
+        1.56,
+        round_trip_all_in_range(&schedule4),
+        "s",
+    );
     println!("\nreport phase (§2.4): ~0.9–1.2 s of simultaneous FSK for 6–8 devices at 100 bit/s");
     for n in [6usize, 7, 8] {
         let report = uw_protocol::comm::report_airtime_s(n, 100.0);

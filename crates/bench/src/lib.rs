@@ -28,7 +28,10 @@ pub fn trials(default_trials: usize) -> usize {
 
 /// Base RNG seed, from `UWGPS_SEED` (default 1).
 pub fn seed() -> u64 {
-    std::env::var("UWGPS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    std::env::var("UWGPS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Prints a figure/table header.

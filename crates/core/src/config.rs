@@ -72,22 +72,36 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<()> {
         if self.n_devices < 3 {
             return Err(SystemError::InvalidConfig {
-                reason: format!("localization needs at least 3 devices, got {}", self.n_devices),
+                reason: format!(
+                    "localization needs at least 3 devices, got {}",
+                    self.n_devices
+                ),
             });
         }
         if self.n_devices > 12 {
             return Err(SystemError::InvalidConfig {
-                reason: format!("{} devices exceeds the supported dive-group size", self.n_devices),
+                reason: format!(
+                    "{} devices exceeds the supported dive-group size",
+                    self.n_devices
+                ),
             });
         }
-        if !(0.0..=1.0).contains(&self.mic_sign_error_prob) || !(0.0..=1.0).contains(&self.packet_loss_prob) {
-            return Err(SystemError::InvalidConfig { reason: "probabilities must be within [0, 1]".into() });
+        if !(0.0..=1.0).contains(&self.mic_sign_error_prob)
+            || !(0.0..=1.0).contains(&self.packet_loss_prob)
+        {
+            return Err(SystemError::InvalidConfig {
+                reason: "probabilities must be within [0, 1]".into(),
+            });
         }
         if self.report_bps <= 0.0 {
-            return Err(SystemError::InvalidConfig { reason: "report bit rate must be positive".into() });
+            return Err(SystemError::InvalidConfig {
+                reason: "report bit rate must be positive".into(),
+            });
         }
         if self.pointing_error_std_rad < 0.0 {
-            return Err(SystemError::InvalidConfig { reason: "pointing error must be non-negative".into() });
+            return Err(SystemError::InvalidConfig {
+                reason: "pointing error must be non-negative".into(),
+            });
         }
         Ok(())
     }

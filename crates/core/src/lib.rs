@@ -90,31 +90,46 @@ impl std::error::Error for SystemError {}
 
 impl From<uw_protocol::ProtocolError> for SystemError {
     fn from(e: uw_protocol::ProtocolError) -> Self {
-        SystemError::Layer { layer: "protocol", reason: e.to_string() }
+        SystemError::Layer {
+            layer: "protocol",
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<uw_localization::LocalizationError> for SystemError {
     fn from(e: uw_localization::LocalizationError) -> Self {
-        SystemError::Layer { layer: "localization", reason: e.to_string() }
+        SystemError::Layer {
+            layer: "localization",
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<uw_ranging::RangingError> for SystemError {
     fn from(e: uw_ranging::RangingError) -> Self {
-        SystemError::Layer { layer: "ranging", reason: e.to_string() }
+        SystemError::Layer {
+            layer: "ranging",
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<uw_channel::ChannelError> for SystemError {
     fn from(e: uw_channel::ChannelError) -> Self {
-        SystemError::Layer { layer: "channel", reason: e.to_string() }
+        SystemError::Layer {
+            layer: "channel",
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<uw_device::DeviceError> for SystemError {
     fn from(e: uw_device::DeviceError) -> Self {
-        SystemError::Layer { layer: "device", reason: e.to_string() }
+        SystemError::Layer {
+            layer: "device",
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -127,11 +142,14 @@ mod tests {
 
     #[test]
     fn error_conversions_and_display() {
-        let e = SystemError::InvalidConfig { reason: "zero devices".into() };
+        let e = SystemError::InvalidConfig {
+            reason: "zero devices".into(),
+        };
         assert!(e.to_string().contains("zero devices"));
         let e: SystemError = uw_protocol::ProtocolError::RoundFailure { reason: "x".into() }.into();
         assert!(e.to_string().contains("protocol"));
-        let e: SystemError = uw_localization::LocalizationError::SolverFailure { reason: "x".into() }.into();
+        let e: SystemError =
+            uw_localization::LocalizationError::SolverFailure { reason: "x".into() }.into();
         assert!(e.to_string().contains("localization"));
         let e: SystemError = uw_ranging::RangingError::NoDirectPath.into();
         assert!(e.to_string().contains("ranging"));

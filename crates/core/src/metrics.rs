@@ -17,14 +17,22 @@ pub struct SeriesStats {
 impl SeriesStats {
     /// Builds a series from raw samples. Returns `None` for an empty set.
     pub fn from_samples(label: impl Into<String>, samples: &[f64]) -> Option<Self> {
-        ErrorStats::from_samples(samples).map(|stats| Self { label: label.into(), stats })
+        ErrorStats::from_samples(samples).map(|stats| Self {
+            label: label.into(),
+            stats,
+        })
     }
 
     /// One formatted table row: label, count, median, mean, 95th percentile.
     pub fn row(&self) -> String {
         format!(
             "{:<24} n={:<5} median={:>7.3} mean={:>7.3} p95={:>7.3} max={:>7.3}",
-            self.label, self.stats.count, self.stats.median, self.stats.mean, self.stats.p95, self.stats.max
+            self.label,
+            self.stats.count,
+            self.stats.median,
+            self.stats.mean,
+            self.stats.p95,
+            self.stats.max
         )
     }
 }
@@ -66,28 +74,38 @@ impl BatteryModel {
     /// The smartwatch model from the paper's measurement (90% over 4.5 h,
     /// siren duty cycle ≈ 1.0).
     pub fn apple_watch_ultra() -> Self {
-        Self { drain_per_hour_at_reference: 0.90 / 4.5, reference_duty_cycle: 1.0, idle_drain_per_hour: 0.01 }
+        Self {
+            drain_per_hour_at_reference: 0.90 / 4.5,
+            reference_duty_cycle: 1.0,
+            idle_drain_per_hour: 0.01,
+        }
     }
 
     /// The smartphone model (63% over 4.5 h, preamble every 3 s ≈ 0.074 duty
     /// cycle at maximum volume).
     pub fn galaxy_s9() -> Self {
-        Self { drain_per_hour_at_reference: 0.63 / 4.5, reference_duty_cycle: 0.074, idle_drain_per_hour: 0.008 }
+        Self {
+            drain_per_hour_at_reference: 0.63 / 4.5,
+            reference_duty_cycle: 0.074,
+            idle_drain_per_hour: 0.008,
+        }
     }
 
     /// Battery fraction drained over `hours` at the given transmit duty
     /// cycle (clamped to `[0, 1]`).
     pub fn drain(&self, hours: f64, duty_cycle: f64) -> f64 {
         let duty = duty_cycle.clamp(0.0, 1.0);
-        let active = self.drain_per_hour_at_reference * (duty / self.reference_duty_cycle.max(1e-9));
+        let active =
+            self.drain_per_hour_at_reference * (duty / self.reference_duty_cycle.max(1e-9));
         ((active + self.idle_drain_per_hour) * hours).clamp(0.0, 1.0)
     }
 
     /// Hours until the battery is exhausted at the given duty cycle.
     pub fn hours_to_empty(&self, duty_cycle: f64) -> f64 {
         let duty = duty_cycle.clamp(0.0, 1.0);
-        let per_hour =
-            self.drain_per_hour_at_reference * (duty / self.reference_duty_cycle.max(1e-9)) + self.idle_drain_per_hour;
+        let per_hour = self.drain_per_hour_at_reference
+            * (duty / self.reference_duty_cycle.max(1e-9))
+            + self.idle_drain_per_hour;
         if per_hour <= 0.0 {
             f64::INFINITY
         } else {

@@ -40,7 +40,10 @@ impl DiveNetwork {
     pub fn new(kind: EnvironmentKind, positions: &[Point3]) -> Result<Self> {
         if positions.len() < 2 {
             return Err(SystemError::InvalidConfig {
-                reason: format!("a dive group needs at least 2 devices, got {}", positions.len()),
+                reason: format!(
+                    "a dive group needs at least 2 devices, got {}",
+                    positions.len()
+                ),
             });
         }
         let environment = Environment::preset(kind);
@@ -61,7 +64,11 @@ impl DiveNetwork {
             .enumerate()
             .map(|(i, &p)| SmartDevice::ideal(i, DeviceModel::GalaxyS9, p))
             .collect();
-        Ok(Self { environment, devices, link_conditions: Vec::new() })
+        Ok(Self {
+            environment,
+            devices,
+            link_conditions: Vec::new(),
+        })
     }
 
     /// The environment preset.
@@ -94,11 +101,18 @@ impl DiveNetwork {
 
     /// Ground-truth pairwise distance between two devices at time `t`.
     pub fn true_distance(&self, i: usize, j: usize, t: f64) -> f64 {
-        self.devices[i].position_at(t).distance(&self.devices[j].position_at(t))
+        self.devices[i]
+            .position_at(t)
+            .distance(&self.devices[j].position_at(t))
     }
 
     /// Marks the link between `a` and `b` with a condition.
-    pub fn set_link_condition(&mut self, a: usize, b: usize, condition: LinkCondition) -> Result<()> {
+    pub fn set_link_condition(
+        &mut self,
+        a: usize,
+        b: usize,
+        condition: LinkCondition,
+    ) -> Result<()> {
         if a == b || a >= self.devices.len() || b >= self.devices.len() {
             return Err(SystemError::InvalidConfig {
                 reason: format!("link ({a}, {b}) is not a valid device pair"),
@@ -113,7 +127,10 @@ impl DiveNetwork {
     /// Link condition for a pair, if any override exists.
     pub fn link_condition(&self, a: usize, b: usize) -> Option<LinkCondition> {
         let key = (a.min(b), a.max(b));
-        self.link_conditions.iter().find(|(k, _)| *k == key).map(|(_, c)| *c)
+        self.link_conditions
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, c)| *c)
     }
 
     /// Sets a device's motion trajectory.
@@ -131,7 +148,9 @@ impl DiveNetwork {
     /// direction the leader physically points before starting a round.
     pub fn leader_pointing_azimuth(&self, t: f64) -> Result<f64> {
         if self.devices.len() < 2 {
-            return Err(SystemError::InvalidConfig { reason: "no device 1 to point at".into() });
+            return Err(SystemError::InvalidConfig {
+                reason: "no device 1 to point at".into(),
+            });
         }
         let leader = self.devices[0].position_at(t);
         let pointed = self.devices[1].position_at(t);
@@ -159,7 +178,9 @@ mod tests {
         assert_eq!(net.device_count(), 4);
         assert_eq!(net.devices()[0].id, 0);
         assert!(net.devices()[0].is_leader());
-        assert!((net.true_distance(0, 1, 0.0) - positions()[0].distance(&positions()[1])).abs() < 1e-12);
+        assert!(
+            (net.true_distance(0, 1, 0.0) - positions()[0].distance(&positions()[1])).abs() < 1e-12
+        );
         assert!(net.sound_speed() > 1400.0);
         let az = net.leader_pointing_azimuth(0.0).unwrap();
         assert!((az - (3.0f64).atan2(5.0)).abs() < 1e-12);
@@ -178,21 +199,33 @@ mod tests {
     fn link_conditions_are_symmetric_and_overridable() {
         let mut net = DiveNetwork::new(EnvironmentKind::Dock, &positions()).unwrap();
         assert!(net.link_condition(0, 1).is_none());
-        net.set_link_condition(1, 0, LinkCondition::Occluded { bias_m: 4.0 }).unwrap();
-        assert!(matches!(net.link_condition(0, 1), Some(LinkCondition::Occluded { .. })));
-        net.set_link_condition(0, 1, LinkCondition::Missing).unwrap();
+        net.set_link_condition(1, 0, LinkCondition::Occluded { bias_m: 4.0 })
+            .unwrap();
+        assert!(matches!(
+            net.link_condition(0, 1),
+            Some(LinkCondition::Occluded { .. })
+        ));
+        net.set_link_condition(0, 1, LinkCondition::Missing)
+            .unwrap();
         assert_eq!(net.link_condition(1, 0), Some(LinkCondition::Missing));
-        assert!(net.set_link_condition(0, 0, LinkCondition::Missing).is_err());
-        assert!(net.set_link_condition(0, 9, LinkCondition::Missing).is_err());
+        assert!(net
+            .set_link_condition(0, 0, LinkCondition::Missing)
+            .is_err());
+        assert!(net
+            .set_link_condition(0, 9, LinkCondition::Missing)
+            .is_err());
     }
 
     #[test]
     fn trajectories_move_devices() {
         let mut net = DiveNetwork::new(EnvironmentKind::Dock, &positions()).unwrap();
-        net.set_trajectory(2, dock_sweep(positions()[2], 50.0)).unwrap();
+        net.set_trajectory(2, dock_sweep(positions()[2], 50.0))
+            .unwrap();
         let before = net.positions_at(0.0)[2];
         let after = net.positions_at(10.0)[2];
         assert!((before.distance(&after) - 5.0).abs() < 1e-9);
-        assert!(net.set_trajectory(9, dock_sweep(Point3::ORIGIN, 10.0)).is_err());
+        assert!(net
+            .set_trajectory(9, dock_sweep(Point3::ORIGIN, 10.0))
+            .is_err());
     }
 }

@@ -86,9 +86,20 @@ impl<'a> StatisticalObserver<'a> {
     /// Creates an observer over a network. `extra_loss_prob` adds a uniform
     /// loss probability on top of the model's distance-dependent loss
     /// (the system configuration's `packet_loss_prob`).
-    pub fn new(network: &'a DiveNetwork, model: ReceptionModel, extra_loss_prob: f64, rng: StdRng) -> Self {
+    pub fn new(
+        network: &'a DiveNetwork,
+        model: ReceptionModel,
+        extra_loss_prob: f64,
+        rng: StdRng,
+    ) -> Self {
         let sound_speed = network.sound_speed();
-        Self { network, model, extra_loss_prob, sound_speed, rng }
+        Self {
+            network,
+            model,
+            extra_loss_prob,
+            sound_speed,
+            rng,
+        }
     }
 
     fn gaussian(&mut self) -> f64 {
@@ -107,14 +118,15 @@ impl LinkObserver for StatisticalObserver<'_> {
                 // The message is still heard (through the reflection), but
                 // the detected arrival is late by the extra path length plus
                 // the usual jitter.
-                let jitter =
-                    self.gaussian() * (self.model.jitter_base_s + self.model.jitter_per_m_s * distance_m);
+                let jitter = self.gaussian()
+                    * (self.model.jitter_base_s + self.model.jitter_per_m_s * distance_m);
                 return Some(bias_m / self.sound_speed + self.model.bias_s + jitter);
             }
             None => {}
         }
-        let loss =
-            self.model.loss_base_prob + self.model.loss_per_m_prob * distance_m + self.extra_loss_prob;
+        let loss = self.model.loss_base_prob
+            + self.model.loss_per_m_prob * distance_m
+            + self.extra_loss_prob;
         if self.rng.gen_bool(loss.clamp(0.0, 0.95)) {
             return None;
         }
@@ -151,7 +163,8 @@ mod tests {
     #[test]
     fn ideal_model_reports_zero_error() {
         let net = network();
-        let mut obs = StatisticalObserver::new(&net, ReceptionModel::ideal(), 0.0, StdRng::seed_from_u64(1));
+        let mut obs =
+            StatisticalObserver::new(&net, ReceptionModel::ideal(), 0.0, StdRng::seed_from_u64(1));
         for _ in 0..100 {
             assert_eq!(obs.observe(0, 1, 0.01), Some(0.0));
         }
@@ -160,12 +173,18 @@ mod tests {
     #[test]
     fn default_model_errors_grow_with_distance() {
         let net = network();
-        let model = ReceptionModel { outlier_prob: 0.0, loss_base_prob: 0.0, loss_per_m_prob: 0.0, ..ReceptionModel::default() };
+        let model = ReceptionModel {
+            outlier_prob: 0.0,
+            loss_base_prob: 0.0,
+            loss_per_m_prob: 0.0,
+            ..ReceptionModel::default()
+        };
         let mut obs = StatisticalObserver::new(&net, model, 0.0, StdRng::seed_from_u64(2));
         let spread = |obs: &mut StatisticalObserver, delay: f64| {
             let samples: Vec<f64> = (0..3000).filter_map(|_| obs.observe(0, 1, delay)).collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            (samples.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / samples.len() as f64).sqrt()
+            (samples.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / samples.len() as f64)
+                .sqrt()
         };
         let near = spread(&mut obs, 10.0 / 1480.0);
         let far = spread(&mut obs, 35.0 / 1480.0);
@@ -175,23 +194,39 @@ mod tests {
     #[test]
     fn missing_link_never_delivers_and_occlusion_biases() {
         let mut net = network();
-        net.set_link_condition(0, 1, LinkCondition::Missing).unwrap();
-        net.set_link_condition(0, 2, LinkCondition::Occluded { bias_m: 6.0 }).unwrap();
-        let mut obs = StatisticalObserver::new(&net, ReceptionModel::default(), 0.0, StdRng::seed_from_u64(3));
+        net.set_link_condition(0, 1, LinkCondition::Missing)
+            .unwrap();
+        net.set_link_condition(0, 2, LinkCondition::Occluded { bias_m: 6.0 })
+            .unwrap();
+        let mut obs = StatisticalObserver::new(
+            &net,
+            ReceptionModel::default(),
+            0.0,
+            StdRng::seed_from_u64(3),
+        );
         for _ in 0..50 {
             assert!(obs.observe(0, 1, 0.007).is_none());
             assert!(obs.observe(1, 0, 0.007).is_none());
         }
-        let mean_err: f64 = (0..200).filter_map(|_| obs.observe(0, 2, 0.0135)).sum::<f64>() / 200.0;
+        let mean_err: f64 = (0..200)
+            .filter_map(|_| obs.observe(0, 2, 0.0135))
+            .sum::<f64>()
+            / 200.0;
         // 6 m of extra path ≈ 4.1 ms at ~1480 m/s.
-        assert!((mean_err - 6.0 / net.sound_speed()).abs() < 1e-3, "mean {mean_err}");
+        assert!(
+            (mean_err - 6.0 / net.sound_speed()).abs() < 1e-3,
+            "mean {mean_err}"
+        );
     }
 
     #[test]
     fn extra_loss_probability_drops_packets() {
         let net = network();
-        let mut obs = StatisticalObserver::new(&net, ReceptionModel::ideal(), 0.5, StdRng::seed_from_u64(4));
-        let delivered = (0..2000).filter(|_| obs.observe(0, 1, 0.01).is_some()).count();
+        let mut obs =
+            StatisticalObserver::new(&net, ReceptionModel::ideal(), 0.5, StdRng::seed_from_u64(4));
+        let delivered = (0..2000)
+            .filter(|_| obs.observe(0, 1, 0.01).is_some())
+            .count();
         assert!(delivered > 800 && delivered < 1200, "delivered {delivered}");
     }
 
@@ -201,7 +236,12 @@ mod tests {
         // reception errors. The default model should land the median
         // absolute distance error near 0.5 m at 10 m and below ~1.2 m at 35 m.
         let net = network();
-        let model = ReceptionModel { outlier_prob: 0.0, loss_base_prob: 0.0, loss_per_m_prob: 0.0, ..ReceptionModel::default() };
+        let model = ReceptionModel {
+            outlier_prob: 0.0,
+            loss_base_prob: 0.0,
+            loss_per_m_prob: 0.0,
+            ..ReceptionModel::default()
+        };
         let mut obs = StatisticalObserver::new(&net, model, 0.0, StdRng::seed_from_u64(5));
         let c = net.sound_speed();
         let median_err = |obs: &mut StatisticalObserver, dist: f64| {

@@ -61,9 +61,14 @@ impl Scenario {
             Point3::new(-8.0, 12.0, 3.0),
             Point3::new(6.0, -14.0, 2.0),
         ];
-        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions).expect("static dock layout is valid");
+        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions)
+            .expect("static dock layout is valid");
         let config = SystemConfig::new(EnvironmentKind::Dock, positions.len(), seed);
-        Self { name: "dock-5".into(), config, network }
+        Self {
+            name: "dock-5".into(),
+            config,
+            network,
+        }
     }
 
     /// The boathouse testbed: five devices across two small islands, larger
@@ -76,10 +81,14 @@ impl Scenario {
             Point3::new(-10.0, 12.0, 2.5),
             Point3::new(12.0, -10.0, 1.5),
         ];
-        let network =
-            DiveNetwork::new(EnvironmentKind::Boathouse, &positions).expect("static boathouse layout is valid");
+        let network = DiveNetwork::new(EnvironmentKind::Boathouse, &positions)
+            .expect("static boathouse layout is valid");
         let config = SystemConfig::new(EnvironmentKind::Boathouse, positions.len(), seed);
-        Self { name: "boathouse-5".into(), config, network }
+        Self {
+            name: "boathouse-5".into(),
+            config,
+            network,
+        }
     }
 
     /// A four-device network (the dock testbed with device 4 removed).
@@ -90,9 +99,14 @@ impl Scenario {
             Point3::new(11.0, 9.0, 2.5),
             Point3::new(-8.0, 12.0, 3.0),
         ];
-        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions).expect("static dock layout is valid");
+        let network = DiveNetwork::new(EnvironmentKind::Dock, &positions)
+            .expect("static dock layout is valid");
         let config = SystemConfig::new(EnvironmentKind::Dock, positions.len(), seed);
-        Self { name: "dock-4".into(), config, network }
+        Self {
+            name: "dock-4".into(),
+            config,
+            network,
+        }
     }
 
     /// A swimming-pool deployment (shallow, short ranges, strong
@@ -104,9 +118,14 @@ impl Scenario {
             Point3::new(10.0, 6.0, 2.0),
             Point3::new(-6.0, 8.0, 1.2),
         ];
-        let network = DiveNetwork::new(EnvironmentKind::Pool, &positions).expect("static pool layout is valid");
+        let network = DiveNetwork::new(EnvironmentKind::Pool, &positions)
+            .expect("static pool layout is valid");
         let config = SystemConfig::new(EnvironmentKind::Pool, positions.len(), seed);
-        Self { name: "pool-4".into(), config, network }
+        Self {
+            name: "pool-4".into(),
+            config,
+            network,
+        }
     }
 
     /// A dive group of `n` devices (3–8) scattered over the dock site, for
@@ -131,7 +150,11 @@ impl Scenario {
         }
         let network = DiveNetwork::new(EnvironmentKind::Dock, &positions)?;
         let config = SystemConfig::new(EnvironmentKind::Dock, n, seed);
-        Ok(Self { name: format!("dock-{n}"), config, network })
+        Ok(Self {
+            name: format!("dock-{n}"),
+            config,
+            network,
+        })
     }
 
     /// The dock testbed with the leader–device-1 link occluded by a solid
@@ -151,7 +174,9 @@ impl Scenario {
     /// as in the Fig. 19b link-removal study.
     pub fn dock_with_missing_link(seed: u64, a: usize, b: usize) -> Result<Self> {
         let mut scenario = Self::dock_five_devices(seed);
-        scenario.network.set_link_condition(a, b, LinkCondition::Missing)?;
+        scenario
+            .network
+            .set_link_condition(a, b, LinkCondition::Missing)?;
         scenario.name = format!("dock-5-missing-{a}-{b}");
         Ok(scenario)
     }
@@ -161,7 +186,9 @@ impl Scenario {
     pub fn dock_with_moving_device(seed: u64, device: usize, speed_cm_s: f64) -> Result<Self> {
         let mut scenario = Self::dock_five_devices(seed);
         let centre = scenario.network.devices()[device].position_at(0.0);
-        scenario.network.set_trajectory(device, rope_oscillation(centre, speed_cm_s))?;
+        scenario
+            .network
+            .set_trajectory(device, rope_oscillation(centre, speed_cm_s))?;
         scenario.name = format!("dock-5-moving-{device}");
         Ok(scenario)
     }
@@ -180,7 +207,10 @@ mod tests {
             Scenario::pool_four_devices(1),
         ] {
             scenario.config().validate().unwrap();
-            assert_eq!(scenario.config().n_devices, scenario.network().device_count());
+            assert_eq!(
+                scenario.config().n_devices,
+                scenario.network().device_count()
+            );
             assert!(!scenario.name().is_empty());
             // All pairwise distances stay within the 32 m the guard interval
             // supports.
@@ -189,7 +219,11 @@ mod tests {
                 for j in (i + 1)..n {
                     let d = scenario.network().true_distance(i, j, 0.0);
                     assert!(d < 32.0, "{}: d({i},{j}) = {d}", scenario.name());
-                    assert!(d > 2.0, "{}: devices {i},{j} unrealistically close", scenario.name());
+                    assert!(
+                        d > 2.0,
+                        "{}: devices {i},{j} unrealistically close",
+                        scenario.name()
+                    );
                 }
             }
         }
@@ -214,7 +248,10 @@ mod tests {
             Some(LinkCondition::Occluded { .. })
         ));
         let missing = Scenario::dock_with_missing_link(1, 2, 4).unwrap();
-        assert_eq!(missing.network().link_condition(2, 4), Some(LinkCondition::Missing));
+        assert_eq!(
+            missing.network().link_condition(2, 4),
+            Some(LinkCondition::Missing)
+        );
         assert!(Scenario::dock_with_missing_link(1, 0, 9).is_err());
         let moving = Scenario::dock_with_moving_device(1, 2, 40.0).unwrap();
         let p0 = moving.network().positions_at(0.0)[2];
@@ -230,6 +267,9 @@ mod tests {
         s.network_mut()
             .set_link_condition(1, 2, LinkCondition::Missing)
             .unwrap();
-        assert_eq!(s.network().link_condition(2, 1), Some(LinkCondition::Missing));
+        assert_eq!(
+            s.network().link_condition(2, 1),
+            Some(LinkCondition::Missing)
+        );
     }
 }

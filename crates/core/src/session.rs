@@ -22,12 +22,13 @@ use crate::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
 use crate::{Result, SystemError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use uw_channel::geometry::Point3;
 use uw_localization::ambiguity::geometric_side;
 use uw_localization::matrix::{DistanceMatrix, Vec2};
 use uw_localization::pipeline::{
-    localize, localization_errors_2d, truth_in_leader_frame, LocalizationInput, LocalizationOutput,
+    localization_errors_2d, localize, truth_in_leader_frame, LocalizationInput, LocalizationOutput,
 };
 use uw_protocol::engine::{DeviceRoundState, FnObserver, ProtocolEngine, SyncSource};
 use uw_protocol::latency::{round_latency, RoundLatency};
@@ -68,7 +69,10 @@ impl Session {
     /// Creates a session from a configuration.
     pub fn new(config: SystemConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Self { config, rounds_run: 0 })
+        Ok(Self {
+            config,
+            rounds_run: 0,
+        })
     }
 
     /// The configuration in use.
@@ -95,7 +99,10 @@ impl Session {
         }
         let round_index = self.rounds_run as u64;
         self.rounds_run += 1;
-        let seed = self.config.seed.wrapping_add(round_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = self
+            .config
+            .seed
+            .wrapping_add(round_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut rng = StdRng::seed_from_u64(seed);
 
         let schedule = self.config.schedule()?;
@@ -123,11 +130,19 @@ impl Session {
         let devices: Vec<DeviceRoundState> = network
             .devices()
             .iter()
-            .map(|d| DeviceRoundState { id: d.id, position: d.position_at(round_mid_s), clock: d.clock })
+            .map(|d| DeviceRoundState {
+                id: d.id,
+                position: d.position_at(round_mid_s),
+                clock: d.clock,
+            })
             .collect();
         let model = ReceptionModel::default();
-        let mut stat_observer =
-            StatisticalObserver::new(network, model, self.config.packet_loss_prob, StdRng::seed_from_u64(seed ^ 0xABCD));
+        let mut stat_observer = StatisticalObserver::new(
+            network,
+            model,
+            self.config.packet_loss_prob,
+            StdRng::seed_from_u64(seed ^ 0xABCD),
+        );
         let mut observer = FnObserver(|tx: usize, rx: usize, tau: f64| {
             use uw_protocol::engine::LinkObserver as _;
             let base = stat_observer.observe(tx, rx, tau)?;
@@ -142,28 +157,50 @@ impl Session {
 
         // Hybrid fidelity: re-measure the leader's links with the full
         // waveform pipeline (channel synthesis + detection + dual-mic LOS).
+        // The links are independent, so they fan out across cores; the
+        // process-wide preamble assets (matched filter, symbol FFT plans)
+        // are pooled, so parallel exchanges reuse precomputed DSP state
+        // instead of rebuilding or serialising on it.
         if self.config.fidelity == Fidelity::Hybrid {
-            for other in 1..self.config.n_devices {
-                if matches!(network.link_condition(0, other), Some(crate::network::LinkCondition::Missing)) {
-                    continue;
-                }
-                let occlusion_db = match network.link_condition(0, other) {
-                    Some(crate::network::LinkCondition::Occluded { .. }) => 35.0,
-                    _ => 0.0,
-                };
-                let trial = PairwiseTrial {
-                    environment: network.environment().kind,
-                    tx_position: truth_positions[other],
-                    rx_position: truth_positions[0],
-                    rx_azimuth_rad: network.leader_pointing_azimuth(round_mid_s)?,
-                    source_level: network.devices()[other].model.source_level(),
-                    occlusion_db,
-                    orientation_loss_db: 0.0,
-                };
-                if let Ok(result) = run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, seed ^ (other as u64) << 8) {
-                    distances
-                        .set(0, other, result.estimated_distance_m.max(0.0))
-                        .map_err(SystemError::from)?;
+            let rx_azimuth_rad = network.leader_pointing_azimuth(round_mid_s)?;
+            let trials: Vec<(usize, PairwiseTrial)> = (1..self.config.n_devices)
+                .filter(|&other| {
+                    !matches!(
+                        network.link_condition(0, other),
+                        Some(crate::network::LinkCondition::Missing)
+                    )
+                })
+                .map(|other| {
+                    let occlusion_db = match network.link_condition(0, other) {
+                        Some(crate::network::LinkCondition::Occluded { .. }) => 35.0,
+                        _ => 0.0,
+                    };
+                    let trial = PairwiseTrial {
+                        environment: network.environment().kind,
+                        tx_position: truth_positions[other],
+                        rx_position: truth_positions[0],
+                        rx_azimuth_rad,
+                        source_level: network.devices()[other].model.source_level(),
+                        occlusion_db,
+                        orientation_loss_db: 0.0,
+                    };
+                    (other, trial)
+                })
+                .collect();
+            let measured: Vec<(usize, Option<f64>)> = trials
+                .into_par_iter()
+                .map(|(other, trial)| {
+                    let result = run_pairwise_trial(
+                        &trial,
+                        RangingScheme::DualMicOfdm,
+                        seed ^ (other as u64) << 8,
+                    );
+                    (other, result.ok().map(|r| r.estimated_distance_m.max(0.0)))
+                })
+                .collect();
+            for (other, estimate) in measured {
+                if let Some(d) = estimate {
+                    distances.set(0, other, d).map_err(SystemError::from)?;
                 }
             }
         }
@@ -174,7 +211,9 @@ impl Session {
             .iter()
             .enumerate()
             .map(|(i, d)| {
-                let measured = d.measure_depth(round_mid_s, &mut rng).unwrap_or(truth_positions[i].z);
+                let measured = d
+                    .measure_depth(round_mid_s, &mut rng)
+                    .unwrap_or(truth_positions[i].z);
                 uw_device::sensors::quantize_depth(measured)
             })
             .collect();
@@ -183,20 +222,28 @@ impl Session {
         let pointing_error = gaussian(&mut rng) * self.config.pointing_error_std_rad;
         let pointing_azimuth = network.leader_pointing_azimuth(round_mid_s)? + pointing_error;
 
-        // Dual-microphone side signs observed by the leader. In statistical
-        // mode the geometric truth is flipped with the configured error
-        // probability; devices the leader never heard give no vote.
+        // Dual-microphone side signs observed by the leader. The sign comes
+        // from which microphone heard the device first, and the inter-mic
+        // lag scales with the sine of the device's angle off the pointing
+        // line — so near-line devices flip their sign often while broadside
+        // devices almost never do. `mic_sign_error_prob` calibrates the
+        // layout-averaged single-device error rate (≈ the paper's 9.9%).
+        // Devices the leader never heard give no vote.
         let truth_frame = truth_in_leader_frame(&truth_positions);
         let side_signs: Vec<Option<i8>> = (0..self.config.n_devices)
             .map(|i| {
                 if i < 2 {
                     return None;
                 }
-                if outcome.tables[0].reception(i).is_none() {
-                    return None;
-                }
+                outcome.tables[0].reception(i)?;
                 let mut sign = geometric_side(&truth_frame, i);
-                if sign != 0 && rng.gen_bool(self.config.mic_sign_error_prob) {
+                if sign != 0
+                    && rng.gen_bool(mic_sign_error_prob(
+                        &truth_frame,
+                        i,
+                        self.config.mic_sign_error_prob,
+                    ))
+                {
                     sign = -sign;
                 }
                 Some(sign)
@@ -252,6 +299,30 @@ impl Session {
     }
 }
 
+/// Probability that the leader's dual-microphone side sign for device `i`
+/// is flipped. The physical observable is the inter-microphone arrival lag,
+/// which is proportional to `sin(angle off the pointing line)`; the flip
+/// probability therefore decays from 1/2 on the line to ~0 broadside:
+///
+/// `p_err(s) = 1/2 · exp(−(s/σ)²)`, with `s = |sin(angle)|` and
+/// `σ = 3.5 · error_scale` chosen so that a layout with uniformly
+/// distributed bearings averages to ≈ `error_scale` (the paper's single-
+/// device sign accuracy of 90.1% corresponds to the default 0.1).
+fn mic_sign_error_prob(truth_frame: &[Vec2], i: usize, error_scale: f64) -> f64 {
+    let ui = truth_frame[i];
+    let u1 = truth_frame[1];
+    let denom = ui.norm() * u1.norm();
+    if denom <= 0.0 {
+        return 0.5;
+    }
+    let sin_angle = ((ui.x * u1.y - ui.y * u1.x) / denom).abs();
+    let sigma = 3.5 * error_scale;
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    (0.5 * (-(sin_angle / sigma) * (sin_angle / sigma)).exp()).clamp(0.0, 0.5)
+}
+
 fn gaussian<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(1e-12..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -274,7 +345,10 @@ mod tests {
         let median = all_errors[all_errors.len() / 2];
         assert!(median < 1.6, "median 2D error {median}");
         // Ranging errors are sub-metre in the median as well.
-        let mut ranging: Vec<f64> = outcomes.iter().flat_map(|o| o.ranging_errors.clone()).collect();
+        let mut ranging: Vec<f64> = outcomes
+            .iter()
+            .flat_map(|o| o.ranging_errors.clone())
+            .collect();
         ranging.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(ranging[ranging.len() / 2] < 1.0);
         // Latency matches the 5-device protocol model (~1.88 s acoustic).

@@ -11,7 +11,9 @@
 use crate::{Result, SystemError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use uw_channel::environment::{Environment, EnvironmentKind};
 use uw_channel::geometry::Point3;
 use uw_channel::propagate::{ChannelSimulator, PropagateOptions};
@@ -21,6 +23,27 @@ use uw_dsp::SAMPLE_RATE;
 use uw_ranging::baselines::ChirpBaseline;
 use uw_ranging::preamble::RangingPreamble;
 use uw_ranging::ranging::{estimate_arrival_dual, MicMode, RangingConfig};
+
+/// Receive-side assets every waveform trial shares: the paper-default
+/// preamble (whose matched filter and symbol FFT plans are pooled
+/// internally, so concurrent trials reuse them without serialising) and the
+/// matched chirp baseline. Built once per process — a session's many
+/// exchanges, and all parallel links within one round, reuse the same
+/// precomputed DSP state.
+struct WaveformAssets {
+    preamble: RangingPreamble,
+    baseline: ChirpBaseline,
+}
+
+fn assets() -> &'static WaveformAssets {
+    static ASSETS: OnceLock<WaveformAssets> = OnceLock::new();
+    ASSETS.get_or_init(|| WaveformAssets {
+        preamble: RangingPreamble::default_paper()
+            .expect("paper-default preamble parameters are valid"),
+        baseline: ChirpBaseline::matched_to_preamble()
+            .expect("paper-default chirp parameters are valid"),
+    })
+}
 
 /// Set-up of one waveform-level ranging trial.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,7 +115,11 @@ pub enum RangingScheme {
 /// (sample 0 of the transmit stream), so the distance follows directly from
 /// the estimated arrival sample; the two-way protocol combination is
 /// exercised separately by the session layer.
-pub fn run_pairwise_trial(trial: &PairwiseTrial, scheme: RangingScheme, seed: u64) -> Result<TrialResult> {
+pub fn run_pairwise_trial(
+    trial: &PairwiseTrial,
+    scheme: RangingScheme,
+    seed: u64,
+) -> Result<TrialResult> {
     let environment = Environment::preset(trial.environment);
     let simulator = ChannelSimulator::new(environment, SAMPLE_RATE).map_err(SystemError::from)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -101,22 +128,40 @@ pub fn run_pairwise_trial(trial: &PairwiseTrial, scheme: RangingScheme, seed: u6
     let az = trial.rx_azimuth_rad;
     let dx = -az.sin() * MIC_SEPARATION_M / 2.0;
     let dy = az.cos() * MIC_SEPARATION_M / 2.0;
-    let mic1 = Point3::new(trial.rx_position.x - dx, trial.rx_position.y - dy, trial.rx_position.z);
-    let mic2 = Point3::new(trial.rx_position.x + dx, trial.rx_position.y + dy, trial.rx_position.z);
+    let mic1 = Point3::new(
+        trial.rx_position.x - dx,
+        trial.rx_position.y - dy,
+        trial.rx_position.z,
+    );
+    let mic2 = Point3::new(
+        trial.rx_position.x + dx,
+        trial.rx_position.y + dy,
+        trial.rx_position.z,
+    );
 
     let gain = trial.source_level
         * uw_channel::absorption::db_loss_to_amplitude(trial.orientation_loss_db.max(0.0));
-    let options = PropagateOptions { occlusion_db: trial.occlusion_db, ..PropagateOptions::default() };
+    let options = PropagateOptions {
+        occlusion_db: trial.occlusion_db,
+        ..PropagateOptions::default()
+    };
 
     let sound_speed = simulator.sound_speed();
     let true_distance = trial.tx_position.distance(&mic1);
 
     let (estimated_arrival, mic_sign) = match scheme {
         RangingScheme::DualMicOfdm | RangingScheme::BottomMicOnly | RangingScheme::TopMicOnly => {
-            let preamble = RangingPreamble::default_paper().map_err(SystemError::from)?;
+            let preamble = &assets().preamble;
             let tx_wave: Vec<f64> = preamble.waveform.iter().map(|s| s * gain).collect();
             let [rx1, rx2] = simulator
-                .propagate_dual_mic(&tx_wave, &trial.tx_position, &[mic1, mic2], &options, &[1.0, 1.3], &mut rng)
+                .propagate_dual_mic(
+                    &tx_wave,
+                    &trial.tx_position,
+                    &[mic1, mic2],
+                    &options,
+                    &[1.0, 1.3],
+                    &mut rng,
+                )
                 .map_err(SystemError::from)?;
             let mut config = RangingConfig {
                 mic_mode: match scheme {
@@ -127,7 +172,7 @@ pub fn run_pairwise_trial(trial: &PairwiseTrial, scheme: RangingScheme, seed: u6
                 ..RangingConfig::default()
             };
             config.los.sound_speed = sound_speed;
-            let est = estimate_arrival_dual(&rx1.samples, &rx2.samples, &preamble, &config)
+            let est = estimate_arrival_dual(&rx1.samples, &rx2.samples, preamble, &config)
                 .map_err(SystemError::from)?;
             // The transmit stream's sample 0 leaves the speaker at the same
             // instant the receive streams' sample `lead_in` is captured, so
@@ -137,7 +182,7 @@ pub fn run_pairwise_trial(trial: &PairwiseTrial, scheme: RangingScheme, seed: u6
             (delay_samples / SAMPLE_RATE, est.mic_sign())
         }
         RangingScheme::BeepBeep | RangingScheme::CatFmcw => {
-            let baseline = ChirpBaseline::matched_to_preamble().map_err(SystemError::from)?;
+            let baseline = &assets().baseline;
             let tx_wave: Vec<f64> = baseline.waveform.iter().map(|s| s * gain).collect();
             let received = simulator
                 .propagate(&tx_wave, &trial.tx_position, &mic1, &options, &mut rng)
@@ -147,7 +192,10 @@ pub fn run_pairwise_trial(trial: &PairwiseTrial, scheme: RangingScheme, seed: u6
                     .estimate_arrival_correlation(&received.samples)
                     .map_err(SystemError::from)?,
                 _ => baseline
-                    .estimate_arrival_fmcw(&received.samples, uw_ranging::baselines::DEFAULT_TH_SD_DB)
+                    .estimate_arrival_fmcw(
+                        &received.samples,
+                        uw_ranging::baselines::DEFAULT_TH_SD_DB,
+                    )
                     .map_err(SystemError::from)?,
             };
             ((arrival - options.lead_in_samples as f64) / SAMPLE_RATE, 0)
@@ -165,7 +213,9 @@ pub fn run_pairwise_trial(trial: &PairwiseTrial, scheme: RangingScheme, seed: u6
 
 /// Runs `n_trials` repetitions of a trial with different seeds and returns
 /// the absolute errors of the successful ones (failed detections are
-/// skipped, as in the paper's measurement campaigns).
+/// skipped, as in the paper's measurement campaigns). Trials are
+/// independent and fan out across cores; the shared preamble's pooled DSP
+/// state keeps them from serialising on FFT scratch.
 pub fn repeated_trial_errors(
     trial: &PairwiseTrial,
     scheme: RangingScheme,
@@ -173,7 +223,11 @@ pub fn repeated_trial_errors(
     base_seed: u64,
 ) -> Vec<f64> {
     (0..n_trials)
-        .filter_map(|k| run_pairwise_trial(trial, scheme, base_seed.wrapping_add(k as u64)).ok())
+        .into_par_iter()
+        .map(|k| run_pairwise_trial(trial, scheme, base_seed.wrapping_add(k as u64)).ok())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
         .map(|r| r.error_m.abs())
         .collect()
 }
@@ -198,20 +252,28 @@ pub fn detection_trial_ours(
     let env = Environment::preset(environment);
     let simulator = ChannelSimulator::new(env, SAMPLE_RATE).map_err(SystemError::from)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let preamble = RangingPreamble::default_paper().map_err(SystemError::from)?;
+    let preamble = &assets().preamble;
     let tx = Point3::new(0.0, 0.0, 1.0);
     let rx = Point3::new(separation_m, 0.0, 1.0);
     let received = simulator
-        .propagate(&preamble.waveform, &tx, &rx, &PropagateOptions::default(), &mut rng)
+        .propagate(
+            &preamble.waveform,
+            &tx,
+            &rx,
+            &PropagateOptions::default(),
+            &mut rng,
+        )
         .map_err(SystemError::from)?;
     let config = uw_ranging::detect::DetectorConfig {
         validation_threshold,
         ..uw_ranging::detect::DetectorConfig::default()
     };
-    Ok(match uw_ranging::detect::detect_preamble(&received.samples, &preamble, &config) {
-        Ok(_) => DetectionTrialOutcome::Detected,
-        Err(_) => DetectionTrialOutcome::NotDetected,
-    })
+    Ok(
+        match uw_ranging::detect::detect_preamble(&received.samples, preamble, &config) {
+            Ok(_) => DetectionTrialOutcome::Detected,
+            Err(_) => DetectionTrialOutcome::NotDetected,
+        },
+    )
 }
 
 /// Runs a noise-only detection trial (no preamble transmitted) for the
@@ -223,7 +285,7 @@ pub fn noise_trial_ours(
 ) -> Result<DetectionTrialOutcome> {
     let env = Environment::preset(environment);
     let mut rng = StdRng::seed_from_u64(seed);
-    let preamble = RangingPreamble::default_paper().map_err(SystemError::from)?;
+    let preamble = &assets().preamble;
     let samples = uw_channel::noise::combined_noise(
         &env.noise,
         preamble.len() + 30_000,
@@ -234,10 +296,12 @@ pub fn noise_trial_ours(
         validation_threshold,
         ..uw_ranging::detect::DetectorConfig::default()
     };
-    Ok(match uw_ranging::detect::detect_preamble(&samples, &preamble, &config) {
-        Ok(_) => DetectionTrialOutcome::Detected,
-        Err(_) => DetectionTrialOutcome::NotDetected,
-    })
+    Ok(
+        match uw_ranging::detect::detect_preamble(&samples, preamble, &config) {
+            Ok(_) => DetectionTrialOutcome::Detected,
+            Err(_) => DetectionTrialOutcome::NotDetected,
+        },
+    )
 }
 
 /// Detection trials for the FMCW baseline (window-based power threshold, in
@@ -250,23 +314,36 @@ pub fn detection_trial_fmcw(
 ) -> Result<DetectionTrialOutcome> {
     let env = Environment::preset(environment);
     let mut rng = StdRng::seed_from_u64(seed);
-    let baseline = ChirpBaseline::matched_to_preamble().map_err(SystemError::from)?;
+    let baseline = &assets().baseline;
     let samples = match separation_m {
         Some(d) => {
             let simulator = ChannelSimulator::new(env, SAMPLE_RATE).map_err(SystemError::from)?;
             let tx = Point3::new(0.0, 0.0, 1.0);
             let rx = Point3::new(d, 0.0, 1.0);
             simulator
-                .propagate(&baseline.waveform, &tx, &rx, &PropagateOptions::default(), &mut rng)
+                .propagate(
+                    &baseline.waveform,
+                    &tx,
+                    &rx,
+                    &PropagateOptions::default(),
+                    &mut rng,
+                )
                 .map_err(SystemError::from)?
                 .samples
         }
-        None => uw_channel::noise::combined_noise(&env.noise, baseline.waveform.len() + 30_000, SAMPLE_RATE, &mut rng),
+        None => uw_channel::noise::combined_noise(
+            &env.noise,
+            baseline.waveform.len() + 30_000,
+            SAMPLE_RATE,
+            &mut rng,
+        ),
     };
-    Ok(match baseline.detect_power_threshold(&samples, threshold_db) {
-        Some(_) => DetectionTrialOutcome::Detected,
-        None => DetectionTrialOutcome::NotDetected,
-    })
+    Ok(
+        match baseline.detect_power_threshold(&samples, threshold_db) {
+            Some(_) => DetectionTrialOutcome::Detected,
+            None => DetectionTrialOutcome::NotDetected,
+        },
+    )
 }
 
 /// Extra transmission loss for a transmitter rotated away from the receiver
@@ -296,14 +373,27 @@ mod tests {
 
     #[test]
     fn error_grows_with_separation_on_average() {
-        let near: Vec<f64> =
-            repeated_trial_errors(&PairwiseTrial::at_distance(EnvironmentKind::Dock, 10.0, 2.5), RangingScheme::DualMicOfdm, 6, 10);
-        let far: Vec<f64> =
-            repeated_trial_errors(&PairwiseTrial::at_distance(EnvironmentKind::Dock, 35.0, 2.5), RangingScheme::DualMicOfdm, 6, 10);
+        let near: Vec<f64> = repeated_trial_errors(
+            &PairwiseTrial::at_distance(EnvironmentKind::Dock, 10.0, 2.5),
+            RangingScheme::DualMicOfdm,
+            6,
+            10,
+        );
+        let far: Vec<f64> = repeated_trial_errors(
+            &PairwiseTrial::at_distance(EnvironmentKind::Dock, 35.0, 2.5),
+            RangingScheme::DualMicOfdm,
+            6,
+            10,
+        );
         assert!(!near.is_empty() && !far.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         // Far trials should not be dramatically better than near ones.
-        assert!(mean(&far) + 0.3 > mean(&near), "near {} far {}", mean(&near), mean(&far));
+        assert!(
+            mean(&far) + 0.3 > mean(&near),
+            "near {} far {}",
+            mean(&near),
+            mean(&far)
+        );
     }
 
     #[test]
@@ -311,11 +401,19 @@ mod tests {
         // Mid-depth devices: with the direct path suppressed, the earliest
         // surviving reflection detours by ~2.5 m, which dominates the error.
         let clear = PairwiseTrial::at_distance(EnvironmentKind::Dock, 15.0, 4.5);
-        let occluded = PairwiseTrial { occlusion_db: 35.0, ..clear.clone() };
+        let occluded = PairwiseTrial {
+            occlusion_db: 35.0,
+            ..clear.clone()
+        };
         let clear_errs = repeated_trial_errors(&clear, RangingScheme::DualMicOfdm, 5, 42);
         let occ_errs = repeated_trial_errors(&occluded, RangingScheme::DualMicOfdm, 5, 42);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(mean(&occ_errs) > mean(&clear_errs), "occluded {} vs clear {}", mean(&occ_errs), mean(&clear_errs));
+        assert!(
+            mean(&occ_errs) > mean(&clear_errs),
+            "occluded {} vs clear {}",
+            mean(&occ_errs),
+            mean(&clear_errs)
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ pub struct BoundaryLoss {
 impl Default for BoundaryLoss {
     fn default() -> Self {
         // Calm surface ≈ 1 dB per bounce; muddy lake bottom ≈ 6 dB.
-        Self { surface_db: 1.0, bottom_db: 6.0 }
+        Self {
+            surface_db: 1.0,
+            bottom_db: 6.0,
+        }
     }
 }
 

@@ -31,8 +31,12 @@ pub enum EnvironmentKind {
 
 impl EnvironmentKind {
     /// All four presets.
-    pub const ALL: [EnvironmentKind; 4] =
-        [EnvironmentKind::Pool, EnvironmentKind::Dock, EnvironmentKind::Viewpoint, EnvironmentKind::Boathouse];
+    pub const ALL: [EnvironmentKind; 4] = [
+        EnvironmentKind::Pool,
+        EnvironmentKind::Dock,
+        EnvironmentKind::Viewpoint,
+        EnvironmentKind::Boathouse,
+    ];
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -78,7 +82,10 @@ impl Environment {
                 spreading: Spreading::Cylindrical,
                 // Tiled walls reflect strongly: low boundary loss, deep
                 // reverberation tail.
-                boundary_loss: BoundaryLoss { surface_db: 0.5, bottom_db: 2.0 },
+                boundary_loss: BoundaryLoss {
+                    surface_db: 0.5,
+                    bottom_db: 2.0,
+                },
                 max_bounces: 6,
                 noise: NoiseProfile::quiet(),
             },
@@ -98,7 +105,10 @@ impl Environment {
                 max_range_m: 40.0,
                 water: WaterProperties::default(),
                 spreading: Spreading::Cylindrical,
-                boundary_loss: BoundaryLoss { surface_db: 1.0, bottom_db: 4.0 },
+                boundary_loss: BoundaryLoss {
+                    surface_db: 1.0,
+                    bottom_db: 4.0,
+                },
                 max_bounces: 6,
                 noise: NoiseProfile::default(),
             },
@@ -108,7 +118,10 @@ impl Environment {
                 max_range_m: 30.0,
                 water: WaterProperties::default(),
                 spreading: Spreading::Practical,
-                boundary_loss: BoundaryLoss { surface_db: 1.0, bottom_db: 5.0 },
+                boundary_loss: BoundaryLoss {
+                    surface_db: 1.0,
+                    bottom_db: 5.0,
+                },
                 max_bounces: 4,
                 noise: NoiseProfile::busy(),
             },
@@ -118,7 +131,10 @@ impl Environment {
     /// Speed of sound for this environment (m/s), from Wilson's equation at
     /// mid-depth.
     pub fn sound_speed(&self) -> f64 {
-        let props = WaterProperties { depth_m: self.water_depth_m / 2.0, ..self.water };
+        let props = WaterProperties {
+            depth_m: self.water_depth_m / 2.0,
+            ..self.water
+        };
         wilson_sound_speed(&props)
     }
 

@@ -19,7 +19,11 @@ pub struct Point3 {
 
 impl Point3 {
     /// The origin.
-    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a point from coordinates.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -135,8 +139,12 @@ mod tests {
     fn azimuth_quadrants() {
         let o = Point3::ORIGIN;
         assert!((o.azimuth_to(&Point3::new(1.0, 0.0, 0.0)) - 0.0).abs() < 1e-12);
-        assert!((o.azimuth_to(&Point3::new(0.0, 1.0, 0.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
-        assert!((o.azimuth_to(&Point3::new(-1.0, 0.0, 0.0)).abs() - std::f64::consts::PI).abs() < 1e-12);
+        assert!(
+            (o.azimuth_to(&Point3::new(0.0, 1.0, 0.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+        );
+        assert!(
+            (o.azimuth_to(&Point3::new(-1.0, 0.0, 0.0)).abs() - std::f64::consts::PI).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -144,7 +152,7 @@ mod tests {
         for k in -10..=10 {
             let theta = k as f64 * 1.3;
             let w = wrap_angle(theta);
-            assert!(w >= -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+            assert!((-std::f64::consts::PI - 1e-12..=std::f64::consts::PI + 1e-12).contains(&w));
             // Same direction.
             assert!(((theta - w) / (2.0 * std::f64::consts::PI)).fract().abs() < 1e-9);
         }

@@ -75,9 +75,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ChannelError::InvalidParameter { reason: "depth below seabed".into() };
+        let e = ChannelError::InvalidParameter {
+            reason: "depth below seabed".into(),
+        };
         assert!(e.to_string().contains("depth below seabed"));
-        let e = ChannelError::InvalidLength { reason: "empty waveform".into() };
+        let e = ChannelError::InvalidLength {
+            reason: "empty waveform".into(),
+        };
         assert!(e.to_string().contains("empty waveform"));
     }
 }

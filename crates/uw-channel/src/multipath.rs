@@ -89,18 +89,27 @@ impl MultipathConfig {
     /// Validates the physical parameters.
     pub fn validate(&self) -> Result<()> {
         if self.water_depth_m <= 0.0 {
-            return Err(ChannelError::InvalidParameter { reason: "water depth must be positive".into() });
+            return Err(ChannelError::InvalidParameter {
+                reason: "water depth must be positive".into(),
+            });
         }
         if self.sound_speed < 1300.0 || self.sound_speed > 1700.0 {
             return Err(ChannelError::InvalidParameter {
-                reason: format!("sound speed {} m/s is not an underwater value", self.sound_speed),
+                reason: format!(
+                    "sound speed {} m/s is not an underwater value",
+                    self.sound_speed
+                ),
             });
         }
         if self.center_freq_hz <= 0.0 {
-            return Err(ChannelError::InvalidParameter { reason: "centre frequency must be positive".into() });
+            return Err(ChannelError::InvalidParameter {
+                reason: "centre frequency must be positive".into(),
+            });
         }
         if self.direct_path_extra_loss_db < 0.0 {
-            return Err(ChannelError::InvalidParameter { reason: "occlusion loss must be non-negative".into() });
+            return Err(ChannelError::InvalidParameter {
+                reason: "occlusion loss must be non-negative".into(),
+            });
         }
         Ok(())
     }
@@ -108,7 +117,10 @@ impl MultipathConfig {
     fn check_in_column(&self, p: &Point3, label: &str) -> Result<()> {
         if p.z < 0.0 || p.z > self.water_depth_m {
             return Err(ChannelError::InvalidParameter {
-                reason: format!("{label} depth {} m is outside the water column (0..{} m)", p.z, self.water_depth_m),
+                reason: format!(
+                    "{label} depth {} m is outside the water column (0..{} m)",
+                    p.z, self.water_depth_m
+                ),
             });
         }
         Ok(())
@@ -117,7 +129,11 @@ impl MultipathConfig {
 
 /// Enumerates propagation paths between `tx` and `rx` using the image
 /// method, sorted by increasing delay. The direct path is always first.
-pub fn image_method_paths(config: &MultipathConfig, tx: &Point3, rx: &Point3) -> Result<Vec<PathComponent>> {
+pub fn image_method_paths(
+    config: &MultipathConfig,
+    tx: &Point3,
+    rx: &Point3,
+) -> Result<Vec<PathComponent>> {
     config.validate()?;
     config.check_in_column(tx, "transmitter")?;
     config.check_in_column(rx, "receiver")?;
@@ -168,7 +184,11 @@ pub fn image_method_paths(config: &MultipathConfig, tx: &Point3, rx: &Point3) ->
         });
     }
 
-    paths.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).unwrap_or(std::cmp::Ordering::Equal));
+    paths.sort_by(|a, b| {
+        a.delay_s
+            .partial_cmp(&b.delay_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(paths)
 }
 
@@ -189,12 +209,19 @@ impl ImpulseResponse {
     /// limits the response duration after the earliest arrival.
     pub fn from_paths(paths: &[PathComponent], sample_rate: f64, span_s: f64) -> Result<Self> {
         if paths.is_empty() {
-            return Err(ChannelError::InvalidLength { reason: "no propagation paths".into() });
+            return Err(ChannelError::InvalidLength {
+                reason: "no propagation paths".into(),
+            });
         }
         if sample_rate <= 0.0 || span_s <= 0.0 {
-            return Err(ChannelError::InvalidParameter { reason: "sample rate and span must be positive".into() });
+            return Err(ChannelError::InvalidParameter {
+                reason: "sample rate and span must be positive".into(),
+            });
         }
-        let base = paths.iter().map(|p| p.delay_s).fold(f64::INFINITY, f64::min);
+        let base = paths
+            .iter()
+            .map(|p| p.delay_s)
+            .fold(f64::INFINITY, f64::min);
         let n_taps = (span_s * sample_rate).ceil() as usize + 1;
         let mut taps = vec![0.0; n_taps];
         for p in paths {
@@ -208,7 +235,11 @@ impl ImpulseResponse {
                 taps[idx + 1] += p.amplitude * frac;
             }
         }
-        Ok(Self { sample_rate, taps, base_delay_s: base })
+        Ok(Self {
+            sample_rate,
+            taps,
+            base_delay_s: base,
+        })
     }
 
     /// RMS delay spread of the response in seconds (second moment of the
@@ -243,7 +274,11 @@ impl ImpulseResponse {
         self.taps
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.1.abs()
+                    .partial_cmp(&b.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -274,7 +309,11 @@ mod tests {
         let config = MultipathConfig::default();
         let (tx, rx) = default_positions();
         let paths = image_method_paths(&config, &tx, &rx).unwrap();
-        assert!(paths.len() > 4, "expected several multipath components, got {}", paths.len());
+        assert!(
+            paths.len() > 4,
+            "expected several multipath components, got {}",
+            paths.len()
+        );
         let direct = &paths[0];
         for p in &paths[1..] {
             assert!(p.delay_s >= direct.delay_s);
@@ -287,19 +326,31 @@ mod tests {
         let config = MultipathConfig::default();
         let (tx, rx) = default_positions();
         let paths = image_method_paths(&config, &tx, &rx).unwrap();
-        let single_surface = paths.iter().find(|p| p.n_surface == 1 && p.n_bottom == 0).unwrap();
+        let single_surface = paths
+            .iter()
+            .find(|p| p.n_surface == 1 && p.n_bottom == 0)
+            .unwrap();
         assert!(single_surface.amplitude < 0.0);
-        let single_bottom = paths.iter().find(|p| p.n_surface == 0 && p.n_bottom == 1).unwrap();
+        let single_bottom = paths
+            .iter()
+            .find(|p| p.n_surface == 0 && p.n_bottom == 1)
+            .unwrap();
         assert!(single_bottom.amplitude > 0.0);
     }
 
     #[test]
     fn bounce_cap_is_respected() {
-        let config = MultipathConfig { max_bounces: 2, ..MultipathConfig::default() };
+        let config = MultipathConfig {
+            max_bounces: 2,
+            ..MultipathConfig::default()
+        };
         let (tx, rx) = default_positions();
         let paths = image_method_paths(&config, &tx, &rx).unwrap();
         assert!(paths.iter().all(|p| p.bounces() <= 2));
-        let bigger = MultipathConfig { max_bounces: 6, ..MultipathConfig::default() };
+        let bigger = MultipathConfig {
+            max_bounces: 6,
+            ..MultipathConfig::default()
+        };
         let more = image_method_paths(&bigger, &tx, &rx).unwrap();
         assert!(more.len() > paths.len());
     }
@@ -307,7 +358,10 @@ mod tests {
     #[test]
     fn occlusion_attenuates_only_the_direct_path() {
         let clear = MultipathConfig::default();
-        let blocked = MultipathConfig { direct_path_extra_loss_db: 30.0, ..clear };
+        let blocked = MultipathConfig {
+            direct_path_extra_loss_db: 30.0,
+            ..clear
+        };
         let (tx, rx) = default_positions();
         let p_clear = image_method_paths(&clear, &tx, &rx).unwrap();
         let p_blocked = image_method_paths(&blocked, &tx, &rx).unwrap();
@@ -315,8 +369,14 @@ mod tests {
         let d_blocked = p_blocked.iter().find(|p| p.is_direct()).unwrap();
         assert!(d_blocked.amplitude < d_clear.amplitude * 0.1);
         // A reflected path keeps its amplitude.
-        let r_clear = p_clear.iter().find(|p| p.n_bottom == 1 && p.n_surface == 0).unwrap();
-        let r_blocked = p_blocked.iter().find(|p| p.n_bottom == 1 && p.n_surface == 0).unwrap();
+        let r_clear = p_clear
+            .iter()
+            .find(|p| p.n_bottom == 1 && p.n_surface == 0)
+            .unwrap();
+        let r_blocked = p_blocked
+            .iter()
+            .find(|p| p.n_bottom == 1 && p.n_surface == 0)
+            .unwrap();
         assert!((r_clear.amplitude - r_blocked.amplitude).abs() < 1e-12);
         // With heavy occlusion, the strongest arrival is no longer the direct
         // path — this is exactly what produces outlier distance estimates.
@@ -351,13 +411,25 @@ mod tests {
         let below = Point3::new(0.0, 0.0, 20.0);
         assert!(image_method_paths(&config, &above, &inside).is_err());
         assert!(image_method_paths(&config, &inside, &below).is_err());
-        let bad = MultipathConfig { water_depth_m: -1.0, ..config };
+        let bad = MultipathConfig {
+            water_depth_m: -1.0,
+            ..config
+        };
         assert!(bad.validate().is_err());
-        let bad = MultipathConfig { sound_speed: 300.0, ..config };
+        let bad = MultipathConfig {
+            sound_speed: 300.0,
+            ..config
+        };
         assert!(bad.validate().is_err());
-        let bad = MultipathConfig { direct_path_extra_loss_db: -3.0, ..config };
+        let bad = MultipathConfig {
+            direct_path_extra_loss_db: -3.0,
+            ..config
+        };
         assert!(bad.validate().is_err());
-        let bad = MultipathConfig { center_freq_hz: 0.0, ..config };
+        let bad = MultipathConfig {
+            center_freq_hz: 0.0,
+            ..config
+        };
         assert!(bad.validate().is_err());
     }
 

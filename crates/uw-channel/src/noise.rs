@@ -50,12 +50,22 @@ impl Default for NoiseProfile {
 impl NoiseProfile {
     /// A quiet environment (pool at night).
     pub fn quiet() -> Self {
-        Self { ambient_rms: 0.005, spike_rate_hz: 0.1, spike_amplitude: 0.1, ..Self::default() }
+        Self {
+            ambient_rms: 0.005,
+            spike_rate_hz: 0.1,
+            spike_amplitude: 0.1,
+            ..Self::default()
+        }
     }
 
     /// A busy environment (boathouse with fishing and kayaking).
     pub fn busy() -> Self {
-        Self { ambient_rms: 0.04, spike_rate_hz: 4.0, spike_amplitude: 0.8, ..Self::default() }
+        Self {
+            ambient_rms: 0.04,
+            spike_rate_hz: 4.0,
+            spike_amplitude: 0.8,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with the ambient and spike levels scaled by `scale`
@@ -70,7 +80,12 @@ impl NoiseProfile {
 }
 
 /// Generates `n` samples of ambient (low-pass-shaped Gaussian) noise.
-pub fn ambient_noise<R: Rng>(profile: &NoiseProfile, n: usize, sample_rate: f64, rng: &mut R) -> Vec<f64> {
+pub fn ambient_noise<R: Rng>(
+    profile: &NoiseProfile,
+    n: usize,
+    sample_rate: f64,
+    rng: &mut R,
+) -> Vec<f64> {
     let _ = sample_rate; // the tilt is expressed directly as a filter pole
     let alpha = profile.spectral_tilt.clamp(0.0, 0.999);
     // Scale the white-noise drive so the filtered output has the requested RMS.
@@ -91,7 +106,12 @@ pub fn ambient_noise<R: Rng>(profile: &NoiseProfile, n: usize, sample_rate: f64,
 }
 
 /// Generates `n` samples of impulsive spike noise.
-pub fn spike_noise<R: Rng>(profile: &NoiseProfile, n: usize, sample_rate: f64, rng: &mut R) -> Vec<f64> {
+pub fn spike_noise<R: Rng>(
+    profile: &NoiseProfile,
+    n: usize,
+    sample_rate: f64,
+    rng: &mut R,
+) -> Vec<f64> {
     let mut out = vec![0.0; n];
     if profile.spike_rate_hz <= 0.0 || profile.spike_amplitude == 0.0 {
         return out;
@@ -117,7 +137,12 @@ pub fn spike_noise<R: Rng>(profile: &NoiseProfile, n: usize, sample_rate: f64, r
 }
 
 /// Generates the combined noise waveform (ambient + spikes).
-pub fn combined_noise<R: Rng>(profile: &NoiseProfile, n: usize, sample_rate: f64, rng: &mut R) -> Vec<f64> {
+pub fn combined_noise<R: Rng>(
+    profile: &NoiseProfile,
+    n: usize,
+    sample_rate: f64,
+    rng: &mut R,
+) -> Vec<f64> {
     let mut out = ambient_noise(profile, n, sample_rate, rng);
     let spikes = spike_noise(profile, n, sample_rate, rng);
     for (o, s) in out.iter_mut().zip(spikes.iter()) {
@@ -146,8 +171,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let noise = ambient_noise(&profile, 200_000, 44_100.0, &mut rng);
         let measured = rms(&noise);
-        assert!((measured - profile.ambient_rms).abs() < 0.3 * profile.ambient_rms,
-            "rms {measured} vs requested {}", profile.ambient_rms);
+        assert!(
+            (measured - profile.ambient_rms).abs() < 0.3 * profile.ambient_rms,
+            "rms {measured} vs requested {}",
+            profile.ambient_rms
+        );
     }
 
     #[test]
@@ -201,7 +229,10 @@ mod tests {
 
     #[test]
     fn zero_rate_produces_silence() {
-        let profile = NoiseProfile { spike_rate_hz: 0.0, ..NoiseProfile::default() };
+        let profile = NoiseProfile {
+            spike_rate_hz: 0.0,
+            ..NoiseProfile::default()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let spikes = spike_noise(&profile, 10_000, 44_100.0, &mut rng);
         assert!(spikes.iter().all(|&s| s == 0.0));

@@ -80,9 +80,14 @@ impl ChannelSimulator {
     /// rate (Hz).
     pub fn new(environment: Environment, sample_rate: f64) -> Result<Self> {
         if sample_rate <= 0.0 {
-            return Err(ChannelError::InvalidParameter { reason: "sample rate must be positive".into() });
+            return Err(ChannelError::InvalidParameter {
+                reason: "sample rate must be positive".into(),
+            });
         }
-        Ok(Self { environment, sample_rate })
+        Ok(Self {
+            environment,
+            sample_rate,
+        })
     }
 
     /// The environment this simulator models.
@@ -116,17 +121,23 @@ impl ChannelSimulator {
         rng: &mut R,
     ) -> Result<ReceivedSignal> {
         if waveform.is_empty() {
-            return Err(ChannelError::InvalidLength { reason: "cannot propagate an empty waveform".into() });
+            return Err(ChannelError::InvalidLength {
+                reason: "cannot propagate an empty waveform".into(),
+            });
         }
         if options.noise_level_scale < 0.0 {
-            return Err(ChannelError::InvalidParameter { reason: "noise level scale must be non-negative".into() });
+            return Err(ChannelError::InvalidParameter {
+                reason: "noise level scale must be non-negative".into(),
+            });
         }
         let paths = self.paths(tx_pos, rx_pos, options.occlusion_db)?;
         let direct = paths
             .iter()
             .find(|p| p.is_direct())
             .copied()
-            .ok_or_else(|| ChannelError::InvalidParameter { reason: "no direct path enumerated".into() })?;
+            .ok_or_else(|| ChannelError::InvalidParameter {
+                reason: "no direct path enumerated".into(),
+            })?;
 
         let max_delay = paths.iter().map(|p| p.delay_s).fold(0.0f64, f64::max);
         let total_len = options.lead_in_samples
@@ -149,14 +160,17 @@ impl ChannelSimulator {
             for _ in 0..n_case {
                 let extra_delay_s = rng.gen_range(0.0001..0.001);
                 let gain = direct.amplitude * rng.gen_range(0.1..0.45);
-                let delay_samples =
-                    options.lead_in_samples as f64 + (direct.delay_s + extra_delay_s) * self.sample_rate;
+                let delay_samples = options.lead_in_samples as f64
+                    + (direct.delay_s + extra_delay_s) * self.sample_rate;
                 add_delayed(&mut samples, waveform, delay_samples, gain);
             }
         }
 
         // Additive noise across the whole buffer.
-        let noise_profile: NoiseProfile = self.environment.noise.with_level_scale(options.noise_level_scale);
+        let noise_profile: NoiseProfile = self
+            .environment
+            .noise
+            .with_level_scale(options.noise_level_scale);
         let noise = combined_noise(&noise_profile, total_len, self.sample_rate, rng);
         for (s, n) in samples.iter_mut().zip(noise.iter()) {
             *s += n;
@@ -184,8 +198,14 @@ impl ChannelSimulator {
         mic_noise_scales: &[f64; 2],
         rng: &mut R,
     ) -> Result<[ReceivedSignal; 2]> {
-        let opts0 = PropagateOptions { noise_level_scale: options.noise_level_scale * mic_noise_scales[0], ..*options };
-        let opts1 = PropagateOptions { noise_level_scale: options.noise_level_scale * mic_noise_scales[1], ..*options };
+        let opts0 = PropagateOptions {
+            noise_level_scale: options.noise_level_scale * mic_noise_scales[0],
+            ..*options
+        };
+        let opts1 = PropagateOptions {
+            noise_level_scale: options.noise_level_scale * mic_noise_scales[1],
+            ..*options
+        };
         let rx0 = self.propagate(waveform, tx_pos, &mic_positions[0], &opts0, rng)?;
         let rx1 = self.propagate(waveform, tx_pos, &mic_positions[1], &opts1, rng)?;
         Ok([rx0, rx1])
@@ -217,7 +237,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn tone(n: usize, freq: f64, fs: f64) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
     }
 
     fn simulator(kind: EnvironmentKind) -> ChannelSimulator {
@@ -231,7 +253,9 @@ mod tests {
         let rx = Point3::new(30.0, 0.0, 2.5);
         let wave = tone(2000, 3000.0, 44_100.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let received = sim.propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng).unwrap();
+        let received = sim
+            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng)
+            .unwrap();
         let expected_delay = 30.0 / sim.sound_speed();
         assert!((received.true_delay_s - expected_delay).abs() < 1e-9);
         assert!(received.n_paths > 3);
@@ -247,8 +271,12 @@ mod tests {
         let far = Point3::new(40.0, 0.0, 3.0);
         // Disable noise influence by comparing direct amplitudes.
         let mut rng = StdRng::seed_from_u64(2);
-        let rx_near = sim.propagate(&wave, &tx, &near, &PropagateOptions::default(), &mut rng).unwrap();
-        let rx_far = sim.propagate(&wave, &tx, &far, &PropagateOptions::default(), &mut rng).unwrap();
+        let rx_near = sim
+            .propagate(&wave, &tx, &near, &PropagateOptions::default(), &mut rng)
+            .unwrap();
+        let rx_far = sim
+            .propagate(&wave, &tx, &far, &PropagateOptions::default(), &mut rng)
+            .unwrap();
         assert!(rx_near.direct_amplitude > rx_far.direct_amplitude);
     }
 
@@ -259,9 +287,16 @@ mod tests {
         let tx = Point3::new(0.0, 0.0, 1.5);
         let rx = Point3::new(15.0, 0.0, 1.5);
         let mut rng = StdRng::seed_from_u64(3);
-        let clear = sim.propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng).unwrap();
-        let occluded_opts = PropagateOptions { occlusion_db: 30.0, ..PropagateOptions::default() };
-        let blocked = sim.propagate(&wave, &tx, &rx, &occluded_opts, &mut rng).unwrap();
+        let clear = sim
+            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng)
+            .unwrap();
+        let occluded_opts = PropagateOptions {
+            occlusion_db: 30.0,
+            ..PropagateOptions::default()
+        };
+        let blocked = sim
+            .propagate(&wave, &tx, &rx, &occluded_opts, &mut rng)
+            .unwrap();
         assert!(blocked.direct_amplitude < clear.direct_amplitude * 0.1);
         // The true delay is unchanged — only the amplitude drops.
         assert!((blocked.true_delay_s - clear.true_delay_s).abs() < 1e-12);
@@ -276,7 +311,14 @@ mod tests {
         let mics = [Point3::new(20.0, 0.0, 2.0), Point3::new(20.16, 0.0, 2.0)];
         let mut rng = StdRng::seed_from_u64(4);
         let [rx0, rx1] = sim
-            .propagate_dual_mic(&wave, &tx, &mics, &PropagateOptions::default(), &[1.0, 1.3], &mut rng)
+            .propagate_dual_mic(
+                &wave,
+                &tx,
+                &mics,
+                &PropagateOptions::default(),
+                &[1.0, 1.3],
+                &mut rng,
+            )
             .unwrap();
         let dt = rx1.true_delay_s - rx0.true_delay_s;
         let expected = 0.16 / sim.sound_speed();
@@ -290,11 +332,16 @@ mod tests {
         let tx = Point3::new(0.0, 0.0, 1.0);
         let rx = Point3::new(10.0, 0.0, 1.5);
         let mut rng = StdRng::seed_from_u64(5);
-        let received = sim.propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng).unwrap();
+        let received = sim
+            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut rng)
+            .unwrap();
         let lead_in_rms = crate::noise::rms(&received.samples[..1500]);
         let signal_start = received.true_arrival_sample as usize;
         let signal_rms = crate::noise::rms(&received.samples[signal_start..signal_start + 2000]);
-        assert!(signal_rms > 3.0 * lead_in_rms, "signal {signal_rms} vs lead-in {lead_in_rms}");
+        assert!(
+            signal_rms > 3.0 * lead_in_rms,
+            "signal {signal_rms} vs lead-in {lead_in_rms}"
+        );
     }
 
     #[test]
@@ -303,13 +350,28 @@ mod tests {
         let tx = Point3::new(0.0, 0.0, 2.0);
         let rx = Point3::new(10.0, 0.0, 2.0);
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(sim.propagate(&[], &tx, &rx, &PropagateOptions::default(), &mut rng).is_err());
-        let bad_opts = PropagateOptions { noise_level_scale: -1.0, ..PropagateOptions::default() };
-        assert!(sim.propagate(&[1.0], &tx, &rx, &bad_opts, &mut rng).is_err());
+        assert!(sim
+            .propagate(&[], &tx, &rx, &PropagateOptions::default(), &mut rng)
+            .is_err());
+        let bad_opts = PropagateOptions {
+            noise_level_scale: -1.0,
+            ..PropagateOptions::default()
+        };
+        assert!(sim
+            .propagate(&[1.0], &tx, &rx, &bad_opts, &mut rng)
+            .is_err());
         assert!(ChannelSimulator::new(Environment::preset(EnvironmentKind::Dock), 0.0).is_err());
         // Position outside the water column.
         let out = Point3::new(10.0, 0.0, 30.0);
-        assert!(sim.propagate(&[1.0; 10], &tx, &out, &PropagateOptions::default(), &mut rng).is_err());
+        assert!(sim
+            .propagate(
+                &[1.0; 10],
+                &tx,
+                &out,
+                &PropagateOptions::default(),
+                &mut rng
+            )
+            .is_err());
     }
 
     #[test]
@@ -319,10 +381,22 @@ mod tests {
         let tx = Point3::new(0.0, 0.0, 2.0);
         let rx = Point3::new(12.0, 3.0, 2.5);
         let a = sim
-            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut StdRng::seed_from_u64(42))
+            .propagate(
+                &wave,
+                &tx,
+                &rx,
+                &PropagateOptions::default(),
+                &mut StdRng::seed_from_u64(42),
+            )
             .unwrap();
         let b = sim
-            .propagate(&wave, &tx, &rx, &PropagateOptions::default(), &mut StdRng::seed_from_u64(42))
+            .propagate(
+                &wave,
+                &tx,
+                &rx,
+                &PropagateOptions::default(),
+                &mut StdRng::seed_from_u64(42),
+            )
             .unwrap();
         assert_eq!(a.samples, b.samples);
     }

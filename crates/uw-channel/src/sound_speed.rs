@@ -29,19 +29,31 @@ impl Default for WaterProperties {
     /// Temperate freshwater lake at modest depth — matches the paper's
     /// Seattle-area deployments.
     fn default() -> Self {
-        Self { temperature_c: 15.0, salinity_ppt: 0.5, depth_m: 3.0 }
+        Self {
+            temperature_c: 15.0,
+            salinity_ppt: 0.5,
+            depth_m: 3.0,
+        }
     }
 }
 
 impl WaterProperties {
     /// Ocean water at recreational diving depth.
     pub fn ocean() -> Self {
-        Self { temperature_c: 12.0, salinity_ppt: 35.0, depth_m: 10.0 }
+        Self {
+            temperature_c: 12.0,
+            salinity_ppt: 35.0,
+            depth_m: 10.0,
+        }
     }
 
     /// Heated swimming pool.
     pub fn pool() -> Self {
-        Self { temperature_c: 27.0, salinity_ppt: 0.0, depth_m: 1.5 }
+        Self {
+            temperature_c: 27.0,
+            salinity_ppt: 0.0,
+            depth_m: 1.5,
+        }
     }
 }
 
@@ -70,24 +82,52 @@ mod tests {
     fn wilson_reference_values() {
         // Standard ocean water (T=10 °C, S=35 ppt, D=0) — Wilson's formula
         // evaluates to 1449 + 46 − 5.5 + 0.3 = 1489.8 m/s.
-        let c = wilson_sound_speed(&WaterProperties { temperature_c: 10.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        let c = wilson_sound_speed(&WaterProperties {
+            temperature_c: 10.0,
+            salinity_ppt: 35.0,
+            depth_m: 0.0,
+        });
         assert!((c - 1489.8).abs() < 0.1, "c = {c}");
     }
 
     #[test]
     fn warm_water_is_faster() {
-        let cold = wilson_sound_speed(&WaterProperties { temperature_c: 5.0, salinity_ppt: 35.0, depth_m: 0.0 });
-        let warm = wilson_sound_speed(&WaterProperties { temperature_c: 25.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        let cold = wilson_sound_speed(&WaterProperties {
+            temperature_c: 5.0,
+            salinity_ppt: 35.0,
+            depth_m: 0.0,
+        });
+        let warm = wilson_sound_speed(&WaterProperties {
+            temperature_c: 25.0,
+            salinity_ppt: 35.0,
+            depth_m: 0.0,
+        });
         assert!(warm > cold);
     }
 
     #[test]
     fn salinity_and_depth_increase_speed() {
-        let fresh = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 0.0, depth_m: 0.0 });
-        let salty = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 35.0, depth_m: 0.0 });
+        let fresh = wilson_sound_speed(&WaterProperties {
+            temperature_c: 15.0,
+            salinity_ppt: 0.0,
+            depth_m: 0.0,
+        });
+        let salty = wilson_sound_speed(&WaterProperties {
+            temperature_c: 15.0,
+            salinity_ppt: 35.0,
+            depth_m: 0.0,
+        });
         assert!(salty > fresh);
-        let shallow = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 35.0, depth_m: 0.0 });
-        let deep = wilson_sound_speed(&WaterProperties { temperature_c: 15.0, salinity_ppt: 35.0, depth_m: 40.0 });
+        let shallow = wilson_sound_speed(&WaterProperties {
+            temperature_c: 15.0,
+            salinity_ppt: 35.0,
+            depth_m: 0.0,
+        });
+        let deep = wilson_sound_speed(&WaterProperties {
+            temperature_c: 15.0,
+            salinity_ppt: 35.0,
+            depth_m: 40.0,
+        });
         assert!(deep > shallow);
         // The depth term is small: 40 m adds 0.68 m/s.
         assert!((deep - shallow - 0.68).abs() < 1e-9);
@@ -104,7 +144,11 @@ mod tests {
 
     #[test]
     fn presets_are_physical() {
-        for props in [WaterProperties::default(), WaterProperties::ocean(), WaterProperties::pool()] {
+        for props in [
+            WaterProperties::default(),
+            WaterProperties::ocean(),
+            WaterProperties::pool(),
+        ] {
             let c = wilson_sound_speed(&props);
             assert!(c > 1400.0 && c < 1600.0, "c = {c} for {props:?}");
         }

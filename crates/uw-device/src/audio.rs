@@ -80,7 +80,9 @@ impl AudioStack {
             });
         }
         if self_loopback_delay_s < 0.0 {
-            return Err(DeviceError::InvalidParameter { reason: "loopback delay must be non-negative".into() });
+            return Err(DeviceError::InvalidParameter {
+                reason: "loopback delay must be non-negative".into(),
+            });
         }
         Ok(Self {
             nominal_rate: NOMINAL_SAMPLE_RATE,
@@ -142,7 +144,9 @@ impl AudioStack {
     /// `Δn = n1 − m1`.
     pub fn calibrate(&mut self, n1: f64, detection_error_samples: f64) -> Result<f64> {
         if n1 < 0.0 {
-            return Err(DeviceError::InvalidParameter { reason: "calibration index must be non-negative".into() });
+            return Err(DeviceError::InvalidParameter {
+                reason: "calibration index must be non-negative".into(),
+            });
         }
         let emit_true = self.speaker_index_to_true(n1);
         let arrive_true = emit_true + self.self_loopback_delay_s;
@@ -159,11 +163,15 @@ impl AudioStack {
     ///
     /// Requires a prior [`calibrate`](Self::calibrate) call.
     pub fn schedule_reply(&self, m2: f64, t_reply_s: f64) -> Result<f64> {
-        let offset = self.calibrated_offset.ok_or_else(|| DeviceError::InvalidParameter {
-            reason: "schedule_reply called before calibration".into(),
-        })?;
+        let offset = self
+            .calibrated_offset
+            .ok_or_else(|| DeviceError::InvalidParameter {
+                reason: "schedule_reply called before calibration".into(),
+            })?;
         if t_reply_s <= 0.0 {
-            return Err(DeviceError::InvalidParameter { reason: "reply interval must be positive".into() });
+            return Err(DeviceError::InvalidParameter {
+                reason: "reply interval must be positive".into(),
+            });
         }
         Ok(m2 + offset + self.nominal_rate * t_reply_s)
     }
@@ -231,7 +239,10 @@ mod tests {
         let t_reply = 0.6;
         let m2 = 44_100.0; // message arrived 1 s into the mic stream
         let err = s.reply_error(m2, t_reply).unwrap();
-        assert!(err.abs() < 1e-9, "ideal hardware should reply exactly on time, err {err}");
+        assert!(
+            err.abs() < 1e-9,
+            "ideal hardware should reply exactly on time, err {err}"
+        );
     }
 
     #[test]
@@ -255,8 +266,14 @@ mod tests {
         let mut s = AudioStack::new(40e-6, -40e-6, 0.1, 0.05, 0.0001).unwrap();
         s.calibrate(500.0, 0.0).unwrap();
         let early = s.reply_error(1.0 * NOMINAL_SAMPLE_RATE, 0.6).unwrap().abs();
-        let late = s.reply_error(60.0 * NOMINAL_SAMPLE_RATE, 0.6).unwrap().abs();
-        assert!(late > early, "drift should accumulate: early {early}, late {late}");
+        let late = s
+            .reply_error(60.0 * NOMINAL_SAMPLE_RATE, 0.6)
+            .unwrap()
+            .abs();
+        assert!(
+            late > early,
+            "drift should accumulate: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -268,10 +285,15 @@ mod tests {
         // Re-calibrate at a speaker index around the same wall-clock time as
         // the late message (the paper re-uses the device's own response
         // signal for this).
-        let n_recal = s.true_to_speaker_index(s.mic_index_to_true(late_m2)).unwrap();
+        let n_recal = s
+            .true_to_speaker_index(s.mic_index_to_true(late_m2))
+            .unwrap();
         s.calibrate(n_recal, 0.0).unwrap();
         let fresh = s.reply_error(late_m2, 0.6).unwrap().abs();
-        assert!(fresh < drifted, "recalibration should reduce error: {fresh} vs {drifted}");
+        assert!(
+            fresh < drifted,
+            "recalibration should reduce error: {fresh} vs {drifted}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct LocalClock {
 
 impl Default for LocalClock {
     fn default() -> Self {
-        Self { skew_ppm: 0.0, offset_s: 0.0 }
+        Self {
+            skew_ppm: 0.0,
+            offset_s: 0.0,
+        }
     }
 }
 
@@ -66,8 +69,16 @@ impl LocalClock {
 /// Draws a random clock with skew uniform in `±max_skew_ppm` and offset
 /// uniform in `[0, max_offset_s)`.
 pub fn random_clock<R: rand::Rng>(max_skew_ppm: f64, max_offset_s: f64, rng: &mut R) -> LocalClock {
-    let skew = if max_skew_ppm > 0.0 { rng.gen_range(-max_skew_ppm..max_skew_ppm) } else { 0.0 };
-    let offset = if max_offset_s > 0.0 { rng.gen_range(0.0..max_offset_s) } else { 0.0 };
+    let skew = if max_skew_ppm > 0.0 {
+        rng.gen_range(-max_skew_ppm..max_skew_ppm)
+    } else {
+        0.0
+    };
+    let offset = if max_offset_s > 0.0 {
+        rng.gen_range(0.0..max_offset_s)
+    } else {
+        0.0
+    };
     LocalClock::new(skew, offset)
 }
 

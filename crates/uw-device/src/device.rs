@@ -46,7 +46,11 @@ pub enum DeviceModel {
 
 impl DeviceModel {
     /// All phone models used in the cross-model experiment.
-    pub const PHONES: [DeviceModel; 3] = [DeviceModel::GalaxyS9, DeviceModel::Pixel, DeviceModel::OnePlus];
+    pub const PHONES: [DeviceModel; 3] = [
+        DeviceModel::GalaxyS9,
+        DeviceModel::Pixel,
+        DeviceModel::OnePlus,
+    ];
 
     /// Relative transmit amplitude (1.0 = Galaxy S9 at maximum volume).
     pub fn source_level(&self) -> f64 {
@@ -125,7 +129,12 @@ impl SmartDevice {
     /// Creates a device with realistic hardware imperfections drawn from the
     /// RNG: clock skew up to ±80 ppm, audio converter skews up to ±40 ppm,
     /// stream start offsets up to 500 ms.
-    pub fn realistic<R: Rng>(id: DeviceId, model: DeviceModel, position: Point3, rng: &mut R) -> Result<Self> {
+    pub fn realistic<R: Rng>(
+        id: DeviceId,
+        model: DeviceModel,
+        position: Point3,
+        rng: &mut R,
+    ) -> Result<Self> {
         let clock = random_clock(80.0, 10.0, rng);
         let audio = AudioStack::new(
             rng.gen_range(-40e-6..40e-6),
@@ -193,7 +202,10 @@ impl SmartDevice {
     pub fn validate_for_group(&self, group_size: usize) -> Result<()> {
         if self.id >= group_size {
             return Err(DeviceError::InvalidParameter {
-                reason: format!("device id {} does not fit in a group of {group_size}", self.id),
+                reason: format!(
+                    "device id {} does not fit in a group of {group_size}",
+                    self.id
+                ),
             });
         }
         Ok(())
@@ -208,14 +220,25 @@ mod tests {
 
     #[test]
     fn model_presets_are_distinct_and_sane() {
-        for m in [DeviceModel::GalaxyS9, DeviceModel::Pixel, DeviceModel::OnePlus, DeviceModel::AppleWatchUltra] {
+        for m in [
+            DeviceModel::GalaxyS9,
+            DeviceModel::Pixel,
+            DeviceModel::OnePlus,
+            DeviceModel::AppleWatchUltra,
+        ] {
             assert!(m.source_level() > 0.0 && m.source_level() <= 1.0);
             let [a, b] = m.mic_noise_scales();
             assert!(a > 0.0 && b > 0.0);
             assert!(!m.name().is_empty());
         }
-        assert_eq!(DeviceModel::AppleWatchUltra.depth_sensor_kind(), DepthSensorKind::WatchDepthGauge);
-        assert_eq!(DeviceModel::GalaxyS9.depth_sensor_kind(), DepthSensorKind::PhonePressure);
+        assert_eq!(
+            DeviceModel::AppleWatchUltra.depth_sensor_kind(),
+            DepthSensorKind::WatchDepthGauge
+        );
+        assert_eq!(
+            DeviceModel::GalaxyS9.depth_sensor_kind(),
+            DepthSensorKind::PhonePressure
+        );
         assert_eq!(DeviceModel::PHONES.len(), 3);
     }
 
@@ -256,7 +279,8 @@ mod tests {
     #[test]
     fn realistic_devices_have_imperfections_but_valid_hardware() {
         let mut rng = StdRng::seed_from_u64(11);
-        let d = SmartDevice::realistic(2, DeviceModel::Pixel, Point3::new(1.0, 2.0, 3.0), &mut rng).unwrap();
+        let d = SmartDevice::realistic(2, DeviceModel::Pixel, Point3::new(1.0, 2.0, 3.0), &mut rng)
+            .unwrap();
         assert!(d.clock.skew_ppm.abs() <= 80.0);
         assert!(d.audio.speaker_skew.abs() <= 40e-6);
         assert!(d.audio.mic_skew.abs() <= 40e-6);

@@ -65,9 +65,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DeviceError::InvalidParameter { reason: "negative ppm bound".into() };
+        let e = DeviceError::InvalidParameter {
+            reason: "negative ppm bound".into(),
+        };
         assert!(e.to_string().contains("negative ppm bound"));
-        let e = DeviceError::BufferRange { reason: "index before stream start".into() };
+        let e = DeviceError::BufferRange {
+            reason: "index before stream start".into(),
+        };
         assert!(e.to_string().contains("index before stream start"));
     }
 }

@@ -55,7 +55,12 @@ impl Trajectory {
         match self {
             Trajectory::Static { position } => *position,
             Trajectory::Linear { start, velocity } => start.add(&velocity.scale(t)),
-            Trajectory::Oscillating { center, direction, amplitude_m, period_s } => {
+            Trajectory::Oscillating {
+                center,
+                direction,
+                amplitude_m,
+                period_s,
+            } => {
                 let phase = 2.0 * std::f64::consts::PI * t / period_s.max(1e-9);
                 let norm = direction.norm().max(1e-12);
                 let unit = direction.scale(1.0 / norm);
@@ -70,7 +75,11 @@ impl Trajectory {
         match self {
             Trajectory::Static { .. } => 0.0,
             Trajectory::Linear { velocity, .. } => velocity.norm(),
-            Trajectory::Oscillating { amplitude_m, period_s, .. } => {
+            Trajectory::Oscillating {
+                amplitude_m,
+                period_s,
+                ..
+            } => {
                 let omega = 2.0 * std::f64::consts::PI / period_s.max(1e-9);
                 (amplitude_m * omega * (omega * t).cos()).abs()
             }
@@ -114,7 +123,10 @@ impl Trajectory {
 /// Builds the paper's Fig. 15 sweep: linear motion parallel to the coast at
 /// the given speed (cm/s), starting at `start` and moving along +y.
 pub fn dock_sweep(start: Point3, speed_cm_s: f64) -> Trajectory {
-    Trajectory::Linear { start, velocity: Point3::new(0.0, speed_cm_s / 100.0, 0.0) }
+    Trajectory::Linear {
+        start,
+        velocity: Point3::new(0.0, speed_cm_s / 100.0, 0.0),
+    }
 }
 
 /// Builds the paper's Fig. 20 motion: back-and-forth around the original
@@ -178,9 +190,10 @@ mod tests {
         let t = rope_oscillation(Point3::ORIGIN, 50.0);
         // Peak of |cos| is at t = 0 for the sine motion.
         assert!((t.speed_at(0.0) - 0.5).abs() < 1e-9);
-        // Mean speed of sinusoidal motion is 2/π of the peak ≈ 0.318.
+        // Mean speed of sinusoidal motion is 2/π of the peak.
         let mean = t.mean_speed(120.0);
-        assert!((mean - 0.318).abs() < 0.03, "mean {mean}");
+        let expected = 0.5 * 2.0 * std::f64::consts::FRAC_1_PI;
+        assert!((mean - expected).abs() < 0.03, "mean {mean}");
     }
 
     #[test]

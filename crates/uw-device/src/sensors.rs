@@ -92,7 +92,9 @@ impl DepthSensor {
     /// Simulates one measurement of the true depth.
     pub fn measure<R: Rng>(&self, true_depth_m: f64, rng: &mut R) -> Result<f64> {
         if true_depth_m < 0.0 {
-            return Err(DeviceError::InvalidParameter { reason: "true depth must be non-negative".into() });
+            return Err(DeviceError::InvalidParameter {
+                reason: "true depth must be non-negative".into(),
+            });
         }
         let sigma = self.kind.noise_sigma_m();
         // Box–Muller Gaussian noise.
@@ -106,14 +108,17 @@ impl DepthSensor {
     /// → noisy pressure → depth, mirroring how the real pipeline works.
     pub fn measure_via_pressure<R: Rng>(&self, true_depth_m: f64, rng: &mut R) -> Result<f64> {
         if true_depth_m < 0.0 {
-            return Err(DeviceError::InvalidParameter { reason: "true depth must be non-negative".into() });
+            return Err(DeviceError::InvalidParameter {
+                reason: "true depth must be non-negative".into(),
+            });
         }
         let true_pressure = depth_to_pressure(true_depth_m);
         let sigma_pa = self.kind.noise_sigma_m() * WATER_DENSITY * GRAVITY;
         let u1: f64 = rng.gen_range(1e-12..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        let measured_pressure = true_pressure + self.bias_m * WATER_DENSITY * GRAVITY + sigma_pa * g;
+        let measured_pressure =
+            true_pressure + self.bias_m * WATER_DENSITY * GRAVITY + sigma_pa * g;
         Ok(pressure_to_depth(measured_pressure))
     }
 }
@@ -134,7 +139,10 @@ pub struct Orientation {
 impl Orientation {
     /// Creates an orientation from degrees.
     pub fn from_degrees(azimuth_deg: f64, polar_deg: f64) -> Self {
-        Self { azimuth_rad: azimuth_deg.to_radians(), polar_rad: polar_deg.to_radians() }
+        Self {
+            azimuth_rad: azimuth_deg.to_radians(),
+            polar_rad: polar_deg.to_radians(),
+        }
     }
 
     /// Extra transmission loss in dB caused by speaker/mic directivity when
@@ -177,7 +185,10 @@ mod tests {
         for d in [0.0, 0.2, 5.3, 17.77, 39.9, 40.0] {
             let code = encode_depth(d);
             let back = decode_depth(code);
-            assert!((back - d).abs() <= DEPTH_QUANTIZATION_M / 2.0 + 1e-9, "d {d} back {back}");
+            assert!(
+                (back - d).abs() <= DEPTH_QUANTIZATION_M / 2.0 + 1e-9,
+                "d {d} back {back}"
+            );
         }
         // 40 m fits in 8 bits: 40 / 0.2 = 200 < 256.
         assert_eq!(encode_depth(40.0), 200);
@@ -198,7 +209,10 @@ mod tests {
         };
         let watch_err = mean_abs_err(&watch, &mut rng);
         let phone_err = mean_abs_err(&phone, &mut rng);
-        assert!(watch_err < phone_err, "watch {watch_err} vs phone {phone_err}");
+        assert!(
+            watch_err < phone_err,
+            "watch {watch_err} vs phone {phone_err}"
+        );
         // Mean absolute error of a Gaussian is sigma·sqrt(2/π) ≈ 0.8·sigma.
         assert!((watch_err - 0.12).abs() < 0.05, "watch err {watch_err}");
         assert!((phone_err - 0.335).abs() < 0.08, "phone err {phone_err}");

@@ -57,16 +57,24 @@ impl ChirpConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.sample_rate <= 0.0 {
-            return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+            return Err(DspError::InvalidParameter {
+                reason: "sample rate must be positive",
+            });
         }
         if self.duration_s <= 0.0 {
-            return Err(DspError::InvalidParameter { reason: "chirp duration must be positive" });
+            return Err(DspError::InvalidParameter {
+                reason: "chirp duration must be positive",
+            });
         }
         if self.f_start_hz <= 0.0 || self.f_end_hz <= 0.0 {
-            return Err(DspError::InvalidParameter { reason: "chirp frequencies must be positive" });
+            return Err(DspError::InvalidParameter {
+                reason: "chirp frequencies must be positive",
+            });
         }
         if self.f_start_hz.max(self.f_end_hz) >= self.sample_rate / 2.0 {
-            return Err(DspError::InvalidParameter { reason: "chirp exceeds Nyquist frequency" });
+            return Err(DspError::InvalidParameter {
+                reason: "chirp exceeds Nyquist frequency",
+            });
         }
         Ok(())
     }
@@ -91,9 +99,15 @@ pub fn linear_chirp(config: &ChirpConfig) -> Result<Vec<f64>> {
 /// delay. Inputs must be equal length.
 pub fn fmcw_mix(received: &[f64], reference: &[f64]) -> Result<Vec<f64>> {
     if received.len() != reference.len() || received.is_empty() {
-        return Err(DspError::InvalidLength { reason: "FMCW mix requires equal-length, non-empty inputs" });
+        return Err(DspError::InvalidLength {
+            reason: "FMCW mix requires equal-length, non-empty inputs",
+        });
     }
-    Ok(received.iter().zip(reference.iter()).map(|(r, s)| r * s).collect())
+    Ok(received
+        .iter()
+        .zip(reference.iter())
+        .map(|(r, s)| r * s)
+        .collect())
 }
 
 /// Estimates the beat frequency (Hz) of an FMCW mixed signal by locating
@@ -103,10 +117,14 @@ pub fn fmcw_mix(received: &[f64], reference: &[f64]) -> Result<Vec<f64>> {
 /// expected delay), keeping the image at `f1 + f2` out of the search.
 pub fn fmcw_beat_frequency(mixed: &[f64], sample_rate: f64, max_beat_hz: f64) -> Result<f64> {
     if mixed.is_empty() {
-        return Err(DspError::InvalidLength { reason: "mixed signal must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "mixed signal must be non-empty",
+        });
     }
     if sample_rate <= 0.0 || max_beat_hz <= 0.0 {
-        return Err(DspError::InvalidParameter { reason: "rates must be positive" });
+        return Err(DspError::InvalidParameter {
+            reason: "rates must be positive",
+        });
     }
     let n_fft = crate::fft::next_pow2(mixed.len().max(8));
     let spec = crate::fft::rfft(mixed, n_fft)?;
@@ -142,10 +160,30 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let base = ChirpConfig::matched_to_preamble();
-        assert!(ChirpConfig { sample_rate: -1.0, ..base }.validate().is_err());
-        assert!(ChirpConfig { duration_s: 0.0, ..base }.validate().is_err());
-        assert!(ChirpConfig { f_start_hz: 0.0, ..base }.validate().is_err());
-        assert!(ChirpConfig { f_end_hz: 40_000.0, ..base }.validate().is_err());
+        assert!(ChirpConfig {
+            sample_rate: -1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ChirpConfig {
+            duration_s: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ChirpConfig {
+            f_start_hz: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(ChirpConfig {
+            f_end_hz: 40_000.0,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -155,7 +193,10 @@ mod tests {
         assert_eq!(chirp.len(), c.len());
         assert!(chirp.iter().all(|s| s.abs() <= 1.0 + 1e-12));
         let energy: f64 = chirp.iter().map(|s| s * s).sum::<f64>() / chirp.len() as f64;
-        assert!((energy - 0.5).abs() < 0.05, "mean power of a sinusoidal sweep should be ~0.5, got {energy}");
+        assert!(
+            (energy - 0.5).abs() < 0.05,
+            "mean power of a sinusoidal sweep should be ~0.5, got {energy}"
+        );
     }
 
     #[test]
@@ -168,17 +209,18 @@ mod tests {
         };
         let reference = linear_chirp(&c).unwrap();
         let delay_samples = 441usize; // 10 ms => ~15 m underwater
-        // Delayed copy: shift right, keep equal length.
+                                      // Delayed copy: shift right, keep equal length.
         let mut received = vec![0.0; reference.len()];
-        for i in delay_samples..reference.len() {
-            received[i] = reference[i - delay_samples];
-        }
+        received[delay_samples..].copy_from_slice(&reference[..reference.len() - delay_samples]);
         let mixed = fmcw_mix(&received, &reference).unwrap();
         let beat = fmcw_beat_frequency(&mixed, c.sample_rate, 2000.0).unwrap();
         let delay = beat_to_delay(beat, &c);
         let expected = delay_samples as f64 / c.sample_rate;
         // FMCW resolution is bandwidth-limited; accept 15% error here.
-        assert!((delay - expected).abs() < 0.15 * expected + 1e-3, "delay {delay} vs {expected}");
+        assert!(
+            (delay - expected).abs() < 0.15 * expected + 1e-3,
+            "delay {delay} vs {expected}"
+        );
     }
 
     #[test]

@@ -105,12 +105,16 @@ pub fn depuncture(received: &[SoftBit]) -> Vec<SoftBit> {
 /// Returns the decoded information bits with the `CONSTRAINT_LENGTH - 1`
 /// tail bits removed.
 pub fn viterbi_decode_half_rate(soft: &[SoftBit]) -> Result<Vec<bool>> {
-    if soft.is_empty() || soft.len() % 2 != 0 {
-        return Err(DspError::InvalidLength { reason: "soft input must contain an even, non-zero number of values" });
+    if soft.is_empty() || !soft.len().is_multiple_of(2) {
+        return Err(DspError::InvalidLength {
+            reason: "soft input must contain an even, non-zero number of values",
+        });
     }
     let n_steps = soft.len() / 2;
-    if n_steps <= CONSTRAINT_LENGTH - 1 {
-        return Err(DspError::DecodeFailure { reason: "input shorter than the code tail" });
+    if n_steps < CONSTRAINT_LENGTH {
+        return Err(DspError::DecodeFailure {
+            reason: "input shorter than the code tail",
+        });
     }
 
     const NEG_INF: f64 = f64::NEG_INFINITY;
@@ -139,10 +143,9 @@ pub fn viterbi_decode_half_rate(soft: &[SoftBit]) -> Result<Vec<bool>> {
             if metrics[state] == NEG_INF {
                 continue;
             }
-            for input in 0..2usize {
+            for (input, &(e1, e2)) in expected[state].iter().enumerate() {
                 let reg = ((input as u8) << (CONSTRAINT_LENGTH - 1)) | state as u8;
                 let next = (reg >> 1) as usize;
-                let (e1, e2) = expected[state][input];
                 // Correlation metric: erasures (0.0) contribute nothing.
                 let metric = metrics[state] + r1 * e1 + r2 * e2;
                 if metric > new_metrics[next] {
@@ -163,10 +166,14 @@ pub fn viterbi_decode_half_rate(soft: &[SoftBit]) -> Result<Vec<bool>> {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .ok_or(DspError::DecodeFailure { reason: "no surviving path" })?;
+            .ok_or(DspError::DecodeFailure {
+                reason: "no surviving path",
+            })?;
         state = best;
         if metrics[state] == NEG_INF {
-            return Err(DspError::DecodeFailure { reason: "no surviving path" });
+            return Err(DspError::DecodeFailure {
+                reason: "no surviving path",
+            });
         }
     }
     let mut bits_rev = Vec::with_capacity(n_steps);
@@ -243,7 +250,9 @@ pub fn push_uint(bits: &mut Vec<bool>, value: u64, width: usize) {
 /// and the new offset.
 pub fn read_uint(bits: &[bool], offset: usize, width: usize) -> Result<(u64, usize)> {
     if offset + width > bits.len() {
-        return Err(DspError::InvalidLength { reason: "bit buffer too short for field" });
+        return Err(DspError::InvalidLength {
+            reason: "bit buffer too short for field",
+        });
     }
     let mut v = 0u64;
     for &bit in &bits[offset..offset + width] {

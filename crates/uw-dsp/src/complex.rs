@@ -39,19 +39,28 @@ impl Complex64 {
     /// Returns `exp(i·theta)` — a unit phasor at angle `theta` radians.
     #[inline]
     pub fn from_angle(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Returns a complex number from polar form `r·exp(i·theta)`.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Self { re: r * theta.cos(), im: r * theta.sin() }
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -75,7 +84,10 @@ impl Complex64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Multiplicative inverse. Returns `None` when the magnitude is zero.
@@ -85,7 +97,10 @@ impl Complex64 {
         if d == 0.0 {
             None
         } else {
-            Some(Self { re: self.re / d, im: -self.im / d })
+            Some(Self {
+                re: self.re / d,
+                im: -self.im / d,
+            })
         }
     }
 
@@ -100,7 +115,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -116,7 +134,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -172,7 +193,10 @@ impl Div<f64> for Complex64 {
     type Output = Complex64;
     #[inline]
     fn div(self, rhs: f64) -> Self {
-        Self { re: self.re / rhs, im: self.im / rhs }
+        Self {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
     }
 }
 
@@ -180,7 +204,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -28,10 +28,14 @@ use crate::{DspError, Result};
 /// [`xcorr_fft`] for long ones.
 pub fn xcorr_direct(signal: &[f64], template: &[f64]) -> Result<Vec<f64>> {
     if template.is_empty() || signal.is_empty() {
-        return Err(DspError::InvalidLength { reason: "correlation inputs must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "correlation inputs must be non-empty",
+        });
     }
     if template.len() > signal.len() {
-        return Err(DspError::InvalidLength { reason: "template longer than signal" });
+        return Err(DspError::InvalidLength {
+            reason: "template longer than signal",
+        });
     }
     let n = signal.len() - template.len() + 1;
     let mut out = vec![0.0; n];
@@ -49,10 +53,14 @@ pub fn xcorr_direct(signal: &[f64], template: &[f64]) -> Result<Vec<f64>> {
 /// [`xcorr_direct`] up to floating-point rounding).
 pub fn xcorr_fft(signal: &[f64], template: &[f64]) -> Result<Vec<f64>> {
     if template.is_empty() || signal.is_empty() {
-        return Err(DspError::InvalidLength { reason: "correlation inputs must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "correlation inputs must be non-empty",
+        });
     }
     if template.len() > signal.len() {
-        return Err(DspError::InvalidLength { reason: "template longer than signal" });
+        return Err(DspError::InvalidLength {
+            reason: "template longer than signal",
+        });
     }
     let n_lin = signal.len() + template.len() - 1;
     let n_fft = next_pow2(n_lin);
@@ -70,7 +78,7 @@ pub fn xcorr_fft(signal: &[f64], template: &[f64]) -> Result<Vec<f64>> {
     fft_in_place(&mut a)?;
     fft_in_place(&mut b)?;
     for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x = *x * y.conj();
+        *x *= y.conj();
     }
     ifft_in_place(&mut a)?;
 
@@ -86,7 +94,9 @@ pub fn xcorr_normalized(signal: &[f64], template: &[f64]) -> Result<Vec<f64>> {
     let raw = xcorr_fft(signal, template)?;
     let t_norm: f64 = template.iter().map(|t| t * t).sum::<f64>().sqrt();
     if t_norm == 0.0 {
-        return Err(DspError::InvalidParameter { reason: "template has zero energy" });
+        return Err(DspError::InvalidParameter {
+            reason: "template has zero energy",
+        });
     }
     // Sliding window energy of the signal via prefix sums.
     let mut prefix = vec![0.0; signal.len() + 1];
@@ -106,7 +116,9 @@ pub fn xcorr_normalized(signal: &[f64], template: &[f64]) -> Result<Vec<f64>> {
 /// Pearson correlation coefficient between two equal-length segments.
 pub fn segment_correlation(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() || a.is_empty() {
-        return Err(DspError::InvalidLength { reason: "segments must be equal-length and non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "segments must be equal-length and non-empty",
+        });
     }
     let n = a.len() as f64;
     let mean_a = a.iter().sum::<f64>() / n;
@@ -132,26 +144,33 @@ pub fn segment_correlation(a: &[f64], b: &[f64]) -> Result<f64> {
 /// sign and the mean pairwise Pearson correlation across all segment pairs
 /// is returned. Genuine preambles score close to 1; impulsive noise and
 /// random signals score near 0.
-pub fn autocorr_validation(
-    segment: &[f64],
-    symbol_len: usize,
-    pn_signs: &[f64],
-) -> Result<f64> {
+pub fn autocorr_validation(segment: &[f64], symbol_len: usize, pn_signs: &[f64]) -> Result<f64> {
     let n_symbols = pn_signs.len();
     if n_symbols < 2 {
-        return Err(DspError::InvalidParameter { reason: "need at least two PN symbols" });
+        return Err(DspError::InvalidParameter {
+            reason: "need at least two PN symbols",
+        });
     }
     if symbol_len == 0 {
-        return Err(DspError::InvalidParameter { reason: "symbol length must be positive" });
+        return Err(DspError::InvalidParameter {
+            reason: "symbol length must be positive",
+        });
     }
     if segment.len() < n_symbols * symbol_len {
-        return Err(DspError::InvalidLength { reason: "segment shorter than the PN-coded preamble" });
+        return Err(DspError::InvalidLength {
+            reason: "segment shorter than the PN-coded preamble",
+        });
     }
     // Undo the PN signs so that all segments should look identical.
     let mut segs: Vec<Vec<f64>> = Vec::with_capacity(n_symbols);
     for (i, &sign) in pn_signs.iter().enumerate() {
         let start = i * symbol_len;
-        segs.push(segment[start..start + symbol_len].iter().map(|&s| s * sign).collect());
+        segs.push(
+            segment[start..start + symbol_len]
+                .iter()
+                .map(|&s| s * sign)
+                .collect(),
+        );
     }
     let mut total = 0.0;
     let mut pairs = 0usize;
@@ -187,7 +206,9 @@ mod tests {
 
     #[test]
     fn direct_and_fft_correlation_agree() {
-        let signal: Vec<f64> = (0..500).map(|i| ((i as f64) * 0.173).sin() + 0.01 * i as f64).collect();
+        let signal: Vec<f64> = (0..500)
+            .map(|i| ((i as f64) * 0.173).sin() + 0.01 * i as f64)
+            .collect();
         let template: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.31).cos()).collect();
         let d = xcorr_direct(&signal, &template).unwrap();
         let f = xcorr_fft(&signal, &template).unwrap();
@@ -199,7 +220,9 @@ mod tests {
 
     #[test]
     fn correlation_peak_locates_embedded_template() {
-        let template: Vec<f64> = (0..128).map(|i| ((i as f64) * 0.4).sin() * ((i as f64) * 0.013).cos()).collect();
+        let template: Vec<f64> = (0..128)
+            .map(|i| ((i as f64) * 0.4).sin() * ((i as f64) * 0.013).cos())
+            .collect();
         let mut signal = vec![0.0; 1000];
         let offset = 337;
         for (i, &t) in template.iter().enumerate() {
@@ -240,13 +263,18 @@ mod tests {
         // Deterministic pseudo-random noise.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let stream: Vec<f64> = (0..800).map(|_| next()).collect();
         let signs = [1.0, 1.0, -1.0, 1.0];
         let score = autocorr_validation(&stream, 200, &signs).unwrap();
-        assert!(score.abs() < 0.3, "noise should not validate, score {score}");
+        assert!(
+            score.abs() < 0.3,
+            "noise should not validate, score {score}"
+        );
     }
 
     #[test]

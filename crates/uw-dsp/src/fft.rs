@@ -63,10 +63,14 @@ pub fn ifft(data: &[Complex64]) -> Result<Vec<Complex64>> {
 /// two and at least `signal.len()`).
 pub fn rfft(signal: &[f64], n_fft: usize) -> Result<Vec<Complex64>> {
     if !is_pow2(n_fft) {
-        return Err(DspError::InvalidLength { reason: "FFT length must be a power of two" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT length must be a power of two",
+        });
     }
     if n_fft < signal.len() {
-        return Err(DspError::InvalidLength { reason: "FFT length shorter than the signal" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT length shorter than the signal",
+        });
     }
     let mut buf = vec![Complex64::ZERO; n_fft];
     for (b, &s) in buf.iter_mut().zip(signal.iter()) {
@@ -86,10 +90,14 @@ pub fn irfft(spectrum: &[Complex64]) -> Result<Vec<f64>> {
 fn transform(data: &mut [Complex64], inverse: bool) -> Result<()> {
     let n = data.len();
     if n == 0 {
-        return Err(DspError::InvalidLength { reason: "FFT input must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT input must be non-empty",
+        });
     }
     if !is_pow2(n) {
-        return Err(DspError::InvalidLength { reason: "FFT length must be a power of two" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT length must be a power of two",
+        });
     }
     if n == 1 {
         return Ok(());
@@ -98,7 +106,7 @@ fn transform(data: &mut [Complex64], inverse: bool) -> Result<()> {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -135,7 +143,9 @@ fn transform(data: &mut [Complex64], inverse: bool) -> Result<()> {
 pub fn fft_any(data: &[Complex64]) -> Result<Vec<Complex64>> {
     let n = data.len();
     if n == 0 {
-        return Err(DspError::InvalidLength { reason: "FFT input must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT input must be non-empty",
+        });
     }
     if is_pow2(n) {
         return fft(data);
@@ -164,7 +174,7 @@ pub fn fft_any(data: &[Complex64]) -> Result<Vec<Complex64>> {
     fft_in_place(&mut a)?;
     fft_in_place(&mut b)?;
     for (x, y) in a.iter_mut().zip(b.iter()) {
-        *x = *x * *y;
+        *x *= *y;
     }
     ifft_in_place(&mut a)?;
     Ok((0..n).map(|k| a[k] * w[k]).collect())
@@ -174,7 +184,9 @@ pub fn fft_any(data: &[Complex64]) -> Result<Vec<Complex64>> {
 pub fn ifft_any(data: &[Complex64]) -> Result<Vec<Complex64>> {
     let n = data.len();
     if n == 0 {
-        return Err(DspError::InvalidLength { reason: "FFT input must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT input must be non-empty",
+        });
     }
     let conj_in: Vec<Complex64> = data.iter().map(|c| c.conj()).collect();
     let spec = fft_any(&conj_in)?;
@@ -185,10 +197,14 @@ pub fn ifft_any(data: &[Complex64]) -> Result<Vec<Complex64>> {
 /// length (the signal is zero-padded).
 pub fn rfft_any(signal: &[f64], n_fft: usize) -> Result<Vec<Complex64>> {
     if n_fft == 0 {
-        return Err(DspError::InvalidLength { reason: "FFT length must be positive" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT length must be positive",
+        });
     }
     if n_fft < signal.len() {
-        return Err(DspError::InvalidLength { reason: "FFT length shorter than the signal" });
+        return Err(DspError::InvalidLength {
+            reason: "FFT length shorter than the signal",
+        });
     }
     let mut buf = vec![Complex64::ZERO; n_fft];
     for (b, &s) in buf.iter_mut().zip(signal.iter()) {
@@ -266,7 +282,9 @@ mod tests {
 
     #[test]
     fn fft_ifft_roundtrip() {
-        let signal: Vec<f64> = (0..128).map(|i| ((i * 37 % 101) as f64 - 50.0) / 13.0).collect();
+        let signal: Vec<f64> = (0..128)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 13.0)
+            .collect();
         let cx = to_complex(&signal);
         let spec = fft(&cx).unwrap();
         let back = ifft(&spec).unwrap();
@@ -278,8 +296,12 @@ mod tests {
 
     #[test]
     fn linearity() {
-        let a: Vec<Complex64> = (0..32).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
-        let b: Vec<Complex64> = (0..32).map(|i| Complex64::new((i % 7) as f64, (i % 3) as f64)).collect();
+        let a: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let b: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new((i % 7) as f64, (i % 3) as f64))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(b.iter()).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a).unwrap();
         let fb = fft(&b).unwrap();
@@ -302,7 +324,9 @@ mod tests {
 
     #[test]
     fn bluestein_matches_radix2_on_power_of_two() {
-        let x: Vec<Complex64> = (0..64).map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos())).collect();
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos()))
+            .collect();
         let a = fft(&x).unwrap();
         let b = fft_any(&x).unwrap();
         for (p, q) in a.iter().zip(b.iter()) {
@@ -314,7 +338,9 @@ mod tests {
     #[test]
     fn bluestein_matches_direct_dft_on_odd_length() {
         let n = 45;
-        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos())).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
+            .collect();
         let fast = fft_any(&x).unwrap();
         for (k, f) in fast.iter().enumerate() {
             let mut acc = Complex64::ZERO;
@@ -331,7 +357,9 @@ mod tests {
     fn fft_any_ifft_any_roundtrip_1920() {
         // The paper's symbol length.
         let n = 1920;
-        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(((i * 31 % 97) as f64 - 48.0) / 11.0, 0.0)).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(((i * 31 % 97) as f64 - 48.0) / 11.0, 0.0))
+            .collect();
         let spec = fft_any(&x).unwrap();
         let back = ifft_any(&spec).unwrap();
         for (a, b) in x.iter().zip(back.iter()) {

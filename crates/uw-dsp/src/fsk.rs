@@ -42,14 +42,21 @@ impl Band {
 /// Splits `[low, high]` into `n` equal sub-bands.
 pub fn split_band(low_hz: f64, high_hz: f64, n: usize) -> Result<Vec<Band>> {
     if n == 0 {
-        return Err(DspError::InvalidParameter { reason: "cannot split a band into zero sub-bands" });
+        return Err(DspError::InvalidParameter {
+            reason: "cannot split a band into zero sub-bands",
+        });
     }
     if high_hz <= low_hz {
-        return Err(DspError::InvalidParameter { reason: "band edges must satisfy low < high" });
+        return Err(DspError::InvalidParameter {
+            reason: "band edges must satisfy low < high",
+        });
     }
     let step = (high_hz - low_hz) / n as f64;
     Ok((0..n)
-        .map(|i| Band { low_hz: low_hz + i as f64 * step, high_hz: low_hz + (i + 1) as f64 * step })
+        .map(|i| Band {
+            low_hz: low_hz + i as f64 * step,
+            high_hz: low_hz + (i + 1) as f64 * step,
+        })
         .collect())
 }
 
@@ -72,7 +79,11 @@ impl FskConfig {
         let band = *bands.get(device_id).ok_or(DspError::InvalidParameter {
             reason: "device id exceeds the number of allocated sub-bands",
         })?;
-        Ok(Self { sample_rate: crate::SAMPLE_RATE, band, bit_duration_s: 0.01 })
+        Ok(Self {
+            sample_rate: crate::SAMPLE_RATE,
+            band,
+            bit_duration_s: 0.01,
+        })
     }
 
     /// Samples per bit.
@@ -93,16 +104,24 @@ impl FskConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.sample_rate <= 0.0 {
-            return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+            return Err(DspError::InvalidParameter {
+                reason: "sample rate must be positive",
+            });
         }
         if self.band.width() <= 0.0 {
-            return Err(DspError::InvalidParameter { reason: "FSK band must have positive width" });
+            return Err(DspError::InvalidParameter {
+                reason: "FSK band must have positive width",
+            });
         }
         if self.band.high_hz >= self.sample_rate / 2.0 {
-            return Err(DspError::InvalidParameter { reason: "FSK band exceeds Nyquist frequency" });
+            return Err(DspError::InvalidParameter {
+                reason: "FSK band exceeds Nyquist frequency",
+            });
         }
         if self.samples_per_bit() < 8 {
-            return Err(DspError::InvalidParameter { reason: "bit duration too short for the sampling rate" });
+            return Err(DspError::InvalidParameter {
+                reason: "bit duration too short for the sampling rate",
+            });
         }
         Ok(())
     }
@@ -116,7 +135,11 @@ pub fn fsk_modulate(config: &FskConfig, bits: &[bool]) -> Result<Vec<f64>> {
     let mut out = Vec::with_capacity(bits.len() * spb);
     let mut phase = 0.0f64;
     for &bit in bits {
-        let freq = if bit { config.mark_hz() } else { config.space_hz() };
+        let freq = if bit {
+            config.mark_hz()
+        } else {
+            config.space_hz()
+        };
         let dphase = 2.0 * std::f64::consts::PI * freq / config.sample_rate;
         for _ in 0..spb {
             out.push(phase.sin());
@@ -135,7 +158,9 @@ pub fn fsk_demodulate(config: &FskConfig, samples: &[f64], n_bits: usize) -> Res
     config.validate()?;
     let spb = config.samples_per_bit();
     if samples.len() < n_bits * spb {
-        return Err(DspError::InvalidLength { reason: "sample buffer shorter than the requested bits" });
+        return Err(DspError::InvalidLength {
+            reason: "sample buffer shorter than the requested bits",
+        });
     }
     let mut bits = Vec::with_capacity(n_bits);
     for k in 0..n_bits {
@@ -177,17 +202,26 @@ impl MfskIdCodec {
     /// Creates a codec for a dive group of `n_devices`.
     pub fn new(n_devices: usize) -> Result<Self> {
         if n_devices == 0 {
-            return Err(DspError::InvalidParameter { reason: "need at least one device" });
+            return Err(DspError::InvalidParameter {
+                reason: "need at least one device",
+            });
         }
-        Ok(Self { sample_rate: crate::SAMPLE_RATE, n_devices, duration_s: 0.05 })
+        Ok(Self {
+            sample_rate: crate::SAMPLE_RATE,
+            n_devices,
+            duration_s: 0.05,
+        })
     }
 
     /// The sub-band assigned to `device_id`.
     pub fn band_for(&self, device_id: usize) -> Result<Band> {
         let bands = split_band(crate::BAND_LOW_HZ, crate::BAND_HIGH_HZ, self.n_devices)?;
-        bands.get(device_id).copied().ok_or(DspError::InvalidParameter {
-            reason: "device id exceeds the number of MFSK bins",
-        })
+        bands
+            .get(device_id)
+            .copied()
+            .ok_or(DspError::InvalidParameter {
+                reason: "device id exceeds the number of MFSK bins",
+            })
     }
 
     /// Number of samples in one encoded ID tone.
@@ -210,7 +244,9 @@ impl MfskIdCodec {
     /// (a confidence measure ≥ 1).
     pub fn decode(&self, samples: &[f64]) -> Result<(usize, f64)> {
         if samples.is_empty() {
-            return Err(DspError::InvalidLength { reason: "cannot decode an empty ID tone" });
+            return Err(DspError::InvalidLength {
+                reason: "cannot decode an empty ID tone",
+            });
         }
         let mut energies = Vec::with_capacity(self.n_devices);
         for id in 0..self.n_devices {
@@ -228,7 +264,11 @@ impl MfskIdCodec {
             .filter(|(i, _)| *i != best_id)
             .map(|(_, &e)| e)
             .fold(0.0f64, f64::max);
-        let confidence = if second > 0.0 { best / second } else { f64::INFINITY };
+        let confidence = if second > 0.0 {
+            best / second
+        } else {
+            f64::INFINITY
+        };
         Ok((best_id, confidence))
     }
 }
@@ -254,7 +294,10 @@ mod tests {
 
     #[test]
     fn band_helpers() {
-        let b = Band { low_hz: 1000.0, high_hz: 2000.0 };
+        let b = Band {
+            low_hz: 1000.0,
+            high_hz: 2000.0,
+        };
         assert_eq!(b.width(), 1000.0);
         assert_eq!(b.center(), 1500.0);
         assert!(b.contains(1500.0));
@@ -304,9 +347,18 @@ mod tests {
         let config = FskConfig::for_device(0, 6).unwrap();
         assert!(fsk_demodulate(&config, &[0.0; 10], 100).is_err());
         assert!(FskConfig::for_device(7, 6).is_err());
-        let bad = FskConfig { bit_duration_s: 1e-5, ..config };
+        let bad = FskConfig {
+            bit_duration_s: 1e-5,
+            ..config
+        };
         assert!(bad.validate().is_err());
-        let bad = FskConfig { band: Band { low_hz: 23_000.0, high_hz: 24_000.0 }, ..config };
+        let bad = FskConfig {
+            band: Band {
+                low_hz: 23_000.0,
+                high_hz: 24_000.0,
+            },
+            ..config
+        };
         assert!(bad.validate().is_err());
     }
 

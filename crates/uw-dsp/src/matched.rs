@@ -1,0 +1,351 @@
+//! Streaming matched filter: overlap-save block correlation against a
+//! fixed template.
+//!
+//! Preamble detection correlates every incoming microphone stream against
+//! the *same* ~10 k-sample preamble. The one-shot [`crate::correlation`]
+//! path pays, per call, two forward FFTs and one inverse FFT at
+//! `next_pow2(signal + template)` — recomputing the template spectrum and
+//! reallocating every buffer each time. [`MatchedFilter`] instead:
+//!
+//! * precomputes the template's conjugated spectrum **once** at a fixed
+//!   block length `L = next_pow2(4 · template_len)`,
+//! * correlates arbitrarily long signals by **overlap-save**: each block of
+//!   `L` input samples yields `L − template_len + 1` valid lags from one
+//!   forward + one inverse FFT through a cached table-driven plan,
+//! * folds the prefix-sum normalisation of
+//!   [`crate::correlation::xcorr_normalized`] into the same pass, and
+//! * keeps its scratch in an internal pool, so steady-state calls are
+//!   allocation-free and concurrent callers do not serialise on shared
+//!   buffers.
+//!
+//! Output is bit-for-bit the same definition as `xcorr_normalized` /
+//! `xcorr_fft` (valid lags only), to within floating-point rounding of the
+//! different FFT lengths.
+
+use crate::complex::Complex64;
+use crate::fft::next_pow2;
+use crate::plan::Radix2Plan;
+use crate::{DspError, Result};
+use std::sync::Mutex;
+
+/// Reusable per-call buffers, checked out of the filter's pool.
+struct Scratch {
+    /// Complex block buffer of the filter's FFT length.
+    block: Vec<Complex64>,
+    /// Prefix-sum buffer for sliding window energies (`signal.len() + 1`).
+    prefix: Vec<f64>,
+}
+
+/// A precomputed matched filter for one fixed template.
+pub struct MatchedFilter {
+    template_len: usize,
+    fft_len: usize,
+    /// Valid lags produced per block: `fft_len − template_len + 1`.
+    step: usize,
+    /// Conjugated template spectrum at `fft_len`, ready to multiply.
+    template_spectrum: Vec<Complex64>,
+    /// L2 norm of the template (for normalisation).
+    template_norm: f64,
+    plan: Radix2Plan,
+    pool: Mutex<Vec<Scratch>>,
+}
+
+impl std::fmt::Debug for MatchedFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchedFilter")
+            .field("template_len", &self.template_len)
+            .field("fft_len", &self.fft_len)
+            .finish()
+    }
+}
+
+impl Clone for MatchedFilter {
+    fn clone(&self) -> Self {
+        Self {
+            template_len: self.template_len,
+            fft_len: self.fft_len,
+            step: self.step,
+            template_spectrum: self.template_spectrum.clone(),
+            template_norm: self.template_norm,
+            plan: self.plan.clone(),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl MatchedFilter {
+    /// Builds a matched filter for `template`. The template must be
+    /// non-empty and carry non-zero energy (a zero template cannot be
+    /// normalised against).
+    pub fn new(template: &[f64]) -> Result<Self> {
+        if template.is_empty() {
+            return Err(DspError::InvalidLength {
+                reason: "matched-filter template must be non-empty",
+            });
+        }
+        let template_norm = template.iter().map(|t| t * t).sum::<f64>().sqrt();
+        if template_norm == 0.0 {
+            return Err(DspError::InvalidParameter {
+                reason: "template has zero energy",
+            });
+        }
+        let m = template.len();
+        // ~4× the template per block amortises the FFT cost well: each
+        // block's two transforms yield ≥ 3m valid lags.
+        let fft_len = next_pow2(4 * m).max(1024);
+        let plan = Radix2Plan::new(fft_len)?;
+        let mut template_spectrum = vec![Complex64::ZERO; fft_len];
+        for (slot, &t) in template_spectrum.iter_mut().zip(template.iter()) {
+            *slot = Complex64::from_re(t);
+        }
+        plan.forward(&mut template_spectrum)?;
+        for x in template_spectrum.iter_mut() {
+            *x = x.conj();
+        }
+        Ok(Self {
+            template_len: m,
+            fft_len,
+            step: fft_len - m + 1,
+            template_spectrum,
+            template_norm,
+            plan,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Length of the template this filter was built for.
+    pub fn template_len(&self) -> usize {
+        self.template_len
+    }
+
+    /// Returns true for the degenerate empty-template filter (never
+    /// constructable).
+    pub fn is_empty(&self) -> bool {
+        self.template_len == 0
+    }
+
+    /// FFT block length used internally.
+    pub fn block_len(&self) -> usize {
+        self.fft_len
+    }
+
+    /// Number of valid correlation lags for a signal of `signal_len`
+    /// samples, or an error when the signal is shorter than the template.
+    pub fn output_len(&self, signal_len: usize) -> Result<usize> {
+        if signal_len < self.template_len {
+            return Err(DspError::InvalidLength {
+                reason: "template longer than signal",
+            });
+        }
+        Ok(signal_len - self.template_len + 1)
+    }
+
+    /// Raw valid-lag cross-correlation (same definition as
+    /// [`crate::correlation::xcorr_fft`]) into a caller buffer. Steady-state
+    /// allocation-free when `out` has capacity.
+    pub fn correlate_into(&self, signal: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        self.run(signal, out, false)
+    }
+
+    /// Normalised valid-lag cross-correlation (same definition as
+    /// [`crate::correlation::xcorr_normalized`]) into a caller buffer.
+    /// Steady-state allocation-free when `out` has capacity.
+    pub fn correlate_normalized_into(&self, signal: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        self.run(signal, out, true)
+    }
+
+    /// Convenience wrapper returning a fresh vector of normalised
+    /// correlations.
+    pub fn correlate_normalized(&self, signal: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.correlate_normalized_into(signal, &mut out)?;
+        Ok(out)
+    }
+
+    fn run(&self, signal: &[f64], out: &mut Vec<f64>, normalize: bool) -> Result<()> {
+        if signal.is_empty() {
+            return Err(DspError::InvalidLength {
+                reason: "correlation inputs must be non-empty",
+            });
+        }
+        let n_out = self.output_len(signal.len())?;
+        let mut scratch = self.acquire();
+        let result = self.run_with_scratch(signal, out, normalize, n_out, &mut scratch);
+        self.release(scratch);
+        result
+    }
+
+    fn run_with_scratch(
+        &self,
+        signal: &[f64],
+        out: &mut Vec<f64>,
+        normalize: bool,
+        n_out: usize,
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        let n = signal.len();
+        let l = self.fft_len;
+        out.clear();
+        out.reserve(n_out);
+
+        // Overlap-save: block `p` covers signal[p .. p+L); its circular
+        // correlation is linear (wrap-free) on the first L − m + 1 lags.
+        let block = &mut scratch.block;
+        let mut p = 0usize;
+        while p < n_out {
+            let available = (n - p).min(l);
+            for (slot, &s) in block.iter_mut().zip(signal[p..p + available].iter()) {
+                *slot = Complex64::from_re(s);
+            }
+            for slot in block[available..l].iter_mut() {
+                *slot = Complex64::ZERO;
+            }
+            self.plan.forward(block)?;
+            for (x, t) in block.iter_mut().zip(self.template_spectrum.iter()) {
+                *x *= *t;
+            }
+            self.plan.inverse(block)?;
+            let take = self.step.min(n_out - p);
+            out.extend(block[..take].iter().map(|c| c.re));
+            p += self.step;
+        }
+
+        if normalize {
+            // Sliding window energy of the signal via prefix sums, exactly
+            // as in `xcorr_normalized`.
+            let prefix = &mut scratch.prefix;
+            prefix.clear();
+            prefix.reserve(n + 1);
+            prefix.push(0.0);
+            let mut acc = 0.0;
+            for &s in signal.iter() {
+                acc += s * s;
+                prefix.push(acc);
+            }
+            let m = self.template_len;
+            for (k, r) in out.iter_mut().enumerate() {
+                let win_energy = prefix[k + m] - prefix[k];
+                let denom = self.template_norm * win_energy.sqrt();
+                *r = if denom > 0.0 { *r / denom } else { 0.0 };
+            }
+        }
+        Ok(())
+    }
+
+    fn acquire(&self) -> Scratch {
+        self.pool
+            .lock()
+            .expect("matched-filter pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Scratch {
+                block: vec![Complex64::ZERO; self.fft_len],
+                prefix: Vec::new(),
+            })
+    }
+
+    fn release(&self, scratch: Scratch) {
+        self.pool
+            .lock()
+            .expect("matched-filter pool poisoned")
+            .push(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{argmax, xcorr_fft, xcorr_normalized};
+
+    fn signal_with_template(template: &[f64], offset: usize, total: usize) -> Vec<f64> {
+        let mut signal: Vec<f64> = (0..total)
+            .map(|i| 0.01 * ((i as f64) * 0.377).sin())
+            .collect();
+        for (i, &t) in template.iter().enumerate() {
+            signal[offset + i] += t;
+        }
+        signal
+    }
+
+    #[test]
+    fn matches_one_shot_raw_correlation() {
+        let template: Vec<f64> = (0..257).map(|i| ((i as f64) * 0.31).cos()).collect();
+        let signal = signal_with_template(&template, 900, 4001);
+        let reference = xcorr_fft(&signal, &template).unwrap();
+        let filter = MatchedFilter::new(&template).unwrap();
+        let mut out = Vec::new();
+        filter.correlate_into(&signal, &mut out).unwrap();
+        assert_eq!(out.len(), reference.len());
+        for (a, b) in out.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_one_shot_normalized_correlation_across_block_boundaries() {
+        // A signal long enough that overlap-save needs several blocks.
+        let template: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let filter = MatchedFilter::new(&template).unwrap();
+        let total = filter.block_len() * 3 + 77;
+        let signal = signal_with_template(&template, filter.block_len() + 13, total);
+        let reference = xcorr_normalized(&signal, &template).unwrap();
+        let streamed = filter.correlate_normalized(&signal).unwrap();
+        assert_eq!(streamed.len(), reference.len());
+        for (a, b) in streamed.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn peak_lands_on_the_embedded_template() {
+        let template: Vec<f64> = (0..128)
+            .map(|i| ((i as f64) * 0.4).sin() * ((i as f64) * 0.013).cos())
+            .collect();
+        let signal = signal_with_template(&template, 733, 5000);
+        let filter = MatchedFilter::new(&template).unwrap();
+        let corr = filter.correlate_normalized(&signal).unwrap();
+        let (idx, peak) = argmax(&corr).unwrap();
+        assert_eq!(idx, 733);
+        assert!(peak > 0.9, "peak {peak}");
+    }
+
+    #[test]
+    fn scratch_pool_reuse_is_consistent() {
+        let template: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.9).sin()).collect();
+        let filter = MatchedFilter::new(&template).unwrap();
+        let signal = signal_with_template(&template, 100, 1200);
+        let first = filter.correlate_normalized(&signal).unwrap();
+        // Repeated calls reuse pooled scratch and must be bit-identical.
+        for _ in 0..3 {
+            let again = filter.correlate_normalized(&signal).unwrap();
+            assert_eq!(first, again);
+        }
+        // A clone starts with an empty pool but computes the same result.
+        let cloned = filter.clone();
+        assert_eq!(cloned.correlate_normalized(&signal).unwrap(), first);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(MatchedFilter::new(&[]).is_err());
+        assert!(MatchedFilter::new(&[0.0; 32]).is_err());
+        let filter = MatchedFilter::new(&[1.0, -1.0, 0.5]).unwrap();
+        let mut out = Vec::new();
+        assert!(filter.correlate_into(&[], &mut out).is_err());
+        assert!(filter.correlate_into(&[1.0, 2.0], &mut out).is_err());
+        assert!(filter.output_len(2).is_err());
+        assert_eq!(filter.output_len(10).unwrap(), 8);
+    }
+
+    #[test]
+    fn short_signal_single_block_path() {
+        // Signal barely longer than the template: one block, partial take.
+        let template: Vec<f64> = (0..50).map(|i| (i as f64 * 0.23).cos()).collect();
+        let signal = signal_with_template(&template, 3, 60);
+        let filter = MatchedFilter::new(&template).unwrap();
+        let reference = xcorr_normalized(&signal, &template).unwrap();
+        let streamed = filter.correlate_normalized(&signal).unwrap();
+        for (a, b) in streamed.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

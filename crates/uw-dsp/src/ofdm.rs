@@ -87,19 +87,29 @@ impl OfdmConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.symbol_len == 0 {
-            return Err(DspError::InvalidParameter { reason: "symbol length must be positive" });
+            return Err(DspError::InvalidParameter {
+                reason: "symbol length must be positive",
+            });
         }
         if self.sample_rate <= 0.0 {
-            return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+            return Err(DspError::InvalidParameter {
+                reason: "sample rate must be positive",
+            });
         }
         if self.band_low_hz <= 0.0 || self.band_high_hz <= self.band_low_hz {
-            return Err(DspError::InvalidParameter { reason: "band edges must satisfy 0 < low < high" });
+            return Err(DspError::InvalidParameter {
+                reason: "band edges must satisfy 0 < low < high",
+            });
         }
         if self.band_high_hz >= self.sample_rate / 2.0 {
-            return Err(DspError::InvalidParameter { reason: "band exceeds Nyquist frequency" });
+            return Err(DspError::InvalidParameter {
+                reason: "band exceeds Nyquist frequency",
+            });
         }
         if self.n_symbols < 2 {
-            return Err(DspError::InvalidParameter { reason: "preamble needs at least two symbols" });
+            return Err(DspError::InvalidParameter {
+                reason: "preamble needs at least two symbols",
+            });
         }
         Ok(())
     }
@@ -107,7 +117,9 @@ impl OfdmConfig {
     /// PN sign sequence for the preamble symbols. Uses the paper's
     /// `[1, 1, -1, 1]` pattern, extended periodically for longer preambles.
     pub fn pn_signs(&self) -> Vec<f64> {
-        (0..self.n_symbols).map(|i| PN_SIGNS[i % PN_SIGNS.len()]).collect()
+        (0..self.n_symbols)
+            .map(|i| PN_SIGNS[i % PN_SIGNS.len()])
+            .collect()
     }
 }
 
@@ -147,7 +159,9 @@ pub fn base_symbol_spectrum(config: &OfdmConfig) -> Result<SymbolSpectrum> {
     let bins_range = config.occupied_bins();
     let n_bins = bins_range.len();
     if n_bins < 2 {
-        return Err(DspError::InvalidParameter { reason: "occupied band contains too few bins" });
+        return Err(DspError::InvalidParameter {
+            reason: "occupied band contains too few bins",
+        });
     }
     // Use a ZC length equal to the largest prime ≤ n_bins for the ideal
     // CAZAC property, repeating the tail if needed.
@@ -156,7 +170,11 @@ pub fn base_symbol_spectrum(config: &OfdmConfig) -> Result<SymbolSpectrum> {
     let root = if root == 0 { 1 } else { root };
     let zc = zadoff_chu(zc_len, root)?;
     let bins: Vec<Complex64> = (0..n_bins).map(|i| zc[i % zc_len]).collect();
-    Ok(SymbolSpectrum { fft_len: config.fft_len(), first_bin: bins_range.start, bins })
+    Ok(SymbolSpectrum {
+        fft_len: config.fft_len(),
+        first_bin: bins_range.start,
+        bins,
+    })
 }
 
 /// Synthesises the time-domain base symbol (length `config.symbol_len`,
@@ -178,7 +196,9 @@ pub fn base_symbol(config: &OfdmConfig) -> Result<Vec<f64>> {
 /// Prepends a cyclic prefix (the last `cp_len` samples) to a symbol.
 pub fn add_cyclic_prefix(symbol: &[f64], cp_len: usize) -> Result<Vec<f64>> {
     if cp_len > symbol.len() {
-        return Err(DspError::InvalidLength { reason: "cyclic prefix longer than the symbol" });
+        return Err(DspError::InvalidLength {
+            reason: "cyclic prefix longer than the symbol",
+        });
     }
     let mut out = Vec::with_capacity(symbol.len() + cp_len);
     out.extend_from_slice(&symbol[symbol.len() - cp_len..]);
@@ -189,7 +209,9 @@ pub fn add_cyclic_prefix(symbol: &[f64], cp_len: usize) -> Result<Vec<f64>> {
 /// Removes a cyclic prefix from a received block.
 pub fn remove_cyclic_prefix(block: &[f64], cp_len: usize) -> Result<&[f64]> {
     if cp_len >= block.len() {
-        return Err(DspError::InvalidLength { reason: "block shorter than the cyclic prefix" });
+        return Err(DspError::InvalidLength {
+            reason: "block shorter than the cyclic prefix",
+        });
     }
     Ok(&block[cp_len..])
 }
@@ -209,10 +231,16 @@ pub fn build_preamble(config: &OfdmConfig) -> Result<Vec<f64>> {
 
 /// Demodulates one received OFDM symbol (cyclic prefix already removed) to
 /// its occupied-bin values. The symbol is zero-padded to the FFT length.
+///
+/// One-shot convenience: pays the full Bluestein setup per call. Receivers
+/// demodulating many symbols should hold an [`crate::plan::FftPlan`] and
+/// call [`demodulate_symbol_with`] instead.
 pub fn demodulate_symbol(config: &OfdmConfig, symbol: &[f64]) -> Result<Vec<Complex64>> {
     config.validate()?;
     if symbol.len() < config.symbol_len {
-        return Err(DspError::InvalidLength { reason: "received symbol shorter than the symbol length" });
+        return Err(DspError::InvalidLength {
+            reason: "received symbol shorter than the symbol length",
+        });
     }
     let n_fft = config.fft_len();
     let mut buf = vec![Complex64::ZERO; n_fft];
@@ -224,6 +252,35 @@ pub fn demodulate_symbol(config: &OfdmConfig, symbol: &[f64]) -> Result<Vec<Comp
     Ok(spec[range].to_vec())
 }
 
+/// As [`demodulate_symbol`], but through a caller-held plan so the chirp
+/// setup for the non-power-of-two symbol length is paid once, not per
+/// symbol. The plan must have been built for `config.fft_len()`.
+pub fn demodulate_symbol_with(
+    plan: &mut crate::plan::FftPlan,
+    config: &OfdmConfig,
+    symbol: &[f64],
+) -> Result<Vec<Complex64>> {
+    config.validate()?;
+    if symbol.len() < config.symbol_len {
+        return Err(DspError::InvalidLength {
+            reason: "received symbol shorter than the symbol length",
+        });
+    }
+    let n_fft = config.fft_len();
+    if plan.len() != n_fft {
+        return Err(DspError::InvalidLength {
+            reason: "FFT plan length does not match the OFDM FFT length",
+        });
+    }
+    let mut buf = vec![Complex64::ZERO; n_fft];
+    for (b, &s) in buf.iter_mut().zip(symbol.iter().take(config.symbol_len)) {
+        *b = Complex64::from_re(s);
+    }
+    plan.process_forward(&mut buf)?;
+    let range = config.occupied_bins();
+    Ok(buf[range].to_vec())
+}
+
 /// Largest prime number ≤ `n` (returns 2 for n < 2... callers guarantee n ≥ 3).
 fn largest_prime_at_most(n: usize) -> usize {
     fn is_prime(x: usize) -> bool {
@@ -232,7 +289,7 @@ fn largest_prime_at_most(n: usize) -> usize {
         }
         let mut d = 2;
         while d * d <= x {
-            if x % d == 0 {
+            if x.is_multiple_of(d) {
                 return false;
             }
             d += 1;
@@ -270,15 +327,31 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = OfdmConfig { symbol_len: 0, ..OfdmConfig::default() };
+        let mut c = OfdmConfig {
+            symbol_len: 0,
+            ..OfdmConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = OfdmConfig { band_low_hz: 5000.0, band_high_hz: 1000.0, ..OfdmConfig::default() };
+        c = OfdmConfig {
+            band_low_hz: 5000.0,
+            band_high_hz: 1000.0,
+            ..OfdmConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = OfdmConfig { band_high_hz: 30_000.0, ..OfdmConfig::default() };
+        c = OfdmConfig {
+            band_high_hz: 30_000.0,
+            ..OfdmConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = OfdmConfig { n_symbols: 1, ..OfdmConfig::default() };
+        c = OfdmConfig {
+            n_symbols: 1,
+            ..OfdmConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = OfdmConfig { sample_rate: 0.0, ..OfdmConfig::default() };
+        c = OfdmConfig {
+            sample_rate: 0.0,
+            ..OfdmConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -301,7 +374,11 @@ mod tests {
             .filter(|(i, _)| *i + slack >= band.start && *i < band.end + slack)
             .map(|(_, c)| c.norm_sqr())
             .sum();
-        assert!(in_band / total > 0.95, "in-band fraction {}", in_band / total);
+        assert!(
+            in_band / total > 0.95,
+            "in-band fraction {}",
+            in_band / total
+        );
     }
 
     #[test]

@@ -20,23 +20,33 @@ pub fn is_peak(values: &[f64], idx: usize) -> bool {
     }
     let v = values[idx];
     let left = if idx > 0 { values[idx - 1] } else { v };
-    let right = if idx + 1 < values.len() { values[idx + 1] } else { v };
+    let right = if idx + 1 < values.len() {
+        values[idx + 1]
+    } else {
+        v
+    };
     v >= left && v >= right && (v > left || v > right)
 }
 
 /// Indices of all local maxima whose value exceeds `threshold`.
 pub fn find_peaks_above(values: &[f64], threshold: f64) -> Vec<usize> {
-    (0..values.len()).filter(|&i| values[i] > threshold && is_peak(values, i)).collect()
+    (0..values.len())
+        .filter(|&i| values[i] > threshold && is_peak(values, i))
+        .collect()
 }
 
 /// Estimates the noise floor as the mean of the last `tail_len` values
 /// (the paper uses the average power of the last 100 channel taps).
 pub fn noise_floor(values: &[f64], tail_len: usize) -> Result<f64> {
     if values.is_empty() {
-        return Err(DspError::InvalidLength { reason: "cannot estimate noise floor of empty profile" });
+        return Err(DspError::InvalidLength {
+            reason: "cannot estimate noise floor of empty profile",
+        });
     }
     if tail_len == 0 {
-        return Err(DspError::InvalidParameter { reason: "noise-floor tail length must be positive" });
+        return Err(DspError::InvalidParameter {
+            reason: "noise-floor tail length must be positive",
+        });
     }
     let tail = tail_len.min(values.len());
     let start = values.len() - tail;

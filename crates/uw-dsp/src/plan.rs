@@ -1,0 +1,569 @@
+//! Plan-based FFT execution.
+//!
+//! The free functions in [`crate::fft`] recompute twiddle factors (and, for
+//! non-power-of-two lengths, the entire Bluestein chirp setup) on every
+//! call and allocate fresh buffers throughout. That is fine for one-off
+//! transforms, but the ranging hot path runs the *same* transform sizes
+//! thousands of times per session: 2048/4096-point FFTs inside the
+//! correlators and 1920-point Bluestein transforms for every OFDM symbol.
+//!
+//! An [`FftPlan`] precomputes everything that depends only on the length —
+//! the bit-reversal permutation, per-stage twiddle tables (forward and
+//! inverse), and for Bluestein lengths the chirp sequence, the chirp's
+//! padded spectrum, and a scratch buffer — so steady-state
+//! [`FftPlan::process_forward`] / [`FftPlan::process_inverse`] calls are
+//! allocation-free. [`FftPlanner`] caches plans by length, and
+//! [`PlanPool`] shares plans of one fixed length across threads without
+//! serialising the transforms themselves.
+
+use crate::complex::Complex64;
+use crate::fft::{is_pow2, next_pow2};
+use crate::{DspError, Result};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A radix-2 decimation-in-time FFT with precomputed bit-reversal and
+/// twiddle tables. All state is read-only after construction, so one plan
+/// can serve many threads concurrently.
+#[derive(Debug, Clone)]
+pub struct Radix2Plan {
+    n: usize,
+    /// Bit-reversed index for every position (length `n`).
+    bitrev: Vec<u32>,
+    /// Forward twiddles, concatenated per stage: stage `s` (butterfly
+    /// half-width `2^s`) occupies `twiddles_fwd[2^s - 1 .. 2^(s+1) - 1]`.
+    twiddles_fwd: Vec<Complex64>,
+    /// Inverse twiddles with the same layout.
+    twiddles_inv: Vec<Complex64>,
+}
+
+impl Radix2Plan {
+    /// Builds a plan for a power-of-two length `n ≥ 1`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(DspError::InvalidLength {
+                reason: "FFT plan length must be positive",
+            });
+        }
+        if !is_pow2(n) {
+            return Err(DspError::InvalidLength {
+                reason: "radix-2 plan length must be a power of two",
+            });
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    (i.reverse_bits() >> (usize::BITS - bits)) as u32
+                }
+            })
+            .collect();
+        // One table entry per butterfly twiddle; n-1 in total.
+        let mut twiddles_fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut twiddles_inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut half = 1usize;
+        while half < n {
+            let ang = std::f64::consts::PI / half as f64;
+            for k in 0..half {
+                let w = Complex64::from_angle(-ang * k as f64);
+                twiddles_fwd.push(w);
+                twiddles_inv.push(w.conj());
+            }
+            half <<= 1;
+        }
+        Ok(Self {
+            n,
+            bitrev,
+            twiddles_fwd,
+            twiddles_inv,
+        })
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true for the degenerate length-0 plan (never constructable).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT (unnormalised). Allocation-free.
+    pub fn forward(&self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data)?;
+        self.transform(data, &self.twiddles_fwd);
+        Ok(())
+    }
+
+    /// In-place inverse FFT (normalised by 1/N). Allocation-free.
+    pub fn inverse(&self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data)?;
+        self.transform(data, &self.twiddles_inv);
+        let scale = 1.0 / self.n as f64;
+        for x in data.iter_mut() {
+            *x = *x * scale;
+        }
+        Ok(())
+    }
+
+    fn check(&self, data: &[Complex64]) -> Result<()> {
+        if data.len() != self.n {
+            return Err(DspError::InvalidLength {
+                reason: "buffer length does not match the FFT plan length",
+            });
+        }
+        Ok(())
+    }
+
+    fn transform(&self, data: &mut [Complex64], twiddles: &[Complex64]) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut half = 1usize;
+        while half < n {
+            // Table slice for this stage (see the layout note on the field).
+            let tw = &twiddles[half - 1..2 * half - 1];
+            let mut start = 0usize;
+            while start < n {
+                for k in 0..half {
+                    let even = data[start + k];
+                    let odd = data[start + k + half] * tw[k];
+                    data[start + k] = even + odd;
+                    data[start + k + half] = even - odd;
+                }
+                start += half << 1;
+            }
+            half <<= 1;
+        }
+    }
+}
+
+/// Bluestein (chirp-z) state for one non-power-of-two length.
+#[derive(Debug, Clone)]
+struct BluesteinPlan {
+    /// Inner radix-2 plan of length `m = next_pow2(2n − 1)`.
+    inner: Radix2Plan,
+    /// The chirp `w[j] = exp(−iπ j²/n)`, length `n`.
+    chirp: Vec<Complex64>,
+    /// FFT of the symmetrically extended conjugate chirp, length `m`.
+    chirp_spectrum: Vec<Complex64>,
+    /// Reusable convolution buffer, length `m`.
+    scratch: Vec<Complex64>,
+}
+
+impl BluesteinPlan {
+    fn new(n: usize) -> Result<Self> {
+        let m = next_pow2(2 * n - 1);
+        let inner = Radix2Plan::new(m)?;
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                // j² mod 2n keeps the phase argument small and exact.
+                let jj = (j * j) % (2 * n);
+                Complex64::from_angle(-std::f64::consts::PI * jj as f64 / n as f64)
+            })
+            .collect();
+        let mut chirp_spectrum = vec![Complex64::ZERO; m];
+        for j in 0..n {
+            chirp_spectrum[j] = chirp[j].conj();
+            if j != 0 {
+                chirp_spectrum[m - j] = chirp[j].conj();
+            }
+        }
+        inner.forward(&mut chirp_spectrum)?;
+        Ok(Self {
+            inner,
+            chirp,
+            chirp_spectrum,
+            scratch: vec![Complex64::ZERO; m],
+        })
+    }
+
+    /// In-place forward DFT of length `n` via chirp-z. Allocation-free.
+    fn forward(&mut self, data: &mut [Complex64]) -> Result<()> {
+        let n = data.len();
+        let m = self.scratch.len();
+        for ((slot, d), c) in self
+            .scratch
+            .iter_mut()
+            .zip(data.iter())
+            .zip(self.chirp.iter())
+        {
+            *slot = *d * *c;
+        }
+        for slot in self.scratch[n..m].iter_mut() {
+            *slot = Complex64::ZERO;
+        }
+        self.inner.forward(&mut self.scratch)?;
+        for (x, y) in self.scratch.iter_mut().zip(self.chirp_spectrum.iter()) {
+            *x *= *y;
+        }
+        self.inner.inverse(&mut self.scratch)?;
+        for ((d, s), c) in data
+            .iter_mut()
+            .zip(self.scratch.iter())
+            .zip(self.chirp.iter())
+        {
+            *d = *s * *c;
+        }
+        Ok(())
+    }
+}
+
+enum PlanKind {
+    Radix2(Radix2Plan),
+    Bluestein(BluesteinPlan),
+}
+
+/// A reusable FFT plan for one fixed transform length (any length ≥ 1).
+///
+/// Power-of-two lengths run the table-driven radix-2 path; other lengths run
+/// Bluestein's chirp-z algorithm against cached chirp state. `process_*`
+/// calls on a constructed plan perform **no heap allocation** — the scratch
+/// the Bluestein path needs lives inside the plan, which is why the
+/// processing methods take `&mut self`.
+pub struct FftPlan {
+    len: usize,
+    kind: PlanKind,
+}
+
+impl std::fmt::Debug for FftPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.kind {
+            PlanKind::Radix2(_) => "radix-2",
+            PlanKind::Bluestein(_) => "bluestein",
+        };
+        f.debug_struct("FftPlan")
+            .field("len", &self.len)
+            .field("kind", &kind)
+            .finish()
+    }
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n` (any `n ≥ 1`).
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(DspError::InvalidLength {
+                reason: "FFT plan length must be positive",
+            });
+        }
+        let kind = if is_pow2(n) {
+            PlanKind::Radix2(Radix2Plan::new(n)?)
+        } else {
+            PlanKind::Bluestein(BluesteinPlan::new(n)?)
+        };
+        Ok(Self { len: n, kind })
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true for the degenerate length-0 plan (never constructable).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place forward DFT (unnormalised). Fails cleanly when `data` does
+    /// not match the plan length; allocation-free otherwise.
+    pub fn process_forward(&mut self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data)?;
+        match &mut self.kind {
+            PlanKind::Radix2(p) => p.forward(data),
+            PlanKind::Bluestein(p) => p.forward(data),
+        }
+    }
+
+    /// In-place inverse DFT (normalised by 1/N). Fails cleanly when `data`
+    /// does not match the plan length; allocation-free otherwise.
+    pub fn process_inverse(&mut self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data)?;
+        match &mut self.kind {
+            PlanKind::Radix2(p) => p.inverse(data),
+            PlanKind::Bluestein(p) => {
+                // DFT⁻¹(x) = conj(DFT(conj(x))) / N.
+                for x in data.iter_mut() {
+                    *x = x.conj();
+                }
+                p.forward(data)?;
+                let scale = 1.0 / self.len as f64;
+                for x in data.iter_mut() {
+                    *x = x.conj() * scale;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check(&self, data: &[Complex64]) -> Result<()> {
+        if data.len() != self.len {
+            return Err(DspError::InvalidLength {
+                reason: "buffer length does not match the FFT plan length",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A cache of [`FftPlan`]s keyed by transform length.
+///
+/// Holding a planner across calls turns repeated transforms of the same
+/// length into allocation-free table-driven passes; the first request for a
+/// new length pays the one-time plan construction.
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    plans: HashMap<usize, FftPlan>,
+}
+
+impl FftPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (building on first use) the plan for length `n`.
+    pub fn plan(&mut self, n: usize) -> Result<&mut FftPlan> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.plans.entry(n) {
+            e.insert(FftPlan::new(n)?);
+        }
+        Ok(self.plans.get_mut(&n).expect("plan just inserted"))
+    }
+
+    /// In-place forward DFT of any length through the cached plan.
+    pub fn fft_in_place(&mut self, data: &mut [Complex64]) -> Result<()> {
+        self.plan(data.len())?.process_forward(data)
+    }
+
+    /// In-place inverse DFT of any length through the cached plan.
+    pub fn ifft_in_place(&mut self, data: &mut [Complex64]) -> Result<()> {
+        self.plan(data.len())?.process_inverse(data)
+    }
+
+    /// Number of distinct lengths planned so far.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// A thread-safe pool of [`FftPlan`]s for **one fixed length**.
+///
+/// `with` checks a plan out of the pool (cloning a fresh one only when every
+/// pooled plan is in use), runs the closure, and returns the plan to the
+/// pool. Concurrent users therefore never serialise on a shared plan's
+/// scratch, and in steady state the pool size equals the peak concurrency —
+/// no per-call allocation.
+pub struct PlanPool {
+    len: usize,
+    pool: Mutex<Vec<FftPlan>>,
+}
+
+impl std::fmt::Debug for PlanPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanPool").field("len", &self.len).finish()
+    }
+}
+
+impl Clone for PlanPool {
+    fn clone(&self) -> Self {
+        Self {
+            len: self.len,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl PlanPool {
+    /// Creates a pool for transforms of length `n`, with one plan built
+    /// eagerly so the first caller does not pay construction cost.
+    pub fn new(n: usize) -> Result<Self> {
+        let first = FftPlan::new(n)?;
+        Ok(Self {
+            len: n,
+            pool: Mutex::new(vec![first]),
+        })
+    }
+
+    /// The transform length of every plan in this pool.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true for the degenerate length-0 pool (never constructable).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Runs `f` with a checked-out plan.
+    pub fn with<R>(&self, f: impl FnOnce(&mut FftPlan) -> R) -> R {
+        let plan = self.pool.lock().expect("plan pool poisoned").pop();
+        let mut plan = match plan {
+            Some(p) => p,
+            None => FftPlan::new(self.len).expect("pool length was validated at construction"),
+        };
+        let result = f(&mut plan);
+        self.pool.lock().expect("plan pool poisoned").push(plan);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::to_complex;
+    use crate::fft::{fft, fft_any, ifft_any};
+
+    fn assert_spectra_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x.re - y.re).abs() <= tol, "{} vs {}", x.re, y.re);
+            assert!((x.im - y.im).abs() <= tol, "{} vs {}", x.im, y.im);
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos() * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_plan_matches_reference_fft() {
+        for n in [1usize, 2, 4, 64, 256, 2048] {
+            let signal = test_signal(n);
+            let reference = fft(&signal).unwrap();
+            let mut buf = signal.clone();
+            let plan = Radix2Plan::new(n).unwrap();
+            plan.forward(&mut buf).unwrap();
+            assert_spectra_close(&buf, &reference, 1e-9);
+            plan.inverse(&mut buf).unwrap();
+            assert_spectra_close(&buf, &signal, 1e-9);
+        }
+    }
+
+    #[test]
+    fn bluestein_plan_matches_reference_on_paper_symbol_length() {
+        let n = 1920;
+        let signal = test_signal(n);
+        let reference = fft_any(&signal).unwrap();
+        let mut plan = FftPlan::new(n).unwrap();
+        let mut buf = signal.clone();
+        plan.process_forward(&mut buf).unwrap();
+        assert_spectra_close(&buf, &reference, 1e-8);
+        plan.process_inverse(&mut buf).unwrap();
+        assert_spectra_close(&buf, &signal, 1e-9);
+    }
+
+    #[test]
+    fn plan_handles_odd_and_prime_lengths() {
+        for n in [3usize, 5, 45, 97, 139, 961] {
+            let signal = test_signal(n);
+            let fwd_ref = fft_any(&signal).unwrap();
+            let inv_ref = ifft_any(&signal).unwrap();
+            let mut plan = FftPlan::new(n).unwrap();
+            let mut buf = signal.clone();
+            plan.process_forward(&mut buf).unwrap();
+            assert_spectra_close(&buf, &fwd_ref, 1e-7);
+            let mut buf = signal.clone();
+            plan.process_inverse(&mut buf).unwrap();
+            assert_spectra_close(&buf, &inv_ref, 1e-7);
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_without_drift() {
+        let n = 1920;
+        let signal = test_signal(n);
+        let mut plan = FftPlan::new(n).unwrap();
+        let mut first = signal.clone();
+        plan.process_forward(&mut first).unwrap();
+        for _ in 0..5 {
+            let mut buf = signal.clone();
+            plan.process_forward(&mut buf).unwrap();
+            assert_spectra_close(&buf, &first, 0.0);
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected_cleanly() {
+        let mut plan = FftPlan::new(1920).unwrap();
+        let mut wrong = vec![Complex64::ZERO; 1024];
+        assert!(plan.process_forward(&mut wrong).is_err());
+        assert!(plan.process_inverse(&mut wrong).is_err());
+        // The plan still works after a rejected call.
+        let mut right = vec![Complex64::ZERO; 1920];
+        plan.process_forward(&mut right).unwrap();
+
+        let plan2 = Radix2Plan::new(64).unwrap();
+        assert!(plan2.forward(&mut vec![Complex64::ZERO; 32]).is_err());
+        assert!(plan2.inverse(&mut vec![Complex64::ZERO; 128]).is_err());
+
+        assert!(FftPlan::new(0).is_err());
+        assert!(Radix2Plan::new(0).is_err());
+        assert!(Radix2Plan::new(48).is_err());
+        assert!(PlanPool::new(0).is_err());
+    }
+
+    #[test]
+    fn planner_caches_by_length() {
+        let mut planner = FftPlanner::new();
+        let signal = test_signal(96);
+        let mut buf = signal.clone();
+        planner.fft_in_place(&mut buf).unwrap();
+        planner.ifft_in_place(&mut buf).unwrap();
+        assert_spectra_close(&buf, &signal, 1e-9);
+        assert_eq!(planner.cached_plans(), 1);
+        let mut other = test_signal(128);
+        planner.fft_in_place(&mut other).unwrap();
+        assert_eq!(planner.cached_plans(), 2);
+        // Round-trip through the planner matches the one-shot reference.
+        let reference = fft_any(&signal).unwrap();
+        let mut again = signal.clone();
+        planner.fft_in_place(&mut again).unwrap();
+        assert_spectra_close(&again, &reference, 1e-8);
+    }
+
+    #[test]
+    fn plan_pool_shares_and_replenishes() {
+        let pool = PlanPool::new(1920).unwrap();
+        assert_eq!(pool.len(), 1920);
+        let signal = test_signal(1920);
+        let reference = fft_any(&signal).unwrap();
+        // Nested checkout forces the pool to build a second plan.
+        let out = pool.with(|outer| {
+            let mut a = signal.clone();
+            outer.process_forward(&mut a).unwrap();
+            let b = pool.with(|inner| {
+                let mut b = signal.clone();
+                inner.process_forward(&mut b).unwrap();
+                b
+            });
+            (a, b)
+        });
+        assert_spectra_close(&out.0, &reference, 1e-8);
+        assert_spectra_close(&out.1, &reference, 1e-8);
+    }
+
+    #[test]
+    fn planner_fft_matches_on_real_padded_signal() {
+        // The correlator use-case: real signal zero-padded to a power of two.
+        let signal: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.173).sin()).collect();
+        let mut padded = to_complex(&signal);
+        padded.resize(512, Complex64::ZERO);
+        let reference = fft(&padded).unwrap();
+        let mut planner = FftPlanner::new();
+        let mut buf = padded.clone();
+        planner.fft_in_place(&mut buf).unwrap();
+        assert_spectra_close(&buf, &reference, 1e-9);
+    }
+}

@@ -15,10 +15,14 @@ use crate::{DspError, Result};
 /// interpolation. Samples before the signal start are zero.
 pub fn fractional_delay(signal: &[f64], delay_samples: f64) -> Result<Vec<f64>> {
     if delay_samples < 0.0 {
-        return Err(DspError::InvalidParameter { reason: "delay must be non-negative" });
+        return Err(DspError::InvalidParameter {
+            reason: "delay must be non-negative",
+        });
     }
     if !delay_samples.is_finite() {
-        return Err(DspError::InvalidParameter { reason: "delay must be finite" });
+        return Err(DspError::InvalidParameter {
+            reason: "delay must be finite",
+        });
     }
     let n = signal.len();
     let mut out = vec![0.0; n];
@@ -41,7 +45,9 @@ pub fn fractional_delay(signal: &[f64], delay_samples: f64) -> Result<Vec<f64>> 
 /// converter.
 pub fn resample(signal: &[f64], ratio: f64) -> Result<Vec<f64>> {
     if !(ratio.is_finite() && ratio > 0.0) {
-        return Err(DspError::InvalidParameter { reason: "resampling ratio must be positive and finite" });
+        return Err(DspError::InvalidParameter {
+            reason: "resampling ratio must be positive and finite",
+        });
     }
     if signal.is_empty() {
         return Ok(Vec::new());
@@ -53,7 +59,10 @@ pub fn resample(signal: &[f64], ratio: f64) -> Result<Vec<f64>> {
         let lo = src.floor() as usize;
         let frac = src - lo as f64;
         let a = signal.get(lo).copied().unwrap_or(0.0);
-        let b = signal.get(lo + 1).copied().unwrap_or(*signal.last().unwrap());
+        let b = signal
+            .get(lo + 1)
+            .copied()
+            .unwrap_or(*signal.last().unwrap());
         out.push(a * (1.0 - frac) + b * frac);
     }
     Ok(out)
@@ -68,9 +77,16 @@ pub fn apply_ppm_skew(signal: &[f64], ppm: f64) -> Result<Vec<f64>> {
 /// Mixes a delayed, scaled copy of `source` into `target` starting at
 /// `offset` samples (integer part) with linear-interpolated fractional part.
 /// Samples that fall beyond `target` are dropped.
-pub fn add_delayed_scaled(target: &mut [f64], source: &[f64], delay_samples: f64, gain: f64) -> Result<()> {
+pub fn add_delayed_scaled(
+    target: &mut [f64],
+    source: &[f64],
+    delay_samples: f64,
+    gain: f64,
+) -> Result<()> {
     if delay_samples < 0.0 || !delay_samples.is_finite() {
-        return Err(DspError::InvalidParameter { reason: "delay must be non-negative and finite" });
+        return Err(DspError::InvalidParameter {
+            reason: "delay must be non-negative and finite",
+        });
     }
     let int_delay = delay_samples.floor() as usize;
     let frac = delay_samples - int_delay as f64;

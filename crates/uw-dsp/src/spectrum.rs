@@ -6,8 +6,9 @@
 //! power measured on the same bins when no signal is present.
 
 use crate::complex::Complex64;
-use crate::fft::{freq_for_bin, rfft_any};
-use crate::ofdm::OfdmConfig;
+use crate::fft::freq_for_bin;
+use crate::ofdm::{demodulate_symbol_with, OfdmConfig};
+use crate::plan::FftPlan;
 use crate::{DspError, Result};
 
 /// SNR estimate for one OFDM subcarrier.
@@ -29,23 +30,28 @@ pub fn per_subcarrier_snr(
 ) -> Result<Vec<SubcarrierSnr>> {
     config.validate()?;
     if received_symbols.is_empty() {
-        return Err(DspError::InvalidLength { reason: "need at least one received symbol" });
+        return Err(DspError::InvalidLength {
+            reason: "need at least one received symbol",
+        });
     }
     if noise_segment.len() < config.symbol_len {
-        return Err(DspError::InvalidLength { reason: "noise segment shorter than one symbol" });
+        return Err(DspError::InvalidLength {
+            reason: "noise segment shorter than one symbol",
+        });
     }
     let n_fft = config.fft_len();
     let bins = config.occupied_bins();
 
+    // One plan (Bluestein for the paper's 1920-sample symbols) serves every
+    // symbol demodulation plus the noise FFT.
+    let mut plan = FftPlan::new(n_fft)?;
+
     // Average signal power per occupied bin across the received symbols.
     let mut signal_power = vec![0.0; bins.len()];
     for symbol in received_symbols {
-        if symbol.len() < config.symbol_len {
-            return Err(DspError::InvalidLength { reason: "received symbol shorter than the symbol length" });
-        }
-        let spec = rfft_any(&symbol[..config.symbol_len], n_fft)?;
-        for (i, bin) in bins.clone().enumerate() {
-            signal_power[i] += spec[bin].norm_sqr();
+        let rx_bins = demodulate_symbol_with(&mut plan, config, symbol)?;
+        for (p, b) in signal_power.iter_mut().zip(rx_bins.iter()) {
+            *p += b.norm_sqr();
         }
     }
     for p in signal_power.iter_mut() {
@@ -53,15 +59,19 @@ pub fn per_subcarrier_snr(
     }
 
     // Noise power per occupied bin.
-    let noise_spec = rfft_any(&noise_segment[..config.symbol_len], n_fft)?;
+    let noise_bins =
+        demodulate_symbol_with(&mut plan, config, &noise_segment[..config.symbol_len])?;
     let mut out = Vec::with_capacity(bins.len());
-    for (i, bin) in bins.enumerate() {
-        let noise_power = noise_spec[bin].norm_sqr().max(1e-20);
+    for ((i, bin), noise_bin) in bins.enumerate().zip(noise_bins.iter()) {
+        let noise_power = noise_bin.norm_sqr().max(1e-20);
         // The averaged symbols contain signal + noise; subtract the noise
         // floor (clamped at a small positive value) before the ratio.
         let signal_only = (signal_power[i] - noise_power).max(1e-20);
         let snr_db = 10.0 * (signal_only / noise_power).log10();
-        out.push(SubcarrierSnr { freq_hz: freq_for_bin(bin, n_fft, config.sample_rate), snr_db });
+        out.push(SubcarrierSnr {
+            freq_hz: freq_for_bin(bin, n_fft, config.sample_rate),
+            snr_db,
+        });
     }
     Ok(out)
 }
@@ -82,9 +92,12 @@ pub fn mean_snr_db(subcarriers: &[SubcarrierSnr]) -> Option<f64> {
 /// Wideband SNR of a received signal given a reference noise segment, in dB.
 pub fn wideband_snr_db(signal_plus_noise: &[f64], noise: &[f64]) -> Result<f64> {
     if signal_plus_noise.is_empty() || noise.is_empty() {
-        return Err(DspError::InvalidLength { reason: "SNR inputs must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "SNR inputs must be non-empty",
+        });
     }
-    let p_total = signal_plus_noise.iter().map(|s| s * s).sum::<f64>() / signal_plus_noise.len() as f64;
+    let p_total =
+        signal_plus_noise.iter().map(|s| s * s).sum::<f64>() / signal_plus_noise.len() as f64;
     let p_noise = (noise.iter().map(|s| s * s).sum::<f64>() / noise.len() as f64).max(1e-20);
     let p_signal = (p_total - p_noise).max(1e-20);
     Ok(10.0 * (p_signal / p_noise).log10())
@@ -92,7 +105,10 @@ pub fn wideband_snr_db(signal_plus_noise: &[f64], noise: &[f64]) -> Result<f64> 
 
 /// Complex per-bin channel estimate magnitude in dB relative to unity.
 pub fn channel_magnitude_db(channel: &[Complex64]) -> Vec<f64> {
-    channel.iter().map(|c| 20.0 * c.abs().max(1e-20).log10()).collect()
+    channel
+        .iter()
+        .map(|c| 20.0 * c.abs().max(1e-20).log10())
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,7 +133,11 @@ mod tests {
             (0..4)
                 .map(|k| {
                     let n = noise(config.symbol_len, 0.05, seed + k);
-                    symbol.iter().zip(n.iter()).map(|(s, w)| gain * s + w).collect()
+                    symbol
+                        .iter()
+                        .zip(n.iter())
+                        .map(|(s, w)| gain * s + w)
+                        .collect()
                 })
                 .collect()
         };
@@ -126,7 +146,10 @@ mod tests {
         let weak = per_subcarrier_snr(&config, &make_rx(0.1, 20), &noise_seg).unwrap();
         let strong_mean = mean_snr_db(&strong).unwrap();
         let weak_mean = mean_snr_db(&weak).unwrap();
-        assert!(strong_mean > weak_mean + 10.0, "strong {strong_mean} dB vs weak {weak_mean} dB");
+        assert!(
+            strong_mean > weak_mean + 10.0,
+            "strong {strong_mean} dB vs weak {weak_mean} dB"
+        );
         assert!(strong_mean > 10.0);
     }
 
@@ -167,7 +190,11 @@ mod tests {
 
     #[test]
     fn channel_magnitude_db_handles_zero() {
-        let ch = vec![Complex64::new(1.0, 0.0), Complex64::ZERO, Complex64::new(0.0, 10.0)];
+        let ch = vec![
+            Complex64::new(1.0, 0.0),
+            Complex64::ZERO,
+            Complex64::new(0.0, 10.0),
+        ];
         let db = channel_magnitude_db(&ch);
         assert!((db[0] - 0.0).abs() < 1e-9);
         assert!(db[1] < -300.0);

@@ -56,14 +56,20 @@ pub fn apply_edge_ramp(signal: &mut [f64], ramp_len: usize) {
 /// Designs a linear-phase FIR band-pass filter with `taps` coefficients
 /// (windowed-sinc method, Hamming window). `taps` must be odd and ≥ 3.
 pub fn fir_bandpass(taps: usize, low_hz: f64, high_hz: f64, sample_rate: f64) -> Result<Vec<f64>> {
-    if taps < 3 || taps % 2 == 0 {
-        return Err(DspError::InvalidParameter { reason: "FIR taps must be odd and at least 3" });
+    if taps < 3 || taps.is_multiple_of(2) {
+        return Err(DspError::InvalidParameter {
+            reason: "FIR taps must be odd and at least 3",
+        });
     }
     if sample_rate <= 0.0 {
-        return Err(DspError::InvalidParameter { reason: "sample rate must be positive" });
+        return Err(DspError::InvalidParameter {
+            reason: "sample rate must be positive",
+        });
     }
     if low_hz <= 0.0 || high_hz <= low_hz || high_hz >= sample_rate / 2.0 {
-        return Err(DspError::InvalidParameter { reason: "band edges must satisfy 0 < low < high < Nyquist" });
+        return Err(DspError::InvalidParameter {
+            reason: "band edges must satisfy 0 < low < high < Nyquist",
+        });
     }
     let fl = low_hz / sample_rate;
     let fh = high_hz / sample_rate;
@@ -75,7 +81,8 @@ pub fn fir_bandpass(taps: usize, low_hz: f64, high_hz: f64, sample_rate: f64) ->
         let ideal = if x == 0.0 {
             2.0 * (fh - fl)
         } else {
-            ((2.0 * std::f64::consts::PI * fh * x).sin() - (2.0 * std::f64::consts::PI * fl * x).sin())
+            ((2.0 * std::f64::consts::PI * fh * x).sin()
+                - (2.0 * std::f64::consts::PI * fl * x).sin())
                 / (std::f64::consts::PI * x)
         };
         coeffs.push(ideal * w);
@@ -87,7 +94,9 @@ pub fn fir_bandpass(taps: usize, low_hz: f64, high_hz: f64, sample_rate: f64) ->
 /// length as the input (group delay of `(taps-1)/2` samples is compensated).
 pub fn fir_filter(signal: &[f64], coeffs: &[f64]) -> Result<Vec<f64>> {
     if coeffs.is_empty() {
-        return Err(DspError::InvalidLength { reason: "FIR coefficients must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "FIR coefficients must be non-empty",
+        });
     }
     if signal.is_empty() {
         return Ok(Vec::new());
@@ -147,8 +156,12 @@ mod tests {
         let fs = 44_100.0;
         let coeffs = fir_bandpass(201, 1000.0, 5000.0, fs).unwrap();
         let n = 4096;
-        let in_band: Vec<f64> = (0..n).map(|i| (2.0 * std::f64::consts::PI * 3000.0 * i as f64 / fs).sin()).collect();
-        let out_band: Vec<f64> = (0..n).map(|i| (2.0 * std::f64::consts::PI * 10_000.0 * i as f64 / fs).sin()).collect();
+        let in_band: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 3000.0 * i as f64 / fs).sin())
+            .collect();
+        let out_band: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 10_000.0 * i as f64 / fs).sin())
+            .collect();
         let y_in = fir_filter(&in_band, &coeffs).unwrap();
         let y_out = fir_filter(&out_band, &coeffs).unwrap();
         // Skip the transient at the edges.

@@ -15,13 +15,19 @@ use crate::{DspError, Result};
 /// used: `x[k] = exp(-i·π·root·k·(k+cf)/n)` where `cf = n mod 2`.
 pub fn zadoff_chu(n: usize, root: usize) -> Result<Vec<Complex64>> {
     if n == 0 {
-        return Err(DspError::InvalidLength { reason: "ZC length must be positive" });
+        return Err(DspError::InvalidLength {
+            reason: "ZC length must be positive",
+        });
     }
     if root == 0 || root >= n {
-        return Err(DspError::InvalidParameter { reason: "ZC root must be in 1..n" });
+        return Err(DspError::InvalidParameter {
+            reason: "ZC root must be in 1..n",
+        });
     }
     if gcd(root, n) != 1 {
-        return Err(DspError::InvalidParameter { reason: "ZC root must be coprime with length" });
+        return Err(DspError::InvalidParameter {
+            reason: "ZC root must be coprime with length",
+        });
     }
     let cf = (n % 2) as f64;
     let nf = n as f64;
@@ -50,7 +56,9 @@ pub fn gcd(a: usize, b: usize) -> usize {
 /// normalised by the sequence energy.
 pub fn circular_autocorr(seq: &[Complex64], lag: usize) -> Result<f64> {
     if seq.is_empty() {
-        return Err(DspError::InvalidLength { reason: "sequence must be non-empty" });
+        return Err(DspError::InvalidLength {
+            reason: "sequence must be non-empty",
+        });
     }
     let n = seq.len();
     let lag = lag % n;

@@ -1,0 +1,123 @@
+//! Verifies the plan layer's allocation contract with a counting global
+//! allocator: once a plan (or matched filter) is warmed up, steady-state
+//! processing performs **zero** heap allocations.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use uw_dsp::complex::Complex64;
+use uw_dsp::matched::MatchedFilter;
+use uw_dsp::plan::{FftPlan, Radix2Plan};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_processing_is_allocation_free() {
+    // --- FftPlan, Bluestein path (the paper's 1920-sample symbol). ---
+    let mut plan = FftPlan::new(1920).unwrap();
+    let mut buf: Vec<Complex64> = (0..1920)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    // Warm-up exercises every internal path once.
+    plan.process_forward(&mut buf).unwrap();
+    plan.process_inverse(&mut buf).unwrap();
+
+    let n = allocations_during(|| {
+        plan.process_forward(&mut buf).unwrap();
+        plan.process_inverse(&mut buf).unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state Bluestein FftPlan::process allocated {n} times"
+    );
+
+    // --- FftPlan, radix-2 path. ---
+    let mut plan2 = FftPlan::new(2048).unwrap();
+    let mut buf2 = vec![Complex64::ONE; 2048];
+    plan2.process_forward(&mut buf2).unwrap();
+    let n = allocations_during(|| {
+        plan2.process_forward(&mut buf2).unwrap();
+        plan2.process_inverse(&mut buf2).unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state radix-2 FftPlan::process allocated {n} times"
+    );
+
+    // --- Bare Radix2Plan (used by the matched filter). ---
+    let raw = Radix2Plan::new(4096).unwrap();
+    let mut buf3 = vec![Complex64::ONE; 4096];
+    raw.forward(&mut buf3).unwrap();
+    let n = allocations_during(|| {
+        raw.forward(&mut buf3).unwrap();
+        raw.inverse(&mut buf3).unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state Radix2Plan transforms allocated {n} times"
+    );
+
+    // --- MatchedFilter streaming correlation into a reused buffer. ---
+    let template: Vec<f64> = (0..500).map(|i| (i as f64 * 0.21).sin()).collect();
+    let signal: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.17).cos()).collect();
+    let filter = MatchedFilter::new(&template).unwrap();
+    let mut out = Vec::new();
+    // Two warm-up passes: the first builds the pooled scratch and sizes
+    // `out`; the second confirms the pool round-trip.
+    filter.correlate_normalized_into(&signal, &mut out).unwrap();
+    filter.correlate_normalized_into(&signal, &mut out).unwrap();
+
+    let n = allocations_during(|| {
+        filter.correlate_normalized_into(&signal, &mut out).unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state MatchedFilter correlation allocated {n} times"
+    );
+
+    // Raw (unnormalised) path too.
+    filter.correlate_into(&signal, &mut out).unwrap();
+    let n = allocations_during(|| {
+        filter.correlate_into(&signal, &mut out).unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state raw MatchedFilter correlation allocated {n} times"
+    );
+}

@@ -37,8 +37,11 @@ pub struct ResolvedTopology {
     pub positions: Vec<Vec2>,
     /// True when the mirrored configuration was chosen.
     pub flipped: bool,
-    /// The vote margin: `V(chosen) − V(rejected)`; larger is more
-    /// confident. Zero when no usable votes were available.
+    /// The unweighted vote margin `V(chosen) − V(rejected)` of the paper's
+    /// ±1 voting function; larger is more confident. Zero when no usable
+    /// votes were available. The *decision* uses the margin-weighted vote,
+    /// so this can be negative when the plain head-count disagrees with the
+    /// weighted outcome — a low-confidence flip worth flagging downstream.
     pub vote_margin: i32,
 }
 
@@ -66,7 +69,10 @@ pub fn align_to_pointing(positions: &[Vec2], pointing_azimuth_rad: f64) -> Resul
 /// Mirrors a topology across the line through the origin at angle
 /// `axis_azimuth_rad` (the leader→device-1 line after alignment).
 pub fn mirror_across_pointing(positions: &[Vec2], axis_azimuth_rad: f64) -> Vec<Vec2> {
-    positions.iter().map(|p| p.reflect_across(axis_azimuth_rad)).collect()
+    positions
+        .iter()
+        .map(|p| p.reflect_across(axis_azimuth_rad))
+        .collect()
 }
 
 /// Geometric side sign of device `i` relative to the ray from device 0
@@ -93,12 +99,37 @@ pub fn geometric_side(positions: &[Vec2], i: usize) -> i8 {
 pub fn vote(positions: &[Vec2], side_signs: &[Option<i8>]) -> i32 {
     let mut v = 0i32;
     for i in 2..positions.len() {
-        let Some(mic_sign) = side_signs.get(i).copied().flatten() else { continue };
+        let Some(mic_sign) = side_signs.get(i).copied().flatten() else {
+            continue;
+        };
         if mic_sign == 0 {
             continue;
         }
         let geo = geometric_side(positions, i);
         v += (mic_sign.signum() as i32) * (geo as i32);
+    }
+    v
+}
+
+/// Margin-weighted variant of the voting function: each device's vote is
+/// weighted by its (unnormalised) distance from the pointing line — the
+/// cross product used by [`geometric_side`]. A device whose estimate sits
+/// close to the line carries a near-zero weight, because its *estimated*
+/// side is dominated by position noise and would otherwise inject coin-flip
+/// votes into the decision.
+pub fn weighted_vote(positions: &[Vec2], side_signs: &[Option<i8>]) -> f64 {
+    let p0 = positions[0];
+    let p1 = positions[1];
+    let mut v = 0.0;
+    for (i, pi) in positions.iter().enumerate().skip(2) {
+        let Some(mic_sign) = side_signs.get(i).copied().flatten() else {
+            continue;
+        };
+        if mic_sign == 0 {
+            continue;
+        }
+        let cross = (pi.x - p0.x) * (p1.y - p0.y) - (pi.y - p0.y) * (p1.x - p0.x);
+        v += mic_sign.signum() as f64 * cross;
     }
     v
 }
@@ -118,7 +149,11 @@ pub fn resolve_ambiguities(
 ) -> Result<ResolvedTopology> {
     if side_signs.len() != positions.len() {
         return Err(LocalizationError::InvalidInput {
-            reason: format!("{} side signs for {} devices", side_signs.len(), positions.len()),
+            reason: format!(
+                "{} side signs for {} devices",
+                side_signs.len(),
+                positions.len()
+            ),
         });
     }
     let aligned = align_to_pointing(positions, pointing_azimuth_rad)?;
@@ -127,10 +162,23 @@ pub fn resolve_ambiguities(
     let v_original = vote(&aligned, side_signs);
     let v_mirrored = vote(&mirrored, side_signs);
 
-    if v_mirrored > v_original {
-        Ok(ResolvedTopology { positions: mirrored, flipped: true, vote_margin: v_mirrored - v_original })
+    // Decide with the margin-weighted vote (robust to near-line devices
+    // whose estimated side is noise); report the paper's ±1 vote margin.
+    let w_original = weighted_vote(&aligned, side_signs);
+    let w_mirrored = weighted_vote(&mirrored, side_signs);
+
+    if w_mirrored > w_original {
+        Ok(ResolvedTopology {
+            positions: mirrored,
+            flipped: true,
+            vote_margin: v_mirrored - v_original,
+        })
     } else {
-        Ok(ResolvedTopology { positions: aligned, flipped: false, vote_margin: v_original - v_mirrored })
+        Ok(ResolvedTopology {
+            positions: aligned,
+            flipped: false,
+            vote_margin: v_original - v_mirrored,
+        })
     }
 }
 
@@ -144,9 +192,9 @@ mod tests {
         vec![
             Vec2::new(0.0, 0.0),
             Vec2::new(0.0, 7.0),
-            Vec2::new(6.0, 10.0),  // right of the pointing line
-            Vec2::new(-8.0, 4.0),  // left
-            Vec2::new(3.0, -5.0),  // right
+            Vec2::new(6.0, 10.0), // right of the pointing line
+            Vec2::new(-8.0, 4.0), // left
+            Vec2::new(3.0, -5.0), // right
         ]
     }
 
@@ -159,7 +207,10 @@ mod tests {
     #[test]
     fn alignment_puts_leader_at_origin_and_device1_on_bearing() {
         // Start from an arbitrarily rotated/translated copy of the truth.
-        let rotated: Vec<Vec2> = truth().iter().map(|p| p.rotate(1.1).add(&Vec2::new(40.0, -17.0))).collect();
+        let rotated: Vec<Vec2> = truth()
+            .iter()
+            .map(|p| p.rotate(1.1).add(&Vec2::new(40.0, -17.0)))
+            .collect();
         let pointing = std::f64::consts::FRAC_PI_2; // leader points "north"
         let aligned = align_to_pointing(&rotated, pointing).unwrap();
         assert!(aligned[0].norm() < 1e-9);
@@ -208,7 +259,10 @@ mod tests {
         let resolved = resolve_ambiguities(&mirrored_input, pointing, &truth_signs()).unwrap();
         assert!(resolved.flipped);
         for (a, b) in resolved.positions.iter().zip(truth().iter()) {
-            assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!(
+                (a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9,
+                "{a:?} vs {b:?}"
+            );
         }
     }
 
@@ -251,7 +305,11 @@ mod tests {
         assert!(resolve_ambiguities(&t, 0.0, &[None; 3]).is_err());
         assert!(align_to_pointing(&t[..1], 0.0).is_err());
         // Device 1 on top of the leader: bearing undefined.
-        let degenerate = vec![Vec2::new(0.0, 0.0), Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0)];
+        let degenerate = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 1.0),
+        ];
         assert!(align_to_pointing(&degenerate, 0.0).is_err());
     }
 

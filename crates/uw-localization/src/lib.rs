@@ -61,7 +61,9 @@ impl std::fmt::Display for LocalizationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LocalizationError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
-            LocalizationError::NotLocalizable { reason } => write!(f, "network not localizable: {reason}"),
+            LocalizationError::NotLocalizable { reason } => {
+                write!(f, "network not localizable: {reason}")
+            }
             LocalizationError::SolverFailure { reason } => write!(f, "solver failure: {reason}"),
         }
     }
@@ -78,11 +80,17 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = LocalizationError::InvalidInput { reason: "matrix not square".into() };
+        let e = LocalizationError::InvalidInput {
+            reason: "matrix not square".into(),
+        };
         assert!(e.to_string().contains("matrix not square"));
-        let e = LocalizationError::NotLocalizable { reason: "graph not rigid".into() };
+        let e = LocalizationError::NotLocalizable {
+            reason: "graph not rigid".into(),
+        };
         assert!(e.to_string().contains("graph not rigid"));
-        let e = LocalizationError::SolverFailure { reason: "diverged".into() };
+        let e = LocalizationError::SolverFailure {
+            reason: "diverged".into(),
+        };
         assert!(e.to_string().contains("diverged"));
     }
 }

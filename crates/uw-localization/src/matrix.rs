@@ -72,7 +72,10 @@ pub struct DistanceMatrix {
 impl DistanceMatrix {
     /// Creates an empty (all missing) matrix for `n` devices.
     pub fn new(n: usize) -> Self {
-        Self { n, entries: vec![None; n * n] }
+        Self {
+            n,
+            entries: vec![None; n * n],
+        }
     }
 
     /// Number of devices.
@@ -235,7 +238,9 @@ impl WeightMatrix {
 /// works with.
 pub fn solve_linear(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>> {
     if a.len() != n * n || b.len() != n {
-        return Err(LocalizationError::InvalidInput { reason: "linear system dimensions mismatch".into() });
+        return Err(LocalizationError::InvalidInput {
+            reason: "linear system dimensions mismatch".into(),
+        });
     }
     let mut m = a.to_vec();
     let mut rhs = b.to_vec();
@@ -248,7 +253,9 @@ pub fn solve_linear(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>> {
             }
         }
         if m[pivot * n + col].abs() < 1e-12 {
-            return Err(LocalizationError::SolverFailure { reason: "singular matrix in Guttman transform".into() });
+            return Err(LocalizationError::SolverFailure {
+                reason: "singular matrix in Guttman transform".into(),
+            });
         }
         if pivot != col {
             for k in 0..n {
@@ -286,7 +293,9 @@ pub fn solve_linear(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>> {
 /// initialisation.
 pub fn symmetric_eigen(a: &[f64], n: usize) -> Result<(Vec<f64>, Vec<Vec<f64>>)> {
     if a.len() != n * n {
-        return Err(LocalizationError::InvalidInput { reason: "eigen input is not n×n".into() });
+        return Err(LocalizationError::InvalidInput {
+            reason: "eigen input is not n×n".into(),
+        });
     }
     let mut m = a.to_vec();
     // Eigenvector accumulator starts as identity.
@@ -414,7 +423,11 @@ mod tests {
 
     #[test]
     fn matrix_from_points_reproduces_distances() {
-        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(3.0, 0.0), Vec2::new(0.0, 4.0)];
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(3.0, 0.0),
+            Vec2::new(0.0, 4.0),
+        ];
         let d = DistanceMatrix::from_points_2d(&pts);
         assert_eq!(d.get(0, 1), Some(3.0));
         assert_eq!(d.get(0, 2), Some(4.0));
@@ -506,7 +519,11 @@ mod tests {
                 for k in 0..n {
                     recon += vals[k] * vecs[k][i] * vecs[k][j];
                 }
-                assert!((recon - a[i * n + j]).abs() < 1e-8, "({i},{j}): {recon} vs {}", a[i * n + j]);
+                assert!(
+                    (recon - a[i * n + j]).abs() < 1e-8,
+                    "({i},{j}): {recon} vs {}",
+                    a[i * n + j]
+                );
             }
         }
     }

@@ -36,11 +36,22 @@ pub struct OutlierConfig {
     /// Required relative stress reduction for a drop subset to be considered
     /// an outlier set (0.9 in the paper).
     pub improvement_factor: f64,
+    /// Minimum residual `measured − embedded` (m) a dropped link must show
+    /// in the candidate solution. Occlusion outliers detect a reflection and
+    /// are therefore biased *long*; a candidate drop whose link fits the
+    /// embedding (small or negative residual) is a spurious drop that merely
+    /// freed the topology to warp, and is rejected.
+    pub min_drop_residual_m: f64,
 }
 
 impl Default for OutlierConfig {
     fn default() -> Self {
-        Self { stress_threshold_m: 1.5, max_outliers: 3, improvement_factor: 0.9 }
+        Self {
+            stress_threshold_m: 1.5,
+            max_outliers: 3,
+            improvement_factor: 0.9,
+            min_drop_residual_m: 1.5,
+        }
     }
 }
 
@@ -81,8 +92,10 @@ pub fn localize_with_outlier_detection<R: Rng>(
     let mut current_best: SmacofSolution = initial;
     let mut current_drop: Vec<(usize, usize)> = Vec::new();
 
+    // (candidate solution, dropped links, min residual of the dropped links)
+    type DropCandidate = (SmacofSolution, Vec<(usize, usize)>, f64);
     for n_drop in 1..=outlier_config.max_outliers {
-        let mut round_best: Option<(SmacofSolution, Vec<(usize, usize)>)> = None;
+        let mut round_best: Option<DropCandidate> = None;
         for subset in subsets_of_size(&links, n_drop) {
             // Never evaluate a drop set that destroys unique realizability.
             if !realizable_after_dropping(distances_2d, &subset) {
@@ -96,15 +109,32 @@ pub fn localize_with_outlier_detection<R: Rng>(
             };
             let improved = current_best.normalized_stress - candidate.normalized_stress
                 > outlier_config.improvement_factor * current_best.normalized_stress;
+            // Every dropped link must look like an occlusion outlier in the
+            // candidate embedding: measured well *longer* than embedded.
+            // Without this test, a +12 m occluded link is often still
+            // embeddable — dropping some *good* link can free the topology
+            // to warp itself around the corrupted measurement and reach a
+            // low stress on a geometrically wrong solution.
+            let min_residual = subset
+                .iter()
+                .map(|&(i, j)| {
+                    let measured = distances_2d.get(i, j).unwrap_or(f64::NEG_INFINITY);
+                    measured - candidate.positions[i].distance(&candidate.positions[j])
+                })
+                .fold(f64::INFINITY, f64::min);
+            let plausible_outlier = min_residual > outlier_config.min_drop_residual_m;
+            // Among plausible candidates prefer the one whose dropped links
+            // misfit the most — that subset, not the lowest-stress warp, is
+            // the actual outlier set.
             let better_than_round = round_best
                 .as_ref()
-                .map_or(true, |(best, _)| candidate.normalized_stress < best.normalized_stress);
-            if improved && better_than_round {
-                round_best = Some((candidate, subset));
+                .is_none_or(|&(_, _, best_res)| min_residual > best_res);
+            if improved && plausible_outlier && better_than_round {
+                round_best = Some((candidate, subset, min_residual));
             }
         }
 
-        if let Some((best, drop)) = round_best {
+        if let Some((best, drop, _)) = round_best {
             current_best = best;
             current_drop = drop;
             if current_best.normalized_stress < outlier_config.stress_threshold_m {
@@ -199,9 +229,13 @@ mod tests {
         let truth = testbed_points();
         let d = DistanceMatrix::from_points_2d(&truth);
         let mut rng = StdRng::seed_from_u64(1);
-        let result =
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
-                .unwrap();
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(result.converged);
         assert!(result.dropped_links.is_empty());
         assert!(result.normalized_stress < 0.1);
@@ -219,9 +253,13 @@ mod tests {
         let true_d01 = d.get(0, 1).unwrap();
         d.set(0, 1, true_d01 + 15.0).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let result =
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
-                .unwrap();
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(result.converged, "stress {}", result.normalized_stress);
         assert_eq!(result.dropped_links, vec![(0, 1)]);
         let errs = procrustes_errors(&result.positions, &truth).unwrap();
@@ -241,9 +279,13 @@ mod tests {
         let plain = smacof(&d, &w, &SmacofConfig::default(), &mut rng).unwrap();
         let plain_err = mean(&procrustes_errors(&plain.positions, &truth).unwrap());
 
-        let with_outliers =
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
-                .unwrap();
+        let with_outliers = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let outlier_err = mean(&procrustes_errors(&with_outliers.positions, &truth).unwrap());
         assert!(
             outlier_err < plain_err * 0.5,
@@ -261,9 +303,13 @@ mod tests {
         d.set(0, 2, d.get(0, 2).unwrap() + 30.0).unwrap();
         d.set(1, 4, d.get(1, 4).unwrap() + 25.0).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let result =
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
-                .unwrap();
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let mut dropped = result.dropped_links.clone();
         dropped.sort_unstable();
         assert!(result.converged, "stress {}", result.normalized_stress);
@@ -281,13 +327,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for (i, j) in d.links() {
             let v = d.get(i, j).unwrap();
-            d.set(i, j, (v + rng.gen_range(-0.4..0.4)).max(0.1)).unwrap();
-        }
-        let result =
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
+            d.set(i, j, (v + rng.gen_range(-0.4..0.4)).max(0.1))
                 .unwrap();
+        }
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(result.converged);
-        assert!(result.dropped_links.is_empty(), "dropped {:?}", result.dropped_links);
+        assert!(
+            result.dropped_links.is_empty(),
+            "dropped {:?}",
+            result.dropped_links
+        );
     }
 
     #[test]
@@ -295,13 +350,22 @@ mod tests {
         // A 4-node complete graph: dropping any link makes it non-unique, so
         // even with a huge outlier nothing can be dropped and the result is
         // flagged as not converged.
-        let truth = vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0), Vec2::new(10.0, 10.0), Vec2::new(0.0, 10.0)];
+        let truth = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 10.0),
+            Vec2::new(0.0, 10.0),
+        ];
         let mut d = DistanceMatrix::from_points_2d(&truth);
         d.set(0, 2, 40.0).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
-        let result =
-            localize_with_outlier_detection(&d, &SmacofConfig::default(), &OutlierConfig::default(), &mut rng)
-                .unwrap();
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(result.dropped_links.is_empty());
         assert!(!result.converged);
         assert!(result.normalized_stress >= 1.5);

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use uw_channel::geometry::Point3;
 
 /// Configuration of the full localization pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LocalizerConfig {
     /// SMACOF solver parameters.
     pub smacof: SmacofConfig,
@@ -26,6 +26,22 @@ pub struct LocalizerConfig {
     /// When true, skip outlier detection entirely (used by the Fig. 19a
     /// ablation).
     pub disable_outlier_detection: bool,
+    /// Huber threshold (m) for the IRLS refinement of the accepted link
+    /// set; links whose residual exceeds it are downweighted by
+    /// `delta / |residual|`. Catches moderate ranging outliers that stay
+    /// below the hard-drop stress threshold. `0` disables refinement.
+    pub robust_delta_m: f64,
+}
+
+impl Default for LocalizerConfig {
+    fn default() -> Self {
+        Self {
+            smacof: SmacofConfig::default(),
+            outlier: OutlierConfig::default(),
+            disable_outlier_detection: false,
+            robust_delta_m: 0.75,
+        }
+    }
 }
 
 /// Input to one localization round.
@@ -103,8 +119,42 @@ pub fn localize<R: Rng>(
         localize_with_outlier_detection(&distances_2d, &config.smacof, &config.outlier, rng)?
     };
 
+    // Stage 2b: Huber-reweighted refinement on the accepted link set, so
+    // moderate ranging outliers (too small for Algorithm 1's hard drop)
+    // stop dragging the topology. Skipped together with outlier detection:
+    // the Fig. 19a ablation must measure a truly unmitigated solve.
+    let topo = if config.robust_delta_m > 0.0 && !config.disable_outlier_detection {
+        let mut weights = crate::matrix::WeightMatrix::from_distances(&distances_2d);
+        weights.drop_links(&topo.dropped_links);
+        let initial = crate::smacof::SmacofSolution {
+            normalized_stress: topo.normalized_stress,
+            stress: crate::smacof::stress(&topo.positions, &distances_2d, &weights),
+            positions: topo.positions,
+            iterations: 0,
+        };
+        let refined = crate::smacof::refine_robust(
+            &distances_2d,
+            &weights,
+            &config.smacof,
+            config.robust_delta_m,
+            initial,
+        )?;
+        crate::outlier::OutlierResult {
+            positions: refined.positions,
+            normalized_stress: refined.normalized_stress,
+            dropped_links: topo.dropped_links,
+            converged: topo.converged,
+        }
+    } else {
+        topo
+    };
+
     // Stage 3: rotation + flipping.
-    let resolved = resolve_ambiguities(&topo.positions, input.pointing_azimuth_rad, &input.side_signs)?;
+    let resolved = resolve_ambiguities(
+        &topo.positions,
+        input.pointing_azimuth_rad,
+        &input.side_signs,
+    )?;
 
     // Stage 4: lift back to 3D with the measured depths.
     let positions = lift_to_3d(&resolved.positions, &input.depths)?;
@@ -227,7 +277,10 @@ mod tests {
         // ±0.5 m ranging noise, ±0.3 m depth noise — the paper's regime.
         for (i, j) in input.distances.links() {
             let v = input.distances.get(i, j).unwrap();
-            input.distances.set(i, j, (v + rng.gen_range(-0.5..0.5)).max(0.1)).unwrap();
+            input
+                .distances
+                .set(i, j, (v + rng.gen_range(-0.5..0.5)).max(0.1))
+                .unwrap();
         }
         for d in input.depths.iter_mut() {
             *d = (*d + rng.gen_range(-0.3..0.3)).max(0.0);
@@ -253,16 +306,27 @@ mod tests {
         let with = localize(&input, &LocalizerConfig::default(), &mut rng).unwrap();
         let without = localize(
             &input,
-            &LocalizerConfig { disable_outlier_detection: true, ..LocalizerConfig::default() },
+            &LocalizerConfig {
+                disable_outlier_detection: true,
+                ..LocalizerConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
 
         let truth_2d = truth_in_leader_frame(&truth);
-        let err_with: f64 = localization_errors_2d(&with.positions_2d, &truth_2d).unwrap().iter().sum();
-        let err_without: f64 =
-            localization_errors_2d(&without.positions_2d, &truth_2d).unwrap().iter().sum();
-        assert!(err_with < err_without, "with outlier detection {err_with} vs without {err_without}");
+        let err_with: f64 = localization_errors_2d(&with.positions_2d, &truth_2d)
+            .unwrap()
+            .iter()
+            .sum();
+        let err_without: f64 = localization_errors_2d(&without.positions_2d, &truth_2d)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!(
+            err_with < err_without,
+            "with outlier detection {err_with} vs without {err_without}"
+        );
         assert_eq!(with.dropped_links, vec![(0, 1)]);
         assert!(without.dropped_links.is_empty());
     }

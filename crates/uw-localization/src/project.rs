@@ -22,7 +22,9 @@ pub fn project_to_2d(distances_3d: &DistanceMatrix, depths: &[f64]) -> Result<Di
         });
     }
     if let Some(bad) = depths.iter().find(|d| !d.is_finite()) {
-        return Err(LocalizationError::InvalidInput { reason: format!("non-finite depth {bad}") });
+        return Err(LocalizationError::InvalidInput {
+            reason: format!("non-finite depth {bad}"),
+        });
     }
     let mut out = DistanceMatrix::new(n);
     for (i, j) in distances_3d.links() {
@@ -39,7 +41,11 @@ pub fn project_to_2d(distances_3d: &DistanceMatrix, depths: &[f64]) -> Result<Di
 pub fn lift_to_3d(positions_2d: &[crate::matrix::Vec2], depths: &[f64]) -> Result<Vec<Point3>> {
     if positions_2d.len() != depths.len() {
         return Err(LocalizationError::InvalidInput {
-            reason: format!("{} positions but {} depths", positions_2d.len(), depths.len()),
+            reason: format!(
+                "{} positions but {} depths",
+                positions_2d.len(),
+                depths.len()
+            ),
         });
     }
     Ok(positions_2d

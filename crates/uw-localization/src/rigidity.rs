@@ -39,7 +39,10 @@ impl LinkGraph {
             .collect();
         normalized.sort_unstable();
         normalized.dedup();
-        Self { n, edges: normalized }
+        Self {
+            n,
+            edges: normalized,
+        }
     }
 
     /// Builds the graph of present links in a distance matrix.
@@ -49,8 +52,10 @@ impl LinkGraph {
 
     /// Builds the graph after removing the links in `dropped`.
     pub fn from_distances_without(distances: &DistanceMatrix, dropped: &[(usize, usize)]) -> Self {
-        let dropped_normalized: Vec<(usize, usize)> =
-            dropped.iter().map(|&(a, b)| if a < b { (a, b) } else { (b, a) }).collect();
+        let dropped_normalized: Vec<(usize, usize)> = dropped
+            .iter()
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
         let edges: Vec<(usize, usize)> = distances
             .links()
             .into_iter()
@@ -261,14 +266,20 @@ mod tests {
         for n in 3..=7 {
             let g = complete_graph(n);
             assert!(is_rigid(&g), "K{n} should be rigid");
-            assert!(is_uniquely_realizable(&g), "K{n} should be uniquely realizable");
+            assert!(
+                is_uniquely_realizable(&g),
+                "K{n} should be uniquely realizable"
+            );
         }
         // Redundant rigidity holds for K4 and larger; K3 loses rigidity when
         // any of its three edges is removed (it is globally rigid anyway,
         // which is why the triangle gets a special case).
         assert!(!is_redundantly_rigid(&complete_graph(3)));
         for n in 4..=7 {
-            assert!(is_redundantly_rigid(&complete_graph(n)), "K{n} should be redundantly rigid");
+            assert!(
+                is_redundantly_rigid(&complete_graph(n)),
+                "K{n} should be redundantly rigid"
+            );
         }
     }
 

@@ -37,7 +37,12 @@ pub struct SmacofConfig {
 
 impl Default for SmacofConfig {
     fn default() -> Self {
-        Self { max_iterations: 300, tolerance: 1e-9, restarts: 4, init_scale: 30.0 }
+        Self {
+            max_iterations: 300,
+            tolerance: 1e-9,
+            restarts: 4,
+            init_scale: 30.0,
+        }
     }
 }
 
@@ -75,7 +80,11 @@ pub fn stress(positions: &[Vec2], distances: &DistanceMatrix, weights: &WeightMa
 }
 
 /// Normalised stress in metres: root-mean-square residual per weighted link.
-pub fn normalized_stress(positions: &[Vec2], distances: &DistanceMatrix, weights: &WeightMatrix) -> f64 {
+pub fn normalized_stress(
+    positions: &[Vec2],
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+) -> f64 {
     let n_links = active_link_count(distances, weights);
     if n_links == 0 {
         return 0.0;
@@ -85,7 +94,11 @@ pub fn normalized_stress(positions: &[Vec2], distances: &DistanceMatrix, weights
 
 /// Number of links that both have a measurement and a non-zero weight.
 pub fn active_link_count(distances: &DistanceMatrix, weights: &WeightMatrix) -> usize {
-    distances.links().iter().filter(|&&(i, j)| weights.get(i, j) > 0.0).count()
+    distances
+        .links()
+        .iter()
+        .filter(|&&(i, j)| weights.get(i, j) > 0.0)
+        .count()
 }
 
 /// Runs weighted SMACOF and returns the best embedding over the configured
@@ -104,7 +117,9 @@ pub fn smacof<R: Rng>(
         });
     }
     if weights.len() != n {
-        return Err(LocalizationError::InvalidInput { reason: "weight matrix size mismatch".into() });
+        return Err(LocalizationError::InvalidInput {
+            reason: "weight matrix size mismatch".into(),
+        });
     }
     if active_link_count(distances, weights) < 2 * n - 3 {
         // Fewer links than degrees of freedom: the solve is hopeless.
@@ -158,11 +173,84 @@ pub fn smacof<R: Rng>(
             stress: stress_val,
             iterations,
         };
-        if best.as_ref().map_or(true, |b| solution.stress < b.stress) {
+        if best.as_ref().is_none_or(|b| solution.stress < b.stress) {
             best = Some(solution);
         }
     }
-    best.ok_or(LocalizationError::SolverFailure { reason: "no SMACOF restart produced a solution".into() })
+    best.ok_or(LocalizationError::SolverFailure {
+        reason: "no SMACOF restart produced a solution".into(),
+    })
+}
+
+/// Huber-reweighted (IRLS) SMACOF refinement.
+///
+/// Runs [`smacof`], then iteratively downweights links whose residual
+/// `|measured − embedded|` exceeds `delta_m` (Huber weight `delta/|r|`) and
+/// re-solves. Moderate ranging outliers — a missed direct path biasing one
+/// link by a couple of metres, too small to trip the 1.5 m hard-drop
+/// threshold of Algorithm 1 — stop dragging the whole topology while clean
+/// links keep their full weight. Two reweight rounds are enough for the
+/// weights to stabilise at this problem size.
+pub fn smacof_robust<R: Rng>(
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+    config: &SmacofConfig,
+    delta_m: f64,
+    rng: &mut R,
+) -> Result<SmacofSolution> {
+    let initial = smacof(distances, weights, config, rng)?;
+    refine_robust(distances, weights, config, delta_m, initial)
+}
+
+/// The reweighting half of [`smacof_robust`]: warm-started Guttman
+/// iterations from an existing solution (e.g. the embedding Algorithm 1
+/// just accepted), so the refinement polishes the validated embedding
+/// instead of re-solving from fresh random/MDS inits and possibly landing
+/// in a different local minimum.
+pub fn refine_robust(
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+    config: &SmacofConfig,
+    delta_m: f64,
+    initial: SmacofSolution,
+) -> Result<SmacofSolution> {
+    let mut solution = initial;
+    if delta_m <= 0.0 {
+        return Ok(solution);
+    }
+    for _ in 0..2 {
+        let mut reweighted = weights.clone();
+        let mut changed = false;
+        for (i, j) in distances.links() {
+            let w = weights.get(i, j);
+            if w == 0.0 {
+                continue;
+            }
+            let Some(measured) = distances.get(i, j) else {
+                continue;
+            };
+            let residual =
+                (measured - solution.positions[i].distance(&solution.positions[j])).abs();
+            if residual > delta_m {
+                reweighted.set(i, j, w * delta_m / residual);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let (positions, _, iterations) =
+            run_single(solution.positions, distances, &reweighted, config)?;
+        // Keep the refined embedding but report the stress against the
+        // *original* weights so thresholds stay comparable.
+        solution = SmacofSolution {
+            normalized_stress: normalized_stress(&positions, distances, weights),
+            stress: stress(&positions, distances, weights),
+            positions,
+            iterations,
+        };
+    }
+    Ok(solution)
 }
 
 /// Classical-MDS (Torgerson) initial embedding. Missing or zero-weight
@@ -199,7 +287,9 @@ fn classical_mds_init(distances: &DistanceMatrix, weights: &WeightMatrix) -> Opt
     }
     // Double centring: B = −½ J D² J.
     let d2: Vec<f64> = d.iter().map(|&v| v * v).collect();
-    let row_mean: Vec<f64> = (0..n).map(|i| (0..n).map(|j| d2[i * n + j]).sum::<f64>() / n as f64).collect();
+    let row_mean: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| d2[i * n + j]).sum::<f64>() / n as f64)
+        .collect();
     let grand_mean: f64 = row_mean.iter().sum::<f64>() / n as f64;
     let mut b = vec![0.0; n * n];
     for i in 0..n {
@@ -213,7 +303,11 @@ fn classical_mds_init(distances: &DistanceMatrix, weights: &WeightMatrix) -> Opt
     }
     let s0 = vals[0].max(0.0).sqrt();
     let s1 = vals.get(1).copied().unwrap_or(0.0).max(0.0).sqrt();
-    Some((0..n).map(|i| Vec2::new(vecs[0][i] * s0, vecs[1][i] * s1)).collect())
+    Some(
+        (0..n)
+            .map(|i| Vec2::new(vecs[0][i] * s0, vecs[1][i] * s1))
+            .collect(),
+    )
 }
 
 /// One SMACOF run from a given initial placement.
@@ -279,7 +373,11 @@ fn run_single(
         }
         let new_x = solve_linear(&v, &bx, n)?;
         let new_y = solve_linear(&v, &by, n)?;
-        positions = new_x.iter().zip(new_y.iter()).map(|(&x, &y)| Vec2::new(x, y)).collect();
+        positions = new_x
+            .iter()
+            .zip(new_y.iter())
+            .map(|(&x, &y)| Vec2::new(x, y))
+            .collect();
 
         let s = stress(&positions, distances, weights);
         if prev_stress - s < config.tolerance * prev_stress.max(1e-12) {
@@ -370,7 +468,11 @@ mod tests {
         let w = WeightMatrix::ones(truth.len());
         let mut rng = StdRng::seed_from_u64(1);
         let sol = smacof(&d, &w, &SmacofConfig::default(), &mut rng).unwrap();
-        assert!(sol.normalized_stress < 1e-3, "stress {}", sol.normalized_stress);
+        assert!(
+            sol.normalized_stress < 1e-3,
+            "stress {}",
+            sol.normalized_stress
+        );
         let errs = procrustes_errors(&sol.positions, &truth).unwrap();
         for e in errs {
             assert!(e < 0.01, "embedding error {e}");
@@ -458,7 +560,11 @@ mod tests {
         d.set(0, 2, 25.0).unwrap(); // true distance is 14.14 m
         let corrupted = smacof(&d, &clean_w, &SmacofConfig::default(), &mut rng).unwrap();
         assert!(corrupted.normalized_stress > 10.0 * clean.normalized_stress.max(1e-6));
-        assert!(corrupted.normalized_stress > 1.5, "stress {}", corrupted.normalized_stress);
+        assert!(
+            corrupted.normalized_stress > 1.5,
+            "stress {}",
+            corrupted.normalized_stress
+        );
     }
 
     #[test]
@@ -487,7 +593,10 @@ mod tests {
         let truth = square_points();
         let d = DistanceMatrix::from_points_2d(&truth);
         let w = WeightMatrix::ones(truth.len());
-        let config = SmacofConfig { max_iterations: 50, ..SmacofConfig::default() };
+        let config = SmacofConfig {
+            max_iterations: 50,
+            ..SmacofConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let sol = smacof(&d, &w, &config, &mut rng).unwrap();
         assert!(sol.iterations >= 1 && sol.iterations <= 50);

@@ -17,9 +17,9 @@ use crate::schedule::TdmSchedule;
 use crate::timestamps::TimestampTable;
 use crate::{ProtocolError, Result};
 use serde::{Deserialize, Serialize};
+use uw_device::sensors::{decode_depth, encode_depth};
 use uw_dsp::coding::{conv_decode_two_thirds, conv_encode_two_thirds, crc16, push_uint, read_uint};
 use uw_dsp::fsk::{fsk_demodulate, fsk_modulate, FskConfig};
-use uw_device::sensors::{decode_depth, encode_depth};
 
 /// Timestamp quantisation resolution in samples (§2.4).
 pub const TIMESTAMP_RESOLUTION_SAMPLES: u64 = 2;
@@ -104,34 +104,49 @@ pub fn unpack_report(device: DeviceId, n_devices: usize, bits: &[bool]) -> Resul
     let expected = DEPTH_BITS + (n_devices - 1) * TIMESTAMP_BITS + 16;
     if bits.len() < expected {
         return Err(ProtocolError::DecodeFailure {
-            reason: format!("report has {} bits, expected at least {expected}", bits.len()),
+            reason: format!(
+                "report has {} bits, expected at least {expected}",
+                bits.len()
+            ),
         });
     }
     let payload = &bits[..expected - 16];
     let (crc_field, _) = read_uint(bits, expected - 16, 16).map_err(ProtocolError::from)?;
     if crc16(payload) as u64 != crc_field {
-        return Err(ProtocolError::DecodeFailure { reason: "CRC mismatch in report".into() });
+        return Err(ProtocolError::DecodeFailure {
+            reason: "CRC mismatch in report".into(),
+        });
     }
-    let (depth_code, mut offset) = read_uint(payload, 0, DEPTH_BITS).map_err(ProtocolError::from)?;
+    let (depth_code, mut offset) =
+        read_uint(payload, 0, DEPTH_BITS).map_err(ProtocolError::from)?;
     let escape = (1u64 << TIMESTAMP_BITS) - 1;
     let mut reception_offsets_s = vec![None; n_devices];
-    for other in 0..n_devices {
+    for (other, slot) in reception_offsets_s.iter_mut().enumerate() {
         if other == device {
             continue;
         }
-        let (field, next) = read_uint(payload, offset, TIMESTAMP_BITS).map_err(ProtocolError::from)?;
+        let (field, next) =
+            read_uint(payload, offset, TIMESTAMP_BITS).map_err(ProtocolError::from)?;
         offset = next;
         if field != escape {
             let samples = field * TIMESTAMP_RESOLUTION_SAMPLES;
-            reception_offsets_s[other] = Some(samples as f64 / REPORT_SAMPLE_RATE);
+            *slot = Some(samples as f64 / REPORT_SAMPLE_RATE);
         }
     }
-    Ok(Report { device, depth_m: decode_depth(depth_code as u8), reception_offsets_s })
+    Ok(Report {
+        device,
+        depth_m: decode_depth(depth_code as u8),
+        reception_offsets_s,
+    })
 }
 
 /// Encodes a packed report into its transmit waveform: rate-2/3
 /// convolutional coding followed by binary FSK in the device's sub-band.
-pub fn encode_report_waveform(device: DeviceId, n_devices: usize, payload_bits: &[bool]) -> Result<Vec<f64>> {
+pub fn encode_report_waveform(
+    device: DeviceId,
+    n_devices: usize,
+    payload_bits: &[bool],
+) -> Result<Vec<f64>> {
     let coded = conv_encode_two_thirds(payload_bits);
     let fsk = FskConfig::for_device(device, n_devices).map_err(ProtocolError::from)?;
     fsk_modulate(&fsk, &coded).map_err(ProtocolError::from)
@@ -169,7 +184,10 @@ pub fn report_airtime_s(n_devices: usize, bits_per_second: f64) -> f64 {
 /// Converts a leader-received report plus the schedule back into absolute
 /// local reception times on the reporting device's clock, relative to its
 /// sync instant (the inverse of the compression in [`pack_report`]).
-pub fn report_to_timestamp_table(report: &Report, schedule: &TdmSchedule) -> Result<TimestampTable> {
+pub fn report_to_timestamp_table(
+    report: &Report,
+    schedule: &TdmSchedule,
+) -> Result<TimestampTable> {
     let mut table = TimestampTable::new(report.device);
     if report.device != 0 {
         table.record_own_tx(schedule.slot_after_leader(report.device)?);
@@ -178,7 +196,11 @@ pub fn report_to_timestamp_table(report: &Report, schedule: &TdmSchedule) -> Res
     }
     for (other, offset) in report.reception_offsets_s.iter().enumerate() {
         if let Some(off) = offset {
-            let slot_start = if other == 0 { 0.0 } else { schedule.slot_after_leader(other)? };
+            let slot_start = if other == 0 {
+                0.0
+            } else {
+                schedule.slot_after_leader(other)?
+            };
             table.record_reception(other, slot_start + off);
         }
     }
@@ -191,14 +213,23 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn example_table(device: DeviceId, n: usize, schedule: &TdmSchedule, sync: f64) -> TimestampTable {
+    fn example_table(
+        device: DeviceId,
+        n: usize,
+        schedule: &TdmSchedule,
+        sync: f64,
+    ) -> TimestampTable {
         let mut t = TimestampTable::new(device);
         t.record_own_tx(sync + schedule.slot_after_leader(device).unwrap_or(0.0));
         for other in 0..n {
             if other == device {
                 continue;
             }
-            let slot = if other == 0 { 0.0 } else { schedule.slot_after_leader(other).unwrap() };
+            let slot = if other == 0 {
+                0.0
+            } else {
+                schedule.slot_after_leader(other).unwrap()
+            };
             // Reception a few ms after the slot start (propagation delay).
             t.record_reception(other, sync + slot + 0.012 + other as f64 * 0.001);
         }
@@ -226,7 +257,11 @@ mod tests {
         let bits = pack_report(2, n, 7.35, &table, sync, &schedule).unwrap();
         assert_eq!(bits.len(), report_payload_bits(n));
         let report = unpack_report(2, n, &bits).unwrap();
-        assert!((report.depth_m - 7.4).abs() < 0.11, "depth {}", report.depth_m);
+        assert!(
+            (report.depth_m - 7.4).abs() < 0.11,
+            "depth {}",
+            report.depth_m
+        );
         for other in 0..n {
             if other == 2 {
                 assert!(report.reception_offsets_s[other].is_none());
@@ -234,7 +269,10 @@ mod tests {
                 let expected = 0.012 + other as f64 * 0.001;
                 let got = report.reception_offsets_s[other].unwrap();
                 // 2-sample resolution at 44.1 kHz is ~45 µs.
-                assert!((got - expected).abs() < 1e-4, "device {other}: {got} vs {expected}");
+                assert!(
+                    (got - expected).abs() < 1e-4,
+                    "device {other}: {got} vs {expected}"
+                );
             }
         }
     }
@@ -258,7 +296,10 @@ mod tests {
         let table = example_table(1, n, &schedule, 0.0);
         let mut bits = pack_report(1, n, 2.0, &table, 0.0, &schedule).unwrap();
         bits[12] = !bits[12];
-        assert!(matches!(unpack_report(1, n, &bits), Err(ProtocolError::DecodeFailure { .. })));
+        assert!(matches!(
+            unpack_report(1, n, &bits),
+            Err(ProtocolError::DecodeFailure { .. })
+        ));
         assert!(unpack_report(1, n, &bits[..10]).is_err());
     }
 
@@ -297,7 +338,8 @@ mod tests {
             *s += 0.2 * rng.gen_range(-1.0..1.0);
         }
         for device in 1..n {
-            let decoded = decode_report_waveform(device, n, &mixed, payloads[device - 1].len()).unwrap();
+            let decoded =
+                decode_report_waveform(device, n, &mixed, payloads[device - 1].len()).unwrap();
             assert_eq!(decoded, payloads[device - 1], "device {device}");
             let report = unpack_report(device, n, &decoded).unwrap();
             assert!((report.depth_m - device as f64).abs() < 0.11);

@@ -112,7 +112,10 @@ impl ProtocolEngine {
                 reason: format!("sound speed {sound_speed} m/s is not an underwater value"),
             });
         }
-        Ok(Self { schedule, sound_speed })
+        Ok(Self {
+            schedule,
+            sound_speed,
+        })
     }
 
     /// The schedule in use.
@@ -127,11 +130,18 @@ impl ProtocolEngine {
 
     /// Runs one round over the given devices. `devices[i].id` must equal `i`
     /// and device 0 is the leader.
-    pub fn run_round(&self, devices: &[DeviceRoundState], observer: &mut dyn LinkObserver) -> Result<RoundOutcome> {
+    pub fn run_round(
+        &self,
+        devices: &[DeviceRoundState],
+        observer: &mut dyn LinkObserver,
+    ) -> Result<RoundOutcome> {
         let n = devices.len();
         if n != self.schedule.n_devices {
             return Err(ProtocolError::InvalidParameter {
-                reason: format!("{n} devices supplied for a schedule of {}", self.schedule.n_devices),
+                reason: format!(
+                    "{n} devices supplied for a schedule of {}",
+                    self.schedule.n_devices
+                ),
             });
         }
         for (i, d) in devices.iter().enumerate() {
@@ -178,7 +188,7 @@ impl ProtocolEngine {
                 }
                 if let Some(local_tx) = scheduled_local_tx[i] {
                     let true_tx = devices[i].clock.true_from_local(local_tx);
-                    if next.map_or(true, |(_, t)| true_tx < t) {
+                    if next.is_none_or(|(_, t)| true_tx < t) {
                         next = Some((i, true_tx));
                     }
                 }
@@ -193,8 +203,11 @@ impl ProtocolEngine {
                 if rx == sender {
                     continue;
                 }
-                let tau = devices[sender].position.distance(&devices[rx].position) / self.sound_speed;
-                let Some(err) = observer.observe(sender, rx, tau) else { continue };
+                let tau =
+                    devices[sender].position.distance(&devices[rx].position) / self.sound_speed;
+                let Some(err) = observer.observe(sender, rx, tau) else {
+                    continue;
+                };
                 let arrival_true = true_tx + tau;
                 let arrival_local = devices[rx].clock.local_from_true(arrival_true) + err;
                 tables[rx].record_reception(sender, arrival_local);
@@ -349,7 +362,8 @@ mod tests {
         let positions = square_deployment();
         let devices = devices_at(&positions);
         // Device 2's response is lost at device 1 (one direction only).
-        let mut observer = FnObserver(|tx, rx, _tau| if tx == 2 && rx == 1 { None } else { Some(0.0) });
+        let mut observer =
+            FnObserver(|tx, rx, _tau| if tx == 2 && rx == 1 { None } else { Some(0.0) });
         let outcome = engine(5).run_round(&devices, &mut observer).unwrap();
         assert!(outcome.distances.has_link(1, 2));
         let truth = positions[1].distance(&positions[2]);
@@ -361,13 +375,15 @@ mod tests {
     fn totally_isolated_device_never_transmits() {
         let positions = square_deployment();
         let devices = devices_at(&positions);
-        let mut observer = FnObserver(|tx, rx, _tau| {
-            if tx == 3 || rx == 3 {
-                None
-            } else {
-                Some(0.0)
-            }
-        });
+        let mut observer = FnObserver(
+            |tx, rx, _tau| {
+                if tx == 3 || rx == 3 {
+                    None
+                } else {
+                    Some(0.0)
+                }
+            },
+        );
         let outcome = engine(5).run_round(&devices, &mut observer).unwrap();
         assert_eq!(outcome.sync_sources[3], SyncSource::None);
         assert!(outcome.tx_times[3].is_none());

@@ -46,7 +46,9 @@ pub fn round_trip_worst_case(schedule: &TdmSchedule) -> f64 {
 /// per-device bit rate (the paper uses ~100 bit/s).
 pub fn round_latency(n_devices: usize, report_bps: f64) -> Result<RoundLatency> {
     if report_bps <= 0.0 {
-        return Err(ProtocolError::InvalidParameter { reason: "report bit rate must be positive".into() });
+        return Err(ProtocolError::InvalidParameter {
+            reason: "report bit rate must be positive".into(),
+        });
     }
     let schedule = TdmSchedule::paper_defaults(n_devices)?;
     Ok(RoundLatency {
@@ -72,7 +74,10 @@ mod tests {
         for (n, measured) in PAPER_MEASURED_RTT_S {
             let schedule = TdmSchedule::paper_defaults(n).unwrap();
             let model = round_trip_all_in_range(&schedule);
-            assert!((model - measured).abs() < 0.1, "N={n}: model {model} vs measured {measured}");
+            assert!(
+                (model - measured).abs() < 0.1,
+                "N={n}: model {model} vs measured {measured}"
+            );
         }
     }
 

@@ -72,7 +72,9 @@ impl std::error::Error for ProtocolError {}
 
 impl From<uw_dsp::DspError> for ProtocolError {
     fn from(e: uw_dsp::DspError) -> Self {
-        ProtocolError::DecodeFailure { reason: e.to_string() }
+        ProtocolError::DecodeFailure {
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -85,11 +87,17 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ProtocolError::InvalidParameter { reason: "zero devices".into() };
+        let e = ProtocolError::InvalidParameter {
+            reason: "zero devices".into(),
+        };
         assert!(e.to_string().contains("zero devices"));
-        let e = ProtocolError::DecodeFailure { reason: "crc mismatch".into() };
+        let e = ProtocolError::DecodeFailure {
+            reason: "crc mismatch".into(),
+        };
         assert!(e.to_string().contains("crc mismatch"));
-        let e = ProtocolError::RoundFailure { reason: "no responses".into() };
+        let e = ProtocolError::RoundFailure {
+            reason: "no responses".into(),
+        };
         assert!(e.to_string().contains("no responses"));
         let e: ProtocolError = uw_dsp::DspError::InvalidLength { reason: "x" }.into();
         assert!(matches!(e, ProtocolError::DecodeFailure { .. }));

@@ -56,8 +56,9 @@ pub struct IdCodec {
 impl IdCodec {
     /// Creates a codec for a group of `n_devices`.
     pub fn new(n_devices: usize) -> Result<Self> {
-        let codec = MfskIdCodec::new(n_devices)
-            .map_err(|e| ProtocolError::InvalidParameter { reason: e.to_string() })?;
+        let codec = MfskIdCodec::new(n_devices).map_err(|e| ProtocolError::InvalidParameter {
+            reason: e.to_string(),
+        })?;
         Ok(Self { codec })
     }
 
@@ -77,11 +78,15 @@ impl IdCodec {
         let mut wave = self
             .codec
             .encode(a)
-            .map_err(|e| ProtocolError::InvalidParameter { reason: e.to_string() })?;
+            .map_err(|e| ProtocolError::InvalidParameter {
+                reason: e.to_string(),
+            })?;
         wave.extend(
             self.codec
                 .encode(b)
-                .map_err(|e| ProtocolError::InvalidParameter { reason: e.to_string() })?,
+                .map_err(|e| ProtocolError::InvalidParameter {
+                    reason: e.to_string(),
+                })?,
         );
         Ok(wave)
     }
@@ -92,17 +97,24 @@ impl IdCodec {
         let tone = self.tone_len();
         if samples.len() < 2 * tone {
             return Err(ProtocolError::DecodeFailure {
-                reason: format!("ID waveform of {} samples is shorter than two tones ({})", samples.len(), 2 * tone),
+                reason: format!(
+                    "ID waveform of {} samples is shorter than two tones ({})",
+                    samples.len(),
+                    2 * tone
+                ),
             });
         }
-        let (a, conf_a) = self
-            .codec
-            .decode(&samples[..tone])
-            .map_err(|e| ProtocolError::DecodeFailure { reason: e.to_string() })?;
-        let (b, conf_b) = self
-            .codec
-            .decode(&samples[tone..2 * tone])
-            .map_err(|e| ProtocolError::DecodeFailure { reason: e.to_string() })?;
+        let (a, conf_a) =
+            self.codec
+                .decode(&samples[..tone])
+                .map_err(|e| ProtocolError::DecodeFailure {
+                    reason: e.to_string(),
+                })?;
+        let (b, conf_b) = self.codec.decode(&samples[tone..2 * tone]).map_err(|e| {
+            ProtocolError::DecodeFailure {
+                reason: e.to_string(),
+            }
+        })?;
         Ok(((a, b), conf_a.min(conf_b)))
     }
 
@@ -113,7 +125,10 @@ impl IdCodec {
         let message = if sender == 0 {
             ProtocolMessage::Query { leader: 0 }
         } else {
-            ProtocolMessage::Response { device: sender, reference }
+            ProtocolMessage::Response {
+                device: sender,
+                reference,
+            }
         };
         Ok((message, confidence))
     }
@@ -128,7 +143,14 @@ mod tests {
     #[test]
     fn message_sender() {
         assert_eq!(ProtocolMessage::Query { leader: 0 }.sender(), 0);
-        assert_eq!(ProtocolMessage::Response { device: 3, reference: 0 }.sender(), 3);
+        assert_eq!(
+            ProtocolMessage::Response {
+                device: 3,
+                reference: 0
+            }
+            .sender(),
+            3
+        );
     }
 
     #[test]
@@ -136,9 +158,18 @@ mod tests {
         let codec = IdCodec::new(6).unwrap();
         for message in [
             ProtocolMessage::Query { leader: 0 },
-            ProtocolMessage::Response { device: 1, reference: 0 },
-            ProtocolMessage::Response { device: 4, reference: 2 },
-            ProtocolMessage::Response { device: 5, reference: 5 },
+            ProtocolMessage::Response {
+                device: 1,
+                reference: 0,
+            },
+            ProtocolMessage::Response {
+                device: 4,
+                reference: 2,
+            },
+            ProtocolMessage::Response {
+                device: 5,
+                reference: 5,
+            },
         ] {
             let wave = codec.encode(&message).unwrap();
             assert_eq!(wave.len(), 2 * codec.tone_len());
@@ -152,7 +183,10 @@ mod tests {
     fn id_roundtrip_with_noise() {
         let codec = IdCodec::new(8).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let message = ProtocolMessage::Response { device: 6, reference: 3 };
+        let message = ProtocolMessage::Response {
+            device: 6,
+            reference: 3,
+        };
         let mut wave = codec.encode(&message).unwrap();
         for s in wave.iter_mut() {
             *s += 0.6 * rng.gen_range(-1.0..1.0);
@@ -164,7 +198,12 @@ mod tests {
     #[test]
     fn errors_on_bad_input() {
         let codec = IdCodec::new(4).unwrap();
-        assert!(codec.encode(&ProtocolMessage::Response { device: 9, reference: 0 }).is_err());
+        assert!(codec
+            .encode(&ProtocolMessage::Response {
+                device: 9,
+                reference: 0
+            })
+            .is_err());
         assert!(codec.decode(&[0.0; 10]).is_err());
         assert!(IdCodec::new(0).is_err());
     }

@@ -35,7 +35,12 @@ impl TdmSchedule {
     /// The paper's timing constants: Δ₀ = 600 ms, T_packet = 278 ms,
     /// T_guard = 42 ms (so Δ₁ = 320 ms).
     pub fn paper_defaults(n_devices: usize) -> Result<Self> {
-        let s = Self { n_devices, delta0_s: 0.600, packet_s: 0.278, guard_s: 0.042 };
+        let s = Self {
+            n_devices,
+            delta0_s: 0.600,
+            packet_s: 0.278,
+            guard_s: 0.042,
+        };
         s.validate()?;
         Ok(s)
     }
@@ -60,7 +65,10 @@ impl TdmSchedule {
     pub fn validate(&self) -> Result<()> {
         if self.n_devices < 2 {
             return Err(ProtocolError::InvalidParameter {
-                reason: format!("a dive group needs at least 2 devices, got {}", self.n_devices),
+                reason: format!(
+                    "a dive group needs at least 2 devices, got {}",
+                    self.n_devices
+                ),
             });
         }
         if self.delta0_s <= 0.0 || self.packet_s <= 0.0 || self.guard_s <= 0.0 {
@@ -104,7 +112,9 @@ impl TdmSchedule {
 
     fn check_responder(&self, id: usize) -> Result<()> {
         if id == 0 {
-            return Err(ProtocolError::InvalidParameter { reason: "the leader (ID 0) does not occupy a response slot".into() });
+            return Err(ProtocolError::InvalidParameter {
+                reason: "the leader (ID 0) does not occupy a response slot".into(),
+            });
         }
         if id >= self.n_devices {
             return Err(ProtocolError::InvalidParameter {
@@ -126,7 +136,10 @@ mod tests {
         assert!((s.delta0_s - 0.600).abs() < 1e-12);
         // 42 ms guard at ~1500 m/s supports ~32 m separations.
         let max_range = s.max_range_m(1500.0);
-        assert!(max_range > 30.0 && max_range < 33.0, "max range {max_range}");
+        assert!(
+            max_range > 30.0 && max_range < 33.0,
+            "max range {max_range}"
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub struct TimestampTable {
 impl TimestampTable {
     /// Creates an empty table for a device.
     pub fn new(device: DeviceId) -> Self {
-        Self { device, own_tx: None, receptions: BTreeMap::new() }
+        Self {
+            device,
+            own_tx: None,
+            receptions: BTreeMap::new(),
+        }
     }
 
     /// Records this device's own transmission time (local clock).
@@ -78,15 +82,21 @@ pub fn pairwise_distance(
     sound_speed: f64,
 ) -> Result<f64> {
     if sound_speed <= 0.0 {
-        return Err(ProtocolError::InvalidParameter { reason: "sound speed must be positive".into() });
+        return Err(ProtocolError::InvalidParameter {
+            reason: "sound speed must be positive".into(),
+        });
     }
     let (i, j) = (table_i.device, table_j.device);
-    let t_i_j = table_i.reception(j).ok_or_else(|| ProtocolError::RoundFailure {
-        reason: format!("device {i} never heard device {j}"),
-    })?;
-    let t_j_i = table_j.reception(i).ok_or_else(|| ProtocolError::RoundFailure {
-        reason: format!("device {j} never heard device {i}"),
-    })?;
+    let t_i_j = table_i
+        .reception(j)
+        .ok_or_else(|| ProtocolError::RoundFailure {
+            reason: format!("device {i} never heard device {j}"),
+        })?;
+    let t_j_i = table_j
+        .reception(i)
+        .ok_or_else(|| ProtocolError::RoundFailure {
+            reason: format!("device {j} never heard device {i}"),
+        })?;
     let t_i_i = table_i.own_tx.ok_or_else(|| ProtocolError::RoundFailure {
         reason: format!("device {i} never transmitted"),
     })?;
@@ -124,18 +134,26 @@ pub fn recover_one_way_distance(
     sound_speed: f64,
 ) -> Result<f64> {
     if sound_speed <= 0.0 {
-        return Err(ProtocolError::InvalidParameter { reason: "sound speed must be positive".into() });
+        return Err(ProtocolError::InvalidParameter {
+            reason: "sound speed must be positive".into(),
+        });
     }
     let (i, j) = (table_i.device, table_j.device);
-    let t_i_j = table_i.reception(j).ok_or_else(|| ProtocolError::RoundFailure {
-        reason: format!("device {i} never heard device {j}; nothing to recover"),
-    })?;
-    let t_i_k = table_i.reception(table_k_id).ok_or_else(|| ProtocolError::RoundFailure {
-        reason: format!("device {i} never heard the common neighbour {table_k_id}"),
-    })?;
-    let t_j_k = table_j.reception(table_k_id).ok_or_else(|| ProtocolError::RoundFailure {
-        reason: format!("device {j} never heard the common neighbour {table_k_id}"),
-    })?;
+    let t_i_j = table_i
+        .reception(j)
+        .ok_or_else(|| ProtocolError::RoundFailure {
+            reason: format!("device {i} never heard device {j}; nothing to recover"),
+        })?;
+    let t_i_k = table_i
+        .reception(table_k_id)
+        .ok_or_else(|| ProtocolError::RoundFailure {
+            reason: format!("device {i} never heard the common neighbour {table_k_id}"),
+        })?;
+    let t_j_k = table_j
+        .reception(table_k_id)
+        .ok_or_else(|| ProtocolError::RoundFailure {
+            reason: format!("device {j} never heard the common neighbour {table_k_id}"),
+        })?;
     let t_j_j = table_j.own_tx.ok_or_else(|| ProtocolError::RoundFailure {
         reason: format!("device {j} never transmitted"),
     })?;
@@ -159,7 +177,10 @@ pub fn recover_one_way_distance(
 /// tables: two-way distances first, then one-way recoveries through common
 /// neighbours where a direction is missing. Pairs that cannot be computed
 /// are left missing in the matrix.
-pub fn build_distance_matrix(tables: &[TimestampTable], sound_speed: f64) -> Result<DistanceMatrix> {
+pub fn build_distance_matrix(
+    tables: &[TimestampTable],
+    sound_speed: f64,
+) -> Result<DistanceMatrix> {
     let n = tables.len();
     if n < 2 {
         return Err(ProtocolError::InvalidParameter {
@@ -181,7 +202,9 @@ pub fn build_distance_matrix(tables: &[TimestampTable], sound_speed: f64) -> Res
             if let Ok(d) = pairwise_distance(&tables[i], &tables[j], sound_speed) {
                 matrix
                     .set(i, j, d)
-                    .map_err(|e| ProtocolError::RoundFailure { reason: e.to_string() })?;
+                    .map_err(|e| ProtocolError::RoundFailure {
+                        reason: e.to_string(),
+                    })?;
             }
         }
     }
@@ -207,14 +230,21 @@ pub fn build_distance_matrix(tables: &[TimestampTable], sound_speed: f64) -> Res
                 if k == i || k == j {
                     return None;
                 }
-                let d_rx_k = matrix.get(rx.min(k), rx.max(k)).filter(|_| matrix.has_link(rx, k))?;
-                let d_tx_k = matrix.get(tx.min(k), tx.max(k)).filter(|_| matrix.has_link(tx, k))?;
-                recover_one_way_distance(&tables[rx], &tables[tx], k, d_rx_k, d_tx_k, sound_speed).ok()
+                let d_rx_k = matrix
+                    .get(rx.min(k), rx.max(k))
+                    .filter(|_| matrix.has_link(rx, k))?;
+                let d_tx_k = matrix
+                    .get(tx.min(k), tx.max(k))
+                    .filter(|_| matrix.has_link(tx, k))?;
+                recover_one_way_distance(&tables[rx], &tables[tx], k, d_rx_k, d_tx_k, sound_speed)
+                    .ok()
             });
             if let Some(d) = recovered {
                 matrix
                     .set(i, j, d)
-                    .map_err(|e| ProtocolError::RoundFailure { reason: e.to_string() })?;
+                    .map_err(|e| ProtocolError::RoundFailure {
+                        reason: e.to_string(),
+                    })?;
             }
         }
     }

@@ -95,7 +95,9 @@ impl ChirpBaseline {
         let start = coarse.saturating_sub(back);
         let end = (start + self.waveform.len()).min(stream.len());
         if end - start < self.waveform.len() / 2 {
-            return Err(RangingError::InvalidInput { reason: "stream too short after detection".into() });
+            return Err(RangingError::InvalidInput {
+                reason: "stream too short after detection".into(),
+            });
         }
         let segment = &stream[start..end];
         let reference = &self.waveform[..segment.len()];
@@ -136,9 +138,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn embed_chirp(baseline: &ChirpBaseline, offset: usize, gain: f64, noise: f64, total: usize, seed: u64) -> Vec<f64> {
+    fn embed_chirp(
+        baseline: &ChirpBaseline,
+        offset: usize,
+        gain: f64,
+        noise: f64,
+        total: usize,
+        seed: u64,
+    ) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut stream: Vec<f64> = (0..total).map(|_| noise * rng.gen_range(-1.0..1.0)).collect();
+        let mut stream: Vec<f64> = (0..total)
+            .map(|_| noise * rng.gen_range(-1.0..1.0))
+            .collect();
         for (i, &c) in baseline.waveform.iter().enumerate() {
             if offset + i < total {
                 stream[offset + i] += gain * c;
@@ -163,10 +174,12 @@ mod tests {
         // The detector fires once the sliding window starts covering the
         // chirp, so the reported index can precede the true start by up to
         // one window length (≈ 220 samples).
-        assert!(det >= 4700 && det <= 5600, "det {det}");
+        assert!((4700..=5600).contains(&det), "det {det}");
         // Pure noise produces no detection at a high threshold.
         let mut rng = StdRng::seed_from_u64(3);
-        let noise: Vec<f64> = (0..50_000).map(|_| 0.02 * rng.gen_range(-1.0..1.0)).collect();
+        let noise: Vec<f64> = (0..50_000)
+            .map(|_| 0.02 * rng.gen_range(-1.0..1.0))
+            .collect();
         assert!(b.detect_power_threshold(&noise, 10.0).is_none());
         // Very short stream returns None rather than panicking.
         assert!(b.detect_power_threshold(&[0.0; 10], 3.0).is_none());
@@ -178,7 +191,9 @@ mod tests {
         // trips the window-power detector even though no chirp is present.
         let b = ChirpBaseline::matched_to_preamble().unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut stream: Vec<f64> = (0..60_000).map(|_| 0.02 * rng.gen_range(-1.0..1.0)).collect();
+        let mut stream: Vec<f64> = (0..60_000)
+            .map(|_| 0.02 * rng.gen_range(-1.0..1.0))
+            .collect();
         for k in 0..400 {
             stream[20_000 + k] += 1.5 * ((k as f64) * 0.8).sin();
         }
@@ -193,7 +208,10 @@ mod tests {
         let est = b.estimate_arrival_fmcw(&stream, DEFAULT_TH_SD_DB).unwrap();
         // FMCW beat-frequency resolution over a ~220 ms sweep of 4 kHz is
         // coarse; within ~200 samples (≈ 6–7 m underwater) is expected.
-        assert!((est - truth as f64).abs() < 250.0, "est {est} truth {truth}");
+        assert!(
+            (est - truth as f64).abs() < 250.0,
+            "est {est} truth {truth}"
+        );
     }
 
     #[test]
@@ -210,7 +228,10 @@ mod tests {
             }
         }
         let est = b.estimate_arrival_correlation(&stream).unwrap();
-        assert!((est - (truth + echo_offset) as f64).abs() < 10.0, "correlation locked at {est}");
+        assert!(
+            (est - (truth + echo_offset) as f64).abs() < 10.0,
+            "correlation locked at {est}"
+        );
     }
 
     #[test]
@@ -218,16 +239,23 @@ mod tests {
         let b = ChirpBaseline::matched_to_preamble().unwrap();
         assert!(b.estimate_arrival_correlation(&[0.0; 10]).is_err());
         let mut rng = StdRng::seed_from_u64(7);
-        let noise: Vec<f64> = (0..b.waveform.len() + 1000).map(|_| 1e-6 * rng.gen_range(-1.0..1.0)).collect();
+        let noise: Vec<f64> = (0..b.waveform.len() + 1000)
+            .map(|_| 1e-6 * rng.gen_range(-1.0..1.0))
+            .collect();
         assert!(b.estimate_arrival_fmcw(&noise, 20.0).is_err());
-        let bad_cfg = ChirpConfig { duration_s: 0.0, ..ChirpConfig::matched_to_preamble() };
+        let bad_cfg = ChirpConfig {
+            duration_s: 0.0,
+            ..ChirpConfig::matched_to_preamble()
+        };
         assert!(ChirpBaseline::new(bad_cfg).is_err());
     }
 
     #[test]
     fn labels() {
         assert_eq!(BaselineKind::DualMicOfdm.label(), "Ours (Dual-mic)");
-        assert!(BaselineKind::BeepBeepCorrelation.label().contains("BeepBeep"));
+        assert!(BaselineKind::BeepBeepCorrelation
+            .label()
+            .contains("BeepBeep"));
         assert!(BaselineKind::CatFmcw.label().contains("FMCW"));
     }
 }

@@ -18,7 +18,6 @@
 use crate::preamble::RangingPreamble;
 use crate::{RangingError, Result};
 use uw_dsp::complex::Complex64;
-use uw_dsp::fft::{fft_any, ifft_any};
 
 /// A channel estimate derived from one received preamble.
 #[derive(Debug, Clone)]
@@ -44,7 +43,10 @@ pub fn ls_channel_estimate(
 ) -> Result<ChannelEstimate> {
     let block = preamble.block_len();
     let n_symbols = preamble.pn_signs.len();
-    let needed = start + (n_symbols - 1) * block + preamble.config.cyclic_prefix + preamble.config.symbol_len;
+    let needed = start
+        + (n_symbols - 1) * block
+        + preamble.config.cyclic_prefix
+        + preamble.config.symbol_len;
     if needed > stream.len() {
         return Err(RangingError::InvalidInput {
             reason: format!(
@@ -58,36 +60,57 @@ pub fn ls_channel_estimate(
     let bins = preamble.config.occupied_bins();
     let n_bins = preamble.base_bins.len();
 
-    // Accumulate Y_i(k) / (PN_i · X(k)) over the symbols.
-    let mut acc = vec![Complex64::ZERO; n_bins];
-    for (i, &sign) in preamble.pn_signs.iter().enumerate() {
-        let sym_start = start + i * block + preamble.config.cyclic_prefix;
+    // All five transforms (4 symbol FFTs + 1 inverse) run through the
+    // preamble's pooled symbol-length plan: the Bluestein chirp state for
+    // the 1920-point transform is built once per preamble, and one scratch
+    // buffer is reused across the symbols.
+    preamble.with_symbol_plan(|plan| {
         let mut buf = vec![Complex64::ZERO; n_fft];
-        for (b, &s) in buf.iter_mut().zip(stream[sym_start..sym_start + preamble.config.symbol_len].iter()) {
-            *b = Complex64::from_re(s);
+
+        // Accumulate Y_i(k) / (PN_i · X(k)) over the symbols.
+        let mut acc = vec![Complex64::ZERO; n_bins];
+        for (i, &sign) in preamble.pn_signs.iter().enumerate() {
+            let sym_start = start + i * block + preamble.config.cyclic_prefix;
+            for (b, &s) in buf
+                .iter_mut()
+                .zip(stream[sym_start..sym_start + preamble.config.symbol_len].iter())
+            {
+                *b = Complex64::from_re(s);
+            }
+            for b in buf[preamble.config.symbol_len.min(n_fft)..].iter_mut() {
+                *b = Complex64::ZERO;
+            }
+            plan.process_forward(&mut buf)?;
+            for (j, k) in bins.clone().enumerate() {
+                let x = preamble.base_bins[j] * sign;
+                // X(k) is a unit-magnitude ZC value, so dividing is stable.
+                let inv = x.inv().unwrap_or(Complex64::ZERO);
+                acc[j] += buf[k] * inv;
+            }
         }
-        let spec = fft_any(&buf)?;
+        let freq_response: Vec<Complex64> = acc.into_iter().map(|c| c / n_symbols as f64).collect();
+
+        // Time-domain impulse response: place Ĥ on the occupied bins of a
+        // full conjugate-symmetric spectrum and inverse-FFT.
+        for b in buf.iter_mut() {
+            *b = Complex64::ZERO;
+        }
         for (j, k) in bins.clone().enumerate() {
-            let x = preamble.base_bins[j] * sign;
-            // X(k) is a unit-magnitude ZC value, so dividing is stable.
-            let inv = x.inv().unwrap_or(Complex64::ZERO);
-            acc[j] += spec[k] * inv;
+            buf[k] = freq_response[j];
+            buf[n_fft - k] = freq_response[j].conj();
         }
-    }
-    let freq_response: Vec<Complex64> = acc.into_iter().map(|c| c / n_symbols as f64).collect();
+        plan.process_inverse(&mut buf)?;
+        let impulse_magnitude: Vec<f64> = buf
+            .iter()
+            .take(preamble.config.symbol_len)
+            .map(|c| c.abs())
+            .collect();
 
-    // Time-domain impulse response: place Ĥ on the occupied bins of a full
-    // conjugate-symmetric spectrum and inverse-FFT.
-    let mut full = vec![Complex64::ZERO; n_fft];
-    for (j, k) in bins.clone().enumerate() {
-        full[k] = freq_response[j];
-        full[n_fft - k] = freq_response[j].conj();
-    }
-    let time = ifft_any(&full)?;
-    let impulse_magnitude: Vec<f64> =
-        time.iter().take(preamble.config.symbol_len).map(|c| c.abs()).collect();
-
-    Ok(ChannelEstimate { freq_response, impulse_magnitude })
+        Ok(ChannelEstimate {
+            freq_response,
+            impulse_magnitude,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +131,9 @@ mod tests {
     ) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let total = start + preamble.len() + 4000;
-        let mut stream: Vec<f64> = (0..total).map(|_| noise_amp * rng.gen_range(-1.0..1.0)).collect();
+        let mut stream: Vec<f64> = (0..total)
+            .map(|_| noise_amp * rng.gen_range(-1.0..1.0))
+            .collect();
         for &(delay, gain) in taps {
             for (i, &p) in preamble.waveform.iter().enumerate() {
                 let idx = start + delay + i;
@@ -169,7 +194,10 @@ mod tests {
         // length is 2048) plus the transmit edge ramp introduces some ripple;
         // the response should still stay within a factor of ~2 of the mean.
         for (i, m) in mags.iter().enumerate() {
-            assert!(*m > 0.4 * mean && *m < 2.0 * mean, "bin {i}: {m} vs mean {mean}");
+            assert!(
+                *m > 0.4 * mean && *m < 2.0 * mean,
+                "bin {i}: {m} vs mean {mean}"
+            );
         }
     }
 

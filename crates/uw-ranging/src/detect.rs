@@ -19,7 +19,7 @@
 use crate::preamble::RangingPreamble;
 use crate::{RangingError, Result};
 use serde::{Deserialize, Serialize};
-use uw_dsp::correlation::{autocorr_validation, xcorr_normalized};
+use uw_dsp::correlation::autocorr_validation;
 use uw_dsp::peaks::find_peaks_above;
 
 /// Default auto-correlation validation threshold from the paper.
@@ -39,7 +39,11 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        Self { correlation_threshold: 0.15, validation_threshold: DEFAULT_VALIDATION_THRESHOLD, max_candidates: 16 }
+        Self {
+            correlation_threshold: 0.15,
+            validation_threshold: DEFAULT_VALIDATION_THRESHOLD,
+            max_candidates: 16,
+        }
     }
 }
 
@@ -68,7 +72,11 @@ pub fn detect_preamble(
     let detections = detect_all(stream, preamble, config)?;
     detections
         .into_iter()
-        .max_by(|a, b| a.validation.partial_cmp(&b.validation).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.validation
+                .partial_cmp(&b.validation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .ok_or(RangingError::NotDetected { best_score: 0.0 })
 }
 
@@ -81,13 +89,23 @@ pub fn detect_all(
 ) -> Result<Vec<Detection>> {
     if stream.len() < preamble.len() {
         return Err(RangingError::InvalidInput {
-            reason: format!("stream of {} samples is shorter than the {}-sample preamble", stream.len(), preamble.len()),
+            reason: format!(
+                "stream of {} samples is shorter than the {}-sample preamble",
+                stream.len(),
+                preamble.len()
+            ),
         });
     }
-    let corr = xcorr_normalized(stream, &preamble.waveform)?;
+    // Streaming matched filter: the preamble's template spectrum and FFT
+    // plan are computed once per preamble, not once per stream.
+    let corr = preamble.correlate_normalized(stream)?;
     let mut candidates: Vec<usize> = find_peaks_above(&corr, config.correlation_threshold);
     // Strongest candidates first, cap the work.
-    candidates.sort_by(|&a, &b| corr[b].partial_cmp(&corr[a]).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.sort_by(|&a, &b| {
+        corr[b]
+            .partial_cmp(&corr[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     candidates.truncate(config.max_candidates);
 
     let mut best_failed_score = 0.0f64;
@@ -95,7 +113,11 @@ pub fn detect_all(
     for &cand in &candidates {
         let score = validation_score(stream, preamble, cand)?;
         if score >= config.validation_threshold {
-            detections.push(Detection { start_sample: cand, correlation: corr[cand], validation: score });
+            detections.push(Detection {
+                start_sample: cand,
+                correlation: corr[cand],
+                validation: score,
+            });
         } else {
             best_failed_score = best_failed_score.max(score);
         }
@@ -104,7 +126,9 @@ pub fn detect_all(
         return Err(RangingError::NotDetected { best_score: 0.0 });
     }
     if detections.is_empty() {
-        return Err(RangingError::NotDetected { best_score: best_failed_score });
+        return Err(RangingError::NotDetected {
+            best_score: best_failed_score,
+        });
     }
     // De-duplicate detections closer than one preamble length, keeping the
     // best-validated one in each cluster.
@@ -139,7 +163,11 @@ pub fn validation_score(stream: &[f64], preamble: &RangingPreamble, start: usize
         let s = start + i * block + preamble.config.cyclic_prefix;
         segments.extend_from_slice(&stream[s..s + preamble.config.symbol_len]);
     }
-    Ok(autocorr_validation(&segments, preamble.config.symbol_len, &preamble.pn_signs)?)
+    Ok(autocorr_validation(
+        &segments,
+        preamble.config.symbol_len,
+        &preamble.pn_signs,
+    )?)
 }
 
 /// Outcome counts for a detection experiment (Fig. 12a).
@@ -201,9 +229,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn embed(preamble: &RangingPreamble, offset: usize, total: usize, gain: f64, noise_amp: f64, seed: u64) -> Vec<f64> {
+    fn embed(
+        preamble: &RangingPreamble,
+        offset: usize,
+        total: usize,
+        gain: f64,
+        noise_amp: f64,
+        seed: u64,
+    ) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut stream: Vec<f64> = (0..total).map(|_| noise_amp * rng.gen_range(-1.0..1.0)).collect();
+        let mut stream: Vec<f64> = (0..total)
+            .map(|_| noise_amp * rng.gen_range(-1.0..1.0))
+            .collect();
         for (i, &p) in preamble.waveform.iter().enumerate() {
             stream[offset + i] += gain * p;
         }
@@ -215,7 +252,11 @@ mod tests {
         let p = RangingPreamble::default_paper().unwrap();
         let stream = embed(&p, 3000, p.len() + 8000, 1.0, 0.01, 1);
         let det = detect_preamble(&stream, &p, &DetectorConfig::default()).unwrap();
-        assert!((det.start_sample as i64 - 3000).unsigned_abs() < 5, "start {}", det.start_sample);
+        assert!(
+            (det.start_sample as i64 - 3000).unsigned_abs() < 5,
+            "start {}",
+            det.start_sample
+        );
         assert!(det.validation > 0.9);
         assert!(det.correlation > 0.5);
     }
@@ -226,7 +267,11 @@ mod tests {
         // Signal amplitude comparable to the noise floor.
         let stream = embed(&p, 5000, p.len() + 12_000, 0.08, 0.05, 2);
         let det = detect_preamble(&stream, &p, &DetectorConfig::default()).unwrap();
-        assert!((det.start_sample as i64 - 5000).unsigned_abs() < 20, "start {}", det.start_sample);
+        assert!(
+            (det.start_sample as i64 - 5000).unsigned_abs() < 20,
+            "start {}",
+            det.start_sample
+        );
         assert!(det.validation > DEFAULT_VALIDATION_THRESHOLD);
     }
 
@@ -234,7 +279,9 @@ mod tests {
     fn rejects_noise_only_stream() {
         let p = RangingPreamble::default_paper().unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let stream: Vec<f64> = (0..p.len() + 10_000).map(|_| 0.3 * rng.gen_range(-1.0..1.0)).collect();
+        let stream: Vec<f64> = (0..p.len() + 10_000)
+            .map(|_| 0.3 * rng.gen_range(-1.0..1.0))
+            .collect();
         let result = detect_preamble(&stream, &p, &DetectorConfig::default());
         assert!(matches!(result, Err(RangingError::NotDetected { .. })));
     }
@@ -245,12 +292,17 @@ mod tests {
         // PN-structure validation.
         let p = RangingPreamble::default_paper().unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut stream: Vec<f64> = (0..p.len() + 10_000).map(|_| 0.02 * rng.gen_range(-1.0..1.0)).collect();
+        let mut stream: Vec<f64> = (0..p.len() + 10_000)
+            .map(|_| 0.02 * rng.gen_range(-1.0..1.0))
+            .collect();
         for k in 0..200 {
             stream[4000 + k] += 3.0 * ((k as f64) * 0.5).sin() * (-(k as f64) / 40.0).exp();
         }
         let result = detect_preamble(&stream, &p, &DetectorConfig::default());
-        assert!(result.is_err(), "impulsive noise must not validate as a preamble");
+        assert!(
+            result.is_err(),
+            "impulsive noise must not validate as a preamble"
+        );
     }
 
     #[test]
@@ -264,7 +316,10 @@ mod tests {
         let detections = detect_all(&stream, &p, &DetectorConfig::default()).unwrap();
         assert_eq!(detections.len(), 2, "{detections:?}");
         assert!((detections[0].start_sample as i64 - 2000).unsigned_abs() < 5);
-        assert!((detections[1].start_sample as i64 - (2000 + p.len() as i64 + 12_000)).unsigned_abs() < 5);
+        assert!(
+            (detections[1].start_sample as i64 - (2000 + p.len() as i64 + 12_000)).unsigned_abs()
+                < 5
+        );
     }
 
     #[test]

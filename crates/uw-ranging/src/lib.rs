@@ -57,9 +57,14 @@ impl std::fmt::Display for RangingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RangingError::NotDetected { best_score } => {
-                write!(f, "preamble not detected (best validation score {best_score:.3})")
+                write!(
+                    f,
+                    "preamble not detected (best validation score {best_score:.3})"
+                )
             }
-            RangingError::NoDirectPath => write!(f, "no direct path satisfying the dual-mic constraint"),
+            RangingError::NoDirectPath => {
+                write!(f, "no direct path satisfying the dual-mic constraint")
+            }
             RangingError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
             RangingError::Dsp(e) => write!(f, "dsp error: {e}"),
         }
@@ -85,8 +90,12 @@ mod tests {
     fn error_display() {
         let e = RangingError::NotDetected { best_score: 0.12 };
         assert!(e.to_string().contains("0.12"));
-        assert!(RangingError::NoDirectPath.to_string().contains("direct path"));
-        let e = RangingError::InvalidInput { reason: "empty stream".into() };
+        assert!(RangingError::NoDirectPath
+            .to_string()
+            .contains("direct path"));
+        let e = RangingError::InvalidInput {
+            reason: "empty stream".into(),
+        };
         assert!(e.to_string().contains("empty stream"));
         let e: RangingError = uw_dsp::DspError::InvalidLength { reason: "x" }.into();
         assert!(e.to_string().contains("dsp error"));

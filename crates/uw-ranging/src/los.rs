@@ -40,7 +40,12 @@ pub struct LosConfig {
 
 impl Default for LosConfig {
     fn default() -> Self {
-        Self { lambda: 0.2, mic_separation_m: 0.16, sound_speed: 1500.0, sample_rate: 44_100.0 }
+        Self {
+            lambda: 0.2,
+            mic_separation_m: 0.16,
+            sound_speed: 1500.0,
+            sample_rate: 44_100.0,
+        }
     }
 }
 
@@ -66,11 +71,17 @@ pub struct LosEstimate {
 /// profiles (which need not be normalised; normalisation happens inside).
 pub fn dual_mic_los(h1: &[f64], h2: &[f64], config: &LosConfig) -> Result<LosEstimate> {
     if h1.is_empty() || h2.is_empty() {
-        return Err(RangingError::InvalidInput { reason: "empty channel profile".into() });
+        return Err(RangingError::InvalidInput {
+            reason: "empty channel profile".into(),
+        });
     }
     if h1.len() != h2.len() {
         return Err(RangingError::InvalidInput {
-            reason: format!("channel profiles differ in length ({} vs {})", h1.len(), h2.len()),
+            reason: format!(
+                "channel profiles differ in length ({} vs {})",
+                h1.len(),
+                h2.len()
+            ),
         });
     }
     let n1 = normalize_profile(h1);
@@ -94,8 +105,12 @@ pub fn dual_mic_los(h1: &[f64], h2: &[f64], config: &LosConfig) -> Result<LosEst
                 continue;
             }
             let tau = (n + m) as f64 / 2.0;
-            if best.map_or(true, |b| tau < b.tau_taps) {
-                best = Some(LosEstimate { tau_taps: tau, tap_mic1: n, tap_mic2: m });
+            if best.is_none_or(|b| tau < b.tau_taps) {
+                best = Some(LosEstimate {
+                    tau_taps: tau,
+                    tap_mic1: n,
+                    tap_mic2: m,
+                });
             }
         }
     }
@@ -106,7 +121,9 @@ pub fn dual_mic_los(h1: &[f64], h2: &[f64], config: &LosConfig) -> Result<LosEst
 /// plus λ. Used for the ablation in Fig. 11b ("bottom only" / "top only").
 pub fn single_mic_los(h: &[f64], config: &LosConfig) -> Result<LosEstimate> {
     if h.is_empty() {
-        return Err(RangingError::InvalidInput { reason: "empty channel profile".into() });
+        return Err(RangingError::InvalidInput {
+            reason: "empty channel profile".into(),
+        });
     }
     let n = normalize_profile(h);
     let w = noise_floor(&n, NOISE_TAIL_TAPS).map_err(RangingError::from)?;
@@ -114,7 +131,11 @@ pub fn single_mic_los(h: &[f64], config: &LosConfig) -> Result<LosEstimate> {
     let idx = (0..n.len())
         .find(|&i| n[i] > threshold && is_peak(&n, i))
         .ok_or(RangingError::NoDirectPath)?;
-    Ok(LosEstimate { tau_taps: idx as f64, tap_mic1: idx, tap_mic2: idx })
+    Ok(LosEstimate {
+        tau_taps: idx as f64,
+        tap_mic1: idx,
+        tap_mic2: idx,
+    })
 }
 
 /// The dual-microphone *sign* used for flipping disambiguation (§2.1.4):
@@ -191,7 +212,10 @@ mod tests {
     fn offset_constraint_uses_mic_separation() {
         let config = LosConfig::default();
         assert_eq!(config.max_offset_taps(), 5); // 0.16 m / 1500 m/s · 44.1 kHz ≈ 4.7
-        let wide = LosConfig { mic_separation_m: 1.0, ..config };
+        let wide = LosConfig {
+            mic_separation_m: 1.0,
+            ..config
+        };
         assert_eq!(wide.max_offset_taps(), 30);
     }
 
@@ -201,8 +225,14 @@ mod tests {
         // Everything below noise floor + λ after normalisation has no peaks
         // above threshold other than... make a truly flat profile.
         let h = vec![0.5; 1920];
-        assert!(matches!(dual_mic_los(&h, &h, &config), Err(RangingError::NoDirectPath)));
-        assert!(matches!(single_mic_los(&h, &config), Err(RangingError::NoDirectPath)));
+        assert!(matches!(
+            dual_mic_los(&h, &h, &config),
+            Err(RangingError::NoDirectPath)
+        ));
+        assert!(matches!(
+            single_mic_los(&h, &config),
+            Err(RangingError::NoDirectPath)
+        ));
     }
 
     #[test]
@@ -215,11 +245,23 @@ mod tests {
 
     #[test]
     fn arrival_sign_values() {
-        let e = LosEstimate { tau_taps: 10.0, tap_mic1: 10, tap_mic2: 12 };
+        let e = LosEstimate {
+            tau_taps: 10.0,
+            tap_mic1: 10,
+            tap_mic2: 12,
+        };
         assert_eq!(arrival_sign(&e), 1);
-        let e = LosEstimate { tau_taps: 10.0, tap_mic1: 12, tap_mic2: 10 };
+        let e = LosEstimate {
+            tau_taps: 10.0,
+            tap_mic1: 12,
+            tap_mic2: 10,
+        };
         assert_eq!(arrival_sign(&e), -1);
-        let e = LosEstimate { tau_taps: 10.0, tap_mic1: 10, tap_mic2: 10 };
+        let e = LosEstimate {
+            tau_taps: 10.0,
+            tap_mic1: 10,
+            tap_mic2: 10,
+        };
         assert_eq!(arrival_sign(&e), 0);
     }
 

@@ -4,10 +4,19 @@
 //! quantities the receiver needs repeatedly (the base symbol spectrum for
 //! LS channel estimation, PN signs, block boundaries), so they are computed
 //! once per configuration instead of per packet.
+//!
+//! The preamble also owns the receive-side *execution state*: a
+//! [`MatchedFilter`] whose template spectrum is computed once and reused by
+//! every detection, and a [`PlanPool`] of symbol-length FFT plans shared by
+//! the LS channel estimator. Both are internally pooled, so one
+//! `RangingPreamble` can serve many concurrent ranging exchanges without
+//! serialising their transforms.
 
 use crate::Result;
 use uw_dsp::complex::Complex64;
 use uw_dsp::ofdm::{base_symbol_spectrum, build_preamble, OfdmConfig};
+use uw_dsp::plan::{FftPlan, PlanPool};
+use uw_dsp::MatchedFilter;
 
 /// A fully-built ranging preamble.
 #[derive(Debug, Clone)]
@@ -24,6 +33,10 @@ pub struct RangingPreamble {
     pub first_bin: usize,
     /// PN signs of the preamble symbols.
     pub pn_signs: Vec<f64>,
+    /// Overlap-save correlator with the waveform's spectrum precomputed.
+    filter: MatchedFilter,
+    /// Pooled FFT plans for the symbol length (Bluestein for 1920).
+    symbol_plans: PlanPool,
 }
 
 impl RangingPreamble {
@@ -41,7 +54,17 @@ impl RangingPreamble {
             *s *= 0.5 * (1.0 - (std::f64::consts::PI * i as f64 / ramp as f64).cos());
         }
         let pn_signs = config.pn_signs();
-        Ok(Self { config, waveform, base_bins: spectrum.bins, first_bin: spectrum.first_bin, pn_signs })
+        let filter = MatchedFilter::new(&waveform)?;
+        let symbol_plans = PlanPool::new(config.fft_len())?;
+        Ok(Self {
+            config,
+            waveform,
+            base_bins: spectrum.bins,
+            first_bin: spectrum.first_bin,
+            pn_signs,
+            filter,
+            symbol_plans,
+        })
     }
 
     /// Builds the preamble with the paper's default parameters
@@ -76,6 +99,32 @@ impl RangingPreamble {
     /// within the preamble.
     pub fn symbol_start(&self, i: usize) -> usize {
         i * self.block_len() + self.config.cyclic_prefix
+    }
+
+    /// The precomputed overlap-save correlator for this preamble.
+    pub fn matched_filter(&self) -> &MatchedFilter {
+        &self.filter
+    }
+
+    /// Normalised cross-correlation of `stream` against the preamble
+    /// waveform through the precomputed matched filter (identical output to
+    /// `uw_dsp::correlation::xcorr_normalized`, computed in streaming
+    /// blocks against the cached template spectrum).
+    pub fn correlate_normalized(&self, stream: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.filter.correlate_normalized(stream)?)
+    }
+
+    /// As [`Self::correlate_normalized`] but reusing a caller-provided
+    /// output buffer (allocation-free in steady state).
+    pub fn correlate_normalized_into(&self, stream: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        Ok(self.filter.correlate_normalized_into(stream, out)?)
+    }
+
+    /// Runs `f` with a checked-out symbol-length FFT plan (1920-point
+    /// Bluestein for the paper's parameters). Concurrent callers receive
+    /// distinct plans from the pool instead of serialising.
+    pub fn with_symbol_plan<R>(&self, f: impl FnOnce(&mut FftPlan) -> R) -> R {
+        self.symbol_plans.with(f)
     }
 }
 
@@ -117,14 +166,17 @@ mod tests {
         assert!(peak > 0.9);
         // Beyond the ramp the waveform matches the unramped construction.
         let raw = uw_dsp::ofdm::build_preamble(&p.config).unwrap();
-        for i in ramp..p.len() {
-            assert!((p.waveform[i] - raw[i]).abs() < 1e-12);
+        for (w, r) in p.waveform.iter().zip(raw.iter()).skip(ramp) {
+            assert!((w - r).abs() < 1e-12);
         }
     }
 
     #[test]
     fn invalid_config_is_rejected() {
-        let config = OfdmConfig { n_symbols: 1, ..OfdmConfig::default() };
+        let config = OfdmConfig {
+            n_symbols: 1,
+            ..OfdmConfig::default()
+        };
         assert!(RangingPreamble::new(config).is_err());
     }
 }

@@ -109,7 +109,9 @@ pub fn estimate_arrival_dual(
         });
     }
     let detection = detect_preamble(stream_mic1, preamble, &config.detector)?;
-    let fine_start = detection.start_sample.saturating_sub(config.backoff_samples);
+    let fine_start = detection
+        .start_sample
+        .saturating_sub(config.backoff_samples);
 
     let (los_est, tau) = match config.mic_mode {
         MicMode::Both => {
@@ -147,7 +149,10 @@ pub fn estimate_arrival_single(
     preamble: &RangingPreamble,
     config: &RangingConfig,
 ) -> Result<ArrivalEstimate> {
-    let cfg = RangingConfig { mic_mode: MicMode::FirstOnly, ..config.clone() };
+    let cfg = RangingConfig {
+        mic_mode: MicMode::FirstOnly,
+        ..config.clone()
+    };
     estimate_arrival_dual(stream, stream, preamble, &cfg)
 }
 
@@ -155,7 +160,9 @@ pub fn estimate_arrival_single(
 /// time (both in seconds on a common clock): `d = c · (t_arrival − t_emit)`.
 pub fn one_way_distance(t_emit_s: f64, t_arrival_s: f64, sound_speed: f64) -> Result<f64> {
     if sound_speed <= 0.0 {
-        return Err(RangingError::InvalidInput { reason: "sound speed must be positive".into() });
+        return Err(RangingError::InvalidInput {
+            reason: "sound speed must be positive".into(),
+        });
     }
     let dt = t_arrival_s - t_emit_s;
     if dt < 0.0 {
@@ -172,9 +179,17 @@ pub fn one_way_distance(t_emit_s: f64, t_arrival_s: f64, sound_speed: f64) -> Re
 /// local time `b_rx` and replies at `b_tx`. The one-way propagation time is
 /// `((a_rx − a_tx) − (b_tx − b_rx)) / 2` and the distance follows by
 /// multiplying with the sound speed.
-pub fn two_way_distance(a_tx: f64, a_rx: f64, b_rx: f64, b_tx: f64, sound_speed: f64) -> Result<f64> {
+pub fn two_way_distance(
+    a_tx: f64,
+    a_rx: f64,
+    b_rx: f64,
+    b_tx: f64,
+    sound_speed: f64,
+) -> Result<f64> {
     if sound_speed <= 0.0 {
-        return Err(RangingError::InvalidInput { reason: "sound speed must be positive".into() });
+        return Err(RangingError::InvalidInput {
+            reason: "sound speed must be positive".into(),
+        });
     }
     let round_trip = (a_rx - a_tx) - (b_tx - b_rx);
     if round_trip < 0.0 {
@@ -206,7 +221,9 @@ mod tests {
         let total = arrival + preamble.len() + 8000;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut mk = |arr: usize| {
-            let mut s: Vec<f64> = (0..total).map(|_| noise_amp * rng.gen_range(-1.0..1.0)).collect();
+            let mut s: Vec<f64> = (0..total)
+                .map(|_| noise_amp * rng.gen_range(-1.0..1.0))
+                .collect();
             for (i, &p) in preamble.waveform.iter().enumerate() {
                 if arr + i < total {
                     s[arr + i] += direct_gain * p;
@@ -263,11 +280,17 @@ mod tests {
             s1[truth - 180 + k] += 0.5 * ((k as f64) * 0.9).sin();
         }
         let dual = estimate_arrival_dual(&s1, &s2, &p, &RangingConfig::default()).unwrap();
-        let single_cfg = RangingConfig { mic_mode: MicMode::FirstOnly, ..RangingConfig::default() };
+        let single_cfg = RangingConfig {
+            mic_mode: MicMode::FirstOnly,
+            ..RangingConfig::default()
+        };
         let single = estimate_arrival_dual(&s1, &s2, &p, &single_cfg).unwrap();
         let dual_err = (dual.arrival_sample - truth as f64).abs();
         let single_err = (single.arrival_sample - truth as f64).abs();
-        assert!(dual_err <= single_err, "dual {dual_err} vs single {single_err}");
+        assert!(
+            dual_err <= single_err,
+            "dual {dual_err} vs single {single_err}"
+        );
         assert!(dual_err < 20.0);
     }
 
@@ -298,7 +321,11 @@ mod tests {
             fine_start: 4154,
             tau_taps: 256.0,
             arrival_sample: 4410.0,
-            los: LosEstimate { tau_taps: 256.0, tap_mic1: 256, tap_mic2: 256 },
+            los: LosEstimate {
+                tau_taps: 256.0,
+                tap_mic1: 256,
+                tap_mic2: 256,
+            },
             validation: 0.9,
         };
         assert!((est.arrival_time_s(44_100.0) - 0.1).abs() < 1e-12);

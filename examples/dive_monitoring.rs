@@ -22,7 +22,10 @@ fn main() {
     let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
 
     println!("Monitoring a 5-diver group; diver {moving_device} is swimming at ~40 cm/s\n");
-    println!("{:<8} {:>14} {:>14} {:>16}", "round", "median err (m)", "moving err (m)", "links measured");
+    println!(
+        "{:<8} {:>14} {:>14} {:>16}",
+        "round", "median err (m)", "moving err (m)", "links measured"
+    );
 
     let n_rounds = 8;
     let mut moving_errors = Vec::new();
@@ -54,5 +57,7 @@ fn main() {
         mean(&moving_errors),
         mean(&static_errors)
     );
-    println!("(the paper's Fig. 20 reports a modest increase for the moving device: 0.4 m → 0.8 m)");
+    println!(
+        "(the paper's Fig. 20 reports a modest increase for the moving device: 0.4 m → 0.8 m)"
+    );
 }

@@ -10,14 +10,17 @@
 //! separations in the dock environment, and compares against the BeepBeep
 //! and FMCW baselines (the Fig. 12b comparison in miniature).
 
-use uwgps::core::waveform::{repeated_trial_errors, PairwiseTrial, RangingScheme};
 use uwgps::core::prelude::EnvironmentKind;
+use uwgps::core::waveform::{repeated_trial_errors, PairwiseTrial, RangingScheme};
 
 fn main() {
     let distances = [10.0, 20.0, 28.0];
     let trials = 8;
     println!("Waveform-level 1D ranging in the dock environment ({trials} trials per point)\n");
-    println!("{:<10} {:>18} {:>18} {:>18}", "distance", "ours (dual-mic)", "BeepBeep", "CAT (FMCW)");
+    println!(
+        "{:<10} {:>18} {:>18} {:>18}",
+        "distance", "ours (dual-mic)", "BeepBeep", "CAT (FMCW)"
+    );
     for &d in &distances {
         let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.0);
         let mean = |scheme: RangingScheme, seed: u64| {

@@ -16,9 +16,14 @@ use uwgps::core::prelude::*;
 fn main() {
     let scenario = Scenario::dock_five_devices(42);
     let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
-    let outcome = session.run(scenario.network()).expect("localization round succeeds");
+    let outcome = session
+        .run(scenario.network())
+        .expect("localization round succeeds");
 
-    println!("Underwater 3D positioning — quickstart ({})", scenario.name());
+    println!(
+        "Underwater 3D positioning — quickstart ({})",
+        scenario.name()
+    );
     println!(
         "protocol round: {:.2} s acoustic + {:.2} s report = {:.2} s total\n",
         outcome.latency.acoustic_s,
@@ -26,16 +31,29 @@ fn main() {
         outcome.latency.total_s()
     );
 
-    let truth = scenario.network().positions_at(outcome.latency.acoustic_s / 2.0);
+    let truth = scenario
+        .network()
+        .positions_at(outcome.latency.acoustic_s / 2.0);
     let leader_truth = truth[0];
-    println!("{:<8} {:>22} {:>22} {:>10}", "device", "estimated (x, y, z) m", "ground truth (m)", "2D error");
+    println!(
+        "{:<8} {:>22} {:>22} {:>10}",
+        "device", "estimated (x, y, z) m", "ground truth (m)", "2D error"
+    );
     for (id, estimate) in outcome.positions.iter().enumerate() {
         let t = truth[id];
         let rel = Point3::new(t.x - leader_truth.x, t.y - leader_truth.y, t.z);
-        let err = if id == 0 { 0.0 } else { outcome.errors_2d[id - 1] };
+        let err = if id == 0 {
+            0.0
+        } else {
+            outcome.errors_2d[id - 1]
+        };
         println!(
             "{:<8} ({:>6.2}, {:>6.2}, {:>5.2}) ({:>6.2}, {:>6.2}, {:>5.2}) {:>8.2} m",
-            if id == 0 { "leader".to_string() } else { format!("diver {id}") },
+            if id == 0 {
+                "leader".to_string()
+            } else {
+                format!("diver {id}")
+            },
             estimate.x,
             estimate.y,
             estimate.z,
@@ -52,6 +70,12 @@ fn main() {
         e[e.len() / 2]
     };
     println!("\nmedian 2D localization error: {median:.2} m");
-    println!("measured pairwise links: {}", outcome.distances.link_count());
-    println!("flipping disambiguation correct: {}", outcome.flipping_correct);
+    println!(
+        "measured pairwise links: {}",
+        outcome.distances.link_count()
+    );
+    println!(
+        "flipping disambiguation correct: {}",
+        outcome.flipping_correct
+    );
 }

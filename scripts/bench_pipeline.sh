@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the criterion benches and aggregates every measurement into
+# BENCH_pipeline.json (one JSON object with a sorted "benchmarks" array),
+# so successive PRs leave a comparable performance trajectory.
+#
+# Usage: ./scripts/bench_pipeline.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pipeline.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# The vendored criterion stand-in appends one JSON line per benchmark to the
+# file named by UW_BENCH_JSON (see vendor/criterion).
+UW_BENCH_JSON="$raw" cargo bench -p uw-bench
+
+python3 - "$raw" "$out" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+rows = {}
+with open(raw_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        rows[row["name"]] = row  # last run of a name wins
+
+doc = {
+    "schema": "uwgps-bench-v1",
+    "benchmarks": sorted(rows.values(), key=lambda r: r["name"]),
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} with {len(rows)} benchmarks")
+EOF

@@ -28,10 +28,18 @@ fn boathouse_testbed_has_larger_but_bounded_errors() {
     let boathouse = CoreScenario::boathouse_five_devices(55);
     let mut dock_session = Session::new(dock.config().clone()).unwrap();
     let mut boat_session = Session::new(boathouse.config().clone()).unwrap();
-    let dock_errs: Vec<f64> =
-        dock_session.run_many(dock.network(), 10).unwrap().iter().flat_map(|o| o.errors_2d.clone()).collect();
-    let boat_errs: Vec<f64> =
-        boat_session.run_many(boathouse.network(), 10).unwrap().iter().flat_map(|o| o.errors_2d.clone()).collect();
+    let dock_errs: Vec<f64> = dock_session
+        .run_many(dock.network(), 20)
+        .unwrap()
+        .iter()
+        .flat_map(|o| o.errors_2d.clone())
+        .collect();
+    let boat_errs: Vec<f64> = boat_session
+        .run_many(boathouse.network(), 20)
+        .unwrap()
+        .iter()
+        .flat_map(|o| o.errors_2d.clone())
+        .collect();
     // Both stay within a few metres at the 95th percentile.
     let p95 = |mut v: Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -47,8 +55,20 @@ fn four_and_five_device_networks_are_comparable() {
     let four = CoreScenario::four_devices(77);
     let mut s5 = Session::new(five.config().clone()).unwrap();
     let mut s4 = Session::new(four.config().clone()).unwrap();
-    let e5 = median(s5.run_many(five.network(), 10).unwrap().iter().flat_map(|o| o.errors_2d.clone()).collect());
-    let e4 = median(s4.run_many(four.network(), 10).unwrap().iter().flat_map(|o| o.errors_2d.clone()).collect());
+    let e5 = median(
+        s5.run_many(five.network(), 10)
+            .unwrap()
+            .iter()
+            .flat_map(|o| o.errors_2d.clone())
+            .collect(),
+    );
+    let e4 = median(
+        s4.run_many(four.network(), 10)
+            .unwrap()
+            .iter()
+            .flat_map(|o| o.errors_2d.clone())
+            .collect(),
+    );
     // §3.2: medians 0.9 m vs 0.8 m — the two should be close.
     assert!((e5 - e4).abs() < 1.0, "5-device {e5} vs 4-device {e4}");
 }
@@ -65,10 +85,18 @@ fn occluded_link_is_handled_by_outlier_detection() {
 
     let mut s_with = Session::new(with.config().clone()).unwrap();
     let mut s_without = Session::new(without.config().clone()).unwrap();
-    let errs_with: Vec<f64> =
-        s_with.run_many(with.network(), 12).unwrap().iter().flat_map(|o| o.errors_2d.clone()).collect();
-    let errs_without: Vec<f64> =
-        s_without.run_many(without.network(), 12).unwrap().iter().flat_map(|o| o.errors_2d.clone()).collect();
+    let errs_with: Vec<f64> = s_with
+        .run_many(with.network(), 24)
+        .unwrap()
+        .iter()
+        .flat_map(|o| o.errors_2d.clone())
+        .collect();
+    let errs_without: Vec<f64> = s_without
+        .run_many(without.network(), 24)
+        .unwrap()
+        .iter()
+        .flat_map(|o| o.errors_2d.clone())
+        .collect();
     assert!(
         median(errs_with.clone()) <= median(errs_without.clone()) + 0.5,
         "with {} vs without {}",
@@ -110,7 +138,10 @@ fn flipping_disambiguation_improves_with_more_voters() {
     let mut session = Session::new(scenario.config().clone()).unwrap();
     let outcomes = session.run_many(scenario.network(), 20).unwrap();
     let correct = outcomes.iter().filter(|o| o.flipping_correct).count();
-    assert!(correct >= 18, "flipping correct in only {correct}/20 rounds");
+    assert!(
+        correct >= 18,
+        "flipping correct in only {correct}/20 rounds"
+    );
 }
 
 #[test]
@@ -131,7 +162,9 @@ fn protocol_latency_matches_paper_table() {
 #[test]
 fn facade_reexports_are_usable() {
     // The facade exposes every layer.
-    let c = uwgps::channel::sound_speed::wilson_sound_speed(&uwgps::channel::sound_speed::WaterProperties::default());
+    let c = uwgps::channel::sound_speed::wilson_sound_speed(
+        &uwgps::channel::sound_speed::WaterProperties::default(),
+    );
     assert!(c > 1400.0 && c < 1600.0);
     let preamble = uwgps::ranging::preamble::RangingPreamble::default_paper().unwrap();
     assert_eq!(preamble.config.symbol_len, 1920);

@@ -4,12 +4,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uwgps::core::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
-use uwgps::core::prelude::EnvironmentKind;
-use uwgps::localization::matrix::DistanceMatrix;
-use uwgps::localization::pipeline::{localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig};
-use uwgps::localization::ambiguity::geometric_side;
 use uwgps::channel::geometry::Point3;
+use uwgps::core::prelude::EnvironmentKind;
+use uwgps::core::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
+use uwgps::localization::ambiguity::geometric_side;
+use uwgps::localization::matrix::DistanceMatrix;
+use uwgps::localization::pipeline::{
+    localize, truth_in_leader_frame, LocalizationInput, LocalizerConfig,
+};
 
 #[test]
 fn waveform_ranging_median_error_is_paper_scale() {
@@ -39,7 +41,10 @@ fn dual_mic_beats_single_mic_at_long_range() {
     };
     let dual = worst(RangingScheme::DualMicOfdm);
     let single = worst(RangingScheme::BottomMicOnly);
-    assert!(dual <= single + 0.5, "dual worst {dual} vs single worst {single}");
+    assert!(
+        dual <= single + 0.5,
+        "dual worst {dual} vs single worst {single}"
+    );
 }
 
 #[test]
@@ -55,7 +60,11 @@ fn analytical_topology_evaluation_matches_fig6_trends() {
             let mut positions = vec![Point3::new(0.0, 0.0, rng.gen_range(0.0..10.0))];
             let d01 = rng.gen_range(4.0..9.0);
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-            positions.push(Point3::new(d01 * theta.cos(), d01 * theta.sin(), rng.gen_range(0.0..10.0)));
+            positions.push(Point3::new(
+                d01 * theta.cos(),
+                d01 * theta.sin(),
+                rng.gen_range(0.0..10.0),
+            ));
             for _ in 2..n {
                 positions.push(Point3::new(
                     rng.gen_range(-30.0..30.0),
@@ -67,13 +76,25 @@ fn analytical_topology_evaluation_matches_fig6_trends() {
             for i in 0..n {
                 for j in (i + 1)..n {
                     let d = positions[i].distance(&positions[j]);
-                    distances.set(i, j, (d + rng.gen_range(-eps_1d..eps_1d)).max(0.1)).unwrap();
+                    distances
+                        .set(i, j, (d + rng.gen_range(-eps_1d..eps_1d)).max(0.1))
+                        .unwrap();
                 }
             }
-            let depths: Vec<f64> = positions.iter().map(|p| (p.z + rng.gen_range(-0.4..0.4)).max(0.0)).collect();
+            let depths: Vec<f64> = positions
+                .iter()
+                .map(|p| (p.z + rng.gen_range(-0.4..0.4)).max(0.0))
+                .collect();
             let frame = truth_in_leader_frame(&positions);
-            let side_signs: Vec<Option<i8>> =
-                (0..n).map(|i| if i < 2 { None } else { Some(geometric_side(&frame, i)) }).collect();
+            let side_signs: Vec<Option<i8>> = (0..n)
+                .map(|i| {
+                    if i < 2 {
+                        None
+                    } else {
+                        Some(geometric_side(&frame, i))
+                    }
+                })
+                .collect();
             let input = LocalizationInput {
                 distances,
                 depths,
@@ -93,7 +114,10 @@ fn analytical_topology_evaluation_matches_fig6_trends() {
 
     let small_noise = mean_error(6, 0.3, &mut rng);
     let large_noise = mean_error(6, 1.5, &mut rng);
-    assert!(large_noise > small_noise, "error should grow with ranging noise: {small_noise} vs {large_noise}");
+    assert!(
+        large_noise > small_noise,
+        "error should grow with ranging noise: {small_noise} vs {large_noise}"
+    );
 
     let few_devices = mean_error(4, 0.8, &mut rng);
     let many_devices = mean_error(8, 0.8, &mut rng);
@@ -109,10 +133,14 @@ fn detection_is_robust_in_the_busy_boathouse_environment() {
     let mut detected = 0;
     let mut false_alarms = 0;
     for seed in 0..6 {
-        if detection_trial_ours(EnvironmentKind::Boathouse, 15.0, 0.35, seed).unwrap() == DetectionTrialOutcome::Detected {
+        if detection_trial_ours(EnvironmentKind::Boathouse, 15.0, 0.35, seed).unwrap()
+            == DetectionTrialOutcome::Detected
+        {
             detected += 1;
         }
-        if noise_trial_ours(EnvironmentKind::Boathouse, 0.35, 100 + seed).unwrap() == DetectionTrialOutcome::Detected {
+        if noise_trial_ours(EnvironmentKind::Boathouse, 0.35, 100 + seed).unwrap()
+            == DetectionTrialOutcome::Detected
+        {
             false_alarms += 1;
         }
     }

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace uses — `Criterion`,
+//! `bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple wall-clock
+//! harness: a calibration pass sizes each sample so it runs long enough to
+//! measure, then `sample_size` samples are timed and summarised as
+//! median/mean/min time per iteration.
+//!
+//! When the `UW_BENCH_JSON` environment variable names a file, one JSON line
+//! per benchmark is appended to it:
+//!
+//! ```json
+//! {"name":"fft_radix2_2048","median_ns":123456.0,"mean_ns":125000.0,"min_ns":120000.0,"samples":10,"iters_per_sample":42}
+//! ```
+//!
+//! `scripts/bench_pipeline.sh` aggregates those lines into
+//! `BENCH_pipeline.json` so successive PRs leave a performance trajectory.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time per sample; iterations are batched to reach it.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+
+/// Benchmark harness (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        routine(&mut bencher);
+        match bencher.result {
+            Some(m) => m.report(name),
+            None => eprintln!("benchmark {name}: routine never called Bencher::iter"),
+        }
+        self
+    }
+
+    /// Compatibility no-op: the stub has no persistent state to finalise.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, batching iterations per sample so each sample is
+    /// long enough for the OS clock to resolve.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration: time single iterations until TARGET_SAMPLE_TIME of
+        // data (or a hard cap) is gathered, then pick the batch size.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        loop {
+            black_box(routine());
+            calibration_iters += 1;
+            let elapsed = calibration_start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || calibration_iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = calibration_start.elapsed().as_secs_f64() / calibration_iters as f64;
+        let iters_per_sample = ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-12)).ceil()
+            as u64)
+            .clamp(1, 1_000_000);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.result = Some(Measurement {
+            median_ns: samples_ns[samples_ns.len() / 2],
+            mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
+            min_ns: samples_ns[0],
+            samples: samples_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Measurement {
+    fn report(&self, name: &str) {
+        println!(
+            "{name:<45} time: [{} {} {}]  ({} samples × {} iters)",
+            format_ns(self.min_ns),
+            format_ns(self.median_ns),
+            format_ns(self.mean_ns),
+            self.samples,
+            self.iters_per_sample
+        );
+        if let Ok(path) = std::env::var("UW_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = self.append_json(name, &path) {
+                    eprintln!("benchmark {name}: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+
+    fn append_json(&self, name: &str, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(
+            file,
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            name.escape_default(),
+            self.median_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+/// Formats a nanosecond figure with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Groups benchmark functions (stand-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point for benchmark binaries (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

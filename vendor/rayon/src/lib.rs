@@ -1,0 +1,182 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small slice of the rayon API the workspace uses —
+//! `par_iter()` / `into_par_iter()` followed by `map(...).collect()` — with
+//! real data parallelism on `std::thread::scope`. Work is distributed over
+//! `available_parallelism` workers pulling indices from a shared atomic
+//! counter, and results are written back in order, so `collect()` preserves
+//! input order exactly like rayon's indexed parallel iterators.
+//!
+//! The eager `Vec`-backed design trades rayon's work-stealing generality for
+//! zero dependencies; the fan-outs in this workspace (per-link ranging
+//! trials, per-seed Monte-Carlo repetitions) are coarse-grained enough that
+//! the difference is irrelevant.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Conversion into an owning parallel iterator (stand-in for
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (stand-in for
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// An eager, indexed parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f`, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _result: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect`.
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _result: std::marker::PhantomData<R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, R, F> {
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Maps `items` through `f` on a scoped worker pool, returning results in
+/// input order.
+fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Feed workers from a shared queue of (index, item); collect (index,
+    // result) pairs and restore order at the end. Everything is safe code:
+    // the queue and the result sink are both mutex-protected, and the atomic
+    // counter only tracks how many items have been claimed.
+    let queue: Mutex<Vec<Option<T>>> = Mutex::new(items.into_iter().map(Some).collect());
+    let cursor = AtomicUsize::new(0);
+    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = queue.lock().expect("queue poisoned")[idx]
+                    .take()
+                    .expect("each index is claimed once");
+                let result = f(item);
+                sink.lock().expect("sink poisoned").push((idx, result));
+            });
+        }
+    });
+
+    let mut pairs = sink.into_inner().expect("sink poisoned");
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Prelude matching `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_over_vec() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ref_iter_and_range() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = v.par_iter().map(|x| x + 0.5).collect();
+        assert_eq!(out, vec![1.5, 2.5, 3.5]);
+        let out: Vec<usize> = (0usize..17).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[16], 256);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace compiles without network access to a crates registry, so the
+//! handful of external crates it names are vendored as minimal stubs (see
+//! `vendor/README.md`). The real system never serialises anything at runtime
+//! today — `#[derive(Serialize, Deserialize)]` is used purely to keep result
+//! types wire-ready — so marker traits with blanket impls are sufficient.
+//! Swapping in the real `serde` later requires no source changes: the trait
+//! paths and derive names match.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`, so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no access to a crates registry,
+//! so external dependencies are vendored as minimal API-compatible stubs (see
+//! `vendor/README.md`). The sibling `serde` stub provides blanket impls of
+//! `Serialize`/`Deserialize` for every type, so these derive macros only need
+//! to exist as resolvable derive names — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`. Expands to nothing; the blanket impl
+/// in the `serde` stub already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`. Expands to nothing; the blanket
+/// impl in the `serde` stub already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
