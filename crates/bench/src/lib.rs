@@ -10,6 +10,26 @@
 //! * `UWGPS_TRIALS` — number of trials per data point (defaults are small
 //!   enough to finish in seconds; increase for smoother statistics),
 //! * `UWGPS_SEED` — base RNG seed.
+//!
+//! Network-scale figures (Fig. 18–20, the latency table) are additionally
+//! covered by the scenario matrix in `uw-eval` — see `docs/EVALUATION.md`
+//! for the figure-by-figure mapping; the statistics helpers here come from
+//! [`uw_core::metrics`].
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_bench::{header, print_series, seed, trials};
+//! use uw_core::metrics::SeriesStats;
+//!
+//! // Honour the UWGPS_TRIALS / UWGPS_SEED overrides, defaulting to 8 / 1.
+//! let n = trials(8);
+//! assert!(n >= 1);
+//! let _seed = seed();
+//! header("fig. demo", "an example series");
+//! let series = [SeriesStats::from_samples("10 m", &[0.4, 0.5, 0.6]).unwrap()];
+//! print_series(&series);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -31,6 +31,9 @@ pub struct DiveNetwork {
     devices: Vec<SmartDevice>,
     /// Per-pair link overrides, keyed by (min id, max id).
     link_conditions: Vec<((usize, usize), LinkCondition)>,
+    /// Device churn: `(device, after_round)` — the device falls silent
+    /// (stops transmitting and receiving) from round `after_round` onwards.
+    churn: Vec<(usize, usize)>,
 }
 
 impl DiveNetwork {
@@ -68,6 +71,7 @@ impl DiveNetwork {
             environment,
             devices,
             link_conditions: Vec::new(),
+            churn: Vec::new(),
         })
     }
 
@@ -137,6 +141,36 @@ impl DiveNetwork {
     pub fn set_trajectory(&mut self, id: usize, trajectory: Trajectory) -> Result<()> {
         self.device_mut(id)?.trajectory = trajectory;
         Ok(())
+    }
+
+    /// Marks a device as churning out of the session: from round
+    /// `after_round` onwards (0-based) the device neither transmits nor
+    /// receives, modelling a phone whose battery dies or that leaves the
+    /// group mid-dive. The leader (0) and the pointing target (1) cannot
+    /// churn — the session's reference frame depends on them.
+    pub fn set_device_churn(&mut self, id: usize, after_round: usize) -> Result<()> {
+        if id < 2 || id >= self.devices.len() {
+            return Err(SystemError::InvalidConfig {
+                reason: format!(
+                    "device {id} cannot churn (leader and pointing target must stay; \
+                     group has {} devices)",
+                    self.devices.len()
+                ),
+            });
+        }
+        self.churn.retain(|(d, _)| *d != id);
+        self.churn.push((id, after_round));
+        Ok(())
+    }
+
+    /// The round from which a device is silent, if churn is configured.
+    pub fn churn_round(&self, id: usize) -> Option<usize> {
+        self.churn.iter().find(|(d, _)| *d == id).map(|(_, r)| *r)
+    }
+
+    /// Whether a device is silent in the given (0-based) round.
+    pub fn device_silent_in_round(&self, id: usize, round: usize) -> bool {
+        matches!(self.churn_round(id), Some(after) if round >= after)
     }
 
     /// Sound speed of the environment (m/s).
@@ -214,6 +248,26 @@ mod tests {
         assert!(net
             .set_link_condition(0, 9, LinkCondition::Missing)
             .is_err());
+    }
+
+    #[test]
+    fn device_churn_silences_from_the_given_round() {
+        let mut net = DiveNetwork::new(EnvironmentKind::Dock, &positions()).unwrap();
+        assert!(net.churn_round(2).is_none());
+        net.set_device_churn(2, 3).unwrap();
+        assert_eq!(net.churn_round(2), Some(3));
+        assert!(!net.device_silent_in_round(2, 0));
+        assert!(!net.device_silent_in_round(2, 2));
+        assert!(net.device_silent_in_round(2, 3));
+        assert!(net.device_silent_in_round(2, 100));
+        assert!(!net.device_silent_in_round(1, 100));
+        // Re-setting overrides the previous round.
+        net.set_device_churn(2, 5).unwrap();
+        assert_eq!(net.churn_round(2), Some(5));
+        // Leader, pointing target and out-of-range ids are rejected.
+        assert!(net.set_device_churn(0, 1).is_err());
+        assert!(net.set_device_churn(1, 1).is_err());
+        assert!(net.set_device_churn(9, 1).is_err());
     }
 
     #[test]

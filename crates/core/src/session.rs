@@ -56,6 +56,11 @@ pub struct SessionOutcome {
     pub flipping_correct: bool,
     /// How each device synchronised during the round.
     pub sync_sources: Vec<SyncSource>,
+    /// Devices that were silent this round (device churn): they are
+    /// excluded from the solve; their horizontal state (`positions_2d`,
+    /// `positions` x/y, `errors_2d`) is NaN, while `positions[i].z` keeps
+    /// the last depth report.
+    pub silent_devices: Vec<usize>,
 }
 
 /// A configured localization system, ready to run rounds.
@@ -99,6 +104,23 @@ impl Session {
         }
         let round_index = self.rounds_run as u64;
         self.rounds_run += 1;
+        // Device churn: devices that have fallen silent by this round are
+        // cut out of the physical layer entirely and later excluded from
+        // the topology solve.
+        let silent: Vec<bool> = (0..self.config.n_devices)
+            .map(|i| network.device_silent_in_round(i, round_index as usize))
+            .collect();
+        let silent_devices: Vec<usize> =
+            (0..self.config.n_devices).filter(|&i| silent[i]).collect();
+        if self.config.n_devices - silent_devices.len() < 3 {
+            return Err(SystemError::InvalidConfig {
+                reason: format!(
+                    "round {round_index}: only {} devices remain audible after churn; \
+                     localization needs at least 3",
+                    self.config.n_devices - silent_devices.len()
+                ),
+            });
+        }
         let seed = self
             .config
             .seed
@@ -145,6 +167,9 @@ impl Session {
         );
         let mut observer = FnObserver(|tx: usize, rx: usize, tau: f64| {
             use uw_protocol::engine::LinkObserver as _;
+            if silent[tx] || silent[rx] {
+                return None;
+            }
             let base = stat_observer.observe(tx, rx, tau)?;
             // Positions drift between the mid-round reference and the actual
             // transmission instant; the difference shows up as extra delay.
@@ -165,10 +190,11 @@ impl Session {
             let rx_azimuth_rad = network.leader_pointing_azimuth(round_mid_s)?;
             let trials: Vec<(usize, PairwiseTrial)> = (1..self.config.n_devices)
                 .filter(|&other| {
-                    !matches!(
-                        network.link_condition(0, other),
-                        Some(crate::network::LinkCondition::Missing)
-                    )
+                    !silent[other]
+                        && !matches!(
+                            network.link_condition(0, other),
+                            Some(crate::network::LinkCondition::Missing)
+                        )
                 })
                 .map(|other| {
                     let occlusion_db = match network.link_condition(0, other) {
@@ -250,18 +276,31 @@ impl Session {
             })
             .collect();
 
-        // Topology solve.
+        // Topology solve over the audible devices. With no churn this is
+        // the identity mapping; with churn the silent devices are excluded
+        // from the solve and scattered back as NaN afterwards.
+        let active: Vec<usize> = (0..self.config.n_devices).filter(|&i| !silent[i]).collect();
+        let mut reduced = DistanceMatrix::new(active.len());
+        for (a, &i) in active.iter().enumerate() {
+            for (b, &j) in active.iter().enumerate().skip(a + 1) {
+                if let Some(d) = distances.get(i, j) {
+                    reduced.set(a, b, d).map_err(SystemError::from)?;
+                }
+            }
+        }
         let input = LocalizationInput {
-            distances: distances.clone(),
-            depths,
+            distances: reduced,
+            depths: active.iter().map(|&i| depths[i]).collect(),
             pointing_azimuth_rad: pointing_azimuth,
-            side_signs,
+            side_signs: active.iter().map(|&i| side_signs[i]).collect(),
         };
-        let localization = localize(&input, &self.config.localizer, &mut rng)?;
+        let reduced_localization = localize(&input, &self.config.localizer, &mut rng)?;
 
-        // Error metrics against ground truth.
+        // Error metrics against ground truth, on the reduced index set.
         let truth_2d = truth_in_leader_frame(&truth_positions);
-        let errors_2d = localization_errors_2d(&localization.positions_2d, &truth_2d)?;
+        let reduced_truth_2d: Vec<Vec2> = active.iter().map(|&i| truth_2d[i]).collect();
+        let reduced_errors =
+            localization_errors_2d(&reduced_localization.positions_2d, &reduced_truth_2d)?;
         let mut ranging_errors = Vec::new();
         for (i, j) in distances.links() {
             let est = distances.get(i, j).expect("link exists");
@@ -272,16 +311,48 @@ impl Session {
         // Flipping correctness: the chosen configuration should fit ground
         // truth at least as well as its mirror image.
         let mirrored: Vec<Vec2> = uw_localization::ambiguity::mirror_across_pointing(
-            &localization.positions_2d,
+            &reduced_localization.positions_2d,
             pointing_azimuth,
         );
-        let err_chosen: f64 = errors_2d.iter().sum();
-        let err_mirrored: f64 = localization_errors_2d(&mirrored, &truth_2d)?.iter().sum();
+        let err_chosen: f64 = reduced_errors.iter().sum();
+        let err_mirrored: f64 = localization_errors_2d(&mirrored, &reduced_truth_2d)?
+            .iter()
+            .sum();
         let flipping_correct = err_chosen <= err_mirrored + 1e-9;
 
+        // Scatter the reduced solve back to full device indexing. Silent
+        // devices keep their reported depth but have NaN horizontal state.
+        let n = self.config.n_devices;
+        let mut positions = vec![Point3::new(f64::NAN, f64::NAN, f64::NAN); n];
+        let mut positions_2d = vec![Vec2::new(f64::NAN, f64::NAN); n];
+        let mut errors_2d = vec![f64::NAN; n - 1];
+        for (a, &i) in active.iter().enumerate() {
+            positions[i] = reduced_localization.positions[a];
+            positions_2d[i] = reduced_localization.positions_2d[a];
+            if i > 0 {
+                errors_2d[i - 1] = reduced_errors[a - 1];
+            }
+        }
+        for &i in &silent_devices {
+            positions[i].z = depths[i];
+        }
+        let localization = LocalizationOutput {
+            positions: positions.clone(),
+            positions_2d: positions_2d.clone(),
+            // Dropped links are reported in full device indices.
+            dropped_links: reduced_localization
+                .dropped_links
+                .iter()
+                .map(|&(a, b)| (active[a], active[b]))
+                .collect(),
+            normalized_stress: reduced_localization.normalized_stress,
+            flipped: reduced_localization.flipped,
+            converged: reduced_localization.converged,
+        };
+
         Ok(SessionOutcome {
-            positions: localization.positions.clone(),
-            positions_2d: localization.positions_2d.clone(),
+            positions,
+            positions_2d,
             distances,
             localization,
             errors_2d,
@@ -289,6 +360,7 @@ impl Session {
             latency,
             flipping_correct,
             sync_sources: outcome.sync_sources,
+            silent_devices,
         })
     }
 
@@ -362,6 +434,42 @@ mod tests {
         let a = session.run(scenario.network()).unwrap();
         let b = session.run(scenario.network()).unwrap();
         assert_ne!(a.errors_2d, b.errors_2d);
+    }
+
+    #[test]
+    fn churned_device_is_excluded_without_breaking_the_rest() {
+        let mut scenario = Scenario::dock_five_devices(21);
+        scenario.network_mut().set_device_churn(4, 2).unwrap();
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let outcomes = session.run_many(scenario.network(), 4).unwrap();
+        // Rounds 0-1: everyone audible, all errors finite.
+        for o in &outcomes[..2] {
+            assert!(o.silent_devices.is_empty());
+            assert!(o.errors_2d.iter().all(|e| e.is_finite()));
+        }
+        // Rounds 2-3: device 4 silent — its error is NaN, everyone else's
+        // stays finite and the solve still succeeds.
+        for o in &outcomes[2..] {
+            assert_eq!(o.silent_devices, vec![4]);
+            assert!(o.errors_2d[3].is_nan());
+            assert!(o.positions_2d[4].x.is_nan());
+            // Depth report is retained for the silent device.
+            assert!(o.positions[4].z.is_finite());
+            for (i, e) in o.errors_2d.iter().enumerate().take(3) {
+                assert!(e.is_finite(), "device {} error {e}", i + 1);
+            }
+            // No distances were measured to the silent device.
+            assert!(o.distances.links().iter().all(|&(i, j)| i != 4 && j != 4));
+        }
+    }
+
+    #[test]
+    fn churn_below_three_audible_devices_fails() {
+        let mut scenario = Scenario::four_devices(5);
+        scenario.network_mut().set_device_churn(2, 0).unwrap();
+        scenario.network_mut().set_device_churn(3, 0).unwrap();
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        assert!(session.run(scenario.network()).is_err());
     }
 
     #[test]

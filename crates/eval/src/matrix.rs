@@ -1,0 +1,490 @@
+//! Declarative scenario matrices and their expansion into concrete cells.
+//!
+//! A [`ScenarioMatrix`] is the cross product of five axes:
+//!
+//! * **environments** — [`EnvironmentKind`] presets (the paper's four sites
+//!   plus the open-water and tidal-channel extensions),
+//! * **topologies** — group sizes ([`Topology`]),
+//! * **link conditions** — clear, occluded, missing-link, device-churn
+//!   ([`LinkProfile`]),
+//! * **mobility profiles** — static, rope oscillation, swimmer circuit,
+//!   current drift ([`MobilityProfile`]),
+//! * **seeds** — one cell per RNG seed.
+//!
+//! [`ScenarioMatrix::expand`] turns the matrix into concrete [`EvalCell`]s,
+//! each carrying a ready-to-run [`Scenario`] and a stable identifier like
+//! `dock/5dev/clear/static/s1` that the reproduction guide keys on.
+
+use uw_core::config::Fidelity;
+use uw_core::prelude::*;
+use uw_core::Result;
+
+/// Network topology axis: how many devices form the dive group. The paper's
+/// measured layouts are used where they exist (dock 4/5, boathouse 5,
+/// pool 4); other combinations get the deterministic spiral layout of
+/// [`Scenario::site_n_devices`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Four devices (§3.2 "4-device networks").
+    FourDevice,
+    /// Five devices (the paper's main testbeds, Fig. 18).
+    FiveDevice,
+    /// An arbitrary group size (3–8), for the latency/scaling sweeps.
+    Group(usize),
+}
+
+impl Topology {
+    /// Number of devices in the group.
+    pub fn n_devices(&self) -> usize {
+        match self {
+            Topology::FourDevice => 4,
+            Topology::FiveDevice => 5,
+            Topology::Group(n) => *n,
+        }
+    }
+
+    /// Identifier fragment, e.g. `5dev`.
+    pub fn slug(&self) -> String {
+        format!("{}dev", self.n_devices())
+    }
+}
+
+/// Link-condition axis: what (if anything) is wrong with the links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkProfile {
+    /// All links clear.
+    Clear,
+    /// The leader–device-1 direct path is occluded; its range estimate is
+    /// biased by the reflection's extra path length (Fig. 19a).
+    Occluded {
+        /// Extra path length of the reflection (m).
+        bias_m: f64,
+    },
+    /// One non-leader link (device 2 ↔ last device) is missing entirely
+    /// (out-of-range pair, Fig. 19b).
+    MissingLink,
+    /// The last device falls silent from the given round onwards (device
+    /// churn: battery death or a diver leaving the group).
+    DeviceChurn {
+        /// First 0-based round in which the device is silent.
+        after_round: usize,
+    },
+}
+
+impl LinkProfile {
+    /// Identifier fragment, e.g. `occluded`.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            LinkProfile::Clear => "clear",
+            LinkProfile::Occluded { .. } => "occluded",
+            LinkProfile::MissingLink => "misslink",
+            LinkProfile::DeviceChurn { .. } => "churn",
+        }
+    }
+}
+
+/// Mobility axis: how devices move during the session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityProfile {
+    /// All devices hold position.
+    Static,
+    /// Device 2 oscillates around its position on a rope (Fig. 20).
+    RopeOscillation {
+        /// Peak speed in cm/s.
+        speed_cm_s: f64,
+    },
+    /// Device 2 swims a closed circuit with a gentle depth bob.
+    Swimmer {
+        /// Swimming speed in cm/s.
+        speed_cm_s: f64,
+    },
+    /// Every non-leader device drifts with a current at a device-dependent
+    /// fraction of the given speed.
+    CurrentDrift {
+        /// Nominal current speed in cm/s.
+        speed_cm_s: f64,
+    },
+}
+
+impl MobilityProfile {
+    /// Identifier fragment, e.g. `rope40`.
+    pub fn slug(&self) -> String {
+        match self {
+            MobilityProfile::Static => "static".into(),
+            MobilityProfile::RopeOscillation { speed_cm_s } => {
+                format!("rope{}", speed_cm_s.round() as i64)
+            }
+            MobilityProfile::Swimmer { speed_cm_s } => {
+                format!("swim{}", speed_cm_s.round() as i64)
+            }
+            MobilityProfile::CurrentDrift { speed_cm_s } => {
+                format!("drift{}", speed_cm_s.round() as i64)
+            }
+        }
+    }
+}
+
+/// A declarative evaluation grid: the cross product of the five axes, plus
+/// per-matrix execution knobs.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Environment axis.
+    pub environments: Vec<EnvironmentKind>,
+    /// Topology axis.
+    pub topologies: Vec<Topology>,
+    /// Link-condition axis.
+    pub conditions: Vec<LinkProfile>,
+    /// Mobility axis.
+    pub mobilities: Vec<MobilityProfile>,
+    /// Seed axis (one cell per seed).
+    pub seeds: Vec<u64>,
+    /// Localization rounds for every cell of this matrix. Cells needing a
+    /// different count go in their own matrix within a suite (e.g.
+    /// [`ScenarioMatrix::latency_sweep`] runs 2 rounds while the grids run
+    /// 12); each expanded [`EvalCell`] carries its own `rounds`.
+    pub rounds_per_cell: usize,
+    /// Physical-layer fidelity for every cell in this matrix.
+    pub fidelity: Fidelity,
+}
+
+/// One concrete cell of an expanded matrix.
+#[derive(Debug, Clone)]
+pub struct EvalCell {
+    /// Stable identifier: `environment/topology/condition/mobility/seed`.
+    pub id: String,
+    /// Environment of the cell.
+    pub environment: EnvironmentKind,
+    /// Group size.
+    pub n_devices: usize,
+    /// Link condition.
+    pub condition: LinkProfile,
+    /// Mobility profile.
+    pub mobility: MobilityProfile,
+    /// RNG seed.
+    pub seed: u64,
+    /// Rounds to run.
+    pub rounds: usize,
+    /// The ready-to-run scenario.
+    pub scenario: Scenario,
+}
+
+impl ScenarioMatrix {
+    /// The headline grid: all six environments × {4, 5} devices ×
+    /// {clear, occluded} links, static, one seed — 24 cells covering the
+    /// paper's Fig. 18/19a axes and the two extended sites.
+    pub fn paper_default() -> Self {
+        Self {
+            environments: EnvironmentKind::ALL.to_vec(),
+            topologies: vec![Topology::FourDevice, Topology::FiveDevice],
+            // 12 m of extra reflection path models the paper's solid-sheet
+            // occlusion (Fig. 19a): strong enough that Algorithm 1 drops
+            // the link rather than the Huber refinement absorbing it.
+            conditions: vec![LinkProfile::Clear, LinkProfile::Occluded { bias_m: 12.0 }],
+            mobilities: vec![MobilityProfile::Static],
+            seeds: vec![1],
+            rounds_per_cell: 12,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// Dock-testbed variants: missing links, device churn and the mobility
+    /// profiles (Fig. 19b, Fig. 20, and the matrix's churn/swimmer
+    /// extensions).
+    pub fn dock_variants() -> Self {
+        Self {
+            environments: vec![EnvironmentKind::Dock],
+            topologies: vec![Topology::FiveDevice],
+            conditions: vec![
+                LinkProfile::MissingLink,
+                LinkProfile::DeviceChurn { after_round: 6 },
+            ],
+            mobilities: vec![
+                MobilityProfile::Static,
+                MobilityProfile::RopeOscillation { speed_cm_s: 40.0 },
+                MobilityProfile::Swimmer { speed_cm_s: 40.0 },
+            ],
+            seeds: vec![1],
+            rounds_per_cell: 12,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// Mobility-only dock cells (clear links), so motion effects are
+    /// measured without a confounding link fault.
+    pub fn dock_mobility() -> Self {
+        Self {
+            environments: vec![EnvironmentKind::Dock],
+            topologies: vec![Topology::FiveDevice],
+            conditions: vec![LinkProfile::Clear],
+            mobilities: vec![
+                MobilityProfile::RopeOscillation { speed_cm_s: 40.0 },
+                MobilityProfile::Swimmer { speed_cm_s: 40.0 },
+            ],
+            seeds: vec![1],
+            rounds_per_cell: 12,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// The strong-current drift cell at the tidal channel.
+    pub fn tidal_drift() -> Self {
+        Self {
+            environments: vec![EnvironmentKind::TidalChannel],
+            topologies: vec![Topology::FiveDevice],
+            conditions: vec![LinkProfile::Clear],
+            mobilities: vec![MobilityProfile::CurrentDrift { speed_cm_s: 30.0 }],
+            seeds: vec![1],
+            rounds_per_cell: 12,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// Group-size sweep at the dock for the protocol-latency table
+    /// (§3.2): latency is deterministic per group size, so two rounds per
+    /// cell suffice.
+    pub fn latency_sweep() -> Self {
+        Self {
+            environments: vec![EnvironmentKind::Dock],
+            topologies: vec![Topology::Group(3), Topology::Group(6), Topology::Group(7)],
+            conditions: vec![LinkProfile::Clear],
+            mobilities: vec![MobilityProfile::Static],
+            seeds: vec![1],
+            rounds_per_cell: 2,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// The full evaluation suite: every matrix the reproduction guide
+    /// draws from. [`crate::runner::run_suite`] merges the expansions
+    /// (first occurrence of a cell id wins).
+    pub fn full_suite() -> Vec<Self> {
+        vec![
+            Self::paper_default(),
+            Self::dock_variants(),
+            Self::dock_mobility(),
+            Self::tidal_drift(),
+            Self::latency_sweep(),
+        ]
+    }
+
+    /// The tier-1 smoke slice: the dock and boathouse 5-device clear/static
+    /// cells whose acceptance bands the reproduction guide documents. Runs
+    /// in seconds; `cargo test` re-checks the bands through it.
+    pub fn smoke() -> Self {
+        Self {
+            environments: vec![EnvironmentKind::Dock, EnvironmentKind::Boathouse],
+            topologies: vec![Topology::FiveDevice],
+            conditions: vec![LinkProfile::Clear],
+            mobilities: vec![MobilityProfile::Static],
+            seeds: vec![1],
+            rounds_per_cell: 12,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// Number of cells this matrix expands to.
+    pub fn cell_count(&self) -> usize {
+        self.environments.len()
+            * self.topologies.len()
+            * self.conditions.len()
+            * self.mobilities.len()
+            * self.seeds.len()
+    }
+
+    /// Expands the matrix into concrete, ready-to-run cells.
+    pub fn expand(&self) -> Result<Vec<EvalCell>> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &environment in &self.environments {
+            for topology in &self.topologies {
+                for &condition in &self.conditions {
+                    for &mobility in &self.mobilities {
+                        for &seed in &self.seeds {
+                            cells.push(self.build_cell(
+                                environment,
+                                *topology,
+                                condition,
+                                mobility,
+                                seed,
+                            )?);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    fn build_cell(
+        &self,
+        environment: EnvironmentKind,
+        topology: Topology,
+        condition: LinkProfile,
+        mobility: MobilityProfile,
+        seed: u64,
+    ) -> Result<EvalCell> {
+        let n = topology.n_devices();
+        let id = format!(
+            "{}/{}/{}/{}/s{}",
+            environment.slug(),
+            topology.slug(),
+            condition.slug(),
+            mobility.slug(),
+            seed
+        );
+        let rounds = self.rounds_per_cell;
+        let mut scenario = Scenario::for_site(environment, n, seed)?;
+        scenario.config_mut().fidelity = self.fidelity;
+        match condition {
+            LinkProfile::Clear => {}
+            LinkProfile::Occluded { bias_m } => {
+                scenario.network_mut().set_link_condition(
+                    0,
+                    1,
+                    uw_core::network::LinkCondition::Occluded { bias_m },
+                )?;
+            }
+            LinkProfile::MissingLink => {
+                // Removing any of a 3-device group's three links leaves the
+                // topology unrealizable, so the axis needs ≥ 4 devices.
+                if n < 4 {
+                    return Err(uw_core::SystemError::InvalidConfig {
+                        reason: format!(
+                            "cell {id}: the missing-link condition needs at least 4 \
+                             devices, got {n}"
+                        ),
+                    });
+                }
+                scenario.network_mut().set_link_condition(
+                    2,
+                    n - 1,
+                    uw_core::network::LinkCondition::Missing,
+                )?;
+            }
+            LinkProfile::DeviceChurn { after_round } => {
+                // Clamp into the cell's round budget so a small --rounds
+                // override still exercises (and reports) the churn instead
+                // of silently never reaching it.
+                let after = after_round.min(rounds.saturating_sub(1));
+                scenario.network_mut().set_device_churn(n - 1, after)?;
+            }
+        }
+        match mobility {
+            MobilityProfile::Static => {}
+            MobilityProfile::RopeOscillation { speed_cm_s } => {
+                scenario.apply_rope_oscillation(2, speed_cm_s)?;
+            }
+            MobilityProfile::Swimmer { speed_cm_s } => {
+                scenario.apply_swimmer(2, speed_cm_s)?;
+            }
+            MobilityProfile::CurrentDrift { speed_cm_s } => {
+                scenario.apply_current_drift(speed_cm_s)?;
+            }
+        }
+        scenario.set_name(id.clone());
+        Ok(EvalCell {
+            id,
+            environment,
+            n_devices: n,
+            condition,
+            mobility,
+            seed,
+            rounds,
+            scenario,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_meets_the_grid_floor() {
+        let m = ScenarioMatrix::paper_default();
+        assert!(m.environments.len() >= 6);
+        assert!(m.topologies.len() >= 2);
+        assert!(m.conditions.len() >= 2);
+        assert!(m.cell_count() >= 24);
+        let cells = m.expand().unwrap();
+        assert_eq!(cells.len(), m.cell_count());
+        // Ids are unique and name their scenario.
+        let mut ids: Vec<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cells.len());
+        for cell in &cells {
+            assert_eq!(cell.scenario.name(), cell.id);
+            assert_eq!(cell.scenario.network().device_count(), cell.n_devices);
+        }
+    }
+
+    #[test]
+    fn conditions_are_applied_to_the_network() {
+        let m = ScenarioMatrix::paper_default();
+        let cells = m.expand().unwrap();
+        let occluded = cells.iter().find(|c| c.id.contains("occluded")).unwrap();
+        assert!(matches!(
+            occluded.scenario.network().link_condition(0, 1),
+            Some(uw_core::network::LinkCondition::Occluded { .. })
+        ));
+        let churn_cells = ScenarioMatrix::dock_variants().expand().unwrap();
+        let churn = churn_cells.iter().find(|c| c.id.contains("churn")).unwrap();
+        assert_eq!(churn.scenario.network().churn_round(4), Some(6));
+        let missing = churn_cells
+            .iter()
+            .find(|c| c.id.contains("misslink"))
+            .unwrap();
+        assert_eq!(
+            missing.scenario.network().link_condition(2, 4),
+            Some(uw_core::network::LinkCondition::Missing)
+        );
+    }
+
+    #[test]
+    fn missing_link_needs_four_devices() {
+        let m = ScenarioMatrix {
+            topologies: vec![Topology::Group(3)],
+            conditions: vec![LinkProfile::MissingLink],
+            ..ScenarioMatrix::paper_default()
+        };
+        let err = m.expand().unwrap_err();
+        assert!(err.to_string().contains("at least 4"), "{err}");
+    }
+
+    #[test]
+    fn mobility_is_applied_to_the_network() {
+        let cells = ScenarioMatrix::dock_mobility().expand().unwrap();
+        for cell in &cells {
+            let p0 = cell.scenario.network().positions_at(0.0)[2];
+            let p1 = cell.scenario.network().positions_at(2.0)[2];
+            assert!(p0.distance(&p1) > 0.05, "{} did not move", cell.id);
+        }
+        let drift = ScenarioMatrix::tidal_drift().expand().unwrap();
+        let before = drift[0].scenario.network().positions_at(0.0);
+        let after = drift[0].scenario.network().positions_at(10.0);
+        assert_eq!(before[0], after[0]);
+        assert!(before[1].distance(&after[1]) > 0.5);
+    }
+
+    #[test]
+    fn per_matrix_round_counts_reach_the_cells() {
+        let mut m = ScenarioMatrix::smoke();
+        m.rounds_per_cell = 3;
+        for cell in m.expand().unwrap() {
+            assert_eq!(cell.rounds, 3);
+        }
+        // Churn clamps into the round budget so short runs still churn.
+        m.conditions = vec![LinkProfile::DeviceChurn { after_round: 6 }];
+        let cell = m.expand().unwrap().remove(0);
+        assert_eq!(cell.scenario.network().churn_round(4), Some(2));
+    }
+
+    #[test]
+    fn full_suite_expands_without_errors() {
+        let mut total = 0;
+        for m in ScenarioMatrix::full_suite() {
+            total += m.expand().unwrap().len();
+        }
+        assert!(total >= 24, "suite has {total} cells");
+    }
+}

@@ -1,0 +1,355 @@
+//! Aggregated evaluation reports and their JSON serialisation.
+//!
+//! The vendored `serde` stand-in does not serialise at runtime (see
+//! `vendor/README.md`), so the report carries its own small JSON emitter:
+//! deterministic field order, `null` for non-finite floats, no external
+//! dependencies. The output lands in `BENCH_eval_matrix.json`-style
+//! artifacts, next to the `BENCH_pipeline.json` trajectory the perf PRs
+//! maintain.
+
+use crate::matrix::EvalCell;
+
+/// Schema identifier stamped into every report.
+pub const REPORT_SCHEMA: &str = "uwgps-eval-matrix-v1";
+
+/// Summary statistics of one error series (metres).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Builds the summary from raw samples (non-finite samples are
+    /// ignored). An empty series yields NaN statistics with `count == 0`.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let finite: Vec<f64> = samples.iter().copied().filter(|e| e.is_finite()).collect();
+        if finite.is_empty() {
+            return Self {
+                count: 0,
+                median: f64::NAN,
+                p90: f64::NAN,
+                p99: f64::NAN,
+                mean: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mut sorted = finite;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self {
+            count: sorted.len(),
+            median: uw_core::metrics::percentile(&sorted, 50.0),
+            p90: uw_core::metrics::percentile(&sorted, 90.0),
+            p99: uw_core::metrics::percentile(&sorted, 99.0),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Aggregated result of running one matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Stable cell identifier (`dock/5dev/clear/static/s1`).
+    pub id: String,
+    /// Environment slug.
+    pub environment: String,
+    /// Group size.
+    pub n_devices: usize,
+    /// Condition slug.
+    pub condition: String,
+    /// Mobility slug.
+    pub mobility: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Rounds requested.
+    pub rounds: usize,
+    /// Rounds that completed successfully.
+    pub rounds_completed: usize,
+    /// Rounds that failed outright (e.g. too few audible devices).
+    pub rounds_failed: usize,
+    /// Per-device 2D localization error statistics over all rounds.
+    pub error_2d: ErrorSummary,
+    /// Down-sampled empirical CDF of the 2D errors: `(error_m, fraction)`.
+    pub error_cdf: Vec<(f64, f64)>,
+    /// Median absolute pairwise ranging error (m).
+    pub ranging_median_m: f64,
+    /// Fraction of rounds whose flipping disambiguation was correct.
+    pub flip_rate: f64,
+    /// Mean number of links dropped by outlier detection per round.
+    pub mean_dropped_links: f64,
+    /// Devices configured (by churn) to be silent in the cell's final
+    /// round.
+    pub churn_excluded: usize,
+    /// Acoustic phase latency of one round (s).
+    pub latency_acoustic_s: f64,
+    /// Total round latency including the report phase (s).
+    pub latency_total_s: f64,
+}
+
+impl CellReport {
+    /// One human-readable summary row (used by the CLI).
+    pub fn row(&self) -> String {
+        format!(
+            "{:<38} rounds={:<3} median={:>6.2} m  p90={:>6.2} m  flip={:>4.0}%  drops={:>4.2}  lat={:>5.2} s",
+            self.id,
+            self.rounds_completed,
+            self.error_2d.median,
+            self.error_2d.p90,
+            self.flip_rate * 100.0,
+            self.mean_dropped_links,
+            self.latency_total_s,
+        )
+    }
+}
+
+/// A full evaluation report: every cell of a matrix (or suite of
+/// matrices), in expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Schema identifier ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Per-cell results.
+    pub cells: Vec<CellReport>,
+}
+
+impl EvalReport {
+    /// Creates a report over the given cells.
+    pub fn new(cells: Vec<CellReport>) -> Self {
+        Self {
+            schema: REPORT_SCHEMA.into(),
+            cells,
+        }
+    }
+
+    /// Looks up a cell by its identifier.
+    pub fn cell(&self, id: &str) -> Option<&CellReport> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+
+    /// Serialises the report to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 * self.cells.len().max(1));
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_str(&self.schema)));
+        out.push_str("  \"cells\": [\n");
+        for (k, cell) in self.cells.iter().enumerate() {
+            out.push_str(&cell_json(cell, "    "));
+            out.push_str(if k + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn cell_json(c: &CellReport, indent: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{indent}{{\n"));
+    let field = |s: &mut String, key: &str, value: String, last: bool| {
+        s.push_str(&format!(
+            "{indent}  \"{key}\": {value}{}\n",
+            if last { "" } else { "," }
+        ));
+    };
+    field(&mut s, "id", json_str(&c.id), false);
+    field(&mut s, "environment", json_str(&c.environment), false);
+    field(&mut s, "n_devices", c.n_devices.to_string(), false);
+    field(&mut s, "condition", json_str(&c.condition), false);
+    field(&mut s, "mobility", json_str(&c.mobility), false);
+    field(&mut s, "seed", c.seed.to_string(), false);
+    field(&mut s, "rounds", c.rounds.to_string(), false);
+    field(
+        &mut s,
+        "rounds_completed",
+        c.rounds_completed.to_string(),
+        false,
+    );
+    field(&mut s, "rounds_failed", c.rounds_failed.to_string(), false);
+    field(
+        &mut s,
+        "error_2d",
+        format!(
+            "{{\"count\": {}, \"median_m\": {}, \"p90_m\": {}, \"p99_m\": {}, \"mean_m\": {}, \"max_m\": {}}}",
+            c.error_2d.count,
+            json_f64(c.error_2d.median),
+            json_f64(c.error_2d.p90),
+            json_f64(c.error_2d.p99),
+            json_f64(c.error_2d.mean),
+            json_f64(c.error_2d.max),
+        ),
+        false,
+    );
+    let cdf = c
+        .error_cdf
+        .iter()
+        .map(|(v, f)| format!("[{}, {}]", json_f64(*v), json_f64(*f)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    field(&mut s, "error_cdf", format!("[{cdf}]"), false);
+    field(
+        &mut s,
+        "ranging_median_m",
+        json_f64(c.ranging_median_m),
+        false,
+    );
+    field(&mut s, "flip_rate", json_f64(c.flip_rate), false);
+    field(
+        &mut s,
+        "mean_dropped_links",
+        json_f64(c.mean_dropped_links),
+        false,
+    );
+    field(
+        &mut s,
+        "churn_excluded",
+        c.churn_excluded.to_string(),
+        false,
+    );
+    field(
+        &mut s,
+        "latency_acoustic_s",
+        json_f64(c.latency_acoustic_s),
+        false,
+    );
+    field(&mut s, "latency_total_s", json_f64(c.latency_total_s), true);
+    s.push_str(&format!("{indent}}}"));
+    s
+}
+
+/// JSON string literal with the escapes the identifiers here can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats print with six decimals; NaN/inf become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Seeds a [`CellReport`] with the cell's axes (statistics zeroed; the
+/// runner fills them in).
+pub fn cell_report_skeleton(cell: &EvalCell) -> CellReport {
+    CellReport {
+        id: cell.id.clone(),
+        environment: cell.environment.slug().into(),
+        n_devices: cell.n_devices,
+        condition: cell.condition.slug().into(),
+        mobility: cell.mobility.slug(),
+        seed: cell.seed,
+        rounds: cell.rounds,
+        rounds_completed: 0,
+        rounds_failed: 0,
+        error_2d: ErrorSummary::from_samples(&[]),
+        error_cdf: Vec::new(),
+        ranging_median_m: f64::NAN,
+        flip_rate: 0.0,
+        mean_dropped_links: 0.0,
+        churn_excluded: 0,
+        latency_acoustic_s: f64::NAN,
+        latency_total_s: f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> CellReport {
+        CellReport {
+            id: "dock/5dev/clear/static/s1".into(),
+            environment: "dock".into(),
+            n_devices: 5,
+            condition: "clear".into(),
+            mobility: "static".into(),
+            seed: 1,
+            rounds: 12,
+            rounds_completed: 12,
+            rounds_failed: 0,
+            error_2d: ErrorSummary::from_samples(&[0.2, 0.4, 0.6, 0.8, 1.0]),
+            error_cdf: vec![(0.2, 0.2), (1.0, 1.0)],
+            ranging_median_m: 0.5,
+            flip_rate: 1.0,
+            mean_dropped_links: 0.25,
+            churn_excluded: 0,
+            latency_acoustic_s: 1.88,
+            latency_total_s: 3.0,
+        }
+    }
+
+    #[test]
+    fn summary_statistics_are_order_free_and_skip_non_finite() {
+        let a = ErrorSummary::from_samples(&[3.0, 1.0, 2.0, f64::NAN]);
+        let b = ErrorSummary::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.median, 2.0);
+        assert_eq!(a.max, 3.0);
+        let empty = ErrorSummary::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert!(empty.median.is_nan());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_deterministic() {
+        let report = EvalReport::new(vec![sample_cell()]);
+        let json = report.to_json();
+        assert_eq!(json, report.to_json());
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"schema\": \"uwgps-eval-matrix-v1\""));
+        assert!(json.contains("\"id\": \"dock/5dev/clear/static/s1\""));
+        assert!(json.contains("\"median_m\": 0.600000"));
+        // Balanced braces/brackets (cheap well-formedness check — the
+        // emitter never nests strings containing braces).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut cell = sample_cell();
+        cell.ranging_median_m = f64::NAN;
+        let json = EvalReport::new(vec![cell]).to_json();
+        assert!(json.contains("\"ranging_median_m\": null"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+    }
+}

@@ -1,0 +1,159 @@
+//! Batched execution of scenario matrices.
+//!
+//! [`run_matrix`] expands a [`ScenarioMatrix`] and fans the cells out over
+//! rayon. Cells are independent sessions, so they parallelise perfectly;
+//! the process-wide waveform assets in `uw_core::waveform` (preamble
+//! matched filter, symbol FFT plans) are built once and shared by every
+//! hybrid-fidelity cell, so parallel cells reuse precomputed DSP state
+//! instead of rebuilding it per cell.
+//!
+//! Execution is deterministic: each cell's RNG stream is fully determined
+//! by its seed, and the ordered rayon collect keeps cells in expansion
+//! order, so the same matrix always produces byte-identical JSON reports.
+
+use crate::matrix::{EvalCell, ScenarioMatrix};
+use crate::report::{cell_report_skeleton, CellReport, ErrorSummary, EvalReport};
+use rayon::prelude::*;
+use uw_core::metrics::cdf_points;
+use uw_core::prelude::*;
+use uw_core::Result;
+
+/// Number of points kept from each cell's error CDF.
+pub const CDF_POINTS: usize = 12;
+
+/// Runs one expanded cell to completion and aggregates its statistics.
+pub fn run_cell(cell: &EvalCell) -> Result<CellReport> {
+    let mut report = cell_report_skeleton(cell);
+    let mut session = Session::new(cell.scenario.config().clone())?;
+    let mut errors_2d: Vec<f64> = Vec::new();
+    let mut ranging: Vec<f64> = Vec::new();
+    let mut flips_correct = 0usize;
+    let mut dropped_links = 0usize;
+    for _ in 0..cell.rounds {
+        match session.run(cell.scenario.network()) {
+            Ok(outcome) => {
+                report.rounds_completed += 1;
+                errors_2d.extend(outcome.errors_2d.iter().filter(|e| e.is_finite()));
+                ranging.extend(outcome.ranging_errors.iter().copied());
+                if outcome.flipping_correct {
+                    flips_correct += 1;
+                }
+                dropped_links += outcome.localization.dropped_links.len();
+                report.latency_acoustic_s = outcome.latency.acoustic_s;
+                report.latency_total_s = outcome.latency.total_s();
+            }
+            Err(_) => report.rounds_failed += 1,
+        }
+    }
+    // Churn exclusions come from the cell's configuration (what is silent
+    // in the final round), not from the last *successful* round — the two
+    // differ when late rounds fail outright.
+    report.churn_excluded = (0..cell.n_devices)
+        .filter(|&i| {
+            cell.scenario
+                .network()
+                .device_silent_in_round(i, cell.rounds.saturating_sub(1))
+        })
+        .count();
+    report.error_2d = ErrorSummary::from_samples(&errors_2d);
+    report.error_cdf = cdf_points(&errors_2d, CDF_POINTS);
+    report.ranging_median_m = ErrorSummary::from_samples(&ranging).median;
+    if report.rounds_completed > 0 {
+        report.flip_rate = flips_correct as f64 / report.rounds_completed as f64;
+        report.mean_dropped_links = dropped_links as f64 / report.rounds_completed as f64;
+    }
+    Ok(report)
+}
+
+/// Expands a matrix and runs every cell in parallel.
+pub fn run_matrix(matrix: &ScenarioMatrix) -> Result<EvalReport> {
+    let cells = matrix.expand()?;
+    run_cells(&cells)
+}
+
+/// Runs a suite of matrices and merges the reports (the first matrix to
+/// produce a given cell id wins, so targeted matrices can be layered over
+/// broad grids without double-running shared cells).
+pub fn run_suite(matrices: &[ScenarioMatrix]) -> Result<EvalReport> {
+    let mut cells: Vec<EvalCell> = Vec::new();
+    for matrix in matrices {
+        for cell in matrix.expand()? {
+            if !cells.iter().any(|c| c.id == cell.id) {
+                cells.push(cell);
+            }
+        }
+    }
+    run_cells(&cells)
+}
+
+fn run_cells(cells: &[EvalCell]) -> Result<EvalReport> {
+    let reports: Vec<Result<CellReport>> = cells.par_iter().map(run_cell).collect();
+    let mut out = Vec::with_capacity(reports.len());
+    for r in reports {
+        out.push(r?);
+    }
+    Ok(EvalReport::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{LinkProfile, MobilityProfile, Topology};
+    use uw_core::config::Fidelity;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        ScenarioMatrix {
+            environments: vec![EnvironmentKind::Dock],
+            topologies: vec![Topology::FiveDevice],
+            conditions: vec![LinkProfile::Clear],
+            mobilities: vec![MobilityProfile::Static],
+            seeds: vec![3],
+            rounds_per_cell: 4,
+            fidelity: Fidelity::Statistical,
+        }
+    }
+
+    #[test]
+    fn single_cell_runs_and_aggregates() {
+        let report = run_matrix(&tiny_matrix()).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.rounds_completed, 4);
+        assert_eq!(cell.rounds_failed, 0);
+        // 4 rounds × 4 non-leader devices.
+        assert_eq!(cell.error_2d.count, 16);
+        assert!(cell.error_2d.median > 0.0 && cell.error_2d.median < 5.0);
+        assert!(cell.error_2d.p90 >= cell.error_2d.median);
+        assert!(cell.error_2d.p99 >= cell.error_2d.p90);
+        assert!(!cell.error_cdf.is_empty());
+        assert!(cell.ranging_median_m > 0.0);
+        assert!((cell.latency_acoustic_s - 1.88).abs() < 0.01);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_matrix(&tiny_matrix()).unwrap();
+        let b = run_matrix(&tiny_matrix()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn churn_cells_report_exclusions() {
+        let mut m = tiny_matrix();
+        m.conditions = vec![LinkProfile::DeviceChurn { after_round: 1 }];
+        m.rounds_per_cell = 3;
+        let report = run_matrix(&m).unwrap();
+        let cell = &report.cells[0];
+        assert_eq!(cell.rounds_completed, 3);
+        assert_eq!(cell.churn_excluded, 1);
+        // Errors from the churned device's silent rounds are excluded, so
+        // rounds contribute 4 + 3 + 3 device errors.
+        assert_eq!(cell.error_2d.count, 10);
+    }
+
+    #[test]
+    fn suite_merging_avoids_duplicate_cells() {
+        let report = run_suite(&[tiny_matrix(), tiny_matrix()]).unwrap();
+        assert_eq!(report.cells.len(), 1);
+    }
+}

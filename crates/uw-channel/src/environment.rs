@@ -1,11 +1,17 @@
-//! Environment presets for the four deployment sites in the paper (Fig. 10).
+//! Environment presets for the deployment sites the evaluation sweeps.
 //!
-//! | Site       | Depth     | Extent | Character                                  |
-//! |------------|-----------|--------|--------------------------------------------|
-//! | Pool       | 1–2.5 m   | 23 m   | hard walls, strong reverberation, quiet    |
-//! | Dock       | 9 m       | 50 m   | boats/seaplanes, aquatic plants & animals  |
-//! | Viewpoint  | 1–1.5 m   | 40 m   | very shallow waterfront                    |
-//! | Boathouse  | 5 m       | 30 m   | busy fishing dock, people kayaking         |
+//! The first four are the paper's real testbeds (Fig. 10); the last two
+//! extend the matrix along the environment axis motivated by the companion
+//! ranging work (greater ranges, saltwater, currents):
+//!
+//! | Site         | Depth     | Extent | Character                                  |
+//! |--------------|-----------|--------|--------------------------------------------|
+//! | Pool         | 1–2.5 m   | 23 m   | hard walls, strong reverberation, quiet    |
+//! | Dock         | 9 m       | 50 m   | boats/seaplanes, aquatic plants & animals  |
+//! | Viewpoint    | 1–1.5 m   | 40 m   | very shallow waterfront                    |
+//! | Boathouse    | 5 m       | 30 m   | busy fishing dock, people kayaking         |
+//! | OpenWater    | 30 m      | 60 m   | deep saltwater site, weak reverberation    |
+//! | TidalChannel | 4 m       | 35 m   | strong current, flow noise, brackish water |
 //!
 //! Each preset bundles the water properties, multipath severity, boundary
 //! losses and noise profile used by the channel simulator.
@@ -16,7 +22,8 @@ use crate::noise::NoiseProfile;
 use crate::sound_speed::{wilson_sound_speed, WaterProperties};
 use serde::{Deserialize, Serialize};
 
-/// The four deployment sites used in the paper's evaluation.
+/// The deployment sites the evaluation matrix sweeps: the paper's four
+/// testbeds plus two extended sites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EnvironmentKind {
     /// Indoor swimming pool (23 m long, 1–2.5 m deep).
@@ -27,16 +34,38 @@ pub enum EnvironmentKind {
     Viewpoint,
     /// Fishing dock by a lake (30 m long, 5 m deep), busy with people.
     Boathouse,
+    /// Deep open-water site away from shore (60 m extent, 30 m deep):
+    /// saltwater, spherical spreading, weak reverberation, quiet.
+    OpenWater,
+    /// Tidal channel with a strong current (35 m long, 4 m deep): brackish
+    /// water, turbulent flow noise, devices drift with the current.
+    TidalChannel,
 }
 
 impl EnvironmentKind {
-    /// All four presets.
-    pub const ALL: [EnvironmentKind; 4] = [
+    /// All presets, paper sites first.
+    pub const ALL: [EnvironmentKind; 6] = [
+        EnvironmentKind::Pool,
+        EnvironmentKind::Dock,
+        EnvironmentKind::Viewpoint,
+        EnvironmentKind::Boathouse,
+        EnvironmentKind::OpenWater,
+        EnvironmentKind::TidalChannel,
+    ];
+
+    /// The four real testbeds from the paper's evaluation (Fig. 10).
+    pub const PAPER_SITES: [EnvironmentKind; 4] = [
         EnvironmentKind::Pool,
         EnvironmentKind::Dock,
         EnvironmentKind::Viewpoint,
         EnvironmentKind::Boathouse,
     ];
+
+    /// Whether this site appears in the paper's measurement campaign (as
+    /// opposed to the extended matrix axes).
+    pub fn is_paper_site(&self) -> bool {
+        Self::PAPER_SITES.contains(self)
+    }
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -45,6 +74,21 @@ impl EnvironmentKind {
             EnvironmentKind::Dock => "Dock",
             EnvironmentKind::Viewpoint => "Viewpoint",
             EnvironmentKind::Boathouse => "Boathouse",
+            EnvironmentKind::OpenWater => "Open water",
+            EnvironmentKind::TidalChannel => "Tidal channel",
+        }
+    }
+
+    /// Short lowercase slug used in matrix cell identifiers and artifact
+    /// file names.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            EnvironmentKind::Pool => "pool",
+            EnvironmentKind::Dock => "dock",
+            EnvironmentKind::Viewpoint => "viewpoint",
+            EnvironmentKind::Boathouse => "boathouse",
+            EnvironmentKind::OpenWater => "openwater",
+            EnvironmentKind::TidalChannel => "tidal",
         }
     }
 }
@@ -125,6 +169,37 @@ impl Environment {
                 max_bounces: 4,
                 noise: NoiseProfile::busy(),
             },
+            EnvironmentKind::OpenWater => Self {
+                kind,
+                water_depth_m: 30.0,
+                max_range_m: 60.0,
+                water: WaterProperties::ocean(),
+                // Deep water, boundaries far away: near-spherical spreading
+                // and a soft sediment bottom that absorbs most of what does
+                // reach it — the reverberation tail is weak and sparse.
+                spreading: Spreading::Spherical,
+                boundary_loss: BoundaryLoss {
+                    surface_db: 2.0,
+                    bottom_db: 10.0,
+                },
+                max_bounces: 2,
+                noise: NoiseProfile::open_water(),
+            },
+            EnvironmentKind::TidalChannel => Self {
+                kind,
+                water_depth_m: 4.0,
+                max_range_m: 35.0,
+                water: WaterProperties::brackish(),
+                spreading: Spreading::Practical,
+                // Rippled sand and a rough, choppy surface scatter energy
+                // out of the specular paths: moderate per-bounce losses.
+                boundary_loss: BoundaryLoss {
+                    surface_db: 2.0,
+                    bottom_db: 6.0,
+                },
+                max_bounces: 4,
+                noise: NoiseProfile::flowing(),
+            },
         }
     }
 
@@ -193,6 +268,48 @@ mod tests {
         let env = Environment::preset(EnvironmentKind::Dock);
         assert_eq!(env.multipath_config(25.0).direct_path_extra_loss_db, 25.0);
         assert_eq!(env.multipath_config(0.0).direct_path_extra_loss_db, 0.0);
+    }
+
+    #[test]
+    fn paper_sites_are_a_strict_subset() {
+        for kind in EnvironmentKind::PAPER_SITES {
+            assert!(kind.is_paper_site());
+            assert!(EnvironmentKind::ALL.contains(&kind));
+        }
+        assert!(!EnvironmentKind::OpenWater.is_paper_site());
+        assert!(!EnvironmentKind::TidalChannel.is_paper_site());
+        assert_eq!(EnvironmentKind::ALL.len(), 6);
+        // Slugs are unique (they key matrix cells and artifact names).
+        let mut slugs: Vec<&str> = EnvironmentKind::ALL.iter().map(|k| k.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), EnvironmentKind::ALL.len());
+    }
+
+    #[test]
+    fn open_water_has_weak_reverberation() {
+        let open = Environment::preset(EnvironmentKind::OpenWater);
+        let pool = Environment::preset(EnvironmentKind::Pool);
+        // Fewer simulated bounces, each losing more energy.
+        assert!(open.max_bounces < pool.max_bounces);
+        assert!(open.boundary_loss.bottom_db > pool.boundary_loss.bottom_db);
+        assert_eq!(open.spreading, Spreading::Spherical);
+        // Saltwater is saline; the paper's lakes are not.
+        assert!(open.water.salinity_ppt > 30.0);
+        assert!(open.water_depth_m > Environment::preset(EnvironmentKind::Dock).water_depth_m);
+    }
+
+    #[test]
+    fn tidal_channel_is_noisy_but_less_impulsive_than_boathouse() {
+        let tidal = Environment::preset(EnvironmentKind::TidalChannel);
+        let boathouse = Environment::preset(EnvironmentKind::Boathouse);
+        let open = Environment::preset(EnvironmentKind::OpenWater);
+        assert!(tidal.noise.ambient_rms > open.noise.ambient_rms);
+        assert!(tidal.noise.spike_rate_hz < boathouse.noise.spike_rate_hz);
+        assert!(tidal.noise.spike_rate_hz > open.noise.spike_rate_hz);
+        // Brackish: saltier than the lakes, fresher than the open sea.
+        assert!(tidal.water.salinity_ppt > 1.0);
+        assert!(tidal.water.salinity_ppt < open.water.salinity_ppt);
     }
 
     #[test]

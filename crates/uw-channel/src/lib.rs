@@ -22,7 +22,37 @@
 //!   ([`environment`]).
 //!
 //! Everything is deterministic given an RNG seed so experiments are exactly
-//! reproducible.
+//! reproducible. The waveforms this crate produces feed the detection and
+//! ranging pipeline in `uw-ranging` (via [`uw_dsp::MatchedFilter`]-based
+//! correlation), and the [`environment`] presets parameterise every cell of
+//! the `uw-eval` scenario matrix.
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_channel::propagate::PropagateOptions;
+//! use uw_channel::{ChannelSimulator, Environment, EnvironmentKind, Point3};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Propagate a short pulse 10 m across the dock site.
+//! let env = Environment::preset(EnvironmentKind::Dock);
+//! let sim = ChannelSimulator::new(env, 44_100.0).unwrap();
+//! let pulse = vec![1.0; 32];
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let rx = sim
+//!     .propagate(
+//!         &pulse,
+//!         &Point3::new(0.0, 0.0, 2.0),
+//!         &Point3::new(10.0, 0.0, 2.0),
+//!         &PropagateOptions::default(),
+//!         &mut rng,
+//!     )
+//!     .unwrap();
+//! // The received stream is longer than the pulse: propagation delay,
+//! // multipath tail and noise padding.
+//! assert!(rx.samples.len() > pulse.len());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

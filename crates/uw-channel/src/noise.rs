@@ -68,6 +68,30 @@ impl NoiseProfile {
         }
     }
 
+    /// Deep open water away from shore: wind-and-wave ambient noise with
+    /// very few impulsive events (no boat traffic, no snapping shrimp
+    /// colonies near the devices).
+    pub fn open_water() -> Self {
+        Self {
+            ambient_rms: 0.015,
+            spike_rate_hz: 0.3,
+            spike_amplitude: 0.2,
+            ..Self::default()
+        }
+    }
+
+    /// A strong-current site (tidal channel): turbulent flow noise raises
+    /// the ambient floor and entrained bubbles produce frequent small
+    /// spikes — louder than open water, less impulsive than a busy dock.
+    pub fn flowing() -> Self {
+        Self {
+            ambient_rms: 0.03,
+            spike_rate_hz: 2.5,
+            spike_amplitude: 0.35,
+            ..Self::default()
+        }
+    }
+
     /// Returns a copy with the ambient and spike levels scaled by `scale`
     /// (models per-microphone hardware gain differences).
     pub fn with_level_scale(&self, scale: f64) -> Self {

@@ -55,6 +55,15 @@ impl WaterProperties {
             depth_m: 1.5,
         }
     }
+
+    /// Brackish water in a tidal channel where a river meets the sea.
+    pub fn brackish() -> Self {
+        Self {
+            temperature_c: 13.0,
+            salinity_ppt: 18.0,
+            depth_m: 2.0,
+        }
+    }
 }
 
 /// Wilson's equation for the underwater speed of sound in m/s.
@@ -148,6 +157,7 @@ mod tests {
             WaterProperties::default(),
             WaterProperties::ocean(),
             WaterProperties::pool(),
+            WaterProperties::brackish(),
         ] {
             let c = wilson_sound_speed(&props);
             assert!(c > 1400.0 && c < 1600.0, "c = {c} for {props:?}");

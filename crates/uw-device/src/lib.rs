@@ -18,6 +18,31 @@
 //! * [`device`] — [`device::SmartDevice`] ties the pieces together, adds the
 //!   dual-microphone geometry (16 cm separation) and per-model presets for
 //!   the phones the paper tested.
+//!
+//! The positions this crate reports feed the ground truth of
+//! [`uw_channel::propagate::ChannelSimulator`]-driven experiments, and the
+//! clocks drive the timestamp protocol in `uw-protocol`.
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_channel::geometry::Point3;
+//! use uw_device::clock::LocalClock;
+//! use uw_device::mobility::swimmer_circuit;
+//! use uw_device::sensors::quantize_depth;
+//!
+//! // A skewed clock round-trips between local and true time.
+//! let clock = LocalClock::new(20.0, 0.35);
+//! let local = clock.local_from_true(10.0);
+//! assert!((clock.true_from_local(local) - 10.0).abs() < 1e-9);
+//!
+//! // Depth reports are quantised to the 0.2 m the payload encodes.
+//! assert!((quantize_depth(3.27) - 3.2).abs() < 1e-9);
+//!
+//! // A swimmer circuit moves the device but returns it every lap.
+//! let swim = swimmer_circuit(Point3::new(0.0, 0.0, 2.0), 40.0);
+//! assert!(swim.position_at(5.0).distance(&swim.position_at(0.0)) > 1.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

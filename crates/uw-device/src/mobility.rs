@@ -1,11 +1,17 @@
-//! Device mobility: trajectories for the paper's motion experiments.
+//! Device mobility: trajectories for the paper's motion experiments and the
+//! extended scenario matrix.
 //!
-//! The evaluation moves devices in two ways:
+//! The paper's evaluation moves devices in two ways:
 //!
 //! * a phone on an extension pole swept **linearly** along the dock at
 //!   32–56 cm/s (Fig. 15), and
 //! * a phone on a rope moved **back and forth** around its original position
 //!   at 15–50 cm/s while its orientation keeps changing (Fig. 20).
+//!
+//! The scenario-matrix evaluation adds a third pattern motivated by the
+//! companion ranging work (arXiv:2209.01780): a **swimmer** covering a
+//! closed horizontal circuit while bobbing gently in depth, as a diver
+//! finning around the group does ([`swimmer_circuit`]).
 //!
 //! [`Trajectory`] provides those motion patterns (plus static placement) as
 //! pure functions of time so every subsystem sees a consistent ground-truth
@@ -42,6 +48,21 @@ pub enum Trajectory {
         /// Oscillation period in seconds.
         period_s: f64,
     },
+    /// A swimmer finning around a closed horizontal circuit of radius
+    /// `radius_m` centred one radius in front of the start point, with a
+    /// gentle sinusoidal depth bob. The position at `t = 0` is `start`.
+    Swimmer {
+        /// Position at `t = 0` (on the circuit).
+        start: Point3,
+        /// Radius of the horizontal circuit in metres.
+        radius_m: f64,
+        /// Horizontal swimming speed along the circuit in m/s.
+        speed_m_s: f64,
+        /// Peak depth excursion from the start depth in metres.
+        depth_bob_m: f64,
+        /// Period of the depth bob in seconds (one fin-stroke cycle group).
+        bob_period_s: f64,
+    },
 }
 
 impl Trajectory {
@@ -66,6 +87,24 @@ impl Trajectory {
                 let unit = direction.scale(1.0 / norm);
                 center.add(&unit.scale(amplitude_m * phase.sin()))
             }
+            Trajectory::Swimmer {
+                start,
+                radius_m,
+                speed_m_s,
+                depth_bob_m,
+                bob_period_s,
+            } => {
+                // Angular rate around the circuit; the circuit centre sits
+                // one radius along +y from the start so position_at(0) is
+                // exactly `start`.
+                let omega = speed_m_s / radius_m.max(1e-9);
+                let omega_b = 2.0 * std::f64::consts::PI / bob_period_s.max(1e-9);
+                Point3::new(
+                    start.x + radius_m * (omega * t).sin(),
+                    start.y + radius_m * (1.0 - (omega * t).cos()),
+                    start.z + depth_bob_m * (omega_b * t).sin(),
+                )
+            }
         }
     }
 
@@ -82,6 +121,18 @@ impl Trajectory {
             } => {
                 let omega = 2.0 * std::f64::consts::PI / period_s.max(1e-9);
                 (amplitude_m * omega * (omega * t).cos()).abs()
+            }
+            Trajectory::Swimmer {
+                speed_m_s,
+                depth_bob_m,
+                bob_period_s,
+                ..
+            } => {
+                // Horizontal speed along the circuit is constant; the depth
+                // bob adds a small vertical component.
+                let omega_b = 2.0 * std::f64::consts::PI / bob_period_s.max(1e-9);
+                let vz = depth_bob_m * omega_b * (omega_b * t).cos();
+                (speed_m_s * speed_m_s + vz * vz).sqrt()
             }
         }
     }
@@ -116,6 +167,7 @@ impl Trajectory {
                 a.add(&b).scale(0.5)
             }
             Trajectory::Oscillating { center, .. } => *center,
+            Trajectory::Swimmer { .. } => self.position_at(duration_s / 2.0),
         }
     }
 }
@@ -142,6 +194,20 @@ pub fn rope_oscillation(center: Point3, peak_speed_cm_s: f64) -> Trajectory {
         direction: Point3::new(1.0, 0.0, 0.0),
         amplitude_m: amplitude,
         period_s: period,
+    }
+}
+
+/// Builds the scenario matrix's swimmer profile: a diver finning around a
+/// 2 m-radius circuit at the given speed (cm/s) with a gentle ±0.15 m depth
+/// bob (slow enough that the vertical speed stays well below the swimming
+/// speed). The device starts at `start` and returns there every lap.
+pub fn swimmer_circuit(start: Point3, speed_cm_s: f64) -> Trajectory {
+    Trajectory::Swimmer {
+        start,
+        radius_m: 2.0,
+        speed_m_s: speed_cm_s / 100.0,
+        depth_bob_m: 0.15,
+        bob_period_s: 8.0,
     }
 }
 
@@ -204,6 +270,48 @@ mod tests {
         let fast = dock_sweep(Point3::ORIGIN, 56.0);
         assert!((slow.speed_at(0.0) - 0.15).abs() < 1e-9);
         assert!((fast.speed_at(0.0) - 0.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swimmer_starts_at_start_and_stays_on_circuit() {
+        let start = Point3::new(3.0, -4.0, 2.0);
+        let t = swimmer_circuit(start, 40.0);
+        assert_eq!(t.position_at(0.0), start);
+        // The circuit centre is one radius along +y from the start; every
+        // sample keeps that horizontal distance and bobs within ±0.3 m.
+        let centre = Point3::new(start.x, start.y + 2.0, start.z);
+        for k in 0..600 {
+            let p = t.position_at(k as f64 * 0.25);
+            let horizontal = ((p.x - centre.x).powi(2) + (p.y - centre.y).powi(2)).sqrt();
+            assert!((horizontal - 2.0).abs() < 1e-9, "off circuit: {horizontal}");
+            assert!((p.z - start.z).abs() <= 0.15 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn swimmer_speed_matches_request() {
+        let t = swimmer_circuit(Point3::ORIGIN, 40.0);
+        // Horizontal speed is exactly the request; the depth bob only adds
+        // a small vertical component on top.
+        for k in 0..40 {
+            let s = t.speed_at(k as f64 * 0.3);
+            assert!((0.4 - 1e-9..0.42).contains(&s), "speed {s}");
+        }
+        // Path-length mean speed agrees with the analytical speed.
+        let mean = t.mean_speed(60.0);
+        assert!((mean - 0.40).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn swimmer_laps_are_periodic() {
+        let t = swimmer_circuit(Point3::new(1.0, 1.0, 1.5), 50.0);
+        // One lap takes 2πr/v = 2π·2/0.5 ≈ 25.13 s; the 8 s bob period is
+        // incommensurate with it, so check the horizontal projection only,
+        // which is exactly lap-periodic.
+        let lap = 2.0 * std::f64::consts::PI * 2.0 / 0.5;
+        let a = t.position_at(3.0);
+        let b = t.position_at(3.0 + lap);
+        assert!((a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9);
     }
 
     #[test]

@@ -66,6 +66,26 @@
 //!
 //! The one-shot functions remain the ground truth the property tests
 //! compare the plan layer against (`tests/plan_proptests.rs`).
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_dsp::{Complex64, FftPlan};
+//!
+//! // Plan once for the paper's 1920-sample OFDM symbol length, then
+//! // transform repeatedly without further allocation.
+//! let mut plan = FftPlan::new(1920).unwrap();
+//! let mut data: Vec<Complex64> = (0..1920)
+//!     .map(|i| Complex64::new((i as f64 * 0.31).sin(), 0.0))
+//!     .collect();
+//! let original = data.clone();
+//! plan.process_forward(&mut data).unwrap();
+//! plan.process_inverse(&mut data).unwrap();
+//! // Forward + inverse round-trips to the input.
+//! for (a, b) in data.iter().zip(original.iter()) {
+//!     assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

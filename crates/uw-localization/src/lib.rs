@@ -21,7 +21,47 @@
 //!    by voting over the leader's dual-microphone arrival signs.
 //!
 //! [`pipeline`] ties the stages together and computes the error metrics used
-//! throughout the evaluation.
+//! throughout the evaluation. The distance matrices come from the protocol
+//! layer (`uw-protocol`) and the depths from the device sensors modelled in
+//! `uw-device`; positions are expressed relative to the leader, in the
+//! frame fixed by [`uw_channel::geometry::Point3`] coordinates.
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_channel::geometry::Point3;
+//! use uw_localization::pipeline::{localize, LocalizationInput, LocalizerConfig};
+//! use uw_localization::project::distances_from_positions;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Exact distances and depths for four devices recover exact positions.
+//! let truth = [
+//!     Point3::new(0.0, 0.0, 1.5),
+//!     Point3::new(1.0, 6.0, 2.0),
+//!     Point3::new(9.0, 9.0, 3.0),
+//!     Point3::new(-7.0, 6.0, 1.0),
+//! ];
+//! // Dual-microphone side votes consistent with the geometry.
+//! let frame: Vec<uw_localization::matrix::Vec2> = truth
+//!     .iter()
+//!     .map(|p| uw_localization::matrix::Vec2::new(p.x, p.y))
+//!     .collect();
+//! let side_signs = (0..truth.len())
+//!     .map(|i| (i >= 2).then(|| uw_localization::ambiguity::geometric_side(&frame, i)))
+//!     .collect();
+//! let input = LocalizationInput {
+//!     distances: distances_from_positions(&truth),
+//!     depths: truth.iter().map(|p| p.z).collect(),
+//!     pointing_azimuth_rad: truth[0].azimuth_to(&truth[1]),
+//!     side_signs,
+//! };
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let out = localize(&input, &LocalizerConfig::default(), &mut rng).unwrap();
+//! assert!(out.converged);
+//! assert!((out.positions[2].x - 9.0).abs() < 0.1);
+//! assert!((out.positions[2].y - 9.0).abs() < 0.1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -23,6 +23,30 @@
 //!   channel, a statistical error model, or full waveform simulation.
 //! * [`latency`] — the round-trip-time model reproduced by the protocol
 //!   latency table in §3.2.
+//!
+//! The device clocks come from [`uw_device::clock::LocalClock`]; positions
+//! use [`uw_channel::geometry::Point3`]. The distance matrices this layer
+//! produces are consumed by the SMACOF solver in `uw-localization`.
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_channel::geometry::Point3;
+//! use uw_device::clock::LocalClock;
+//! use uw_protocol::engine::{DeviceRoundState, IdealObserver, ProtocolEngine};
+//! use uw_protocol::TdmSchedule;
+//!
+//! // Three devices with wildly different clocks, ideal channel.
+//! let engine = ProtocolEngine::new(TdmSchedule::paper_defaults(3).unwrap(), 1500.0).unwrap();
+//! let devices = vec![
+//!     DeviceRoundState { id: 0, position: Point3::new(0.0, 0.0, 1.0), clock: LocalClock::ideal() },
+//!     DeviceRoundState { id: 1, position: Point3::new(12.0, 0.0, 1.0), clock: LocalClock::new(30.0, 12.5) },
+//!     DeviceRoundState { id: 2, position: Point3::new(0.0, 9.0, 2.0), clock: LocalClock::new(-18.0, -3.1) },
+//! ];
+//! let outcome = engine.run_round(&devices, &mut IdealObserver).unwrap();
+//! // The two-way timestamp combination cancels the unknown clock offsets.
+//! assert!((outcome.distances.get(0, 1).unwrap() - 12.0).abs() < 0.05);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,6 +20,29 @@
 //! [`ranging`] glues the stages into arrival-time and distance estimators,
 //! and [`baselines`] implements the BeepBeep (chirp auto-correlation) and
 //! CAT (FMCW) comparison schemes from Fig. 12.
+//!
+//! Correlation runs on the plan-based DSP layer: the preamble owns a
+//! pooled [`uw_dsp::MatchedFilter`] and per-symbol [`uw_dsp::FftPlan`]s,
+//! so parallel exchanges (as `uw-core` sessions issue) reuse precomputed
+//! state. Received streams come from the channel simulator in
+//! `uw-channel` (`uw_channel::propagate::ChannelSimulator`).
+//!
+//! ## Example
+//!
+//! ```
+//! use uw_ranging::detect::{detect_preamble, DetectorConfig};
+//! use uw_ranging::RangingPreamble;
+//!
+//! // Embed the paper's preamble 5000 samples into a quiet stream and
+//! // detect it.
+//! let preamble = RangingPreamble::default_paper().unwrap();
+//! let mut stream = vec![0.0; 5_000];
+//! stream.extend_from_slice(&preamble.waveform);
+//! stream.extend(std::iter::repeat(0.0).take(2_000));
+//! let detection = detect_preamble(&stream, &preamble, &DetectorConfig::default()).unwrap();
+//! assert!((detection.start_sample as i64 - 5_000).unsigned_abs() < 4);
+//! assert!(detection.validation > 0.9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

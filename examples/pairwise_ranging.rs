@@ -1,4 +1,5 @@
-//! Waveform-level pairwise ranging between two phones.
+//! Waveform-level pairwise ranging between two phones, across every site
+//! in the evaluation matrix.
 //!
 //! ```text
 //! cargo run --release --example pairwise_ranging
@@ -6,22 +7,46 @@
 //!
 //! Runs the full §2.2 physical pipeline — ZC-OFDM preamble, image-method
 //! multipath channel, detection with PN validation, LS channel estimation
-//! and the dual-microphone direct-path search — for two phones at a few
-//! separations in the dock environment, and compares against the BeepBeep
-//! and FMCW baselines (the Fig. 12b comparison in miniature).
+//! and the dual-microphone direct-path search — for two phones 15 m apart
+//! in each of the six environments (the paper's four sites plus the
+//! open-water and tidal-channel matrix extensions), then compares against
+//! the BeepBeep and FMCW baselines at the dock (the Fig. 12b comparison in
+//! miniature).
 
+use uwgps::channel::Environment;
 use uwgps::core::prelude::EnvironmentKind;
 use uwgps::core::waveform::{repeated_trial_errors, PairwiseTrial, RangingScheme};
 
 fn main() {
-    let distances = [10.0, 20.0, 28.0];
-    let trials = 8;
-    println!("Waveform-level 1D ranging in the dock environment ({trials} trials per point)\n");
+    let trials = 6;
+
+    println!("Dual-microphone 1D ranging at 15 m in every matrix environment ({trials} trials)\n");
+    println!("{:<16} {:>18} {:>10}", "site", "mean |error|", "detected");
+    for kind in EnvironmentKind::ALL {
+        // Stay in the upper water column (the viewpoint is only 1.5 m deep).
+        let depth = (Environment::preset(kind).water_depth_m - 0.5).clamp(0.5, 2.0);
+        let trial = PairwiseTrial::at_distance(kind, 15.0, depth);
+        let errs = repeated_trial_errors(&trial, RangingScheme::DualMicOfdm, trials, 100);
+        let mean = if errs.is_empty() {
+            f64::NAN
+        } else {
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        println!(
+            "{:<16} {:>15.2} m {:>7}/{}",
+            kind.name(),
+            mean,
+            errs.len(),
+            trials
+        );
+    }
+
+    println!("\nBaseline comparison in the dock environment ({trials} trials per point)\n");
     println!(
         "{:<10} {:>18} {:>18} {:>18}",
         "distance", "ours (dual-mic)", "BeepBeep", "CAT (FMCW)"
     );
-    for &d in &distances {
+    for d in [10.0, 20.0, 28.0] {
         let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, d, 2.0);
         let mean = |scheme: RangingScheme, seed: u64| {
             let errs = repeated_trial_errors(&trial, scheme, trials, seed);

@@ -1,29 +1,56 @@
-//! Quickstart: one localization round on the paper's dock testbed.
-//!
-//! Run with:
+//! Quickstart: reproduce Fig. 18 (dock + boathouse localization CDFs) in
+//! one command.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The dive leader (device 0) runs the distributed timestamp protocol,
-//! collects pairwise distances and depth reports, solves the topology and
-//! prints every diver's position relative to itself, next to the simulated
-//! ground truth.
+//! Runs the scenario matrix's two headline cells — the paper's dock and
+//! boathouse 5-device testbeds — through the evaluation engine, prints the
+//! per-cell statistics and CDF points behind Fig. 18, then walks one dock
+//! round in detail: the dive leader runs the distributed timestamp
+//! protocol, collects pairwise distances and depth reports, solves the
+//! topology and prints every diver's position next to the ground truth.
 
 use uwgps::core::prelude::*;
+use uwgps::eval::guide::FIGURE_MAP;
+use uwgps::eval::{run_matrix, ScenarioMatrix};
 
 fn main() {
+    // --- Fig. 18 via the scenario matrix (the tier-1 smoke slice). ---
+    let matrix = ScenarioMatrix::smoke();
+    let report = run_matrix(&matrix).expect("smoke matrix runs");
+    println!("Fig. 18 — 2D localization error across the paper's testbeds\n");
+    for cell in &report.cells {
+        println!("{}", cell.row());
+        print!("  CDF:");
+        for (value, frac) in &cell.error_cdf {
+            print!("  {value:.2} m@{frac:.2}");
+        }
+        println!("\n");
+    }
+    for claim in FIGURE_MAP.iter().filter(|c| c.smoke) {
+        if let Some(cell) = report.cell(claim.cell_id) {
+            let v = claim.metric.read(cell);
+            println!(
+                "[{}] {}: {:.2} (band [{}, {}])",
+                claim.figure,
+                claim.metric.label(),
+                v,
+                claim.lo,
+                claim.hi
+            );
+        }
+    }
+
+    // --- One dock round in detail. ---
     let scenario = Scenario::dock_five_devices(42);
     let mut session = Session::new(scenario.config().clone()).expect("valid configuration");
     let outcome = session
         .run(scenario.network())
         .expect("localization round succeeds");
 
-    println!(
-        "Underwater 3D positioning — quickstart ({})",
-        scenario.name()
-    );
+    println!("\nOne round on {} in detail:", scenario.name());
     println!(
         "protocol round: {:.2} s acoustic + {:.2} s report = {:.2} s total\n",
         outcome.latency.acoustic_s,
@@ -63,19 +90,10 @@ fn main() {
             err
         );
     }
-
-    let median = {
-        let mut e = outcome.errors_2d.clone();
-        e.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        e[e.len() / 2]
-    };
-    println!("\nmedian 2D localization error: {median:.2} m");
     println!(
-        "measured pairwise links: {}",
-        outcome.distances.link_count()
-    );
-    println!(
-        "flipping disambiguation correct: {}",
+        "\nmeasured pairwise links: {}, flipping correct: {}",
+        outcome.distances.link_count(),
         outcome.flipping_correct
     );
+    println!("full grid + reproduction guide: ./scripts/eval_matrix.sh (see docs/EVALUATION.md)");
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs the full scenario-matrix evaluation suite (≥24 cells: environments ×
+# topologies × link conditions × mobility profiles), writes the aggregated
+# JSON report and regenerates the figure-by-figure reproduction guide, then
+# verifies every documented acceptance band.
+#
+# Usage: ./scripts/eval_matrix.sh [report.json] [guide.md]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_eval_matrix.json}"
+guide="${2:-docs/EVALUATION.md}"
+
+cargo run --release -p uw-eval --bin eval_matrix -- \
+    --out "$out" --guide "$guide" --check

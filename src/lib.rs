@@ -35,6 +35,7 @@ pub use uw_channel as channel;
 pub use uw_core as core;
 pub use uw_device as device;
 pub use uw_dsp as dsp;
+pub use uw_eval as eval;
 pub use uw_localization as localization;
 pub use uw_protocol as protocol;
 pub use uw_ranging as ranging;
