@@ -13,6 +13,7 @@ use uw_dsp::coding::{conv_decode_two_thirds, conv_encode_two_thirds};
 use uw_dsp::complex::to_complex;
 use uw_dsp::correlation::xcorr_normalized;
 use uw_dsp::fft::{fft, fft_any};
+use uw_dsp::fixed::{ComplexQ15, FixedFftPlan, Q15MatchedFilter};
 use uw_dsp::plan::FftPlan;
 use uw_ranging::channel_est::ls_channel_estimate;
 use uw_ranging::detect::{detect_preamble, DetectorConfig};
@@ -48,6 +49,33 @@ fn bench_fft(c: &mut Criterion) {
             plan1920.process_forward(&mut buf1920).unwrap();
         })
     });
+
+    // Fixed-point counterparts of the two plan benches above: the
+    // float-vs-Q15 perf axis BENCH_pipeline.json records from this PR on.
+    let pow2_q: Vec<ComplexQ15> = pow2_c
+        .iter()
+        .map(|&c| ComplexQ15::from_complex64(c))
+        .collect();
+    let sym_q: Vec<ComplexQ15> = sym_c
+        .iter()
+        .map(|&c| ComplexQ15::from_complex64(c))
+        .collect();
+    let mut fixed2048 = FixedFftPlan::new(2048).unwrap();
+    let mut qbuf2048 = pow2_q.clone();
+    c.bench_function("q15_fft_radix2_2048", |b| {
+        b.iter(|| {
+            qbuf2048.copy_from_slice(&pow2_q);
+            fixed2048.process_forward(&mut qbuf2048).unwrap()
+        })
+    });
+    let mut fixed1920 = FixedFftPlan::new(1920).unwrap();
+    let mut qbuf1920 = sym_q.clone();
+    c.bench_function("q15_fft_bluestein_1920", |b| {
+        b.iter(|| {
+            qbuf1920.copy_from_slice(&sym_q);
+            fixed1920.process_forward(&mut qbuf1920).unwrap()
+        })
+    });
 }
 
 fn bench_detection(c: &mut Criterion) {
@@ -73,6 +101,18 @@ fn bench_detection(c: &mut Criterion) {
         b.iter(|| {
             preamble
                 .correlate_normalized_into(&stream, &mut corr_out)
+                .unwrap()
+        })
+    });
+
+    // Q15 matched filter over the same 65k stream (the fixed-point leg of
+    // the float-vs-Q15 axis; the f64 leg is the `_stream` bench above).
+    let q15_filter = Q15MatchedFilter::new(&preamble.waveform).unwrap();
+    let mut q15_out: Vec<f64> = Vec::new();
+    c.bench_function("q15_matched_filter_65k", |b| {
+        b.iter(|| {
+            q15_filter
+                .correlate_normalized_into(&stream, &mut q15_out)
                 .unwrap()
         })
     });

@@ -40,6 +40,7 @@ fn main() {
                 source_level: 1.0,
                 occlusion_db: 0.0,
                 orientation_loss_db: 0.0,
+                numeric_path: uw_core::config::NumericPath::F64,
             };
             if let Ok(result) = run_pairwise_trial(
                 &trial,

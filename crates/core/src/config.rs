@@ -6,6 +6,8 @@ use uw_channel::environment::EnvironmentKind;
 use uw_localization::pipeline::LocalizerConfig;
 use uw_protocol::schedule::TdmSchedule;
 
+pub use uw_dsp::NumericPath;
+
 /// How faithfully the physical layer is simulated during a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fidelity {
@@ -29,6 +31,12 @@ pub struct SystemConfig {
     pub n_devices: usize,
     /// Physical-layer fidelity.
     pub fidelity: Fidelity,
+    /// Numeric implementation of the waveform-level DSP (detection
+    /// correlation + LS channel estimation): the `f64` oracle or the
+    /// on-device Q15 fixed-point path. Only exercised where waveforms are
+    /// processed, i.e. at [`Fidelity::Hybrid`] — the statistical model
+    /// never touches the DSP.
+    pub numeric_path: NumericPath,
     /// Localization solver parameters.
     pub localizer: LocalizerConfig,
     /// Report-phase bit rate per device (bit/s).
@@ -54,6 +62,7 @@ impl SystemConfig {
             environment,
             n_devices,
             fidelity: Fidelity::Statistical,
+            numeric_path: NumericPath::F64,
             localizer: LocalizerConfig::default(),
             report_bps: 100.0,
             pointing_error_std_rad: 5.0f64.to_radians(),

@@ -46,7 +46,7 @@ pub mod waveform;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use crate::config::{Fidelity, SystemConfig};
+    pub use crate::config::{Fidelity, NumericPath, SystemConfig};
     pub use crate::metrics::SeriesStats;
     pub use crate::network::DiveNetwork;
     pub use crate::scenario::Scenario;

@@ -209,6 +209,7 @@ impl Session {
                         source_level: network.devices()[other].model.source_level(),
                         occlusion_db,
                         orientation_loss_db: 0.0,
+                        numeric_path: self.config.numeric_path,
                     };
                     (other, trial)
                 })

@@ -8,6 +8,7 @@
 //! trials, and the statistical reception model used for network-scale
 //! experiments is calibrated against them.
 
+use crate::config::NumericPath;
 use crate::{Result, SystemError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,24 +25,32 @@ use uw_ranging::baselines::ChirpBaseline;
 use uw_ranging::preamble::RangingPreamble;
 use uw_ranging::ranging::{estimate_arrival_dual, MicMode, RangingConfig};
 
-/// Receive-side assets every waveform trial shares: the paper-default
-/// preamble (whose matched filter and symbol FFT plans are pooled
-/// internally, so concurrent trials reuse them without serialising) and the
-/// matched chirp baseline. Built once per process — a session's many
-/// exchanges, and all parallel links within one round, reuse the same
-/// precomputed DSP state.
-struct WaveformAssets {
-    preamble: RangingPreamble,
-    baseline: ChirpBaseline,
+/// The paper-default receive-side preamble every waveform trial shares:
+/// its matched filter and symbol FFT plans are pooled internally, so
+/// concurrent trials reuse them without serialising. Built once per
+/// process **per numeric path** — a session's many exchanges, and all
+/// parallel links within one round, reuse the same precomputed DSP state;
+/// an f64 and a Q15 session in the same process each get their own
+/// preamble (each path builds only its own execution state).
+fn preamble_for(path: NumericPath) -> &'static RangingPreamble {
+    static F64_PREAMBLE: OnceLock<RangingPreamble> = OnceLock::new();
+    static Q15_PREAMBLE: OnceLock<RangingPreamble> = OnceLock::new();
+    let slot = match path {
+        NumericPath::F64 => &F64_PREAMBLE,
+        NumericPath::Q15 => &Q15_PREAMBLE,
+    };
+    slot.get_or_init(|| {
+        RangingPreamble::new_with_path(uw_dsp::ofdm::OfdmConfig::default(), path)
+            .expect("paper-default preamble parameters are valid")
+    })
 }
 
-fn assets() -> &'static WaveformAssets {
-    static ASSETS: OnceLock<WaveformAssets> = OnceLock::new();
-    ASSETS.get_or_init(|| WaveformAssets {
-        preamble: RangingPreamble::default_paper()
-            .expect("paper-default preamble parameters are valid"),
-        baseline: ChirpBaseline::matched_to_preamble()
-            .expect("paper-default chirp parameters are valid"),
+/// The matched chirp baseline (BeepBeep/CAT comparisons). Pure f64 and
+/// numeric-path independent, so it is shared by every trial.
+fn baseline() -> &'static ChirpBaseline {
+    static BASELINE: OnceLock<ChirpBaseline> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        ChirpBaseline::matched_to_preamble().expect("paper-default chirp parameters are valid")
     })
 }
 
@@ -62,11 +71,14 @@ pub struct PairwiseTrial {
     pub occlusion_db: f64,
     /// Extra transmission loss from the transmitter's orientation (dB).
     pub orientation_loss_db: f64,
+    /// Numeric path of the receive-side DSP (detection + channel
+    /// estimation): the `f64` oracle or the on-device Q15 path.
+    pub numeric_path: NumericPath,
 }
 
 impl PairwiseTrial {
     /// A clear-path trial at a given horizontal separation and common depth
-    /// in an environment.
+    /// in an environment, on the `f64` reference path.
     pub fn at_distance(environment: EnvironmentKind, separation_m: f64, depth_m: f64) -> Self {
         Self {
             environment,
@@ -76,6 +88,15 @@ impl PairwiseTrial {
             source_level: 1.0,
             occlusion_db: 0.0,
             orientation_loss_db: 0.0,
+            numeric_path: NumericPath::F64,
+        }
+    }
+
+    /// The same trial on the chosen numeric path.
+    pub fn with_numeric_path(self, numeric_path: NumericPath) -> Self {
+        Self {
+            numeric_path,
+            ..self
         }
     }
 }
@@ -151,7 +172,7 @@ pub fn run_pairwise_trial(
 
     let (estimated_arrival, mic_sign) = match scheme {
         RangingScheme::DualMicOfdm | RangingScheme::BottomMicOnly | RangingScheme::TopMicOnly => {
-            let preamble = &assets().preamble;
+            let preamble = preamble_for(trial.numeric_path);
             let tx_wave: Vec<f64> = preamble.waveform.iter().map(|s| s * gain).collect();
             let [rx1, rx2] = simulator
                 .propagate_dual_mic(
@@ -182,7 +203,7 @@ pub fn run_pairwise_trial(
             (delay_samples / SAMPLE_RATE, est.mic_sign())
         }
         RangingScheme::BeepBeep | RangingScheme::CatFmcw => {
-            let baseline = &assets().baseline;
+            let baseline = baseline();
             let tx_wave: Vec<f64> = baseline.waveform.iter().map(|s| s * gain).collect();
             let received = simulator
                 .propagate(&tx_wave, &trial.tx_position, &mic1, &options, &mut rng)
@@ -252,7 +273,7 @@ pub fn detection_trial_ours(
     let env = Environment::preset(environment);
     let simulator = ChannelSimulator::new(env, SAMPLE_RATE).map_err(SystemError::from)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let preamble = &assets().preamble;
+    let preamble = preamble_for(NumericPath::F64);
     let tx = Point3::new(0.0, 0.0, 1.0);
     let rx = Point3::new(separation_m, 0.0, 1.0);
     let received = simulator
@@ -285,7 +306,7 @@ pub fn noise_trial_ours(
 ) -> Result<DetectionTrialOutcome> {
     let env = Environment::preset(environment);
     let mut rng = StdRng::seed_from_u64(seed);
-    let preamble = &assets().preamble;
+    let preamble = preamble_for(NumericPath::F64);
     let samples = uw_channel::noise::combined_noise(
         &env.noise,
         preamble.len() + 30_000,
@@ -314,7 +335,7 @@ pub fn detection_trial_fmcw(
 ) -> Result<DetectionTrialOutcome> {
     let env = Environment::preset(environment);
     let mut rng = StdRng::seed_from_u64(seed);
-    let baseline = &assets().baseline;
+    let baseline = baseline();
     let samples = match separation_m {
         Some(d) => {
             let simulator = ChannelSimulator::new(env, SAMPLE_RATE).map_err(SystemError::from)?;
@@ -369,6 +390,25 @@ mod tests {
         let result = run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, 1).unwrap();
         assert!((result.true_distance_m - 10.0).abs() < 0.1);
         assert!(result.error_m.abs() < 1.0, "error {}", result.error_m);
+    }
+
+    #[test]
+    fn q15_trial_tracks_the_f64_oracle() {
+        let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 12.0, 2.0);
+        let f64_result = run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, 11).unwrap();
+        let q15_trial = trial.with_numeric_path(NumericPath::Q15);
+        let q15_result = run_pairwise_trial(&q15_trial, RangingScheme::DualMicOfdm, 11).unwrap();
+        // Same channel realisation (same seed), so the only difference is
+        // the receive-side numeric path: the two estimates must land within
+        // a few samples of sound travel of each other.
+        let gap = (q15_result.estimated_distance_m - f64_result.estimated_distance_m).abs();
+        assert!(gap < 0.35, "f64/q15 distance gap {gap} m");
+        assert!(
+            q15_result.error_m.abs() < 1.0,
+            "q15 error {}",
+            q15_result.error_m
+        );
+        assert_eq!(q15_result.mic_sign, f64_result.mic_sign);
     }
 
     #[test]

@@ -252,6 +252,15 @@ pub const FIGURE_MAP: &[FigureClaim] = &[
         hi: 3.0,
         smoke: false,
     },
+    FigureClaim {
+        figure: "ext. q15",
+        claim: "On-device Q15 fixed-point DSP (hybrid dock cell) keeps the median in the f64 band",
+        cell_id: "dock/5dev/clear/static/q15/s1",
+        metric: BandMetric::Median2dM,
+        lo: 0.2,
+        hi: 2.2,
+        smoke: false,
+    },
 ];
 
 /// A band the current report violates.
@@ -374,6 +383,22 @@ pub fn generate_guide(report: &EvalReport) -> String {
          full statistics (median/p90/p99, error CDF points, flip rate,\n\
          drop decisions, latency) are in `BENCH_eval_matrix.json`.\n\
          \n\
+         ## The `NumericPath` knob (fixed-point cells)\n\
+         \n\
+         Cells with a `q15` segment (`dock/5dev/clear/static/q15/s1`) run\n\
+         the waveform DSP — detection correlation and LS channel\n\
+         estimation — on the on-device Q15 fixed-point path in\n\
+         `uw_dsp::fixed` instead of the `f64` oracle. Q15 cells must run\n\
+         at hybrid fidelity (the statistical model never touches the\n\
+         DSP); select the path via `ScenarioMatrix::numeric_paths` or\n\
+         `SystemConfig::numeric_path`. Run the pinned fixed-point cell\n\
+         alone with:\n\
+         \n\
+         ```sh\n\
+         cargo test -p uw-eval --test q15_cell_band   # Q15-vs-f64 band check\n\
+         cargo test -p uw-dsp --test fixed_vs_float   # primitive-level differential suite\n\
+         ```\n\
+         \n\
          ## Figures not driven by the matrix\n\
          \n\
          Waveform-level 1D figures (Fig. 6, 11–16, 22) and the battery\n\
@@ -408,8 +433,14 @@ mod tests {
         for claim in FIGURE_MAP {
             assert!(claim.lo <= claim.hi, "{}: inverted band", claim.cell_id);
             assert!(!claim.figure.is_empty() && !claim.claim.is_empty());
-            // Cell ids follow the env/topology/condition/mobility/seed shape.
-            assert_eq!(claim.cell_id.split('/').count(), 5, "{}", claim.cell_id);
+            // Cell ids follow the env/topology/condition/mobility/seed
+            // shape, with an extra numeric-path segment on Q15 cells.
+            let segments = claim.cell_id.split('/').count();
+            assert!(
+                segments == 5 || (segments == 6 && claim.cell_id.contains("/q15/")),
+                "{}",
+                claim.cell_id
+            );
         }
         // Every smoke-checked claim points at a cell the smoke matrix
         // itself runs — the same slice `smoke_bands_hold` executes.

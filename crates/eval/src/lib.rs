@@ -6,8 +6,12 @@
 //!
 //! * [`matrix`] — [`matrix::ScenarioMatrix`]: the cross product of
 //!   environments × topologies × link conditions × mobility profiles ×
-//!   seeds, expanded into concrete [`uw_core::Scenario`]s (paper-measured
-//!   layouts where they exist, deterministic spiral layouts elsewhere).
+//!   numeric paths × seeds, expanded into concrete [`uw_core::Scenario`]s
+//!   (paper-measured layouts where they exist, deterministic spiral
+//!   layouts elsewhere). The numeric-path axis
+//!   ([`uw_core::config::NumericPath`]) selects between the `f64` DSP
+//!   oracle and the on-device Q15 fixed-point path for hybrid-fidelity
+//!   cells.
 //! * [`runner`] — [`runner::run_matrix`] / [`runner::run_suite`]: batched
 //!   execution over rayon with per-cell round counts; hybrid-fidelity
 //!   cells share the process-wide waveform assets (the preamble's pooled
@@ -33,14 +37,16 @@
 //! use uw_eval::matrix::{LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
 //! use uw_eval::runner::run_matrix;
 //! use uw_core::prelude::EnvironmentKind;
-//! use uw_core::config::Fidelity;
+//! use uw_core::config::{Fidelity, NumericPath};
 //!
-//! // A one-cell matrix: the dock testbed, clear links, static devices.
+//! // A one-cell matrix: the dock testbed, clear links, static devices,
+//! // the f64 reference DSP path.
 //! let matrix = ScenarioMatrix {
 //!     environments: vec![EnvironmentKind::Dock],
 //!     topologies: vec![Topology::FiveDevice],
 //!     conditions: vec![LinkProfile::Clear],
 //!     mobilities: vec![MobilityProfile::Static],
+//!     numeric_paths: vec![NumericPath::F64],
 //!     seeds: vec![1],
 //!     rounds_per_cell: 2,
 //!     fidelity: Fidelity::Statistical,

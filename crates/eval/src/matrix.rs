@@ -1,6 +1,6 @@
 //! Declarative scenario matrices and their expansion into concrete cells.
 //!
-//! A [`ScenarioMatrix`] is the cross product of five axes:
+//! A [`ScenarioMatrix`] is the cross product of six axes:
 //!
 //! * **environments** — [`EnvironmentKind`] presets (the paper's four sites
 //!   plus the open-water and tidal-channel extensions),
@@ -9,13 +9,17 @@
 //!   ([`LinkProfile`]),
 //! * **mobility profiles** — static, rope oscillation, swimmer circuit,
 //!   current drift ([`MobilityProfile`]),
+//! * **numeric paths** — the `f64` oracle or the on-device Q15 fixed-point
+//!   DSP ([`NumericPath`]; Q15 cells must run at [`Fidelity::Hybrid`],
+//!   since the statistical model never touches the DSP),
 //! * **seeds** — one cell per RNG seed.
 //!
 //! [`ScenarioMatrix::expand`] turns the matrix into concrete [`EvalCell`]s,
 //! each carrying a ready-to-run [`Scenario`] and a stable identifier like
-//! `dock/5dev/clear/static/s1` that the reproduction guide keys on.
+//! `dock/5dev/clear/static/s1` (f64) or `dock/5dev/clear/static/q15/s1`
+//! (fixed point) that the reproduction guide keys on.
 
-use uw_core::config::Fidelity;
+use uw_core::config::{Fidelity, NumericPath};
 use uw_core::prelude::*;
 use uw_core::Result;
 
@@ -124,7 +128,7 @@ impl MobilityProfile {
     }
 }
 
-/// A declarative evaluation grid: the cross product of the five axes, plus
+/// A declarative evaluation grid: the cross product of the six axes, plus
 /// per-matrix execution knobs.
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrix {
@@ -136,6 +140,10 @@ pub struct ScenarioMatrix {
     pub conditions: Vec<LinkProfile>,
     /// Mobility axis.
     pub mobilities: Vec<MobilityProfile>,
+    /// Numeric-path axis: `f64` oracle and/or the on-device Q15 DSP.
+    /// Q15 entries require `fidelity == Fidelity::Hybrid` (enforced at
+    /// expansion), because only the waveform pipeline exercises the DSP.
+    pub numeric_paths: Vec<NumericPath>,
     /// Seed axis (one cell per seed).
     pub seeds: Vec<u64>,
     /// Localization rounds for every cell of this matrix. Cells needing a
@@ -150,7 +158,8 @@ pub struct ScenarioMatrix {
 /// One concrete cell of an expanded matrix.
 #[derive(Debug, Clone)]
 pub struct EvalCell {
-    /// Stable identifier: `environment/topology/condition/mobility/seed`.
+    /// Stable identifier: `environment/topology/condition/mobility/seed`,
+    /// with a `q15` segment before the seed on the fixed-point path.
     pub id: String,
     /// Environment of the cell.
     pub environment: EnvironmentKind,
@@ -160,6 +169,8 @@ pub struct EvalCell {
     pub condition: LinkProfile,
     /// Mobility profile.
     pub mobility: MobilityProfile,
+    /// Numeric path of the waveform-level DSP.
+    pub numeric_path: NumericPath,
     /// RNG seed.
     pub seed: u64,
     /// Rounds to run.
@@ -181,6 +192,7 @@ impl ScenarioMatrix {
             // the link rather than the Huber refinement absorbing it.
             conditions: vec![LinkProfile::Clear, LinkProfile::Occluded { bias_m: 12.0 }],
             mobilities: vec![MobilityProfile::Static],
+            numeric_paths: vec![NumericPath::F64],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -203,6 +215,7 @@ impl ScenarioMatrix {
                 MobilityProfile::RopeOscillation { speed_cm_s: 40.0 },
                 MobilityProfile::Swimmer { speed_cm_s: 40.0 },
             ],
+            numeric_paths: vec![NumericPath::F64],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -220,6 +233,7 @@ impl ScenarioMatrix {
                 MobilityProfile::RopeOscillation { speed_cm_s: 40.0 },
                 MobilityProfile::Swimmer { speed_cm_s: 40.0 },
             ],
+            numeric_paths: vec![NumericPath::F64],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -233,6 +247,7 @@ impl ScenarioMatrix {
             topologies: vec![Topology::FiveDevice],
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::CurrentDrift { speed_cm_s: 30.0 }],
+            numeric_paths: vec![NumericPath::F64],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -248,9 +263,29 @@ impl ScenarioMatrix {
             topologies: vec![Topology::Group(3), Topology::Group(6), Topology::Group(7)],
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
+            numeric_paths: vec![NumericPath::F64],
             seeds: vec![1],
             rounds_per_cell: 2,
             fidelity: Fidelity::Statistical,
+        }
+    }
+
+    /// The on-device fixed-point cell: the dock 5-device testbed run
+    /// end-to-end on the Q15 DSP path at hybrid fidelity, so every
+    /// leader-link exchange exercises the `uw_dsp::fixed` block-floating-
+    /// point FFTs and Q15 matched filter. Its acceptance band (relative to
+    /// the f64 dock cell) is pinned by the differential harness in
+    /// `crates/eval/tests/q15_cell_band.rs` and documented in the guide.
+    pub fn q15_dock() -> Self {
+        Self {
+            environments: vec![EnvironmentKind::Dock],
+            topologies: vec![Topology::FiveDevice],
+            conditions: vec![LinkProfile::Clear],
+            mobilities: vec![MobilityProfile::Static],
+            numeric_paths: vec![NumericPath::Q15],
+            seeds: vec![1],
+            rounds_per_cell: 12,
+            fidelity: Fidelity::Hybrid,
         }
     }
 
@@ -264,6 +299,7 @@ impl ScenarioMatrix {
             Self::dock_mobility(),
             Self::tidal_drift(),
             Self::latency_sweep(),
+            Self::q15_dock(),
         ]
     }
 
@@ -276,6 +312,7 @@ impl ScenarioMatrix {
             topologies: vec![Topology::FiveDevice],
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
+            numeric_paths: vec![NumericPath::F64],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -288,6 +325,7 @@ impl ScenarioMatrix {
             * self.topologies.len()
             * self.conditions.len()
             * self.mobilities.len()
+            * self.numeric_paths.len()
             * self.seeds.len()
     }
 
@@ -298,14 +336,17 @@ impl ScenarioMatrix {
             for topology in &self.topologies {
                 for &condition in &self.conditions {
                     for &mobility in &self.mobilities {
-                        for &seed in &self.seeds {
-                            cells.push(self.build_cell(
-                                environment,
-                                *topology,
-                                condition,
-                                mobility,
-                                seed,
-                            )?);
+                        for &numeric_path in &self.numeric_paths {
+                            for &seed in &self.seeds {
+                                cells.push(self.build_cell(
+                                    environment,
+                                    *topology,
+                                    condition,
+                                    mobility,
+                                    numeric_path,
+                                    seed,
+                                )?);
+                            }
                         }
                     }
                 }
@@ -314,26 +355,52 @@ impl ScenarioMatrix {
         Ok(cells)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_cell(
         &self,
         environment: EnvironmentKind,
         topology: Topology,
         condition: LinkProfile,
         mobility: MobilityProfile,
+        numeric_path: NumericPath,
         seed: u64,
     ) -> Result<EvalCell> {
         let n = topology.n_devices();
-        let id = format!(
-            "{}/{}/{}/{}/s{}",
-            environment.slug(),
-            topology.slug(),
-            condition.slug(),
-            mobility.slug(),
-            seed
-        );
+        // f64 cells keep the historical five-segment id; Q15 cells insert
+        // their path segment so the two numeric paths never collide.
+        let id = match numeric_path {
+            NumericPath::F64 => format!(
+                "{}/{}/{}/{}/s{}",
+                environment.slug(),
+                topology.slug(),
+                condition.slug(),
+                mobility.slug(),
+                seed
+            ),
+            NumericPath::Q15 => format!(
+                "{}/{}/{}/{}/{}/s{}",
+                environment.slug(),
+                topology.slug(),
+                condition.slug(),
+                mobility.slug(),
+                numeric_path.slug(),
+                seed
+            ),
+        };
+        if numeric_path == NumericPath::Q15 && self.fidelity != Fidelity::Hybrid {
+            // The statistical model never runs the DSP, so a statistical
+            // Q15 cell would silently measure nothing fixed-point.
+            return Err(uw_core::SystemError::InvalidConfig {
+                reason: format!(
+                    "cell {id}: the Q15 numeric path only affects waveform-level DSP; \
+                     run it at Fidelity::Hybrid"
+                ),
+            });
+        }
         let rounds = self.rounds_per_cell;
         let mut scenario = Scenario::for_site(environment, n, seed)?;
         scenario.config_mut().fidelity = self.fidelity;
+        scenario.config_mut().numeric_path = numeric_path;
         match condition {
             LinkProfile::Clear => {}
             LinkProfile::Occluded { bias_m } => {
@@ -387,6 +454,7 @@ impl ScenarioMatrix {
             n_devices: n,
             condition,
             mobility,
+            numeric_path,
             seed,
             rounds,
             scenario,
@@ -485,6 +553,41 @@ mod tests {
         for m in ScenarioMatrix::full_suite() {
             total += m.expand().unwrap().len();
         }
-        assert!(total >= 24, "suite has {total} cells");
+        assert!(total >= 25, "suite has {total} cells");
+    }
+
+    #[test]
+    fn q15_cells_get_their_own_id_segment_and_hybrid_fidelity() {
+        let cells = ScenarioMatrix::q15_dock().expand().unwrap();
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.id, "dock/5dev/clear/static/q15/s1");
+        assert_eq!(cell.numeric_path, NumericPath::Q15);
+        assert_eq!(cell.scenario.config().numeric_path, NumericPath::Q15);
+        assert_eq!(cell.scenario.config().fidelity, Fidelity::Hybrid);
+        // The f64 grid keeps its historical five-segment ids.
+        let f64_cells = ScenarioMatrix::smoke().expand().unwrap();
+        assert!(f64_cells.iter().all(|c| c.id.split('/').count() == 5));
+        assert!(f64_cells.iter().all(|c| c.numeric_path == NumericPath::F64));
+    }
+
+    #[test]
+    fn statistical_q15_cells_are_rejected() {
+        let m = ScenarioMatrix {
+            numeric_paths: vec![NumericPath::Q15],
+            ..ScenarioMatrix::smoke()
+        };
+        let err = m.expand().unwrap_err();
+        assert!(err.to_string().contains("Fidelity::Hybrid"), "{err}");
+        // Both paths in one hybrid matrix expand to distinct cells.
+        let m = ScenarioMatrix {
+            numeric_paths: vec![NumericPath::F64, NumericPath::Q15],
+            environments: vec![EnvironmentKind::Dock],
+            fidelity: Fidelity::Hybrid,
+            ..ScenarioMatrix::smoke()
+        };
+        let cells = m.expand().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_ne!(cells[0].id, cells[1].id);
     }
 }

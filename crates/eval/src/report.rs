@@ -10,7 +10,7 @@
 use crate::matrix::EvalCell;
 
 /// Schema identifier stamped into every report.
-pub const REPORT_SCHEMA: &str = "uwgps-eval-matrix-v1";
+pub const REPORT_SCHEMA: &str = "uwgps-eval-matrix-v2";
 
 /// Summary statistics of one error series (metres).
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +70,8 @@ pub struct CellReport {
     pub condition: String,
     /// Mobility slug.
     pub mobility: String,
+    /// Numeric-path slug (`f64` or `q15`).
+    pub numeric_path: String,
     /// RNG seed.
     pub seed: u64,
     /// Rounds requested.
@@ -170,6 +172,7 @@ fn cell_json(c: &CellReport, indent: &str) -> String {
     field(&mut s, "n_devices", c.n_devices.to_string(), false);
     field(&mut s, "condition", json_str(&c.condition), false);
     field(&mut s, "mobility", json_str(&c.mobility), false);
+    field(&mut s, "numeric_path", json_str(&c.numeric_path), false);
     field(&mut s, "seed", c.seed.to_string(), false);
     field(&mut s, "rounds", c.rounds.to_string(), false);
     field(
@@ -266,6 +269,7 @@ pub fn cell_report_skeleton(cell: &EvalCell) -> CellReport {
         n_devices: cell.n_devices,
         condition: cell.condition.slug().into(),
         mobility: cell.mobility.slug(),
+        numeric_path: cell.numeric_path.slug().into(),
         seed: cell.seed,
         rounds: cell.rounds,
         rounds_completed: 0,
@@ -292,6 +296,7 @@ mod tests {
             n_devices: 5,
             condition: "clear".into(),
             mobility: "static".into(),
+            numeric_path: "f64".into(),
             seed: 1,
             rounds: 12,
             rounds_completed: 12,
@@ -327,7 +332,8 @@ mod tests {
         assert_eq!(json, report.to_json());
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
-        assert!(json.contains("\"schema\": \"uwgps-eval-matrix-v1\""));
+        assert!(json.contains("\"schema\": \"uwgps-eval-matrix-v2\""));
+        assert!(json.contains("\"numeric_path\": \"f64\""));
         assert!(json.contains("\"id\": \"dock/5dev/clear/static/s1\""));
         assert!(json.contains("\"median_m\": 0.600000"));
         // Balanced braces/brackets (cheap well-formedness check — the

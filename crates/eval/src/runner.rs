@@ -107,6 +107,7 @@ mod tests {
             topologies: vec![Topology::FiveDevice],
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
+            numeric_paths: vec![uw_core::config::NumericPath::F64],
             seeds: vec![3],
             rounds_per_cell: 4,
             fidelity: Fidelity::Statistical,

@@ -28,9 +28,15 @@
 //!   Bluestein chirp state.
 //! * [`matched`] — [`MatchedFilter`]: overlap-save streaming correlation
 //!   against a fixed template with folded normalisation.
+//! * [`fixed`] — the on-device Q15 fixed-point path: [`Q15`]/[`ComplexQ15`]
+//!   saturating integer arithmetic, the block-floating-point
+//!   [`FixedFftPlan`], and the [`Q15MatchedFilter`], selected through the
+//!   [`NumericPath`] knob higher layers thread down.
 //!
 //! All functions operate on `f64` sample buffers at a nominal 44.1 kHz
 //! sampling rate (the rate exposed by commodity smart devices underwater).
+//! The [`fixed`] module quantises at its boundaries and computes its hot
+//! loops in 16-bit integers, modelling what shipping phone DSP does.
 //!
 //! ## Performance notes: plan caching and when to use what
 //!
@@ -67,6 +73,45 @@
 //! The one-shot functions remain the ground truth the property tests
 //! compare the plan layer against (`tests/plan_proptests.rs`).
 //!
+//! ## Performance notes: the Q15 fixed-point path and its scaling strategy
+//!
+//! The [`fixed`] module mirrors the plan layer in 16-bit fixed point for
+//! on-device deployment studies. Its scaling strategy is **block floating
+//! point** (BFP): one shared exponent per buffer, a 16-bit mantissa per
+//! sample.
+//!
+//! * **Quantisation at the boundary.** Streams are quantised once per call
+//!   by their peak (modelling capture-side AGC); templates and twiddle/
+//!   chirp tables are quantised once at plan build. Everything in between
+//!   is `i16` data with `i32`/`i64` accumulators and a single rounding
+//!   shift per product.
+//! * **Per-stage guard scaling.** A radix-2 butterfly grows a component by
+//!   at most `1 + √2`. Before each stage the plan scans the block maximum
+//!   and right-shifts everything (with rounding) until
+//!   `max · (1 + √2) ≤ 32767`, so saturation is impossible mid-stage; the
+//!   shift count accumulates into the scale factor the transform returns.
+//! * **Renormalisation after shrinking steps.** Pointwise spectrum
+//!   products shrink magnitudes; the block is shifted back *up* to the
+//!   guard ceiling (tracked in the same scale) so later stages keep a full
+//!   mantissa. Without this, the matched filter loses ~2 bits per
+//!   overlap-save block.
+//! * **Accuracy envelope.** The differential harness
+//!   (`tests/fixed_vs_float.rs`) pins the path against the f64 oracle:
+//!   ≥ 60 dB SQNR for radix-2 forward transforms, ≥ 55 dB for full
+//!   round-trips at the largest (2048-point) correlator block (≥ 58 dB at
+//!   smaller sizes), ≥ 50 dB for the Bluestein 1920-point symbol
+//!   transform (two extra quantised multiplies), matched-filter peak
+//!   indices within ±1 sample of the f64 peak at matrix SNRs, and exact
+//!   saturation behaviour at ±1.0.
+//! * **What the perf axis records.** On the x86 CI container the Q15 path
+//!   is ~2× *slower* than the f64 plans (scalar i16/i64 arithmetic plus
+//!   the per-stage max scans vs. hardware double-precision FPU —
+//!   `q15_fft_radix2_2048` ≈ 56 µs vs 25 µs, `q15_matched_filter_65k`
+//!   ≈ 5.7 ms vs 3.1 ms in `BENCH_pipeline.json`). The point of the axis
+//!   is not an x86 speedup: it is to model the numeric behaviour of the
+//!   integer DSPs phones actually ship (where 16-bit SIMD lanes invert
+//!   the tradeoff) and to track both paths' costs over time.
+//!
 //! ## Example
 //!
 //! ```
@@ -95,6 +140,7 @@ pub mod coding;
 pub mod complex;
 pub mod correlation;
 pub mod fft;
+pub mod fixed;
 pub mod fsk;
 pub mod matched;
 pub mod ofdm;
@@ -106,6 +152,7 @@ pub mod window;
 pub mod zc;
 
 pub use complex::Complex64;
+pub use fixed::{ComplexQ15, FixedFftPlan, FixedPlanPool, NumericPath, Q15MatchedFilter, Q15};
 pub use matched::MatchedFilter;
 pub use plan::{FftPlan, FftPlanner, PlanPool};
 

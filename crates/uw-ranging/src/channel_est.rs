@@ -18,6 +18,7 @@
 use crate::preamble::RangingPreamble;
 use crate::{RangingError, Result};
 use uw_dsp::complex::Complex64;
+use uw_dsp::fixed::{ComplexQ15, NumericPath, Q15};
 
 /// A channel estimate derived from one received preamble.
 #[derive(Debug, Clone)]
@@ -54,6 +55,10 @@ pub fn ls_channel_estimate(
                 stream.len()
             ),
         });
+    }
+
+    if preamble.numeric_path() == NumericPath::Q15 {
+        return ls_channel_estimate_q15(stream, preamble, start);
     }
 
     let n_fft = preamble.config.fft_len();
@@ -110,7 +115,82 @@ pub fn ls_channel_estimate(
             freq_response,
             impulse_magnitude,
         })
-    })
+    })?
+}
+
+/// The fixed-point variant of [`ls_channel_estimate`]: every symbol FFT and
+/// the impulse-response inverse FFT run on the Q15 block-floating-point
+/// plan. Symbols are quantised by their own peak (capture-side AGC), bin
+/// equalisation multiplies by the conjugate ZC value (the exact inverse,
+/// since `|X(k)| = 1`), and the per-symbol block scales are reconciled in
+/// floating point only at the accumulation boundary — the same place a
+/// phone implementation would align block exponents.
+fn ls_channel_estimate_q15(
+    stream: &[f64],
+    preamble: &RangingPreamble,
+    start: usize,
+) -> Result<ChannelEstimate> {
+    let n_fft = preamble.config.fft_len();
+    let bins = preamble.config.occupied_bins();
+    let n_bins = preamble.base_bins.len();
+    let block = preamble.block_len();
+    let n_symbols = preamble.pn_signs.len();
+
+    preamble.with_fixed_symbol_plan(|plan| -> Result<ChannelEstimate> {
+        let mut buf = vec![ComplexQ15::ZERO; n_fft];
+        let mut acc = vec![Complex64::ZERO; n_bins];
+        for (i, &sign) in preamble.pn_signs.iter().enumerate() {
+            let sym_start = start + i * block + preamble.config.cyclic_prefix;
+            let window = &stream[sym_start..sym_start + preamble.config.symbol_len];
+            let peak = window.iter().fold(0.0f64, |m, &s| m.max(s.abs()));
+            if peak == 0.0 {
+                continue; // an all-zero symbol contributes nothing
+            }
+            for (b, &s) in buf.iter_mut().zip(window.iter()) {
+                *b = ComplexQ15::new(Q15::from_f64(s / peak), Q15::ZERO);
+            }
+            for b in buf[preamble.config.symbol_len.min(n_fft)..].iter_mut() {
+                *b = ComplexQ15::ZERO;
+            }
+            let scale = plan.process_forward(&mut buf)? * peak;
+            for (j, k) in bins.clone().enumerate() {
+                // X(k) is a unit-magnitude ZC value: its exact inverse is
+                // the conjugate, quantised once per bin.
+                let x_inv = ComplexQ15::from_complex64((preamble.base_bins[j] * sign).conj());
+                let y = buf[k].saturating_mul(x_inv);
+                acc[j] += y.to_complex64() * scale;
+            }
+        }
+        let freq_response: Vec<Complex64> = acc.into_iter().map(|c| c / n_symbols as f64).collect();
+
+        // Time-domain impulse response through the fixed inverse transform:
+        // quantise the conjugate-symmetric spectrum by its peak and let the
+        // BFP scale carry the magnitude back out.
+        let mut spec = vec![Complex64::ZERO; n_fft];
+        for (j, k) in bins.clone().enumerate() {
+            spec[k] = freq_response[j];
+            spec[n_fft - k] = freq_response[j].conj();
+        }
+        let peak = spec
+            .iter()
+            .map(|c| c.re.abs().max(c.im.abs()))
+            .fold(0.0f64, f64::max);
+        let quant = if peak > 0.0 { peak } else { 1.0 };
+        for (b, s) in buf.iter_mut().zip(spec.iter()) {
+            *b = ComplexQ15::from_complex64(*s / quant);
+        }
+        let scale = plan.process_inverse(&mut buf)? * quant;
+        let impulse_magnitude: Vec<f64> = buf
+            .iter()
+            .take(preamble.config.symbol_len)
+            .map(|c| c.to_complex64().abs() * scale)
+            .collect();
+
+        Ok(ChannelEstimate {
+            freq_response,
+            impulse_magnitude,
+        })
+    })?
 }
 
 #[cfg(test)]
@@ -199,6 +279,33 @@ mod tests {
                 "bin {i}: {m} vs mean {mean}"
             );
         }
+    }
+
+    #[test]
+    fn q15_channel_estimate_matches_the_f64_profile_shape() {
+        let p = RangingPreamble::default_paper().unwrap();
+        let q = RangingPreamble::default_paper_q15().unwrap();
+        let stream = synth_stream(&p, 800, &[(25, 1.0), (110, 0.6)], 0.01, 5);
+        let est_f64 = ls_channel_estimate(&stream, &p, 800).unwrap();
+        let est_q15 = ls_channel_estimate(&stream, &q, 800).unwrap();
+        assert_eq!(est_q15.impulse_magnitude.len(), p.config.symbol_len);
+        let nf = normalize_profile(&est_f64.impulse_magnitude);
+        let nq = normalize_profile(&est_q15.impulse_magnitude);
+        // The dominant taps land in the same places with comparable height.
+        for tap in [25usize, 110] {
+            assert!(
+                (nf[tap] - nq[tap]).abs() < 0.1,
+                "tap {tap}: f64 {} vs q15 {}",
+                nf[tap],
+                nq[tap]
+            );
+        }
+        // The fixed-point noise floor stays small relative to the peak.
+        let tail: f64 =
+            nq[nq.len() - NOISE_TAIL_TAPS..].iter().sum::<f64>() / NOISE_TAIL_TAPS as f64;
+        assert!(tail < 0.1, "q15 tail mean {tail}");
+        // The f64 preamble has no fixed-point plans.
+        assert!(p.with_fixed_symbol_plan(|_| ()).is_err());
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! The FMCW baseline detector used for the comparison in Fig. 12a — a
 //! window-based power threshold `TH_SD` dB above the background, as in
 //! BeepBeep — is in [`crate::baselines`].
+//!
+//! The correlation stage runs on whichever numeric path the preamble was
+//! built for: the `f64` matched filter, or — for a preamble built with
+//! [`uw_dsp::NumericPath::Q15`] — the fixed-point
+//! [`uw_dsp::Q15MatchedFilter`], whose peak positions agree with the
+//! `f64` path to within ±1 sample. The validation stage stays in `f64` on
+//! both paths.
 
 use crate::preamble::RangingPreamble;
 use crate::{RangingError, Result};
@@ -346,6 +353,29 @@ mod tests {
         let empty = DetectionStats::default();
         assert_eq!(empty.false_negative_rate(), 0.0);
         assert_eq!(empty.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn q15_preamble_detects_where_the_f64_one_does() {
+        let p = RangingPreamble::default_paper().unwrap();
+        let q = RangingPreamble::default_paper_q15().unwrap();
+        let stream = embed(&p, 5000, p.len() + 12_000, 0.3, 0.03, 7);
+        let det_f64 = detect_preamble(&stream, &p, &DetectorConfig::default()).unwrap();
+        let det_q15 = detect_preamble(&stream, &q, &DetectorConfig::default()).unwrap();
+        // Fixed-point correlation moves the peak by at most ±1 sample.
+        assert!(
+            (det_q15.start_sample as i64 - det_f64.start_sample as i64).unsigned_abs() <= 1,
+            "f64 at {} vs q15 at {}",
+            det_f64.start_sample,
+            det_q15.start_sample
+        );
+        assert!(det_q15.validation > DEFAULT_VALIDATION_THRESHOLD);
+        // Noise-only streams are still rejected on the Q15 path.
+        let mut rng = StdRng::seed_from_u64(8);
+        let noise: Vec<f64> = (0..q.len() + 10_000)
+            .map(|_| 0.3 * rng.gen_range(-1.0..1.0))
+            .collect();
+        assert!(detect_preamble(&noise, &q, &DetectorConfig::default()).is_err());
     }
 
     #[test]

@@ -27,6 +27,16 @@
 //! state. Received streams come from the channel simulator in
 //! `uw-channel` (`uw_channel::propagate::ChannelSimulator`).
 //!
+//! The whole receive pipeline also runs on the on-device Q15 fixed-point
+//! path: build the preamble with
+//! [`RangingPreamble::new_with_path`](preamble::RangingPreamble::new_with_path)
+//! and [`uw_dsp::NumericPath::Q15`], and detection correlation plus LS
+//! channel estimation execute on `uw_dsp::fixed`'s block-floating-point
+//! plans and Q15 matched filter (the PN auto-correlation *validation*
+//! stage stays in `f64` — it is O(preamble) per candidate, not a hot
+//! loop). The differential harness in `uw-dsp` bounds the Q15 path
+//! against the `f64` oracle.
+//!
 //! ## Example
 //!
 //! ```
@@ -56,6 +66,7 @@ pub mod ranging;
 
 pub use preamble::RangingPreamble;
 pub use ranging::{ArrivalEstimate, RangingConfig};
+pub use uw_dsp::NumericPath;
 
 /// Errors produced by the ranging layer.
 #[derive(Debug, Clone, PartialEq)]

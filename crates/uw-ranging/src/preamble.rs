@@ -11,9 +11,16 @@
 //! the LS channel estimator. Both are internally pooled, so one
 //! `RangingPreamble` can serve many concurrent ranging exchanges without
 //! serialising their transforms.
+//!
+//! A preamble built with [`RangingPreamble::new_with_path`] and
+//! [`NumericPath::Q15`] additionally owns the fixed-point execution state
+//! (a [`Q15MatchedFilter`] and a pool of symbol-length
+//! [`uw_dsp::FixedFftPlan`]s) and routes detection correlation and channel
+//! estimation through the on-device Q15 path instead of the `f64` oracle.
 
-use crate::Result;
+use crate::{RangingError, Result};
 use uw_dsp::complex::Complex64;
+use uw_dsp::fixed::{FixedFftPlan, FixedPlanPool, NumericPath, Q15MatchedFilter};
 use uw_dsp::ofdm::{base_symbol_spectrum, build_preamble, OfdmConfig};
 use uw_dsp::plan::{FftPlan, PlanPool};
 use uw_dsp::MatchedFilter;
@@ -33,15 +40,32 @@ pub struct RangingPreamble {
     pub first_bin: usize,
     /// PN signs of the preamble symbols.
     pub pn_signs: Vec<f64>,
-    /// Overlap-save correlator with the waveform's spectrum precomputed.
-    filter: MatchedFilter,
-    /// Pooled FFT plans for the symbol length (Bluestein for 1920).
-    symbol_plans: PlanPool,
+    /// Overlap-save correlator with the waveform's spectrum precomputed
+    /// (present on the f64 path only — exactly one of `filter` /
+    /// `q15_filter` exists per preamble).
+    filter: Option<MatchedFilter>,
+    /// Pooled FFT plans for the symbol length (Bluestein for 1920;
+    /// present on the f64 path only).
+    symbol_plans: Option<PlanPool>,
+    /// Which numeric implementation receive-side processing runs on.
+    numeric_path: NumericPath,
+    /// Q15 overlap-save correlator (present on the Q15 path only).
+    q15_filter: Option<Q15MatchedFilter>,
+    /// Pooled fixed-point symbol-length plans (present on the Q15 path
+    /// only).
+    fixed_symbol_plans: Option<FixedPlanPool>,
 }
 
 impl RangingPreamble {
-    /// Builds the preamble for a configuration.
+    /// Builds the preamble for a configuration on the `f64` reference path.
     pub fn new(config: OfdmConfig) -> Result<Self> {
+        Self::new_with_path(config, NumericPath::F64)
+    }
+
+    /// Builds the preamble for a configuration on the chosen numeric path.
+    /// With [`NumericPath::Q15`], detection correlation and channel
+    /// estimation run on the fixed-point DSP in [`uw_dsp::fixed`].
+    pub fn new_with_path(config: OfdmConfig, numeric_path: NumericPath) -> Result<Self> {
         let spectrum = base_symbol_spectrum(&config)?;
         let mut waveform = build_preamble(&config)?;
         // A 2 ms raised-cosine up-ramp at the start avoids a speaker click.
@@ -54,8 +78,22 @@ impl RangingPreamble {
             *s *= 0.5 * (1.0 - (std::f64::consts::PI * i as f64 / ramp as f64).cos());
         }
         let pn_signs = config.pn_signs();
-        let filter = MatchedFilter::new(&waveform)?;
-        let symbol_plans = PlanPool::new(config.fft_len())?;
+        // Exactly one path's execution state is built: a Q15 preamble
+        // carries no (unused) f64 filter or plans and vice versa.
+        let (filter, symbol_plans, q15_filter, fixed_symbol_plans) = match numeric_path {
+            NumericPath::F64 => (
+                Some(MatchedFilter::new(&waveform)?),
+                Some(PlanPool::new(config.fft_len())?),
+                None,
+                None,
+            ),
+            NumericPath::Q15 => (
+                None,
+                None,
+                Some(Q15MatchedFilter::new(&waveform)?),
+                Some(FixedPlanPool::new(config.fft_len())?),
+            ),
+        };
         Ok(Self {
             config,
             waveform,
@@ -64,6 +102,9 @@ impl RangingPreamble {
             pn_signs,
             filter,
             symbol_plans,
+            numeric_path,
+            q15_filter,
+            fixed_symbol_plans,
         })
     }
 
@@ -72,6 +113,16 @@ impl RangingPreamble {
     /// 1–5 kHz).
     pub fn default_paper() -> Result<Self> {
         Self::new(OfdmConfig::default())
+    }
+
+    /// Paper-default preamble on the on-device Q15 fixed-point path.
+    pub fn default_paper_q15() -> Result<Self> {
+        Self::new_with_path(OfdmConfig::default(), NumericPath::Q15)
+    }
+
+    /// The numeric path receive-side processing runs on.
+    pub fn numeric_path(&self) -> NumericPath {
+        self.numeric_path
     }
 
     /// Length of one symbol block (cyclic prefix + symbol) in samples.
@@ -101,30 +152,62 @@ impl RangingPreamble {
         i * self.block_len() + self.config.cyclic_prefix
     }
 
-    /// The precomputed overlap-save correlator for this preamble.
-    pub fn matched_filter(&self) -> &MatchedFilter {
-        &self.filter
+    /// The precomputed f64 overlap-save correlator, when this preamble was
+    /// built for the f64 path (`None` on a Q15 preamble, which owns a
+    /// `Q15MatchedFilter` instead).
+    pub fn matched_filter(&self) -> Option<&MatchedFilter> {
+        self.filter.as_ref()
     }
 
     /// Normalised cross-correlation of `stream` against the preamble
     /// waveform through the precomputed matched filter (identical output to
     /// `uw_dsp::correlation::xcorr_normalized`, computed in streaming
-    /// blocks against the cached template spectrum).
+    /// blocks against the cached template spectrum). On a
+    /// [`NumericPath::Q15`] preamble this runs the fixed-point correlator;
+    /// its peak positions agree with the `f64` path to within ±1 sample
+    /// (bounded by `uw-dsp`'s differential test suite).
     pub fn correlate_normalized(&self, stream: &[f64]) -> Result<Vec<f64>> {
-        Ok(self.filter.correlate_normalized(stream)?)
+        match (&self.q15_filter, &self.filter) {
+            (Some(q15), _) => Ok(q15.correlate_normalized(stream)?),
+            (None, Some(f)) => Ok(f.correlate_normalized(stream)?),
+            (None, None) => unreachable!("one numeric path's filter always exists"),
+        }
     }
 
     /// As [`Self::correlate_normalized`] but reusing a caller-provided
     /// output buffer (allocation-free in steady state).
     pub fn correlate_normalized_into(&self, stream: &[f64], out: &mut Vec<f64>) -> Result<()> {
-        Ok(self.filter.correlate_normalized_into(stream, out)?)
+        match (&self.q15_filter, &self.filter) {
+            (Some(q15), _) => Ok(q15.correlate_normalized_into(stream, out)?),
+            (None, Some(f)) => Ok(f.correlate_normalized_into(stream, out)?),
+            (None, None) => unreachable!("one numeric path's filter always exists"),
+        }
     }
 
     /// Runs `f` with a checked-out symbol-length FFT plan (1920-point
     /// Bluestein for the paper's parameters). Concurrent callers receive
-    /// distinct plans from the pool instead of serialising.
-    pub fn with_symbol_plan<R>(&self, f: impl FnOnce(&mut FftPlan) -> R) -> R {
-        self.symbol_plans.with(f)
+    /// distinct plans from the pool instead of serialising. Fails on a
+    /// preamble built for the Q15 path, which carries no f64 plans — use
+    /// [`Self::with_fixed_symbol_plan`] there.
+    pub fn with_symbol_plan<R>(&self, f: impl FnOnce(&mut FftPlan) -> R) -> Result<R> {
+        match &self.symbol_plans {
+            Some(pool) => Ok(pool.with(f)),
+            None => Err(RangingError::InvalidInput {
+                reason: "preamble was built for the Q15 path; no f64 plans exist".into(),
+            }),
+        }
+    }
+
+    /// Runs `f` with a checked-out **fixed-point** symbol-length FFT plan.
+    /// Fails on a preamble built for the `f64` path, which carries no
+    /// fixed-point state.
+    pub fn with_fixed_symbol_plan<R>(&self, f: impl FnOnce(&mut FixedFftPlan) -> R) -> Result<R> {
+        match &self.fixed_symbol_plans {
+            Some(pool) => Ok(pool.with(f)),
+            None => Err(RangingError::InvalidInput {
+                reason: "preamble was built for the f64 path; no fixed-point plans exist".into(),
+            }),
+        }
     }
 }
 

@@ -3,6 +3,11 @@
 # BENCH_pipeline.json (one JSON object with a sorted "benchmarks" array),
 # so successive PRs leave a comparable performance trajectory.
 #
+# Since the fixed-point PR the suite includes the float-vs-Q15 perf axis:
+# `q15_fft_radix2_2048` / `q15_fft_bluestein_1920` pair with the
+# `fft_radix2_2048` / `fft_bluestein_1920` plan benches, and
+# `q15_matched_filter_65k` pairs with `preamble_correlation_65k_stream`.
+#
 # Usage: ./scripts/bench_pipeline.sh [output.json]
 set -euo pipefail
 
