@@ -1,0 +1,175 @@
+//! Serving-layer throughput/latency benchmark: batch runner vs. `uw-serve`.
+//!
+//! ```text
+//! cargo run --release -p uw-bench --bin serve_bench -- [BENCH_serve.json]
+//! ```
+//!
+//! Runs the same job set — one dock 5-device cell per seed — through the
+//! batch rayon runner (the baseline) and through the sharded serving
+//! layer at several worker-pool sizes, and records jobs/sec plus the
+//! per-job latency distribution (submit → terminal event, i.e. queueing
+//! included) into a deterministic JSON artifact next to
+//! `BENCH_pipeline.json` / `BENCH_eval_matrix.json`.
+//!
+//! Environment overrides: `UWGPS_JOBS` (default 24 jobs),
+//! `UWGPS_ROUNDS` (default 4 rounds per job).
+
+use std::time::{Duration, Instant};
+use uw_core::config::{Fidelity, NumericPath};
+use uw_core::prelude::EnvironmentKind;
+use uw_eval::runner::run_matrix;
+use uw_eval::{LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
+use uw_serve::{LocalizationJob, ServeConfig, Server};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// One cell per seed: identical work in batch and served form.
+fn workload(jobs: usize, rounds: usize) -> ScenarioMatrix {
+    ScenarioMatrix {
+        environments: vec![EnvironmentKind::Dock],
+        topologies: vec![Topology::FiveDevice],
+        conditions: vec![LinkProfile::Clear],
+        mobilities: vec![MobilityProfile::Static],
+        numeric_paths: vec![NumericPath::F64],
+        seeds: (1..=jobs as u64).collect(),
+        rounds_per_cell: rounds,
+        fidelity: Fidelity::Statistical,
+    }
+}
+
+struct PoolRun {
+    shards: usize,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+}
+
+/// Streams the workload through a pool of `shards` workers, timing each
+/// job from submission to its terminal event.
+fn run_pool(matrix: &ScenarioMatrix, shards: usize) -> PoolRun {
+    let cells = matrix.expand().expect("workload expands");
+    let n = cells.len();
+    let (server, updates) = Server::start(ServeConfig::with_shards(shards));
+    let t0 = Instant::now();
+    // Collector: timestamp every terminal event as it arrives.
+    let collector = std::thread::spawn(move || {
+        let mut done: Vec<(uw_serve::JobId, Instant)> = Vec::with_capacity(n);
+        while done.len() < n {
+            match updates.recv() {
+                Some(update) if update.is_terminal() => done.push((update.job(), Instant::now())),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        done
+    });
+    let mut submitted: Vec<(uw_serve::JobId, Instant)> = Vec::with_capacity(n);
+    for cell in cells {
+        // Stamp *before* submitting: time blocked inside submit (shard
+        // backpressure) is queueing and must count towards job latency.
+        let t_submit = Instant::now();
+        let handle = server.submit(LocalizationJob::Cell(cell));
+        submitted.push((handle.id(), t_submit));
+    }
+    let done = collector.join().expect("collector thread");
+    let wall = t0.elapsed();
+    server.shutdown();
+    assert_eq!(done.len(), n, "every job must reach a terminal event");
+
+    let mut latencies_ms: Vec<f64> = done
+        .iter()
+        .map(|(job, finished)| {
+            let (_, started) = submitted
+                .iter()
+                .find(|(id, _)| id == job)
+                .expect("terminal event for a submitted job");
+            finished.duration_since(*started).as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    PoolRun {
+        shards,
+        wall,
+        latencies_ms,
+    }
+}
+
+fn jobs_per_s(jobs: usize, wall: Duration) -> f64 {
+    jobs as f64 / wall.as_secs_f64()
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let jobs = env_usize("UWGPS_JOBS", 24);
+    let rounds = env_usize("UWGPS_ROUNDS", 4);
+    let matrix = workload(jobs, rounds);
+
+    println!("serve_bench: {jobs} jobs x {rounds} rounds");
+
+    // Batch baseline: the rayon matrix runner over the identical cells.
+    let t0 = Instant::now();
+    let batch_report = run_matrix(&matrix).expect("batch workload runs");
+    let batch_wall = t0.elapsed();
+    assert_eq!(batch_report.cells.len(), jobs);
+    println!(
+        "  batch (rayon):        {:7.1} ms  {:6.1} jobs/s",
+        batch_wall.as_secs_f64() * 1e3,
+        jobs_per_s(jobs, batch_wall),
+    );
+
+    // Served pools: at least two sizes (acceptance criterion), spanning
+    // serial to the batch runner's parallelism regime.
+    let pool_sizes = [1usize, 2, 4];
+    let mut pools = Vec::new();
+    for &shards in &pool_sizes {
+        let run = run_pool(&matrix, shards);
+        // run_pool already sorted the latencies.
+        let p50 = uw_dsp::peaks::percentile_sorted(&run.latencies_ms, 50.0);
+        let p99 = uw_dsp::peaks::percentile_sorted(&run.latencies_ms, 99.0);
+        println!(
+            "  serve  ({} shard{}):   {:7.1} ms  {:6.1} jobs/s  p50 {:6.1} ms  p99 {:6.1} ms",
+            run.shards,
+            if run.shards == 1 { " " } else { "s" },
+            run.wall.as_secs_f64() * 1e3,
+            jobs_per_s(jobs, run.wall),
+            p50,
+            p99,
+        );
+        pools.push((run, p50, p99));
+    }
+
+    // Deterministic hand-rolled JSON (the vendored serde is a no-op).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"uwgps-serve-bench-v1\",\n");
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"rounds_per_job\": {rounds},\n"));
+    json.push_str(&format!(
+        "  \"batch\": {{\"wall_ms\": {:.3}, \"jobs_per_s\": {:.3}}},\n",
+        batch_wall.as_secs_f64() * 1e3,
+        jobs_per_s(jobs, batch_wall),
+    ));
+    json.push_str("  \"pools\": [\n");
+    for (k, (run, p50, p99)) in pools.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"wall_ms\": {:.3}, \"jobs_per_s\": {:.3}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}}}{}\n",
+            run.shards,
+            run.wall.as_secs_f64() * 1e3,
+            jobs_per_s(jobs, run.wall),
+            p50,
+            p99,
+            if k + 1 < pools.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write benchmark artifact");
+    println!("wrote {out}");
+}

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::metrics::SeriesStats;
     pub use crate::network::DiveNetwork;
     pub use crate::scenario::Scenario;
-    pub use crate::session::{Session, SessionOutcome};
+    pub use crate::session::{RoundControl, Session, SessionOutcome};
     pub use uw_channel::environment::EnvironmentKind;
     pub use uw_channel::geometry::Point3;
 }

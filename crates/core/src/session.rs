@@ -63,6 +63,20 @@ pub struct SessionOutcome {
     pub silent_devices: Vec<usize>,
 }
 
+/// What a round observer tells an observed run to do next.
+///
+/// Returned by the callback of [`Session::run_observed`] after each round:
+/// [`RoundControl::Continue`] keeps the session going, [`RoundControl::Stop`]
+/// ends the run early (cooperative cancellation — the current round always
+/// finishes; sessions are never torn down mid-round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundControl {
+    /// Run the next round.
+    Continue,
+    /// Stop after this round (the observed run returns what it has).
+    Stop,
+}
+
 /// A configured localization system, ready to run rounds.
 #[derive(Debug, Clone)]
 pub struct Session {
@@ -370,6 +384,61 @@ impl Session {
     pub fn run_many(&mut self, network: &DiveNetwork, n: usize) -> Result<Vec<SessionOutcome>> {
         (0..n).map(|_| self.run(network)).collect()
     }
+
+    /// Runs up to `rounds` rounds, invoking `observe` after every round so
+    /// progress can be watched (and the run stopped) mid-session: the
+    /// push-style streaming counterpart of [`Session::run_many`] for
+    /// driving a session directly — live dive telemetry, REPL-style
+    /// walkthroughs (see `examples/streaming_eval.rs`) — without the
+    /// cell/report machinery of `uw-eval` (whose `CellExecution` pulls
+    /// rounds one `step` at a time instead).
+    ///
+    /// Unlike `run_many`, a failed round does not abort the run: the
+    /// observer sees the error and decides whether to continue (streams
+    /// ride out transient failures such as a churn round with too few
+    /// audible devices). Successful outcomes are collected and returned.
+    /// The session's numeric path and fidelity are whatever its
+    /// [`SystemConfig`] says — an observed Q15 hybrid session exercises
+    /// exactly the same DSP as a batch one.
+    ///
+    /// ```
+    /// use uw_core::prelude::*;
+    /// use uw_core::session::RoundControl;
+    ///
+    /// let scenario = Scenario::dock_five_devices(5);
+    /// let mut session = Session::new(scenario.config().clone()).unwrap();
+    /// let mut seen = 0;
+    /// let outcomes = session.run_observed(scenario.network(), 10, |round, result| {
+    ///     assert!(result.is_ok());
+    ///     seen += 1;
+    ///     // Stop early after the second round.
+    ///     if round >= 1 { RoundControl::Stop } else { RoundControl::Continue }
+    /// });
+    /// assert_eq!(seen, 2);
+    /// assert_eq!(outcomes.len(), 2);
+    /// ```
+    pub fn run_observed<F>(
+        &mut self,
+        network: &DiveNetwork,
+        rounds: usize,
+        mut observe: F,
+    ) -> Vec<SessionOutcome>
+    where
+        F: FnMut(usize, &Result<SessionOutcome>) -> RoundControl,
+    {
+        let mut outcomes = Vec::new();
+        for round in 0..rounds {
+            let result = self.run(network);
+            let control = observe(round, &result);
+            if let Ok(outcome) = result {
+                outcomes.push(outcome);
+            }
+            if control == RoundControl::Stop {
+                break;
+            }
+        }
+        outcomes
+    }
 }
 
 /// Probability that the leader's dual-microphone side sign for device `i`
@@ -471,6 +540,30 @@ mod tests {
         scenario.network_mut().set_device_churn(3, 0).unwrap();
         let mut session = Session::new(scenario.config().clone()).unwrap();
         assert!(session.run(scenario.network()).is_err());
+    }
+
+    #[test]
+    fn observed_runs_ride_out_failed_rounds_and_stop_on_request() {
+        // Both non-essential devices churn out at round 2, so rounds 2+
+        // fail outright (fewer than 3 audible devices).
+        let mut scenario = Scenario::four_devices(5);
+        scenario.network_mut().set_device_churn(2, 2).unwrap();
+        scenario.network_mut().set_device_churn(3, 2).unwrap();
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let mut seen = Vec::new();
+        let outcomes = session.run_observed(scenario.network(), 4, |round, result| {
+            seen.push((round, result.is_ok()));
+            RoundControl::Continue
+        });
+        assert_eq!(seen, vec![(0, true), (1, true), (2, false), (3, false)]);
+        // Only the successful rounds are collected.
+        assert_eq!(outcomes.len(), 2);
+
+        // Stop cuts the run short; the observed rounds match run() streams.
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let stopped = session.run_observed(scenario.network(), 4, |_, _| RoundControl::Stop);
+        assert_eq!(stopped.len(), 1);
+        assert_eq!(session.rounds_run(), 1);
     }
 
     #[test]

@@ -45,6 +45,16 @@ fn preamble_for(path: NumericPath) -> &'static RangingPreamble {
     })
 }
 
+/// Forces construction of the process-wide waveform assets for a numeric
+/// path (the shared [`RangingPreamble`] with its pooled matched filter and
+/// symbol FFT plans). Building them takes tens of milliseconds; a serving
+/// shard calls this when it first sees a hybrid-fidelity job on a path, so
+/// the cost is paid predictably per shard instead of inside the first
+/// job's first round. Idempotent and cheap once warm.
+pub fn warm_assets(path: NumericPath) {
+    let _ = preamble_for(path);
+}
+
 /// The matched chirp baseline (BeepBeep/CAT comparisons). Pure f64 and
 /// numeric-path independent, so it is shared by every trial.
 fn baseline() -> &'static ChirpBaseline {

@@ -399,6 +399,25 @@ pub fn generate_guide(report: &EvalReport) -> String {
          cargo test -p uw-dsp --test fixed_vs_float   # primitive-level differential suite\n\
          ```\n\
          \n\
+         ## Streaming cells instead of batching them\n\
+         \n\
+         Every cell above can also be *served*: the async serving layer\n\
+         (`uw-serve`) accepts localization jobs over bounded queues and\n\
+         streams each round's result the moment it completes, then\n\
+         finalizes statistics that are byte-identical to the batch\n\
+         runner's (both drive `uw_eval::CellExecution`). Stream the dock\n\
+         headline cell and watch rounds arrive with the fifth example:\n\
+         \n\
+         ```sh\n\
+         cargo run --release --example streaming_eval\n\
+         ```\n\
+         \n\
+         Queue semantics, shard tuning, backpressure/cancellation\n\
+         behaviour and the streamed-event → report-field mapping are in\n\
+         `docs/SERVING.md`; `./scripts/serve_bench.sh` records the\n\
+         serve-vs-batch throughput/latency trajectory in\n\
+         `BENCH_serve.json`.\n\
+         \n\
          ## Figures not driven by the matrix\n\
          \n\
          Waveform-level 1D figures (Fig. 6, 11–16, 22) and the battery\n\
@@ -506,6 +525,7 @@ mod tests {
         let guide = generate_guide(&report);
         assert!(guide.contains("GENERATED FILE"));
         assert!(guide.contains("| Figure | Claim |"));
+        assert!(guide.contains("streaming_eval"));
         for claim in FIGURE_MAP {
             assert!(guide.contains(claim.cell_id), "missing {}", claim.cell_id);
         }

@@ -12,11 +12,16 @@
 //!   ([`uw_core::config::NumericPath`]) selects between the `f64` DSP
 //!   oracle and the on-device Q15 fixed-point path for hybrid-fidelity
 //!   cells.
-//! * [`runner`] — [`runner::run_matrix`] / [`runner::run_suite`]: batched
-//!   execution over rayon with per-cell round counts; hybrid-fidelity
-//!   cells share the process-wide waveform assets (the preamble's pooled
-//!   `uw_dsp::MatchedFilter` and symbol `uw_dsp::FftPlan`s) built once in
-//!   [`uw_core::waveform`].
+//! * [`runner`] — the steppable cell-execution core
+//!   ([`runner::CellExecution`]: one round per [`runner::CellExecution::step`],
+//!   incremental aggregation, [`runner::RoundSummary`] per round) plus the
+//!   batch entry points built on it ([`runner::run_matrix`] /
+//!   [`runner::run_suite`]: rayon fan-out with per-cell round counts).
+//!   The async serving layer (`uw-serve`) drives the same core round by
+//!   round, so streamed and batch runs produce byte-identical reports.
+//!   Hybrid-fidelity cells share the process-wide waveform assets (the
+//!   preamble's pooled `uw_dsp::MatchedFilter` and symbol
+//!   `uw_dsp::FftPlan`s) built once in [`uw_core::waveform`].
 //! * [`report`] — [`report::EvalReport`]: per-cell median/p90/p99 error
 //!   statistics, CDF points, flip rates, drop decisions and latency,
 //!   serialised to deterministic JSON (`BENCH_eval_matrix.json`).
@@ -67,7 +72,7 @@ pub mod runner;
 
 pub use matrix::{EvalCell, LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
 pub use report::{CellReport, EvalReport};
-pub use runner::{run_matrix, run_suite};
+pub use runner::{run_matrix, run_suite, CellExecution, RoundSummary};
 
 #[cfg(test)]
 mod tests {

@@ -179,6 +179,39 @@ pub struct EvalCell {
     pub scenario: Scenario,
 }
 
+impl EvalCell {
+    /// Wraps a ready-made [`Scenario`] into an ad-hoc cell so it can run
+    /// through the shared cell-execution core (and the serving layer)
+    /// outside any matrix. The environment, group size, numeric path and
+    /// seed are taken from the scenario's configuration; the condition and
+    /// mobility axes are unknown for a hand-built scenario and report as
+    /// `clear`/`static`. The cell id is the scenario's name.
+    ///
+    /// ```
+    /// use uw_core::prelude::Scenario;
+    /// use uw_eval::EvalCell;
+    ///
+    /// let cell = EvalCell::from_scenario(Scenario::dock_five_devices(7), 4);
+    /// assert_eq!(cell.n_devices, 5);
+    /// assert_eq!(cell.rounds, 4);
+    /// assert_eq!(cell.seed, 7);
+    /// ```
+    pub fn from_scenario(scenario: Scenario, rounds: usize) -> Self {
+        let config = scenario.config();
+        Self {
+            id: scenario.name().to_string(),
+            environment: config.environment,
+            n_devices: config.n_devices,
+            condition: LinkProfile::Clear,
+            mobility: MobilityProfile::Static,
+            numeric_path: config.numeric_path,
+            seed: config.seed,
+            rounds,
+            scenario,
+        }
+    }
+}
+
 impl ScenarioMatrix {
     /// The headline grid: all six environments × {4, 5} devices ×
     /// {clear, occluded} links, static, one seed — 24 cells covering the

@@ -1,15 +1,29 @@
-//! Batched execution of scenario matrices.
+//! Cell execution: one steppable core shared by batch and streamed runs.
 //!
-//! [`run_matrix`] expands a [`ScenarioMatrix`] and fans the cells out over
-//! rayon. Cells are independent sessions, so they parallelise perfectly;
-//! the process-wide waveform assets in `uw_core::waveform` (preamble
-//! matched filter, symbol FFT plans) are built once and shared by every
-//! hybrid-fidelity cell, so parallel cells reuse precomputed DSP state
-//! instead of rebuilding it per cell.
+//! [`CellExecution`] is the single place a matrix cell is actually run:
+//! it owns the cell's [`Session`], steps it one localization round at a
+//! time (emitting a [`RoundSummary`] per round), accumulates the error /
+//! flip / drop statistics incrementally, and finalizes into the same
+//! [`CellReport`] the batch runner always produced. The batch entry points
+//! ([`run_cell`], [`run_matrix`], [`run_suite`]) drive it to completion in
+//! a loop; the async serving layer (`uw-serve`) drives the *same* core
+//! round by round, interleaving rounds of many cells across a worker pool
+//! and streaming each `RoundSummary` out as it happens. Because both paths
+//! share this core, a streamed run reconstructs a byte-identical
+//! [`EvalReport`] to the batch run of the same cells.
+//!
+//! Batch execution fans cells out over rayon. Cells are independent
+//! sessions, so they parallelise perfectly; the process-wide waveform
+//! assets in `uw_core::waveform` (preamble matched filter, symbol FFT
+//! plans) are built once and shared by every hybrid-fidelity cell, so
+//! parallel cells reuse precomputed DSP state instead of rebuilding it per
+//! cell.
 //!
 //! Execution is deterministic: each cell's RNG stream is fully determined
-//! by its seed, and the ordered rayon collect keeps cells in expansion
-//! order, so the same matrix always produces byte-identical JSON reports.
+//! by its seed and round index (never by which thread or shard runs it),
+//! and reports keep cells in expansion/submission order, so the same
+//! matrix always produces byte-identical JSON reports — batched or
+//! streamed, in-order or out-of-order.
 
 use crate::matrix::{EvalCell, ScenarioMatrix};
 use crate::report::{cell_report_skeleton, CellReport, ErrorSummary, EvalReport};
@@ -21,48 +35,165 @@ use uw_core::Result;
 /// Number of points kept from each cell's error CDF.
 pub const CDF_POINTS: usize = 12;
 
-/// Runs one expanded cell to completion and aggregates its statistics.
-pub fn run_cell(cell: &EvalCell) -> Result<CellReport> {
-    let mut report = cell_report_skeleton(cell);
-    let mut session = Session::new(cell.scenario.config().clone())?;
-    let mut errors_2d: Vec<f64> = Vec::new();
-    let mut ranging: Vec<f64> = Vec::new();
-    let mut flips_correct = 0usize;
-    let mut dropped_links = 0usize;
-    for _ in 0..cell.rounds {
-        match session.run(cell.scenario.network()) {
+/// What one localization round of a cell produced, as observable mid-cell
+/// by a streaming consumer. The full statistics (percentiles, CDF) only
+/// exist once the cell finalizes; the summary carries what is known the
+/// moment the round completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// 0-based round index within the cell.
+    pub round: usize,
+    /// Whether the round completed (a failed round — e.g. too few audible
+    /// devices after churn — still yields a summary with `ok == false`).
+    pub ok: bool,
+    /// Median per-device 2D error of this round alone (m); NaN when the
+    /// round failed or produced no finite errors.
+    pub median_error_2d_m: f64,
+    /// Links dropped by outlier detection this round.
+    pub dropped_links: usize,
+    /// Whether flipping disambiguation was correct this round (false for
+    /// failed rounds).
+    pub flipping_correct: bool,
+}
+
+/// The steppable execution state of one cell: a session plus incremental
+/// aggregation of everything a [`CellReport`] needs.
+///
+/// ```
+/// use uw_eval::runner::CellExecution;
+/// use uw_eval::ScenarioMatrix;
+///
+/// let mut matrix = ScenarioMatrix::smoke();
+/// matrix.rounds_per_cell = 2;
+/// let cell = matrix.expand().unwrap().remove(0);
+/// let mut exec = CellExecution::new(&cell).unwrap();
+/// while let Some(summary) = exec.step() {
+///     assert!(summary.ok);
+/// }
+/// let report = exec.finalize();
+/// assert_eq!(report.rounds_completed, 2);
+/// ```
+#[derive(Debug)]
+pub struct CellExecution {
+    cell: EvalCell,
+    session: Session,
+    report: CellReport,
+    errors_2d: Vec<f64>,
+    ranging: Vec<f64>,
+    flips_correct: usize,
+    dropped_links: usize,
+}
+
+impl CellExecution {
+    /// Prepares a cell for execution (validates the configuration and
+    /// builds the session). No rounds run yet.
+    pub fn new(cell: &EvalCell) -> Result<Self> {
+        let session = Session::new(cell.scenario.config().clone())?;
+        Ok(Self {
+            cell: cell.clone(),
+            session,
+            report: cell_report_skeleton(cell),
+            errors_2d: Vec::new(),
+            ranging: Vec::new(),
+            flips_correct: 0,
+            dropped_links: 0,
+        })
+    }
+
+    /// The cell being executed.
+    pub fn cell(&self) -> &EvalCell {
+        &self.cell
+    }
+
+    /// Rounds executed so far (completed + failed).
+    pub fn rounds_run(&self) -> usize {
+        self.report.rounds_completed + self.report.rounds_failed
+    }
+
+    /// Whether every requested round has run.
+    pub fn is_complete(&self) -> bool {
+        self.rounds_run() >= self.cell.rounds
+    }
+
+    /// Runs the next localization round and folds its statistics into the
+    /// aggregate state. Returns `None` once the cell is complete; a round
+    /// that fails outright still returns a summary (`ok == false`) so
+    /// streaming consumers observe it.
+    pub fn step(&mut self) -> Option<RoundSummary> {
+        if self.is_complete() {
+            return None;
+        }
+        let round = self.rounds_run();
+        match self.session.run(self.cell.scenario.network()) {
             Ok(outcome) => {
-                report.rounds_completed += 1;
-                errors_2d.extend(outcome.errors_2d.iter().filter(|e| e.is_finite()));
-                ranging.extend(outcome.ranging_errors.iter().copied());
+                self.report.rounds_completed += 1;
+                let round_errors: Vec<f64> = outcome
+                    .errors_2d
+                    .iter()
+                    .copied()
+                    .filter(|e| e.is_finite())
+                    .collect();
+                self.errors_2d.extend_from_slice(&round_errors);
+                self.ranging.extend(outcome.ranging_errors.iter().copied());
                 if outcome.flipping_correct {
-                    flips_correct += 1;
+                    self.flips_correct += 1;
                 }
-                dropped_links += outcome.localization.dropped_links.len();
-                report.latency_acoustic_s = outcome.latency.acoustic_s;
-                report.latency_total_s = outcome.latency.total_s();
+                self.dropped_links += outcome.localization.dropped_links.len();
+                self.report.latency_acoustic_s = outcome.latency.acoustic_s;
+                self.report.latency_total_s = outcome.latency.total_s();
+                Some(RoundSummary {
+                    round,
+                    ok: true,
+                    median_error_2d_m: ErrorSummary::from_samples(&round_errors).median,
+                    dropped_links: outcome.localization.dropped_links.len(),
+                    flipping_correct: outcome.flipping_correct,
+                })
             }
-            Err(_) => report.rounds_failed += 1,
+            Err(_) => {
+                self.report.rounds_failed += 1;
+                Some(RoundSummary {
+                    round,
+                    ok: false,
+                    median_error_2d_m: f64::NAN,
+                    dropped_links: 0,
+                    flipping_correct: false,
+                })
+            }
         }
     }
-    // Churn exclusions come from the cell's configuration (what is silent
-    // in the final round), not from the last *successful* round — the two
-    // differ when late rounds fail outright.
-    report.churn_excluded = (0..cell.n_devices)
-        .filter(|&i| {
-            cell.scenario
-                .network()
-                .device_silent_in_round(i, cell.rounds.saturating_sub(1))
-        })
-        .count();
-    report.error_2d = ErrorSummary::from_samples(&errors_2d);
-    report.error_cdf = cdf_points(&errors_2d, CDF_POINTS);
-    report.ranging_median_m = ErrorSummary::from_samples(&ranging).median;
-    if report.rounds_completed > 0 {
-        report.flip_rate = flips_correct as f64 / report.rounds_completed as f64;
-        report.mean_dropped_links = dropped_links as f64 / report.rounds_completed as f64;
+
+    /// Finalizes the aggregate statistics into the cell's report. Callable
+    /// at any point — mid-cell finalization (after cancellation) reports
+    /// the rounds that actually ran.
+    pub fn finalize(self) -> CellReport {
+        let mut report = self.report;
+        // Churn exclusions come from the cell's configuration (what is
+        // silent in the final round), not from the last *successful* round
+        // — the two differ when late rounds fail outright.
+        report.churn_excluded = (0..self.cell.n_devices)
+            .filter(|&i| {
+                self.cell
+                    .scenario
+                    .network()
+                    .device_silent_in_round(i, self.cell.rounds.saturating_sub(1))
+            })
+            .count();
+        report.error_2d = ErrorSummary::from_samples(&self.errors_2d);
+        report.error_cdf = cdf_points(&self.errors_2d, CDF_POINTS);
+        report.ranging_median_m = ErrorSummary::from_samples(&self.ranging).median;
+        if report.rounds_completed > 0 {
+            report.flip_rate = self.flips_correct as f64 / report.rounds_completed as f64;
+            report.mean_dropped_links = self.dropped_links as f64 / report.rounds_completed as f64;
+        }
+        report
     }
-    Ok(report)
+}
+
+/// Runs one expanded cell to completion and aggregates its statistics.
+pub fn run_cell(cell: &EvalCell) -> Result<CellReport> {
+    let mut exec = CellExecution::new(cell)?;
+    while exec.step().is_some() {}
+    Ok(exec.finalize())
 }
 
 /// Expands a matrix and runs every cell in parallel.
@@ -136,6 +267,40 @@ mod tests {
         let a = run_matrix(&tiny_matrix()).unwrap();
         let b = run_matrix(&tiny_matrix()).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn stepped_execution_matches_run_cell() {
+        let cell = tiny_matrix().expand().unwrap().remove(0);
+        let batch = run_cell(&cell).unwrap();
+        let mut exec = CellExecution::new(&cell).unwrap();
+        let mut summaries = Vec::new();
+        while let Some(s) = exec.step() {
+            summaries.push(s);
+        }
+        assert!(exec.is_complete());
+        assert_eq!(summaries.len(), cell.rounds);
+        for (k, s) in summaries.iter().enumerate() {
+            assert_eq!(s.round, k);
+            assert!(s.ok);
+            assert!(s.median_error_2d_m.is_finite());
+        }
+        let streamed = exec.finalize();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn mid_cell_finalization_reports_partial_rounds() {
+        let cell = tiny_matrix().expand().unwrap().remove(0);
+        let mut exec = CellExecution::new(&cell).unwrap();
+        exec.step().unwrap();
+        exec.step().unwrap();
+        assert!(!exec.is_complete());
+        let report = exec.finalize();
+        assert_eq!(report.rounds_completed, 2);
+        // 2 rounds × 4 non-leader devices.
+        assert_eq!(report.error_2d.count, 8);
+        assert_eq!(report.rounds, 4);
     }
 
     #[test]

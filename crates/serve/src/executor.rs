@@ -1,0 +1,188 @@
+//! A minimal futures-on-threads executor.
+//!
+//! The container this workspace builds in has no registry access, so
+//! there is no tokio; what the serving layer actually needs from "async"
+//! is small and is implemented here from the standard library alone:
+//!
+//! * [`block_on`] — drive any `Future` to completion on the current
+//!   thread, parking between polls (the waker unparks). This is the whole
+//!   "reactor": job completion is the only event source, and completions
+//!   arrive from worker threads, so a thread-parking waker is exactly
+//!   sufficient — no I/O polling loop to multiplex.
+//! * `Completion` (crate-internal) — the one-shot future the workers
+//!   resolve: a
+//!   `Mutex`-guarded slot plus the list of wakers to notify, with a
+//!   `Condvar` for synchronous waiters. `JobHandle` wraps one of these,
+//!   which is what makes job handles awaitable.
+//!
+//! Everything is `unsafe`-free: the waker is built with the stable
+//! [`std::task::Wake`] trait over `Arc`, not a hand-rolled vtable.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Unparks the thread that is blocked inside [`block_on`].
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread.
+///
+/// Polls once, and whenever the future is pending, parks until the
+/// future's waker fires (spurious unparks merely cause a harmless
+/// re-poll). Use it to wait for a submitted job from synchronous code:
+///
+/// ```
+/// use uw_serve::executor::block_on;
+///
+/// // Any future works, not just job handles.
+/// assert_eq!(block_on(async { 6 * 7 }), 42);
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut context = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut context) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+struct CompletionState<T> {
+    value: Option<T>,
+    wakers: Vec<Waker>,
+}
+
+/// A one-shot value set exactly once by a worker and observable both
+/// asynchronously (via [`Completion::poll_value`], used by `JobHandle`'s
+/// `Future` impl) and synchronously (via [`Completion::wait`]).
+pub(crate) struct Completion<T> {
+    state: Mutex<CompletionState<T>>,
+    ready: Condvar,
+}
+
+impl<T: Clone> Completion<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(CompletionState {
+                value: None,
+                wakers: Vec::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Resolves the completion, waking every registered waker and every
+    /// synchronous waiter. Later calls are ignored (first value wins).
+    pub(crate) fn set(&self, value: T) {
+        let wakers = {
+            let mut state = self.state.lock().expect("completion lock");
+            if state.value.is_some() {
+                return;
+            }
+            state.value = Some(value);
+            std::mem::take(&mut state.wakers)
+        };
+        self.ready.notify_all();
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+
+    /// Non-blocking poll: returns the value if resolved, otherwise
+    /// registers the context's waker for the eventual [`Completion::set`].
+    pub(crate) fn poll_value(&self, cx: &mut Context<'_>) -> Poll<T> {
+        let mut state = self.state.lock().expect("completion lock");
+        match &state.value {
+            Some(value) => Poll::Ready(value.clone()),
+            None => {
+                let waker = cx.waker();
+                if !state.wakers.iter().any(|w| w.will_wake(waker)) {
+                    state.wakers.push(waker.clone());
+                }
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Blocks the calling thread until the completion resolves.
+    pub(crate) fn wait(&self) -> T {
+        let mut state = self.state.lock().expect("completion lock");
+        loop {
+            if let Some(value) = &state.value {
+                return value.clone();
+            }
+            state = self.ready.wait(state).expect("completion lock");
+        }
+    }
+
+    /// Whether the completion has resolved.
+    pub(crate) fn is_set(&self) -> bool {
+        self.state.lock().expect("completion lock").value.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A future resolved by a `Completion`, mirroring how `JobHandle`
+    /// wraps one.
+    struct CompletionFuture(Arc<Completion<u32>>);
+
+    impl Future for CompletionFuture {
+        type Output = u32;
+        fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+            self.0.poll_value(cx)
+        }
+    }
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 1 + 2 }), 3);
+    }
+
+    #[test]
+    fn block_on_wakes_for_cross_thread_completion() {
+        let completion = Arc::new(Completion::new());
+        let setter = Arc::clone(&completion);
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            setter.set(7);
+        });
+        assert_eq!(block_on(CompletionFuture(Arc::clone(&completion))), 7);
+        worker.join().unwrap();
+        // A second await sees the same value (completions are one-shot).
+        assert_eq!(block_on(CompletionFuture(completion)), 7);
+    }
+
+    #[test]
+    fn wait_blocks_until_set_and_first_value_wins() {
+        let completion = Arc::new(Completion::new());
+        assert!(!completion.is_set());
+        let setter = Arc::clone(&completion);
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            setter.set(1);
+            setter.set(2); // ignored
+        });
+        assert_eq!(completion.wait(), 1);
+        worker.join().unwrap();
+        assert_eq!(completion.wait(), 1);
+        assert!(completion.is_set());
+    }
+}

@@ -1,0 +1,443 @@
+//! The sharded localization server.
+//!
+//! [`Server::start`] spawns one worker thread per shard, each with its own
+//! bounded [`JobQueue`] intake. [`Server::submit`] routes a job to a shard
+//! by hashing its cell id — stable affinity, so repeated submissions of
+//! the same cell land on a shard that has already ensured its waveform
+//! assets are warm — and returns a [`JobHandle`]
+//! that can be cancelled, waited on, or `.await`ed. Workers drive the
+//! shared cell-execution core ([`uw_eval::CellExecution`]) one round at a
+//! time, publishing [`CellUpdate`] events into the [`UpdateStream`] as
+//! they go.
+//!
+//! Design invariants:
+//!
+//! * **Backpressure, no drops** — shard queues are bounded; `submit`
+//!   blocks when the target shard is at capacity. Nothing is ever shed.
+//! * **Determinism** — a cell's RNG stream depends only on its seed and
+//!   round index, never on which shard runs it or when; out-of-order
+//!   completions are re-merged by submission order in the sink, so a
+//!   streamed matrix reproduces the batch runner's report byte for byte.
+//! * **Cooperative cancellation** — workers check the cancel flag between
+//!   rounds; a cancelled job finalizes partial statistics and the pool
+//!   keeps serving.
+//! * **Graceful shutdown** — [`Server::shutdown`] closes the intakes,
+//!   lets every queued job drain, joins the workers and then ends the
+//!   update stream (receivers see `None` after the last event).
+
+use crate::job::{CellUpdate, JobHandle, JobId, JobOutcome, JobState, LocalizationJob};
+use crate::queue::JobQueue;
+use crate::sink::ReportBuilder;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uw_core::config::{Fidelity, NumericPath};
+use uw_core::{Result, SystemError};
+use uw_eval::runner::CellExecution;
+use uw_eval::{EvalCell, EvalReport, ScenarioMatrix};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards. Each shard is one worker thread with its own bounded
+    /// intake queue and its own lazily-warmed waveform-asset state.
+    /// Clamped to ≥ 1.
+    pub shards: usize,
+    /// Capacity of each shard's intake queue; producers block (are
+    /// backpressured) while their target shard is full. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    /// One shard per available core (capped at 8 — localization cells are
+    /// coarse; more shards than cells buys nothing), queues of 64.
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with the given shard count and the default queue capacity.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters a shard worker reports when it exits (returned by
+/// [`Server::shutdown`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Jobs this shard ran to a terminal state (incl. cancelled/failed).
+    pub jobs: usize,
+    /// Localization rounds this shard executed.
+    pub rounds: usize,
+    /// Jobs that ended by cancellation on this shard.
+    pub cancelled: usize,
+    /// Numeric paths this shard *ensured* were warm before running a
+    /// hybrid job (the underlying waveform assets are process-wide: the
+    /// first shard to check a path pays the build, later shards' checks
+    /// are no-ops but still counted here).
+    pub warmed_paths: usize,
+}
+
+/// The receiving end of the server's [`CellUpdate`] stream (an unbounded
+/// [`JobQueue`] under the hood — same close-and-drain semantics as the
+/// shard intakes).
+///
+/// Events are delivered in emission order (per job: `CellStarted`, the
+/// `RoundCompleted`s, then one terminal event). The stream is unbounded —
+/// consumers that fall behind cost memory, not correctness; drain it from
+/// a dedicated thread in long-running deployments. After
+/// [`Server::shutdown`] the remaining events are still delivered, then
+/// [`UpdateStream::recv`] returns `None`.
+pub struct UpdateStream {
+    events: JobQueue<CellUpdate>,
+}
+
+impl UpdateStream {
+    /// Blocks until the next event, or `None` once the server has shut
+    /// down and every event has been delivered.
+    pub fn recv(&self) -> Option<CellUpdate> {
+        self.events.pop()
+    }
+
+    /// Returns the next event if one is already queued.
+    pub fn try_recv(&self) -> Option<CellUpdate> {
+        self.events.try_pop()
+    }
+}
+
+/// A job as it sits in a shard's intake queue.
+struct QueuedJob {
+    id: JobId,
+    cell: EvalCell,
+    state: Arc<JobState>,
+}
+
+/// The async localization server: sharded workers behind bounded queues,
+/// streaming [`CellUpdate`]s.
+///
+/// ```
+/// use uw_serve::{LocalizationJob, ServeConfig, Server};
+/// use uw_eval::ScenarioMatrix;
+///
+/// let mut matrix = ScenarioMatrix::smoke();
+/// matrix.rounds_per_cell = 2;
+/// let cell = matrix.expand().unwrap().remove(0);
+///
+/// let (server, updates) = Server::start(ServeConfig::with_shards(2));
+/// let handle = server.submit(LocalizationJob::Cell(cell));
+/// let outcome = handle.wait();
+/// assert!(outcome.is_completed());
+/// server.shutdown();
+/// // Drain the stream: started, 2 rounds, finalized.
+/// let mut events = Vec::new();
+/// while let Some(update) = updates.recv() {
+///     events.push(update);
+/// }
+/// assert_eq!(events.len(), 4);
+/// assert!(events.last().unwrap().is_terminal());
+/// ```
+pub struct Server {
+    shards: Vec<JobQueue<QueuedJob>>,
+    workers: Vec<std::thread::JoinHandle<ShardStats>>,
+    events: JobQueue<CellUpdate>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// Spawns the worker pool and returns the server plus the single
+    /// consumer handle for its update stream.
+    pub fn start(config: ServeConfig) -> (Self, UpdateStream) {
+        let n_shards = config.shards.max(1);
+        let events: JobQueue<CellUpdate> = JobQueue::unbounded();
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let queue: JobQueue<QueuedJob> = JobQueue::bounded(config.queue_capacity);
+            let worker_queue = queue.clone();
+            let worker_events = events.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("uw-serve-shard-{shard}"))
+                .spawn(move || shard_worker(shard, worker_queue, worker_events))
+                .expect("spawn shard worker");
+            shards.push(queue);
+            workers.push(handle);
+        }
+        (
+            Self {
+                shards,
+                workers,
+                events: events.clone(),
+                next_id: AtomicU64::new(0),
+            },
+            UpdateStream { events },
+        )
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a job, blocking while the target shard's queue is at
+    /// capacity (backpressure — jobs are never dropped). The shard is
+    /// chosen by hashing the job's cell id, so identical cells always
+    /// land on the same shard and reuse its warmed DSP state.
+    pub fn submit(&self, job: LocalizationJob) -> JobHandle {
+        let cell = job.into_cell();
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = JobState::new();
+        let handle = JobHandle::new(id, cell.id.clone(), Arc::clone(&state));
+        let shard = shard_for(&cell.id, self.shards.len());
+        self.shards[shard]
+            .push(QueuedJob { id, cell, state })
+            .unwrap_or_else(|_| unreachable!("shard queues outlive the server handle"));
+        handle
+    }
+
+    /// Graceful shutdown: closes every shard's intake (new submissions
+    /// are impossible — `shutdown` consumes the server), waits for all
+    /// queued jobs to drain and the workers to exit, then ends the update
+    /// stream. Returns per-shard counters.
+    pub fn shutdown(mut self) -> Vec<ShardStats> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Vec<ShardStats> {
+        for queue in &self.shards {
+            queue.close();
+        }
+        let mut stats = Vec::with_capacity(self.workers.len());
+        let mut panicked = 0usize;
+        for worker in self.workers.drain(..) {
+            match worker.join() {
+                Ok(s) => stats.push(s),
+                Err(_) => panicked += 1,
+            }
+        }
+        stats.sort_by_key(|s| s.shard);
+        self.events.close();
+        // A worker panic must surface — but never while another panic is
+        // already unwinding (a panic inside Drop would abort the process
+        // and mask the original one).
+        if panicked > 0 && !std::thread::panicking() {
+            panic!("{panicked} shard worker(s) panicked during shutdown");
+        }
+        stats
+    }
+}
+
+impl Drop for Server {
+    /// Dropping the server without calling [`Server::shutdown`] performs
+    /// the same graceful drain, so update streams always terminate.
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Stable cell-id → shard mapping (`DefaultHasher` is deterministic
+/// within a process, which is all affinity needs).
+fn shard_for(cell_id: &str, n_shards: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    cell_id.hash(&mut hasher);
+    (hasher.finish() % n_shards as u64) as usize
+}
+
+fn path_slot(path: NumericPath) -> usize {
+    match path {
+        NumericPath::F64 => 0,
+        NumericPath::Q15 => 1,
+    }
+}
+
+/// Publishes an update. The stream is unbounded (never blocks) and is
+/// closed only after every worker has been joined, so emitting from a
+/// live worker cannot fail.
+fn emit(events: &JobQueue<CellUpdate>, update: CellUpdate) {
+    events
+        .push(update)
+        .unwrap_or_else(|_| unreachable!("update stream closed before workers were joined"));
+}
+
+/// One shard's worker loop: pop → warm assets → step rounds (streaming a
+/// `RoundCompleted` per round and honouring cancellation between rounds)
+/// → finalize → emit the terminal event and resolve the handle.
+fn shard_worker(
+    shard: usize,
+    queue: JobQueue<QueuedJob>,
+    events: JobQueue<CellUpdate>,
+) -> ShardStats {
+    let mut stats = ShardStats {
+        shard,
+        jobs: 0,
+        rounds: 0,
+        cancelled: 0,
+        warmed_paths: 0,
+    };
+    let mut warmed = [false; 2];
+    while let Some(job) = queue.pop() {
+        stats.jobs += 1;
+        let QueuedJob { id, cell, state } = job;
+
+        // Per-shard waveform-asset affinity: the first hybrid job on a
+        // numeric path builds the process-wide preamble assets from this
+        // shard, so the cost lands here once instead of inside a round.
+        let path = cell.scenario.config().numeric_path;
+        if cell.scenario.config().fidelity == Fidelity::Hybrid && !warmed[path_slot(path)] {
+            uw_core::waveform::warm_assets(path);
+            warmed[path_slot(path)] = true;
+            stats.warmed_paths += 1;
+        }
+
+        let mut exec = match CellExecution::new(&cell) {
+            Ok(exec) => exec,
+            Err(e) => {
+                emit(
+                    &events,
+                    CellUpdate::JobFailed {
+                        job: id,
+                        cell_id: cell.id.clone(),
+                        reason: e.to_string(),
+                    },
+                );
+                state.complete(JobOutcome::Failed(e.to_string()));
+                continue;
+            }
+        };
+
+        // Cancelled while still queued: finalize an empty report without
+        // starting the cell.
+        if state.is_cancelled() {
+            stats.cancelled += 1;
+            let partial = exec.finalize();
+            emit(
+                &events,
+                CellUpdate::JobCancelled {
+                    job: id,
+                    partial: partial.clone(),
+                },
+            );
+            state.complete(JobOutcome::Cancelled(partial));
+            continue;
+        }
+
+        emit(
+            &events,
+            CellUpdate::CellStarted {
+                job: id,
+                cell_id: cell.id.clone(),
+                rounds: cell.rounds,
+            },
+        );
+        let mut was_cancelled = false;
+        while let Some(summary) = exec.step() {
+            stats.rounds += 1;
+            emit(
+                &events,
+                CellUpdate::RoundCompleted {
+                    job: id,
+                    cell_id: cell.id.clone(),
+                    summary,
+                },
+            );
+            // A cancel that lands during the *final* round must not
+            // demote a fully-run cell: its statistics are complete.
+            if state.is_cancelled() && !exec.is_complete() {
+                was_cancelled = true;
+                break;
+            }
+        }
+        let report = exec.finalize();
+        if was_cancelled {
+            stats.cancelled += 1;
+            emit(
+                &events,
+                CellUpdate::JobCancelled {
+                    job: id,
+                    partial: report.clone(),
+                },
+            );
+            state.complete(JobOutcome::Cancelled(report));
+        } else {
+            emit(
+                &events,
+                CellUpdate::CellFinalized {
+                    job: id,
+                    report: report.clone(),
+                },
+            );
+            state.complete(JobOutcome::Completed(report));
+        }
+    }
+    stats
+}
+
+/// Streams every cell of a matrix through a server and reassembles the
+/// deterministic report: submit in expansion order, let shards complete
+/// out of order, merge by submission order. The result is byte-identical
+/// (`EvalReport::to_json`) to [`uw_eval::run_matrix`] on the same matrix.
+///
+/// Fails if any cell fails to run (mirroring the batch runner's error
+/// propagation).
+pub fn serve_matrix(matrix: &ScenarioMatrix, config: ServeConfig) -> Result<EvalReport> {
+    let cells = matrix.expand()?;
+    let expected = cells.len();
+    let (server, updates) = Server::start(config);
+    let mut handles = Vec::with_capacity(expected);
+    for cell in cells {
+        handles.push(server.submit(LocalizationJob::Cell(cell)));
+    }
+    let mut builder = ReportBuilder::new();
+    while builder.terminals() < expected {
+        match updates.recv() {
+            Some(update) => builder.ingest(&update),
+            None => break,
+        }
+    }
+    server.shutdown();
+    if let Some((job, reason)) = builder.failures().first() {
+        return Err(SystemError::Layer {
+            layer: "serve",
+            reason: format!("{job} failed: {reason}"),
+        });
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for n in 1..5 {
+            for id in ["dock/5dev/clear/static/s1", "a", ""] {
+                let s = shard_for(id, n);
+                assert!(s < n);
+                assert_eq!(s, shard_for(id, n));
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.shards >= 1 && c.shards <= 8);
+        assert!(c.queue_capacity >= 1);
+        assert_eq!(ServeConfig::with_shards(3).shards, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Reassembling streamed updates into deterministic reports.
+//!
+//! Shards complete cells out of order; [`ReportBuilder`] is the sink that
+//! makes that invisible. It ingests [`CellUpdate`]s in whatever order
+//! they arrive and, because [`JobId`]s are assigned monotonically at
+//! submission, re-keys the finalized cells by job id so the finished
+//! [`EvalReport`] lists cells in submission order — exactly the order the
+//! batch runner would have produced. With the same cells submitted in
+//! expansion order, `finish()` therefore yields JSON byte-identical to
+//! [`uw_eval::run_matrix`].
+
+use crate::job::{CellUpdate, JobId};
+use std::collections::BTreeMap;
+use uw_eval::{CellReport, EvalReport};
+
+/// Accumulates streamed [`CellUpdate`]s into an [`EvalReport`].
+///
+/// ```
+/// use uw_serve::sink::ReportBuilder;
+/// use uw_serve::job::{CellUpdate, JobId};
+///
+/// let mut builder = ReportBuilder::new();
+/// assert_eq!(builder.terminals(), 0);
+/// builder.ingest(&CellUpdate::JobFailed {
+///     job: JobId(0),
+///     cell_id: "dock/5dev/clear/static/s1".into(),
+///     reason: "example".into(),
+/// });
+/// assert_eq!(builder.terminals(), 1);
+/// assert_eq!(builder.failures().len(), 1);
+/// assert!(builder.finish().cells.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ReportBuilder {
+    finalized: BTreeMap<JobId, CellReport>,
+    cancelled: BTreeMap<JobId, CellReport>,
+    failures: Vec<(JobId, String)>,
+    rounds_seen: usize,
+}
+
+impl ReportBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one streamed update into the builder. Non-terminal events
+    /// only update progress counters; terminal events file the job under
+    /// its outcome.
+    pub fn ingest(&mut self, update: &CellUpdate) {
+        match update {
+            CellUpdate::CellStarted { .. } => {}
+            CellUpdate::RoundCompleted { .. } => self.rounds_seen += 1,
+            CellUpdate::CellFinalized { job, report } => {
+                self.finalized.insert(*job, report.clone());
+            }
+            CellUpdate::JobCancelled { job, partial } => {
+                self.cancelled.insert(*job, partial.clone());
+            }
+            CellUpdate::JobFailed { job, reason, .. } => {
+                self.failures.push((*job, reason.clone()));
+            }
+        }
+    }
+
+    /// Terminal events seen so far (finalized + cancelled + failed) —
+    /// compare against the number of submitted jobs to know when a batch
+    /// is fully accounted for.
+    pub fn terminals(&self) -> usize {
+        self.finalized.len() + self.cancelled.len() + self.failures.len()
+    }
+
+    /// `RoundCompleted` events seen so far.
+    pub fn rounds_seen(&self) -> usize {
+        self.rounds_seen
+    }
+
+    /// Jobs that failed, in arrival order.
+    pub fn failures(&self) -> &[(JobId, String)] {
+        &self.failures
+    }
+
+    /// Partial reports of cancelled jobs, in submission order.
+    pub fn cancelled(&self) -> impl Iterator<Item = (&JobId, &CellReport)> {
+        self.cancelled.iter()
+    }
+
+    /// Builds the report over the *completed* cells, ordered by
+    /// submission (job id) regardless of completion order. Cancelled and
+    /// failed jobs are excluded — their cells never reached final
+    /// statistics.
+    pub fn finish(self) -> EvalReport {
+        EvalReport::new(self.finalized.into_values().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uw_eval::runner::RoundSummary;
+    use uw_eval::ScenarioMatrix;
+
+    fn report_for(id_suffix: u64) -> CellReport {
+        let cell = ScenarioMatrix::smoke().expand().unwrap().remove(0);
+        let mut report = uw_eval::report::cell_report_skeleton(&cell);
+        report.id = format!("cell-{id_suffix}");
+        report
+    }
+
+    #[test]
+    fn out_of_order_terminals_merge_in_submission_order() {
+        let mut builder = ReportBuilder::new();
+        // Job 2 completes before job 0 (out-of-order shards).
+        builder.ingest(&CellUpdate::CellFinalized {
+            job: JobId(2),
+            report: report_for(2),
+        });
+        builder.ingest(&CellUpdate::RoundCompleted {
+            job: JobId(0),
+            cell_id: "cell-0".into(),
+            summary: RoundSummary {
+                round: 0,
+                ok: true,
+                median_error_2d_m: 1.0,
+                dropped_links: 0,
+                flipping_correct: true,
+            },
+        });
+        builder.ingest(&CellUpdate::CellFinalized {
+            job: JobId(0),
+            report: report_for(0),
+        });
+        builder.ingest(&CellUpdate::JobCancelled {
+            job: JobId(1),
+            partial: report_for(1),
+        });
+        assert_eq!(builder.terminals(), 3);
+        assert_eq!(builder.rounds_seen(), 1);
+        assert_eq!(builder.cancelled().count(), 1);
+        let report = builder.finish();
+        // Only completed cells, in submission order.
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].id, "cell-0");
+        assert_eq!(report.cells[1].id, "cell-2");
+    }
+}

@@ -1,0 +1,118 @@
+//! Streaming evaluation quickstart: serve the dock cell and watch rounds
+//! arrive.
+//!
+//! ```sh
+//! cargo run --release --example streaming_eval
+//! ```
+//!
+//! The batch matrix runner (`uw_eval::run_matrix`) answers "what are the
+//! statistics of these cells" after the whole grid has run. The serving
+//! layer (`uw_serve`) answers the question the paper's leader phone
+//! actually has — "where is everyone *now*" — by streaming each round's
+//! result the moment it completes, while the same shared execution core
+//! guarantees the finalized statistics are byte-identical to the batch
+//! run.
+
+use uwgps::eval::{run_matrix, ScenarioMatrix};
+use uwgps::serve::{serve_matrix, CellUpdate, LocalizationJob, ServeConfig, Server};
+
+fn main() {
+    // ── 1. Stream the dock headline cell round by round ────────────────
+    let mut matrix = ScenarioMatrix::smoke();
+    matrix.rounds_per_cell = 6;
+    let dock = matrix
+        .expand()
+        .expect("smoke matrix expands")
+        .into_iter()
+        .find(|c| c.id.starts_with("dock/"))
+        .expect("dock cell in smoke slice");
+    println!("streaming {} ({} rounds)\n", dock.id, dock.rounds);
+
+    let (server, updates) = Server::start(ServeConfig::with_shards(2));
+    let handle = server.submit(LocalizationJob::Cell(dock));
+
+    loop {
+        match updates.recv().expect("stream open while the job runs") {
+            CellUpdate::CellStarted {
+                cell_id, rounds, ..
+            } => {
+                println!("cell started    {cell_id} ({rounds} rounds)");
+            }
+            CellUpdate::RoundCompleted { summary, .. } => {
+                println!(
+                    "round {:>2}        median 2D error {:5.2} m   drops {}   flip {}",
+                    summary.round,
+                    summary.median_error_2d_m,
+                    summary.dropped_links,
+                    if summary.flipping_correct {
+                        "ok"
+                    } else {
+                        "WRONG"
+                    },
+                );
+            }
+            CellUpdate::CellFinalized { report, .. } => {
+                println!(
+                    "cell finalized  median {:.2} m  p90 {:.2} m  flip rate {:.0}%\n",
+                    report.error_2d.median,
+                    report.error_2d.p90,
+                    report.flip_rate * 100.0,
+                );
+                break;
+            }
+            other => println!("{other:?}"),
+        }
+    }
+    assert!(handle.wait().is_completed());
+    server.shutdown();
+
+    // ── 2. Streamed == batch, byte for byte ────────────────────────────
+    // The same cells through the sharded server reconstruct the batch
+    // runner's EvalReport exactly (out-of-order shard completions are
+    // re-merged by submission order).
+    let mut mini = ScenarioMatrix::smoke();
+    mini.rounds_per_cell = 3;
+    mini.topologies = vec![
+        uwgps::eval::Topology::FourDevice,
+        uwgps::eval::Topology::FiveDevice,
+    ];
+    let batch = run_matrix(&mini).expect("batch run");
+    let streamed = serve_matrix(&mini, ServeConfig::with_shards(3)).expect("streamed run");
+    assert_eq!(batch.to_json(), streamed.to_json());
+    println!(
+        "streamed {} cells through 3 shards: report is byte-identical to the batch runner\n",
+        streamed.cells.len()
+    );
+
+    // ── 3. Observe a raw session directly (no eval/serve machinery) ────
+    // `Session::run_observed` is the push-style primitive underneath it
+    // all: watch a live session round by round and stop whenever.
+    use uwgps::core::prelude::*;
+    let scenario = Scenario::dock_five_devices(42);
+    let mut session = Session::new(scenario.config().clone()).expect("valid config");
+    let outcomes = session.run_observed(scenario.network(), 10, |round, result| {
+        match result {
+            Ok(outcome) => println!(
+                "live round {round}: {} devices positioned, flip {}",
+                outcome.positions.len(),
+                if outcome.flipping_correct {
+                    "ok"
+                } else {
+                    "WRONG"
+                },
+            ),
+            Err(e) => println!("live round {round} failed: {e}"),
+        }
+        // A telemetry consumer stops whenever it has what it needs.
+        if round >= 2 {
+            RoundControl::Stop
+        } else {
+            RoundControl::Continue
+        }
+    });
+    println!(
+        "observed {} live rounds, then stopped the session early",
+        outcomes.len()
+    );
+    println!("\nsee docs/SERVING.md for queue/shard tuning and operational semantics");
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Offline markdown link-and-anchor checker over README.md + docs/*.md.
+#
+# Verifies, with no network access, that every relative markdown link
+# points at a file that exists and that every `#anchor` fragment matches
+# a heading (GitHub anchor rules) in the target file. External links
+# (http/https/mailto) are skipped — this is a *consistency* gate, not a
+# liveness probe. Fenced code blocks are ignored so Rust snippets can't
+# produce false link matches.
+#
+# Usage: ./scripts/check_docs.sh [file.md ...]   (default: README.md docs/*.md)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md docs/*.md)
+fi
+
+python3 - "${files[@]}" <<'EOF'
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_fences(text):
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_anchor(heading):
+    # Strip inline code/emphasis markers and links, then apply GitHub's
+    # anchor algorithm: lowercase, drop punctuation, spaces -> hyphens.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "").replace("*", "").strip()
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path):
+    anchors, counts = set(), {}
+    text = strip_fences(open(path, encoding="utf-8").read())
+    for line in text.splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        base = github_anchor(m.group(1))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+errors = []
+checked = 0
+for source in sys.argv[1:]:
+    text = strip_fences(open(source, encoding="utf-8").read())
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        checked += 1
+        path, _, fragment = target.partition("#")
+        if path:
+            resolved = os.path.normpath(os.path.join(os.path.dirname(source), path))
+            if not os.path.exists(resolved):
+                errors.append(f"{source}: broken link -> {target} ({resolved} does not exist)")
+                continue
+        else:
+            resolved = source
+        if fragment:
+            if not resolved.endswith(".md"):
+                continue  # anchors into non-markdown files are not checkable
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{source}: broken anchor -> {target} (no heading '#{fragment}' in {resolved})")
+
+if errors:
+    print(f"check_docs: {len(errors)} broken link(s)/anchor(s):")
+    for e in errors:
+        print(f"  {e}")
+    sys.exit(1)
+print(f"check_docs: {checked} relative links/anchors OK across {len(sys.argv) - 1} file(s)")
+EOF

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Benchmarks the async serving layer (uw-serve) against the batch rayon
+# runner on an identical job set and records throughput (jobs/sec) and
+# per-job latency percentiles (p50/p99, submit → terminal event) for
+# several worker-pool sizes into BENCH_serve.json — the serving-layer
+# counterpart of BENCH_pipeline.json / BENCH_eval_matrix.json.
+#
+# Usage: ./scripts/serve_bench.sh [output.json]
+#   UWGPS_JOBS   — jobs in the set        (default 24)
+#   UWGPS_ROUNDS — rounds per job         (default 4)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_serve.json}"
+
+cargo run --release -p uw-bench --bin serve_bench -- "$out"

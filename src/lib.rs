@@ -17,7 +17,10 @@
 //!
 //! The underwater world (acoustic channel, device audio stack, sensors,
 //! mobility) is simulated by [`channel`] and [`device`], so the whole
-//! pipeline runs waveform-accurately on a laptop.
+//! pipeline runs waveform-accurately on a laptop. Above the pipeline,
+//! [`eval`] runs declarative scenario matrices and [`serve`] streams
+//! localization jobs through a sharded async front end (see
+//! `docs/ARCHITECTURE.md` and `docs/SERVING.md`).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use uw_eval as eval;
 pub use uw_localization as localization;
 pub use uw_protocol as protocol;
 pub use uw_ranging as ranging;
+pub use uw_serve as serve;
 
 /// Workspace-wide version string.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
