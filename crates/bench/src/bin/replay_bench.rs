@@ -1,0 +1,149 @@
+//! Real-audio ingestion benchmark: WAV codec throughput and end-to-end
+//! replay rate.
+//!
+//! ```text
+//! cargo run --release -p uw-bench --bin replay_bench -- [BENCH_replay.json]
+//! ```
+//!
+//! Three measurements land in a deterministic JSON artifact next to
+//! `BENCH_pipeline.json` / `BENCH_serve.json`:
+//!
+//! * **decode** — Msamples/s of the chunked `uw-audio` reader per sample
+//!   format (the ingestion-side hot loop for long dive recordings),
+//! * **encode** — Msamples/s of the writer per format (the recorder side),
+//! * **replay** — full cells/s of record → WAV → decode → replay through
+//!   the ranging pipeline versus plain simulation of the same cell.
+//!
+//! Environment overrides: `UWGPS_CODEC_SAMPLES` (default 2_000_000),
+//! `UWGPS_REPLAY_REPS` (default 3).
+
+use std::time::Instant;
+use uw_audio::wav::{read_wav_bytes, write_wav_bytes, SampleFormat, WavSpec};
+use uw_eval::replay::{record_cell, Recording};
+use uw_eval::runner::run_cell;
+use uw_eval::EvalCell;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+struct CodecRow {
+    format: SampleFormat,
+    encode_ms_per_s: f64,
+    decode_ms_per_s: f64,
+}
+
+fn msamples_per_s(samples: usize, wall: std::time::Duration) -> f64 {
+    samples as f64 / wall.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_replay.json".into());
+    let codec_samples = env_usize("UWGPS_CODEC_SAMPLES", 2_000_000);
+    let replay_reps = env_usize("UWGPS_REPLAY_REPS", 3);
+
+    // ---- codec throughput per format -----------------------------------
+    let signal: Vec<f64> = (0..codec_samples)
+        .map(|i| (i as f64 * 0.013).sin() * 0.7)
+        .collect();
+    let spec = |format| WavSpec {
+        sample_rate: 44_100,
+        channels: 2,
+        format,
+    };
+    println!("replay_bench: codec over {codec_samples} samples (2 channels)");
+    let mut rows = Vec::new();
+    for format in SampleFormat::ALL {
+        let t0 = Instant::now();
+        let bytes = write_wav_bytes(spec(format), &signal).expect("encode");
+        let encode_wall = t0.elapsed();
+        let t0 = Instant::now();
+        let mut reader = read_wav_bytes(bytes).expect("open");
+        let mut decoded = 0usize;
+        loop {
+            let block = reader.read_frames(1 << 14).expect("decode");
+            if block.is_empty() {
+                break;
+            }
+            decoded += block.len();
+        }
+        let decode_wall = t0.elapsed();
+        assert_eq!(decoded, codec_samples);
+        let row = CodecRow {
+            format,
+            encode_ms_per_s: msamples_per_s(codec_samples, encode_wall),
+            decode_ms_per_s: msamples_per_s(codec_samples, decode_wall),
+        };
+        println!(
+            "  {:<8} encode {:7.1} Msamples/s   decode {:7.1} Msamples/s",
+            row.format.name(),
+            row.encode_ms_per_s,
+            row.decode_ms_per_s,
+        );
+        rows.push(row);
+    }
+
+    // ---- end-to-end replay vs simulation -------------------------------
+    let cell = uw_eval::replay::fixture_cell().expect("fixture cell");
+    let t0 = Instant::now();
+    for _ in 0..replay_reps {
+        run_cell(&cell).expect("simulated cell runs");
+    }
+    let simulate_wall = t0.elapsed() / replay_reps as u32;
+
+    let recording = record_cell(&cell).expect("recording renders");
+    let wav = recording
+        .to_wav_bytes(SampleFormat::Pcm16)
+        .expect("recording encodes");
+    let wav_len = wav.len();
+    let t0 = Instant::now();
+    for _ in 0..replay_reps {
+        let decoded = Recording::from_wav_bytes(wav.clone()).expect("recording decodes");
+        let replay = EvalCell::from_recording(&decoded).expect("replay cell");
+        run_cell(&replay).expect("replay runs");
+    }
+    let replay_wall = t0.elapsed() / replay_reps as u32;
+    println!(
+        "  cell {}: simulate {:.1} ms, decode+replay {:.1} ms ({:.1} KiB WAV)",
+        cell.id,
+        simulate_wall.as_secs_f64() * 1e3,
+        replay_wall.as_secs_f64() * 1e3,
+        wav_len as f64 / 1024.0,
+    );
+
+    // ---- deterministic hand-rolled JSON --------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"uwgps-replay-bench-v1\",\n");
+    json.push_str(&format!("  \"codec_samples\": {codec_samples},\n"));
+    json.push_str("  \"codec\": [\n");
+    for (k, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"format\": \"{}\", \"encode_msamples_per_s\": {:.3}, \
+             \"decode_msamples_per_s\": {:.3}}}{}\n",
+            row.format.name(),
+            row.encode_ms_per_s,
+            row.decode_ms_per_s,
+            if k + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"replay\": {{\"cell\": \"{}\", \"rounds\": {}, \"wav_bytes\": {}, \
+         \"simulate_ms\": {:.3}, \"decode_and_replay_ms\": {:.3}}}\n",
+        cell.id,
+        cell.rounds,
+        wav_len,
+        simulate_wall.as_secs_f64() * 1e3,
+        replay_wall.as_secs_f64() * 1e3,
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark artifact");
+    println!("wrote {out}");
+}

@@ -18,12 +18,15 @@
 use crate::config::{Fidelity, SystemConfig};
 use crate::network::DiveNetwork;
 use crate::observers::{ReceptionModel, StatisticalObserver};
-use crate::waveform::{run_pairwise_trial, PairwiseTrial, RangingScheme};
+use crate::waveform::{
+    estimate_from_capture, run_pairwise_trial, LinkAudioSource, PairwiseTrial, RangingScheme,
+};
 use crate::{Result, SystemError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use uw_channel::geometry::Point3;
 use uw_localization::ambiguity::geometric_side;
 use uw_localization::matrix::{DistanceMatrix, Vec2};
@@ -77,11 +80,83 @@ pub enum RoundControl {
     Stop,
 }
 
+/// One leader-link waveform exchange of a hybrid round: which device
+/// transmits, the fully-specified [`PairwiseTrial`], and the per-link seed
+/// driving the channel realisation. Produced by [`leader_link_trials`] —
+/// the *same* plan a live [`Session::run`] executes, exposed so the
+/// replay recorder (`uw_eval::replay`) renders byte-identical captures.
+#[derive(Debug, Clone)]
+pub struct LeaderLinkTrial {
+    /// The non-leader device of the exchange.
+    pub device: usize,
+    /// The trial (positions at mid-round, occlusion, numeric path).
+    pub trial: PairwiseTrial,
+    /// Seed of the channel realisation for this link.
+    pub seed: u64,
+}
+
+/// Per-round session seed: the configured seed advanced along a
+/// Weyl-sequence so every round sees a fresh, reproducible stream.
+fn round_seed(config: &SystemConfig, round_index: usize) -> u64 {
+    config
+        .seed
+        .wrapping_add((round_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The waveform exchanges a hybrid-fidelity session runs on the leader's
+/// links in 0-based round `round_index`: one trial per audible, non-missing
+/// non-leader device, with positions evaluated at mid-round and the same
+/// per-link seeds [`Session::run`] uses. Deterministic in
+/// `(config, network, round_index)`.
+pub fn leader_link_trials(
+    config: &SystemConfig,
+    network: &DiveNetwork,
+    round_index: usize,
+) -> Result<Vec<LeaderLinkTrial>> {
+    let latency = round_latency(config.n_devices, config.report_bps)?;
+    let round_mid_s = latency.acoustic_s / 2.0;
+    let truth_positions = network.positions_at(round_mid_s);
+    let rx_azimuth_rad = network.leader_pointing_azimuth(round_mid_s)?;
+    let seed = round_seed(config, round_index);
+    Ok((1..config.n_devices)
+        .filter(|&other| {
+            !network.device_silent_in_round(other, round_index)
+                && !matches!(
+                    network.link_condition(0, other),
+                    Some(crate::network::LinkCondition::Missing)
+                )
+        })
+        .map(|other| {
+            let occlusion_db = match network.link_condition(0, other) {
+                Some(crate::network::LinkCondition::Occluded { .. }) => 35.0,
+                _ => 0.0,
+            };
+            LeaderLinkTrial {
+                device: other,
+                trial: PairwiseTrial {
+                    environment: network.environment().kind,
+                    tx_position: truth_positions[other],
+                    rx_position: truth_positions[0],
+                    rx_azimuth_rad,
+                    source_level: network.devices()[other].model.source_level(),
+                    occlusion_db,
+                    orientation_loss_db: 0.0,
+                    numeric_path: config.numeric_path,
+                },
+                seed: seed ^ (other as u64) << 8,
+            }
+        })
+        .collect())
+}
+
 /// A configured localization system, ready to run rounds.
 #[derive(Debug, Clone)]
 pub struct Session {
     config: SystemConfig,
     rounds_run: usize,
+    /// Recorded leader-link audio; when set, hybrid rounds estimate from
+    /// these captures instead of synthesizing the channel.
+    audio_source: Option<Arc<dyn LinkAudioSource>>,
 }
 
 impl Session {
@@ -91,6 +166,7 @@ impl Session {
         Ok(Self {
             config,
             rounds_run: 0,
+            audio_source: None,
         })
     }
 
@@ -102,6 +178,23 @@ impl Session {
     /// Number of rounds run so far.
     pub fn rounds_run(&self) -> usize {
         self.rounds_run
+    }
+
+    /// Installs a recorded audio source for the leader's links: from the
+    /// next round on, hybrid fidelity runs detection and channel
+    /// estimation on the source's captures — decoded WAV recordings —
+    /// instead of simulator output, on whichever [`crate::config::NumericPath`]
+    /// the configuration selects. Replay is strict: a round whose capture
+    /// is missing from the source fails rather than silently falling back
+    /// to synthesis. Statistical-fidelity sessions never consult the
+    /// source (the statistical model processes no waveforms).
+    pub fn set_audio_source(&mut self, source: Arc<dyn LinkAudioSource>) {
+        self.audio_source = Some(source);
+    }
+
+    /// Whether a recorded audio source is installed.
+    pub fn has_audio_source(&self) -> bool {
+        self.audio_source.is_some()
     }
 
     /// Runs one localization round over a network. Each call advances the
@@ -135,10 +228,7 @@ impl Session {
                 ),
             });
         }
-        let seed = self
-            .config
-            .seed
-            .wrapping_add(round_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = round_seed(&self.config, round_index as usize);
         let mut rng = StdRng::seed_from_u64(seed);
 
         let schedule = self.config.schedule()?;
@@ -201,44 +291,45 @@ impl Session {
         // are pooled, so parallel exchanges reuse precomputed DSP state
         // instead of rebuilding or serialising on it.
         if self.config.fidelity == Fidelity::Hybrid {
-            let rx_azimuth_rad = network.leader_pointing_azimuth(round_mid_s)?;
-            let trials: Vec<(usize, PairwiseTrial)> = (1..self.config.n_devices)
-                .filter(|&other| {
-                    !silent[other]
-                        && !matches!(
-                            network.link_condition(0, other),
-                            Some(crate::network::LinkCondition::Missing)
+            let trials = leader_link_trials(&self.config, network, round_index as usize)?;
+            let measured: Vec<(usize, Option<f64>)> = match &self.audio_source {
+                // Replay: decoded recordings stand in for the simulator.
+                // Estimation is cheap relative to synthesis and the
+                // captures are borrowed from the source, so the links run
+                // sequentially; a missing capture fails the round (strict
+                // replay, never a silent fallback to synthesis).
+                Some(source) => {
+                    let mut measured = Vec::with_capacity(trials.len());
+                    for lt in &trials {
+                        let capture = source
+                            .link_capture(round_index as usize, lt.device)
+                            .ok_or_else(|| SystemError::InvalidConfig {
+                                reason: format!(
+                                    "replay audio source has no capture for round \
+                                     {round_index}, device {}",
+                                    lt.device
+                                ),
+                            })?;
+                        let result = estimate_from_capture(&lt.trial, capture);
+                        measured.push((
+                            lt.device,
+                            result.ok().map(|r| r.estimated_distance_m.max(0.0)),
+                        ));
+                    }
+                    measured
+                }
+                None => trials
+                    .into_par_iter()
+                    .map(|lt| {
+                        let result =
+                            run_pairwise_trial(&lt.trial, RangingScheme::DualMicOfdm, lt.seed);
+                        (
+                            lt.device,
+                            result.ok().map(|r| r.estimated_distance_m.max(0.0)),
                         )
-                })
-                .map(|other| {
-                    let occlusion_db = match network.link_condition(0, other) {
-                        Some(crate::network::LinkCondition::Occluded { .. }) => 35.0,
-                        _ => 0.0,
-                    };
-                    let trial = PairwiseTrial {
-                        environment: network.environment().kind,
-                        tx_position: truth_positions[other],
-                        rx_position: truth_positions[0],
-                        rx_azimuth_rad,
-                        source_level: network.devices()[other].model.source_level(),
-                        occlusion_db,
-                        orientation_loss_db: 0.0,
-                        numeric_path: self.config.numeric_path,
-                    };
-                    (other, trial)
-                })
-                .collect();
-            let measured: Vec<(usize, Option<f64>)> = trials
-                .into_par_iter()
-                .map(|(other, trial)| {
-                    let result = run_pairwise_trial(
-                        &trial,
-                        RangingScheme::DualMicOfdm,
-                        seed ^ (other as u64) << 8,
-                    );
-                    (other, result.ok().map(|r| r.estimated_distance_m.max(0.0)))
-                })
-                .collect();
+                    })
+                    .collect(),
+            };
             for (other, estimate) in measured {
                 if let Some(d) = estimate {
                     distances.set(0, other, d).map_err(SystemError::from)?;

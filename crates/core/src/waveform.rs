@@ -140,12 +140,136 @@ pub enum RangingScheme {
     CatFmcw,
 }
 
+/// The two sample-aligned microphone streams a receiving device captured
+/// for one ranging exchange — the unit the replay subsystem records to and
+/// decodes from WAV (see `uw-audio` and `uw_eval::replay`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkCapture {
+    /// First (bottom) microphone stream.
+    pub mic1: Vec<f64>,
+    /// Second (top) microphone stream (same length as `mic1`).
+    pub mic2: Vec<f64>,
+}
+
+/// A provider of recorded microphone streams for the leader's links,
+/// consulted by hybrid-fidelity sessions **instead of** the channel
+/// simulator when installed via [`crate::session::Session::set_audio_source`].
+/// Implementations must be cheap to query (the captures are typically
+/// decoded once up front — see `uw_eval::replay::ReplayAudio`).
+pub trait LinkAudioSource: Send + Sync + std::fmt::Debug {
+    /// The capture for the leader ↔ `device` exchange of 0-based round
+    /// `round`, or `None` when the recording does not contain it (which
+    /// fails the round — replay is strict, never silently simulated).
+    fn link_capture(&self, round: usize, device: usize) -> Option<&LinkCapture>;
+}
+
+/// Positions of the two microphones for a trial's receiver (perpendicular
+/// to the receiver azimuth, [`MIC_SEPARATION_M`] apart).
+fn mic_positions(trial: &PairwiseTrial) -> [Point3; 2] {
+    let az = trial.rx_azimuth_rad;
+    let dx = -az.sin() * MIC_SEPARATION_M / 2.0;
+    let dy = az.cos() * MIC_SEPARATION_M / 2.0;
+    [
+        Point3::new(
+            trial.rx_position.x - dx,
+            trial.rx_position.y - dy,
+            trial.rx_position.z,
+        ),
+        Point3::new(
+            trial.rx_position.x + dx,
+            trial.rx_position.y + dy,
+            trial.rx_position.z,
+        ),
+    ]
+}
+
+/// Transmit amplitude of a trial (source level × orientation loss).
+fn trial_gain(trial: &PairwiseTrial) -> f64 {
+    trial.source_level
+        * uw_channel::absorption::db_loss_to_amplitude(trial.orientation_loss_db.max(0.0))
+}
+
+/// Synthesizes the dual-microphone capture of one OFDM ranging exchange:
+/// the preamble waveform propagated through the image-method channel to
+/// both microphones, with noise. This is exactly the receive-side input
+/// [`run_pairwise_trial`] feeds its estimator — split out so recordings
+/// can be rendered to WAV (the "recorder") and so replayed captures go
+/// through [`estimate_from_capture`] on the identical hot path. Channel
+/// synthesis is pure `f64` regardless of the trial's numeric path: the
+/// path only selects the receive-side DSP, so one capture serves both.
+pub fn synthesize_dual_mic(trial: &PairwiseTrial, seed: u64) -> Result<LinkCapture> {
+    let environment = Environment::preset(trial.environment);
+    let simulator = ChannelSimulator::new(environment, SAMPLE_RATE).map_err(SystemError::from)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let preamble = preamble_for(NumericPath::F64);
+    let gain = trial_gain(trial);
+    let tx_wave: Vec<f64> = preamble.waveform.iter().map(|s| s * gain).collect();
+    let options = PropagateOptions {
+        occlusion_db: trial.occlusion_db,
+        ..PropagateOptions::default()
+    };
+    let [rx1, rx2] = simulator
+        .propagate_dual_mic(
+            &tx_wave,
+            &trial.tx_position,
+            &mic_positions(trial),
+            &options,
+            &[1.0, 1.3],
+            &mut rng,
+        )
+        .map_err(SystemError::from)?;
+    Ok(LinkCapture {
+        mic1: rx1.samples,
+        mic2: rx2.samples,
+    })
+}
+
+/// Runs detection + LS channel estimation + the direct-path search on an
+/// already-captured pair of microphone streams (synthesized or decoded
+/// from a recording) and converts the arrival into a distance estimate.
+/// The trial's [`NumericPath`] selects the `f64` or Q15 receive DSP — the
+/// same dispatch a live session uses.
+pub fn estimate_from_capture(trial: &PairwiseTrial, capture: &LinkCapture) -> Result<TrialResult> {
+    estimate_from_capture_mode(trial, capture, MicMode::Both)
+}
+
+fn estimate_from_capture_mode(
+    trial: &PairwiseTrial,
+    capture: &LinkCapture,
+    mic_mode: MicMode,
+) -> Result<TrialResult> {
+    let environment = Environment::preset(trial.environment);
+    let sound_speed = environment.sound_speed();
+    let preamble = preamble_for(trial.numeric_path);
+    let mut config = RangingConfig {
+        mic_mode,
+        ..RangingConfig::default()
+    };
+    config.los.sound_speed = sound_speed;
+    let est = estimate_arrival_dual(&capture.mic1, &capture.mic2, preamble, &config)
+        .map_err(SystemError::from)?;
+    // The transmit stream's sample 0 leaves the speaker at the same
+    // instant the receive streams' sample `lead_in` is captured, so the
+    // propagation delay in samples is the arrival minus the lead-in.
+    let lead_in = PropagateOptions::default().lead_in_samples as f64;
+    let estimated_arrival = (est.arrival_sample - lead_in) / SAMPLE_RATE;
+    let estimated_distance = estimated_arrival * sound_speed;
+    let true_distance = trial.tx_position.distance(&mic_positions(trial)[0]);
+    Ok(TrialResult {
+        true_distance_m: true_distance,
+        estimated_distance_m: estimated_distance,
+        error_m: estimated_distance - true_distance,
+        mic_sign: est.mic_sign(),
+    })
+}
+
 /// Runs one waveform-level ranging trial and returns the estimation error.
 ///
 /// The transmission is a one-way broadcast with a known emission instant
 /// (sample 0 of the transmit stream), so the distance follows directly from
 /// the estimated arrival sample; the two-way protocol combination is
-/// exercised separately by the session layer.
+/// exercised separately by the session layer. The OFDM schemes are the
+/// composition of [`synthesize_dual_mic`] and [`estimate_from_capture`].
 pub fn run_pairwise_trial(
     trial: &PairwiseTrial,
     scheme: RangingScheme,
@@ -155,23 +279,8 @@ pub fn run_pairwise_trial(
     let simulator = ChannelSimulator::new(environment, SAMPLE_RATE).map_err(SystemError::from)?;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Microphone positions perpendicular to the receiver azimuth.
-    let az = trial.rx_azimuth_rad;
-    let dx = -az.sin() * MIC_SEPARATION_M / 2.0;
-    let dy = az.cos() * MIC_SEPARATION_M / 2.0;
-    let mic1 = Point3::new(
-        trial.rx_position.x - dx,
-        trial.rx_position.y - dy,
-        trial.rx_position.z,
-    );
-    let mic2 = Point3::new(
-        trial.rx_position.x + dx,
-        trial.rx_position.y + dy,
-        trial.rx_position.z,
-    );
-
-    let gain = trial.source_level
-        * uw_channel::absorption::db_loss_to_amplitude(trial.orientation_loss_db.max(0.0));
+    let mic1 = mic_positions(trial)[0];
+    let gain = trial_gain(trial);
     let options = PropagateOptions {
         occlusion_db: trial.occlusion_db,
         ..PropagateOptions::default()
@@ -182,35 +291,13 @@ pub fn run_pairwise_trial(
 
     let (estimated_arrival, mic_sign) = match scheme {
         RangingScheme::DualMicOfdm | RangingScheme::BottomMicOnly | RangingScheme::TopMicOnly => {
-            let preamble = preamble_for(trial.numeric_path);
-            let tx_wave: Vec<f64> = preamble.waveform.iter().map(|s| s * gain).collect();
-            let [rx1, rx2] = simulator
-                .propagate_dual_mic(
-                    &tx_wave,
-                    &trial.tx_position,
-                    &[mic1, mic2],
-                    &options,
-                    &[1.0, 1.3],
-                    &mut rng,
-                )
-                .map_err(SystemError::from)?;
-            let mut config = RangingConfig {
-                mic_mode: match scheme {
-                    RangingScheme::DualMicOfdm => MicMode::Both,
-                    RangingScheme::BottomMicOnly => MicMode::FirstOnly,
-                    _ => MicMode::SecondOnly,
-                },
-                ..RangingConfig::default()
+            let capture = synthesize_dual_mic(trial, seed)?;
+            let mic_mode = match scheme {
+                RangingScheme::DualMicOfdm => MicMode::Both,
+                RangingScheme::BottomMicOnly => MicMode::FirstOnly,
+                _ => MicMode::SecondOnly,
             };
-            config.los.sound_speed = sound_speed;
-            let est = estimate_arrival_dual(&rx1.samples, &rx2.samples, preamble, &config)
-                .map_err(SystemError::from)?;
-            // The transmit stream's sample 0 leaves the speaker at the same
-            // instant the receive streams' sample `lead_in` is captured, so
-            // the propagation delay in samples is the arrival minus the
-            // lead-in.
-            let delay_samples = est.arrival_sample - options.lead_in_samples as f64;
-            (delay_samples / SAMPLE_RATE, est.mic_sign())
+            return estimate_from_capture_mode(trial, &capture, mic_mode);
         }
         RangingScheme::BeepBeep | RangingScheme::CatFmcw => {
             let baseline = baseline();

@@ -1,0 +1,43 @@
+//! Renders the golden replay fixture: the dock 5-device clear/static
+//! hybrid cell recorded to a 2-channel PCM16 WAV, committed under
+//! `tests/fixtures/` and replayed by `crates/eval/tests/replay_golden.rs`.
+//!
+//! ```text
+//! cargo run --release -p uw-eval --bin record_fixture -- [output.wav]
+//! ```
+//!
+//! The recorder is deterministic (same seeds, same channel realisations
+//! the live session draws), so re-running it after a DSP or channel
+//! change refreshes the fixture reproducibly.
+
+use uw_audio::wav::SampleFormat;
+use uw_eval::replay::{fixture_cell, record_cell};
+use uw_eval::runner::run_cell;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/fixtures/dock_5dev_clear_static_s1.wav".into());
+    let cell = fixture_cell().expect("fixture cell expands");
+    eprintln!(
+        "recording {} ({} rounds, hybrid fidelity)…",
+        cell.id, cell.rounds
+    );
+    let recording = record_cell(&cell).expect("recording renders");
+    recording
+        .save(&out, SampleFormat::Pcm16)
+        .expect("fixture writes");
+    let frames: usize = recording
+        .links
+        .iter()
+        .map(|l| l.capture.mic1.len().max(l.capture.mic2.len()))
+        .sum();
+    let report = run_cell(&cell).expect("simulated reference runs");
+    eprintln!(
+        "wrote {out}: {} captures, {frames} frames ({:.1} s of stereo audio); \
+         simulated median 2D error {:.3} m",
+        recording.links.len(),
+        frames as f64 / uw_dsp::SAMPLE_RATE,
+        report.error_2d.median
+    );
+}

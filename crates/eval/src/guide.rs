@@ -418,6 +418,26 @@ pub fn generate_guide(report: &EvalReport) -> String {
          serve-vs-batch throughput/latency trajectory in\n\
          `BENCH_serve.json`.\n\
          \n\
+         ## Replaying a recording instead of simulating\n\
+         \n\
+         Cells with a `replay` segment\n\
+         (`dock/5dev/clear/static/replay/s1`) take their leader-link\n\
+         audio from a WAV recording instead of the channel simulator:\n\
+         `uw-audio` streams the file in chunks (PCM16/24/32 + float32,\n\
+         resampled to 44.1 kHz when needed) and the session runs\n\
+         detection + LS channel estimation on the decoded samples — on\n\
+         either numeric path, since captures are path-independent. The\n\
+         committed golden fixture\n\
+         (`tests/fixtures/dock_5dev_clear_static_s1.wav`, regenerated by\n\
+         `./scripts/record_fixtures.sh`) must replay within 0.1 m of the\n\
+         simulated dock cell's median on both paths — enforced on every\n\
+         `cargo test` by `crates/eval/tests/replay_golden.rs`. Try it:\n\
+         \n\
+         ```sh\n\
+         cargo run --release --example replay_recording   # record → WAV → replay (f64 + q15)\n\
+         ./scripts/replay_bench.sh                        # codec + replay throughput → BENCH_replay.json\n\
+         ```\n\
+         \n\
          ## Figures not driven by the matrix\n\
          \n\
          Waveform-level 1D figures (Fig. 6, 11–16, 22) and the battery\n\
@@ -526,6 +546,8 @@ mod tests {
         assert!(guide.contains("GENERATED FILE"));
         assert!(guide.contains("| Figure | Claim |"));
         assert!(guide.contains("streaming_eval"));
+        assert!(guide.contains("replay_recording"));
+        assert!(guide.contains("record_fixtures.sh"));
         for claim in FIGURE_MAP {
             assert!(guide.contains(claim.cell_id), "missing {}", claim.cell_id);
         }

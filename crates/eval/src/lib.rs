@@ -22,6 +22,14 @@
 //!   Hybrid-fidelity cells share the process-wide waveform assets (the
 //!   preamble's pooled `uw_dsp::MatchedFilter` and symbol
 //!   `uw_dsp::FftPlan`s) built once in [`uw_core::waveform`].
+//! * [`replay`] — real-audio ingestion: [`replay::record_cell`] renders a
+//!   hybrid cell's leader-link exchanges to a 2-channel WAV (via
+//!   `uw-audio`'s hand-rolled codec) and [`matrix::EvalCell::from_recording`]
+//!   wraps a decoded [`replay::Recording`] into a *replay cell* — same
+//!   rounds, same statistics, but detection and channel estimation run on
+//!   the recorded audio instead of simulator output (`replay` id segment,
+//!   both numeric paths). The committed golden fixture under
+//!   `tests/fixtures/` is generated this way.
 //! * [`report`] — [`report::EvalReport`]: per-cell median/p90/p99 error
 //!   statistics, CDF points, flip rates, drop decisions and latency,
 //!   serialised to deterministic JSON (`BENCH_eval_matrix.json`).
@@ -67,10 +75,12 @@
 
 pub mod guide;
 pub mod matrix;
+pub mod replay;
 pub mod report;
 pub mod runner;
 
 pub use matrix::{EvalCell, LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
+pub use replay::{record_cell, Recording, ReplayAudio};
 pub use report::{CellReport, EvalReport};
 pub use runner::{run_matrix, run_suite, CellExecution, RoundSummary};
 

@@ -177,6 +177,11 @@ pub struct EvalCell {
     pub rounds: usize,
     /// The ready-to-run scenario.
     pub scenario: Scenario,
+    /// Recorded leader-link audio for *replay cells*
+    /// ([`EvalCell::from_recording`]): when set, the cell's session runs
+    /// detection and channel estimation on these decoded captures instead
+    /// of simulator output. `None` for simulated cells.
+    pub replay: Option<std::sync::Arc<crate::replay::ReplayAudio>>,
 }
 
 impl EvalCell {
@@ -208,6 +213,7 @@ impl EvalCell {
             seed: config.seed,
             rounds,
             scenario,
+            replay: None,
         }
     }
 }
@@ -491,6 +497,7 @@ impl ScenarioMatrix {
             seed,
             rounds,
             scenario,
+            replay: None,
         })
     }
 }

@@ -86,9 +86,13 @@ pub struct CellExecution {
 
 impl CellExecution {
     /// Prepares a cell for execution (validates the configuration and
-    /// builds the session). No rounds run yet.
+    /// builds the session; a replay cell's decoded audio is installed as
+    /// the session's recorded-link source). No rounds run yet.
     pub fn new(cell: &EvalCell) -> Result<Self> {
-        let session = Session::new(cell.scenario.config().clone())?;
+        let mut session = Session::new(cell.scenario.config().clone())?;
+        if let Some(replay) = &cell.replay {
+            session.set_audio_source(std::sync::Arc::clone(replay) as _);
+        }
         Ok(Self {
             cell: cell.clone(),
             session,

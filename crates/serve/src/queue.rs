@@ -251,6 +251,43 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_blocked_producers_with_an_error() {
+        // A push blocked on a full queue must wake and fail on close(),
+        // not deadlock: close() flips `closed` under the lock and
+        // notifies `not_full`, and the push loop re-checks `closed`
+        // before re-checking capacity.
+        let q = JobQueue::bounded(1);
+        q.push(0usize).unwrap();
+        let n_blocked = 3;
+        let woken = Arc::new(AtomicUsize::new(0));
+        let mut producers = Vec::new();
+        for i in 0..n_blocked {
+            let q = q.clone();
+            let woken = Arc::clone(&woken);
+            producers.push(std::thread::spawn(move || {
+                let result = q.push(i + 1); // blocks: capacity 1, queue full
+                woken.fetch_add(1, Ordering::SeqCst);
+                result
+            }));
+        }
+        // Let every producer reach the blocked wait.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(woken.load(Ordering::SeqCst), 0, "pushes did not block");
+        q.close();
+        for (i, p) in producers.into_iter().enumerate() {
+            // join() would hang forever on the historical deadlock; the
+            // harness timeout is the backstop, the assertions the spec.
+            let result = p.join().unwrap();
+            assert_eq!(result, Err(QueueClosed(i + 1)));
+        }
+        assert_eq!(woken.load(Ordering::SeqCst), n_blocked);
+        // The pre-close item survives; the blocked items were returned to
+        // their callers, not enqueued and not dropped silently.
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn many_producers_many_consumers_lose_nothing() {
         let q = JobQueue::bounded(3);
         let n_producers = 4;

@@ -264,3 +264,35 @@ fn graceful_shutdown_drains_queued_jobs() {
     }
     assert_eq!(terminals, 4);
 }
+
+#[test]
+fn replay_cells_serve_identically_to_batch() {
+    // A replay cell — recorded audio standing in for the simulator — is
+    // just another EvalCell to the serving layer: the job carries its
+    // decoded captures, shards attach them to their sessions, and the
+    // streamed report is byte-identical to the batch run of the same
+    // replay cell.
+    let hybrid = ScenarioMatrix {
+        environments: vec![EnvironmentKind::Dock],
+        topologies: vec![Topology::FiveDevice],
+        conditions: vec![LinkProfile::Clear],
+        mobilities: vec![MobilityProfile::Static],
+        numeric_paths: vec![NumericPath::F64],
+        seeds: vec![1],
+        rounds_per_cell: 1,
+        fidelity: Fidelity::Hybrid,
+    };
+    let recording = uw_eval::record_cell(&hybrid.expand().unwrap()[0]).unwrap();
+    let replay_cell = uw_eval::EvalCell::from_recording(&recording).unwrap();
+    assert_eq!(replay_cell.id, "dock/5dev/clear/static/replay/s1");
+
+    let batch = uw_eval::runner::run_cell(&replay_cell).unwrap();
+    let (server, updates) = Server::start(ServeConfig::with_shards(2));
+    let handle = server.submit(LocalizationJob::Cell(replay_cell));
+    let outcome = handle.wait();
+    server.shutdown();
+    drop(updates);
+    let streamed = outcome.report().expect("replay job completes").clone();
+    assert_eq!(streamed, batch);
+    assert_eq!(streamed.rounds_completed, 1);
+}

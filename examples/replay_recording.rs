@@ -1,0 +1,63 @@
+//! Record a dive scenario to WAV, then replay the recording through the
+//! real ranging pipeline — the zero-to-replay tour of the `uw-audio` +
+//! `uw_eval::replay` subsystem.
+//!
+//! ```text
+//! cargo run --release --example replay_recording
+//! ```
+//!
+//! 1. The dock 5-device headline cell runs at hybrid fidelity and every
+//!    leader-link exchange is rendered to a 2-channel PCM16 WAV (exactly
+//!    what `./scripts/record_fixtures.sh` commits under `tests/fixtures/`).
+//! 2. The WAV is decoded back (`uw-audio` streams it in chunks) and
+//!    wrapped into a *replay cell* whose session runs detection and
+//!    channel estimation on the decoded audio instead of the simulator.
+//! 3. The same audio replays once more on the on-device Q15 fixed-point
+//!    path — recordings are numeric-path independent.
+
+use uw_audio::wav::SampleFormat;
+use uw_core::config::NumericPath;
+use uw_eval::replay::{fixture_cell, record_cell, Recording};
+use uw_eval::runner::run_cell;
+use uw_eval::EvalCell;
+
+fn main() {
+    let cell = fixture_cell().expect("fixture cell expands");
+    println!(
+        "simulating + recording {} ({} rounds)…",
+        cell.id, cell.rounds
+    );
+    let simulated = run_cell(&cell).expect("simulated cell runs");
+    let recording = record_cell(&cell).expect("recording renders");
+
+    let path = std::env::temp_dir().join("uwgps_replay_example.wav");
+    recording
+        .save(&path, SampleFormat::Pcm16)
+        .expect("recording saves");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {} ({} captures, {:.1} KiB)",
+        path.display(),
+        recording.links.len(),
+        bytes as f64 / 1024.0
+    );
+
+    let decoded = Recording::load(&path).expect("recording loads");
+    for (label, numeric_path) in [("f64", NumericPath::F64), ("q15", NumericPath::Q15)] {
+        let replay =
+            EvalCell::from_recording_with_path(&decoded, numeric_path).expect("replay cell");
+        let report = run_cell(&replay).expect("replay runs");
+        println!(
+            "replayed {:<44} median 2D error {:.3} m (simulated {:.3} m, gap {:.3} m)",
+            report.id,
+            report.error_2d.median,
+            simulated.error_2d.median,
+            (report.error_2d.median - simulated.error_2d.median).abs()
+        );
+        assert!(
+            (report.error_2d.median - simulated.error_2d.median).abs() <= 0.1,
+            "{label} replay drifted out of the golden band"
+        );
+    }
+    println!("replay reproduces the simulated cell on both numeric paths ✓");
+}

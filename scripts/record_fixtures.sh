@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the committed golden replay fixture(s) under tests/fixtures/:
+# the dock 5-device clear/static hybrid cell rendered to a 2-channel PCM16
+# WAV by the deterministic recorder (uw_eval::replay::record_cell). Run
+# after any change to the channel model, preamble or seeds, then commit
+# the refreshed WAV — crates/eval/tests/replay_golden.rs replays it
+# through the full ranging pipeline on both numeric paths.
+#
+# Usage: ./scripts/record_fixtures.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mkdir -p tests/fixtures
+
+cargo run --release -p uw-eval --bin record_fixture -- \
+    tests/fixtures/dock_5dev_clear_static_s1.wav
+ls -la tests/fixtures/

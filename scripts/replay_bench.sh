@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Benchmarks the real-audio ingestion subsystem (uw-audio + uw_eval::replay)
+# and records the trajectory into BENCH_replay.json: WAV encode/decode
+# throughput per sample format and the end-to-end decode+replay rate of
+# the golden dock cell versus plain simulation — the replay-layer
+# counterpart of BENCH_pipeline.json / BENCH_serve.json.
+#
+# Usage: ./scripts/replay_bench.sh [output.json]
+#   UWGPS_CODEC_SAMPLES — samples for the codec loops (default 2000000)
+#   UWGPS_REPLAY_REPS   — repetitions of the replay loop  (default 3)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_replay.json}"
+
+cargo run --release -p uw-bench --bin replay_bench -- "$out"

@@ -20,7 +20,11 @@
 //! pipeline runs waveform-accurately on a laptop. Above the pipeline,
 //! [`eval`] runs declarative scenario matrices and [`serve`] streams
 //! localization jobs through a sharded async front end (see
-//! `docs/ARCHITECTURE.md` and `docs/SERVING.md`).
+//! `docs/ARCHITECTURE.md` and `docs/SERVING.md`). Recorded (or
+//! synthetically recorded) audio re-enters the same pipeline through
+//! [`audio`] — a dependency-free WAV codec + resampler — and
+//! `eval::replay`, which records matrix cells to WAV and replays
+//! recordings as first-class cells.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +38,7 @@
 //! assert_eq!(outcome.positions.len(), scenario.network().device_count());
 //! ```
 
+pub use uw_audio as audio;
 pub use uw_channel as channel;
 pub use uw_core as core;
 pub use uw_device as device;
