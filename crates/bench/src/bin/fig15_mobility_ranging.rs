@@ -41,6 +41,8 @@ fn main() {
                 occlusion_db: 0.0,
                 orientation_loss_db: 0.0,
                 numeric_path: uw_core::config::NumericPath::F64,
+                clock_skew_ppm: 0.0,
+                interference: None,
             };
             if let Ok(result) = run_pairwise_trial(
                 &trial,

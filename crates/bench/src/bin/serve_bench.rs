@@ -37,6 +37,7 @@ fn workload(jobs: usize, rounds: usize) -> ScenarioMatrix {
         conditions: vec![LinkProfile::Clear],
         mobilities: vec![MobilityProfile::Static],
         numeric_paths: vec![NumericPath::F64],
+        faults: vec![None],
         seeds: (1..=jobs as u64).collect(),
         rounds_per_cell: rounds,
         fidelity: Fidelity::Statistical,

@@ -1,0 +1,747 @@
+//! Deterministic fault injection: scripted schedules of physical-layer and
+//! fleet-level faults.
+//!
+//! Real deployments of the paper's system are dominated by effects the
+//! clean simulator never produces on its own: bursts of packet loss,
+//! devices dropping out mid-dive, sample clocks running tens of ppm off
+//! nominal, the leader's phone dying, and a *second* dive group sharing
+//! the acoustic channel. A [`FaultSchedule`] scripts those effects as
+//! data — a seed plus a list of windowed [`FaultEvent`]s — so any run is
+//! bitwise reproducible from `(seed, schedule)` alone.
+//!
+//! The schedule is consumed by [`crate::session::Session`] (install it
+//! with [`crate::session::Session::set_fault_schedule`]): churn events
+//! extend the network's own churn model, packet-loss events gate messages
+//! with a seed-keyed Bernoulli draw that is independent of the session's
+//! RNG streams, clock-skew events perturb the per-device [`uw_device::clock::LocalClock`]
+//! and (at hybrid fidelity) resample the synthesized captures via
+//! [`uw_dsp::resample::apply_ppm_skew`], and interference events mix a
+//! rival group's preamble into the leader's captures.
+//!
+//! Schedules have a compact, human-writable spec string (see
+//! [`FaultSchedule::parse`]) used by the soak harness to print one-line
+//! repro commands.
+
+use crate::{Result, SystemError};
+use serde::{Deserialize, Serialize};
+
+/// The kinds of fault an event can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Extra packet loss: every transmission on the matching link (or on
+    /// all links when `link` is `None`) is dropped with probability
+    /// `prob`, decided by a deterministic seed-keyed draw per
+    /// `(round, tx, rx)`.
+    PacketLoss {
+        /// Restrict the loss to one unordered device pair, or `None` for
+        /// every link.
+        link: Option<(usize, usize)>,
+        /// Drop probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// The device is silent (neither transmits nor receives) while the
+    /// event is active. Unlike [`crate::network::DiveNetwork::set_device_churn`],
+    /// schedule churn may hit *any* device — including the leader (0) and
+    /// the pointing target (1), in which case the round fails with a
+    /// structured [`RoundFailureReason`] instead of producing a solve.
+    Churn {
+        /// The silenced device.
+        device: usize,
+    },
+    /// The device's sample clock runs `ppm` parts-per-million fast
+    /// (negative = slow) while the event is active: its protocol
+    /// timestamps drift accordingly, and hybrid-fidelity captures are
+    /// resampled by `1 + ppm·1e-6`.
+    ClockSkew {
+        /// The affected device.
+        device: usize,
+        /// Clock skew in parts per million.
+        ppm: f64,
+    },
+    /// The leader's phone dies: device 0 is silent from the window start.
+    /// The session reports structured [`RoundFailureReason::LeaderSilent`]
+    /// failures; a fleet harness may then re-initialize the group under a
+    /// new leader (see `uw_eval::soak`).
+    LeaderFailover,
+    /// A second dive group shares the channel: their transmissions raise
+    /// the effective packet-loss floor (statistical fidelity) and are
+    /// mixed into the leader's captures as a delayed rival preamble
+    /// (hybrid fidelity). `gain_db` is the rival's level relative to an
+    /// in-group transmitter at the same range (0 dB = equally loud).
+    Interference {
+        /// Rival level in dB relative to an in-group device.
+        gain_db: f64,
+    },
+}
+
+impl FaultKind {
+    /// Stable label of the kind (soak reports count faults by it).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::PacketLoss { .. } => "loss",
+            FaultKind::Churn { .. } => "churn",
+            FaultKind::ClockSkew { .. } => "skew",
+            FaultKind::LeaderFailover => "failover",
+            FaultKind::Interference { .. } => "interf",
+        }
+    }
+}
+
+/// One scripted fault, active on the inclusive round window
+/// `from_round..=to_round` (`to_round = None` keeps it active for the rest
+/// of the session).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// First round (0-based) in which the fault is active.
+    pub from_round: usize,
+    /// Last active round (inclusive), or `None` for "until the end".
+    pub to_round: Option<usize>,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// An event active from `from_round` until the end of the session.
+    pub fn from(from_round: usize, kind: FaultKind) -> Self {
+        Self {
+            from_round,
+            to_round: None,
+            kind,
+        }
+    }
+
+    /// An event active on the inclusive window `from_round..=to_round`.
+    pub fn window(from_round: usize, to_round: usize, kind: FaultKind) -> Self {
+        Self {
+            from_round,
+            to_round: Some(to_round),
+            kind,
+        }
+    }
+
+    /// Whether the event is active in the given round.
+    pub fn active_in(&self, round: usize) -> bool {
+        round >= self.from_round && self.to_round.is_none_or(|to| round <= to)
+    }
+}
+
+/// A deterministic script of faults: a seed (keying the per-packet loss
+/// draws and the interferer geometry) plus a list of windowed events.
+///
+/// An empty schedule is behaviourally — and bitwise — identical to no
+/// schedule at all, so installing `FaultSchedule::new(seed)` never
+/// perturbs an existing scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed of the schedule's own deterministic draws (packet loss,
+    /// interferer placement). Independent of the session seed.
+    pub seed: u64,
+    /// The scripted events.
+    pub events: Vec<FaultEvent>,
+}
+
+/// SplitMix64: the stateless mixer keying the schedule's per-packet
+/// Bernoulli draws. Chosen because it is a pure function of its input —
+/// the draw for `(round, tx, rx)` never depends on evaluation order, so
+/// parallel and sequential runs agree bitwise.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from a SplitMix64 output.
+fn unit_from_hash(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds an event (builder style).
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events active in `round`.
+    pub fn active_in(&self, round: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.active_in(round))
+    }
+
+    /// Whether the schedule silences `device` in `round` (churn events plus
+    /// leader failover for device 0).
+    pub fn device_silent(&self, device: usize, round: usize) -> bool {
+        self.active_in(round).any(|e| match e.kind {
+            FaultKind::Churn { device: d } => d == device,
+            FaultKind::LeaderFailover => device == 0,
+            _ => false,
+        })
+    }
+
+    /// Net clock skew injected into `device` in `round` (ppm, summed over
+    /// active skew events).
+    pub fn clock_skew_ppm(&self, device: usize, round: usize) -> f64 {
+        self.active_in(round)
+            .map(|e| match e.kind {
+                FaultKind::ClockSkew { device: d, ppm } if d == device => ppm,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// The strongest active interference level in `round`, if any.
+    pub fn interference_gain_db(&self, round: usize) -> Option<f64> {
+        self.active_in(round)
+            .filter_map(|e| match e.kind {
+                FaultKind::Interference { gain_db } => Some(gain_db),
+                _ => None,
+            })
+            .reduce(f64::max)
+    }
+
+    /// The round at which the first leader-failover event begins, if any.
+    pub fn leader_failover_round(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::LeaderFailover))
+            .map(|e| e.from_round)
+            .min()
+    }
+
+    /// Total drop probability the schedule imposes on a `tx → rx`
+    /// transmission in `round`: the sum of matching packet-loss events
+    /// plus the collision floor of any active interference, clamped to
+    /// `[0, 1]`.
+    pub fn drop_prob(&self, round: usize, tx: usize, rx: usize) -> f64 {
+        let mut p = 0.0;
+        for e in self.active_in(round) {
+            match e.kind {
+                FaultKind::PacketLoss { link, prob } => {
+                    let matches = match link {
+                        None => true,
+                        Some((a, b)) => (a.min(b), a.max(b)) == (tx.min(rx), tx.max(rx)),
+                    };
+                    if matches {
+                        p += prob;
+                    }
+                }
+                FaultKind::Interference { gain_db } => {
+                    // A rival transmitter colliding with ours: the louder
+                    // it is, the more receptions its packets corrupt.
+                    p += (0.12 * 10f64.powf(gain_db / 20.0)).clamp(0.0, 0.6);
+                }
+                _ => {}
+            }
+        }
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Deterministic per-packet loss decision for a `tx → rx` transmission
+    /// in `round`. Keyed only by `(schedule seed, round, tx, rx)` — it
+    /// never touches the session's RNG streams, so adding loss events does
+    /// not reshuffle any other stochastic element.
+    pub fn drops_packet(&self, round: usize, tx: usize, rx: usize) -> bool {
+        let p = self.drop_prob(round, tx, rx);
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let key = splitmix64(self.seed ^ splitmix64(round as u64))
+            ^ splitmix64(((tx as u64) << 32) | rx as u64);
+        unit_from_hash(splitmix64(key)) < p
+    }
+
+    /// A deterministic auxiliary draw in `[0, 1)` keyed by the schedule
+    /// seed and a caller-chosen stream id (used e.g. for interferer
+    /// geometry).
+    pub fn unit_draw(&self, stream: u64) -> f64 {
+        unit_from_hash(splitmix64(self.seed ^ splitmix64(stream)))
+    }
+
+    /// Checks the schedule against a group size: device indices in range,
+    /// probabilities in `[0, 1]`, windows well-formed, skews physical.
+    pub fn validate(&self, n_devices: usize) -> Result<()> {
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(to) = e.to_round {
+                if to < e.from_round {
+                    return Err(SystemError::InvalidConfig {
+                        reason: format!(
+                            "fault event {i}: window {}..{to} ends before it starts",
+                            e.from_round
+                        ),
+                    });
+                }
+            }
+            let check_device = |d: usize| -> Result<()> {
+                if d >= n_devices {
+                    return Err(SystemError::InvalidConfig {
+                        reason: format!(
+                            "fault event {i}: device {d} does not exist in a group of {n_devices}"
+                        ),
+                    });
+                }
+                Ok(())
+            };
+            match e.kind {
+                FaultKind::PacketLoss { link, prob } => {
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(SystemError::InvalidConfig {
+                            reason: format!(
+                                "fault event {i}: loss probability {prob} not in [0, 1]"
+                            ),
+                        });
+                    }
+                    if let Some((a, b)) = link {
+                        check_device(a)?;
+                        check_device(b)?;
+                        if a == b {
+                            return Err(SystemError::InvalidConfig {
+                                reason: format!("fault event {i}: link ({a}, {b}) is not a pair"),
+                            });
+                        }
+                    }
+                }
+                FaultKind::Churn { device } => check_device(device)?,
+                FaultKind::ClockSkew { device, ppm } => {
+                    check_device(device)?;
+                    if !ppm.is_finite() || ppm.abs() > 500.0 {
+                        return Err(SystemError::InvalidConfig {
+                            reason: format!(
+                                "fault event {i}: clock skew {ppm} ppm is not a physical value"
+                            ),
+                        });
+                    }
+                }
+                FaultKind::LeaderFailover => {}
+                FaultKind::Interference { gain_db } => {
+                    if !gain_db.is_finite() || gain_db.abs() > 40.0 {
+                        return Err(SystemError::InvalidConfig {
+                            reason: format!(
+                                "fault event {i}: interference gain {gain_db} dB out of range"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the schedule to its compact spec string, e.g.
+    /// `seed=7;loss:2..5:*:0.3;churn:3..:4;skew:0..:2:40;failover:6..;interf:4..8:-6`.
+    /// [`FaultSchedule::parse`] inverts this exactly (floats round-trip via
+    /// Rust's shortest-representation formatting).
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for e in &self.events {
+            let window = match e.to_round {
+                Some(to) => format!("{}..{}", e.from_round, to),
+                None => format!("{}..", e.from_round),
+            };
+            out.push(';');
+            match e.kind {
+                FaultKind::PacketLoss { link, prob } => {
+                    let link = match link {
+                        Some((a, b)) => format!("{a}-{b}"),
+                        None => "*".into(),
+                    };
+                    out.push_str(&format!("loss:{window}:{link}:{prob}"));
+                }
+                FaultKind::Churn { device } => out.push_str(&format!("churn:{window}:{device}")),
+                FaultKind::ClockSkew { device, ppm } => {
+                    out.push_str(&format!("skew:{window}:{device}:{ppm}"))
+                }
+                FaultKind::LeaderFailover => out.push_str(&format!("failover:{window}")),
+                FaultKind::Interference { gain_db } => {
+                    out.push_str(&format!("interf:{window}:{gain_db}"))
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a spec string produced by [`FaultSchedule::to_spec`] (or
+    /// written by hand). The grammar is `seed=N` followed by `;`-separated
+    /// events:
+    ///
+    /// * `loss:WINDOW:*:PROB` / `loss:WINDOW:A-B:PROB`
+    /// * `churn:WINDOW:DEVICE`
+    /// * `skew:WINDOW:DEVICE:PPM`
+    /// * `failover:WINDOW`
+    /// * `interf:WINDOW:GAIN_DB`
+    ///
+    /// where `WINDOW` is `FROM..`, `FROM..TO` (inclusive) or a single
+    /// round `R` (shorthand for `R..R`).
+    pub fn parse(spec: &str) -> Result<Self> {
+        let bad = |detail: String| SystemError::InvalidConfig {
+            reason: format!("fault schedule spec: {detail}"),
+        };
+        let mut parts = spec.split(';');
+        let head = parts.next().unwrap_or("");
+        let seed = head
+            .strip_prefix("seed=")
+            .ok_or_else(|| bad(format!("expected `seed=N`, got `{head}`")))?
+            .parse::<u64>()
+            .map_err(|e| bad(format!("bad seed in `{head}`: {e}")))?;
+        let mut schedule = FaultSchedule::new(seed);
+        for part in parts {
+            if part.is_empty() {
+                continue;
+            }
+            let mut fields = part.split(':');
+            let kind = fields.next().unwrap_or("");
+            let window = fields
+                .next()
+                .ok_or_else(|| bad(format!("event `{part}` has no round window")))?;
+            let (from_round, to_round) = parse_window(window).map_err(&bad)?;
+            let mut next_field = |name: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| bad(format!("event `{part}` is missing its {name} field")))
+            };
+            let kind = match kind {
+                "loss" => {
+                    let link_s = next_field("link")?;
+                    let link = if link_s == "*" {
+                        None
+                    } else {
+                        let (a, b) = link_s
+                            .split_once('-')
+                            .ok_or_else(|| bad(format!("bad link `{link_s}` in `{part}`")))?;
+                        Some((
+                            a.parse::<usize>()
+                                .map_err(|e| bad(format!("bad link in `{part}`: {e}")))?,
+                            b.parse::<usize>()
+                                .map_err(|e| bad(format!("bad link in `{part}`: {e}")))?,
+                        ))
+                    };
+                    let prob = next_field("probability")?
+                        .parse::<f64>()
+                        .map_err(|e| bad(format!("bad probability in `{part}`: {e}")))?;
+                    FaultKind::PacketLoss { link, prob }
+                }
+                "churn" => FaultKind::Churn {
+                    device: next_field("device")?
+                        .parse()
+                        .map_err(|e| bad(format!("bad device in `{part}`: {e}")))?,
+                },
+                "skew" => FaultKind::ClockSkew {
+                    device: next_field("device")?
+                        .parse()
+                        .map_err(|e| bad(format!("bad device in `{part}`: {e}")))?,
+                    ppm: next_field("ppm")?
+                        .parse()
+                        .map_err(|e| bad(format!("bad ppm in `{part}`: {e}")))?,
+                },
+                "failover" => FaultKind::LeaderFailover,
+                "interf" => FaultKind::Interference {
+                    gain_db: next_field("gain")?
+                        .parse()
+                        .map_err(|e| bad(format!("bad gain in `{part}`: {e}")))?,
+                },
+                other => return Err(bad(format!("unknown fault kind `{other}` in `{part}`"))),
+            };
+            if let Some(extra) = fields.next() {
+                return Err(bad(format!("trailing field `{extra}` in `{part}`")));
+            }
+            schedule.events.push(FaultEvent {
+                from_round,
+                to_round,
+                kind,
+            });
+        }
+        Ok(schedule)
+    }
+}
+
+fn parse_window(window: &str) -> std::result::Result<(usize, Option<usize>), String> {
+    if let Some((from, to)) = window.split_once("..") {
+        let from = from
+            .parse::<usize>()
+            .map_err(|e| format!("bad window `{window}`: {e}"))?;
+        let to = if to.is_empty() {
+            None
+        } else {
+            Some(
+                to.parse::<usize>()
+                    .map_err(|e| format!("bad window `{window}`: {e}"))?,
+            )
+        };
+        Ok((from, to))
+    } else {
+        let r = window
+            .parse::<usize>()
+            .map_err(|e| format!("bad window `{window}`: {e}"))?;
+        Ok((r, Some(r)))
+    }
+}
+
+/// Why a session round failed without producing a solve. Carried by
+/// [`crate::SystemError::RoundFailed`]; every variant is a *graceful*
+/// degradation — the session stays usable and the next round may succeed
+/// (e.g. when a churn window closes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RoundFailureReason {
+    /// Churn (network- or schedule-driven) left fewer live devices than
+    /// the solver needs.
+    TooFewLiveDevices {
+        /// Devices still audible this round.
+        live: usize,
+        /// Minimum the topology solve requires.
+        required: usize,
+    },
+    /// The leader (device 0) is silent: nobody can initiate the round.
+    LeaderSilent,
+    /// The pointing target (device 1) is silent: the leader has no
+    /// reference direction, so the solved frame would be meaningless.
+    PointingTargetSilent,
+    /// Strict replay: the installed audio source has no capture for a
+    /// device the round needs.
+    ReplayCaptureMissing {
+        /// The device whose capture is missing.
+        device: usize,
+    },
+    /// The topology solver rejected the round's data (e.g. total packet
+    /// loss left too few links to embed).
+    SolverFailed {
+        /// The solver's own diagnostic.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RoundFailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundFailureReason::TooFewLiveDevices { live, required } => write!(
+                f,
+                "only {live} devices remain audible; localization needs at least {required}"
+            ),
+            RoundFailureReason::LeaderSilent => {
+                write!(f, "the leader is silent and cannot initiate the round")
+            }
+            RoundFailureReason::PointingTargetSilent => {
+                write!(f, "the pointing target is silent; no reference direction")
+            }
+            RoundFailureReason::ReplayCaptureMissing { device } => {
+                write!(f, "replay audio source has no capture for device {device}")
+            }
+            RoundFailureReason::SolverFailed { detail } => {
+                write!(f, "topology solve failed: {detail}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> FaultSchedule {
+        FaultSchedule::new(7)
+            .with(FaultEvent::window(
+                2,
+                5,
+                FaultKind::PacketLoss {
+                    link: None,
+                    prob: 0.3,
+                },
+            ))
+            .with(FaultEvent::from(3, FaultKind::Churn { device: 4 }))
+            .with(FaultEvent::from(
+                0,
+                FaultKind::ClockSkew {
+                    device: 2,
+                    ppm: 40.0,
+                },
+            ))
+            .with(FaultEvent::from(6, FaultKind::LeaderFailover))
+            .with(FaultEvent::window(
+                4,
+                8,
+                FaultKind::Interference { gain_db: -6.0 },
+            ))
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let s = sample_schedule();
+        let spec = s.to_spec();
+        assert_eq!(
+            spec,
+            "seed=7;loss:2..5:*:0.3;churn:3..:4;skew:0..:2:40;failover:6..;interf:4..8:-6"
+        );
+        let parsed = FaultSchedule::parse(&spec).unwrap();
+        assert_eq!(parsed, s);
+        // Single-round shorthand and per-link loss parse too.
+        let s2 = FaultSchedule::parse("seed=1;loss:3:1-4:0.5").unwrap();
+        assert_eq!(s2.events[0].to_round, Some(3));
+        assert!(matches!(
+            s2.events[0].kind,
+            FaultKind::PacketLoss {
+                link: Some((1, 4)),
+                ..
+            }
+        ));
+        assert_eq!(FaultSchedule::parse(&s2.to_spec()).unwrap(), s2);
+        // Empty schedule round-trips as just the seed.
+        assert_eq!(
+            FaultSchedule::parse("seed=42").unwrap(),
+            FaultSchedule::new(42)
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for spec in [
+            "",
+            "seed=x",
+            "loss:0..:*:0.1",
+            "seed=1;loss:0..",
+            "seed=1;loss:0..:*:p",
+            "seed=1;loss:0..:17:0.1",
+            "seed=1;churn:zz:3",
+            "seed=1;skew:0..:1",
+            "seed=1;banana:0..",
+            "seed=1;churn:0..:3:9",
+        ] {
+            assert!(FaultSchedule::parse(spec).is_err(), "accepted `{spec}`");
+        }
+    }
+
+    #[test]
+    fn windows_gate_activity() {
+        let s = sample_schedule();
+        assert!(!s.device_silent(4, 2));
+        assert!(s.device_silent(4, 3));
+        assert!(s.device_silent(4, 100));
+        // Failover silences the leader from round 6.
+        assert!(!s.device_silent(0, 5));
+        assert!(s.device_silent(0, 6));
+        assert_eq!(s.clock_skew_ppm(2, 0), 40.0);
+        assert_eq!(s.clock_skew_ppm(3, 0), 0.0);
+        assert_eq!(s.interference_gain_db(3), None);
+        assert_eq!(s.interference_gain_db(4), Some(-6.0));
+        assert_eq!(s.leader_failover_round(), Some(6));
+        assert_eq!(FaultSchedule::new(1).leader_failover_round(), None);
+    }
+
+    #[test]
+    fn packet_loss_is_deterministic_and_windowed() {
+        let s = sample_schedule();
+        // Outside the window nothing drops.
+        assert_eq!(s.drop_prob(0, 1, 2), 0.0);
+        assert!(!s.drops_packet(0, 1, 2));
+        // Inside the window the drop decision is a pure function.
+        let a: Vec<bool> = (0..200).map(|tx| s.drops_packet(3, tx, 0)).collect();
+        let b: Vec<bool> = (0..200).map(|tx| s.drops_packet(3, tx, 0)).collect();
+        assert_eq!(a, b);
+        let drops = a.iter().filter(|&&d| d).count();
+        // ~30% of 200 draws, with generous slack.
+        assert!((30..90).contains(&drops), "drops {drops}");
+        // Different schedule seeds decorrelate the draws.
+        let mut other = sample_schedule();
+        other.seed = 8;
+        let c: Vec<bool> = (0..200).map(|tx| other.drops_packet(3, tx, 0)).collect();
+        assert_ne!(a, c);
+        // prob=1 always drops, prob=0 never.
+        let all = FaultSchedule::new(1).with(FaultEvent::from(
+            0,
+            FaultKind::PacketLoss {
+                link: None,
+                prob: 1.0,
+            },
+        ));
+        assert!(all.drops_packet(0, 1, 2));
+        // Interference raises the drop probability.
+        assert!(s.drop_prob(4, 1, 2) > s.drop_prob(3, 1, 2));
+    }
+
+    #[test]
+    fn per_link_loss_is_unordered() {
+        let s = FaultSchedule::new(1).with(FaultEvent::from(
+            0,
+            FaultKind::PacketLoss {
+                link: Some((4, 1)),
+                prob: 1.0,
+            },
+        ));
+        assert!(s.drops_packet(0, 1, 4));
+        assert!(s.drops_packet(0, 4, 1));
+        assert!(!s.drops_packet(0, 1, 2));
+    }
+
+    #[test]
+    fn validate_checks_devices_and_ranges() {
+        assert!(sample_schedule().validate(5).is_ok());
+        // Device 4 does not exist in a 4-device group.
+        assert!(sample_schedule().validate(4).is_err());
+        let bad_prob = FaultSchedule::new(1).with(FaultEvent::from(
+            0,
+            FaultKind::PacketLoss {
+                link: None,
+                prob: 1.5,
+            },
+        ));
+        assert!(bad_prob.validate(5).is_err());
+        let bad_window =
+            FaultSchedule::new(1).with(FaultEvent::window(5, 2, FaultKind::LeaderFailover));
+        assert!(bad_window.validate(5).is_err());
+        let bad_skew = FaultSchedule::new(1).with(FaultEvent::from(
+            0,
+            FaultKind::ClockSkew {
+                device: 1,
+                ppm: 1e6,
+            },
+        ));
+        assert!(bad_skew.validate(5).is_err());
+        let bad_link = FaultSchedule::new(1).with(FaultEvent::from(
+            0,
+            FaultKind::PacketLoss {
+                link: Some((2, 2)),
+                prob: 0.1,
+            },
+        ));
+        assert!(bad_link.validate(5).is_err());
+        let bad_gain = FaultSchedule::new(1).with(FaultEvent::from(
+            0,
+            FaultKind::Interference { gain_db: 90.0 },
+        ));
+        assert!(bad_gain.validate(5).is_err());
+    }
+
+    #[test]
+    fn failure_reasons_display() {
+        let r = RoundFailureReason::TooFewLiveDevices {
+            live: 2,
+            required: 3,
+        };
+        assert!(r.to_string().contains("2 devices"));
+        assert!(RoundFailureReason::LeaderSilent
+            .to_string()
+            .contains("leader"));
+        assert!(RoundFailureReason::PointingTargetSilent
+            .to_string()
+            .contains("pointing"));
+        assert!(RoundFailureReason::ReplayCaptureMissing { device: 3 }
+            .to_string()
+            .contains("device 3"));
+        assert!(RoundFailureReason::SolverFailed { detail: "x".into() }
+            .to_string()
+            .contains("x"));
+    }
+}

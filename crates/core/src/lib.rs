@@ -7,6 +7,9 @@
 //!
 //! * [`config`] — system-wide configuration (environment, group size,
 //!   protocol timing, ranging fidelity, localization parameters).
+//! * [`faults`] — deterministic fault injection: scripted schedules of
+//!   packet loss, churn, clock skew, leader failover and cross-network
+//!   interference, reproducible from `(seed, schedule)`.
 //! * [`network`] — the dive group: devices, ground-truth positions,
 //!   occluded and missing links.
 //! * [`observers`] — physical-layer models plugged into the protocol
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod observers;
@@ -47,6 +51,7 @@ pub mod waveform;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::config::{Fidelity, NumericPath, SystemConfig};
+    pub use crate::faults::{FaultEvent, FaultKind, FaultSchedule, RoundFailureReason};
     pub use crate::metrics::SeriesStats;
     pub use crate::network::DiveNetwork;
     pub use crate::scenario::Scenario;
@@ -75,6 +80,28 @@ pub enum SystemError {
         /// Description of the failure.
         reason: String,
     },
+    /// One session round failed gracefully: the session is still usable
+    /// and later rounds may succeed. Carries a structured
+    /// [`faults::RoundFailureReason`] so harnesses (and
+    /// [`session::Session::run_observed`] observers) can tell *why* the
+    /// round produced no solve instead of pattern-matching error text.
+    RoundFailed {
+        /// 0-based index of the failed round.
+        round: usize,
+        /// Structured reason for the failure.
+        reason: faults::RoundFailureReason,
+    },
+}
+
+impl SystemError {
+    /// The structured failure behind a gracefully-failed round, if this
+    /// error is one: `(round index, reason)`.
+    pub fn round_failure(&self) -> Option<(usize, &faults::RoundFailureReason)> {
+        match self {
+            SystemError::RoundFailed { round, reason } => Some((*round, reason)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SystemError {
@@ -82,6 +109,9 @@ impl std::fmt::Display for SystemError {
         match self {
             SystemError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SystemError::Layer { layer, reason } => write!(f, "{layer} layer error: {reason}"),
+            SystemError::RoundFailed { round, reason } => {
+                write!(f, "round {round} failed: {reason}")
+            }
         }
     }
 }
@@ -110,6 +140,15 @@ impl From<uw_ranging::RangingError> for SystemError {
     fn from(e: uw_ranging::RangingError) -> Self {
         SystemError::Layer {
             layer: "ranging",
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<uw_dsp::DspError> for SystemError {
+    fn from(e: uw_dsp::DspError) -> Self {
+        SystemError::Layer {
+            layer: "dsp",
             reason: e.to_string(),
         }
     }
@@ -157,5 +196,19 @@ mod tests {
         assert!(e.to_string().contains("channel"));
         let e: SystemError = uw_device::DeviceError::InvalidParameter { reason: "x".into() }.into();
         assert!(e.to_string().contains("device"));
+    }
+
+    #[test]
+    fn round_failures_carry_structured_reasons() {
+        let e = SystemError::RoundFailed {
+            round: 4,
+            reason: faults::RoundFailureReason::LeaderSilent,
+        };
+        assert!(e.to_string().contains("round 4"));
+        let (round, reason) = e.round_failure().unwrap();
+        assert_eq!(round, 4);
+        assert_eq!(reason, &faults::RoundFailureReason::LeaderSilent);
+        let other = SystemError::InvalidConfig { reason: "x".into() };
+        assert!(other.round_failure().is_none());
     }
 }

@@ -16,10 +16,12 @@
 //! errors that the evaluation figures plot.
 
 use crate::config::{Fidelity, SystemConfig};
+use crate::faults::{FaultSchedule, RoundFailureReason};
 use crate::network::DiveNetwork;
 use crate::observers::{ReceptionModel, StatisticalObserver};
 use crate::waveform::{
-    estimate_from_capture, run_pairwise_trial, LinkAudioSource, PairwiseTrial, RangingScheme,
+    estimate_from_capture, run_pairwise_trial, InterferenceSpec, LinkAudioSource, PairwiseTrial,
+    RangingScheme,
 };
 use crate::{Result, SystemError};
 use rand::rngs::StdRng;
@@ -103,21 +105,55 @@ fn round_seed(config: &SystemConfig, round_index: usize) -> u64 {
         .wrapping_add((round_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Deterministic rival-transmission spec for an interference round: the
+/// rival transmitter's placement, level and timing are pure functions of
+/// the schedule seed and the round index (via [`FaultSchedule::unit_draw`]),
+/// so live runs, recordings and replays all see the same jammer.
+fn interference_spec_for(
+    faults: &FaultSchedule,
+    round_index: usize,
+    leader_position: &Point3,
+) -> Option<InterferenceSpec> {
+    let gain_db = faults.interference_gain_db(round_index)?;
+    let stream = (round_index as u64) << 3;
+    let azimuth = std::f64::consts::TAU * faults.unit_draw(stream);
+    let range_m = 25.0 + 20.0 * faults.unit_draw(stream | 1);
+    let depth_m = 1.0 + 1.5 * faults.unit_draw(stream | 2);
+    let offset_s = 0.05 + 0.4 * faults.unit_draw(stream | 3);
+    Some(InterferenceSpec {
+        tx_position: Point3::new(
+            leader_position.x + range_m * azimuth.cos(),
+            leader_position.y + range_m * azimuth.sin(),
+            depth_m,
+        ),
+        source_level: 10f64.powf(gain_db / 20.0),
+        offset_s,
+        seed: faults.seed ^ 0x1A7E ^ ((round_index as u64) << 16),
+    })
+}
+
 /// The waveform exchanges a hybrid-fidelity session runs on the leader's
 /// links in 0-based round `round_index`: one trial per audible, non-missing
 /// non-leader device, with positions evaluated at mid-round and the same
-/// per-link seeds [`Session::run`] uses. Deterministic in
-/// `(config, network, round_index)`.
+/// per-link seeds [`Session::run`] uses. When a [`FaultSchedule`] is
+/// supplied, its effects are baked into the plan exactly as a live session
+/// applies them: schedule-silenced and schedule-dropped links are skipped,
+/// net tx-minus-leader clock skew is attached to each trial, and an active
+/// interference event attaches the round's rival-transmission spec.
+/// Deterministic in `(config, network, round_index, faults)`.
 pub fn leader_link_trials(
     config: &SystemConfig,
     network: &DiveNetwork,
     round_index: usize,
+    faults: Option<&FaultSchedule>,
 ) -> Result<Vec<LeaderLinkTrial>> {
     let latency = round_latency(config.n_devices, config.report_bps)?;
     let round_mid_s = latency.acoustic_s / 2.0;
     let truth_positions = network.positions_at(round_mid_s);
     let rx_azimuth_rad = network.leader_pointing_azimuth(round_mid_s)?;
     let seed = round_seed(config, round_index);
+    let interference =
+        faults.and_then(|f| interference_spec_for(f, round_index, &truth_positions[0]));
     Ok((1..config.n_devices)
         .filter(|&other| {
             !network.device_silent_in_round(other, round_index)
@@ -125,6 +161,9 @@ pub fn leader_link_trials(
                     network.link_condition(0, other),
                     Some(crate::network::LinkCondition::Missing)
                 )
+                && !faults.is_some_and(|f| {
+                    f.device_silent(other, round_index) || f.drops_packet(round_index, other, 0)
+                })
         })
         .map(|other| {
             let occlusion_db = match network.link_condition(0, other) {
@@ -142,6 +181,10 @@ pub fn leader_link_trials(
                     occlusion_db,
                     orientation_loss_db: 0.0,
                     numeric_path: config.numeric_path,
+                    clock_skew_ppm: faults.map_or(0.0, |f| {
+                        f.clock_skew_ppm(other, round_index) - f.clock_skew_ppm(0, round_index)
+                    }),
+                    interference,
                 },
                 seed: seed ^ (other as u64) << 8,
             }
@@ -157,6 +200,9 @@ pub struct Session {
     /// Recorded leader-link audio; when set, hybrid rounds estimate from
     /// these captures instead of synthesizing the channel.
     audio_source: Option<Arc<dyn LinkAudioSource>>,
+    /// Scripted faults injected into every round; `None` (or an empty
+    /// schedule) runs the clean scenario.
+    fault_schedule: Option<FaultSchedule>,
 }
 
 impl Session {
@@ -167,6 +213,7 @@ impl Session {
             config,
             rounds_run: 0,
             audio_source: None,
+            fault_schedule: None,
         })
     }
 
@@ -197,8 +244,37 @@ impl Session {
         self.audio_source.is_some()
     }
 
+    /// Installs a [`FaultSchedule`]: from the next round on, its active
+    /// events inject packet loss, churn, clock skew, leader failover and
+    /// cross-network interference into every layer the session touches.
+    /// The schedule is validated against the configured group size. An
+    /// empty schedule is bitwise-identical to none at all — fault effects
+    /// never perturb the session's own RNG streams (loss draws are keyed
+    /// by the schedule seed, see [`FaultSchedule::drops_packet`]).
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) -> Result<()> {
+        schedule.validate(self.config.n_devices)?;
+        self.fault_schedule = Some(schedule);
+        Ok(())
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.fault_schedule.as_ref()
+    }
+
+    /// Removes the fault schedule (subsequent rounds run clean).
+    pub fn clear_fault_schedule(&mut self) {
+        self.fault_schedule = None;
+    }
+
     /// Runs one localization round over a network. Each call advances the
     /// session's RNG stream so repeated rounds see fresh noise.
+    ///
+    /// A round an installed [`FaultSchedule`] (or the network's own churn)
+    /// makes unsolvable returns [`SystemError::RoundFailed`] with a
+    /// structured [`RoundFailureReason`] — the session itself stays usable
+    /// and `rounds_run` still advances, so later rounds line up with the
+    /// schedule's windows.
     pub fn run(&mut self, network: &DiveNetwork) -> Result<SessionOutcome> {
         if network.device_count() != self.config.n_devices {
             return Err(SystemError::InvalidConfig {
@@ -210,22 +286,43 @@ impl Session {
             });
         }
         let round_index = self.rounds_run as u64;
+        let round = round_index as usize;
         self.rounds_run += 1;
-        // Device churn: devices that have fallen silent by this round are
+        let faults = self.fault_schedule.as_ref().filter(|f| !f.is_empty());
+        // Device churn: devices that have fallen silent by this round —
+        // through the network's own churn model or a scheduled fault — are
         // cut out of the physical layer entirely and later excluded from
-        // the topology solve.
+        // the topology solve. Rounds the faults make unsolvable fail
+        // *gracefully* with a structured reason: the session stays usable
+        // and later rounds may succeed once the fault window closes.
         let silent: Vec<bool> = (0..self.config.n_devices)
-            .map(|i| network.device_silent_in_round(i, round_index as usize))
+            .map(|i| {
+                network.device_silent_in_round(i, round)
+                    || faults.is_some_and(|f| f.device_silent(i, round))
+            })
             .collect();
         let silent_devices: Vec<usize> =
             (0..self.config.n_devices).filter(|&i| silent[i]).collect();
-        if self.config.n_devices - silent_devices.len() < 3 {
-            return Err(SystemError::InvalidConfig {
-                reason: format!(
-                    "round {round_index}: only {} devices remain audible after churn; \
-                     localization needs at least 3",
-                    self.config.n_devices - silent_devices.len()
-                ),
+        let live = self.config.n_devices - silent_devices.len();
+        if live < 3 {
+            return Err(SystemError::RoundFailed {
+                round,
+                reason: RoundFailureReason::TooFewLiveDevices { live, required: 3 },
+            });
+        }
+        if silent[0] {
+            // Device 0 initiates every protocol round; without it nobody
+            // syncs and no distances exist (see uw_protocol::engine).
+            return Err(SystemError::RoundFailed {
+                round,
+                reason: RoundFailureReason::LeaderSilent,
+            });
+        }
+        if silent[1] {
+            // The leader points at device 1 to anchor the frame's rotation.
+            return Err(SystemError::RoundFailed {
+                round,
+                reason: RoundFailureReason::PointingTargetSilent,
             });
         }
         let seed = round_seed(&self.config, round_index as usize);
@@ -252,14 +349,29 @@ impl Session {
         };
 
         // Protocol round with the statistical channel (plus motion-induced
-        // delay differences).
+        // delay differences). Scheduled clock-skew faults stack on top of
+        // each device's own oscillator skew, so the protocol's timestamps
+        // drift exactly as they would on hardware running that far off
+        // nominal.
         let devices: Vec<DeviceRoundState> = network
             .devices()
             .iter()
-            .map(|d| DeviceRoundState {
-                id: d.id,
-                position: d.position_at(round_mid_s),
-                clock: d.clock,
+            .map(|d| {
+                let mut clock = d.clock;
+                if let Some(f) = faults {
+                    let extra_ppm = f.clock_skew_ppm(d.id, round);
+                    if extra_ppm != 0.0 {
+                        clock = uw_device::clock::LocalClock::new(
+                            clock.skew_ppm + extra_ppm,
+                            clock.offset_s,
+                        );
+                    }
+                }
+                DeviceRoundState {
+                    id: d.id,
+                    position: d.position_at(round_mid_s),
+                    clock,
+                }
             })
             .collect();
         let model = ReceptionModel::default();
@@ -274,7 +386,15 @@ impl Session {
             if silent[tx] || silent[rx] {
                 return None;
             }
-            let base = stat_observer.observe(tx, rx, tau)?;
+            // The statistical observer draws from its RNG *before* the
+            // fault gate so scheduled loss never reshuffles the session's
+            // stochastic streams (the drop decision is a pure hash of the
+            // schedule seed and the link).
+            let base = stat_observer.observe(tx, rx, tau);
+            if faults.is_some_and(|f| f.drops_packet(round, tx, rx)) {
+                return None;
+            }
+            let base = base?;
             // Positions drift between the mid-round reference and the actual
             // transmission instant; the difference shows up as extra delay.
             let d_actual = network.true_distance(tx, rx, tx_instant(tx));
@@ -291,26 +411,35 @@ impl Session {
         // are pooled, so parallel exchanges reuse precomputed DSP state
         // instead of rebuilding or serialising on it.
         if self.config.fidelity == Fidelity::Hybrid {
-            let trials = leader_link_trials(&self.config, network, round_index as usize)?;
+            let trials = leader_link_trials(&self.config, network, round, faults)?;
             let measured: Vec<(usize, Option<f64>)> = match &self.audio_source {
                 // Replay: decoded recordings stand in for the simulator.
                 // Estimation is cheap relative to synthesis and the
                 // captures are borrowed from the source, so the links run
                 // sequentially; a missing capture fails the round (strict
-                // replay, never a silent fallback to synthesis).
+                // replay, never a silent fallback to synthesis). Captures
+                // recorded under a scheduled clock skew are resampled back
+                // to the nominal grid first — the receiver knows the skew
+                // from the schedule, exactly as a real device knows it from
+                // the protocol's drift estimate.
                 Some(source) => {
                     let mut measured = Vec::with_capacity(trials.len());
                     for lt in &trials {
-                        let capture = source
-                            .link_capture(round_index as usize, lt.device)
-                            .ok_or_else(|| SystemError::InvalidConfig {
-                                reason: format!(
-                                    "replay audio source has no capture for round \
-                                     {round_index}, device {}",
-                                    lt.device
-                                ),
-                            })?;
-                        let result = estimate_from_capture(&lt.trial, capture);
+                        let capture = source.link_capture(round, lt.device).ok_or(
+                            SystemError::RoundFailed {
+                                round,
+                                reason: RoundFailureReason::ReplayCaptureMissing {
+                                    device: lt.device,
+                                },
+                            },
+                        )?;
+                        let result = if lt.trial.clock_skew_ppm != 0.0 {
+                            let compensated =
+                                capture.compensate_clock_ppm(lt.trial.clock_skew_ppm)?;
+                            estimate_from_capture(&lt.trial, &compensated)
+                        } else {
+                            estimate_from_capture(&lt.trial, capture)
+                        };
                         measured.push((
                             lt.device,
                             result.ok().map(|r| r.estimated_distance_m.max(0.0)),
@@ -400,7 +529,18 @@ impl Session {
             pointing_azimuth_rad: pointing_azimuth,
             side_signs: active.iter().map(|&i| side_signs[i]).collect(),
         };
-        let reduced_localization = localize(&input, &self.config.localizer, &mut rng)?;
+        // A solver rejection (e.g. total scheduled packet loss leaving too
+        // few links to embed) is a graceful round failure, not a session
+        // error: the next round may see a kinder channel.
+        let reduced_localization =
+            localize(&input, &self.config.localizer, &mut rng).map_err(|e| {
+                SystemError::RoundFailed {
+                    round,
+                    reason: RoundFailureReason::SolverFailed {
+                        detail: e.to_string(),
+                    },
+                }
+            })?;
 
         // Error metrics against ground truth, on the reduced index set.
         let truth_2d = truth_in_leader_frame(&truth_positions);
@@ -485,9 +625,12 @@ impl Session {
     /// rounds one `step` at a time instead).
     ///
     /// Unlike `run_many`, a failed round does not abort the run: the
-    /// observer sees the error and decides whether to continue (streams
-    /// ride out transient failures such as a churn round with too few
-    /// audible devices). Successful outcomes are collected and returned.
+    /// observer sees the error — including the structured
+    /// [`RoundFailureReason`] behind a gracefully-failed round, via
+    /// [`SystemError::round_failure`] — and decides whether to continue
+    /// (streams ride out transient failures such as a churn round with too
+    /// few audible devices). Successful outcomes are collected and
+    /// returned.
     /// The session's numeric path and fidelity are whatever its
     /// [`SystemConfig`] says — an observed Q15 hybrid session exercises
     /// exactly the same DSP as a batch one.
@@ -655,6 +798,98 @@ mod tests {
         let stopped = session.run_observed(scenario.network(), 4, |_, _| RoundControl::Stop);
         assert_eq!(stopped.len(), 1);
         assert_eq!(session.rounds_run(), 1);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bitwise_inert() {
+        use crate::faults::FaultSchedule;
+        let scenario = Scenario::dock_five_devices(11);
+        let mut clean = Session::new(scenario.config().clone()).unwrap();
+        let mut scheduled = Session::new(scenario.config().clone()).unwrap();
+        scheduled
+            .set_fault_schedule(FaultSchedule::new(999))
+            .unwrap();
+        let a = clean.run_many(scenario.network(), 3).unwrap();
+        let b = scheduled.run_many(scenario.network(), 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_schedules_are_validated_against_the_group() {
+        use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+        let scenario = Scenario::four_devices(2);
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        let bad = FaultSchedule::new(1).with(FaultEvent::from(0, FaultKind::Churn { device: 9 }));
+        assert!(session.set_fault_schedule(bad).is_err());
+        assert!(session.fault_schedule().is_none());
+        let ok = FaultSchedule::new(1).with(FaultEvent::from(0, FaultKind::Churn { device: 3 }));
+        session.set_fault_schedule(ok).unwrap();
+        assert!(session.fault_schedule().is_some());
+        session.clear_fault_schedule();
+        assert!(session.fault_schedule().is_none());
+    }
+
+    #[test]
+    fn scheduled_faults_degrade_rounds_gracefully() {
+        use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+        // Rounds 0-1 clean, rounds 2-3 leaderless, round 4+ clean again.
+        let scenario = Scenario::dock_five_devices(13);
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        session
+            .set_fault_schedule(FaultSchedule::new(5).with(FaultEvent::window(
+                2,
+                3,
+                FaultKind::LeaderFailover,
+            )))
+            .unwrap();
+        let mut reasons = Vec::new();
+        let outcomes = session.run_observed(scenario.network(), 5, |round, result| {
+            if let Err(e) = result {
+                let (r, reason) = e.round_failure().expect("structured failure");
+                assert_eq!(r, round);
+                reasons.push(reason.clone());
+            }
+            RoundControl::Continue
+        });
+        // The failover window costs exactly rounds 2 and 3; the session
+        // recovers afterwards because rounds_run kept advancing.
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(
+            reasons,
+            vec![
+                RoundFailureReason::LeaderSilent,
+                RoundFailureReason::LeaderSilent
+            ]
+        );
+    }
+
+    #[test]
+    fn scheduled_churn_and_loss_affect_the_round() {
+        use crate::faults::{FaultEvent, FaultKind, FaultSchedule};
+        let scenario = Scenario::dock_five_devices(17);
+        let mut session = Session::new(scenario.config().clone()).unwrap();
+        session
+            .set_fault_schedule(
+                FaultSchedule::new(3)
+                    .with(FaultEvent::from(0, FaultKind::Churn { device: 3 }))
+                    .with(FaultEvent::from(
+                        0,
+                        FaultKind::PacketLoss {
+                            link: None,
+                            prob: 0.25,
+                        },
+                    )),
+            )
+            .unwrap();
+        let outcome = session.run(scenario.network()).unwrap();
+        // The scheduled churn shows up exactly like network churn.
+        assert_eq!(outcome.silent_devices, vec![3]);
+        assert!(outcome.positions_2d[3].x.is_nan());
+        assert!(outcome
+            .distances
+            .links()
+            .iter()
+            .all(|&(i, j)| i != 3 && j != 3));
     }
 
     #[test]

@@ -64,6 +64,25 @@ fn baseline() -> &'static ChirpBaseline {
     })
 }
 
+/// A rival dive group's transmission overlapping one capture: where the
+/// interferer is, how loud it is, and when its preamble lands within the
+/// victim's capture window. Injected by the fault layer
+/// ([`crate::faults::FaultKind::Interference`]) and rendered by
+/// [`synthesize_dual_mic`] via [`uw_channel::interference::mix_rival_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceSpec {
+    /// Position of the rival transmitter.
+    pub tx_position: Point3,
+    /// Rival transmit amplitude relative to an in-group device (linear).
+    pub source_level: f64,
+    /// Seconds into the victim capture at which the rival's transmission
+    /// begins.
+    pub offset_s: f64,
+    /// Seed of the interference stream's own RNG (kept separate from the
+    /// victim capture's channel realisation).
+    pub seed: u64,
+}
+
 /// Set-up of one waveform-level ranging trial.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PairwiseTrial {
@@ -84,6 +103,14 @@ pub struct PairwiseTrial {
     /// Numeric path of the receive-side DSP (detection + channel
     /// estimation): the `f64` oracle or the on-device Q15 path.
     pub numeric_path: NumericPath,
+    /// Net transmitter-minus-receiver sample-clock skew in ppm: the
+    /// synthesized capture is resampled by `1 + ppm·1e-6`
+    /// ([`uw_dsp::resample::apply_ppm_skew`]), exactly the appendix's model
+    /// of real speaker/microphone clock offsets. 0 for nominal clocks.
+    pub clock_skew_ppm: f64,
+    /// A rival group's overlapping transmission, if the fault layer
+    /// scripted one for this round.
+    pub interference: Option<InterferenceSpec>,
 }
 
 impl PairwiseTrial {
@@ -99,6 +126,8 @@ impl PairwiseTrial {
             occlusion_db: 0.0,
             orientation_loss_db: 0.0,
             numeric_path: NumericPath::F64,
+            clock_skew_ppm: 0.0,
+            interference: None,
         }
     }
 
@@ -106,6 +135,22 @@ impl PairwiseTrial {
     pub fn with_numeric_path(self, numeric_path: NumericPath) -> Self {
         Self {
             numeric_path,
+            ..self
+        }
+    }
+
+    /// The same trial with a net tx-minus-rx clock skew (ppm).
+    pub fn with_clock_skew_ppm(self, clock_skew_ppm: f64) -> Self {
+        Self {
+            clock_skew_ppm,
+            ..self
+        }
+    }
+
+    /// The same trial with a rival transmission mixed into the capture.
+    pub fn with_interference(self, interference: InterferenceSpec) -> Self {
+        Self {
+            interference: Some(interference),
             ..self
         }
     }
@@ -149,6 +194,25 @@ pub struct LinkCapture {
     pub mic1: Vec<f64>,
     /// Second (top) microphone stream (same length as `mic1`).
     pub mic2: Vec<f64>,
+}
+
+impl LinkCapture {
+    /// Undoes a known sample-clock skew by resampling both microphone
+    /// streams with the exact inverse ratio `1 / (1 + ppm·1e-6)` — what a
+    /// real receiver does once the protocol has estimated the skew. A
+    /// skewed capture run through `compensate_clock_ppm(ppm)` lands back
+    /// on the nominal sample grid (up to linear-interpolation error), so
+    /// the replay path can range against skew-recorded WAVs.
+    pub fn compensate_clock_ppm(&self, ppm: f64) -> Result<LinkCapture> {
+        if ppm == 0.0 {
+            return Ok(self.clone());
+        }
+        let inverse = 1.0 / (1.0 + ppm * 1e-6);
+        Ok(LinkCapture {
+            mic1: uw_dsp::resample::resample(&self.mic1, inverse).map_err(SystemError::from)?,
+            mic2: uw_dsp::resample::resample(&self.mic2, inverse).map_err(SystemError::from)?,
+        })
+    }
 }
 
 /// A provider of recorded microphone streams for the leader's links,
@@ -218,10 +282,40 @@ pub fn synthesize_dual_mic(trial: &PairwiseTrial, seed: u64) -> Result<LinkCaptu
             &mut rng,
         )
         .map_err(SystemError::from)?;
-    Ok(LinkCapture {
-        mic1: rx1.samples,
-        mic2: rx2.samples,
-    })
+    let mut mic1 = rx1.samples;
+    let mut mic2 = rx2.samples;
+    // Fault-layer effects, applied in physical order: the rival group's
+    // transmission arrives through the water (part of the acoustic field),
+    // then the receiver's skewed ADC samples the field.
+    if let Some(spec) = &trial.interference {
+        let rival_wave: Vec<f64> = preamble
+            .waveform
+            .iter()
+            .map(|s| s * spec.source_level)
+            .collect();
+        let mut rival_rng = StdRng::seed_from_u64(spec.seed);
+        let mics = mic_positions(trial);
+        for (mic, target) in mics.iter().zip([&mut mic1, &mut mic2]) {
+            uw_channel::interference::mix_rival_into(
+                &simulator,
+                &rival_wave,
+                &spec.tx_position,
+                mic,
+                spec.offset_s,
+                1.0,
+                target,
+                &mut rival_rng,
+            )
+            .map_err(SystemError::from)?;
+        }
+    }
+    if trial.clock_skew_ppm != 0.0 {
+        mic1 = uw_dsp::resample::apply_ppm_skew(&mic1, trial.clock_skew_ppm)
+            .map_err(SystemError::from)?;
+        mic2 = uw_dsp::resample::apply_ppm_skew(&mic2, trial.clock_skew_ppm)
+            .map_err(SystemError::from)?;
+    }
+    Ok(LinkCapture { mic1, mic2 })
 }
 
 /// Runs detection + LS channel estimation + the direct-path search on an
@@ -567,6 +661,45 @@ mod tests {
             detection_trial_fmcw(EnvironmentKind::Dock, Some(15.0), 3.0, 5).unwrap(),
             DetectionTrialOutcome::Detected
         );
+    }
+
+    #[test]
+    fn clock_skew_roundtrip_restores_the_estimate() {
+        let clear = PairwiseTrial::at_distance(EnvironmentKind::Dock, 12.0, 2.5);
+        let skewed = clear.clone().with_clock_skew_ppm(400.0);
+        let clear_cap = synthesize_dual_mic(&clear, 21).unwrap();
+        let skew_cap = synthesize_dual_mic(&skewed, 21).unwrap();
+        // The skew genuinely altered the capture (resampling changes the
+        // sample count), so the compensation below is not vacuous.
+        assert_ne!(clear_cap.mic1.len(), skew_cap.mic1.len());
+        let compensated = skew_cap.compensate_clock_ppm(400.0).unwrap();
+        let clear_est = estimate_from_capture(&clear, &clear_cap).unwrap();
+        let comp_est = estimate_from_capture(&clear, &compensated).unwrap();
+        let gap = (comp_est.estimated_distance_m - clear_est.estimated_distance_m).abs();
+        assert!(gap < 0.1, "compensated/clear gap {gap} m");
+        // Zero-ppm compensation is the identity.
+        assert_eq!(clear_cap.compensate_clock_ppm(0.0).unwrap(), clear_cap);
+    }
+
+    #[test]
+    fn interference_perturbs_the_capture_deterministically() {
+        let clear = PairwiseTrial::at_distance(EnvironmentKind::Dock, 15.0, 2.5);
+        let spec = InterferenceSpec {
+            tx_position: Point3::new(40.0, 25.0, 3.0),
+            source_level: 1.0,
+            offset_s: 0.2,
+            seed: 77,
+        };
+        let jammed = clear.clone().with_interference(spec);
+        let clear_cap = synthesize_dual_mic(&clear, 5).unwrap();
+        let a = synthesize_dual_mic(&jammed, 5).unwrap();
+        let b = synthesize_dual_mic(&jammed, 5).unwrap();
+        assert_eq!(a, b);
+        // Same channel realisation + extra rival energy: same length,
+        // different samples on both microphones.
+        assert_eq!(a.mic1.len(), clear_cap.mic1.len());
+        assert_ne!(a.mic1, clear_cap.mic1);
+        assert_ne!(a.mic2, clear_cap.mic2);
     }
 
     #[test]

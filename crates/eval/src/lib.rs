@@ -30,6 +30,13 @@
 //!   the recorded audio instead of simulator output (`replay` id segment,
 //!   both numeric paths). The committed golden fixture under
 //!   `tests/fixtures/` is generated this way.
+//! * [`soak`] — the fleet-scale fault soak: [`soak::SoakPlan`] expands a
+//!   master seed into hundreds of dive-group cells under scripted
+//!   [`uw_core::faults::FaultSchedule`]s (loss, churn, clock skew, leader
+//!   failover, cross-network interference), [`soak::run_plan`] checks
+//!   invariants after every round, re-runs each cell to prove bitwise
+//!   `(seed, schedule)` reproducibility, and emits `BENCH_soak.json`
+//!   (see `docs/FAULTS.md`).
 //! * [`report`] — [`report::EvalReport`]: per-cell median/p90/p99 error
 //!   statistics, CDF points, flip rates, drop decisions and latency,
 //!   serialised to deterministic JSON (`BENCH_eval_matrix.json`).
@@ -60,6 +67,7 @@
 //!     conditions: vec![LinkProfile::Clear],
 //!     mobilities: vec![MobilityProfile::Static],
 //!     numeric_paths: vec![NumericPath::F64],
+//!     faults: vec![None],
 //!     seeds: vec![1],
 //!     rounds_per_cell: 2,
 //!     fidelity: Fidelity::Statistical,
@@ -78,11 +86,13 @@ pub mod matrix;
 pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod soak;
 
 pub use matrix::{EvalCell, LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
 pub use replay::{record_cell, Recording, ReplayAudio};
 pub use report::{CellReport, EvalReport};
 pub use runner::{run_matrix, run_suite, CellExecution, RoundSummary};
+pub use soak::{SoakCell, SoakPlan, SoakReport};
 
 #[cfg(test)]
 mod tests {

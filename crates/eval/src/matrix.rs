@@ -144,6 +144,14 @@ pub struct ScenarioMatrix {
     /// Q15 entries require `fidelity == Fidelity::Hybrid` (enforced at
     /// expansion), because only the waveform pipeline exercises the DSP.
     pub numeric_paths: Vec<NumericPath>,
+    /// Fault-schedule axis: each entry crosses the grid with a scripted
+    /// [`FaultSchedule`] (installed on every cell's session) or with
+    /// `None` for the clean run. The default everywhere is `vec![None]`,
+    /// which leaves cell ids — and therefore the committed report
+    /// artifacts — untouched; a `Some` entry inserts a `flt<hash>` id
+    /// segment before the seed so faulted and clean statistics never
+    /// collide.
+    pub faults: Vec<Option<FaultSchedule>>,
     /// Seed axis (one cell per seed).
     pub seeds: Vec<u64>,
     /// Localization rounds for every cell of this matrix. Cells needing a
@@ -173,6 +181,9 @@ pub struct EvalCell {
     pub numeric_path: NumericPath,
     /// RNG seed.
     pub seed: u64,
+    /// Scripted fault schedule installed on the cell's session, or `None`
+    /// for a clean run.
+    pub faults: Option<FaultSchedule>,
     /// Rounds to run.
     pub rounds: usize,
     /// The ready-to-run scenario.
@@ -211,11 +222,40 @@ impl EvalCell {
             mobility: MobilityProfile::Static,
             numeric_path: config.numeric_path,
             seed: config.seed,
+            faults: None,
             rounds,
             scenario,
             replay: None,
         }
     }
+
+    /// Attaches a [`FaultSchedule`] to the cell (builder style): the
+    /// schedule is installed on the cell's session at execution time, and
+    /// the cell id gains a `flt<hash>` segment before the seed so faulted
+    /// statistics never collide with the clean cell's.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Result<Self> {
+        faults.validate(self.n_devices)?;
+        let mut segments: Vec<&str> = self.id.split('/').collect();
+        let slug = fault_slug(&faults);
+        segments.insert(segments.len() - 1, &slug);
+        let id = segments.join("/");
+        self.id = id.clone();
+        self.scenario.set_name(id);
+        self.faults = Some(faults);
+        Ok(self)
+    }
+}
+
+/// Stable id fragment of a fault schedule: `flt` plus an FNV-1a hash of
+/// the canonical spec string, so equal schedules always produce equal
+/// cell ids (and distinct ones collide with hash probability only).
+pub fn fault_slug(faults: &FaultSchedule) -> String {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in faults.to_spec().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("flt{:08x}", (h >> 32) as u32 ^ h as u32)
 }
 
 impl ScenarioMatrix {
@@ -232,6 +272,7 @@ impl ScenarioMatrix {
             conditions: vec![LinkProfile::Clear, LinkProfile::Occluded { bias_m: 12.0 }],
             mobilities: vec![MobilityProfile::Static],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -255,6 +296,7 @@ impl ScenarioMatrix {
                 MobilityProfile::Swimmer { speed_cm_s: 40.0 },
             ],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -273,6 +315,7 @@ impl ScenarioMatrix {
                 MobilityProfile::Swimmer { speed_cm_s: 40.0 },
             ],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -287,6 +330,7 @@ impl ScenarioMatrix {
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::CurrentDrift { speed_cm_s: 30.0 }],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -303,6 +347,7 @@ impl ScenarioMatrix {
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 2,
             fidelity: Fidelity::Statistical,
@@ -322,6 +367,7 @@ impl ScenarioMatrix {
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
             numeric_paths: vec![NumericPath::Q15],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Hybrid,
@@ -352,6 +398,7 @@ impl ScenarioMatrix {
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
@@ -365,6 +412,7 @@ impl ScenarioMatrix {
             * self.conditions.len()
             * self.mobilities.len()
             * self.numeric_paths.len()
+            * self.faults.len()
             * self.seeds.len()
     }
 
@@ -376,15 +424,18 @@ impl ScenarioMatrix {
                 for &condition in &self.conditions {
                     for &mobility in &self.mobilities {
                         for &numeric_path in &self.numeric_paths {
-                            for &seed in &self.seeds {
-                                cells.push(self.build_cell(
-                                    environment,
-                                    *topology,
-                                    condition,
-                                    mobility,
-                                    numeric_path,
-                                    seed,
-                                )?);
+                            for faults in &self.faults {
+                                for &seed in &self.seeds {
+                                    cells.push(self.build_cell(
+                                        environment,
+                                        *topology,
+                                        condition,
+                                        mobility,
+                                        numeric_path,
+                                        faults.as_ref(),
+                                        seed,
+                                    )?);
+                                }
                             }
                         }
                     }
@@ -402,6 +453,7 @@ impl ScenarioMatrix {
         condition: LinkProfile,
         mobility: MobilityProfile,
         numeric_path: NumericPath,
+        faults: Option<&FaultSchedule>,
         seed: u64,
     ) -> Result<EvalCell> {
         let n = topology.n_devices();
@@ -487,7 +539,7 @@ impl ScenarioMatrix {
             }
         }
         scenario.set_name(id.clone());
-        Ok(EvalCell {
+        let cell = EvalCell {
             id,
             environment,
             n_devices: n,
@@ -495,10 +547,17 @@ impl ScenarioMatrix {
             mobility,
             numeric_path,
             seed,
+            faults: None,
             rounds,
             scenario,
             replay: None,
-        })
+        };
+        match faults {
+            // The clean axis entry leaves the cell — and its id — exactly
+            // as pre-fault matrices produced it.
+            None => Ok(cell),
+            Some(f) => cell.with_faults(f.clone()),
+        }
     }
 }
 
@@ -609,6 +668,39 @@ mod tests {
         let f64_cells = ScenarioMatrix::smoke().expand().unwrap();
         assert!(f64_cells.iter().all(|c| c.id.split('/').count() == 5));
         assert!(f64_cells.iter().all(|c| c.numeric_path == NumericPath::F64));
+    }
+
+    #[test]
+    fn fault_axis_slugs_ids_and_leaves_clean_cells_untouched() {
+        let schedule = FaultSchedule::parse("seed=7;loss:1..2:*:0.3;churn:2..:4").unwrap();
+        let m = ScenarioMatrix {
+            faults: vec![None, Some(schedule.clone())],
+            ..ScenarioMatrix::smoke()
+        };
+        assert_eq!(m.cell_count(), 2 * ScenarioMatrix::smoke().cell_count());
+        let cells = m.expand().unwrap();
+        let clean: Vec<&EvalCell> = cells.iter().filter(|c| c.faults.is_none()).collect();
+        let faulted: Vec<&EvalCell> = cells.iter().filter(|c| c.faults.is_some()).collect();
+        assert_eq!(clean.len(), faulted.len());
+        // Clean cells keep their historical five-segment ids bit-for-bit.
+        assert!(clean.iter().all(|c| c.id.split('/').count() == 5));
+        // Faulted cells insert a deterministic `flt<hash>` segment before
+        // the seed and carry the schedule for the runner to install.
+        let slug = fault_slug(&schedule);
+        for cell in &faulted {
+            let segments: Vec<&str> = cell.id.split('/').collect();
+            assert_eq!(segments[segments.len() - 2], slug.as_str());
+            assert!(segments.last().unwrap().starts_with('s'));
+            assert_eq!(cell.scenario.name(), cell.id);
+            assert_eq!(cell.faults.as_ref().unwrap(), &schedule);
+        }
+        // A schedule naming a device outside the group is rejected at expand.
+        let bad = FaultSchedule::parse("seed=1;churn:1..:9").unwrap();
+        let m = ScenarioMatrix {
+            faults: vec![Some(bad)],
+            ..ScenarioMatrix::smoke()
+        };
+        assert!(m.expand().is_err());
     }
 
     #[test]

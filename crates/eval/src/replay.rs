@@ -104,6 +104,7 @@ pub fn fixture_cell() -> Result<EvalCell> {
         conditions: vec![LinkProfile::Clear],
         mobilities: vec![MobilityProfile::Static],
         numeric_paths: vec![NumericPath::F64],
+        faults: vec![None],
         seeds: vec![1],
         rounds_per_cell: FIXTURE_ROUNDS,
         fidelity: Fidelity::Hybrid,
@@ -128,7 +129,8 @@ pub fn record_cell(cell: &EvalCell) -> Result<Recording> {
     }
     let mut links = Vec::new();
     for round in 0..cell.rounds {
-        for lt in leader_link_trials(config, cell.scenario.network(), round)? {
+        for lt in leader_link_trials(config, cell.scenario.network(), round, cell.faults.as_ref())?
+        {
             links.push(RecordedLink {
                 round,
                 device: lt.device,
@@ -551,6 +553,7 @@ impl EvalCell {
             conditions: vec![recording.condition],
             mobilities: vec![recording.mobility],
             numeric_paths: vec![path],
+            faults: vec![None],
             seeds: vec![recording.seed],
             rounds_per_cell: recording.rounds,
             fidelity: Fidelity::Hybrid,
@@ -578,6 +581,7 @@ mod tests {
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
             numeric_paths: vec![NumericPath::F64],
+            faults: vec![None],
             seeds: vec![1],
             rounds_per_cell: rounds,
             fidelity: Fidelity::Hybrid,

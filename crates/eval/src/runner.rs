@@ -93,6 +93,9 @@ impl CellExecution {
         if let Some(replay) = &cell.replay {
             session.set_audio_source(std::sync::Arc::clone(replay) as _);
         }
+        if let Some(faults) = &cell.faults {
+            session.set_fault_schedule(faults.clone())?;
+        }
         Ok(Self {
             cell: cell.clone(),
             session,
@@ -243,6 +246,7 @@ mod tests {
             conditions: vec![LinkProfile::Clear],
             mobilities: vec![MobilityProfile::Static],
             numeric_paths: vec![uw_core::config::NumericPath::F64],
+            faults: vec![None],
             seeds: vec![3],
             rounds_per_cell: 4,
             fidelity: Fidelity::Statistical,

@@ -17,6 +17,7 @@ fn three_seed_matrix() -> ScenarioMatrix {
         conditions: vec![LinkProfile::Clear],
         mobilities: vec![MobilityProfile::Static],
         numeric_paths: vec![NumericPath::F64],
+        faults: vec![None],
         seeds: vec![1, 2, 3],
         rounds_per_cell: 4,
         fidelity: Fidelity::Statistical,

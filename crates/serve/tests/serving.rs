@@ -27,6 +27,7 @@ fn four_cell_matrix() -> ScenarioMatrix {
         conditions: vec![LinkProfile::Clear],
         mobilities: vec![MobilityProfile::Static],
         numeric_paths: vec![NumericPath::F64],
+        faults: vec![None],
         seeds: vec![1],
         rounds_per_cell: 3,
         fidelity: Fidelity::Statistical,
@@ -278,6 +279,7 @@ fn replay_cells_serve_identically_to_batch() {
         conditions: vec![LinkProfile::Clear],
         mobilities: vec![MobilityProfile::Static],
         numeric_paths: vec![NumericPath::F64],
+        faults: vec![None],
         seeds: vec![1],
         rounds_per_cell: 1,
         fidelity: Fidelity::Hybrid,

@@ -1,0 +1,141 @@
+//! Cross-network acoustic interference.
+//!
+//! Two dive groups sharing a site also share the acoustic channel: a rival
+//! group's preamble arrives at our microphones through the same multipath
+//! water column as our own signals, merely from a different position and
+//! at an uncontrolled time offset. [`mix_rival_into`] models exactly that:
+//! it propagates the rival's transmit waveform through the image-method
+//! channel to the victim microphone — with no additive noise and no
+//! waterproof-case reflections, both of which the victim capture already
+//! contains — and superimposes the result at the given time offset.
+//!
+//! The helper is deliberately waveform-agnostic: the caller chooses what
+//! the rival transmits (`uw-core` passes the ranging preamble, since a
+//! rival dive group runs the same system).
+
+use crate::geometry::Point3;
+use crate::propagate::{add_delayed, ChannelSimulator, PropagateOptions};
+use crate::Result;
+use rand::Rng;
+
+/// Propagates `waveform` from the rival transmitter at `tx_pos` to a
+/// victim microphone at `rx_pos` and mixes the arrival into `target`
+/// starting `offset_s` seconds into the capture (fractional-sample
+/// placement). Arrivals that extend past the end of `target` are clipped —
+/// a capture only ever holds what the ADC recorded.
+///
+/// The propagation itself is noiseless and deterministic: the victim's
+/// capture already carries ambient + impulsive noise, so only the rival's
+/// multipath response is added. `rng` drives nothing today but keeps the
+/// signature ready for stochastic rival channels; pass the interference
+/// stream's own seeded RNG, never the victim capture's.
+#[allow(clippy::too_many_arguments)]
+pub fn mix_rival_into<R: Rng>(
+    simulator: &ChannelSimulator,
+    waveform: &[f64],
+    tx_pos: &Point3,
+    rx_pos: &Point3,
+    offset_s: f64,
+    gain: f64,
+    target: &mut [f64],
+    rng: &mut R,
+) -> Result<()> {
+    let options = PropagateOptions {
+        occlusion_db: 0.0,
+        noise_level_scale: 0.0,
+        case_reflections: false,
+        lead_in_samples: 0,
+        tail_samples: 0,
+    };
+    let rival = simulator.propagate(waveform, tx_pos, rx_pos, &options, rng)?;
+    let delay_samples = (offset_s.max(0.0)) * simulator.sample_rate();
+    add_delayed(target, &rival.samples, delay_samples, gain);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::{Environment, EnvironmentKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simulator() -> ChannelSimulator {
+        ChannelSimulator::new(Environment::preset(EnvironmentKind::Dock), 44_100.0).unwrap()
+    }
+
+    #[test]
+    fn rival_energy_lands_after_the_offset() {
+        let sim = simulator();
+        let wave = vec![1.0; 64];
+        let mut target = vec![0.0; 120_000];
+        let mut rng = StdRng::seed_from_u64(3);
+        mix_rival_into(
+            &sim,
+            &wave,
+            &Point3::new(25.0, 0.0, 2.0),
+            &Point3::new(0.0, 0.0, 1.5),
+            0.5,
+            0.8,
+            &mut target,
+            &mut rng,
+        )
+        .unwrap();
+        let offset = (0.5 * sim.sample_rate()) as usize;
+        // Nothing before the offset (no noise is added), energy after it.
+        assert!(target[..offset].iter().all(|&s| s == 0.0));
+        assert!(target[offset..].iter().any(|&s| s != 0.0));
+    }
+
+    #[test]
+    fn mixing_is_deterministic_and_additive() {
+        let sim = simulator();
+        let wave = vec![1.0; 32];
+        let tx = Point3::new(18.0, 4.0, 2.0);
+        let rx = Point3::new(0.0, 0.0, 1.5);
+        let run = |gain: f64| {
+            let mut target = vec![0.0; 90_000];
+            let mut rng = StdRng::seed_from_u64(9);
+            mix_rival_into(&sim, &wave, &tx, &rx, 0.1, gain, &mut target, &mut rng).unwrap();
+            target
+        };
+        let a = run(0.5);
+        let b = run(0.5);
+        assert_eq!(a, b);
+        // Gain scales the mixed energy linearly.
+        let double = run(1.0);
+        let peak = |v: &[f64]| v.iter().fold(0.0f64, |m, &s| m.max(s.abs()));
+        assert!((peak(&double) - 2.0 * peak(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_and_errors() {
+        let sim = simulator();
+        // A tiny target just clips the arrival; no panic.
+        let mut target = vec![0.0; 8];
+        let mut rng = StdRng::seed_from_u64(1);
+        mix_rival_into(
+            &sim,
+            &[1.0; 16],
+            &Point3::new(10.0, 0.0, 2.0),
+            &Point3::new(0.0, 0.0, 1.5),
+            0.0,
+            1.0,
+            &mut target,
+            &mut rng,
+        )
+        .unwrap();
+        // Empty rival waveforms are rejected like any propagation.
+        assert!(mix_rival_into(
+            &sim,
+            &[],
+            &Point3::new(10.0, 0.0, 2.0),
+            &Point3::new(0.0, 0.0, 1.5),
+            0.0,
+            1.0,
+            &mut target,
+            &mut rng,
+        )
+        .is_err());
+    }
+}

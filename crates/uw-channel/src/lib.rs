@@ -18,6 +18,9 @@
 //!   ([`noise`]).
 //! * **Propagation** of an arbitrary transmit waveform to one or more
 //!   microphones, combining all of the above ([`propagate`]).
+//! * **Cross-network interference** — a rival group's transmission
+//!   propagated through the same water column and superimposed onto a
+//!   victim capture ([`interference`]).
 //! * **Environment presets** matching the four deployment sites
 //!   ([`environment`]).
 //!
@@ -60,6 +63,7 @@
 pub mod absorption;
 pub mod environment;
 pub mod geometry;
+pub mod interference;
 pub mod multipath;
 pub mod noise;
 pub mod propagate;

@@ -214,7 +214,7 @@ impl ChannelSimulator {
 
 /// Adds a delayed, scaled copy of `source` into `target` (fractional delay
 /// split across two adjacent samples).
-fn add_delayed(target: &mut [f64], source: &[f64], delay_samples: f64, gain: f64) {
+pub(crate) fn add_delayed(target: &mut [f64], source: &[f64], delay_samples: f64, gain: f64) {
     let int_delay = delay_samples.floor() as usize;
     let frac = delay_samples - int_delay as f64;
     for (i, &s) in source.iter().enumerate() {
