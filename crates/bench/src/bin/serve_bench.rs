@@ -11,14 +11,21 @@
 //! included) into a deterministic JSON artifact next to
 //! `BENCH_pipeline.json` / `BENCH_eval_matrix.json`.
 //!
+//! Also measures the shard worker's batched-correlation mode (N links'
+//! captures through one matched-filter checkout vs N solo calls) on the
+//! f64 and f32 numeric paths.
+//!
 //! Environment overrides: `UWGPS_JOBS` (default 24 jobs),
-//! `UWGPS_ROUNDS` (default 4 rounds per job).
+//! `UWGPS_ROUNDS` (default 4 rounds per job), `UWGPS_LINKS` (default 4
+//! links per batched-correlation round), `UWGPS_CORR_REPS` (default 8
+//! timing repetitions).
 
 use std::time::{Duration, Instant};
 use uw_core::config::{Fidelity, NumericPath};
 use uw_core::prelude::EnvironmentKind;
 use uw_eval::runner::run_matrix;
 use uw_eval::{LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
+use uw_ranging::preamble::RangingPreamble;
 use uw_serve::{LocalizationJob, ServeConfig, Server};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -146,6 +153,59 @@ fn main() {
         pools.push((run, p50, p99));
     }
 
+    // Batched-correlation mode: the shard worker's inner loop. A round
+    // correlates every link's capture against the same preamble, so the
+    // worker batches N links through one filter checkout
+    // (`RangingPreamble::correlate_normalized_batch`) instead of N solo
+    // calls. Measured here on the f64 and f32 numeric paths so the
+    // artifact records how much of the pool separation comes from
+    // batching alone.
+    let links = env_usize("UWGPS_LINKS", 4);
+    let corr_reps = env_usize("UWGPS_CORR_REPS", 8);
+    let mut corr_rows = Vec::new();
+    for (path_name, preamble) in [
+        (
+            "f64",
+            RangingPreamble::default_paper().expect("f64 preamble"),
+        ),
+        (
+            "f32",
+            RangingPreamble::default_paper_f32().expect("f32 preamble"),
+        ),
+    ] {
+        let mut stream: Vec<f64> = (0..preamble.len() + 20_000)
+            .map(|i| 0.02 * (i as f64 * 0.613).sin())
+            .collect();
+        for (i, &p) in preamble.waveform.iter().enumerate() {
+            stream[5_000 + i] += 0.5 * p;
+        }
+        let captures: Vec<&[f64]> = (0..links).map(|_| stream.as_slice()).collect();
+        // Min-of-N wall clock: robust against noisy neighbours, and the
+        // workload is deterministic so the minimum is the honest cost.
+        let mut solo = f64::INFINITY;
+        let mut batch = f64::INFINITY;
+        for _ in 0..corr_reps {
+            let t = Instant::now();
+            for capture in &captures {
+                preamble
+                    .correlate_normalized(capture)
+                    .expect("solo correlation");
+            }
+            solo = solo.min(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            preamble
+                .correlate_normalized_batch(&captures)
+                .expect("batched correlation");
+            batch = batch.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        println!(
+            "  corr   ({path_name}, {links} links): solo {solo:7.2} ms  batch {batch:7.2} ms  \
+             ({:.2}x per link)",
+            solo / batch,
+        );
+        corr_rows.push((path_name, solo, batch));
+    }
+
     // Deterministic hand-rolled JSON (the vendored serde is a no-op).
     let mut json = String::new();
     json.push_str("{\n");
@@ -170,7 +230,19 @@ fn main() {
             if k + 1 < pools.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"batched_correlation\": {{\"links\": {links}, \"paths\": [\n"
+    ));
+    for (k, (path_name, solo, batch)) in corr_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{path_name}\", \"solo_ms\": {solo:.3}, \"batch_ms\": {batch:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            solo / batch,
+            if k + 1 < corr_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]}\n}\n");
     std::fs::write(&out, json).expect("write benchmark artifact");
     println!("wrote {out}");
 }

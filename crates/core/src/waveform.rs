@@ -34,9 +34,11 @@ use uw_ranging::ranging::{estimate_arrival_dual, MicMode, RangingConfig};
 /// preamble (each path builds only its own execution state).
 fn preamble_for(path: NumericPath) -> &'static RangingPreamble {
     static F64_PREAMBLE: OnceLock<RangingPreamble> = OnceLock::new();
+    static F32_PREAMBLE: OnceLock<RangingPreamble> = OnceLock::new();
     static Q15_PREAMBLE: OnceLock<RangingPreamble> = OnceLock::new();
     let slot = match path {
         NumericPath::F64 => &F64_PREAMBLE,
+        NumericPath::F32 => &F32_PREAMBLE,
         NumericPath::Q15 => &Q15_PREAMBLE,
     };
     slot.get_or_init(|| {
@@ -600,6 +602,25 @@ mod tests {
             q15_result.error_m
         );
         assert_eq!(q15_result.mic_sign, f64_result.mic_sign);
+    }
+
+    #[test]
+    fn f32_trial_tracks_the_f64_oracle_tightly() {
+        let trial = PairwiseTrial::at_distance(EnvironmentKind::Dock, 12.0, 2.0);
+        let f64_result = run_pairwise_trial(&trial, RangingScheme::DualMicOfdm, 11).unwrap();
+        let f32_trial = trial.with_numeric_path(NumericPath::F32);
+        let f32_result = run_pairwise_trial(&f32_trial, RangingScheme::DualMicOfdm, 11).unwrap();
+        // Single precision carries ~100 dB of SQNR through the correlator,
+        // far above the channel noise floor, so the f32 estimate should sit
+        // much closer to the f64 oracle than the Q15 band allows.
+        let gap = (f32_result.estimated_distance_m - f64_result.estimated_distance_m).abs();
+        assert!(gap < 0.05, "f64/f32 distance gap {gap} m");
+        assert!(
+            f32_result.error_m.abs() < 1.0,
+            "f32 error {}",
+            f32_result.error_m
+        );
+        assert_eq!(f32_result.mic_sign, f64_result.mic_sign);
     }
 
     #[test]

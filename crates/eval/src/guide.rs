@@ -261,6 +261,15 @@ pub const FIGURE_MAP: &[FigureClaim] = &[
         hi: 2.2,
         smoke: false,
     },
+    FigureClaim {
+        figure: "ext. f32",
+        claim: "Single-precision f32 lane-kernel DSP (hybrid dock cell) keeps the median in the f64 band",
+        cell_id: "dock/5dev/clear/static/f32/s1",
+        metric: BandMetric::Median2dM,
+        lo: 0.2,
+        hi: 2.2,
+        smoke: false,
+    },
 ];
 
 /// A band the current report violates.
@@ -383,19 +392,22 @@ pub fn generate_guide(report: &EvalReport) -> String {
          full statistics (median/p90/p99, error CDF points, flip rate,\n\
          drop decisions, latency) are in `BENCH_eval_matrix.json`.\n\
          \n\
-         ## The `NumericPath` knob (fixed-point cells)\n\
+         ## The `NumericPath` knob (f32 and fixed-point cells)\n\
          \n\
-         Cells with a `q15` segment (`dock/5dev/clear/static/q15/s1`) run\n\
-         the waveform DSP — detection correlation and LS channel\n\
-         estimation — on the on-device Q15 fixed-point path in\n\
-         `uw_dsp::fixed` instead of the `f64` oracle. Q15 cells must run\n\
-         at hybrid fidelity (the statistical model never touches the\n\
-         DSP); select the path via `ScenarioMatrix::numeric_paths` or\n\
-         `SystemConfig::numeric_path`. Run the pinned fixed-point cell\n\
-         alone with:\n\
+         Cells with an `f32` or `q15` segment\n\
+         (`dock/5dev/clear/static/f32/s1`,\n\
+         `dock/5dev/clear/static/q15/s1`) run the waveform DSP —\n\
+         detection correlation and LS channel estimation — on the\n\
+         single-precision lane-kernel path in `uw_dsp::float32` or the\n\
+         on-device Q15 fixed-point path in `uw_dsp::fixed` instead of the\n\
+         `f64` oracle. Non-f64 cells must run at hybrid fidelity (the\n\
+         statistical model never touches the DSP); select the path via\n\
+         `ScenarioMatrix::numeric_paths` or `SystemConfig::numeric_path`.\n\
+         Run the pinned alternate-path cells alone with:\n\
          \n\
          ```sh\n\
          cargo test -p uw-eval --test q15_cell_band   # Q15-vs-f64 band check\n\
+         cargo test -p uw-eval --test f32_cell_band   # f32-vs-f64 band check\n\
          cargo test -p uw-dsp --test fixed_vs_float   # primitive-level differential suite\n\
          ```\n\
          \n\
@@ -473,10 +485,12 @@ mod tests {
             assert!(claim.lo <= claim.hi, "{}: inverted band", claim.cell_id);
             assert!(!claim.figure.is_empty() && !claim.claim.is_empty());
             // Cell ids follow the env/topology/condition/mobility/seed
-            // shape, with an extra numeric-path segment on Q15 cells.
+            // shape, with an extra numeric-path segment on f32/Q15 cells.
             let segments = claim.cell_id.split('/').count();
             assert!(
-                segments == 5 || (segments == 6 && claim.cell_id.contains("/q15/")),
+                segments == 5
+                    || (segments == 6
+                        && (claim.cell_id.contains("/q15/") || claim.cell_id.contains("/f32/"))),
                 "{}",
                 claim.cell_id
             );

@@ -9,15 +9,17 @@
 //!   ([`LinkProfile`]),
 //! * **mobility profiles** — static, rope oscillation, swimmer circuit,
 //!   current drift ([`MobilityProfile`]),
-//! * **numeric paths** — the `f64` oracle or the on-device Q15 fixed-point
-//!   DSP ([`NumericPath`]; Q15 cells must run at [`Fidelity::Hybrid`],
+//! * **numeric paths** — the `f64` oracle, the single-precision `f32`
+//!   lane-kernel path, or the on-device Q15 fixed-point DSP
+//!   ([`NumericPath`]; f32 and Q15 cells must run at [`Fidelity::Hybrid`],
 //!   since the statistical model never touches the DSP),
 //! * **seeds** — one cell per RNG seed.
 //!
 //! [`ScenarioMatrix::expand`] turns the matrix into concrete [`EvalCell`]s,
 //! each carrying a ready-to-run [`Scenario`] and a stable identifier like
-//! `dock/5dev/clear/static/s1` (f64) or `dock/5dev/clear/static/q15/s1`
-//! (fixed point) that the reproduction guide keys on.
+//! `dock/5dev/clear/static/s1` (f64), `dock/5dev/clear/static/f32/s1`
+//! (single precision), or `dock/5dev/clear/static/q15/s1` (fixed point)
+//! that the reproduction guide keys on.
 
 use uw_core::config::{Fidelity, NumericPath};
 use uw_core::prelude::*;
@@ -140,9 +142,10 @@ pub struct ScenarioMatrix {
     pub conditions: Vec<LinkProfile>,
     /// Mobility axis.
     pub mobilities: Vec<MobilityProfile>,
-    /// Numeric-path axis: `f64` oracle and/or the on-device Q15 DSP.
-    /// Q15 entries require `fidelity == Fidelity::Hybrid` (enforced at
-    /// expansion), because only the waveform pipeline exercises the DSP.
+    /// Numeric-path axis: `f64` oracle, single-precision `f32`, and/or the
+    /// on-device Q15 DSP. f32 and Q15 entries require
+    /// `fidelity == Fidelity::Hybrid` (enforced at expansion), because
+    /// only the waveform pipeline exercises the DSP.
     pub numeric_paths: Vec<NumericPath>,
     /// Fault-schedule axis: each entry crosses the grid with a scripted
     /// [`FaultSchedule`] (installed on every cell's session) or with
@@ -167,7 +170,8 @@ pub struct ScenarioMatrix {
 #[derive(Debug, Clone)]
 pub struct EvalCell {
     /// Stable identifier: `environment/topology/condition/mobility/seed`,
-    /// with a `q15` segment before the seed on the fixed-point path.
+    /// with an `f32` or `q15` segment before the seed on the non-f64
+    /// numeric paths.
     pub id: String,
     /// Environment of the cell.
     pub environment: EnvironmentKind,
@@ -374,6 +378,20 @@ impl ScenarioMatrix {
         }
     }
 
+    /// The single-precision cell: the dock 5-device testbed run end-to-end
+    /// on the f32 lane-kernel DSP path at hybrid fidelity, so every
+    /// leader-link exchange exercises the `uw_dsp::float32` FFTs and
+    /// matched filter. f32 carries ~100 dB of SQNR through the correlator,
+    /// so its acceptance band (relative to the f64 dock cell) is far
+    /// tighter than Q15's; it is pinned by the differential harness in
+    /// `crates/eval/tests/f32_cell_band.rs` and documented in the guide.
+    pub fn f32_dock() -> Self {
+        Self {
+            numeric_paths: vec![NumericPath::F32],
+            ..Self::q15_dock()
+        }
+    }
+
     /// The full evaluation suite: every matrix the reproduction guide
     /// draws from. [`crate::runner::run_suite`] merges the expansions
     /// (first occurrence of a cell id wins).
@@ -384,6 +402,7 @@ impl ScenarioMatrix {
             Self::dock_mobility(),
             Self::tidal_drift(),
             Self::latency_sweep(),
+            Self::f32_dock(),
             Self::q15_dock(),
         ]
     }
@@ -457,8 +476,9 @@ impl ScenarioMatrix {
         seed: u64,
     ) -> Result<EvalCell> {
         let n = topology.n_devices();
-        // f64 cells keep the historical five-segment id; Q15 cells insert
-        // their path segment so the two numeric paths never collide.
+        // f64 cells keep the historical five-segment id; the alternate
+        // numeric paths (f32, Q15) insert their path segment so cells on
+        // different paths never collide.
         let id = match numeric_path {
             NumericPath::F64 => format!(
                 "{}/{}/{}/{}/s{}",
@@ -468,7 +488,7 @@ impl ScenarioMatrix {
                 mobility.slug(),
                 seed
             ),
-            NumericPath::Q15 => format!(
+            NumericPath::F32 | NumericPath::Q15 => format!(
                 "{}/{}/{}/{}/{}/s{}",
                 environment.slug(),
                 topology.slug(),
@@ -478,13 +498,14 @@ impl ScenarioMatrix {
                 seed
             ),
         };
-        if numeric_path == NumericPath::Q15 && self.fidelity != Fidelity::Hybrid {
+        if numeric_path != NumericPath::F64 && self.fidelity != Fidelity::Hybrid {
             // The statistical model never runs the DSP, so a statistical
-            // Q15 cell would silently measure nothing fixed-point.
+            // f32 or Q15 cell would silently measure nothing path-specific.
             return Err(uw_core::SystemError::InvalidConfig {
                 reason: format!(
-                    "cell {id}: the Q15 numeric path only affects waveform-level DSP; \
-                     run it at Fidelity::Hybrid"
+                    "cell {id}: the {} numeric path only affects waveform-level DSP; \
+                     run it at Fidelity::Hybrid",
+                    numeric_path.slug()
                 ),
             });
         }
@@ -704,22 +725,37 @@ mod tests {
     }
 
     #[test]
-    fn statistical_q15_cells_are_rejected() {
+    fn f32_cells_get_their_own_id_segment_and_hybrid_fidelity() {
+        let cells = ScenarioMatrix::f32_dock().expand().unwrap();
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.id, "dock/5dev/clear/static/f32/s1");
+        assert_eq!(cell.numeric_path, NumericPath::F32);
+        assert_eq!(cell.scenario.config().numeric_path, NumericPath::F32);
+        assert_eq!(cell.scenario.config().fidelity, Fidelity::Hybrid);
+    }
+
+    #[test]
+    fn statistical_non_f64_cells_are_rejected() {
+        for path in [NumericPath::F32, NumericPath::Q15] {
+            let m = ScenarioMatrix {
+                numeric_paths: vec![path],
+                ..ScenarioMatrix::smoke()
+            };
+            let err = m.expand().unwrap_err();
+            assert!(err.to_string().contains("Fidelity::Hybrid"), "{err}");
+        }
+        // All three paths in one hybrid matrix expand to distinct cells.
         let m = ScenarioMatrix {
-            numeric_paths: vec![NumericPath::Q15],
-            ..ScenarioMatrix::smoke()
-        };
-        let err = m.expand().unwrap_err();
-        assert!(err.to_string().contains("Fidelity::Hybrid"), "{err}");
-        // Both paths in one hybrid matrix expand to distinct cells.
-        let m = ScenarioMatrix {
-            numeric_paths: vec![NumericPath::F64, NumericPath::Q15],
+            numeric_paths: vec![NumericPath::F64, NumericPath::F32, NumericPath::Q15],
             environments: vec![EnvironmentKind::Dock],
             fidelity: Fidelity::Hybrid,
             ..ScenarioMatrix::smoke()
         };
         let cells = m.expand().unwrap();
-        assert_eq!(cells.len(), 2);
+        assert_eq!(cells.len(), 3);
         assert_ne!(cells[0].id, cells[1].id);
+        assert_ne!(cells[1].id, cells[2].id);
+        assert_ne!(cells[0].id, cells[2].id);
     }
 }

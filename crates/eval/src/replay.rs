@@ -273,6 +273,7 @@ impl Recording {
         dir.push(match self.numeric_path {
             NumericPath::F64 => 0,
             NumericPath::Q15 => 1,
+            NumericPath::F32 => 2,
         });
         dir.extend_from_slice(&self.seed.to_le_bytes());
         dir.extend_from_slice(&(self.rounds as u32).to_le_bytes());
@@ -358,6 +359,7 @@ impl Recording {
         let numeric_path = match dir.u8()? {
             0 => NumericPath::F64,
             1 => NumericPath::Q15,
+            2 => NumericPath::F32,
             p => {
                 return Err(SystemError::InvalidConfig {
                     reason: format!("unknown numeric-path tag {p} in recording"),
@@ -544,8 +546,8 @@ impl EvalCell {
 
     /// As [`EvalCell::from_recording`], but replaying on an explicitly
     /// chosen numeric path. Captures are path-independent (channel
-    /// synthesis is pure `f64`), so one recording drives both the `f64`
-    /// oracle and the on-device Q15 pipeline.
+    /// synthesis is pure `f64`), so one recording drives the `f64` oracle,
+    /// the single-precision f32 path, and the on-device Q15 pipeline alike.
     pub fn from_recording_with_path(recording: &Recording, path: NumericPath) -> Result<Self> {
         let matrix = ScenarioMatrix {
             environments: vec![recording.environment],

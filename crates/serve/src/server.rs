@@ -261,6 +261,7 @@ fn path_slot(path: NumericPath) -> usize {
     match path {
         NumericPath::F64 => 0,
         NumericPath::Q15 => 1,
+        NumericPath::F32 => 2,
     }
 }
 
@@ -288,7 +289,7 @@ fn shard_worker(
         cancelled: 0,
         warmed_paths: 0,
     };
-    let mut warmed = [false; 2];
+    let mut warmed = [false; 3];
     while let Some(job) = queue.pop() {
         stats.jobs += 1;
         let QueuedJob { id, cell, state } = job;

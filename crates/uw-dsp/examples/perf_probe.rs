@@ -1,0 +1,145 @@
+//! Quick perf probe for the lane-kernel hot paths (min-of-N timing, robust
+//! to noisy-neighbour machines). Not part of the committed bench suite.
+
+use std::time::Instant;
+use uw_dsp::complex::Complex64;
+use uw_dsp::fixed::{ComplexQ15, FixedRadix2Plan, Q15MatchedFilter};
+use uw_dsp::float32::{Complex32, F32MatchedFilter, F32Radix2Plan};
+use uw_dsp::plan::Radix2Plan;
+use uw_dsp::MatchedFilter;
+
+fn min_time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let n = 65536usize;
+    let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 0.5).collect();
+
+    // f64 FFT 2048 and 65536
+    for sz in [2048usize, 16384, 32768, 65536] {
+        let plan = Radix2Plan::new(sz).unwrap();
+        let mut re: Vec<f64> = sig[..sz].to_vec();
+        let mut im = vec![0.0f64; sz];
+        let t = min_time(
+            || {
+                plan.forward_soa(&mut re, &mut im).unwrap();
+            },
+            30,
+        );
+        println!("f64 fft {sz}: {:.1} us", t * 1e6);
+    }
+    for sz in [2048usize, 16384, 32768, 65536] {
+        let plan = F32Radix2Plan::new(sz).unwrap();
+        let mut re: Vec<f32> = sig[..sz].iter().map(|&x| x as f32).collect();
+        let mut im = vec![0.0f32; sz];
+        let t = min_time(
+            || {
+                plan.forward_soa(&mut re, &mut im).unwrap();
+            },
+            30,
+        );
+        println!("f32 fft {sz}: {:.1} us", t * 1e6);
+    }
+    for sz in [2048usize, 16384, 32768, 65536] {
+        let plan = FixedRadix2Plan::new(sz).unwrap();
+        let mut re: Vec<i32> = sig[..sz].iter().map(|&x| (x * 32767.0) as i32).collect();
+        let mut im = vec![0i32; sz];
+        let t = min_time(
+            || {
+                plan.forward_soa(&mut re, &mut im).unwrap();
+            },
+            30,
+        );
+        println!("q15 fft {sz}: {:.1} us", t * 1e6);
+    }
+    // interleaved entry (includes AoS<->SoA conversion)
+    {
+        let plan = Radix2Plan::new(2048).unwrap();
+        let base: Vec<Complex64> = sig[..2048].iter().map(|&x| Complex64::from_re(x)).collect();
+        let mut buf = base.clone();
+        let t = min_time(
+            || {
+                buf.copy_from_slice(&base);
+                plan.forward(&mut buf).unwrap();
+            },
+            50,
+        );
+        println!("f64 fft 2048 interleaved: {:.1} us", t * 1e6);
+        let plan = F32Radix2Plan::new(2048).unwrap();
+        let basef: Vec<Complex32> = base.iter().map(|&c| Complex32::from_complex64(c)).collect();
+        let mut buff = basef.clone();
+        let t = min_time(
+            || {
+                buff.copy_from_slice(&basef);
+                plan.forward(&mut buff).unwrap();
+            },
+            50,
+        );
+        println!("f32 fft 2048 interleaved: {:.1} us", t * 1e6);
+        let plan = FixedRadix2Plan::new(2048).unwrap();
+        let baseq: Vec<ComplexQ15> = base
+            .iter()
+            .map(|&c| ComplexQ15::from_complex64(c))
+            .collect();
+        let mut bufq = baseq.clone();
+        let t = min_time(
+            || {
+                bufq.copy_from_slice(&baseq);
+                plan.forward(&mut bufq).unwrap();
+            },
+            50,
+        );
+        println!("q15 fft 2048 interleaved: {:.1} us", t * 1e6);
+    }
+
+    // matched filters on a 13240-sample template over a (template+20000) stream
+    let m = 13240usize;
+    let template: Vec<f64> = (0..m).map(|i| (i as f64 * 0.21).sin()).collect();
+    let total = m + 20_000;
+    let mut stream: Vec<f64> = (0..total)
+        .map(|i| 0.02 * (i as f64 * 0.613).sin())
+        .collect();
+    for (i, &t) in template.iter().enumerate() {
+        stream[5000 + i] += 0.5 * t;
+    }
+    let f64f = MatchedFilter::new(&template).unwrap();
+    let f32f = F32MatchedFilter::new(&template).unwrap();
+    let q15f = Q15MatchedFilter::new(&template).unwrap();
+    let mut out = Vec::new();
+    println!("mf fft_len = {}", f64f.block_len());
+    let t = min_time(
+        || {
+            f64f.correlate_normalized_into(&stream, &mut out).unwrap();
+        },
+        12,
+    );
+    println!("f64 mf: {:.2} ms", t * 1e3);
+    let t = min_time(
+        || {
+            f32f.correlate_normalized_into(&stream, &mut out).unwrap();
+        },
+        12,
+    );
+    println!("f32 mf: {:.2} ms", t * 1e3);
+    let t = min_time(
+        || {
+            f32f.correlate_into(&stream, &mut out).unwrap();
+        },
+        12,
+    );
+    println!("f32 mf raw: {:.2} ms", t * 1e3);
+    let t = min_time(
+        || {
+            q15f.correlate_normalized_into(&stream, &mut out).unwrap();
+        },
+        12,
+    );
+    println!("q15 mf: {:.2} ms", t * 1e3);
+}

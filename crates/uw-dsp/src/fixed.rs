@@ -21,7 +21,8 @@
 //!   [`crate::matched::MatchedFilter`], with the template spectrum held in
 //!   Q15 and every butterfly/multiply in integer arithmetic.
 //! * [`NumericPath`] — the knob higher layers thread through to select
-//!   between the `f64` oracle and this path.
+//!   between the `f64` oracle, the f32 phone-float path
+//!   ([`crate::float32`]) and this fixed-point path.
 //!
 //! ## Scaling strategy (block floating point)
 //!
@@ -40,9 +41,25 @@
 //! bounds this path against the `f64` oracle: ≥ 60 dB SQNR for radix-2
 //! forward transforms (≥ 55 dB for full round-trips at the largest block)
 //! and matched-filter peak agreement within ±1 sample.
+//!
+//! ## Lane-kernel execution
+//!
+//! Since the vectorization pass the hot loops run in structure-of-arrays
+//! form: Q15 mantissas are widened into separate `re[i32]` / `im[i32]`
+//! buffers and processed through the `[i32; 8]` kernels in
+//! [`crate::lanes`] (BFP butterfly with the per-stage shift fused,
+//! half-scaled pointwise products, and the guard-scan block maximum). The
+//! interleaved [`ComplexQ15`] entry points deinterleave into a pooled SoA
+//! scratch at the boundary; [`Q15MatchedFilter`] keeps its blocks in SoA
+//! form throughout. The retired scalar transforms remain as
+//! [`FixedRadix2Plan::forward_scalar`] /
+//! [`FixedRadix2Plan::inverse_raw_scalar`], and the differential harness
+//! pins the lane path **bit-identical** to them — integer arithmetic leaves
+//! no rounding slack, so vectorization cannot change a single sample.
 
 use crate::complex::Complex64;
 use crate::fft::{is_pow2, next_pow2};
+use crate::lanes;
 use crate::{DspError, Result};
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -53,6 +70,9 @@ pub enum NumericPath {
     /// The double-precision reference path (the repository's oracle).
     #[default]
     F64,
+    /// The single-precision float path ([`crate::float32`]) — what phone
+    /// DSP runs when not in fixed point, with twice the SIMD lanes of f64.
+    F32,
     /// The on-device Q15 fixed-point path in this module.
     Q15,
 }
@@ -62,6 +82,7 @@ impl NumericPath {
     pub fn slug(&self) -> &'static str {
         match self {
             NumericPath::F64 => "f64",
+            NumericPath::F32 => "f32",
             NumericPath::Q15 => "q15",
         }
     }
@@ -199,21 +220,8 @@ impl ComplexQ15 {
     }
 }
 
-/// Complex product with an extra halving (`>> 16` instead of `>> 15`), so
-/// the result provably fits Q15 for any inputs: each component of a product
-/// of Q15 complexes is bounded by 2 in value, and the extra factor-of-two
-/// is returned to the caller through the block scale.
-#[inline]
-fn cmul_half(a: ComplexQ15, b: ComplexQ15) -> ComplexQ15 {
-    let (ar, ai) = (a.re.0 as i64, a.im.0 as i64);
-    let (br, bi) = (b.re.0 as i64, b.im.0 as i64);
-    ComplexQ15 {
-        re: Q15(sat16((ar * br - ai * bi + (1 << 15)) >> 16)),
-        im: Q15(sat16((ar * bi + ai * br + (1 << 15)) >> 16)),
-    }
-}
-
 /// Largest component magnitude in a block (0 for an empty/zero block).
+/// Scalar form, used by the retired reference transforms.
 #[inline]
 fn block_max(data: &[ComplexQ15]) -> i32 {
     data.iter()
@@ -225,6 +233,7 @@ fn block_max(data: &[ComplexQ15]) -> i32 {
 /// Left-shifts the block to restore headroom after magnitude-shrinking
 /// steps, keeping the maximum at or below the stage guard. Returns the
 /// number of shifts applied (the true value scale shrinks by `2^k`).
+/// Scalar form, used by the retired reference transforms.
 fn renormalize_up(data: &mut [ComplexQ15]) -> u32 {
     let max = block_max(data);
     if max == 0 {
@@ -243,16 +252,54 @@ fn renormalize_up(data: &mut [ComplexQ15]) -> u32 {
     k
 }
 
+/// Reusable widened SoA buffers for the interleaved entry points.
+#[derive(Debug, Default)]
+struct FixedSoaScratch {
+    re: Vec<i32>,
+    im: Vec<i32>,
+}
+
 /// A block-floating-point radix-2 FFT plan for one power-of-two length.
 ///
-/// All state is read-only after construction (the BFP scaling operates on
-/// the caller's buffer), so one plan can serve many threads concurrently.
-#[derive(Debug, Clone)]
+/// The twiddle tables (Q15 mantissas widened to `i32`, structure-of-arrays)
+/// are read-only after construction; the small internal SoA scratch pool
+/// behind the interleaved entry points is mutex-guarded, so one plan can
+/// serve many threads concurrently.
 pub struct FixedRadix2Plan {
     n: usize,
     bitrev: Vec<u32>,
-    twiddles_fwd: Vec<ComplexQ15>,
-    twiddles_inv: Vec<ComplexQ15>,
+    /// Forward twiddle real mantissas, per-stage layout as in
+    /// [`crate::plan::Radix2Plan`].
+    twr_fwd: Vec<i32>,
+    twi_fwd: Vec<i32>,
+    twr_inv: Vec<i32>,
+    twi_inv: Vec<i32>,
+    scratch: Mutex<Vec<FixedSoaScratch>>,
+}
+
+impl std::fmt::Debug for FixedRadix2Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FixedRadix2Plan")
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+impl Clone for FixedRadix2Plan {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            bitrev: self.bitrev.clone(),
+            twr_fwd: self.twr_fwd.clone(),
+            twi_fwd: self.twi_fwd.clone(),
+            twr_inv: self.twr_inv.clone(),
+            twi_inv: self.twi_inv.clone(),
+            scratch: Mutex::new(vec![FixedSoaScratch {
+                re: vec![0; self.n],
+                im: vec![0; self.n],
+            }]),
+        }
+    }
 }
 
 impl FixedRadix2Plan {
@@ -278,23 +325,34 @@ impl FixedRadix2Plan {
                 }
             })
             .collect();
-        let mut twiddles_fwd = Vec::with_capacity(n.saturating_sub(1));
-        let mut twiddles_inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut twr_fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut twi_fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut twr_inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut twi_inv = Vec::with_capacity(n.saturating_sub(1));
         let mut half = 1usize;
         while half < n {
             let ang = std::f64::consts::PI / half as f64;
             for k in 0..half {
                 let w = ComplexQ15::from_complex64(Complex64::from_angle(-ang * k as f64));
-                twiddles_fwd.push(w);
-                twiddles_inv.push(w.conj());
+                let wc = w.conj();
+                twr_fwd.push(w.re.0 as i32);
+                twi_fwd.push(w.im.0 as i32);
+                twr_inv.push(wc.re.0 as i32);
+                twi_inv.push(wc.im.0 as i32);
             }
             half <<= 1;
         }
         Ok(Self {
             n,
             bitrev,
-            twiddles_fwd,
-            twiddles_inv,
+            twr_fwd,
+            twi_fwd,
+            twr_inv,
+            twi_inv,
+            scratch: Mutex::new(vec![FixedSoaScratch {
+                re: vec![0; n],
+                im: vec![0; n],
+            }]),
         })
     }
 
@@ -313,8 +371,8 @@ impl FixedRadix2Plan {
     /// mantissa): the true (unnormalised) DFT equals the dequantised
     /// output times `2^shifts`.
     pub fn forward(&self, data: &mut [ComplexQ15]) -> Result<i32> {
-        self.check(data)?;
-        Ok(self.transform(data, &self.twiddles_fwd))
+        self.check(data.len())?;
+        Ok(self.with_scratch(data, true))
     }
 
     /// In-place conjugate-twiddle BFP transform **without** the `1/N`
@@ -322,12 +380,43 @@ impl FixedRadix2Plan {
     /// times `2^shifts / N`. Exposed raw so composites (Bluestein, the
     /// matched filter) can fold `1/N` into their own scale once.
     pub fn inverse_raw(&self, data: &mut [ComplexQ15]) -> Result<i32> {
-        self.check(data)?;
-        Ok(self.transform(data, &self.twiddles_inv))
+        self.check(data.len())?;
+        Ok(self.with_scratch(data, false))
     }
 
-    fn check(&self, data: &[ComplexQ15]) -> Result<()> {
-        if data.len() != self.n {
+    /// In-place forward BFP FFT on widened SoA buffers (values in the Q15
+    /// mantissa range). The native lane-kernel entry point: no
+    /// interleaving, no scratch checkout, allocation-free.
+    pub fn forward_soa(&self, re: &mut [i32], im: &mut [i32]) -> Result<i32> {
+        self.check_soa(re, im)?;
+        Ok(self.transform_soa(re, im, &self.twr_fwd, &self.twi_fwd))
+    }
+
+    /// In-place raw inverse BFP transform on widened SoA buffers (no `1/N`,
+    /// as [`FixedRadix2Plan::inverse_raw`]).
+    pub fn inverse_raw_soa(&self, re: &mut [i32], im: &mut [i32]) -> Result<i32> {
+        self.check_soa(re, im)?;
+        Ok(self.transform_soa(re, im, &self.twr_inv, &self.twi_inv))
+    }
+
+    /// The retired one-lane-per-sample forward transform, kept as the
+    /// reference the differential harness pins the lane kernels against
+    /// (bit-identical output required — integer arithmetic leaves no
+    /// rounding slack).
+    pub fn forward_scalar(&self, data: &mut [ComplexQ15]) -> Result<i32> {
+        self.check(data.len())?;
+        Ok(self.transform_scalar(data, &self.twr_fwd, &self.twi_fwd))
+    }
+
+    /// The retired scalar raw inverse transform; reference twin of
+    /// [`FixedRadix2Plan::inverse_raw`].
+    pub fn inverse_raw_scalar(&self, data: &mut [ComplexQ15]) -> Result<i32> {
+        self.check(data.len())?;
+        Ok(self.transform_scalar(data, &self.twr_inv, &self.twi_inv))
+    }
+
+    fn check(&self, len: usize) -> Result<()> {
+        if len != self.n {
             return Err(DspError::InvalidLength {
                 reason: "buffer length does not match the fixed-point FFT plan length",
             });
@@ -335,7 +424,100 @@ impl FixedRadix2Plan {
         Ok(())
     }
 
-    fn transform(&self, data: &mut [ComplexQ15], twiddles: &[ComplexQ15]) -> i32 {
+    fn check_soa(&self, re: &[i32], im: &[i32]) -> Result<()> {
+        if re.len() != self.n || im.len() != self.n {
+            return Err(DspError::InvalidLength {
+                reason: "buffer length does not match the fixed-point FFT plan length",
+            });
+        }
+        Ok(())
+    }
+
+    /// Interleaved wrapper: widen into pooled SoA scratch, run the lane
+    /// transform, narrow back (stage outputs are always saturated into the
+    /// i16 range).
+    fn with_scratch(&self, data: &mut [ComplexQ15], forward: bool) -> i32 {
+        let mut buf = self
+            .scratch
+            .lock()
+            .expect("fixed radix-2 scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.re.resize(self.n, 0);
+        buf.im.resize(self.n, 0);
+        for (c, (r, x)) in data.iter().zip(buf.re.iter_mut().zip(buf.im.iter_mut())) {
+            *r = c.re.0 as i32;
+            *x = c.im.0 as i32;
+        }
+        let shifts = if forward {
+            self.transform_soa(&mut buf.re, &mut buf.im, &self.twr_fwd, &self.twi_fwd)
+        } else {
+            self.transform_soa(&mut buf.re, &mut buf.im, &self.twr_inv, &self.twi_inv)
+        };
+        for (c, (r, x)) in data.iter_mut().zip(buf.re.iter().zip(buf.im.iter())) {
+            *c = ComplexQ15::new(Q15(*r as i16), Q15(*x as i16));
+        }
+        self.scratch
+            .lock()
+            .expect("fixed radix-2 scratch pool poisoned")
+            .push(buf);
+        shifts
+    }
+
+    /// The BFP transform on widened SoA buffers through the `[i32; 8]` lane
+    /// kernels. Identical arithmetic to [`FixedRadix2Plan::transform_scalar`].
+    fn transform_soa(&self, re: &mut [i32], im: &mut [i32], twr: &[i32], twi: &[i32]) -> i32 {
+        let n = self.n;
+        if n == 1 {
+            return 0;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        // A quiet block would otherwise run the early stages on a short
+        // mantissa; pull it up to the guard ceiling first (negative shift).
+        let mut shifts = -(lanes::renormalize_up_i32(re, im, STAGE_GUARD) as i32);
+        let mut half = 1usize;
+        while half < n {
+            // Block-floating-point guard: pick the per-stage shift so the
+            // coming stage's worst-case growth (1 + √2) cannot saturate.
+            // The shift is folded into the butterfly itself, so each stage
+            // output is rounded exactly once from the wide accumulator.
+            let mut max = lanes::block_max_i32(re, im);
+            let mut k = 0u32;
+            while max > STAGE_GUARD {
+                k += 1;
+                max = (max + 1) >> 1;
+            }
+            shifts += k as i32;
+
+            let swr = &twr[half - 1..2 * half - 1];
+            let swi = &twi[half - 1..2 * half - 1];
+            if half < lanes::I32_LANES {
+                // Early stages have sub-lane groups; run the whole stage in
+                // one flat kernel pass instead of n/(2·half) tiny calls.
+                lanes::butterfly_q15_small(re, im, swr, swi, k);
+            } else {
+                let mut start = 0usize;
+                while start < n {
+                    let (e_re, o_re) = re[start..start + 2 * half].split_at_mut(half);
+                    let (e_im, o_im) = im[start..start + 2 * half].split_at_mut(half);
+                    lanes::butterfly_q15(e_re, e_im, o_re, o_im, swr, swi, k);
+                    start += half << 1;
+                }
+            }
+            half <<= 1;
+        }
+        shifts
+    }
+
+    /// The retired scalar BFP transform (reference for the equivalence
+    /// tests).
+    fn transform_scalar(&self, data: &mut [ComplexQ15], twr: &[i32], twi: &[i32]) -> i32 {
         let n = self.n;
         if n == 1 {
             return 0;
@@ -346,15 +528,9 @@ impl FixedRadix2Plan {
                 data.swap(i, j);
             }
         }
-        // A quiet block would otherwise run the early stages on a short
-        // mantissa; pull it up to the guard ceiling first (negative shift).
         let mut shifts = -(renormalize_up(data) as i32);
         let mut half = 1usize;
         while half < n {
-            // Block-floating-point guard: pick the per-stage shift so the
-            // coming stage's worst-case growth (1 + √2) cannot saturate.
-            // The shift is folded into the butterfly itself, so each stage
-            // output is rounded exactly once from the wide accumulator.
             let mut max = block_max(data);
             let mut k = 0u32;
             while max > STAGE_GUARD {
@@ -363,7 +539,8 @@ impl FixedRadix2Plan {
             }
             shifts += k as i32;
 
-            let tw = &twiddles[half - 1..2 * half - 1];
+            let swr = &twr[half - 1..2 * half - 1];
+            let swi = &twi[half - 1..2 * half - 1];
             let shift = 15 + k;
             let bias = 1i64 << (shift - 1);
             let mut start = 0usize;
@@ -371,13 +548,12 @@ impl FixedRadix2Plan {
                 for j in 0..half {
                     let even = data[start + j];
                     let odd = data[start + j + half];
-                    let w = tw[j];
                     // Twiddle products kept at full Q30 precision; the even
                     // term is aligned up so the single rounding shift at the
                     // end covers both the Q15 renormalisation and the BFP
                     // stage shift.
-                    let pr = odd.re.0 as i64 * w.re.0 as i64 - odd.im.0 as i64 * w.im.0 as i64;
-                    let pi = odd.re.0 as i64 * w.im.0 as i64 + odd.im.0 as i64 * w.re.0 as i64;
+                    let pr = odd.re.0 as i64 * swr[j] as i64 - odd.im.0 as i64 * swi[j] as i64;
+                    let pi = odd.re.0 as i64 * swi[j] as i64 + odd.im.0 as i64 * swr[j] as i64;
                     let er = (even.re.0 as i64) << 15;
                     let ei = (even.im.0 as i64) << 15;
                     data[start + j] = ComplexQ15::new(
@@ -398,18 +574,23 @@ impl FixedRadix2Plan {
 }
 
 /// Bluestein (chirp-z) state for one non-power-of-two length, built on the
-/// BFP radix-2 core.
+/// BFP radix-2 core with all tables and scratch in widened SoA form.
 #[derive(Debug, Clone)]
 struct FixedBluesteinPlan {
     inner: FixedRadix2Plan,
-    /// The chirp `w[j] = exp(−iπ j²/n)` quantised to Q15 (unit phasors).
-    chirp: Vec<ComplexQ15>,
-    /// Quantised FFT of the symmetrically extended conjugate chirp.
-    chirp_spectrum: Vec<ComplexQ15>,
-    /// True chirp spectrum = dequantised `chirp_spectrum` × this factor.
+    /// The chirp `w[j] = exp(−iπ j²/n)` quantised to Q15 (unit phasors),
+    /// widened SoA halves of length `n`.
+    chirp_re: Vec<i32>,
+    chirp_im: Vec<i32>,
+    /// Quantised FFT of the symmetrically extended conjugate chirp,
+    /// widened SoA halves of length `m`.
+    spec_re: Vec<i32>,
+    spec_im: Vec<i32>,
+    /// True chirp spectrum = dequantised spectrum × this factor.
     chirp_spectrum_scale: f64,
-    /// Reusable convolution buffer, length `m`.
-    scratch: Vec<ComplexQ15>,
+    /// Reusable SoA convolution buffers, length `m`.
+    scratch_re: Vec<i32>,
+    scratch_im: Vec<i32>,
 }
 
 impl FixedBluesteinPlan {
@@ -438,19 +619,29 @@ impl FixedBluesteinPlan {
             .map(|c| c.re.abs().max(c.im.abs()))
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
-        let chirp_spectrum: Vec<ComplexQ15> = spec
-            .iter()
-            .map(|c| ComplexQ15::from_complex64(*c / max))
-            .collect();
+        let mut spec_re = Vec::with_capacity(m);
+        let mut spec_im = Vec::with_capacity(m);
+        for c in spec.iter() {
+            let q = ComplexQ15::from_complex64(*c / max);
+            spec_re.push(q.re.0 as i32);
+            spec_im.push(q.im.0 as i32);
+        }
+        let mut chirp_re = Vec::with_capacity(n);
+        let mut chirp_im = Vec::with_capacity(n);
+        for c in chirp_f64.iter() {
+            let q = ComplexQ15::from_complex64(*c);
+            chirp_re.push(q.re.0 as i32);
+            chirp_im.push(q.im.0 as i32);
+        }
         Ok(Self {
             inner,
-            chirp: chirp_f64
-                .iter()
-                .map(|c| ComplexQ15::from_complex64(*c))
-                .collect(),
-            chirp_spectrum,
+            chirp_re,
+            chirp_im,
+            spec_re,
+            spec_im,
             chirp_spectrum_scale: max,
-            scratch: vec![ComplexQ15::ZERO; m],
+            scratch_re: vec![0; m],
+            scratch_im: vec![0; m],
         })
     }
 
@@ -458,31 +649,32 @@ impl FixedBluesteinPlan {
     /// factor: true DFT = dequantised output × scale.
     fn forward(&mut self, data: &mut [ComplexQ15]) -> Result<f64> {
         let n = data.len();
-        let m = self.scratch.len();
+        let m = self.scratch_re.len();
+        let (s_re, s_im) = (&mut self.scratch_re, &mut self.scratch_im);
         let mut scale = 1.0f64;
-        for (slot, (d, c)) in self
-            .scratch
-            .iter_mut()
-            .zip(data.iter().zip(self.chirp.iter()))
-        {
-            *slot = cmul_half(*d, *c);
+        let bias = 1i64 << 15;
+        for (j, d) in data.iter().enumerate() {
+            let (ar, ai) = (d.re.0 as i64, d.im.0 as i64);
+            let (br, bi) = (self.chirp_re[j] as i64, self.chirp_im[j] as i64);
+            s_re[j] = lanes::sat16_i64((ar * br - ai * bi + bias) >> 16);
+            s_im[j] = lanes::sat16_i64((ar * bi + ai * br + bias) >> 16);
         }
-        scale *= 2.0; // cmul_half halves the product
-        for slot in self.scratch[n..m].iter_mut() {
-            *slot = ComplexQ15::ZERO;
+        scale *= 2.0; // the half-scaled product halves the value
+        for j in n..m {
+            s_re[j] = 0;
+            s_im[j] = 0;
         }
-        scale *= 2f64.powi(self.inner.forward(&mut self.scratch)?);
-        for (x, y) in self.scratch.iter_mut().zip(self.chirp_spectrum.iter()) {
-            *x = cmul_half(*x, *y);
-        }
+        scale *= 2f64.powi(self.inner.forward_soa(s_re, s_im)?);
+        lanes::cmul_half_q15(s_re, s_im, &self.spec_re, &self.spec_im);
         scale *= 2.0 * self.chirp_spectrum_scale;
-        scale *= 2f64.powi(self.inner.inverse_raw(&mut self.scratch)?) / m as f64;
-        for ((d, s), c) in data
-            .iter_mut()
-            .zip(self.scratch.iter())
-            .zip(self.chirp.iter())
-        {
-            *d = cmul_half(*s, *c);
+        scale *= 2f64.powi(self.inner.inverse_raw_soa(s_re, s_im)?) / m as f64;
+        for (j, d) in data.iter_mut().enumerate() {
+            let (ar, ai) = (s_re[j] as i64, s_im[j] as i64);
+            let (br, bi) = (self.chirp_re[j] as i64, self.chirp_im[j] as i64);
+            *d = ComplexQ15::new(
+                Q15(lanes::sat16_i64((ar * br - ai * bi + bias) >> 16) as i16),
+                Q15(lanes::sat16_i64((ar * bi + ai * br + bias) >> 16) as i16),
+            );
         }
         Ok(scale * 2.0)
     }
@@ -653,8 +845,10 @@ impl FixedPlanPool {
 
 /// Reusable per-call buffers for the Q15 matched filter.
 struct FixedScratch {
-    /// Complex block buffer of the filter's FFT length.
-    block: Vec<ComplexQ15>,
+    /// SoA real half of the widened block buffer (the filter's FFT length).
+    block_re: Vec<i32>,
+    /// SoA imaginary half of the widened block buffer.
+    block_im: Vec<i32>,
     /// The whole signal quantised once per call.
     qsig: Vec<i16>,
     /// Exact integer prefix sums of squared quantised samples.
@@ -667,8 +861,9 @@ struct FixedScratch {
 /// The template is quantised to Q15 by its peak, its conjugated spectrum is
 /// stored as Q15 with a block-floating-point scale, and every per-block
 /// step (forward BFP FFT, pointwise integer product, inverse BFP FFT) runs
-/// in 16-bit data with wide integer accumulators. Incoming `f64` signals
-/// are quantised once per call by their peak — the automatic-gain-control
+/// in 16-bit data with wide integer accumulators — in widened SoA form
+/// through the `[i32; 8]` lane kernels. Incoming `f64` signals are
+/// quantised once per call by their peak — the automatic-gain-control
 /// step a phone's capture path performs — and the sliding-window energies
 /// used for normalisation are exact 64-bit integer prefix sums of the
 /// quantised samples, so numerator and denominator see the same
@@ -678,8 +873,9 @@ pub struct Q15MatchedFilter {
     fft_len: usize,
     /// Valid lags produced per block: `fft_len − template_len + 1`.
     step: usize,
-    /// Conjugated template spectrum in Q15.
-    template_spectrum: Vec<ComplexQ15>,
+    /// Conjugated template spectrum, widened SoA halves.
+    tspec_re: Vec<i32>,
+    tspec_im: Vec<i32>,
     /// True template spectrum = dequantised spectrum × this factor
     /// (BFP shifts of the template transform × the template's peak).
     template_spectrum_scale: f64,
@@ -704,7 +900,8 @@ impl Clone for Q15MatchedFilter {
             template_len: self.template_len,
             fft_len: self.fft_len,
             step: self.step,
-            template_spectrum: self.template_spectrum.clone(),
+            tspec_re: self.tspec_re.clone(),
+            tspec_im: self.tspec_im.clone(),
             template_spectrum_scale: self.template_spectrum_scale,
             template_norm: self.template_norm,
             plan: self.plan.clone(),
@@ -731,23 +928,27 @@ impl Q15MatchedFilter {
         let m = template.len();
         let fft_len = next_pow2(4 * m).max(1024);
         let plan = FixedRadix2Plan::new(fft_len)?;
-        let mut block = vec![ComplexQ15::ZERO; fft_len];
+        let mut tspec_re = vec![0i32; fft_len];
+        let mut tspec_im = vec![0i32; fft_len];
         let mut template_norm_sq = 0.0f64;
-        for (slot, &t) in block.iter_mut().zip(template.iter()) {
+        for (slot, &t) in tspec_re.iter_mut().zip(template.iter()) {
             let q = Q15::from_f64(t / peak);
             let tq = q.to_f64() * peak;
             template_norm_sq += tq * tq;
-            *slot = ComplexQ15::new(q, Q15::ZERO);
+            *slot = q.0 as i32;
         }
-        let shifts = plan.forward(&mut block)?;
-        for x in block.iter_mut() {
-            *x = x.conj();
+        let shifts = plan.forward_soa(&mut tspec_re, &mut tspec_im)?;
+        // Conjugate with the same i16 saturating negation the scalar path
+        // used (−32768 saturates to 32767 instead of wrapping).
+        for x in tspec_im.iter_mut() {
+            *x = (*x as i16).saturating_neg() as i32;
         }
         Ok(Self {
             template_len: m,
             fft_len,
             step: fft_len - m + 1,
-            template_spectrum: block,
+            tspec_re,
+            tspec_im,
             template_spectrum_scale: 2f64.powi(shifts) * peak,
             template_norm: template_norm_sq.sqrt(),
             plan,
@@ -804,6 +1005,52 @@ impl Q15MatchedFilter {
         Ok(out)
     }
 
+    /// Batched normalised correlation of N links' captures through one
+    /// filter checkout, mirroring
+    /// [`crate::matched::MatchedFilter::correlate_normalized_batch`]. Each
+    /// output is identical to the per-link call (per-link AGC gain is
+    /// preserved).
+    pub fn correlate_normalized_batch(&self, signals: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        let mut outs: Vec<Vec<f64>> = signals.iter().map(|_| Vec::new()).collect();
+        self.correlate_normalized_batch_into(signals, &mut outs)?;
+        Ok(outs)
+    }
+
+    /// Batched normalised correlation into caller buffers. `outs` must have
+    /// one slot per signal.
+    pub fn correlate_normalized_batch_into(
+        &self,
+        signals: &[&[f64]],
+        outs: &mut [Vec<f64>],
+    ) -> Result<()> {
+        if signals.len() != outs.len() {
+            return Err(DspError::InvalidLength {
+                reason: "batched correlation needs one output slot per signal",
+            });
+        }
+        // Validate first; output lengths are recomputed in the loop below
+        // instead of staged in a side vector, keeping the steady state
+        // allocation-free.
+        for signal in signals {
+            if signal.is_empty() {
+                return Err(DspError::InvalidLength {
+                    reason: "correlation inputs must be non-empty",
+                });
+            }
+            self.output_len(signal.len())?;
+        }
+        let mut scratch = self.acquire();
+        let result = (|| {
+            for (signal, out) in signals.iter().zip(outs.iter_mut()) {
+                let n_out = signal.len() - self.template_len + 1;
+                self.run_with_scratch(signal, out, true, n_out, &mut scratch)?;
+            }
+            Ok(())
+        })();
+        self.release(scratch);
+        result
+    }
+
     fn run(&self, signal: &[f64], out: &mut Vec<f64>, normalize: bool) -> Result<()> {
         if signal.is_empty() {
             return Err(DspError::InvalidLength {
@@ -853,30 +1100,33 @@ impl Q15MatchedFilter {
 
         // Overlap-save, exactly as the f64 filter: block `p` covers
         // signal[p .. p+L); valid on the first L − m + 1 lags.
-        let block = &mut scratch.block;
+        let re = &mut scratch.block_re;
+        let im = &mut scratch.block_im;
+        let qsig = &scratch.qsig;
         let mut p = 0usize;
         while p < n_out {
             let available = (n - p).min(l);
-            for (slot, &q) in block.iter_mut().zip(qsig[p..p + available].iter()) {
-                *slot = ComplexQ15::new(Q15::from_raw(q), Q15::ZERO);
+            for (slot, &q) in re.iter_mut().zip(qsig[p..p + available].iter()) {
+                *slot = q as i32;
             }
-            for slot in block[available..l].iter_mut() {
-                *slot = ComplexQ15::ZERO;
+            for slot in re[available..l].iter_mut() {
+                *slot = 0;
+            }
+            for slot in im.iter_mut() {
+                *slot = 0;
             }
             // The plan renormalises quiet blocks up internally (blocks
             // are quantised against the whole stream's peak), so the FFT
             // always runs on a full mantissa.
-            let mut scale = 2f64.powi(self.plan.forward(block)?);
-            for (x, t) in block.iter_mut().zip(self.template_spectrum.iter()) {
-                *x = cmul_half(*x, *t);
-            }
+            let mut scale = 2f64.powi(self.plan.forward_soa(re, im)?);
+            lanes::cmul_half_q15(re, im, &self.tspec_re, &self.tspec_im);
             scale *= 2.0 * self.template_spectrum_scale;
-            scale /= f64::from(1u32 << renormalize_up(block));
-            scale *= 2f64.powi(self.plan.inverse_raw(block)?) / l as f64;
+            scale /= f64::from(1u32 << lanes::renormalize_up_i32(re, im, STAGE_GUARD));
+            scale *= 2f64.powi(self.plan.inverse_raw_soa(re, im)?) / l as f64;
             // Undo the signal quantisation gain at the boundary.
             scale *= gain;
             let take = self.step.min(n_out - p);
-            out.extend(block[..take].iter().map(|c| c.re.to_f64() * scale));
+            out.extend(re[..take].iter().map(|&v| v as f64 / Q15_ONE * scale));
             p += self.step;
         }
 
@@ -901,7 +1151,8 @@ impl Q15MatchedFilter {
             .expect("q15 matched-filter pool poisoned")
             .pop()
             .unwrap_or_else(|| FixedScratch {
-                block: vec![ComplexQ15::ZERO; self.fft_len],
+                block_re: vec![0; self.fft_len],
+                block_im: vec![0; self.fft_len],
                 qsig: Vec::new(),
                 prefix: Vec::new(),
             })
@@ -1000,6 +1251,44 @@ mod tests {
     }
 
     #[test]
+    fn lane_path_is_bit_identical_to_the_scalar_reference() {
+        for n in [1usize, 2, 16, 256, 2048] {
+            for amp in [0.01, 0.5, 0.98] {
+                let signal = test_signal(n, amp);
+                let plan = FixedRadix2Plan::new(n).unwrap();
+                let mut lane = quantize(&signal);
+                let mut scalar = lane.clone();
+                let s_lane = plan.forward(&mut lane).unwrap();
+                let s_scalar = plan.forward_scalar(&mut scalar).unwrap();
+                assert_eq!(s_lane, s_scalar, "forward shifts n={n} amp={amp}");
+                assert_eq!(lane, scalar, "forward n={n} amp={amp}");
+                let s_lane = plan.inverse_raw(&mut lane).unwrap();
+                let s_scalar = plan.inverse_raw_scalar(&mut scalar).unwrap();
+                assert_eq!(s_lane, s_scalar, "inverse shifts n={n} amp={amp}");
+                assert_eq!(lane, scalar, "inverse n={n} amp={amp}");
+            }
+        }
+    }
+
+    #[test]
+    fn soa_entry_points_match_the_interleaved_wrappers() {
+        for n in [4usize, 64, 1024] {
+            let signal = test_signal(n, 0.6);
+            let plan = FixedRadix2Plan::new(n).unwrap();
+            let mut aos = quantize(&signal);
+            let mut re: Vec<i32> = aos.iter().map(|c| c.re.0 as i32).collect();
+            let mut im: Vec<i32> = aos.iter().map(|c| c.im.0 as i32).collect();
+            let s_aos = plan.forward(&mut aos).unwrap();
+            let s_soa = plan.forward_soa(&mut re, &mut im).unwrap();
+            assert_eq!(s_aos, s_soa);
+            for (c, (r, x)) in aos.iter().zip(re.iter().zip(im.iter())) {
+                assert_eq!(c.re.0 as i32, *r);
+                assert_eq!(c.im.0 as i32, *x);
+            }
+        }
+    }
+
+    #[test]
     fn fixed_plan_roundtrip_preserves_the_signal() {
         for n in [64usize, 1024, 2048] {
             let signal = test_signal(n, 0.7);
@@ -1069,6 +1358,13 @@ mod tests {
         let mut wrong = vec![ComplexQ15::ZERO; 32];
         assert!(plan.process_forward(&mut wrong).is_err());
         assert!(plan.process_inverse(&mut wrong).is_err());
+        let radix = FixedRadix2Plan::new(64).unwrap();
+        assert!(radix.forward_soa(&mut [0; 32], &mut [0; 64]).is_err());
+        assert!(radix.inverse_raw_soa(&mut [0; 64], &mut [0; 32]).is_err());
+        assert!(radix.forward_scalar(&mut [ComplexQ15::ZERO; 16]).is_err());
+        assert!(radix
+            .inverse_raw_scalar(&mut [ComplexQ15::ZERO; 16])
+            .is_err());
     }
 
     #[test]
@@ -1128,6 +1424,34 @@ mod tests {
     }
 
     #[test]
+    fn q15_batched_correlation_matches_per_link_calls() {
+        let template: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.41).sin()).collect();
+        let filter = Q15MatchedFilter::new(&template).unwrap();
+        let embed = |offset: usize, total: usize, level: f64| -> Vec<f64> {
+            let mut s: Vec<f64> = (0..total)
+                .map(|i| 0.02 * ((i as f64) * 0.377).sin())
+                .collect();
+            for (i, &t) in template.iter().enumerate() {
+                s[offset + i] += level * t;
+            }
+            s
+        };
+        let sig_a = embed(57, 900, 0.9);
+        let sig_b = embed(700, 2600, 0.4); // different per-link AGC gain
+        let signals: Vec<&[f64]> = vec![&sig_a, &sig_b];
+        let batched = filter.correlate_normalized_batch(&signals).unwrap();
+        for (signal, got) in signals.iter().zip(batched.iter()) {
+            let solo = filter.correlate_normalized(signal).unwrap();
+            assert_eq!(&solo, got);
+        }
+        assert!(filter.correlate_normalized_batch(&[]).unwrap().is_empty());
+        let good = vec![0.5; 600];
+        assert!(filter
+            .correlate_normalized_batch(&[&good, &[1.0, 2.0]])
+            .is_err());
+    }
+
+    #[test]
     fn q15_matched_filter_edge_cases() {
         assert!(Q15MatchedFilter::new(&[]).is_err());
         assert!(Q15MatchedFilter::new(&[0.0; 32]).is_err());
@@ -1157,6 +1481,7 @@ mod tests {
     #[test]
     fn numeric_path_slugs() {
         assert_eq!(NumericPath::F64.slug(), "f64");
+        assert_eq!(NumericPath::F32.slug(), "f32");
         assert_eq!(NumericPath::Q15.slug(), "q15");
         assert_eq!(NumericPath::default(), NumericPath::F64);
     }

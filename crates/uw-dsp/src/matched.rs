@@ -21,17 +21,36 @@
 //! Output is bit-for-bit the same definition as `xcorr_normalized` /
 //! `xcorr_fft` (valid lags only), to within floating-point rounding of the
 //! different FFT lengths.
+//!
+//! ## Lane-kernel execution and batching
+//!
+//! The filter holds the template spectrum and its block scratch in
+//! **structure-of-arrays** form (`re[]` / `im[]` vectors) and drives the
+//! radix-2 plan through its native SoA entry points
+//! ([`crate::plan::Radix2Plan::forward_soa`]), so the FFT butterflies and
+//! the pointwise spectrum product all run through the `[f64; 4]` lane
+//! kernels in [`crate::lanes`] with no interleaving anywhere in the loop.
+//!
+//! [`MatchedFilter::correlate_normalized_batch`] correlates N links'
+//! captures through **one plan invocation**: all links share a single
+//! scratch checkout, and blocks are walked column-major (block `b` of every
+//! link before block `b+1` of any), so the multi-hundred-kilobyte template
+//! spectrum is re-used while cache-hot instead of being re-streamed per
+//! link. This is the entry point the serving layer's shard workers batch
+//! through.
 
-use crate::complex::Complex64;
 use crate::fft::next_pow2;
+use crate::lanes;
 use crate::plan::Radix2Plan;
 use crate::{DspError, Result};
 use std::sync::Mutex;
 
 /// Reusable per-call buffers, checked out of the filter's pool.
 struct Scratch {
-    /// Complex block buffer of the filter's FFT length.
-    block: Vec<Complex64>,
+    /// SoA real half of the block buffer (the filter's FFT length).
+    block_re: Vec<f64>,
+    /// SoA imaginary half of the block buffer.
+    block_im: Vec<f64>,
     /// Prefix-sum buffer for sliding window energies (`signal.len() + 1`).
     prefix: Vec<f64>,
 }
@@ -42,8 +61,10 @@ pub struct MatchedFilter {
     fft_len: usize,
     /// Valid lags produced per block: `fft_len − template_len + 1`.
     step: usize,
-    /// Conjugated template spectrum at `fft_len`, ready to multiply.
-    template_spectrum: Vec<Complex64>,
+    /// Real parts of the conjugated template spectrum at `fft_len`.
+    tspec_re: Vec<f64>,
+    /// Imaginary parts of the conjugated template spectrum.
+    tspec_im: Vec<f64>,
     /// L2 norm of the template (for normalisation).
     template_norm: f64,
     plan: Radix2Plan,
@@ -65,7 +86,8 @@ impl Clone for MatchedFilter {
             template_len: self.template_len,
             fft_len: self.fft_len,
             step: self.step,
-            template_spectrum: self.template_spectrum.clone(),
+            tspec_re: self.tspec_re.clone(),
+            tspec_im: self.tspec_im.clone(),
             template_norm: self.template_norm,
             plan: self.plan.clone(),
             pool: Mutex::new(Vec::new()),
@@ -94,19 +116,19 @@ impl MatchedFilter {
         // block's two transforms yield ≥ 3m valid lags.
         let fft_len = next_pow2(4 * m).max(1024);
         let plan = Radix2Plan::new(fft_len)?;
-        let mut template_spectrum = vec![Complex64::ZERO; fft_len];
-        for (slot, &t) in template_spectrum.iter_mut().zip(template.iter()) {
-            *slot = Complex64::from_re(t);
-        }
-        plan.forward(&mut template_spectrum)?;
-        for x in template_spectrum.iter_mut() {
-            *x = x.conj();
+        let mut tspec_re = vec![0.0; fft_len];
+        let mut tspec_im = vec![0.0; fft_len];
+        tspec_re[..m].copy_from_slice(template);
+        plan.forward_soa(&mut tspec_re, &mut tspec_im)?;
+        for x in tspec_im.iter_mut() {
+            *x = -*x;
         }
         Ok(Self {
             template_len: m,
             fft_len,
             step: fft_len - m + 1,
-            template_spectrum,
+            tspec_re,
+            tspec_im,
             template_norm,
             plan,
             pool: Mutex::new(Vec::new()),
@@ -162,6 +184,75 @@ impl MatchedFilter {
         Ok(out)
     }
 
+    /// Normalised correlation of N links' captures through one plan
+    /// invocation (see the module notes on batching). Returns one output
+    /// vector per input signal; each is identical to what
+    /// [`MatchedFilter::correlate_normalized`] would produce for that
+    /// signal alone.
+    pub fn correlate_normalized_batch(&self, signals: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        let mut outs: Vec<Vec<f64>> = signals.iter().map(|_| Vec::new()).collect();
+        self.correlate_normalized_batch_into(signals, &mut outs)?;
+        Ok(outs)
+    }
+
+    /// Batched normalised correlation into caller buffers. Steady-state
+    /// allocation-free when every `outs[i]` has capacity. `outs` must have
+    /// one slot per signal.
+    pub fn correlate_normalized_batch_into(
+        &self,
+        signals: &[&[f64]],
+        outs: &mut [Vec<f64>],
+    ) -> Result<()> {
+        if signals.len() != outs.len() {
+            return Err(DspError::InvalidLength {
+                reason: "batched correlation needs one output slot per signal",
+            });
+        }
+        // Validate the whole batch before touching any scratch. Output
+        // lengths are recomputed where needed below instead of staged in a
+        // side vector, keeping the steady state allocation-free.
+        for signal in signals {
+            if signal.is_empty() {
+                return Err(DspError::InvalidLength {
+                    reason: "correlation inputs must be non-empty",
+                });
+            }
+            self.output_len(signal.len())?;
+        }
+        let n_out_of = |signal: &[f64]| signal.len() - self.template_len + 1;
+        let mut scratch = self.acquire();
+        let result = (|| {
+            for (out, signal) in outs.iter_mut().zip(signals.iter()) {
+                out.clear();
+                out.reserve(n_out_of(signal));
+            }
+            // Column-major over blocks: every link's block `b` runs while
+            // the template spectrum is still cache-hot from the previous
+            // link's block `b`.
+            let max_blocks = signals
+                .iter()
+                .map(|s| n_out_of(s).div_ceil(self.step))
+                .max()
+                .unwrap_or(0);
+            for b in 0..max_blocks {
+                let p = b * self.step;
+                for (signal, out) in signals.iter().zip(outs.iter_mut()) {
+                    let n_out = n_out_of(signal);
+                    if p < n_out {
+                        self.one_block(signal, p, n_out, out, &mut scratch)?;
+                    }
+                }
+            }
+            for (signal, out) in signals.iter().zip(outs.iter_mut()) {
+                debug_assert_eq!(out.len(), n_out_of(signal));
+                self.normalize(signal, out, &mut scratch);
+            }
+            Ok(())
+        })();
+        self.release(scratch);
+        result
+    }
+
     fn run(&self, signal: &[f64], out: &mut Vec<f64>, normalize: bool) -> Result<()> {
         if signal.is_empty() {
             return Err(DspError::InvalidLength {
@@ -170,66 +261,75 @@ impl MatchedFilter {
         }
         let n_out = self.output_len(signal.len())?;
         let mut scratch = self.acquire();
-        let result = self.run_with_scratch(signal, out, normalize, n_out, &mut scratch);
+        let result = (|| {
+            out.clear();
+            out.reserve(n_out);
+            // Overlap-save: block `p` covers signal[p .. p+L); its circular
+            // correlation is linear (wrap-free) on the first L − m + 1 lags.
+            let mut p = 0usize;
+            while p < n_out {
+                self.one_block(signal, p, n_out, out, &mut scratch)?;
+                p += self.step;
+            }
+            if normalize {
+                self.normalize(signal, out, &mut scratch);
+            }
+            Ok(())
+        })();
         self.release(scratch);
         result
     }
 
-    fn run_with_scratch(
+    /// One overlap-save block starting at lag `p`: load, forward FFT,
+    /// pointwise product with the conjugated template spectrum, inverse
+    /// FFT, and append the valid lags to `out`. All SoA lane kernels.
+    fn one_block(
         &self,
         signal: &[f64],
-        out: &mut Vec<f64>,
-        normalize: bool,
+        p: usize,
         n_out: usize,
+        out: &mut Vec<f64>,
         scratch: &mut Scratch,
     ) -> Result<()> {
         let n = signal.len();
         let l = self.fft_len;
-        out.clear();
-        out.reserve(n_out);
-
-        // Overlap-save: block `p` covers signal[p .. p+L); its circular
-        // correlation is linear (wrap-free) on the first L − m + 1 lags.
-        let block = &mut scratch.block;
-        let mut p = 0usize;
-        while p < n_out {
-            let available = (n - p).min(l);
-            for (slot, &s) in block.iter_mut().zip(signal[p..p + available].iter()) {
-                *slot = Complex64::from_re(s);
-            }
-            for slot in block[available..l].iter_mut() {
-                *slot = Complex64::ZERO;
-            }
-            self.plan.forward(block)?;
-            for (x, t) in block.iter_mut().zip(self.template_spectrum.iter()) {
-                *x *= *t;
-            }
-            self.plan.inverse(block)?;
-            let take = self.step.min(n_out - p);
-            out.extend(block[..take].iter().map(|c| c.re));
-            p += self.step;
+        let re = &mut scratch.block_re;
+        let im = &mut scratch.block_im;
+        let available = (n - p).min(l);
+        re[..available].copy_from_slice(&signal[p..p + available]);
+        for slot in re[available..l].iter_mut() {
+            *slot = 0.0;
         }
-
-        if normalize {
-            // Sliding window energy of the signal via prefix sums, exactly
-            // as in `xcorr_normalized`.
-            let prefix = &mut scratch.prefix;
-            prefix.clear();
-            prefix.reserve(n + 1);
-            prefix.push(0.0);
-            let mut acc = 0.0;
-            for &s in signal.iter() {
-                acc += s * s;
-                prefix.push(acc);
-            }
-            let m = self.template_len;
-            for (k, r) in out.iter_mut().enumerate() {
-                let win_energy = prefix[k + m] - prefix[k];
-                let denom = self.template_norm * win_energy.sqrt();
-                *r = if denom > 0.0 { *r / denom } else { 0.0 };
-            }
+        for slot in im.iter_mut() {
+            *slot = 0.0;
         }
+        self.plan.forward_soa(re, im)?;
+        lanes::cmul_f64(re, im, &self.tspec_re, &self.tspec_im);
+        self.plan.inverse_soa(re, im)?;
+        let take = self.step.min(n_out - p);
+        out.extend_from_slice(&re[..take]);
         Ok(())
+    }
+
+    /// Sliding window energy of the signal via prefix sums, exactly as in
+    /// `xcorr_normalized`.
+    fn normalize(&self, signal: &[f64], out: &mut [f64], scratch: &mut Scratch) {
+        let n = signal.len();
+        let prefix = &mut scratch.prefix;
+        prefix.clear();
+        prefix.reserve(n + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &s in signal.iter() {
+            acc += s * s;
+            prefix.push(acc);
+        }
+        let m = self.template_len;
+        for (k, r) in out.iter_mut().enumerate() {
+            let win_energy = prefix[k + m] - prefix[k];
+            let denom = self.template_norm * win_energy.sqrt();
+            *r = if denom > 0.0 { *r / denom } else { 0.0 };
+        }
     }
 
     fn acquire(&self) -> Scratch {
@@ -238,7 +338,8 @@ impl MatchedFilter {
             .expect("matched-filter pool poisoned")
             .pop()
             .unwrap_or_else(|| Scratch {
-                block: vec![Complex64::ZERO; self.fft_len],
+                block_re: vec![0.0; self.fft_len],
+                block_im: vec![0.0; self.fft_len],
                 prefix: Vec::new(),
             })
     }
@@ -322,6 +423,38 @@ mod tests {
         // A clone starts with an empty pool but computes the same result.
         let cloned = filter.clone();
         assert_eq!(cloned.correlate_normalized(&signal).unwrap(), first);
+    }
+
+    #[test]
+    fn batched_correlation_is_bit_identical_to_per_link_calls() {
+        let template: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.41).sin()).collect();
+        let filter = MatchedFilter::new(&template).unwrap();
+        // Links of different lengths, one spanning several blocks.
+        let sig_a = signal_with_template(&template, 57, 900);
+        let sig_b = signal_with_template(&template, 700, filter.block_len() * 2 + 31);
+        let sig_c = signal_with_template(&template, 311, 2400);
+        let signals: Vec<&[f64]> = vec![&sig_a, &sig_b, &sig_c];
+        let batched = filter.correlate_normalized_batch(&signals).unwrap();
+        assert_eq!(batched.len(), 3);
+        for (signal, got) in signals.iter().zip(batched.iter()) {
+            let solo = filter.correlate_normalized(signal).unwrap();
+            assert_eq!(&solo, got);
+        }
+        // Empty batch is a clean no-op.
+        assert!(filter.correlate_normalized_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_correlation_rejects_bad_batches() {
+        let filter = MatchedFilter::new(&[1.0, -1.0, 0.5]).unwrap();
+        let good = vec![0.5; 64];
+        let short = vec![0.5; 2];
+        assert!(filter.correlate_normalized_batch(&[&good, &short]).is_err());
+        assert!(filter.correlate_normalized_batch(&[&good, &[]]).is_err());
+        let mut one_slot = vec![Vec::new()];
+        assert!(filter
+            .correlate_normalized_batch_into(&[&good, &good], &mut one_slot)
+            .is_err());
     }
 
     #[test]

@@ -15,26 +15,83 @@
 //! allocation-free. [`FftPlanner`] caches plans by length, and
 //! [`PlanPool`] shares plans of one fixed length across threads without
 //! serialising the transforms themselves.
+//!
+//! ## Lane-kernel execution
+//!
+//! Since the vectorization pass, the butterflies run in **structure-of-
+//! arrays** form: twiddle tables are stored as separate `re[]` / `im[]`
+//! vectors and the transform executes on split real/imaginary buffers
+//! through the fixed-width `[f64; 4]` kernels in [`crate::lanes`]. The
+//! public [`Radix2Plan::forward`] / [`Radix2Plan::inverse`] entry points
+//! keep their interleaved [`Complex64`] signatures — they deinterleave into
+//! a pooled SoA scratch (fusing the bit-reversal permutation into the
+//! gather), run the lane-kernel stages, and interleave back — while SoA
+//! callers like [`crate::matched::MatchedFilter`] use
+//! [`Radix2Plan::forward_soa`] / [`Radix2Plan::inverse_soa`] directly and
+//! never touch interleaved storage at all. The retired one-lane-per-sample
+//! implementation is retained as [`Radix2Plan::forward_scalar`] /
+//! [`Radix2Plan::inverse_scalar`]: the differential harness
+//! (`tests/fixed_vs_float.rs`) pins the lane path bit-identical to it, so
+//! vectorization can never silently change answers.
 
 use crate::complex::Complex64;
 use crate::fft::{is_pow2, next_pow2};
+use crate::lanes;
 use crate::{DspError, Result};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+/// Reusable SoA buffers for the interleaved entry points.
+#[derive(Debug, Default)]
+struct SoaScratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
 /// A radix-2 decimation-in-time FFT with precomputed bit-reversal and
-/// twiddle tables. All state is read-only after construction, so one plan
-/// can serve many threads concurrently.
-#[derive(Debug, Clone)]
+/// structure-of-arrays twiddle tables, executed through the `[f64; 4]`
+/// lane kernels in [`crate::lanes`]. The tables are read-only after
+/// construction; the small internal SoA scratch pool is mutex-guarded, so
+/// one plan can serve many threads concurrently.
 pub struct Radix2Plan {
     n: usize,
     /// Bit-reversed index for every position (length `n`).
     bitrev: Vec<u32>,
-    /// Forward twiddles, concatenated per stage: stage `s` (butterfly
-    /// half-width `2^s`) occupies `twiddles_fwd[2^s - 1 .. 2^(s+1) - 1]`.
-    twiddles_fwd: Vec<Complex64>,
-    /// Inverse twiddles with the same layout.
-    twiddles_inv: Vec<Complex64>,
+    /// Forward twiddle real parts, concatenated per stage: stage `s`
+    /// (butterfly half-width `2^s`) occupies indices
+    /// `2^s - 1 .. 2^(s+1) - 1`.
+    tw_re_fwd: Vec<f64>,
+    /// Forward twiddle imaginary parts with the same layout.
+    tw_im_fwd: Vec<f64>,
+    /// Inverse twiddle real parts with the same layout.
+    tw_re_inv: Vec<f64>,
+    /// Inverse twiddle imaginary parts with the same layout.
+    tw_im_inv: Vec<f64>,
+    /// Pooled SoA buffers for the interleaved `forward`/`inverse` wrappers.
+    scratch: Mutex<Vec<SoaScratch>>,
+}
+
+impl std::fmt::Debug for Radix2Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Radix2Plan").field("n", &self.n).finish()
+    }
+}
+
+impl Clone for Radix2Plan {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            bitrev: self.bitrev.clone(),
+            tw_re_fwd: self.tw_re_fwd.clone(),
+            tw_im_fwd: self.tw_im_fwd.clone(),
+            tw_re_inv: self.tw_re_inv.clone(),
+            tw_im_inv: self.tw_im_inv.clone(),
+            scratch: Mutex::new(vec![SoaScratch {
+                re: vec![0.0; self.n],
+                im: vec![0.0; self.n],
+            }]),
+        }
+    }
 }
 
 impl Radix2Plan {
@@ -61,23 +118,33 @@ impl Radix2Plan {
             })
             .collect();
         // One table entry per butterfly twiddle; n-1 in total.
-        let mut twiddles_fwd = Vec::with_capacity(n.saturating_sub(1));
-        let mut twiddles_inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut tw_re_fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut tw_im_fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut tw_re_inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut tw_im_inv = Vec::with_capacity(n.saturating_sub(1));
         let mut half = 1usize;
         while half < n {
             let ang = std::f64::consts::PI / half as f64;
             for k in 0..half {
                 let w = Complex64::from_angle(-ang * k as f64);
-                twiddles_fwd.push(w);
-                twiddles_inv.push(w.conj());
+                tw_re_fwd.push(w.re);
+                tw_im_fwd.push(w.im);
+                tw_re_inv.push(w.re);
+                tw_im_inv.push(-w.im);
             }
             half <<= 1;
         }
         Ok(Self {
             n,
             bitrev,
-            twiddles_fwd,
-            twiddles_inv,
+            tw_re_fwd,
+            tw_im_fwd,
+            tw_re_inv,
+            tw_im_inv,
+            scratch: Mutex::new(vec![SoaScratch {
+                re: vec![0.0; n],
+                im: vec![0.0; n],
+            }]),
         })
     }
 
@@ -91,17 +158,78 @@ impl Radix2Plan {
         self.n == 0
     }
 
-    /// In-place forward FFT (unnormalised). Allocation-free.
+    /// In-place forward FFT (unnormalised). Allocation-free in steady state.
     pub fn forward(&self, data: &mut [Complex64]) -> Result<()> {
-        self.check(data)?;
-        self.transform(data, &self.twiddles_fwd);
+        self.check(data.len())?;
+        self.with_scratch(|re, im| {
+            // Fuse the bit-reversal permutation into the deinterleave.
+            for (i, (r, x)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+                let c = data[self.bitrev[i] as usize];
+                *r = c.re;
+                *x = c.im;
+            }
+            self.stages(re, im, true);
+            for (c, (r, x)) in data.iter_mut().zip(re.iter().zip(im.iter())) {
+                *c = Complex64::new(*r, *x);
+            }
+        });
         Ok(())
     }
 
-    /// In-place inverse FFT (normalised by 1/N). Allocation-free.
+    /// In-place inverse FFT (normalised by 1/N). Allocation-free in steady
+    /// state.
     pub fn inverse(&self, data: &mut [Complex64]) -> Result<()> {
-        self.check(data)?;
-        self.transform(data, &self.twiddles_inv);
+        self.check(data.len())?;
+        let scale = 1.0 / self.n as f64;
+        self.with_scratch(|re, im| {
+            for (i, (r, x)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+                let c = data[self.bitrev[i] as usize];
+                *r = c.re;
+                *x = c.im;
+            }
+            self.stages(re, im, false);
+            lanes::scale_f64(re, im, scale);
+            for (c, (r, x)) in data.iter_mut().zip(re.iter().zip(im.iter())) {
+                *c = Complex64::new(*r, *x);
+            }
+        });
+        Ok(())
+    }
+
+    /// In-place forward FFT on split real/imaginary buffers (unnormalised).
+    /// The native SoA entry point: no interleaving, no scratch checkout,
+    /// allocation-free.
+    pub fn forward_soa(&self, re: &mut [f64], im: &mut [f64]) -> Result<()> {
+        self.check_soa(re, im)?;
+        self.permute_soa(re, im);
+        self.stages(re, im, true);
+        Ok(())
+    }
+
+    /// In-place inverse FFT on split real/imaginary buffers (normalised by
+    /// 1/N). Allocation-free.
+    pub fn inverse_soa(&self, re: &mut [f64], im: &mut [f64]) -> Result<()> {
+        self.check_soa(re, im)?;
+        self.permute_soa(re, im);
+        self.stages(re, im, false);
+        lanes::scale_f64(re, im, 1.0 / self.n as f64);
+        Ok(())
+    }
+
+    /// The retired one-lane-per-sample forward transform, kept as the
+    /// reference the differential harness pins the lane kernels against
+    /// (bit-identical output required).
+    pub fn forward_scalar(&self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data.len())?;
+        self.transform_scalar(data, true);
+        Ok(())
+    }
+
+    /// The retired one-lane-per-sample inverse transform (normalised by
+    /// 1/N); reference twin of [`Radix2Plan::inverse`].
+    pub fn inverse_scalar(&self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data.len())?;
+        self.transform_scalar(data, false);
         let scale = 1.0 / self.n as f64;
         for x in data.iter_mut() {
             *x = *x * scale;
@@ -109,8 +237,8 @@ impl Radix2Plan {
         Ok(())
     }
 
-    fn check(&self, data: &[Complex64]) -> Result<()> {
-        if data.len() != self.n {
+    fn check(&self, len: usize) -> Result<()> {
+        if len != self.n {
             return Err(DspError::InvalidLength {
                 reason: "buffer length does not match the FFT plan length",
             });
@@ -118,7 +246,78 @@ impl Radix2Plan {
         Ok(())
     }
 
-    fn transform(&self, data: &mut [Complex64], twiddles: &[Complex64]) {
+    fn check_soa(&self, re: &[f64], im: &[f64]) -> Result<()> {
+        if re.len() != self.n || im.len() != self.n {
+            return Err(DspError::InvalidLength {
+                reason: "buffer length does not match the FFT plan length",
+            });
+        }
+        Ok(())
+    }
+
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut [f64], &mut [f64]) -> R) -> R {
+        let mut buf = self
+            .scratch
+            .lock()
+            .expect("radix-2 scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.re.resize(self.n, 0.0);
+        buf.im.resize(self.n, 0.0);
+        let result = f(&mut buf.re, &mut buf.im);
+        self.scratch
+            .lock()
+            .expect("radix-2 scratch pool poisoned")
+            .push(buf);
+        result
+    }
+
+    /// In-place bit-reversal permutation on SoA buffers.
+    fn permute_soa(&self, re: &mut [f64], im: &mut [f64]) {
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+    }
+
+    /// Runs the butterfly stages on bit-reversed SoA data through the lane
+    /// kernels.
+    fn stages(&self, re: &mut [f64], im: &mut [f64], forward: bool) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        let (twr, twi) = if forward {
+            (&self.tw_re_fwd, &self.tw_im_fwd)
+        } else {
+            (&self.tw_re_inv, &self.tw_im_inv)
+        };
+        let mut half = 1usize;
+        while half < n {
+            // Table slice for this stage (see the layout note on the field).
+            let swr = &twr[half - 1..2 * half - 1];
+            let swi = &twi[half - 1..2 * half - 1];
+            if half < lanes::F64_LANES {
+                // Early stages have sub-lane groups; run the whole stage in
+                // one flat kernel pass instead of n/(2·half) tiny calls.
+                lanes::butterfly_f64_small(re, im, swr, swi);
+            } else {
+                let mut start = 0usize;
+                while start < n {
+                    let (e_re, o_re) = re[start..start + 2 * half].split_at_mut(half);
+                    let (e_im, o_im) = im[start..start + 2 * half].split_at_mut(half);
+                    lanes::butterfly_f64(e_re, e_im, o_re, o_im, swr, swi);
+                    start += half << 1;
+                }
+            }
+            half <<= 1;
+        }
+    }
+
+    fn transform_scalar(&self, data: &mut [Complex64], forward: bool) {
         let n = self.n;
         if n == 1 {
             return;
@@ -129,17 +328,24 @@ impl Radix2Plan {
                 data.swap(i, j);
             }
         }
+        let (twr, twi) = if forward {
+            (&self.tw_re_fwd, &self.tw_im_fwd)
+        } else {
+            (&self.tw_re_inv, &self.tw_im_inv)
+        };
         let mut half = 1usize;
         while half < n {
-            // Table slice for this stage (see the layout note on the field).
-            let tw = &twiddles[half - 1..2 * half - 1];
+            let swr = &twr[half - 1..2 * half - 1];
+            let swi = &twi[half - 1..2 * half - 1];
             let mut start = 0usize;
             while start < n {
                 for k in 0..half {
                     let even = data[start + k];
-                    let odd = data[start + k + half] * tw[k];
-                    data[start + k] = even + odd;
-                    data[start + k + half] = even - odd;
+                    let odd = data[start + k + half];
+                    let pr = odd.re * swr[k] - odd.im * swi[k];
+                    let pi = odd.re * swi[k] + odd.im * swr[k];
+                    data[start + k] = Complex64::new(even.re + pr, even.im + pi);
+                    data[start + k + half] = Complex64::new(even.re - pr, even.im - pi);
                 }
                 start += half << 1;
             }
@@ -148,17 +354,23 @@ impl Radix2Plan {
     }
 }
 
-/// Bluestein (chirp-z) state for one non-power-of-two length.
+/// Bluestein (chirp-z) state for one non-power-of-two length, held in SoA
+/// form so every step runs through the lane kernels.
 #[derive(Debug, Clone)]
 struct BluesteinPlan {
     /// Inner radix-2 plan of length `m = next_pow2(2n − 1)`.
     inner: Radix2Plan,
-    /// The chirp `w[j] = exp(−iπ j²/n)`, length `n`.
-    chirp: Vec<Complex64>,
-    /// FFT of the symmetrically extended conjugate chirp, length `m`.
-    chirp_spectrum: Vec<Complex64>,
-    /// Reusable convolution buffer, length `m`.
-    scratch: Vec<Complex64>,
+    /// Real parts of the chirp `w[j] = exp(−iπ j²/n)`, length `n`.
+    chirp_re: Vec<f64>,
+    /// Imaginary parts of the chirp, length `n`.
+    chirp_im: Vec<f64>,
+    /// Real parts of the FFT of the symmetrically extended conjugate chirp.
+    spec_re: Vec<f64>,
+    /// Imaginary parts of the chirp spectrum, length `m`.
+    spec_im: Vec<f64>,
+    /// Reusable SoA convolution buffers, length `m`.
+    scratch_re: Vec<f64>,
+    scratch_im: Vec<f64>,
 }
 
 impl BluesteinPlan {
@@ -172,48 +384,51 @@ impl BluesteinPlan {
                 Complex64::from_angle(-std::f64::consts::PI * jj as f64 / n as f64)
             })
             .collect();
-        let mut chirp_spectrum = vec![Complex64::ZERO; m];
+        let mut spec_re = vec![0.0; m];
+        let mut spec_im = vec![0.0; m];
         for j in 0..n {
-            chirp_spectrum[j] = chirp[j].conj();
+            let c = chirp[j].conj();
+            spec_re[j] = c.re;
+            spec_im[j] = c.im;
             if j != 0 {
-                chirp_spectrum[m - j] = chirp[j].conj();
+                spec_re[m - j] = c.re;
+                spec_im[m - j] = c.im;
             }
         }
-        inner.forward(&mut chirp_spectrum)?;
+        inner.forward_soa(&mut spec_re, &mut spec_im)?;
         Ok(Self {
             inner,
-            chirp,
-            chirp_spectrum,
-            scratch: vec![Complex64::ZERO; m],
+            chirp_re: chirp.iter().map(|c| c.re).collect(),
+            chirp_im: chirp.iter().map(|c| c.im).collect(),
+            spec_re,
+            spec_im,
+            scratch_re: vec![0.0; m],
+            scratch_im: vec![0.0; m],
         })
     }
 
     /// In-place forward DFT of length `n` via chirp-z. Allocation-free.
     fn forward(&mut self, data: &mut [Complex64]) -> Result<()> {
         let n = data.len();
-        let m = self.scratch.len();
-        for ((slot, d), c) in self
-            .scratch
-            .iter_mut()
-            .zip(data.iter())
-            .zip(self.chirp.iter())
-        {
-            *slot = *d * *c;
+        let m = self.scratch_re.len();
+        let (s_re, s_im) = (&mut self.scratch_re, &mut self.scratch_im);
+        for j in 0..n {
+            let d = data[j];
+            let (cr, ci) = (self.chirp_re[j], self.chirp_im[j]);
+            s_re[j] = d.re * cr - d.im * ci;
+            s_im[j] = d.re * ci + d.im * cr;
         }
-        for slot in self.scratch[n..m].iter_mut() {
-            *slot = Complex64::ZERO;
+        for j in n..m {
+            s_re[j] = 0.0;
+            s_im[j] = 0.0;
         }
-        self.inner.forward(&mut self.scratch)?;
-        for (x, y) in self.scratch.iter_mut().zip(self.chirp_spectrum.iter()) {
-            *x *= *y;
-        }
-        self.inner.inverse(&mut self.scratch)?;
-        for ((d, s), c) in data
-            .iter_mut()
-            .zip(self.scratch.iter())
-            .zip(self.chirp.iter())
-        {
-            *d = *s * *c;
+        self.inner.forward_soa(s_re, s_im)?;
+        lanes::cmul_f64(s_re, s_im, &self.spec_re, &self.spec_im);
+        self.inner.inverse_soa(s_re, s_im)?;
+        for (j, d) in data.iter_mut().enumerate() {
+            let (sr, si) = (s_re[j], s_im[j]);
+            let (cr, ci) = (self.chirp_re[j], self.chirp_im[j]);
+            *d = Complex64::new(sr * cr - si * ci, sr * ci + si * cr);
         }
         Ok(())
     }
@@ -452,6 +667,46 @@ mod tests {
     }
 
     #[test]
+    fn lane_path_is_bit_identical_to_the_scalar_reference() {
+        for n in [1usize, 2, 16, 256, 2048] {
+            let signal = test_signal(n);
+            let plan = Radix2Plan::new(n).unwrap();
+            let mut lane = signal.clone();
+            let mut scalar = signal.clone();
+            plan.forward(&mut lane).unwrap();
+            plan.forward_scalar(&mut scalar).unwrap();
+            assert_eq!(lane, scalar, "forward n={n}");
+            plan.inverse(&mut lane).unwrap();
+            plan.inverse_scalar(&mut scalar).unwrap();
+            assert_eq!(lane, scalar, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn soa_entry_points_match_the_interleaved_wrappers() {
+        for n in [4usize, 64, 1024] {
+            let signal = test_signal(n);
+            let plan = Radix2Plan::new(n).unwrap();
+            let mut aos = signal.clone();
+            plan.forward(&mut aos).unwrap();
+            let mut re: Vec<f64> = signal.iter().map(|c| c.re).collect();
+            let mut im: Vec<f64> = signal.iter().map(|c| c.im).collect();
+            plan.forward_soa(&mut re, &mut im).unwrap();
+            for (c, (r, x)) in aos.iter().zip(re.iter().zip(im.iter())) {
+                assert_eq!(c.re, *r);
+                assert_eq!(c.im, *x);
+            }
+            plan.inverse_soa(&mut re, &mut im).unwrap();
+            let mut round = aos.clone();
+            plan.inverse(&mut round).unwrap();
+            for (c, (r, x)) in round.iter().zip(re.iter().zip(im.iter())) {
+                assert_eq!(c.re, *r);
+                assert_eq!(c.im, *x);
+            }
+        }
+    }
+
+    #[test]
     fn bluestein_plan_matches_reference_on_paper_symbol_length() {
         let n = 1920;
         let signal = test_signal(n);
@@ -507,6 +762,18 @@ mod tests {
         let plan2 = Radix2Plan::new(64).unwrap();
         assert!(plan2.forward(&mut vec![Complex64::ZERO; 32]).is_err());
         assert!(plan2.inverse(&mut vec![Complex64::ZERO; 128]).is_err());
+        assert!(plan2
+            .forward_soa(&mut vec![0.0; 32], &mut vec![0.0; 64])
+            .is_err());
+        assert!(plan2
+            .inverse_soa(&mut vec![0.0; 64], &mut vec![0.0; 32])
+            .is_err());
+        assert!(plan2
+            .forward_scalar(&mut vec![Complex64::ZERO; 16])
+            .is_err());
+        assert!(plan2
+            .inverse_scalar(&mut vec![Complex64::ZERO; 16])
+            .is_err());
 
         assert!(FftPlan::new(0).is_err());
         assert!(Radix2Plan::new(0).is_err());

@@ -1,6 +1,11 @@
 //! Verifies the plan layer's allocation contract with a counting global
 //! allocator: once a plan (or matched filter) is warmed up, steady-state
-//! processing performs **zero** heap allocations.
+//! processing performs **zero** heap allocations — on all three numeric
+//! paths (f64, f32, Q15), through the structure-of-arrays entry points,
+//! and through the batched multi-link correlation used by serving shards.
+//! Construction-time allocation counts are also recorded against loose
+//! budgets so a pathological regression (per-stage allocation, repeated
+//! table rebuilds) shows up as a test failure rather than a perf mystery.
 //!
 //! Everything runs inside a single `#[test]` so no concurrent test can
 //! pollute the counter.
@@ -9,6 +14,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use uw_dsp::complex::Complex64;
+use uw_dsp::fixed::{ComplexQ15, FixedRadix2Plan, Q15MatchedFilter};
+use uw_dsp::float32::{Complex32, F32MatchedFilter, F32Radix2Plan};
 use uw_dsp::matched::MatchedFilter;
 use uw_dsp::plan::{FftPlan, Radix2Plan};
 
@@ -40,11 +47,28 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Runs `f` and returns how many heap allocations it performed.
-fn allocations_during(f: impl FnOnce()) -> usize {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    f();
-    ALLOCATIONS.load(Ordering::Relaxed) - before
+/// Runs `f` up to five times and returns the *minimum* allocation count
+/// observed across attempts.
+///
+/// The counter is process-global, and the test thread is not alone in
+/// the process: libtest's controller thread occasionally allocates
+/// (timeout bookkeeping, output plumbing) and a single such allocation
+/// landing inside a measured window would flag allocation-free code. A
+/// real steady-state allocation in the code under test reproduces on
+/// every attempt, so the minimum filters the cross-thread noise without
+/// weakening the zero-alloc contract.
+fn allocations_during(mut f: impl FnMut()) -> usize {
+    let mut best = usize::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        f();
+        let n = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        best = best.min(n);
+        if best == 0 {
+            break;
+        }
+    }
+    best
 }
 
 #[test]
@@ -119,5 +143,172 @@ fn steady_state_processing_is_allocation_free() {
     assert_eq!(
         n, 0,
         "steady-state raw MatchedFilter correlation allocated {n} times"
+    );
+
+    // --- Structure-of-arrays lane-kernel entry points (f64). ---
+    let mut re = vec![0.5f64; 4096];
+    let mut im = vec![0.0f64; 4096];
+    raw.forward_soa(&mut re, &mut im).unwrap();
+    let n = allocations_during(|| {
+        raw.forward_soa(&mut re, &mut im).unwrap();
+        raw.inverse_soa(&mut re, &mut im).unwrap();
+    });
+    assert_eq!(n, 0, "steady-state f64 SoA transforms allocated {n} times");
+
+    // --- f32 lane-kernel plan, interleaved and SoA entry points. ---
+    let f32_plan = F32Radix2Plan::new(2048).unwrap();
+    let mut fbuf = vec![Complex32::new(0.5, 0.0); 2048];
+    f32_plan.forward(&mut fbuf).unwrap();
+    let n = allocations_during(|| {
+        f32_plan.forward(&mut fbuf).unwrap();
+        f32_plan.inverse(&mut fbuf).unwrap();
+    });
+    assert_eq!(n, 0, "steady-state F32Radix2Plan allocated {n} times");
+    let mut fre = vec![0.5f32; 2048];
+    let mut fim = vec![0.0f32; 2048];
+    f32_plan.forward_soa(&mut fre, &mut fim).unwrap();
+    let n = allocations_during(|| {
+        f32_plan.forward_soa(&mut fre, &mut fim).unwrap();
+        f32_plan.inverse_soa(&mut fre, &mut fim).unwrap();
+    });
+    assert_eq!(n, 0, "steady-state f32 SoA transforms allocated {n} times");
+
+    // --- Q15 lane-kernel plan, interleaved and SoA entry points. ---
+    let q15_plan = FixedRadix2Plan::new(2048).unwrap();
+    let mut qbuf = vec![ComplexQ15::from_complex64(Complex64::new(0.5, 0.0)); 2048];
+    q15_plan.forward(&mut qbuf).unwrap();
+    let n = allocations_during(|| {
+        q15_plan.forward(&mut qbuf).unwrap();
+        q15_plan.inverse_raw(&mut qbuf).unwrap();
+    });
+    assert_eq!(n, 0, "steady-state FixedRadix2Plan allocated {n} times");
+    let mut qre = vec![8192i32; 2048];
+    let mut qim = vec![0i32; 2048];
+    q15_plan.forward_soa(&mut qre, &mut qim).unwrap();
+    let n = allocations_during(|| {
+        q15_plan.forward_soa(&mut qre, &mut qim).unwrap();
+        q15_plan.inverse_raw_soa(&mut qre, &mut qim).unwrap();
+    });
+    assert_eq!(n, 0, "steady-state Q15 SoA transforms allocated {n} times");
+
+    // --- f32 and Q15 matched filters, streaming into reused buffers. ---
+    let f32_filter = F32MatchedFilter::new(&template).unwrap();
+    f32_filter
+        .correlate_normalized_into(&signal, &mut out)
+        .unwrap();
+    f32_filter
+        .correlate_normalized_into(&signal, &mut out)
+        .unwrap();
+    let n = allocations_during(|| {
+        f32_filter
+            .correlate_normalized_into(&signal, &mut out)
+            .unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state F32MatchedFilter correlation allocated {n} times"
+    );
+
+    let q15_filter = Q15MatchedFilter::new(&template).unwrap();
+    q15_filter
+        .correlate_normalized_into(&signal, &mut out)
+        .unwrap();
+    q15_filter
+        .correlate_normalized_into(&signal, &mut out)
+        .unwrap();
+    let n = allocations_during(|| {
+        q15_filter
+            .correlate_normalized_into(&signal, &mut out)
+            .unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state Q15MatchedFilter correlation allocated {n} times"
+    );
+
+    // --- Batched multi-link correlation into reused per-link buffers. ---
+    let signal_b: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.13).sin()).collect();
+    let links: Vec<&[f64]> = vec![&signal, &signal_b];
+    let mut outs = vec![Vec::new(), Vec::new()];
+    filter
+        .correlate_normalized_batch_into(&links, &mut outs)
+        .unwrap();
+    filter
+        .correlate_normalized_batch_into(&links, &mut outs)
+        .unwrap();
+    let n = allocations_during(|| {
+        filter
+            .correlate_normalized_batch_into(&links, &mut outs)
+            .unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state batched f64 correlation allocated {n} times"
+    );
+    f32_filter
+        .correlate_normalized_batch_into(&links, &mut outs)
+        .unwrap();
+    let n = allocations_during(|| {
+        f32_filter
+            .correlate_normalized_batch_into(&links, &mut outs)
+            .unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state batched f32 correlation allocated {n} times"
+    );
+    q15_filter
+        .correlate_normalized_batch_into(&links, &mut outs)
+        .unwrap();
+    let n = allocations_during(|| {
+        q15_filter
+            .correlate_normalized_batch_into(&links, &mut outs)
+            .unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state batched Q15 correlation allocated {n} times"
+    );
+
+    // --- Construction-time allocation budgets. ---
+    // Plan/filter construction is allowed to allocate (tables, pooled
+    // scratch), but the counts must stay in the same ballpark recorded
+    // here: a few allocations per table/scratch vector, NOT one per
+    // stage, twiddle, or block. The budgets are ~2× the counts measured
+    // when the lane-kernel layout landed, so real regressions (per-stage
+    // allocation, repeated table rebuilds) trip the assert while normal
+    // library drift does not.
+    let n = allocations_during(|| {
+        std::hint::black_box(Radix2Plan::new(2048).unwrap());
+    });
+    assert!(n <= 40, "Radix2Plan::new(2048) allocated {n} times (> 40)");
+    let n = allocations_during(|| {
+        std::hint::black_box(F32Radix2Plan::new(2048).unwrap());
+    });
+    assert!(
+        n <= 40,
+        "F32Radix2Plan::new(2048) allocated {n} times (> 40)"
+    );
+    let n = allocations_during(|| {
+        std::hint::black_box(FixedRadix2Plan::new(2048).unwrap());
+    });
+    assert!(
+        n <= 60,
+        "FixedRadix2Plan::new(2048) allocated {n} times (> 60)"
+    );
+    let n = allocations_during(|| {
+        std::hint::black_box(MatchedFilter::new(&template).unwrap());
+    });
+    assert!(n <= 80, "MatchedFilter::new allocated {n} times (> 80)");
+    let n = allocations_during(|| {
+        std::hint::black_box(F32MatchedFilter::new(&template).unwrap());
+    });
+    assert!(n <= 80, "F32MatchedFilter::new allocated {n} times (> 80)");
+    let n = allocations_during(|| {
+        std::hint::black_box(Q15MatchedFilter::new(&template).unwrap());
+    });
+    assert!(
+        n <= 100,
+        "Q15MatchedFilter::new allocated {n} times (> 100)"
     );
 }

@@ -1,10 +1,13 @@
-//! Differential-testing harness: the Q15 fixed-point path against the f64
-//! oracle.
+//! Three-way differential-testing harness: the single-precision f32 and
+//! Q15 fixed-point paths against the f64 oracle, plus scalar-vs-lane
+//! bitwise equivalence on all three paths.
 //!
-//! Every fixed-point primitive in `uw_dsp::fixed` is property-tested here
-//! against its double-precision reference with SNR-style tolerance bounds.
-//! The documented tolerances (asserted below, so they cannot drift from
-//! this comment):
+//! Every reduced-precision primitive in `uw_dsp::fixed` and
+//! `uw_dsp::float32` is property-tested here against its double-precision
+//! reference with SNR-style tolerance bounds, and every structure-of-arrays
+//! lane kernel in `uw_dsp::lanes` is pinned bit-for-bit against the scalar
+//! reference transform it replaced. The documented tolerances (asserted
+//! below, so they cannot drift from this comment):
 //!
 //! | primitive                         | bound vs f64 oracle                          |
 //! |-----------------------------------|----------------------------------------------|
@@ -15,18 +18,34 @@
 //! | BFP Bluestein forward (1920 etc.) | SQNR ≥ 50 dB (two extra quantised multiplies)|
 //! | `Q15MatchedFilter` peak location  | within ±1 sample of the f64 peak             |
 //! | `Q15MatchedFilter` peak value     | |Δ| ≤ 0.02 normalised correlation            |
+//! | f32 radix-2 forward FFT           | SQNR ≥ 100 dB (lengths ≤ 2048)               |
+//! | f32 radix-2 FFT→IFFT round-trip   | SQNR ≥ 95 dB                                 |
+//! | f32 Bluestein forward             | SQNR ≥ 85 dB                                 |
+//! | `F32MatchedFilter` peak location  | within ±1 sample of the f64 peak             |
+//! | `F32MatchedFilter` peak value     | |Δ| ≤ 1e-3 normalised correlation            |
+//! | lane kernels vs scalar reference  | bit-identical (all three paths)              |
+//! | batched vs per-link correlation   | bit-identical (all three paths)              |
 //! | saturation edge cases             | exact (±1.0 inputs never wrap, zeros stay 0) |
 //!
 //! The SQNR bounds hold for signals exercising at least a few percent of
 //! full scale — the proptest generators below draw amplitudes from
 //! [0.05, 0.95], covering everything the automatic per-call gain
 //! normalisation in the hot path can produce.
+//!
+//! Bitwise lane-vs-scalar equivalence is not a tolerance test: the lane
+//! kernels evaluate the same IEEE expressions in the same order as the
+//! scalar transforms (and the Q15 kernels are exact integer arithmetic),
+//! so any nonzero difference is a bug.
 
 use proptest::prelude::*;
 use uw_dsp::complex::Complex64;
 use uw_dsp::correlation::argmax;
 use uw_dsp::fft::{fft, fft_any};
-use uw_dsp::fixed::{ComplexQ15, FixedFftPlan, NumericPath, Q15MatchedFilter, Q15, Q15_ONE};
+use uw_dsp::fixed::{
+    ComplexQ15, FixedFftPlan, FixedRadix2Plan, NumericPath, Q15MatchedFilter, Q15, Q15_ONE,
+};
+use uw_dsp::float32::{Complex32, F32FftPlan, F32MatchedFilter, F32Radix2Plan};
+use uw_dsp::plan::Radix2Plan;
 use uw_dsp::MatchedFilter;
 
 fn quantize(signal: &[Complex64]) -> Vec<ComplexQ15> {
@@ -38,6 +57,17 @@ fn quantize(signal: &[Complex64]) -> Vec<ComplexQ15> {
 
 fn dequantize(data: &[ComplexQ15], scale: f64) -> Vec<Complex64> {
     data.iter().map(|c| c.to_complex64() * scale).collect()
+}
+
+fn to_f32(signal: &[Complex64]) -> Vec<Complex32> {
+    signal
+        .iter()
+        .map(|&c| Complex32::from_complex64(c))
+        .collect()
+}
+
+fn from_f32(data: &[Complex32]) -> Vec<Complex64> {
+    data.iter().map(|c| c.to_complex64()).collect()
 }
 
 /// Signal-to-quantisation-noise ratio (dB) of `fix` against `reference`.
@@ -182,6 +212,201 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn f32_radix2_forward_sqnr_at_least_100_db(
+        exp in 4u32..12, amp in 0.05f64..0.95, w1 in 0.1f64..3.0, w2 in 0.1f64..3.0,
+    ) {
+        let n = 1usize << exp;
+        let signal = tone_signal(n, amp, w1, w2);
+        let reference = fft(&signal).unwrap();
+        let mut data = to_f32(&signal);
+        let mut plan = F32FftPlan::new(n).unwrap();
+        plan.process_forward(&mut data).unwrap();
+        let snr = sqnr_db(&reference, &from_f32(&data));
+        prop_assert!(snr >= 100.0, "n={n} amp={amp:.2}: f32 forward SQNR {snr:.1} dB");
+    }
+
+    #[test]
+    fn f32_radix2_roundtrip_sqnr_at_least_95_db(
+        exp in 4u32..12, amp in 0.05f64..0.95, w1 in 0.1f64..3.0, w2 in 0.1f64..3.0,
+    ) {
+        let n = 1usize << exp;
+        let signal = tone_signal(n, amp, w1, w2);
+        let mut data = to_f32(&signal);
+        let mut plan = F32FftPlan::new(n).unwrap();
+        plan.process_forward(&mut data).unwrap();
+        plan.process_inverse(&mut data).unwrap();
+        let snr = sqnr_db(&signal, &from_f32(&data));
+        prop_assert!(snr >= 95.0, "n={n} amp={amp:.2}: f32 round-trip SQNR {snr:.1} dB");
+    }
+
+    #[test]
+    fn f32_bluestein_forward_sqnr_at_least_85_db(
+        n in 3usize..2000, amp in 0.05f64..0.95, w1 in 0.1f64..3.0, w2 in 0.1f64..3.0,
+    ) {
+        prop_assume!(!n.is_power_of_two());
+        let signal = tone_signal(n, amp, w1, w2);
+        let reference = fft_any(&signal).unwrap();
+        let mut data = to_f32(&signal);
+        let mut plan = F32FftPlan::new(n).unwrap();
+        plan.process_forward(&mut data).unwrap();
+        let snr = sqnr_db(&reference, &from_f32(&data));
+        prop_assert!(snr >= 85.0, "n={n} amp={amp:.2}: f32 Bluestein SQNR {snr:.1} dB");
+    }
+
+    #[test]
+    fn f32_matched_filter_peak_within_one_sample(
+        offset in 0usize..3000,
+        template_seed in 1u64..50,
+        gain in 0.08f64..1.0,
+        noise_amp in 0.01f64..0.05,
+    ) {
+        let template: Vec<f64> = (0..256)
+            .map(|i| ((i as f64 * 0.29 + template_seed as f64) * 1.7).sin()
+                * ((i as f64) * 0.031).cos())
+            .collect();
+        let total = 4096;
+        let mut signal: Vec<f64> = (0..total)
+            .map(|i| noise_amp * ((i as f64 * 0.613 + template_seed as f64 * 7.3).sin()
+                + (i as f64 * 1.77).cos()) / 2.0)
+            .collect();
+        for (i, &t) in template.iter().enumerate() {
+            signal[offset + i] += gain * t;
+        }
+        let f64_filter = MatchedFilter::new(&template).unwrap();
+        let f32_filter = F32MatchedFilter::new(&template).unwrap();
+        let reference = f64_filter.correlate_normalized(&signal).unwrap();
+        let single = f32_filter.correlate_normalized(&signal).unwrap();
+        prop_assert_eq!(reference.len(), single.len());
+        let (ref_idx, ref_peak) = argmax(&reference).unwrap();
+        let (f32_idx, f32_peak) = argmax(&single).unwrap();
+        prop_assert!(
+            (ref_idx as i64 - f32_idx as i64).abs() <= 1,
+            "peak at {ref_idx} (f64) vs {f32_idx} (f32), gain {gain:.2}"
+        );
+        prop_assert!(
+            (ref_peak - f32_peak).abs() <= 1e-3,
+            "peak value {ref_peak:.6} (f64) vs {f32_peak:.6} (f32)"
+        );
+    }
+}
+
+proptest! {
+    // Bitwise equivalence needs fewer cases: any divergence is
+    // deterministic in the length/stage structure, not the data.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn f64_lane_kernels_match_the_scalar_reference_bitwise(
+        exp in 0u32..12, amp in 0.05f64..0.95, w1 in 0.1f64..3.0, w2 in 0.1f64..3.0,
+    ) {
+        let n = 1usize << exp;
+        let signal = tone_signal(n, amp, w1, w2);
+        let plan = Radix2Plan::new(n).unwrap();
+        let mut lane = signal.clone();
+        let mut scalar = signal.clone();
+        plan.forward(&mut lane).unwrap();
+        plan.forward_scalar(&mut scalar).unwrap();
+        for (l, s) in lane.iter().zip(scalar.iter()) {
+            prop_assert_eq!(l.re.to_bits(), s.re.to_bits());
+            prop_assert_eq!(l.im.to_bits(), s.im.to_bits());
+        }
+        plan.inverse(&mut lane).unwrap();
+        plan.inverse_scalar(&mut scalar).unwrap();
+        for (l, s) in lane.iter().zip(scalar.iter()) {
+            prop_assert_eq!(l.re.to_bits(), s.re.to_bits());
+            prop_assert_eq!(l.im.to_bits(), s.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_lane_kernels_match_the_scalar_reference_bitwise(
+        exp in 0u32..12, amp in 0.05f64..0.95, w1 in 0.1f64..3.0, w2 in 0.1f64..3.0,
+    ) {
+        let n = 1usize << exp;
+        let signal = to_f32(&tone_signal(n, amp, w1, w2));
+        let plan = F32Radix2Plan::new(n).unwrap();
+        let mut lane = signal.clone();
+        let mut scalar = signal;
+        plan.forward(&mut lane).unwrap();
+        plan.forward_scalar(&mut scalar).unwrap();
+        for (l, s) in lane.iter().zip(scalar.iter()) {
+            prop_assert_eq!(l.re.to_bits(), s.re.to_bits());
+            prop_assert_eq!(l.im.to_bits(), s.im.to_bits());
+        }
+        plan.inverse(&mut lane).unwrap();
+        plan.inverse_scalar(&mut scalar).unwrap();
+        for (l, s) in lane.iter().zip(scalar.iter()) {
+            prop_assert_eq!(l.re.to_bits(), s.re.to_bits());
+            prop_assert_eq!(l.im.to_bits(), s.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn q15_lane_kernels_match_the_scalar_reference_exactly(
+        exp in 0u32..12, amp in 0.05f64..0.95, w1 in 0.1f64..3.0, w2 in 0.1f64..3.0,
+    ) {
+        let n = 1usize << exp;
+        let signal = quantize(&tone_signal(n, amp, w1, w2));
+        let plan = FixedRadix2Plan::new(n).unwrap();
+        let mut lane = signal.clone();
+        let mut scalar = signal;
+        let lane_shifts = plan.forward(&mut lane).unwrap();
+        let scalar_shifts = plan.forward_scalar(&mut scalar).unwrap();
+        prop_assert_eq!(lane_shifts, scalar_shifts);
+        prop_assert_eq!(&lane, &scalar);
+        let lane_shifts = plan.inverse_raw(&mut lane).unwrap();
+        let scalar_shifts = plan.inverse_raw_scalar(&mut scalar).unwrap();
+        prop_assert_eq!(lane_shifts, scalar_shifts);
+        prop_assert_eq!(&lane, &scalar);
+    }
+
+    #[test]
+    fn batched_correlation_is_bit_identical_to_per_link_calls(
+        offset_a in 0usize..1500,
+        offset_b in 0usize..1500,
+        gain in 0.1f64..1.0,
+    ) {
+        let template: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.61).sin()).collect();
+        let make = |offset: usize, phase: f64| -> Vec<f64> {
+            let mut s: Vec<f64> = (0..2600)
+                .map(|i| 0.03 * ((i as f64 * 0.47 + phase).sin()))
+                .collect();
+            for (i, &t) in template.iter().enumerate() {
+                s[offset + i] += gain * t;
+            }
+            s
+        };
+        let link_a = make(offset_a, 0.0);
+        let link_b = make(offset_b, 2.1);
+        let links: Vec<&[f64]> = vec![&link_a, &link_b];
+
+        let f64_filter = MatchedFilter::new(&template).unwrap();
+        let f32_filter = F32MatchedFilter::new(&template).unwrap();
+        let q15_filter = Q15MatchedFilter::new(&template).unwrap();
+        for solo_vs_batch in [
+            (
+                links.iter().map(|l| f64_filter.correlate_normalized(l).unwrap()).collect::<Vec<_>>(),
+                f64_filter.correlate_normalized_batch(&links).unwrap(),
+            ),
+            (
+                links.iter().map(|l| f32_filter.correlate_normalized(l).unwrap()).collect::<Vec<_>>(),
+                f32_filter.correlate_normalized_batch(&links).unwrap(),
+            ),
+            (
+                links.iter().map(|l| q15_filter.correlate_normalized(l).unwrap()).collect::<Vec<_>>(),
+                q15_filter.correlate_normalized_batch(&links).unwrap(),
+            ),
+        ] {
+            let (solo, batch) = solo_vs_batch;
+            prop_assert_eq!(solo, batch);
+        }
+    }
+}
+
 #[test]
 fn saturating_arithmetic_edge_cases() {
     // ±1.0 inputs: quantisation saturates cleanly and the FFT's BFP guard
@@ -229,6 +454,8 @@ fn saturating_arithmetic_edge_cases() {
 fn numeric_path_knob_is_exported_through_the_stack() {
     // The knob the higher layers thread down is this crate's type.
     assert_eq!(NumericPath::default(), NumericPath::F64);
+    assert_eq!(NumericPath::F64.slug(), "f64");
+    assert_eq!(NumericPath::F32.slug(), "f32");
     assert_eq!(NumericPath::Q15.slug(), "q15");
 }
 

@@ -19,6 +19,7 @@ use crate::preamble::RangingPreamble;
 use crate::{RangingError, Result};
 use uw_dsp::complex::Complex64;
 use uw_dsp::fixed::{ComplexQ15, NumericPath, Q15};
+use uw_dsp::float32::Complex32;
 
 /// A channel estimate derived from one received preamble.
 #[derive(Debug, Clone)]
@@ -57,8 +58,10 @@ pub fn ls_channel_estimate(
         });
     }
 
-    if preamble.numeric_path() == NumericPath::Q15 {
-        return ls_channel_estimate_q15(stream, preamble, start);
+    match preamble.numeric_path() {
+        NumericPath::Q15 => return ls_channel_estimate_q15(stream, preamble, start),
+        NumericPath::F32 => return ls_channel_estimate_f32(stream, preamble, start),
+        NumericPath::F64 => {}
     }
 
     let n_fft = preamble.config.fft_len();
@@ -193,6 +196,70 @@ fn ls_channel_estimate_q15(
     })?
 }
 
+/// The single-precision variant of [`ls_channel_estimate`]: every symbol
+/// FFT and the impulse-response inverse FFT run on the f32 plan through the
+/// `[f32; 8]` lane kernels. Symbols are cast to f32 once at the load
+/// boundary; bin equalisation multiplies by the conjugate ZC value (the
+/// exact inverse, since `|X(k)| = 1`); the accumulation across symbols is
+/// widened to f64 so four symbols' worth of rounding does not stack.
+fn ls_channel_estimate_f32(
+    stream: &[f64],
+    preamble: &RangingPreamble,
+    start: usize,
+) -> Result<ChannelEstimate> {
+    let n_fft = preamble.config.fft_len();
+    let bins = preamble.config.occupied_bins();
+    let n_bins = preamble.base_bins.len();
+    let block = preamble.block_len();
+    let n_symbols = preamble.pn_signs.len();
+
+    preamble.with_f32_symbol_plan(|plan| -> Result<ChannelEstimate> {
+        let mut buf = vec![Complex32::ZERO; n_fft];
+        let mut acc = vec![Complex64::ZERO; n_bins];
+        for (i, &sign) in preamble.pn_signs.iter().enumerate() {
+            let sym_start = start + i * block + preamble.config.cyclic_prefix;
+            for (b, &s) in buf
+                .iter_mut()
+                .zip(stream[sym_start..sym_start + preamble.config.symbol_len].iter())
+            {
+                *b = Complex32::from_re(s as f32);
+            }
+            for b in buf[preamble.config.symbol_len.min(n_fft)..].iter_mut() {
+                *b = Complex32::ZERO;
+            }
+            plan.process_forward(&mut buf)?;
+            for (j, k) in bins.clone().enumerate() {
+                // X(k) is a unit-magnitude ZC value: its exact inverse is
+                // the conjugate, rounded to f32 once per bin.
+                let x_inv = Complex32::from_complex64((preamble.base_bins[j] * sign).conj());
+                acc[j] += (buf[k] * x_inv).to_complex64();
+            }
+        }
+        let freq_response: Vec<Complex64> = acc.into_iter().map(|c| c / n_symbols as f64).collect();
+
+        // Time-domain impulse response: conjugate-symmetric spectrum,
+        // inverse FFT on the f32 plan.
+        for b in buf.iter_mut() {
+            *b = Complex32::ZERO;
+        }
+        for (j, k) in bins.clone().enumerate() {
+            buf[k] = Complex32::from_complex64(freq_response[j]);
+            buf[n_fft - k] = Complex32::from_complex64(freq_response[j].conj());
+        }
+        plan.process_inverse(&mut buf)?;
+        let impulse_magnitude: Vec<f64> = buf
+            .iter()
+            .take(preamble.config.symbol_len)
+            .map(|c| c.abs() as f64)
+            .collect();
+
+        Ok(ChannelEstimate {
+            freq_response,
+            impulse_magnitude,
+        })
+    })?
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +373,26 @@ mod tests {
         assert!(tail < 0.1, "q15 tail mean {tail}");
         // The f64 preamble has no fixed-point plans.
         assert!(p.with_fixed_symbol_plan(|_| ()).is_err());
+    }
+
+    #[test]
+    fn f32_channel_estimate_matches_the_f64_profile_shape() {
+        let p = RangingPreamble::default_paper().unwrap();
+        let f = RangingPreamble::default_paper_f32().unwrap();
+        let stream = synth_stream(&p, 800, &[(25, 1.0), (110, 0.6)], 0.01, 5);
+        let est_f64 = ls_channel_estimate(&stream, &p, 800).unwrap();
+        let est_f32 = ls_channel_estimate(&stream, &f, 800).unwrap();
+        assert_eq!(est_f32.impulse_magnitude.len(), p.config.symbol_len);
+        let nf = normalize_profile(&est_f64.impulse_magnitude);
+        let ns = normalize_profile(&est_f32.impulse_magnitude);
+        // Single precision tracks the oracle far tighter than Q15 does.
+        for (i, (a, b)) in nf.iter().zip(ns.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-3, "tap {i}: f64 {a} vs f32 {b}");
+        }
+        // The f64 preamble has no f32 plans and vice versa.
+        assert!(p.with_f32_symbol_plan(|_| ()).is_err());
+        assert!(f.with_symbol_plan(|_| ()).is_err());
+        assert!(f.with_fixed_symbol_plan(|_| ()).is_err());
     }
 
     #[test]

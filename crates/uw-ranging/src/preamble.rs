@@ -17,10 +17,14 @@
 //! (a [`Q15MatchedFilter`] and a pool of symbol-length
 //! [`uw_dsp::FixedFftPlan`]s) and routes detection correlation and channel
 //! estimation through the on-device Q15 path instead of the `f64` oracle.
+//! With [`NumericPath::F32`] it owns the single-precision state
+//! ([`F32MatchedFilter`], [`uw_dsp::F32FftPlan`] pool) instead — exactly
+//! one path's execution state exists per preamble.
 
 use crate::{RangingError, Result};
 use uw_dsp::complex::Complex64;
 use uw_dsp::fixed::{FixedFftPlan, FixedPlanPool, NumericPath, Q15MatchedFilter};
+use uw_dsp::float32::{F32FftPlan, F32MatchedFilter, F32PlanPool};
 use uw_dsp::ofdm::{base_symbol_spectrum, build_preamble, OfdmConfig};
 use uw_dsp::plan::{FftPlan, PlanPool};
 use uw_dsp::MatchedFilter;
@@ -54,6 +58,11 @@ pub struct RangingPreamble {
     /// Pooled fixed-point symbol-length plans (present on the Q15 path
     /// only).
     fixed_symbol_plans: Option<FixedPlanPool>,
+    /// f32 overlap-save correlator (present on the F32 path only).
+    f32_filter: Option<F32MatchedFilter>,
+    /// Pooled single-precision symbol-length plans (present on the F32
+    /// path only).
+    f32_symbol_plans: Option<F32PlanPool>,
 }
 
 impl RangingPreamble {
@@ -80,20 +89,33 @@ impl RangingPreamble {
         let pn_signs = config.pn_signs();
         // Exactly one path's execution state is built: a Q15 preamble
         // carries no (unused) f64 filter or plans and vice versa.
-        let (filter, symbol_plans, q15_filter, fixed_symbol_plans) = match numeric_path {
-            NumericPath::F64 => (
-                Some(MatchedFilter::new(&waveform)?),
-                Some(PlanPool::new(config.fft_len())?),
-                None,
-                None,
-            ),
-            NumericPath::Q15 => (
-                None,
-                None,
-                Some(Q15MatchedFilter::new(&waveform)?),
-                Some(FixedPlanPool::new(config.fft_len())?),
-            ),
-        };
+        let (filter, symbol_plans, q15_filter, fixed_symbol_plans, f32_filter, f32_symbol_plans) =
+            match numeric_path {
+                NumericPath::F64 => (
+                    Some(MatchedFilter::new(&waveform)?),
+                    Some(PlanPool::new(config.fft_len())?),
+                    None,
+                    None,
+                    None,
+                    None,
+                ),
+                NumericPath::Q15 => (
+                    None,
+                    None,
+                    Some(Q15MatchedFilter::new(&waveform)?),
+                    Some(FixedPlanPool::new(config.fft_len())?),
+                    None,
+                    None,
+                ),
+                NumericPath::F32 => (
+                    None,
+                    None,
+                    None,
+                    None,
+                    Some(F32MatchedFilter::new(&waveform)?),
+                    Some(F32PlanPool::new(config.fft_len())?),
+                ),
+            };
         Ok(Self {
             config,
             waveform,
@@ -105,6 +127,8 @@ impl RangingPreamble {
             numeric_path,
             q15_filter,
             fixed_symbol_plans,
+            f32_filter,
+            f32_symbol_plans,
         })
     }
 
@@ -118,6 +142,11 @@ impl RangingPreamble {
     /// Paper-default preamble on the on-device Q15 fixed-point path.
     pub fn default_paper_q15() -> Result<Self> {
         Self::new_with_path(OfdmConfig::default(), NumericPath::Q15)
+    }
+
+    /// Paper-default preamble on the single-precision f32 path.
+    pub fn default_paper_f32() -> Result<Self> {
+        Self::new_with_path(OfdmConfig::default(), NumericPath::F32)
     }
 
     /// The numeric path receive-side processing runs on.
@@ -167,20 +196,36 @@ impl RangingPreamble {
     /// its peak positions agree with the `f64` path to within ±1 sample
     /// (bounded by `uw-dsp`'s differential test suite).
     pub fn correlate_normalized(&self, stream: &[f64]) -> Result<Vec<f64>> {
-        match (&self.q15_filter, &self.filter) {
-            (Some(q15), _) => Ok(q15.correlate_normalized(stream)?),
-            (None, Some(f)) => Ok(f.correlate_normalized(stream)?),
-            (None, None) => unreachable!("one numeric path's filter always exists"),
+        match (&self.q15_filter, &self.f32_filter, &self.filter) {
+            (Some(q15), _, _) => Ok(q15.correlate_normalized(stream)?),
+            (None, Some(f32f), _) => Ok(f32f.correlate_normalized(stream)?),
+            (None, None, Some(f)) => Ok(f.correlate_normalized(stream)?),
+            (None, None, None) => unreachable!("one numeric path's filter always exists"),
         }
     }
 
     /// As [`Self::correlate_normalized`] but reusing a caller-provided
     /// output buffer (allocation-free in steady state).
     pub fn correlate_normalized_into(&self, stream: &[f64], out: &mut Vec<f64>) -> Result<()> {
-        match (&self.q15_filter, &self.filter) {
-            (Some(q15), _) => Ok(q15.correlate_normalized_into(stream, out)?),
-            (None, Some(f)) => Ok(f.correlate_normalized_into(stream, out)?),
-            (None, None) => unreachable!("one numeric path's filter always exists"),
+        match (&self.q15_filter, &self.f32_filter, &self.filter) {
+            (Some(q15), _, _) => Ok(q15.correlate_normalized_into(stream, out)?),
+            (None, Some(f32f), _) => Ok(f32f.correlate_normalized_into(stream, out)?),
+            (None, None, Some(f)) => Ok(f.correlate_normalized_into(stream, out)?),
+            (None, None, None) => unreachable!("one numeric path's filter always exists"),
+        }
+    }
+
+    /// Batched normalised correlation of N links' streams through one
+    /// filter checkout on whichever numeric path this preamble was built
+    /// for (see `uw_dsp::MatchedFilter::correlate_normalized_batch`). Each
+    /// output is identical to the per-link [`Self::correlate_normalized`]
+    /// call. This is the entry point serving-shard workers batch through.
+    pub fn correlate_normalized_batch(&self, streams: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        match (&self.q15_filter, &self.f32_filter, &self.filter) {
+            (Some(q15), _, _) => Ok(q15.correlate_normalized_batch(streams)?),
+            (None, Some(f32f), _) => Ok(f32f.correlate_normalized_batch(streams)?),
+            (None, None, Some(f)) => Ok(f.correlate_normalized_batch(streams)?),
+            (None, None, None) => unreachable!("one numeric path's filter always exists"),
         }
     }
 
@@ -206,6 +251,18 @@ impl RangingPreamble {
             Some(pool) => Ok(pool.with(f)),
             None => Err(RangingError::InvalidInput {
                 reason: "preamble was built for the f64 path; no fixed-point plans exist".into(),
+            }),
+        }
+    }
+
+    /// Runs `f` with a checked-out **single-precision** symbol-length FFT
+    /// plan. Fails on a preamble built for another path, which carries no
+    /// f32 state.
+    pub fn with_f32_symbol_plan<R>(&self, f: impl FnOnce(&mut F32FftPlan) -> R) -> Result<R> {
+        match &self.f32_symbol_plans {
+            Some(pool) => Ok(pool.with(f)),
+            None => Err(RangingError::InvalidInput {
+                reason: "preamble was not built for the f32 path; no f32 plans exist".into(),
             }),
         }
     }
