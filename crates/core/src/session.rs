@@ -32,8 +32,10 @@ use std::sync::Arc;
 use uw_channel::geometry::Point3;
 use uw_localization::ambiguity::geometric_side;
 use uw_localization::matrix::{DistanceMatrix, Vec2};
+use uw_localization::outlier::DropEvidence;
 use uw_localization::pipeline::{
-    localization_errors_2d, localize, truth_in_leader_frame, LocalizationInput, LocalizationOutput,
+    localization_errors_2d, localize_with_evidence, truth_in_leader_frame, LocalizationInput,
+    LocalizationOutput,
 };
 use uw_protocol::engine::{DeviceRoundState, FnObserver, ProtocolEngine, SyncSource};
 use uw_protocol::latency::{round_latency, RoundLatency};
@@ -66,6 +68,11 @@ pub struct SessionOutcome {
     /// `positions` x/y, `errors_2d`) is NaN, while `positions[i].z` keeps
     /// the last depth report.
     pub silent_devices: Vec<usize>,
+    /// Links (full device indices) the session's cross-round
+    /// [`DropEvidence`] considers persistently occluded after this round:
+    /// dropped by Algorithm 1 in at least two rounds and at least half of
+    /// all rounds so far. Empty until a static occlusion has recurred.
+    pub persistent_dropped_links: Vec<(usize, usize)>,
 }
 
 /// What a round observer tells an observed run to do next.
@@ -203,6 +210,11 @@ pub struct Session {
     /// Scripted faults injected into every round; `None` (or an empty
     /// schedule) runs the clean scenario.
     fault_schedule: Option<FaultSchedule>,
+    /// Cross-round outlier-drop evidence (full device indices): which links
+    /// Algorithm 1 dropped in completed rounds. Projected onto the round's
+    /// active devices and fed to the drop-validation pass so a static
+    /// occlusion converges instead of being re-decided from scratch.
+    drop_evidence: DropEvidence,
 }
 
 impl Session {
@@ -214,6 +226,7 @@ impl Session {
             rounds_run: 0,
             audio_source: None,
             fault_schedule: None,
+            drop_evidence: DropEvidence::new(),
         })
     }
 
@@ -225,6 +238,13 @@ impl Session {
     /// Number of rounds run so far.
     pub fn rounds_run(&self) -> usize {
         self.rounds_run
+    }
+
+    /// The session's accumulated cross-round outlier-drop evidence, in full
+    /// device indices. Grows by one observed round per *successful*
+    /// [`Session::run`]; failed rounds contribute nothing.
+    pub fn drop_evidence(&self) -> &DropEvidence {
+        &self.drop_evidence
     }
 
     /// Installs a recorded audio source for the leader's links: from the
@@ -531,16 +551,22 @@ impl Session {
         };
         // A solver rejection (e.g. total scheduled packet loss leaving too
         // few links to embed) is a graceful round failure, not a session
-        // error: the next round may see a kinder channel.
-        let reduced_localization =
-            localize(&input, &self.config.localizer, &mut rng).map_err(|e| {
-                SystemError::RoundFailed {
-                    round,
-                    reason: RoundFailureReason::SolverFailed {
-                        detail: e.to_string(),
-                    },
-                }
-            })?;
+        // error: the next round may see a kinder channel. The cross-round
+        // drop evidence rides along, projected onto this round's active
+        // devices (the identity mapping when nobody churned).
+        let round_evidence = self.drop_evidence.project(&active);
+        let reduced_localization = localize_with_evidence(
+            &input,
+            &self.config.localizer,
+            Some(&round_evidence),
+            &mut rng,
+        )
+        .map_err(|e| SystemError::RoundFailed {
+            round,
+            reason: RoundFailureReason::SolverFailed {
+                detail: e.to_string(),
+            },
+        })?;
 
         // Error metrics against ground truth, on the reduced index set.
         let truth_2d = truth_in_leader_frame(&truth_positions);
@@ -582,15 +608,20 @@ impl Session {
         for &i in &silent_devices {
             positions[i].z = depths[i];
         }
+        // Dropped links are reported in full device indices.
+        let full_dropped: Vec<(usize, usize)> = reduced_localization
+            .dropped_links
+            .iter()
+            .map(|&(a, b)| (active[a], active[b]))
+            .collect();
+        // Feed this round's decision back into the session evidence: a
+        // static occlusion recurs round after round and becomes persistent;
+        // a one-off spurious drop never does.
+        self.drop_evidence.observe_round(&full_dropped);
         let localization = LocalizationOutput {
             positions: positions.clone(),
             positions_2d: positions_2d.clone(),
-            // Dropped links are reported in full device indices.
-            dropped_links: reduced_localization
-                .dropped_links
-                .iter()
-                .map(|&(a, b)| (active[a], active[b]))
-                .collect(),
+            dropped_links: full_dropped,
             normalized_stress: reduced_localization.normalized_stress,
             flipped: reduced_localization.flipped,
             converged: reduced_localization.converged,
@@ -607,6 +638,7 @@ impl Session {
             flipping_correct,
             sync_sources: outcome.sync_sources,
             silent_devices,
+            persistent_dropped_links: self.drop_evidence.persistent_links(),
         })
     }
 

@@ -177,16 +177,16 @@ pub const FIGURE_MAP: &[FigureClaim] = &[
         cell_id: "dock/5dev/occluded/static/s1",
         metric: BandMetric::Median2dM,
         lo: 0.3,
-        hi: 3.0,
+        hi: 2.5,
         smoke: false,
     },
     FigureClaim {
         figure: "Fig. 19a",
-        claim: "The occluded link is detected and dropped in most rounds",
+        claim: "The occluded link is detected and dropped in every round, and nothing else is",
         cell_id: "dock/5dev/occluded/static/s1",
         metric: BandMetric::MeanDroppedLinks,
-        lo: 0.5,
-        hi: 3.0,
+        lo: 0.8,
+        hi: 1.2,
         smoke: false,
     },
     FigureClaim {

@@ -12,6 +12,17 @@ use crate::matrix::EvalCell;
 /// Schema identifier stamped into every report.
 pub const REPORT_SCHEMA: &str = "uwgps-eval-matrix-v2";
 
+/// Frozen pre-fix reference points serialised into every report, so the
+/// artifact itself records how far a correctness overhaul moved a cell.
+/// `(cell id, short label, median 2D error m, max 2D error m)` — measured
+/// on the commit immediately before the fix landed.
+pub const BASELINES: &[(&str, &str, f64, f64)] = &[(
+    "dock/5dev/occluded/static/s1",
+    "pre drop-validation overhaul",
+    2.193,
+    29.247,
+)];
+
 /// Summary statistics of one error series (metres).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ErrorSummary {
@@ -144,6 +155,18 @@ impl EvalReport {
         let mut out = String::with_capacity(4096 * self.cells.len().max(1));
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": {},\n", json_str(&self.schema)));
+        out.push_str("  \"baselines\": [\n");
+        for (k, (id, label, median, max)) in BASELINES.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"id\": {}, \"label\": {}, \"median_m\": {}, \"max_m\": {} }}{}\n",
+                json_str(id),
+                json_str(label),
+                json_f64(*median),
+                json_f64(*max),
+                if k + 1 < BASELINES.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"cells\": [\n");
         for (k, cell) in self.cells.iter().enumerate() {
             out.push_str(&cell_json(cell, "    "));

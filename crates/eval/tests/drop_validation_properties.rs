@@ -1,0 +1,169 @@
+//! Property tests for the validated drop pipeline (Algorithm 1 +
+//! three-gate evidence pass).
+//!
+//! Three invariants, swept over seeds rather than pinned to one RNG
+//! realisation:
+//!
+//! 1. **No false positives** — unbiased (small-noise) distance matrices
+//!    must never lose a link, across ≥ 20 noise seeds.
+//! 2. **Exact identification** — with exactly one link biased +8..+16 m
+//!    (the occlusion signature), the pipeline must either drop exactly
+//!    that link or absorb the bias into a converged full-link solve (a
+//!    single low-side bias can fall below the engagement threshold); it
+//!    must never drop a *different* link, and most cases must engage.
+//! 3. **Session-level tail control** — the occluded dock cell must keep
+//!    every round's max 2D error under 20 m for seeds s1..s10, with at
+//!    most one round per seed reaching 15 m (before the validation pass,
+//!    single rounds reached ~29 m).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uw_core::prelude::*;
+use uw_eval::{LinkProfile, ScenarioMatrix, Topology};
+use uw_localization::matrix::{DistanceMatrix, Vec2};
+use uw_localization::outlier::{localize_with_outlier_detection, OutlierConfig};
+use uw_localization::smacof::SmacofConfig;
+
+/// The rigid 5-node testbed used across the localization unit suite: no
+/// symmetry, all 10 links measured.
+fn testbed_points() -> Vec<Vec2> {
+    vec![
+        Vec2::new(0.0, 0.0),
+        Vec2::new(8.0, 0.0),
+        Vec2::new(12.0, 9.0),
+        Vec2::new(2.0, 14.0),
+        Vec2::new(-6.0, 7.0),
+    ]
+}
+
+fn noisy_distances(points: &[Vec2], noise_m: f64, rng: &mut StdRng) -> DistanceMatrix {
+    let mut d = DistanceMatrix::from_points_2d(points);
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let v = d.get(i, j).unwrap() + rng.gen_range(-noise_m..noise_m);
+            d.set(i, j, v.max(0.1)).unwrap();
+        }
+    }
+    d
+}
+
+#[test]
+fn unbiased_distances_never_drop_links() {
+    let truth = testbed_points();
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = noisy_distances(&truth, 0.5, &mut rng);
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            result.dropped_links.is_empty(),
+            "seed {seed}: clean matrix lost links {:?}",
+            result.dropped_links
+        );
+        assert!(
+            result.converged,
+            "seed {seed}: clean matrix did not converge"
+        );
+    }
+}
+
+#[test]
+fn single_biased_link_is_dropped_exactly() {
+    let truth = testbed_points();
+    let links: Vec<(usize, usize)> = (0..truth.len())
+        .flat_map(|i| ((i + 1)..truth.len()).map(move |j| (i, j)))
+        .collect();
+    let mut engaged = 0usize;
+    for (case, &link) in links.iter().enumerate() {
+        let seed = case as u64 + 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = noisy_distances(&truth, 0.4, &mut rng);
+        // Occlusion signature: the link detects a reflection and reads
+        // long by 8..16 m depending on the case.
+        let bias = 8.0 + (case as f64 / (links.len() - 1) as f64) * 8.0;
+        d.set(link.0, link.1, d.get(link.0, link.1).unwrap() + bias)
+            .unwrap();
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        if result.dropped_links.is_empty() {
+            // The bias fell below the fast-path engagement threshold and
+            // was absorbed by the full-link solve; that is acceptable
+            // only when the absorbed solve really is under the paper's
+            // 1.5 m stress gate — never as a silent high-stress giveup.
+            assert!(
+                result.converged
+                    && result.normalized_stress < OutlierConfig::default().stress_threshold_m,
+                "case {case}: +{bias:.1} m on {link:?} absorbed at stress {:.3}",
+                result.normalized_stress
+            );
+        } else {
+            assert_eq!(
+                result.dropped_links,
+                vec![link],
+                "case {case}: +{bias:.1} m on {link:?} dropped {:?}",
+                result.dropped_links
+            );
+            engaged += 1;
+        }
+    }
+    // Absorption must be the exception, not the rule: the large majority
+    // of +8..+16 m single-link biases must trip the drop path. (Three
+    // links of this testbed sit where a single bias bends the embedding
+    // to just under the 1.5 m fast-path stress gate.)
+    assert!(
+        engaged >= 7,
+        "only {engaged}/{} biased cases engaged the drop path",
+        links.len()
+    );
+}
+
+#[test]
+fn occluded_dock_sweep_has_no_catastrophic_round() {
+    let matrix = ScenarioMatrix {
+        environments: vec![EnvironmentKind::Dock],
+        topologies: vec![Topology::FiveDevice],
+        conditions: vec![LinkProfile::Occluded { bias_m: 12.0 }],
+        seeds: (1..=10).collect(),
+        ..ScenarioMatrix::paper_default()
+    };
+    for cell in matrix.expand().unwrap() {
+        let mut session = Session::new(cell.scenario.config().clone()).unwrap();
+        let mut heavy_rounds = 0usize;
+        for round in 0..12 {
+            let outcome = session.run(cell.scenario.network()).unwrap();
+            let max = outcome
+                .errors_2d
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            // Hard ceiling: no round may approach the pre-overhaul ~29 m
+            // catastrophes. A small number of rounds carry two or three
+            // simultaneous ranging outliers — beyond the single-occlusion
+            // model — and can still land in the 15..20 m band.
+            assert!(
+                max < 20.0,
+                "{}: round {round} max 2D error {max:.2} m (drops {:?})",
+                cell.id,
+                outcome.localization.dropped_links
+            );
+            if max >= 15.0 {
+                heavy_rounds += 1;
+            }
+        }
+        assert!(
+            heavy_rounds <= 1,
+            "{}: {heavy_rounds} rounds reached 15 m",
+            cell.id
+        );
+    }
+}

@@ -1,24 +1,17 @@
-//! Seeded characterization of the known Algorithm-1 outlier-drop misfire
-//! under severe (12 m) occlusion — the ROADMAP's "outlier-drop misfires
-//! under severe occlusion" open item.
+//! Seeded characterization of Algorithm-1 drop decisions under severe
+//! (12 m) occlusion — the regression anchor for the drop-validation pass
+//! that closed the ROADMAP's "outlier-drop misfires under severe
+//! occlusion" item.
 //!
 //! With the leader–device-1 link biased +12 m by a solid-sheet reflection,
-//! Algorithm 1 usually detects and drops the corrupted link, but at this
-//! revision (seed 1, 12 rounds, statistical fidelity) it also misfires in
-//! two distinct ways:
-//!
-//! * **missed drops** — some rounds drop *nothing*, leaving the biased
-//!   link in the solve and warping device 1's position by ~9–10 m, and
-//! * **good-link drops** — most dropping rounds discard one *additional*
-//!   clean link alongside the occluded one, occasionally producing a
-//!   catastrophic round (observed worst: ~29 m on the device that lost
-//!   its link).
-//!
-//! This test PINS that behaviour: the per-round drop decisions and the
-//! tail error are asserted as they are today, so a future drop-validation
-//! pass (e.g. cross-checking drops against the Huber residuals) has a
-//! sharp regression anchor — when that PR lands, these pins are expected
-//! to move and should be updated alongside it.
+//! the validated drop pipeline must find the corrupted link in *every*
+//! round and drop *only* that link. Before the validation pass this cell
+//! misfired two ways (pinned by an earlier revision of this test): three
+//! rounds dropped nothing (leaving a ~9–10 m warp), and seven rounds
+//! discarded an extra clean link — once catastrophically (~29 m on the
+//! device that lost its link). The three-gate evidence pipeline plus
+//! cross-round `DropEvidence` eliminates both failure modes, and this
+//! test pins the repaired behaviour exactly.
 
 use uw_core::prelude::*;
 use uw_eval::{LinkProfile, ScenarioMatrix, Topology};
@@ -59,58 +52,26 @@ fn run_pinned_cell() -> (RoundDrops, Vec<f64>, Vec<f64>) {
 fn algorithm1_drop_decisions_under_12m_occlusion_are_pinned() {
     let (drops, max_errors, mut all_errors) = run_pinned_cell();
 
-    let occluded_drop_rounds: Vec<usize> =
-        (0..12).filter(|&r| drops[r].contains(&(0, 1))).collect();
-    let missed_rounds: Vec<usize> = (0..12).filter(|&r| drops[r].is_empty()).collect();
-    let good_link_drop_rounds: Vec<usize> = (0..12)
-        .filter(|&r| drops[r].iter().any(|&l| l != (0, 1)))
-        .collect();
-
-    // Pin: the occluded link is found in 9 of 12 rounds; the other 3 drop
-    // nothing at all (missed drops).
-    assert_eq!(
-        occluded_drop_rounds,
-        vec![0, 2, 3, 4, 7, 8, 9, 10, 11],
-        "occluded-link drop rounds moved: {drops:?}"
-    );
-    assert_eq!(
-        missed_rounds,
-        vec![1, 5, 6],
-        "missed-drop rounds moved: {drops:?}"
-    );
-    // Pin: every missed round leaves the +12 m bias in the solve and the
-    // topology warps by ~9–10 m at the worst device.
-    for &r in &missed_rounds {
-        assert!(
-            max_errors[r] > 8.0 && max_errors[r] < 12.0,
-            "round {r}: missed-drop max error {:.2} m left its pinned band",
-            max_errors[r]
+    // Pin: every one of the 12 rounds drops exactly the occluded link —
+    // no missed rounds, no good-link drops, no extra links.
+    for (r, round_drops) in drops.iter().enumerate() {
+        assert_eq!(
+            round_drops,
+            &vec![(0, 1)],
+            "round {r} dropped {round_drops:?}, expected exactly the occluded (0, 1)"
         );
     }
-    // Pin: 7 rounds drop one *good* link in addition to the occluded one —
-    // the misfire a drop-validation pass should eliminate.
-    assert_eq!(
-        good_link_drop_rounds,
-        vec![2, 3, 4, 7, 8, 9, 11],
-        "good-link misfire rounds moved: {drops:?}"
-    );
-    for &r in &good_link_drop_rounds {
-        assert_eq!(drops[r].len(), 2, "round {r} drops {:?}", drops[r]);
-    }
 
-    // Pin the tail: the worst misfire round costs 20–40 m on the device
-    // that lost its good link (observed ≈ 29 m), far beyond anything a
-    // clean dock round produces.
+    // Pin the tail: with the misfires gone, the worst round stays well
+    // below the old catastrophic band (~29 m observed before the fix).
     let worst = max_errors.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let worst_round = max_errors.iter().position(|&e| e == worst).unwrap();
     assert!(
-        (20.0..40.0).contains(&worst),
-        "worst tail error {worst:.2} m (round {worst_round}) left its pinned band"
+        worst < 12.0,
+        "worst per-round max error {worst:.2} m exceeds the repaired bound"
     );
-    assert_eq!(worst_round, 11, "the catastrophic round moved");
 
-    // Despite the tail, the median stays inside the guide's Fig. 19a band:
-    // Algorithm 1 still halves the typical error versus not dropping.
+    // The median stays inside the guide's Fig. 19a band: dropping the
+    // occluded link restores near-clear-water accuracy.
     all_errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = all_errors[all_errors.len() / 2];
     assert!(

@@ -13,15 +13,27 @@
 //!    multidimensional scaling minimises the stress function over the
 //!    available links (missing links get weight 0).
 //! 3. **Outlier detection** ([`outlier`]) — if the normalised stress exceeds
-//!    a threshold, iteratively drop link subsets and re-run SMACOF until the
-//!    stress collapses, while keeping the remaining graph uniquely
-//!    realizable ([`rigidity`]).
+//!    a threshold, hypothesise link drops and accept only the ones that
+//!    survive a three-gate validation pass: the drop must coincide with the
+//!    Huber-IRLS misfit evidence of the full-link refinement, the dropped
+//!    link must remain measured-long in the candidate embedding (an
+//!    occlusion signature), and re-inserting it must measurably degrade the
+//!    fit in a validation re-solve. Candidate subsets are tried in
+//!    misfit-ranked order, cross-round [`outlier::DropEvidence`] lets a
+//!    session converge on a persistently occluded link, and the remaining
+//!    graph always stays uniquely realizable ([`rigidity`]). All residual
+//!    thresholds derive from the single documented
+//!    [`outlier::RESIDUAL_SCALE_M`] constant.
 //! 4. **Ambiguity resolution** ([`ambiguity`]) — rotate the topology so the
 //!    leader points at device 1, then resolve the remaining mirror ambiguity
 //!    by voting over the leader's dual-microphone arrival signs.
 //!
-//! [`pipeline`] ties the stages together and computes the error metrics used
-//! throughout the evaluation. The distance matrices come from the protocol
+//! [`pipeline`] ties the stages together, arbitrates the surviving drop
+//! hypotheses on a robustly priced Occam cost plus side-vote agreement
+//! (with a rescue re-enumeration when the chosen solution still
+//! contradicts measured side signs — the signature of an *absorbed*
+//! occlusion), and computes the error metrics used throughout the
+//! evaluation. The distance matrices come from the protocol
 //! layer (`uw-protocol`) and the depths from the device sensors modelled in
 //! `uw-device`; positions are expressed relative to the leader, in the
 //! frame fixed by [`uw_channel::geometry::Point3`] coordinates.

@@ -1,4 +1,5 @@
-//! Iterative outlier detection (§2.1.3, Algorithm 1).
+//! Iterative outlier detection (§2.1.3, Algorithm 1) with a validated,
+//! evidence-based drop pipeline.
 //!
 //! Occluded links mistake a reflection for the direct path, producing a
 //! distance that is wrong by metres yet not wrong enough to violate the
@@ -7,23 +8,124 @@
 //!
 //! The paper's Algorithm 1 exploits two observations: without outliers the
 //! normalised stress stays below a threshold (1.5 m), and dropping exactly
-//! the outlier links makes the stress collapse (by more than 90%). The
-//! algorithm therefore:
+//! the outlier links makes the stress collapse. A blind implementation of
+//! that recipe misfires under severe occlusion, though: a +12 m biased link
+//! is often still *embeddable*, so dropping some clean link can free the
+//! topology to warp itself around the corrupted measurement and reach a low
+//! stress on a geometrically wrong solution. This module therefore treats
+//! every candidate drop as a hypothesis that must survive three independent
+//! pieces of evidence before it is accepted:
 //!
-//! 1. solves with all links; if the normalised stress is already below the
-//!    threshold, done;
-//! 2. otherwise tries dropping every subset of links of size 1, then 2, …,
-//!    up to `max_outliers` (3), keeping the subset that most reduces the
-//!    stress *and* reduces it by at least the improvement factor;
-//! 3. only evaluates subsets whose removal leaves the graph uniquely
-//!    realizable, so the solution cannot silently become ambiguous.
+//! 1. **Huber coincidence** — a Huber-IRLS refinement of the *full* link
+//!    set ([`crate::smacof::refine_robust`]) concentrates the misfit on the
+//!    corrupted links and the links their warp squeezed. The residuals
+//!    `measured − embedded` of the plain and robust embeddings rank the
+//!    candidate ordering, and multi-link subsets are restricted to links
+//!    whose misfit exceeds the Huber scale (which also collapses the blind
+//!    O(L³) subset sweep to the handful of suspicious links); single-link
+//!    drops are still screened exhaustively, because a deep warp can hide
+//!    the occluded link's own residual.
+//! 2. **Plausibility in the candidate embedding** — each dropped link must
+//!    still look like an occlusion outlier *after* the drop: measured well
+//!    longer than embedded ([`OutlierConfig::min_drop_residual_m`]), and
+//!    the embedding must respect the triangle lower bound the remaining
+//!    clean legs put on every dropped pair's separation (a mirror fold
+//!    buys its low stress by collapsing the clean link it condemned).
+//! 3. **Per-drop validation re-solve** — re-inserting any dropped link must
+//!    measurably degrade the normalised stress
+//!    ([`OutlierConfig::validation_margin_m`]), and in a multi-link subset
+//!    the re-inserted link must *itself* misfit in the re-inserted solve —
+//!    a link whose removal merely rode along with a genuine outlier's
+//!    stress relief ("free rider") is rejected.
+//!
+//! Surviving hypotheses then compete on a single Occam cost in metres:
+//! claimed bias (the metres of measurement each drop calls corrupted) plus
+//! stress-weighted residual misfit, minus cross-round persistence credit.
+//! When the pipeline arbitrates across hypotheses it re-prices the stress
+//! term with [`crate::smacof::robust_misfit_decomposition`]: in-band
+//! residuals stay quadratic, while misfit beyond the Huber scale is
+//! charged *linearly*, the same unit as claimed bias — an embedding that
+//! keeps a biased link and smears its bias across the topology pays those
+//! metres exactly as a drop hypothesis pays for claiming them. The
+//! reduced-graph solver compares candidate basins on the same robust
+//! score, preventing a secondary outlier from steering basin selection
+//! toward a fold.
+//!
+//! On top of the per-round evidence, a cross-round [`DropEvidence`]
+//! accumulator (threaded through `uw_core::Session`) lets repeated rounds
+//! on a static topology converge on a persistently occluded link: a link
+//! dropped in most prior rounds is promoted in the candidate ordering and
+//! accepted on a clear fit improvement even when a single noisy round's
+//! stress collapse falls short of the `improvement_factor` bar.
+//!
+//! Subsets that would destroy unique realizability are never evaluated
+//! ([`crate::rigidity::realizable_after_dropping`]), so the solution cannot
+//! silently become ambiguous; subsets containing an unmeasured link are
+//! skipped explicitly rather than poisoning the residual score.
 
-use crate::matrix::{DistanceMatrix, Vec2, WeightMatrix};
+use crate::matrix::{DistanceMatrix, WeightMatrix};
 use crate::rigidity::realizable_after_dropping;
-use crate::smacof::{smacof, SmacofConfig, SmacofSolution};
+use crate::smacof::{refine, refine_robust, smacof, SmacofConfig, SmacofSolution};
 use crate::Result;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The single residual scale (m) every robustness decision in the pipeline
+/// is judged on: the Huber-IRLS refinement of stage 2b downweights links
+/// whose residual exceeds it, the drop-validation evidence pass uses it to
+/// nominate candidates, and the hard-drop floor
+/// [`MIN_DROP_RESIDUAL_M`] is derived from it. Deriving both from one
+/// constant keeps the validation pass and the refinement judging residuals
+/// on the same scale (they used to be set independently and could
+/// disagree).
+pub const RESIDUAL_SCALE_M: f64 = 0.75;
+
+/// Minimum residual `measured − embedded` (m) a dropped link must show in
+/// the candidate embedding: twice the Huber scale, i.e. a link must misfit
+/// well beyond what the IRLS refinement would simply downweight before
+/// Algorithm 1 is allowed to discard it outright.
+pub const MIN_DROP_RESIDUAL_M: f64 = 2.0 * RESIDUAL_SCALE_M;
+
+/// Dimensionless weight converting a hypothesis' residual normalised
+/// stress into the Occam cost's metres-of-unexplained-measurement
+/// currency. Neither term alone ranks hypotheses safely: candidate stress
+/// alone prefers a mirror fold that buys a low-stress reflected topology
+/// by condemning a clean link, and claimed bias alone prefers a fold that
+/// calls fewer metres wrong while leaving systematic stress behind. The
+/// units differ — normalised stress is an RMS-like per-link misfit while
+/// claimed bias is a sum over the dropped links — so the weight restores
+/// comparability: at 40, the ~0.1 m of extra systematic stress a fold
+/// leaves across the topology outweighs the ~3 m of claimed bias it can
+/// save, while the ~0.2 m stress penalty of an honest noisy round does not
+/// overturn a 10 m difference in claimed corruption.
+pub const STRESS_COST_WEIGHT: f64 = 40.0;
+
+/// Occam-cost credit (m) per prior round that dropped a link of the
+/// subset: on a static topology the genuinely occluded link recurs every
+/// round, so each recurrence is worth metres of claimed bias when ranking
+/// otherwise comparable hypotheses. The credit only applies while the
+/// link's drops keep a majority rate over the observed rounds (a stale
+/// spurious drop decays as clean rounds accumulate) and is capped at
+/// [`PERSISTENCE_CREDIT_CAP_M`] so a long session cannot make one link
+/// unconditionally droppable.
+pub const PERSISTENCE_CREDIT_M: f64 = 6.0;
+
+/// Upper bound (m) on the per-link cross-round credit.
+pub const PERSISTENCE_CREDIT_CAP_M: f64 = 16.0;
+
+/// Arbitration penalty (m of Occam cost) per dual-mic side vote a resolved
+/// hypothesis contradicts. One vote is deliberately weaker than the
+/// typical cost gap between the truth and a fold (votes flip with ~10%
+/// probability near the leader–device-1 line), so a single noisy vote
+/// cannot override clear geometric evidence — but a fold that reflects a
+/// device across the line earns the penalty on top of its already higher
+/// cost and loses decisively.
+pub const VOTE_MISMATCH_PENALTY_M: f64 = 4.0;
+
+/// A drop hypothesis that passed gates 1–2b and awaits gate-3 validation:
+/// candidate solution, dropped links, summed claimed bias of the drops.
+type PassingHypothesis = (SmacofSolution, Vec<(usize, usize)>, f64);
 
 /// Parameters of the outlier-detection loop.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,14 +136,26 @@ pub struct OutlierConfig {
     /// Maximum number of links that may be dropped (3 in the paper).
     pub max_outliers: usize,
     /// Required relative stress reduction for a drop subset to be considered
-    /// an outlier set (0.9 in the paper).
+    /// an outlier set (0.9 in the paper) when the candidate stress does not
+    /// collapse below `stress_threshold_m` outright.
     pub improvement_factor: f64,
     /// Minimum residual `measured − embedded` (m) a dropped link must show
     /// in the candidate solution. Occlusion outliers detect a reflection and
     /// are therefore biased *long*; a candidate drop whose link fits the
     /// embedding (small or negative residual) is a spurious drop that merely
-    /// freed the topology to warp, and is rejected.
+    /// freed the topology to warp, and is rejected. Defaults to
+    /// [`MIN_DROP_RESIDUAL_M`].
     pub min_drop_residual_m: f64,
+    /// Huber scale (m) of the full-link IRLS evidence pass: only links whose
+    /// robust residual exceeds it are drop candidates. Defaults to
+    /// [`RESIDUAL_SCALE_M`] — the same constant the pipeline's stage-2b
+    /// refinement (`LocalizerConfig::robust_delta_m`) defaults to, so drops
+    /// and downweights are judged on the same residual scale.
+    pub huber_delta_m: f64,
+    /// Minimum normalised-stress degradation (m) that re-inserting a
+    /// dropped link must cause in the validation re-solve; a drop below the
+    /// margin is rejected as spurious. Defaults to [`RESIDUAL_SCALE_M`].
+    pub validation_margin_m: f64,
 }
 
 impl Default for OutlierConfig {
@@ -50,7 +164,9 @@ impl Default for OutlierConfig {
             stress_threshold_m: 1.5,
             max_outliers: 3,
             improvement_factor: 0.9,
-            min_drop_residual_m: 1.5,
+            min_drop_residual_m: MIN_DROP_RESIDUAL_M,
+            huber_delta_m: RESIDUAL_SCALE_M,
+            validation_margin_m: RESIDUAL_SCALE_M,
         }
     }
 }
@@ -59,105 +175,710 @@ impl Default for OutlierConfig {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OutlierResult {
     /// Estimated 2D positions.
-    pub positions: Vec<Vec2>,
+    pub positions: Vec<crate::matrix::Vec2>,
     /// Links identified as outliers and excluded from the final solve.
     pub dropped_links: Vec<(usize, usize)>,
     /// Normalised stress of the final solution (m).
     pub normalized_stress: f64,
     /// True when the final stress is below the acceptance threshold.
     pub converged: bool,
+    /// Occam cost of this drop hypothesis (m): the metres of measurement
+    /// it calls wrong (`claimed bias + stress-weighted residual misfit`,
+    /// less a credit when every dropped link is cross-round persistent).
+    /// Hypotheses from one [`drop_hypotheses`] call are ordered by this
+    /// cost; downstream arbitration (side-sign votes) adds its own
+    /// penalties on top. No-drop results (fast path included) claim no
+    /// bias and carry only the stress term.
+    pub occam_cost_m: f64,
 }
 
-/// Runs Algorithm 1: SMACOF with iterative outlier-subset dropping.
+/// Cross-round drop evidence: which links Algorithm 1 dropped in previous
+/// rounds of the same session. On a static topology an occluded link is
+/// occluded in *every* round, so its drop count tracks the round count; a
+/// spurious drop never recurs. [`localize_with_drop_validation`] uses the
+/// accumulated evidence to promote persistently dropped links in the
+/// candidate ordering and to accept their drop on a clear fit improvement
+/// even when one noisy round's stress collapse falls short of the
+/// `improvement_factor` bar — so repeated rounds converge on the persistent
+/// occluded link instead of re-deciding from scratch.
+///
+/// Link indices are whatever index space the caller solves in;
+/// `uw_core::Session` keeps evidence in full device indices and projects it
+/// onto the reduced (churn-excised) index set per round via
+/// [`DropEvidence::project`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DropEvidence {
+    rounds: usize,
+    counts: BTreeMap<(usize, usize), usize>,
+}
+
+impl DropEvidence {
+    /// An empty accumulator (no rounds observed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed round's drop decisions (an empty slice counts
+    /// the round without accusing any link).
+    pub fn observe_round(&mut self, dropped: &[(usize, usize)]) {
+        self.rounds += 1;
+        for &(i, j) in dropped {
+            let key = if i <= j { (i, j) } else { (j, i) };
+            *self.counts.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of rounds observed so far.
+    pub fn rounds_observed(&self) -> usize {
+        self.rounds
+    }
+
+    /// How many observed rounds dropped the link `(i, j)`.
+    pub fn drop_count(&self, i: usize, j: usize) -> usize {
+        let key = if i <= j { (i, j) } else { (j, i) };
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Whether the link `(i, j)` is *persistently* dropped: at least two
+    /// prior rounds dropped it, and at least half of all observed rounds
+    /// did. One spurious drop never makes a link persistent; a static
+    /// occlusion does from the second round on.
+    pub fn is_persistent(&self, i: usize, j: usize) -> bool {
+        let c = self.drop_count(i, j);
+        c >= 2 && 2 * c >= self.rounds
+    }
+
+    /// All links currently flagged persistent, sorted.
+    pub fn persistent_links(&self) -> Vec<(usize, usize)> {
+        self.counts
+            .keys()
+            .copied()
+            .filter(|&(i, j)| self.is_persistent(i, j))
+            .collect()
+    }
+
+    /// Projects evidence kept in full device indices onto a reduced index
+    /// set: `active[a]` is the full index of reduced device `a`. Links with
+    /// a silent endpoint are dropped from the projection; the round count
+    /// carries over.
+    pub fn project(&self, active: &[usize]) -> DropEvidence {
+        let position = |full: usize| active.iter().position(|&f| f == full);
+        let counts = self
+            .counts
+            .iter()
+            .filter_map(|(&(i, j), &c)| {
+                let (a, b) = (position(i)?, position(j)?);
+                Some((if a <= b { (a, b) } else { (b, a) }, c))
+            })
+            .collect();
+        DropEvidence {
+            rounds: self.rounds,
+            counts,
+        }
+    }
+}
+
+/// Runs Algorithm 1 with the validated drop pipeline and no cross-round
+/// evidence (each call decides from this round's measurements alone).
 pub fn localize_with_outlier_detection<R: Rng>(
     distances_2d: &DistanceMatrix,
     smacof_config: &SmacofConfig,
     outlier_config: &OutlierConfig,
     rng: &mut R,
 ) -> Result<OutlierResult> {
+    localize_with_drop_validation(distances_2d, smacof_config, outlier_config, None, rng)
+}
+
+/// Runs Algorithm 1: SMACOF topology estimation with evidence-based,
+/// validated outlier-subset dropping (see the module docs for the three
+/// acceptance gates), optionally biased by cross-round [`DropEvidence`].
+///
+/// Returns the single preferred hypothesis; callers with independent
+/// evidence to arbitrate on (the pipeline's dual-microphone side votes)
+/// should use [`drop_hypotheses`] instead.
+pub fn localize_with_drop_validation<R: Rng>(
+    distances_2d: &DistanceMatrix,
+    smacof_config: &SmacofConfig,
+    outlier_config: &OutlierConfig,
+    evidence: Option<&DropEvidence>,
+    rng: &mut R,
+) -> Result<OutlierResult> {
+    let mut hypotheses =
+        drop_hypotheses(distances_2d, smacof_config, outlier_config, evidence, rng)?;
+    Ok(hypotheses.remove(0))
+}
+
+/// Runs Algorithm 1 and returns *every* validated drop hypothesis across
+/// all subset sizes up to the drop budget, in ascending Occam-cost order
+/// (claimed bias plus stress-weighted misfit minus cross-round
+/// persistence credit).
+///
+/// Distance data alone cannot always pick between two validated
+/// hypotheses: under severe occlusion, dropping a clean long link can
+/// admit a *partially reflected* topology whose stress is as low as the
+/// truth's — each hypothesis claims the other's link is the outlier, and
+/// the measured distances are symmetric between them. The list is never
+/// empty: the fast path, a decided drop, and the no-drop fallthrough all
+/// yield at least one entry, and callers holding independent evidence
+/// (the leader's side-sign votes, which a partial reflection contradicts)
+/// can arbitrate among the rest.
+pub fn drop_hypotheses<R: Rng>(
+    distances_2d: &DistanceMatrix,
+    smacof_config: &SmacofConfig,
+    outlier_config: &OutlierConfig,
+    evidence: Option<&DropEvidence>,
+    rng: &mut R,
+) -> Result<Vec<OutlierResult>> {
+    enumerate_hypotheses(
+        distances_2d,
+        smacof_config,
+        outlier_config,
+        evidence,
+        false,
+        rng,
+    )
+}
+
+/// Rescue enumeration for a solution that contradicts independent
+/// evidence: like [`drop_hypotheses`], but the fast path is skipped (a
+/// full-link solve can *absorb* a severe occlusion below the stress
+/// threshold while warping the topology by many metres) and gate 3's
+/// stress-degradation margin is waived (an absorbed bias degrades the
+/// stress only marginally when re-inserted, precisely because the warp
+/// hides it). Gate 2 still applies in full: every dropped link must stay
+/// measured-long beyond the drop floor in its candidate embedding, which
+/// clean rounds cannot satisfy — so a rescue pass over clean data finds
+/// nothing and the caller keeps its original solution.
+///
+/// Callers must only adopt a rescue hypothesis on *strictly better*
+/// external evidence (the pipeline requires strictly fewer side-sign
+/// contradictions); the relaxed gate 3 is not sufficient acceptance on
+/// its own.
+pub fn rescue_hypotheses<R: Rng>(
+    distances_2d: &DistanceMatrix,
+    smacof_config: &SmacofConfig,
+    outlier_config: &OutlierConfig,
+    evidence: Option<&DropEvidence>,
+    rng: &mut R,
+) -> Result<Vec<OutlierResult>> {
+    let relaxed = OutlierConfig {
+        validation_margin_m: 0.0,
+        ..*outlier_config
+    };
+    enumerate_hypotheses(distances_2d, smacof_config, &relaxed, evidence, true, rng)
+}
+
+fn enumerate_hypotheses<R: Rng>(
+    distances_2d: &DistanceMatrix,
+    smacof_config: &SmacofConfig,
+    outlier_config: &OutlierConfig,
+    evidence: Option<&DropEvidence>,
+    skip_fast_path: bool,
+    rng: &mut R,
+) -> Result<Vec<OutlierResult>> {
     let base_weights = WeightMatrix::from_distances(distances_2d);
     let initial = smacof(distances_2d, &base_weights, smacof_config, rng)?;
 
-    // Fast path: no outliers suspected.
-    if initial.normalized_stress < outlier_config.stress_threshold_m {
-        return Ok(OutlierResult {
+    // Fast path: no outliers suspected. Clean rounds never enter the drop
+    // machinery (and consume no additional RNG), so their results are
+    // bit-identical to a solver without it.
+    if !skip_fast_path && initial.normalized_stress < outlier_config.stress_threshold_m {
+        return Ok(vec![OutlierResult {
             positions: initial.positions,
             dropped_links: Vec::new(),
             normalized_stress: initial.normalized_stress,
             converged: true,
-        });
+            // Same pricing rule as every other no-drop result: zero
+            // claimed bias plus the stress-weighted misfit. Clean rounds
+            // are single-hypothesis so the value never competes, but a
+            // rescue pass comparing against an *absorbed* occlusion needs
+            // the honest residual cost, not a free pass.
+            occam_cost_m: STRESS_COST_WEIGHT * initial.normalized_stress,
+        }]);
     }
 
-    let links = distances_2d.links();
-    let mut current_best: SmacofSolution = initial;
-    let mut current_drop: Vec<(usize, usize)> = Vec::new();
+    // Evidence pass: Huber-IRLS refinement of the FULL link set. The IRLS
+    // downweights misfitting links instead of fitting them exactly, so the
+    // robust embedding concentrates the misfit: links whose residual
+    // exceeds the Huber scale in either the plain or the robust embedding
+    // are where the corruption (or the warp it induced) lives.
+    // Deterministic (warm-started from `initial`, no RNG).
+    //
+    // Note the warp subtlety this pass must survive: when the full-link
+    // solve deforms the topology to *fit* the biased link, the occluded
+    // link's own residual can be small while nearby clean links misfit
+    // instead. The residuals therefore guide the *ordering* and bound the
+    // multi-link subsets, but single-link drops are still screened
+    // exhaustively — selection relies on the acceptance gates (stress
+    // collapse, positive drop residual, validation re-solve), not on the
+    // full-link residuals alone, to tell the occluded link from the links
+    // its warp squeezed.
+    let refined = refine_robust(
+        distances_2d,
+        &base_weights,
+        smacof_config,
+        outlier_config.huber_delta_m,
+        initial.clone(),
+    )?;
+    let residual_of = |sol: &SmacofSolution, i: usize, j: usize| -> Option<f64> {
+        distances_2d
+            .get(i, j)
+            .map(|m| m - sol.positions[i].distance(&sol.positions[j]))
+    };
+    let is_persistent = |i: usize, j: usize| evidence.is_some_and(|e| e.is_persistent(i, j));
 
-    // (candidate solution, dropped links, min residual of the dropped links)
-    type DropCandidate = (SmacofSolution, Vec<(usize, usize)>, f64);
+    // Score every measured link by its worst misfit across the two
+    // embeddings. Ordered persistent-first, then by descending misfit, so
+    // the subsets tried first are the highest-evidence ones.
+    let mut scored: Vec<((usize, usize), f64)> = distances_2d
+        .links()
+        .into_iter()
+        .filter_map(|(i, j)| {
+            let r_plain = residual_of(&initial, i, j)?;
+            let r_robust = residual_of(&refined, i, j)?;
+            Some(((i, j), r_plain.abs().max(r_robust.abs())))
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        let (pa, pb) = (is_persistent(a.0 .0, a.0 .1), is_persistent(b.0 .0, b.0 .1));
+        pb.cmp(&pa)
+            .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let singles: Vec<(usize, usize)> = scored.iter().map(|&(l, _)| l).collect();
+    // Multi-link subsets are restricted to links with actual Huber
+    // evidence (misfit beyond the Huber scale, or cross-round
+    // persistence): dropping a clean link alongside the outlier is exactly
+    // the misfire this pass kills, and the restriction also collapses the
+    // blind O(L³) sweep to the handful of suspicious links.
+    let mut multi: Vec<(usize, usize)> = scored
+        .iter()
+        .filter(|&&((i, j), misfit)| misfit > outlier_config.huber_delta_m || is_persistent(i, j))
+        .map(|&(l, _)| l)
+        .collect();
+
+    // Every subset size up to the budget is enumerated and the survivors
+    // compete on one Occam cost. Smaller subsets are not given a hard
+    // priority: each extra dropped link adds its own claimed bias (at
+    // least the drop floor) to the hypothesis' cost, so a spurious extra
+    // drop loses on cost — while a genuine second outlier (a noisy round
+    // on top of the occlusion) buys enough stress reduction to pay for
+    // itself. A hard smallest-size-first rule would never even consider
+    // the pair in that round and leave the truth hypothesis carrying the
+    // second outlier's misfit.
+    let mut passing: Vec<PassingHypothesis> = Vec::new();
     for n_drop in 1..=outlier_config.max_outliers {
-        let mut round_best: Option<DropCandidate> = None;
-        for subset in subsets_of_size(&links, n_drop) {
-            // Never evaluate a drop set that destroys unique realizability.
-            if !realizable_after_dropping(distances_2d, &subset) {
+        if n_drop == 2 {
+            // Residual-guided pool extension: the full-link warp can hide
+            // a second outlier (its misfit spreads over the whole
+            // topology), but in a passing single-drop candidate embedding
+            // the remaining outlier's residual stands out. Links that
+            // misfit beyond the Huber scale in any such embedding join
+            // the multi-link pool, in the deterministic `scored` order.
+            for &((i, j), _) in &scored {
+                if multi.contains(&(i, j)) {
+                    continue;
+                }
+                let suspicious = passing.iter().any(|(candidate, subset, _)| {
+                    !subset.contains(&(i, j))
+                        && residual_of(candidate, i, j)
+                            .is_some_and(|r| r.abs() > outlier_config.huber_delta_m)
+                });
+                if suspicious {
+                    multi.push((i, j));
+                }
+            }
+        }
+        let pool = if n_drop == 1 { &singles } else { &multi };
+        for subset in subsets_of_size(pool, n_drop) {
+            // A subset containing an unmeasured link cannot be scored —
+            // skip it explicitly instead of letting a sentinel poison the
+            // residual minimum (candidates are measured today, but churn
+            // may excise links between nomination and scoring).
+            if subset
+                .iter()
+                .any(|&(i, j)| distances_2d.get(i, j).is_none())
+            {
                 continue;
             }
-            let mut weights = base_weights.clone();
-            weights.drop_links(&subset);
-            let candidate = match smacof(distances_2d, &weights, smacof_config, rng) {
-                Ok(c) => c,
-                Err(_) => continue,
+            // Never evaluate a drop set that destroys unique realizability.
+            // Rescue mode relaxes this for single links whose endpoints
+            // both keep degree ≥ 2, but only when the *measured* graph is
+            // already missing a link: a round with a ranging dropout can
+            // leave the occluded link formally un-droppable (the reduced
+            // graph admits a discrete reflection), yet keeping the biased
+            // link is certain to be wrong. The finite ambiguity is
+            // arbitrated downstream — the caller adopts a rescue
+            // hypothesis only when it contradicts strictly fewer measured
+            // side votes, and a wrong reflection contradicts them. On a
+            // *complete* measured graph the relaxation stays off: there
+            // the un-droppability is structural (a small topology such as
+            // K4, where removing any link admits a perfect-fit hinge
+            // fold), and a single noisy vote must not be allowed to adopt
+            // that fold.
+            if !realizable_after_dropping(distances_2d, &subset) {
+                let degree_without = |node: usize| {
+                    (0..distances_2d.len())
+                        .filter(|&k| {
+                            let l = (node.min(k), node.max(k));
+                            k != node
+                                && !subset.contains(&l)
+                                && distances_2d.get(l.0, l.1).is_some()
+                        })
+                        .count()
+                };
+                let n = distances_2d.len();
+                let has_dropout =
+                    (0..n).any(|i| ((i + 1)..n).any(|j| distances_2d.get(i, j).is_none()));
+                let finite_ambiguity = skip_fast_path
+                    && has_dropout
+                    && subset.len() == 1
+                    && subset
+                        .iter()
+                        .all(|&(i, j)| degree_without(i) >= 2 && degree_without(j) >= 2);
+                if !finite_ambiguity {
+                    continue;
+                }
+            }
+            let Some(candidate) = best_reduced_solve(
+                distances_2d,
+                &base_weights,
+                &subset,
+                smacof_config,
+                outlier_config.huber_delta_m,
+                &[&initial, &refined],
+                rng,
+            ) else {
+                continue;
             };
-            let improved = current_best.normalized_stress - candidate.normalized_stress
-                > outlier_config.improvement_factor * current_best.normalized_stress;
-            // Every dropped link must look like an occlusion outlier in the
-            // candidate embedding: measured well *longer* than embedded.
-            // Without this test, a +12 m occluded link is often still
-            // embeddable — dropping some *good* link can free the topology
-            // to warp itself around the corrupted measurement and reach a
-            // low stress on a geometrically wrong solution.
+            // Gate 2: every dropped link must look like an occlusion
+            // outlier in the candidate embedding — measured well *longer*
+            // than embedded.
             let min_residual = subset
                 .iter()
-                .map(|&(i, j)| {
-                    let measured = distances_2d.get(i, j).unwrap_or(f64::NEG_INFINITY);
-                    measured - candidate.positions[i].distance(&candidate.positions[j])
-                })
+                .filter_map(|&(i, j)| residual_of(&candidate, i, j))
                 .fold(f64::INFINITY, f64::min);
-            let plausible_outlier = min_residual > outlier_config.min_drop_residual_m;
-            // Among plausible candidates prefer the one whose dropped links
-            // misfit the most — that subset, not the lowest-stress warp, is
-            // the actual outlier set.
-            let better_than_round = round_best
-                .as_ref()
-                .is_none_or(|&(_, _, best_res)| min_residual > best_res);
-            if improved && plausible_outlier && better_than_round {
-                round_best = Some((candidate, subset, min_residual));
+            if min_residual <= outlier_config.min_drop_residual_m {
+                continue;
             }
-        }
-
-        if let Some((best, drop, _)) = round_best {
-            current_best = best;
-            current_drop = drop;
-            if current_best.normalized_stress < outlier_config.stress_threshold_m {
-                return Ok(OutlierResult {
-                    positions: current_best.positions,
-                    dropped_links: current_drop,
-                    normalized_stress: current_best.normalized_stress,
-                    converged: true,
-                });
+            // Gate 2b: triangle consistency. The measured clean links put a
+            // hard lower bound `max_k |d(i,k) − d(j,k)|` on every dropped
+            // pair's true separation; an embedding that squeezes a dropped
+            // pair well below that bound contradicts the data it claims to
+            // fit. This is the signature of the mirror-basin misfire: a
+            // *reflected* topology can fit the biased link with low stress,
+            // but only by collapsing the clean link it dropped instead.
+            let triangle_ok = subset.iter().all(|&(i, j)| {
+                let embedded = candidate.positions[i].distance(&candidate.positions[j]);
+                let mut bound: f64 = 0.0;
+                for k in 0..distances_2d.len() {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    // A leg that is itself being dropped may carry the
+                    // occlusion bias — it proves nothing about geometry.
+                    let ik = (i.min(k), i.max(k));
+                    let jk = (j.min(k), j.max(k));
+                    if subset.contains(&ik) || subset.contains(&jk) {
+                        continue;
+                    }
+                    if let (Some(a), Some(b)) = (distances_2d.get(i, k), distances_2d.get(j, k)) {
+                        bound = bound.max((a - b).abs());
+                    }
+                }
+                // The bound difference is built from two measured legs,
+                // each carrying its own ranging noise. For a single drop
+                // the slack covers both legs: an honest drop whose legs
+                // drew opposite-sign noise must pass, while a fold
+                // squeezes its dropped link by the full occlusion bias
+                // and still fails. Multi-link subsets keep the strict
+                // one-leg slack: every removed link widens the reduced
+                // graph's fold basins, and a pair that needs the loose
+                // bound is the classic truth-plus-clean-link fold.
+                let slack = if subset.len() == 1 {
+                    2.0 * outlier_config.min_drop_residual_m
+                } else {
+                    outlier_config.min_drop_residual_m
+                };
+                embedded >= bound - slack
+            });
+            if !triangle_ok {
+                continue;
+            }
+            // Stress evidence: the drop either collapses the stress below
+            // the acceptance threshold, or reduces it by the paper's
+            // improvement factor. A subset of persistently dropped links
+            // (static occlusion, cross-round evidence) is also accepted on
+            // a clear improvement, so one noisy round cannot un-decide a
+            // link the whole session has converged on.
+            let collapsed = candidate.normalized_stress < outlier_config.stress_threshold_m;
+            let improved = initial.normalized_stress - candidate.normalized_stress
+                > outlier_config.improvement_factor * initial.normalized_stress;
+            let persistent_ok = subset.iter().all(|&(i, j)| is_persistent(i, j))
+                && initial.normalized_stress - candidate.normalized_stress
+                    > outlier_config.validation_margin_m;
+            if collapsed || improved || persistent_ok {
+                let claimed_bias: f64 = subset
+                    .iter()
+                    .filter_map(|&(i, j)| residual_of(&candidate, i, j))
+                    .sum();
+                passing.push((candidate, subset, claimed_bias));
             }
         }
     }
 
-    let converged = current_best.normalized_stress < outlier_config.stress_threshold_m;
-    Ok(OutlierResult {
-        positions: current_best.positions,
-        dropped_links: current_drop,
-        normalized_stress: current_best.normalized_stress,
-        converged,
-    })
+    // Gate 3 ordering: cheapest Occam cost first, across every subset
+    // size. Each hypothesis implicitly claims its dropped links are
+    // biased by `measured − embedded` and leaves its residual stress
+    // unexplained; the cost sums both in metres ([`STRESS_COST_WEIGHT`]).
+    // Neither term alone is safe: candidate stress alone prefers a mirror
+    // basin that folds a *clean* long link into a reflected topology
+    // fitting the biased link with *lower* stress than the truth (the
+    // discarded clean link then looks measured-long, exactly like an
+    // occlusion), and claimed bias alone prefers a fold that calls fewer
+    // metres wrong while leaving systematic stress behind. Every dropped
+    // link earns [`PERSISTENCE_CREDIT_M`] per prior round that dropped it
+    // (majority-rate gated, capped at [`PERSISTENCE_CREDIT_CAP_M`]): on a
+    // static topology the genuine occlusion recurs every round, so its
+    // evidence compounds while a spurious drop's one-off credit decays.
+    // In normal mode a single prior drop earns nothing — one misfired
+    // round must not compound into a self-confirming streak. The rescue
+    // pass (vote contradiction already corroborates that something is
+    // wrong) accepts evidence from the first drop on.
+    let min_credit_count = if skip_fast_path { 1 } else { 2 };
+    let cost_of = |candidate: &SmacofSolution, subset: &[(usize, usize)], bias: f64| {
+        let credit: f64 = subset
+            .iter()
+            .map(|&(i, j)| {
+                evidence.map_or(0.0, |e| {
+                    let c = e.drop_count(i, j);
+                    if c >= min_credit_count && 2 * c >= e.rounds {
+                        (PERSISTENCE_CREDIT_M * c as f64).min(PERSISTENCE_CREDIT_CAP_M)
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .sum();
+        bias + STRESS_COST_WEIGHT * candidate.normalized_stress - credit
+    };
+    passing.sort_by(|a, b| {
+        let ca = cost_of(&a.0, &a.1, a.2);
+        let cb = cost_of(&b.0, &b.1, b.2);
+        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut validated: Vec<OutlierResult> = Vec::new();
+    for (candidate, subset, claimed_bias) in passing {
+        if validate_drop_set(
+            distances_2d,
+            &base_weights,
+            smacof_config,
+            outlier_config,
+            &initial,
+            &candidate,
+            &subset,
+            rng,
+        ) {
+            let converged = candidate.normalized_stress < outlier_config.stress_threshold_m;
+            let occam_cost_m = cost_of(&candidate, &subset, claimed_bias);
+            validated.push(OutlierResult {
+                positions: candidate.positions,
+                dropped_links: subset,
+                normalized_stress: candidate.normalized_stress,
+                converged,
+                occam_cost_m,
+            });
+        }
+    }
+    if !validated.is_empty() {
+        return Ok(validated);
+    }
+
+    // No drop subset survived all three gates: keep the full-link solve and
+    // report the unresolved stress (stage 2b's Huber refinement will still
+    // downweight moderate misfits).
+    Ok(vec![OutlierResult {
+        positions: initial.positions,
+        dropped_links: Vec::new(),
+        normalized_stress: initial.normalized_stress,
+        converged: false,
+        occam_cost_m: STRESS_COST_WEIGHT * initial.normalized_stress,
+    }])
 }
 
-/// Enumerates all subsets of `items` with exactly `k` elements.
+/// Validation re-solve (gate 3): for every link of the accepted subset,
+/// re-inserting it — i.e. solving with the *rest* of the subset dropped —
+/// must degrade the normalised stress by at least the validation margin.
+/// A spurious drop fails this test: its link fits the remaining topology
+/// nearly as well re-inserted, so the degradation is marginal.
+///
+/// For multi-link subsets the stress margin alone is not attributive: a
+/// *different* misfit (a moderate secondary outlier the subset never
+/// dropped) can inflate the re-inserted solve and make an innocent link
+/// look load-bearing. The re-inserted link must therefore also misfit
+/// *itself* — measured longer than embedded by the drop floor — in the
+/// re-inserted solve, or its drop is rejected as a free rider.
+#[allow(clippy::too_many_arguments)]
+fn validate_drop_set<R: Rng>(
+    distances_2d: &DistanceMatrix,
+    base_weights: &WeightMatrix,
+    smacof_config: &SmacofConfig,
+    outlier_config: &OutlierConfig,
+    initial: &SmacofSolution,
+    candidate: &SmacofSolution,
+    subset: &[(usize, usize)],
+    rng: &mut R,
+) -> bool {
+    for &link in subset {
+        let reinserted_stress = if subset.len() == 1 {
+            // Re-inserting the only dropped link is the full-link solve,
+            // which already exists.
+            initial.normalized_stress
+        } else {
+            let rest: Vec<(usize, usize)> = subset.iter().copied().filter(|&l| l != link).collect();
+            match best_reduced_solve(
+                distances_2d,
+                base_weights,
+                &rest,
+                smacof_config,
+                outlier_config.huber_delta_m,
+                &[initial, candidate],
+                rng,
+            ) {
+                Some(s) => {
+                    let own_misfit = distances_2d
+                        .get(link.0, link.1)
+                        .map(|m| m - s.positions[link.0].distance(&s.positions[link.1]));
+                    if own_misfit.is_none_or(|r| r < outlier_config.min_drop_residual_m) {
+                        return false;
+                    }
+                    s.normalized_stress
+                }
+                // If the topology cannot even be embedded with the link
+                // back, re-insertion clearly degrades the fit.
+                None => f64::INFINITY,
+            }
+        };
+        if reinserted_stress - candidate.normalized_stress < outlier_config.validation_margin_m {
+            return false;
+        }
+    }
+    true
+}
+
+/// Solves a reduced (links-dropped) link set as the best of three start
+/// strategies, because each alone has a known failure basin:
+///
+/// - the random-restart [`smacof`] solve — its classical-MDS init completes
+///   a dropped link by graph shortest path, a bad overestimate for links
+///   much shorter than any two-hop detour, so every restart can land in a
+///   warped minimum;
+/// - deterministic warm-started [`refine`] descents from the given
+///   full-link embeddings — recover when the clean links alone pull the
+///   full-link embedding into the reduced set's own minimum, but stay
+///   trapped when the warp is deep enough to be self-supporting;
+/// - a deterministic *lower-bound* start: each dropped link `(i, j)` is
+///   completed with `max_k |d(i,k) − d(j,k)|` (a true geometric lower
+///   bound on the direct distance), the completed matrix is solved once
+///   from its MDS init, and the result seeds a descent under the real
+///   reduced weights. When the dropped link is the occluded one, the lower
+///   bound is close to the true distance — far closer than the
+///   shortest-path overestimate — and the descent lands in the correct
+///   basin even when both other strategies miss it.
+fn best_reduced_solve<R: Rng>(
+    distances: &DistanceMatrix,
+    base_weights: &WeightMatrix,
+    dropped: &[(usize, usize)],
+    config: &SmacofConfig,
+    huber_delta_m: f64,
+    warm_starts: &[&SmacofSolution],
+    rng: &mut R,
+) -> Option<SmacofSolution> {
+    let mut weights = base_weights.clone();
+    weights.drop_links(dropped);
+    // A reduced graph has fewer constraints than the full one, so its
+    // fold basins are wider and the cold solve misses the global basin
+    // more often — and a hypothesis solved into a fold is misjudged by
+    // every gate downstream (its stress looks high, its dropped links can
+    // violate the triangle bound). Hypothesis solves are few per round,
+    // so buy the extra restarts.
+    let config = &SmacofConfig {
+        restarts: config.restarts.max(1) * 3,
+        ..*config
+    };
+    // Basins compete on the *robust* misfit score, not the quadratic
+    // stress: a round can carry moderate secondary outliers on the kept
+    // links, and under the quadratic criterion the basin that wins is the
+    // one that folds the topology to absorb them — the honest basin that
+    // leaves each secondary sticking out loses despite placing every
+    // device right. The quadratic stress of the returned solution is
+    // still what the acceptance gates judge.
+    let robust_score = |s: &SmacofSolution| {
+        let (trim, excess) = crate::smacof::robust_misfit_decomposition(
+            &s.positions,
+            distances,
+            &weights,
+            huber_delta_m,
+        );
+        STRESS_COST_WEIGHT * trim + excess
+    };
+    let mut best: Option<SmacofSolution> = smacof(distances, &weights, config, rng).ok();
+    let consider = |s: SmacofSolution, best: &mut Option<SmacofSolution>| {
+        if best
+            .as_ref()
+            .is_none_or(|b| robust_score(&s) < robust_score(b))
+        {
+            *best = Some(s);
+        }
+    };
+    // Each start is descended twice: plain quadratic, and Huber-IRLS. The
+    // quadratic descent from a good init can still drift into a fold when
+    // the kept links carry a moderate secondary outlier (the pull is
+    // proportional to the residual), while the robust descent downweights
+    // the secondary and stays in the honest basin.
+    let descend = |positions: &[crate::matrix::Vec2], best: &mut Option<SmacofSolution>| {
+        if let Ok(s) = refine(distances, &weights, config, positions) {
+            if let Ok(r) = refine_robust(distances, &weights, config, huber_delta_m, s.clone()) {
+                consider(r, best);
+            }
+            consider(s, best);
+        }
+    };
+    for warm in warm_starts {
+        descend(&warm.positions, &mut best);
+    }
+    // Lower-bound start.
+    let mut completed = distances.clone();
+    let mut completable = true;
+    for &(i, j) in dropped {
+        let mut bound: f64 = 0.1;
+        for k in 0..distances.len() {
+            if k == i || k == j {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (distances.get(i, k), distances.get(j, k)) {
+                bound = bound.max((a - b).abs());
+            }
+        }
+        if completed.set(i, j, bound).is_err() {
+            completable = false;
+            break;
+        }
+    }
+    if completable {
+        let single_start = SmacofConfig {
+            restarts: 1,
+            ..*config
+        };
+        if let Ok(est) = smacof(&completed, base_weights, &single_start, rng) {
+            descend(&est.positions, &mut best);
+        }
+    }
+    best
+}
+
+/// Enumerates all subsets of `items` with exactly `k` elements, in
+/// lexicographic index order — so when `items` is sorted by descending
+/// misfit, the highest-evidence subsets come first.
 fn subsets_of_size<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
     let mut out = Vec::new();
     if k == 0 || k > items.len() {
@@ -190,6 +911,7 @@ fn subsets_of_size<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Vec2;
     use crate::smacof::procrustes_errors;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -222,6 +944,17 @@ mod tests {
         for (a, b) in [(0, 1), (0, 2), (1, 2)] {
             assert_ne!(twos[a], twos[b]);
         }
+        // Sorted input → lexicographic order → highest-ranked first.
+        assert_eq!(twos[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn thresholds_derive_from_the_shared_residual_scale() {
+        let config = OutlierConfig::default();
+        assert_eq!(config.huber_delta_m, RESIDUAL_SCALE_M);
+        assert_eq!(config.min_drop_residual_m, MIN_DROP_RESIDUAL_M);
+        assert_eq!(config.min_drop_residual_m, 2.0 * config.huber_delta_m);
+        assert_eq!(config.validation_margin_m, RESIDUAL_SCALE_M);
     }
 
     #[test]
@@ -369,5 +1102,133 @@ mod tests {
         assert!(result.dropped_links.is_empty());
         assert!(!result.converged);
         assert!(result.normalized_stress >= 1.5);
+    }
+
+    #[test]
+    fn spurious_extra_drop_is_rejected_by_validation() {
+        // One +12 m occluded link on the 5-node testbed: the misfire mode
+        // this pipeline exists to kill is dropping a *clean* link alongside
+        // the occluded one. Whatever subset is accepted must be exactly
+        // {(0, 1)} — the validation re-solve rejects any 2-link set whose
+        // clean member barely degrades the fit when re-inserted.
+        let truth = testbed_points();
+        for seed in 0..20u64 {
+            let mut d = DistanceMatrix::from_points_2d(&truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (i, j) in d.links() {
+                let v = d.get(i, j).unwrap();
+                d.set(i, j, (v + rng.gen_range(-0.5..0.5)).max(0.1))
+                    .unwrap();
+            }
+            let v = d.get(0, 1).unwrap();
+            d.set(0, 1, v + 12.0).unwrap();
+            let result = localize_with_outlier_detection(
+                &d,
+                &SmacofConfig::default(),
+                &OutlierConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(
+                result.dropped_links,
+                vec![(0, 1)],
+                "seed {seed}: dropped {:?}",
+                result.dropped_links
+            );
+        }
+    }
+
+    #[test]
+    fn drop_evidence_accumulates_and_projects() {
+        let mut evidence = DropEvidence::new();
+        assert_eq!(evidence.rounds_observed(), 0);
+        assert!(!evidence.is_persistent(0, 1));
+        evidence.observe_round(&[(1, 0)]); // normalised to (0, 1)
+        assert_eq!(evidence.drop_count(0, 1), 1);
+        assert!(!evidence.is_persistent(0, 1), "one drop is not persistent");
+        evidence.observe_round(&[(0, 1)]);
+        assert!(evidence.is_persistent(0, 1));
+        assert_eq!(evidence.persistent_links(), vec![(0, 1)]);
+        // A clean round dilutes persistence but two of three still hold.
+        evidence.observe_round(&[]);
+        assert!(evidence.is_persistent(0, 1));
+        assert_eq!(evidence.rounds_observed(), 3);
+        // Projection onto a reduced index set (device 2 silent): full link
+        // (0, 3) becomes reduced (0, 2); links touching device 2 vanish.
+        let mut full = DropEvidence::new();
+        full.observe_round(&[(0, 3), (1, 2)]);
+        full.observe_round(&[(0, 3), (1, 2)]);
+        let reduced = full.project(&[0, 1, 3]);
+        assert_eq!(reduced.rounds_observed(), 2);
+        assert_eq!(reduced.drop_count(0, 2), 2);
+        assert!(reduced.is_persistent(0, 2));
+        assert_eq!(reduced.persistent_links(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn persistent_evidence_relaxes_a_borderline_drop() {
+        // A +12 m occlusion with heavy noise can leave the post-drop stress
+        // above threshold while the relative improvement misses the 0.9
+        // bar; with persistent evidence the drop is still accepted on the
+        // clear fit improvement.
+        let truth = testbed_points();
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        let mut noise_rng = StdRng::seed_from_u64(40);
+        for (i, j) in d.links() {
+            let v = d.get(i, j).unwrap();
+            d.set(i, j, (v + noise_rng.gen_range(-1.2..1.2)).max(0.1))
+                .unwrap();
+        }
+        let v = d.get(0, 1).unwrap();
+        d.set(0, 1, v + 12.0).unwrap();
+
+        let mut evidence = DropEvidence::new();
+        evidence.observe_round(&[(0, 1)]);
+        evidence.observe_round(&[(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(41);
+        let with_evidence = localize_with_drop_validation(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            Some(&evidence),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(with_evidence.dropped_links, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn unmeasured_link_subsets_are_skipped_not_poisoned() {
+        // A matrix with a missing link used to let a candidate subset
+        // containing it score `min_residual = -inf` silently (the old code
+        // read `get(i, j).unwrap_or(f64::NEG_INFINITY)`). Candidates are
+        // now nominated from measured links only and subsets with an
+        // unmeasured member are skipped explicitly; with the occluded link
+        // measured the right drop still happens. A 6-node testbed is used
+        // because 15 − 1 links keep the topology rigid enough that the
+        // +15 m bias cannot be absorbed (5 nodes minus a link can flex
+        // around it below the stress threshold).
+        let truth = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(8.0, 0.0),
+            Vec2::new(12.0, 9.0),
+            Vec2::new(2.0, 14.0),
+            Vec2::new(-6.0, 7.0),
+            Vec2::new(4.0, 6.0),
+        ];
+        let mut d = DistanceMatrix::from_points_2d(&truth);
+        d.clear(2, 4);
+        let v = d.get(0, 1).unwrap();
+        d.set(0, 1, v + 15.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = localize_with_outlier_detection(
+            &d,
+            &SmacofConfig::default(),
+            &OutlierConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(result.dropped_links, vec![(0, 1)]);
+        assert!(result.converged, "stress {}", result.normalized_stress);
     }
 }

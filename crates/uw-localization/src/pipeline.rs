@@ -6,9 +6,11 @@
 //! measured depths. It also provides the error metrics every evaluation
 //! figure uses (per-device 2D error against ground truth).
 
-use crate::ambiguity::resolve_ambiguities;
+use crate::ambiguity::{geometric_side, resolve_ambiguities};
 use crate::matrix::{DistanceMatrix, Vec2};
-use crate::outlier::{localize_with_outlier_detection, OutlierConfig};
+use crate::outlier::{
+    drop_hypotheses, DropEvidence, OutlierConfig, OutlierResult, VOTE_MISMATCH_PENALTY_M,
+};
 use crate::project::{lift_to_3d, project_to_2d};
 use crate::smacof::SmacofConfig;
 use crate::{LocalizationError, Result};
@@ -30,6 +32,8 @@ pub struct LocalizerConfig {
     /// set; links whose residual exceeds it are downweighted by
     /// `delta / |residual|`. Catches moderate ranging outliers that stay
     /// below the hard-drop stress threshold. `0` disables refinement.
+    /// Defaults to [`crate::outlier::RESIDUAL_SCALE_M`], the same constant
+    /// Algorithm 1's drop-validation pass judges residuals on.
     pub robust_delta_m: f64,
 }
 
@@ -39,7 +43,7 @@ impl Default for LocalizerConfig {
             smacof: SmacofConfig::default(),
             outlier: OutlierConfig::default(),
             disable_outlier_detection: false,
-            robust_delta_m: 0.75,
+            robust_delta_m: crate::outlier::RESIDUAL_SCALE_M,
         }
     }
 }
@@ -85,6 +89,21 @@ pub fn localize<R: Rng>(
     config: &LocalizerConfig,
     rng: &mut R,
 ) -> Result<LocalizationOutput> {
+    localize_with_evidence(input, config, None, rng)
+}
+
+/// Runs the full localization pipeline, optionally biasing Algorithm 1's
+/// drop decisions with cross-round [`DropEvidence`] (see
+/// [`crate::outlier`]). Pass `None` for a single standalone round;
+/// `uw_core::Session` threads its per-session accumulator through here so
+/// repeated rounds on a static topology converge on a persistently
+/// occluded link.
+pub fn localize_with_evidence<R: Rng>(
+    input: &LocalizationInput,
+    config: &LocalizerConfig,
+    evidence: Option<&DropEvidence>,
+    rng: &mut R,
+) -> Result<LocalizationOutput> {
     let n = input.distances.len();
     if n < 3 {
         return Err(LocalizationError::InvalidInput {
@@ -105,68 +124,181 @@ pub fn localize<R: Rng>(
     // Stage 1: depth projection.
     let distances_2d = project_to_2d(&input.distances, &input.depths)?;
 
-    // Stage 2: topology estimation (with or without outlier handling).
-    let topo = if config.disable_outlier_detection {
+    // Stage 2: topology estimation (with or without outlier handling). The
+    // drop pass can return several validated hypotheses: under severe
+    // occlusion, discarding a clean long link sometimes admits a partially
+    // *reflected* topology whose stress matches the truth's, and the
+    // distance data alone cannot tell the two apart. Each hypothesis is
+    // carried through refinement and ambiguity resolution, and the
+    // side-sign votes arbitrate below.
+    let hypotheses = if config.disable_outlier_detection {
         let weights = crate::matrix::WeightMatrix::from_distances(&distances_2d);
         let sol = crate::smacof::smacof(&distances_2d, &weights, &config.smacof, rng)?;
-        crate::outlier::OutlierResult {
+        vec![OutlierResult {
             positions: sol.positions,
             dropped_links: Vec::new(),
             normalized_stress: sol.normalized_stress,
             converged: sol.normalized_stress < config.outlier.stress_threshold_m,
-        }
+            occam_cost_m: 0.0,
+        }]
     } else {
-        localize_with_outlier_detection(&distances_2d, &config.smacof, &config.outlier, rng)?
-    };
-
-    // Stage 2b: Huber-reweighted refinement on the accepted link set, so
-    // moderate ranging outliers (too small for Algorithm 1's hard drop)
-    // stop dragging the topology. Skipped together with outlier detection:
-    // the Fig. 19a ablation must measure a truly unmitigated solve.
-    let topo = if config.robust_delta_m > 0.0 && !config.disable_outlier_detection {
-        let mut weights = crate::matrix::WeightMatrix::from_distances(&distances_2d);
-        weights.drop_links(&topo.dropped_links);
-        let initial = crate::smacof::SmacofSolution {
-            normalized_stress: topo.normalized_stress,
-            stress: crate::smacof::stress(&topo.positions, &distances_2d, &weights),
-            positions: topo.positions,
-            iterations: 0,
-        };
-        let refined = crate::smacof::refine_robust(
+        drop_hypotheses(
             &distances_2d,
-            &weights,
             &config.smacof,
-            config.robust_delta_m,
-            initial,
-        )?;
-        crate::outlier::OutlierResult {
-            positions: refined.positions,
-            normalized_stress: refined.normalized_stress,
-            dropped_links: topo.dropped_links,
-            converged: topo.converged,
-        }
-    } else {
-        topo
+            &config.outlier,
+            evidence,
+            rng,
+        )?
     };
 
-    // Stage 3: rotation + flipping.
-    let resolved = resolve_ambiguities(
-        &topo.positions,
-        input.pointing_azimuth_rad,
-        &input.side_signs,
-    )?;
+    // Stages 2b–4 per hypothesis; the winner minimises the arbitration
+    // score `occam_cost + penalty × side-vote mismatches`. A partial
+    // reflection puts at least one device on the wrong side of the
+    // leader–device-1 line, so a fold that survived the drop gates still
+    // pays [`VOTE_MISMATCH_PENALTY_M`] per contradicted vote on top of its
+    // higher Occam cost — while a single noisy vote (the dual-mic sign
+    // flips with ~10% probability near the line) is too cheap to override
+    // the geometric evidence. With one hypothesis — every clean round — no
+    // extra work happens and no side-sign comparison is made.
+    let assess = |topo: OutlierResult| -> Result<(f64, usize, LocalizationOutput)> {
+        let mut cost = topo.occam_cost_m;
+        // Stage 2b: Huber-reweighted refinement on the accepted link set,
+        // so moderate ranging outliers (too small for Algorithm 1's hard
+        // drop) stop dragging the topology. Skipped together with outlier
+        // detection: the Fig. 19a ablation must measure a truly
+        // unmitigated solve.
+        let topo = if config.robust_delta_m > 0.0 && !config.disable_outlier_detection {
+            let mut weights = crate::matrix::WeightMatrix::from_distances(&distances_2d);
+            weights.drop_links(&topo.dropped_links);
+            let initial = crate::smacof::SmacofSolution {
+                normalized_stress: topo.normalized_stress,
+                stress: crate::smacof::stress(&topo.positions, &distances_2d, &weights),
+                positions: topo.positions,
+                iterations: 0,
+            };
+            let refined = crate::smacof::refine_robust(
+                &distances_2d,
+                &weights,
+                &config.smacof,
+                config.robust_delta_m,
+                initial,
+            )?;
+            // Re-score the hypothesis on its *refined* embedding with the
+            // robust decomposition: in-band misfit keeps the quadratic
+            // stress weight, while residual beyond the Huber δ is charged
+            // linearly in metres — the same unit the hypothesis pays for
+            // its claimed bias. A genuine secondary ranging outlier — too
+            // small to drop, exactly what the IRLS refinement absorbs —
+            // then costs its few excess metres instead of dominating the
+            // quadratic stress of the correct hypothesis, while a fold
+            // that *keeps* the biased link pays every unexplained metre it
+            // smears across the topology. The drop pass's quadratic cost
+            // decided admission and ordering; this swap only re-ranks the
+            // finalists.
+            let (trimmed, excess_m) = crate::smacof::robust_misfit_decomposition(
+                &refined.positions,
+                &distances_2d,
+                &weights,
+                config.robust_delta_m,
+            );
+            cost +=
+                crate::outlier::STRESS_COST_WEIGHT * (trimmed - topo.normalized_stress) + excess_m;
+            OutlierResult {
+                positions: refined.positions,
+                normalized_stress: refined.normalized_stress,
+                dropped_links: topo.dropped_links,
+                converged: topo.converged,
+                occam_cost_m: topo.occam_cost_m,
+            }
+        } else {
+            topo
+        };
 
-    // Stage 4: lift back to 3D with the measured depths.
-    let positions = lift_to_3d(&resolved.positions, &input.depths)?;
+        // Stage 3: rotation + flipping.
+        let resolved = resolve_ambiguities(
+            &topo.positions,
+            input.pointing_azimuth_rad,
+            &input.side_signs,
+        )?;
+        let mismatches = input
+            .side_signs
+            .iter()
+            .enumerate()
+            .skip(2)
+            .filter(|&(i, sign)| {
+                sign.is_some_and(|s| {
+                    let geo = geometric_side(&resolved.positions, i);
+                    s != 0 && geo != 0 && geo != s
+                })
+            })
+            .count();
 
-    Ok(LocalizationOutput {
-        positions,
-        positions_2d: resolved.positions,
-        dropped_links: topo.dropped_links,
-        normalized_stress: topo.normalized_stress,
-        flipped: resolved.flipped,
-        converged: topo.converged,
-    })
+        // Stage 4: lift back to 3D with the measured depths.
+        let positions = lift_to_3d(&resolved.positions, &input.depths)?;
+
+        Ok((
+            cost,
+            mismatches,
+            LocalizationOutput {
+                positions,
+                positions_2d: resolved.positions,
+                dropped_links: topo.dropped_links,
+                normalized_stress: topo.normalized_stress,
+                flipped: resolved.flipped,
+                converged: topo.converged,
+            },
+        ))
+    };
+
+    let mut best: Option<(f64, usize, LocalizationOutput)> = None;
+    for topo in hypotheses {
+        let (cost, mismatches, out) = assess(topo)?;
+        let score = cost + VOTE_MISMATCH_PENALTY_M * mismatches as f64;
+        if best.as_ref().is_none_or(|(s, _, _)| score < *s) {
+            best = Some((score, mismatches, out));
+        }
+    }
+    let (mut best_score, mut best_mismatches, mut best_out) =
+        best.expect("drop_hypotheses returns at least one hypothesis");
+
+    // Rescue pass: the chosen solution still contradicts measured side
+    // signs. A severe occlusion can be *absorbed* by the full-link solve —
+    // the warped topology fits the biased link below the stress threshold,
+    // so the fast path accepts it without ever hypothesising a drop — and
+    // the warp typically pushes a device across the leader–device-1 line.
+    // Re-enumerate with the fast path skipped and gate 3's margin waived
+    // (see [`rescue_hypotheses`](crate::outlier::rescue_hypotheses)); a
+    // rescue hypothesis is adopted only when it contradicts strictly fewer
+    // side signs AND wins on the arbitration score — a relaxed-gate fold
+    // that merely gets lucky with the noisy votes cannot override a main
+    // pick it loses to on cost. Clean rounds with a noisy vote reach here
+    // too, but gate 2 rejects every drop on clean data, so they keep their
+    // solution.
+    if best_mismatches > 0 && !config.disable_outlier_detection {
+        for topo in crate::outlier::rescue_hypotheses(
+            &distances_2d,
+            &config.smacof,
+            &config.outlier,
+            evidence,
+            rng,
+        )? {
+            if topo.dropped_links.is_empty() {
+                continue;
+            }
+            let (cost, mismatches, out) = assess(topo)?;
+            let score = cost + VOTE_MISMATCH_PENALTY_M * mismatches as f64;
+            if mismatches < best_mismatches && score < best_score {
+                let decisive = mismatches == 0;
+                best_mismatches = mismatches;
+                best_score = score;
+                best_out = out;
+                if decisive {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(best_out)
 }
 
 /// Per-device horizontal (2D) localization error against ground truth,

@@ -92,6 +92,58 @@ pub fn normalized_stress(
     (stress(positions, distances, weights) / n_links as f64).sqrt()
 }
 
+/// Robust misfit decomposition of an embedding, in metres. Splits each
+/// active link's residual `r = measured − embedded` at the Huber scale δ:
+///
+/// * the **trimmed stress** (first component) is [`normalized_stress`]
+///   with every squared residual capped at `δ²` — the in-band geometric
+///   misfit no single corrupted link can dominate;
+/// * the **excess misfit** (second component) is `Σ max(0, |r| − δ)` —
+///   the metres of measurement the embedding leaves unexplained beyond
+///   the noise band, charged *linearly*, the same unit a drop hypothesis
+///   pays for its claimed bias.
+///
+/// The split prices the two failure modes symmetrically: an embedding
+/// that keeps a biased link and smears its bias across the topology pays
+/// the smeared metres as excess, exactly as a hypothesis that drops the
+/// link pays them as claimed bias — while a moderate secondary outlier
+/// the IRLS refinement absorbs costs its few excess metres instead of
+/// dominating the quadratic stress. Used to *rank* competing drop
+/// hypotheses, not to accept them: acceptance thresholds stay on the
+/// quadratic [`normalized_stress`].
+pub fn robust_misfit_decomposition(
+    positions: &[Vec2],
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+    delta_m: f64,
+) -> (f64, f64) {
+    let n_links = active_link_count(distances, weights);
+    if n_links == 0 {
+        return (0.0, 0.0);
+    }
+    let n = positions.len();
+    let mut s = 0.0;
+    let mut excess = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = weights.get(i, j);
+            if w == 0.0 {
+                continue;
+            }
+            if let Some(d) = distances.get(i, j) {
+                let r = (d - positions[i].distance(&positions[j])).abs();
+                if delta_m <= 0.0 {
+                    s += w * r * r;
+                } else {
+                    s += w * (r * r).min(delta_m * delta_m);
+                    excess += w * (r - delta_m).max(0.0);
+                }
+            }
+        }
+    }
+    ((s / n_links as f64).sqrt(), excess)
+}
+
 /// Number of links that both have a measurement and a non-zero weight.
 pub fn active_link_count(distances: &DistanceMatrix, weights: &WeightMatrix) -> usize {
     distances
@@ -251,6 +303,33 @@ pub fn refine_robust(
         };
     }
     Ok(solution)
+}
+
+/// Plain warm-started Guttman descent: runs the SMACOF majorization from
+/// `initial` under the given weights, with no random restarts and no
+/// reweighting. Deterministic (consumes no RNG).
+///
+/// Algorithm 1's drop validation uses this to score candidate link drops
+/// from an embedding it already trusts: the random-restart [`smacof`] solve
+/// can miss the global minimum of a reduced link set (its classical-MDS
+/// init completes a dropped link by graph shortest path, which badly
+/// overestimates links much shorter than any two-hop detour), while the
+/// clean links alone reliably pull a full-link embedding into the reduced
+/// set's own minimum.
+pub fn refine(
+    distances: &DistanceMatrix,
+    weights: &WeightMatrix,
+    config: &SmacofConfig,
+    initial: &[Vec2],
+) -> Result<SmacofSolution> {
+    let (positions, stress_val, iterations) =
+        run_single(initial.to_vec(), distances, weights, config)?;
+    Ok(SmacofSolution {
+        normalized_stress: normalized_stress(&positions, distances, weights),
+        stress: stress_val,
+        positions,
+        iterations,
+    })
 }
 
 /// Classical-MDS (Torgerson) initial embedding. Missing or zero-weight

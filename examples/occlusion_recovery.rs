@@ -63,7 +63,8 @@ fn main() {
 
     println!(
         "\noutlier detection cuts the median error by {:.1}x (paper Fig. 19a shows the same\n\
-         recovery); the remaining tail comes from rounds where the drop decision misfires",
+         recovery); every drop decision is validated against Huber-residual evidence,\n\
+         so the remaining tail is ranging noise, not misfired drops",
         median_without / median_with.max(1e-9)
     );
 }
