@@ -47,6 +47,53 @@ pub enum LocalizationJob {
     },
 }
 
+/// Why the server refused to run a job. Rejections are *structured* —
+/// clients and sinks can tell an admission-control denial (retry later,
+/// slower) from a deadline miss (the answer is stale, don't retry) from
+/// overload shedding (the cluster is saturated, back off) without
+/// parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's token bucket was empty at submission: the tenant is
+    /// over its configured rate/burst. The job never entered a queue.
+    AdmissionDenied {
+        /// The throttled tenant.
+        tenant: String,
+    },
+    /// The job's deadline passed while it was still queued. A worker
+    /// dequeued it, observed the expiry and shed it without running a
+    /// single round — a dead job never occupies a shard.
+    DeadlineExpired {
+        /// How far past the deadline it was when shed, in milliseconds.
+        late_ms: u64,
+    },
+    /// The target queue was full and the job was submitted with
+    /// [`crate::server::OverloadPolicy::Shed`]: deterministic load
+    /// shedding instead of blocking backpressure.
+    Overloaded {
+        /// Jobs queued at the moment of rejection.
+        queued: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::AdmissionDenied { tenant } => {
+                write!(f, "admission denied: tenant {tenant} over rate limit")
+            }
+            RejectReason::DeadlineExpired { late_ms } => {
+                write!(f, "deadline expired {late_ms} ms before a shard was free")
+            }
+            RejectReason::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {queued}/{capacity} jobs queued")
+            }
+        }
+    }
+}
+
 impl LocalizationJob {
     /// The cell id / scenario name this job will report under.
     pub fn cell_id(&self) -> &str {
@@ -75,8 +122,9 @@ impl LocalizationJob {
 /// One event of a job's progress stream.
 ///
 /// Every job emits `CellStarted`, then one `RoundCompleted` per round,
-/// then exactly one terminal event (`CellFinalized`, `JobCancelled` or
-/// `JobFailed`). Events of a single job are totally ordered; events of
+/// then exactly one terminal event (`CellFinalized`, `JobCancelled`,
+/// `JobFailed` or `JobRejected` — a rejected job emits *only* the
+/// rejection). Events of a single job are totally ordered; events of
 /// different jobs interleave arbitrarily (shards complete out of order —
 /// the [`crate::sink::ReportBuilder`] restores submission order).
 ///
@@ -91,6 +139,7 @@ impl LocalizationJob {
 ///     CellUpdate::CellFinalized { .. } => "done",
 ///     CellUpdate::JobCancelled { .. } => "cancelled",
 ///     CellUpdate::JobFailed { .. } => "failed",
+///     CellUpdate::JobRejected { .. } => "rejected",
 /// }
 /// # }
 /// ```
@@ -139,6 +188,20 @@ pub enum CellUpdate {
         /// Why it failed.
         reason: String,
     },
+    /// The server refused to run the job (admission control, deadline
+    /// expiry, or overload shedding). Emitted as the job's *only* event:
+    /// a rejected job never starts, so there is no `CellStarted` before
+    /// it and no rounds after.
+    JobRejected {
+        /// The job.
+        job: JobId,
+        /// Cell id it would have reported under.
+        cell_id: String,
+        /// The tenant that submitted it.
+        tenant: String,
+        /// The structured rejection.
+        reason: RejectReason,
+    },
 }
 
 impl CellUpdate {
@@ -149,18 +212,20 @@ impl CellUpdate {
             | CellUpdate::RoundCompleted { job, .. }
             | CellUpdate::CellFinalized { job, .. }
             | CellUpdate::JobCancelled { job, .. }
-            | CellUpdate::JobFailed { job, .. } => *job,
+            | CellUpdate::JobFailed { job, .. }
+            | CellUpdate::JobRejected { job, .. } => *job,
         }
     }
 
     /// Whether this is a job's terminal event (finalized / cancelled /
-    /// failed — exactly one per job).
+    /// failed / rejected — exactly one per job).
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
             CellUpdate::CellFinalized { .. }
                 | CellUpdate::JobCancelled { .. }
                 | CellUpdate::JobFailed { .. }
+                | CellUpdate::JobRejected { .. }
         )
     }
 }
@@ -174,6 +239,9 @@ pub enum JobOutcome {
     Cancelled(CellReport),
     /// The job never produced a report.
     Failed(String),
+    /// The server refused to run the job (see [`RejectReason`]); not a
+    /// single round ran.
+    Rejected(RejectReason),
 }
 
 impl JobOutcome {
@@ -181,7 +249,7 @@ impl JobOutcome {
     pub fn report(&self) -> Option<&CellReport> {
         match self {
             JobOutcome::Completed(r) | JobOutcome::Cancelled(r) => Some(r),
-            JobOutcome::Failed(_) => None,
+            JobOutcome::Failed(_) | JobOutcome::Rejected(_) => None,
         }
     }
 

@@ -29,17 +29,37 @@
 //!   to shards by cell-id hash (per-shard waveform-asset affinity: a
 //!   shard warms the `uw_core::waveform` preamble/plan assets for the
 //!   numeric paths it serves), workers honour cooperative cancellation
-//!   between rounds, and [`server::Server::shutdown`] drains and joins
-//!   gracefully.
+//!   between rounds, steal from backlogged sibling shards when idle, and
+//!   [`server::Server::shutdown`] drains and joins gracefully.
+//!   [`server::Server::submit_with`] is the tenant-aware entry point:
+//!   priority classes, per-job deadlines (shed at dequeue, never
+//!   occupying a shard), and an overload policy (block or shed).
+//! * [`tenant`] — multi-tenancy: [`tenant::TenantConfig`] token-bucket
+//!   admission control, and [`tenant::FairQueue`], the weighted-fair
+//!   strict-priority scheduling queue every shard dequeues through
+//!   (live-dive jobs overtake replay; tenants share by weight; a single
+//!   tenant degrades to FIFO).
+//! * [`wire`] — the versioned binary wire format: length-prefixed
+//!   CRC-checked frames ([`wire::encode_frame`] / [`wire::FrameReader`])
+//!   carrying jobs as declarative [`wire::JobSpec`] matrix coordinates
+//!   and events as mirrors of [`job::CellUpdate`]. Hand-rolled — the
+//!   vendored serde is a no-op — like replay's `uwRD` chunk format.
+//! * [`tcp`] — [`tcp::TcpServer`]: the wire protocol over
+//!   `std::net::TcpListener` (one acceptor; per-connection reader/writer
+//!   threads; bounded per-connection event queues so a slow client
+//!   throttles only its own jobs) and [`tcp::TcpClient`].
 //! * [`sink`] — [`sink::ReportBuilder`]: merges out-of-order shard
 //!   completions back into submission order. Streaming a matrix through
 //!   [`server::serve_matrix`] reconstructs an [`uw_eval::EvalReport`]
-//!   **byte-identical** to the batch runner's JSON.
+//!   **byte-identical** to the batch runner's JSON — a property that
+//!   holds through the loopback-TCP path too (pinned by
+//!   `crates/serve/tests/tcp_loopback.rs`).
 //!
 //! Operational semantics (queue sizing, shard tuning, backpressure and
-//! cancellation behaviour, shutdown ordering) are documented in
-//! `docs/SERVING.md`; the crate-by-crate architecture map is
-//! `docs/ARCHITECTURE.md`.
+//! cancellation behaviour, shutdown ordering) and the wire-format
+//! specification (frame layout, version negotiation, shedding semantics)
+//! are documented in `docs/SERVING.md`; the crate-by-crate architecture
+//! map is `docs/ARCHITECTURE.md`.
 //!
 //! ## Example: stream a cell and watch rounds arrive
 //!
@@ -83,9 +103,18 @@ pub mod job;
 pub mod queue;
 pub mod server;
 pub mod sink;
+pub mod tcp;
+pub mod tenant;
+pub mod wire;
 
 pub use executor::block_on;
-pub use job::{CellUpdate, JobHandle, JobId, JobOutcome, LocalizationJob};
+pub use job::{CellUpdate, JobHandle, JobId, JobOutcome, LocalizationJob, RejectReason};
 pub use queue::JobQueue;
-pub use server::{serve_matrix, ServeConfig, Server, ShardStats, UpdateStream};
+pub use server::{
+    serve_matrix, OverloadPolicy, ServeConfig, Server, ShardStats, SubmitOptions, UpdateFn,
+    UpdateStream,
+};
 pub use sink::ReportBuilder;
+pub use tcp::{TcpClient, TcpConfig, TcpServer};
+pub use tenant::{FairQueue, Priority, TenantConfig, TenantRegistry};
+pub use wire::{FrameReader, JobSpec, WireError, WireMessage};

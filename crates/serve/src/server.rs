@@ -1,23 +1,42 @@
-//! The sharded localization server.
+//! The sharded, multi-tenant localization server.
 //!
 //! [`Server::start`] spawns one worker thread per shard, each with its own
-//! bounded [`JobQueue`] intake. [`Server::submit`] routes a job to a shard
-//! by hashing its cell id — stable affinity, so repeated submissions of
-//! the same cell land on a shard that has already ensured its waveform
-//! assets are warm — and returns a [`JobHandle`]
-//! that can be cancelled, waited on, or `.await`ed. Workers drive the
-//! shared cell-execution core ([`uw_eval::CellExecution`]) one round at a
-//! time, publishing [`CellUpdate`] events into the [`UpdateStream`] as
-//! they go.
+//! bounded [`FairQueue`] intake. [`Server::submit`] routes a job to a
+//! shard by hashing its cell id — stable affinity, so repeated
+//! submissions of the same cell land on a shard that has already ensured
+//! its waveform assets are warm — and returns a [`JobHandle`] that can be
+//! cancelled, waited on, or `.await`ed. [`Server::submit_with`] is the
+//! tenant-aware entry point: it attaches a tenant, a priority class, an
+//! optional deadline, an overload policy and an optional per-job event
+//! sink (see [`SubmitOptions`]). Workers drive the shared cell-execution
+//! core ([`uw_eval::CellExecution`]) one round at a time, publishing
+//! [`CellUpdate`] events as they go.
 //!
 //! Design invariants:
 //!
-//! * **Backpressure, no drops** — shard queues are bounded; `submit`
-//!   blocks when the target shard is at capacity. Nothing is ever shed.
+//! * **Backpressure by default, shedding on request** — shard queues are
+//!   bounded; `submit` blocks when the target shard is at capacity.
+//!   Under [`OverloadPolicy::Shed`] a full queue instead rejects the
+//!   arriving job deterministically with
+//!   [`RejectReason::Overloaded`] — the job that would
+//!   have blocked is the job that is shed, nothing queued is evicted.
+//! * **Fairness** — each shard dequeues through a weighted-fair,
+//!   strict-priority scheduler (see [`crate::tenant`]): live-dive jobs
+//!   overtake replay, tenants share a shard by configured weight, and a
+//!   single tenant at one priority degrades to exact FIFO (the
+//!   historical behaviour).
+//! * **Deadlines cost nothing** — expiry is checked when a worker
+//!   *dequeues* a job: an expired job is shed with
+//!   [`RejectReason::DeadlineExpired`] before any DSP runs, so a dead
+//!   job never occupies a shard.
+//! * **Work stealing** — a worker whose own intake stays empty for a
+//!   beat scans sibling shards (most-backlogged first) and steals their
+//!   queued jobs, so one hot shard cannot serialize the pool.
 //! * **Determinism** — a cell's RNG stream depends only on its seed and
 //!   round index, never on which shard runs it or when; out-of-order
 //!   completions are re-merged by submission order in the sink, so a
-//!   streamed matrix reproduces the batch runner's report byte for byte.
+//!   streamed matrix reproduces the batch runner's report byte for byte
+//!   — with or without stealing.
 //! * **Cooperative cancellation** — workers check the cancel flag between
 //!   rounds; a cancelled job finalizes partial statistics and the pool
 //!   keeps serving.
@@ -25,16 +44,24 @@
 //!   lets every queued job drain, joins the workers and then ends the
 //!   update stream (receivers see `None` after the last event).
 
-use crate::job::{CellUpdate, JobHandle, JobId, JobOutcome, JobState, LocalizationJob};
+use crate::job::{
+    CellUpdate, JobHandle, JobId, JobOutcome, JobState, LocalizationJob, RejectReason,
+};
 use crate::queue::JobQueue;
 use crate::sink::ReportBuilder;
+use crate::tenant::{FairQueue, PopWait, Priority, TenantConfig, TenantRegistry, DEFAULT_TENANT};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use uw_core::config::{Fidelity, NumericPath};
 use uw_core::{Result, SystemError};
 use uw_eval::runner::CellExecution;
 use uw_eval::{EvalCell, EvalReport, ScenarioMatrix};
+
+/// How long an idle worker waits on its own intake before sweeping the
+/// sibling shards for stealable work.
+const STEAL_IDLE: Duration = Duration::from_millis(1);
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -72,6 +99,73 @@ impl ServeConfig {
     }
 }
 
+/// What to do when a job's target shard queue is full at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the submitter until space frees (backpressure; nothing is
+    /// ever dropped). The historical — and default — behaviour; over
+    /// TCP it composes with the socket's own receive-window
+    /// backpressure.
+    #[default]
+    Block,
+    /// Reject the arriving job immediately with
+    /// [`RejectReason::Overloaded`]. Deterministic: the shed job is
+    /// exactly the one that would otherwise have blocked; queued jobs
+    /// are never evicted.
+    Shed,
+}
+
+/// A per-job event sink: when a job is submitted with one (see
+/// [`SubmitOptions::events`]), every one of its [`CellUpdate`]s goes to
+/// this closure *instead of* the server-wide [`UpdateStream`]. The TCP
+/// front end uses this to fan each connection's events back to its own
+/// socket — and, because the closure may block (e.g. on a bounded
+/// per-connection queue), a slow consumer throttles only its own jobs.
+pub type UpdateFn = Arc<dyn Fn(CellUpdate) + Send + Sync>;
+
+/// Tenancy, scheduling and delivery options for [`Server::submit_with`].
+/// `SubmitOptions::default()` reproduces plain [`Server::submit`]: the
+/// `"default"` tenant, replay priority, no deadline, blocking
+/// backpressure, events to the shared stream.
+#[derive(Clone, Default)]
+pub struct SubmitOptions {
+    /// Tenant the job bills to (admission control + fair-share lane).
+    /// `None` means the unlimited [`DEFAULT_TENANT`].
+    pub tenant: Option<String>,
+    /// Priority class; [`Priority::Live`] overtakes [`Priority::Replay`].
+    pub priority: Priority,
+    /// Time budget measured from submission: if no worker has *started*
+    /// the job when it expires, the job is shed (never partially run).
+    pub deadline: Option<Duration>,
+    /// Full-queue behaviour: block (default) or shed deterministically.
+    pub overload: OverloadPolicy,
+    /// Per-job event sink; `None` delivers to the shared [`UpdateStream`].
+    pub events: Option<UpdateFn>,
+}
+
+impl SubmitOptions {
+    /// Options for `tenant` at `priority`, otherwise default.
+    pub fn tenant(tenant: &str, priority: Priority) -> Self {
+        Self {
+            tenant: Some(tenant.to_string()),
+            priority,
+            ..Self::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for SubmitOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubmitOptions")
+            .field("tenant", &self.tenant)
+            .field("priority", &self.priority)
+            .field("deadline", &self.deadline)
+            .field("overload", &self.overload)
+            .field("events", &self.events.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
 /// Counters a shard worker reports when it exits (returned by
 /// [`Server::shutdown`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +183,11 @@ pub struct ShardStats {
     /// first shard to check a path pays the build, later shards' checks
     /// are no-ops but still counted here).
     pub warmed_paths: usize,
+    /// Jobs this worker stole from sibling shards' intakes.
+    pub stolen: usize,
+    /// Jobs this worker shed at dequeue because their deadline had
+    /// already expired.
+    pub shed: usize,
 }
 
 /// The receiving end of the server's [`CellUpdate`] stream (an unbounded
@@ -98,9 +197,10 @@ pub struct ShardStats {
 /// Events are delivered in emission order (per job: `CellStarted`, the
 /// `RoundCompleted`s, then one terminal event). The stream is unbounded —
 /// consumers that fall behind cost memory, not correctness; drain it from
-/// a dedicated thread in long-running deployments. After
-/// [`Server::shutdown`] the remaining events are still delivered, then
-/// [`UpdateStream::recv`] returns `None`.
+/// a dedicated thread in long-running deployments. Jobs submitted with a
+/// per-job sink ([`SubmitOptions::events`]) bypass this stream entirely.
+/// After [`Server::shutdown`] the remaining events are still delivered,
+/// then [`UpdateStream::recv`] returns `None`.
 pub struct UpdateStream {
     events: JobQueue<CellUpdate>,
 }
@@ -123,10 +223,13 @@ struct QueuedJob {
     id: JobId,
     cell: EvalCell,
     state: Arc<JobState>,
+    tenant: String,
+    deadline: Option<Instant>,
+    sink: Option<UpdateFn>,
 }
 
-/// The async localization server: sharded workers behind bounded queues,
-/// streaming [`CellUpdate`]s.
+/// The async localization server: sharded workers behind bounded
+/// weighted-fair queues, streaming [`CellUpdate`]s.
 ///
 /// ```
 /// use uw_serve::{LocalizationJob, ServeConfig, Server};
@@ -150,9 +253,10 @@ struct QueuedJob {
 /// assert!(events.last().unwrap().is_terminal());
 /// ```
 pub struct Server {
-    shards: Vec<JobQueue<QueuedJob>>,
+    shards: Vec<FairQueue<QueuedJob>>,
     workers: Vec<std::thread::JoinHandle<ShardStats>>,
     events: JobQueue<CellUpdate>,
+    tenants: Arc<TenantRegistry>,
     next_id: AtomicU64,
 }
 
@@ -163,16 +267,23 @@ impl Server {
         let n_shards = config.shards.max(1);
         let events: JobQueue<CellUpdate> = JobQueue::unbounded();
         let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(FairQueue::bounded(config.queue_capacity));
+        }
         let mut workers = Vec::with_capacity(n_shards);
         for shard in 0..n_shards {
-            let queue: JobQueue<QueuedJob> = JobQueue::bounded(config.queue_capacity);
-            let worker_queue = queue.clone();
+            let own = shards[shard].clone();
+            let siblings: Vec<(usize, FairQueue<QueuedJob>)> = shards
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != shard)
+                .map(|(i, q)| (i, q.clone()))
+                .collect();
             let worker_events = events.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("uw-serve-shard-{shard}"))
-                .spawn(move || shard_worker(shard, worker_queue, worker_events))
+                .spawn(move || shard_worker(shard, own, siblings, worker_events))
                 .expect("spawn shard worker");
-            shards.push(queue);
             workers.push(handle);
         }
         (
@@ -180,6 +291,7 @@ impl Server {
                 shards,
                 workers,
                 events: events.clone(),
+                tenants: Arc::new(TenantRegistry::new()),
                 next_id: AtomicU64::new(0),
             },
             UpdateStream { events },
@@ -191,20 +303,99 @@ impl Server {
         self.shards.len()
     }
 
+    /// Installs (or replaces) a tenant's admission and fair-share
+    /// configuration. Unconfigured tenants are unlimited at weight 1.
+    pub fn configure_tenant(&self, config: TenantConfig) {
+        self.tenants.configure(config);
+    }
+
     /// Submits a job, blocking while the target shard's queue is at
     /// capacity (backpressure — jobs are never dropped). The shard is
     /// chosen by hashing the job's cell id, so identical cells always
-    /// land on the same shard and reuse its warmed DSP state.
+    /// land on the same shard and reuse its warmed DSP state. Equivalent
+    /// to [`Server::submit_with`] with [`SubmitOptions::default`].
     pub fn submit(&self, job: LocalizationJob) -> JobHandle {
+        self.submit_with(job, SubmitOptions::default())
+    }
+
+    /// Tenant-aware submission: admission control, priority class,
+    /// deadline and overload policy per [`SubmitOptions`]. A rejected
+    /// job (admission or [`OverloadPolicy::Shed`]) resolves its handle
+    /// to [`JobOutcome::Rejected`] immediately and emits a single
+    /// [`CellUpdate::JobRejected`] event.
+    pub fn submit_with(&self, job: LocalizationJob, options: SubmitOptions) -> JobHandle {
         let cell = job.into_cell();
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let state = JobState::new();
         let handle = JobHandle::new(id, cell.id.clone(), Arc::clone(&state));
+        let tenant = options.tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
+
+        let now = Instant::now();
+        if let Err(reason) = self.tenants.admit(&tenant, now) {
+            self.reject(id, &cell.id, &tenant, reason, &options.events, &state);
+            return handle;
+        }
+
+        let weight = self.tenants.weight(&tenant);
+        let deadline = options.deadline.map(|budget| now + budget);
         let shard = shard_for(&cell.id, self.shards.len());
-        self.shards[shard]
-            .push(QueuedJob { id, cell, state })
-            .unwrap_or_else(|_| unreachable!("shard queues outlive the server handle"));
+        let queue = &self.shards[shard];
+        let queued = QueuedJob {
+            id,
+            cell,
+            state: Arc::clone(&state),
+            tenant: tenant.clone(),
+            deadline,
+            sink: options.events.clone(),
+        };
+        match options.overload {
+            OverloadPolicy::Block => {
+                queue
+                    .push(queued, &tenant, options.priority, weight)
+                    .unwrap_or_else(|_| unreachable!("shard queues outlive the server handle"));
+            }
+            OverloadPolicy::Shed => {
+                if let Err(rejected) = queue.try_push(queued, &tenant, options.priority, weight) {
+                    let reason = RejectReason::Overloaded {
+                        queued: queue.len(),
+                        capacity: queue.capacity(),
+                    };
+                    self.reject(
+                        rejected.id,
+                        &rejected.cell.id,
+                        &tenant,
+                        reason,
+                        &options.events,
+                        &state,
+                    );
+                }
+            }
+        }
         handle
+    }
+
+    /// Emits the rejection event (to the per-job sink if one was given,
+    /// else the shared stream) and resolves the handle.
+    fn reject(
+        &self,
+        id: JobId,
+        cell_id: &str,
+        tenant: &str,
+        reason: RejectReason,
+        sink: &Option<UpdateFn>,
+        state: &Arc<JobState>,
+    ) {
+        let update = CellUpdate::JobRejected {
+            job: id,
+            cell_id: cell_id.to_string(),
+            tenant: tenant.to_string(),
+            reason: reason.clone(),
+        };
+        match sink {
+            Some(f) => f(update),
+            None => emit(&self.events, update),
+        }
+        state.complete(JobOutcome::Rejected(reason));
     }
 
     /// Graceful shutdown: closes every shard's intake (new submissions
@@ -265,21 +456,25 @@ fn path_slot(path: NumericPath) -> usize {
     }
 }
 
-/// Publishes an update. The stream is unbounded (never blocks) and is
-/// closed only after every worker has been joined, so emitting from a
-/// live worker cannot fail.
+/// Publishes an update to the shared stream. The stream is unbounded
+/// (never blocks) and is closed only after every worker has been joined,
+/// so emitting from a live worker cannot fail.
 fn emit(events: &JobQueue<CellUpdate>, update: CellUpdate) {
     events
         .push(update)
         .unwrap_or_else(|_| unreachable!("update stream closed before workers were joined"));
 }
 
-/// One shard's worker loop: pop → warm assets → step rounds (streaming a
-/// `RoundCompleted` per round and honouring cancellation between rounds)
-/// → finalize → emit the terminal event and resolve the handle.
+/// One shard's worker loop: pop from its own fair queue (stealing from
+/// the most-backlogged sibling when idle) → shed if past deadline → warm
+/// assets → step rounds (streaming a `RoundCompleted` per round and
+/// honouring cancellation between rounds) → finalize → emit the terminal
+/// event and resolve the handle. Exits when every intake is closed and
+/// drained.
 fn shard_worker(
     shard: usize,
-    queue: JobQueue<QueuedJob>,
+    own: FairQueue<QueuedJob>,
+    siblings: Vec<(usize, FairQueue<QueuedJob>)>,
     events: JobQueue<CellUpdate>,
 ) -> ShardStats {
     let mut stats = ShardStats {
@@ -288,11 +483,92 @@ fn shard_worker(
         rounds: 0,
         cancelled: 0,
         warmed_paths: 0,
+        stolen: 0,
+        shed: 0,
     };
     let mut warmed = [false; 3];
-    while let Some(job) = queue.pop() {
+    // Steal sweep: siblings ordered most-backlogged first, one job per
+    // sweep (taken in the victim's own fair order).
+    let steal = |stats: &mut ShardStats| -> Option<QueuedJob> {
+        let mut order: Vec<(usize, usize)> = siblings
+            .iter()
+            .enumerate()
+            .map(|(slot, (_, q))| (q.len(), slot))
+            .filter(|(len, _)| *len > 0)
+            .collect();
+        order.sort_by(|a, b| b.cmp(a));
+        for (_, slot) in order {
+            if let Some(job) = siblings[slot].1.try_pop() {
+                stats.stolen += 1;
+                return Some(job);
+            }
+        }
+        None
+    };
+    loop {
+        let own_drained;
+        let job = match own.pop_timeout(STEAL_IDLE) {
+            PopWait::Item(job) => {
+                own_drained = false;
+                Some(job)
+            }
+            PopWait::TimedOut => {
+                own_drained = false;
+                steal(&mut stats)
+            }
+            PopWait::Drained => {
+                own_drained = true;
+                steal(&mut stats)
+            }
+        };
+        let Some(job) = job else {
+            // Nothing local, nothing stealable. Exit only once the whole
+            // pool is closed and drained; otherwise wait out a beat (the
+            // own-intake wait already elapsed unless it is drained, in
+            // which case pop_timeout returned immediately).
+            if own.is_drained() && siblings.iter().all(|(_, q)| q.is_drained()) {
+                return stats;
+            }
+            if own_drained {
+                std::thread::sleep(STEAL_IDLE);
+            }
+            continue;
+        };
         stats.jobs += 1;
-        let QueuedJob { id, cell, state } = job;
+        let QueuedJob {
+            id,
+            cell,
+            state,
+            tenant,
+            deadline,
+            sink,
+        } = job;
+        // Route this job's events: per-job sink if the submitter gave
+        // one, the shared stream otherwise.
+        let send = |update: CellUpdate| match &sink {
+            Some(f) => f(update),
+            None => emit(&events, update),
+        };
+
+        // Deadline shedding happens *here*, at dequeue: the job has cost
+        // nothing but queue space so far, and a job whose answer is
+        // already stale must not occupy the shard.
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                stats.shed += 1;
+                let late_ms = now.saturating_duration_since(deadline).as_millis() as u64;
+                let reason = RejectReason::DeadlineExpired { late_ms };
+                send(CellUpdate::JobRejected {
+                    job: id,
+                    cell_id: cell.id.clone(),
+                    tenant,
+                    reason: reason.clone(),
+                });
+                state.complete(JobOutcome::Rejected(reason));
+                continue;
+            }
+        }
 
         // Per-shard waveform-asset affinity: the first hybrid job on a
         // numeric path builds the process-wide preamble assets from this
@@ -307,14 +583,11 @@ fn shard_worker(
         let mut exec = match CellExecution::new(&cell) {
             Ok(exec) => exec,
             Err(e) => {
-                emit(
-                    &events,
-                    CellUpdate::JobFailed {
-                        job: id,
-                        cell_id: cell.id.clone(),
-                        reason: e.to_string(),
-                    },
-                );
+                send(CellUpdate::JobFailed {
+                    job: id,
+                    cell_id: cell.id.clone(),
+                    reason: e.to_string(),
+                });
                 state.complete(JobOutcome::Failed(e.to_string()));
                 continue;
             }
@@ -325,36 +598,27 @@ fn shard_worker(
         if state.is_cancelled() {
             stats.cancelled += 1;
             let partial = exec.finalize();
-            emit(
-                &events,
-                CellUpdate::JobCancelled {
-                    job: id,
-                    partial: partial.clone(),
-                },
-            );
+            send(CellUpdate::JobCancelled {
+                job: id,
+                partial: partial.clone(),
+            });
             state.complete(JobOutcome::Cancelled(partial));
             continue;
         }
 
-        emit(
-            &events,
-            CellUpdate::CellStarted {
-                job: id,
-                cell_id: cell.id.clone(),
-                rounds: cell.rounds,
-            },
-        );
+        send(CellUpdate::CellStarted {
+            job: id,
+            cell_id: cell.id.clone(),
+            rounds: cell.rounds,
+        });
         let mut was_cancelled = false;
         while let Some(summary) = exec.step() {
             stats.rounds += 1;
-            emit(
-                &events,
-                CellUpdate::RoundCompleted {
-                    job: id,
-                    cell_id: cell.id.clone(),
-                    summary,
-                },
-            );
+            send(CellUpdate::RoundCompleted {
+                job: id,
+                cell_id: cell.id.clone(),
+                summary,
+            });
             // A cancel that lands during the *final* round must not
             // demote a fully-run cell: its statistics are complete.
             if state.is_cancelled() && !exec.is_complete() {
@@ -365,26 +629,19 @@ fn shard_worker(
         let report = exec.finalize();
         if was_cancelled {
             stats.cancelled += 1;
-            emit(
-                &events,
-                CellUpdate::JobCancelled {
-                    job: id,
-                    partial: report.clone(),
-                },
-            );
+            send(CellUpdate::JobCancelled {
+                job: id,
+                partial: report.clone(),
+            });
             state.complete(JobOutcome::Cancelled(report));
         } else {
-            emit(
-                &events,
-                CellUpdate::CellFinalized {
-                    job: id,
-                    report: report.clone(),
-                },
-            );
+            send(CellUpdate::CellFinalized {
+                job: id,
+                report: report.clone(),
+            });
             state.complete(JobOutcome::Completed(report));
         }
     }
-    stats
 }
 
 /// Streams every cell of a matrix through a server and reassembles the
@@ -440,5 +697,18 @@ mod tests {
         assert!(c.shards >= 1 && c.shards <= 8);
         assert!(c.queue_capacity >= 1);
         assert_eq!(ServeConfig::with_shards(3).shards, 3);
+    }
+
+    #[test]
+    fn default_options_reproduce_plain_submit() {
+        let o = SubmitOptions::default();
+        assert!(o.tenant.is_none());
+        assert_eq!(o.priority, Priority::Replay);
+        assert!(o.deadline.is_none());
+        assert_eq!(o.overload, OverloadPolicy::Block);
+        assert!(o.events.is_none());
+        let t = SubmitOptions::tenant("diver-7", Priority::Live);
+        assert_eq!(t.tenant.as_deref(), Some("diver-7"));
+        assert_eq!(t.priority, Priority::Live);
     }
 }

@@ -9,7 +9,7 @@
 //! expansion order, `finish()` therefore yields JSON byte-identical to
 //! [`uw_eval::run_matrix`].
 
-use crate::job::{CellUpdate, JobId};
+use crate::job::{CellUpdate, JobId, RejectReason};
 use std::collections::BTreeMap;
 use uw_eval::{CellReport, EvalReport};
 
@@ -35,6 +35,7 @@ pub struct ReportBuilder {
     finalized: BTreeMap<JobId, CellReport>,
     cancelled: BTreeMap<JobId, CellReport>,
     failures: Vec<(JobId, String)>,
+    rejected: Vec<(JobId, RejectReason)>,
     rounds_seen: usize,
 }
 
@@ -60,14 +61,17 @@ impl ReportBuilder {
             CellUpdate::JobFailed { job, reason, .. } => {
                 self.failures.push((*job, reason.clone()));
             }
+            CellUpdate::JobRejected { job, reason, .. } => {
+                self.rejected.push((*job, reason.clone()));
+            }
         }
     }
 
-    /// Terminal events seen so far (finalized + cancelled + failed) —
-    /// compare against the number of submitted jobs to know when a batch
-    /// is fully accounted for.
+    /// Terminal events seen so far (finalized + cancelled + failed +
+    /// rejected) — compare against the number of submitted jobs to know
+    /// when a batch is fully accounted for.
     pub fn terminals(&self) -> usize {
-        self.finalized.len() + self.cancelled.len() + self.failures.len()
+        self.finalized.len() + self.cancelled.len() + self.failures.len() + self.rejected.len()
     }
 
     /// `RoundCompleted` events seen so far.
@@ -80,15 +84,22 @@ impl ReportBuilder {
         &self.failures
     }
 
+    /// Jobs the server refused (admission, deadline or overload), in
+    /// arrival order. Rejections are terminal but — unlike failures —
+    /// expected under load; callers decide whether they abort a batch.
+    pub fn rejected(&self) -> &[(JobId, RejectReason)] {
+        &self.rejected
+    }
+
     /// Partial reports of cancelled jobs, in submission order.
     pub fn cancelled(&self) -> impl Iterator<Item = (&JobId, &CellReport)> {
         self.cancelled.iter()
     }
 
     /// Builds the report over the *completed* cells, ordered by
-    /// submission (job id) regardless of completion order. Cancelled and
-    /// failed jobs are excluded — their cells never reached final
-    /// statistics.
+    /// submission (job id) regardless of completion order. Cancelled,
+    /// failed and rejected jobs are excluded — their cells never reached
+    /// final statistics.
     pub fn finish(self) -> EvalReport {
         EvalReport::new(self.finalized.into_values().collect())
     }

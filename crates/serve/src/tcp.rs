@@ -1,0 +1,495 @@
+//! TCP front end: the wire protocol served over `std::net`.
+//!
+//! One acceptor thread listens; each connection gets a **reader** thread
+//! (decodes frames, submits jobs into the shared sharded [`Server`]) and
+//! a **writer** thread (drains a bounded per-connection outbound queue to
+//! the socket). Every job submitted over a connection carries a per-job
+//! event sink that translates its [`CellUpdate`]s into wire frames and
+//! pushes them into that connection's outbound queue — so:
+//!
+//! * events never touch the server-wide [`crate::UpdateStream`] (which
+//!   nothing drains in a TCP deployment), and
+//! * the outbound queue is *bounded*: a client that reads slowly fills
+//!   its own queue, which blocks the sink, which stalls only the shards
+//!   currently running *that connection's* jobs. Slow consumers throttle
+//!   themselves; they cannot make the server buffer unboundedly. This is
+//!   also exactly the I/O-wait regime the contention bench measures.
+//!
+//! Protocol per connection: the client sends `Hello` (answered by
+//! `HelloAck` with the server's version and payload cap), any number of
+//! pipelined `Submit`/`Cancel` frames, then `Goodbye`; the server
+//! finishes every in-flight job, flushes the remaining events and closes
+//! the socket. A frame with the wrong version or a malformed payload is
+//! answered with a `ProtocolError` frame and the connection closes —
+//! see `docs/SERVING.md` for the full state machine.
+
+use crate::job::{CellUpdate, JobHandle};
+use crate::queue::JobQueue;
+use crate::server::{ServeConfig, Server, ShardStats, SubmitOptions, UpdateStream};
+use crate::tenant::Priority;
+use crate::wire::{
+    encode_frame, FrameReader, JobSpec, WireError, WireMessage, MAX_PAYLOAD, WIRE_VERSION,
+};
+use crate::LocalizationJob;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tuning of the TCP front end.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// The worker pool behind the listener.
+    pub serve: ServeConfig,
+    /// Capacity of each connection's outbound event queue. Small values
+    /// couple job execution tightly to the client's read rate (useful
+    /// for contention benchmarks); large values absorb bursts. Clamped
+    /// to ≥ 1.
+    pub conn_queue: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            conn_queue: 256,
+        }
+    }
+}
+
+/// Per-connection bookkeeping shared between the reader thread and the
+/// job sinks: how many jobs were submitted and how many have reached a
+/// terminal event, so `Goodbye` can wait for the difference to hit zero.
+struct ConnProgress {
+    counts: Mutex<(usize, usize)>, // (submitted, terminal)
+    done: Condvar,
+}
+
+impl ConnProgress {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            counts: Mutex::new((0, 0)),
+            done: Condvar::new(),
+        })
+    }
+
+    fn submitted(&self) {
+        self.counts.lock().expect("conn progress").0 += 1;
+    }
+
+    fn terminal(&self) {
+        let mut counts = self.counts.lock().expect("conn progress");
+        counts.1 += 1;
+        if counts.1 >= counts.0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_drained(&self) {
+        let mut counts = self.counts.lock().expect("conn progress");
+        while counts.1 < counts.0 {
+            counts = self.done.wait(counts).expect("conn progress");
+        }
+    }
+}
+
+/// The serving layer's TCP front end: an acceptor plus per-connection
+/// reader/writer threads over a shared sharded [`Server`].
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    peers: Arc<Mutex<Vec<TcpStream>>>,
+    server: Option<Arc<Server>>,
+    updates: Option<UpdateStream>,
+}
+
+impl TcpServer {
+    /// Binds the listener and spawns the acceptor and the worker pool.
+    /// Bind to port 0 to let the OS pick (see [`TcpServer::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: TcpConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (server, updates) = Server::start(config.serve.clone());
+        let server = Arc::new(server);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let peers: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let server = Arc::clone(&server);
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            let peers = Arc::clone(&peers);
+            let conn_queue = config.conn_queue.max(1);
+            std::thread::Builder::new()
+                .name("uw-serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        if let Ok(peer) = stream.try_clone() {
+                            peers.lock().expect("peer list").push(peer);
+                        }
+                        let server = Arc::clone(&server);
+                        let handle = std::thread::Builder::new()
+                            .name("uw-serve-conn".into())
+                            .spawn(move || serve_connection(stream, server, conn_queue))
+                            .expect("spawn connection");
+                        connections.lock().expect("connection list").push(handle);
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            connections,
+            peers,
+            server: Some(server),
+            updates: Some(updates),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Installs a tenant's admission/fair-share configuration on the
+    /// underlying pool.
+    pub fn configure_tenant(&self, config: crate::tenant::TenantConfig) {
+        if let Some(server) = &self.server {
+            server.configure_tenant(config);
+        }
+    }
+
+    /// Stops accepting, severs remaining connections, drains the worker
+    /// pool and returns its per-shard counters. Clients that already
+    /// sent `Goodbye` and read to EOF are unaffected; connections still
+    /// open are closed abruptly (their queued jobs still run to
+    /// completion server-side, events are discarded).
+    pub fn shutdown(mut self) -> Vec<ShardStats> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Vec<ShardStats> {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocked accept() with a dummy connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Sever lingering peers so their reader threads observe EOF.
+        for peer in self.peers.lock().expect("peer list").drain(..) {
+            let _ = peer.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self
+            .connections
+            .lock()
+            .expect("connection list")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        drop(self.updates.take());
+        match self.server.take() {
+            Some(server) => match Arc::try_unwrap(server) {
+                Ok(server) => server.shutdown(),
+                // Unreachable in practice: every holder was joined above.
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.server.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Translates a job's [`CellUpdate`] into the wire event carrying the
+/// client's correlation tag.
+fn update_to_wire(tag: u64, update: CellUpdate) -> WireMessage {
+    match update {
+        CellUpdate::CellStarted {
+            cell_id, rounds, ..
+        } => WireMessage::Started {
+            tag,
+            cell_id,
+            rounds: rounds as u64,
+        },
+        CellUpdate::RoundCompleted {
+            cell_id, summary, ..
+        } => WireMessage::Round {
+            tag,
+            cell_id,
+            summary,
+        },
+        CellUpdate::CellFinalized { report, .. } => WireMessage::Finalized { tag, report },
+        CellUpdate::JobCancelled { partial, .. } => WireMessage::Cancelled { tag, partial },
+        CellUpdate::JobFailed {
+            cell_id, reason, ..
+        } => WireMessage::Failed {
+            tag,
+            cell_id,
+            reason,
+        },
+        CellUpdate::JobRejected {
+            cell_id,
+            tenant,
+            reason,
+            ..
+        } => WireMessage::Rejected {
+            tag,
+            cell_id,
+            tenant,
+            reason,
+        },
+    }
+}
+
+/// One connection's reader loop (runs on the connection thread; the
+/// paired writer thread drains `outbound` to the socket).
+fn serve_connection(stream: TcpStream, server: Arc<Server>, conn_queue: usize) {
+    let outbound: JobQueue<WireMessage> = JobQueue::bounded(conn_queue);
+    let writer = {
+        let outbound = outbound.clone();
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        std::thread::Builder::new()
+            .name("uw-serve-conn-writer".into())
+            .spawn(move || write_loop(stream, outbound))
+            .expect("spawn connection writer")
+    };
+
+    let progress = ConnProgress::new();
+    let mut handles: HashMap<u64, JobHandle> = HashMap::new();
+    let mut reader = FrameReader::new(stream);
+    loop {
+        match reader.read_message() {
+            Ok(Some(WireMessage::Hello { .. })) => {
+                let _ = outbound.push(WireMessage::HelloAck {
+                    version: WIRE_VERSION,
+                    max_payload: MAX_PAYLOAD,
+                });
+            }
+            Ok(Some(WireMessage::Submit {
+                tag,
+                tenant,
+                priority,
+                deadline_ms,
+                spec,
+            })) => {
+                submit_wire_job(
+                    &server,
+                    &outbound,
+                    &progress,
+                    &mut handles,
+                    tag,
+                    tenant,
+                    priority,
+                    deadline_ms,
+                    &spec,
+                );
+            }
+            Ok(Some(WireMessage::Cancel { tag })) => {
+                if let Some(handle) = handles.get(&tag) {
+                    handle.cancel();
+                }
+            }
+            Ok(Some(WireMessage::Goodbye)) | Ok(None) => break,
+            Ok(Some(_)) => {
+                // A server→client message arriving at the server is a
+                // protocol violation.
+                let _ = outbound.push(WireMessage::ProtocolError {
+                    message: "unexpected server-side message".into(),
+                });
+                break;
+            }
+            Err(e) => {
+                let _ = outbound.push(WireMessage::ProtocolError {
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+    // Let every in-flight job reach its terminal event (each pushes into
+    // `outbound` through its sink), then close the queue so the writer
+    // flushes the tail and exits.
+    progress.wait_drained();
+    outbound.close();
+    let _ = writer.join();
+}
+
+/// Decodes a `Submit` into a server job with a per-connection sink.
+#[allow(clippy::too_many_arguments)]
+fn submit_wire_job(
+    server: &Arc<Server>,
+    outbound: &JobQueue<WireMessage>,
+    progress: &Arc<ConnProgress>,
+    handles: &mut HashMap<u64, JobHandle>,
+    tag: u64,
+    tenant: String,
+    priority: Priority,
+    deadline_ms: Option<u64>,
+    spec: &JobSpec,
+) {
+    let cell = match spec.to_cell() {
+        Ok(cell) => cell,
+        Err(e) => {
+            // An unexpandable spec fails before it becomes a job.
+            let _ = outbound.push(WireMessage::Failed {
+                tag,
+                cell_id: String::new(),
+                reason: e.to_string(),
+            });
+            return;
+        }
+    };
+    progress.submitted();
+    let sink_queue = outbound.clone();
+    let sink_progress = Arc::clone(progress);
+    let options = SubmitOptions {
+        tenant: Some(tenant),
+        priority,
+        deadline: deadline_ms.map(Duration::from_millis),
+        overload: Default::default(),
+        events: Some(Arc::new(move |update: CellUpdate| {
+            let is_terminal = update.is_terminal();
+            // A severed connection closes the queue; the job still runs,
+            // its events just have nowhere to go.
+            let _ = sink_queue.push(update_to_wire(tag, update));
+            if is_terminal {
+                sink_progress.terminal();
+            }
+        })),
+    };
+    let handle = server.submit_with(LocalizationJob::Cell(cell), options);
+    handles.insert(tag, handle);
+}
+
+/// Connection writer: pops wire messages and writes frames. On a write
+/// error it keeps draining (and discarding) so job sinks never block on
+/// a dead socket.
+fn write_loop(mut stream: TcpStream, outbound: JobQueue<WireMessage>) {
+    let mut broken = false;
+    while let Some(msg) = outbound.pop() {
+        if broken {
+            continue;
+        }
+        let frame = encode_frame(&msg);
+        if stream
+            .write_all(&frame)
+            .and_then(|_| stream.flush())
+            .is_err()
+        {
+            broken = true;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// The sending half of a split [`TcpClient`].
+pub struct ClientSender {
+    stream: TcpStream,
+}
+
+impl ClientSender {
+    /// Sends one message as a frame.
+    pub fn send(&mut self, msg: &WireMessage) -> Result<(), WireError> {
+        let frame = encode_frame(msg);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+}
+
+/// The receiving half of a split [`TcpClient`].
+pub struct ClientReceiver {
+    reader: FrameReader<TcpStream>,
+}
+
+impl ClientReceiver {
+    /// Reads the next server message; `Ok(None)` once the server has
+    /// closed the stream.
+    pub fn recv(&mut self) -> Result<Option<WireMessage>, WireError> {
+        self.reader.read_message()
+    }
+}
+
+/// A blocking wire-protocol client. For pipelined use (submit while
+/// reading events) split it into its two halves and drive them from
+/// separate threads — [`TcpClient::split`].
+pub struct TcpClient {
+    sender: ClientSender,
+    receiver: ClientReceiver,
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            sender: ClientSender { stream },
+            receiver: ClientReceiver {
+                reader: FrameReader::new(read_half),
+            },
+        })
+    }
+
+    /// Sends `Hello` and waits for the `HelloAck`, returning the
+    /// server's `(version, max_payload)`.
+    pub fn hello(&mut self, client: &str) -> Result<(u16, u32), WireError> {
+        self.send(&WireMessage::Hello {
+            client: client.to_string(),
+        })?;
+        match self.recv()? {
+            Some(WireMessage::HelloAck {
+                version,
+                max_payload,
+            }) => Ok((version, max_payload)),
+            Some(WireMessage::ProtocolError { .. }) | None => Err(WireError::Malformed {
+                context: "handshake refused",
+            }),
+            Some(_) => Err(WireError::Malformed {
+                context: "unexpected handshake reply",
+            }),
+        }
+    }
+
+    /// Sends one message.
+    pub fn send(&mut self, msg: &WireMessage) -> Result<(), WireError> {
+        self.sender.send(msg)
+    }
+
+    /// Reads the next server message; `Ok(None)` at EOF.
+    pub fn recv(&mut self) -> Result<Option<WireMessage>, WireError> {
+        self.receiver.recv()
+    }
+
+    /// Splits into independently-owned send/receive halves (separate
+    /// threads can then pipeline submissions against event reads).
+    pub fn split(self) -> (ClientSender, ClientReceiver) {
+        (self.sender, self.receiver)
+    }
+}

@@ -1,0 +1,629 @@
+//! Multi-tenant admission control and weighted fair scheduling.
+//!
+//! The serving layer stops being first-come-first-served here. Every job
+//! belongs to a **tenant** (a dive group, an analysis pipeline, a billing
+//! identity — the serving layer does not care which) and carries a
+//! **priority class**; shards dequeue work through a [`FairQueue`] that
+//! interleaves tenants by weighted fair share instead of arrival order.
+//!
+//! Three mechanisms compose, in submission order:
+//!
+//! 1. **Admission** — each tenant has a token bucket
+//!    (`rate_per_s` jobs per second, `burst` capacity). A submission that
+//!    finds the bucket empty is rejected *at the door* with a structured
+//!    [`crate::job::RejectReason::AdmissionDenied`] — it never consumes
+//!    queue space, never blocks other tenants. The default tenant is
+//!    unlimited, so single-tenant workloads (the batch matrix, the
+//!    historical in-process API) are never throttled.
+//! 2. **Priority classes** — [`Priority::Live`] (a dive in progress)
+//!    strictly overtakes [`Priority::Replay`] (recorded-campaign
+//!    reprocessing) at every dequeue: a shard only serves replay work
+//!    when no live job is queued. Within a class, tenants share fairly.
+//! 3. **Weighted fair dequeue** — stride scheduling over per-tenant
+//!    lanes: each tenant `t` has a virtual time that advances by
+//!    `1 / weight(t)` per dequeued job, and the scheduler always picks
+//!    the queued tenant with the smallest virtual time (ties break by
+//!    tenant name, so the schedule is deterministic given the queue
+//!    state). Offered load beyond a tenant's share queues in its own
+//!    lane; it cannot crowd out other tenants' jobs. A single tenant at
+//!    a single priority degrades to exact FIFO — the pre-tenancy
+//!    behaviour.
+//!
+//! Determinism: the dequeue order is a pure function of the sequence of
+//! pushes and pops (virtual times are rational arithmetic on f64, ties
+//! are ordered by name). Admission depends on wall-clock refill, but a
+//! `rate_per_s == 0` bucket never refills and an unlimited bucket never
+//! empties, so the configurations tests rely on are exactly reproducible.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::job::RejectReason;
+use crate::queue::QueueClosed;
+
+/// Name of the implicit tenant used by the tenant-unaware submission
+/// paths ([`crate::Server::submit`], [`crate::serve_matrix`]).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Priority class of a job. [`Priority::Live`] strictly overtakes
+/// [`Priority::Replay`]: a shard dequeues replay work only when no live
+/// job is queued anywhere in its intake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// A live dive: somebody is in the water waiting for a position fix.
+    Live,
+    /// Replay / batch reprocessing: important, but nobody is waiting at
+    /// the surface. This is the default class, matching the historical
+    /// batch-matrix behaviour of the serving layer.
+    #[default]
+    Replay,
+}
+
+impl Priority {
+    /// Stable wire tag / identifier fragment.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Priority::Live => "live",
+            Priority::Replay => "replay",
+        }
+    }
+}
+
+/// Per-tenant scheduling and admission parameters.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name (the key jobs carry).
+    pub name: String,
+    /// Fair-share weight (clamped to > 0). A weight-3 tenant receives 3×
+    /// the dequeues of a weight-1 tenant when both have queued work.
+    pub weight: f64,
+    /// Token-bucket refill rate in jobs per second. `f64::INFINITY`
+    /// disables admission control for the tenant; `0.0` means the bucket
+    /// never refills (the tenant gets exactly `burst` jobs, ever —
+    /// useful for deterministic tests and hard quotas).
+    pub rate_per_s: f64,
+    /// Token-bucket capacity: the largest burst admitted at once
+    /// (clamped to ≥ 1 unless the rate is infinite).
+    pub burst: f64,
+}
+
+impl TenantConfig {
+    /// An unlimited tenant (no admission control, weight 1).
+    pub fn unlimited(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            weight: 1.0,
+            rate_per_s: f64::INFINITY,
+            burst: f64::INFINITY,
+        }
+    }
+
+    /// A rate-limited tenant with the given weight.
+    pub fn limited(name: &str, weight: f64, rate_per_s: f64, burst: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            weight,
+            rate_per_s,
+            burst,
+        }
+    }
+}
+
+/// A classic token bucket: `tokens` refill at `rate_per_s` up to `burst`;
+/// each admitted job takes one token.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(config: &TenantConfig, now: Instant) -> Self {
+        Self {
+            tokens: config.burst.max(1.0),
+            last_refill: now,
+        }
+    }
+
+    /// Refills for the elapsed time and takes one token if available.
+    fn try_take(&mut self, config: &TenantConfig, now: Instant) -> bool {
+        if config.rate_per_s.is_infinite() {
+            return true;
+        }
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        let burst = config.burst.max(1.0);
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * config.rate_per_s).min(burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct TenantEntry {
+    config: TenantConfig,
+    bucket: TokenBucket,
+}
+
+/// The server's tenant table: admission buckets and fair-share weights,
+/// keyed by tenant name. Unknown tenants are auto-registered as
+/// unlimited weight-1 tenants on first use, so tenancy is opt-in.
+#[derive(Default)]
+pub struct TenantRegistry {
+    entries: Mutex<BTreeMap<String, TenantEntry>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry (every tenant defaults to unlimited, weight 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a tenant's configuration. The token bucket
+    /// restarts full.
+    pub fn configure(&self, config: TenantConfig) {
+        let now = Instant::now();
+        let mut entries = self.entries.lock().expect("tenant registry lock");
+        let bucket = TokenBucket::new(&config, now);
+        entries.insert(config.name.clone(), TenantEntry { config, bucket });
+    }
+
+    /// Admission check for one job of `tenant` at time `now`: takes a
+    /// token or returns the structured rejection.
+    pub(crate) fn admit(&self, tenant: &str, now: Instant) -> Result<(), RejectReason> {
+        let mut entries = self.entries.lock().expect("tenant registry lock");
+        let entry = entries.entry(tenant.to_string()).or_insert_with(|| {
+            let config = TenantConfig::unlimited(tenant);
+            let bucket = TokenBucket::new(&config, now);
+            TenantEntry { config, bucket }
+        });
+        if entry.bucket.try_take(&entry.config, now) {
+            Ok(())
+        } else {
+            Err(RejectReason::AdmissionDenied {
+                tenant: tenant.to_string(),
+            })
+        }
+    }
+
+    /// The tenant's fair-share weight (1.0 for unregistered tenants).
+    pub(crate) fn weight(&self, tenant: &str) -> f64 {
+        let entries = self.entries.lock().expect("tenant registry lock");
+        entries
+            .get(tenant)
+            .map(|e| e.config.weight.max(f64::MIN_POSITIVE))
+            .unwrap_or(1.0)
+    }
+}
+
+/// Result of a bounded-wait dequeue on a [`FairQueue`].
+pub enum PopWait<T> {
+    /// A job was dequeued.
+    Item(T),
+    /// The wait expired with the queue still open and empty — the caller
+    /// may go steal from a sibling queue.
+    TimedOut,
+    /// The queue is closed and fully drained; no item will ever arrive.
+    Drained,
+}
+
+struct Lane<T> {
+    weight: f64,
+    vtime: f64,
+    live: VecDeque<T>,
+    replay: VecDeque<T>,
+}
+
+impl<T> Lane<T> {
+    fn queue(&self, priority: Priority) -> &VecDeque<T> {
+        match priority {
+            Priority::Live => &self.live,
+            Priority::Replay => &self.replay,
+        }
+    }
+
+    fn queue_mut(&mut self, priority: Priority) -> &mut VecDeque<T> {
+        match priority {
+            Priority::Live => &mut self.live,
+            Priority::Replay => &mut self.replay,
+        }
+    }
+}
+
+struct FairState<T> {
+    lanes: BTreeMap<String, Lane<T>>,
+    /// Virtual clock: the virtual time of the last dequeued job. Newly
+    /// active lanes are clamped up to it so an idle tenant cannot bank
+    /// credit and then monopolise the shard.
+    virtual_clock: f64,
+    len: usize,
+    closed: bool,
+}
+
+struct FairInner<T> {
+    state: Mutex<FairState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A bounded, tenant-aware scheduling queue: the intake of every serving
+/// shard. Pushes carry `(tenant, priority, weight)`; pops return jobs in
+/// strict-priority, weighted-fair, deterministic order (see the module
+/// docs). Clones share the queue.
+///
+/// ```
+/// use uw_serve::tenant::{FairQueue, Priority};
+///
+/// let q: FairQueue<u32> = FairQueue::bounded(16);
+/// // Tenant "b" offers 3 jobs, tenant "a" offers 3; equal weights.
+/// for job in 0..3 {
+///     q.push(job, "b", Priority::Replay, 1.0).unwrap();
+/// }
+/// for job in 10..13 {
+///     q.push(job, "a", Priority::Replay, 1.0).unwrap();
+/// }
+/// // Fair dequeue alternates tenants (name order breaks the tie).
+/// let order: Vec<u32> = (0..6).map(|_| q.try_pop().unwrap()).collect();
+/// assert_eq!(order, vec![10, 0, 11, 1, 12, 2]);
+/// ```
+pub struct FairQueue<T> {
+    inner: Arc<FairInner<T>>,
+}
+
+impl<T> Clone for FairQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> FairQueue<T> {
+    /// Creates a queue admitting at most `capacity` queued jobs across
+    /// all tenants (clamped to ≥ 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(FairInner {
+                state: Mutex::new(FairState {
+                    lanes: BTreeMap::new(),
+                    virtual_clock: 0.0,
+                    len: 0,
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Maximum queued jobs.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Jobs currently queued (all tenants, both classes).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("fair queue lock").len
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue has been closed *and* drained — the terminal
+    /// state a stealing worker checks before exiting.
+    pub fn is_drained(&self) -> bool {
+        let state = self.inner.state.lock().expect("fair queue lock");
+        state.closed && state.len == 0
+    }
+
+    /// Enqueues a job for `tenant` at `priority`, blocking while the
+    /// queue is at capacity (backpressure). `weight` updates the
+    /// tenant's fair-share weight (latest wins). Fails only on a closed
+    /// queue, returning the job.
+    pub fn push(
+        &self,
+        item: T,
+        tenant: &str,
+        priority: Priority,
+        weight: f64,
+    ) -> Result<(), QueueClosed<T>> {
+        let mut state = self.inner.state.lock().expect("fair queue lock");
+        loop {
+            if state.closed {
+                return Err(QueueClosed(item));
+            }
+            if state.len < self.inner.capacity {
+                Self::enqueue(&mut state, item, tenant, priority, weight);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("fair queue lock");
+        }
+    }
+
+    /// Non-blocking enqueue: `Err(item)` when the queue is full or
+    /// closed (the deterministic overload-shedding path — the caller
+    /// turns the returned job into a structured rejection).
+    pub fn try_push(
+        &self,
+        item: T,
+        tenant: &str,
+        priority: Priority,
+        weight: f64,
+    ) -> Result<(), T> {
+        let mut state = self.inner.state.lock().expect("fair queue lock");
+        if state.closed || state.len >= self.inner.capacity {
+            return Err(item);
+        }
+        Self::enqueue(&mut state, item, tenant, priority, weight);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn enqueue(state: &mut FairState<T>, item: T, tenant: &str, priority: Priority, weight: f64) {
+        let virtual_clock = state.virtual_clock;
+        let lane = state
+            .lanes
+            .entry(tenant.to_string())
+            .or_insert_with(|| Lane {
+                weight,
+                vtime: virtual_clock,
+                live: VecDeque::new(),
+                replay: VecDeque::new(),
+            });
+        lane.weight = weight.max(f64::MIN_POSITIVE);
+        lane.queue_mut(priority).push_back(item);
+        state.len += 1;
+    }
+
+    /// The tenant lane the fair scheduler would serve next at `priority`,
+    /// if any: smallest virtual time among lanes with queued work of that
+    /// class, ties broken by tenant-name order (BTreeMap iteration).
+    fn next_lane(state: &FairState<T>, priority: Priority) -> Option<String> {
+        let mut best: Option<(&String, f64)> = None;
+        for (name, lane) in &state.lanes {
+            if lane.queue(priority).is_empty() {
+                continue;
+            }
+            match best {
+                Some((_, best_v)) if lane.vtime >= best_v => {}
+                _ => best = Some((name, lane.vtime)),
+            }
+        }
+        best.map(|(name, _)| name.clone())
+    }
+
+    fn dequeue(state: &mut FairState<T>) -> Option<T> {
+        for priority in [Priority::Live, Priority::Replay] {
+            if let Some(name) = Self::next_lane(state, priority) {
+                let virtual_clock = state.virtual_clock;
+                let lane = state.lanes.get_mut(&name).expect("selected lane exists");
+                let item = lane.queue_mut(priority).pop_front().expect("non-empty");
+                let scheduled = lane.vtime.max(virtual_clock);
+                state.virtual_clock = scheduled;
+                lane.vtime = scheduled + 1.0 / lane.weight;
+                state.len -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Dequeues the next job in fair order, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("fair queue lock");
+        loop {
+            if let Some(item) = Self::dequeue(&mut state) {
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.not_empty.wait(state).expect("fair queue lock");
+        }
+    }
+
+    /// Dequeues with a bounded wait, so an idle worker can periodically
+    /// go steal from backlogged sibling shards instead of blocking on
+    /// its own intake forever.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopWait<T> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("fair queue lock");
+        loop {
+            if let Some(item) = Self::dequeue(&mut state) {
+                self.inner.not_full.notify_one();
+                return PopWait::Item(item);
+            }
+            if state.closed {
+                return PopWait::Drained;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopWait::TimedOut;
+            }
+            let (guard, _result) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("fair queue lock");
+            state = guard;
+        }
+    }
+
+    /// Non-blocking fair dequeue — the work-stealing entry point.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("fair queue lock");
+        let item = Self::dequeue(&mut state);
+        if item.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: pushes fail, queued jobs remain dequeuable, and
+    /// every blocked producer/consumer wakes.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().expect("fair queue lock");
+        state.closed = true;
+        self.inner.not_full.notify_all();
+        self.inner.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tenant_single_class_is_fifo() {
+        let q: FairQueue<usize> = FairQueue::bounded(8);
+        for i in 0..5 {
+            q.push(i, DEFAULT_TENANT, Priority::Replay, 1.0).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn live_strictly_overtakes_replay() {
+        let q: FairQueue<&'static str> = FairQueue::bounded(8);
+        q.push("r1", "a", Priority::Replay, 1.0).unwrap();
+        q.push("r2", "a", Priority::Replay, 1.0).unwrap();
+        q.push("l1", "b", Priority::Live, 1.0).unwrap();
+        q.push("l2", "a", Priority::Live, 1.0).unwrap();
+        // Every live job first (fair across tenants), then the replays.
+        assert_eq!(q.try_pop(), Some("l2"));
+        assert_eq!(q.try_pop(), Some("l1"));
+        assert_eq!(q.try_pop(), Some("r1"));
+        assert_eq!(q.try_pop(), Some("r2"));
+    }
+
+    #[test]
+    fn weighted_shares_hold_in_every_window() {
+        let q: FairQueue<(&'static str, usize)> = FairQueue::bounded(256);
+        // Tenant "heavy" (weight 3) and "light" (weight 1), both with 80
+        // queued jobs: every window of 4 dequeues must contain 3 heavy +
+        // 1 light once the schedule settles.
+        for i in 0..80 {
+            q.push(("heavy", i), "heavy", Priority::Replay, 3.0)
+                .unwrap();
+            q.push(("light", i), "light", Priority::Replay, 1.0)
+                .unwrap();
+        }
+        let order: Vec<&'static str> = (0..80).map(|_| q.try_pop().unwrap().0).collect();
+        for window in order.chunks(4) {
+            let heavy = window.iter().filter(|t| **t == "heavy").count();
+            assert_eq!(heavy, 3, "window {window:?} broke the 3:1 share");
+        }
+        // Per-tenant FIFO order is preserved inside the interleave.
+        let mut heavy_seen = 0;
+        for _ in 0..20 {
+            if let Some(("heavy", i)) = q.try_pop() {
+                assert_eq!(i, 60 + heavy_seen);
+                heavy_seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn an_idle_tenant_cannot_bank_credit() {
+        let q: FairQueue<&'static str> = FairQueue::bounded(64);
+        // Tenant "a" runs alone for 10 jobs (virtual clock advances).
+        for _ in 0..10 {
+            q.push("a", "a", Priority::Replay, 1.0).unwrap();
+            assert_eq!(q.try_pop(), Some("a"));
+        }
+        // Tenant "b" arrives late: its lane is clamped to the current
+        // virtual clock, so it gets a fair *alternation*, not 10 jobs of
+        // banked catch-up burst.
+        for _ in 0..4 {
+            q.push("a", "a", Priority::Replay, 1.0).unwrap();
+            q.push("b", "b", Priority::Replay, 1.0).unwrap();
+        }
+        let order: Vec<&'static str> = (0..8).map(|_| q.try_pop().unwrap()).collect();
+        for window in order.chunks(2) {
+            assert!(
+                window.contains(&"a") && window.contains(&"b"),
+                "late tenant burst-captured the queue: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_push_sheds_at_capacity_and_close_drains() {
+        let q: FairQueue<usize> = FairQueue::bounded(2);
+        assert!(q.try_push(1, "a", Priority::Replay, 1.0).is_ok());
+        assert!(q.try_push(2, "b", Priority::Replay, 1.0).is_ok());
+        assert_eq!(q.try_push(3, "c", Priority::Replay, 1.0), Err(3));
+        q.close();
+        assert_eq!(q.try_push(4, "a", Priority::Replay, 1.0), Err(4));
+        assert!(matches!(
+            q.push(5, "a", Priority::Replay, 1.0),
+            Err(QueueClosed(5))
+        ));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_drained() {
+        let q: FairQueue<usize> = FairQueue::bounded(2);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            PopWait::TimedOut
+        ));
+        q.push(7, "a", Priority::Live, 1.0).unwrap();
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            PopWait::Item(7)
+        ));
+        q.close();
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            PopWait::Drained
+        ));
+    }
+
+    #[test]
+    fn admission_buckets_enforce_burst_and_rate() {
+        let registry = TenantRegistry::new();
+        registry.configure(TenantConfig::limited("quota", 1.0, 0.0, 2.0));
+        let now = Instant::now();
+        // rate 0, burst 2: exactly two jobs ever.
+        assert!(registry.admit("quota", now).is_ok());
+        assert!(registry.admit("quota", now).is_ok());
+        let denied = registry.admit("quota", now).unwrap_err();
+        assert_eq!(
+            denied,
+            RejectReason::AdmissionDenied {
+                tenant: "quota".into()
+            }
+        );
+        // Refill at 10 jobs/s: 150 ms later one token is back.
+        registry.configure(TenantConfig::limited("rate", 1.0, 10.0, 1.0));
+        assert!(registry.admit("rate", now).is_ok());
+        assert!(registry.admit("rate", now).is_err());
+        assert!(registry
+            .admit("rate", now + Duration::from_millis(150))
+            .is_ok());
+        // Unknown tenants are unlimited.
+        for _ in 0..100 {
+            assert!(registry.admit("unregistered", now).is_ok());
+        }
+        assert_eq!(registry.weight("unregistered"), 1.0);
+    }
+}

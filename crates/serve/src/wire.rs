@@ -1,0 +1,1151 @@
+//! The versioned binary wire format of the serving layer.
+//!
+//! The vendored serde is a no-op, so — like replay's `uwRD` chunk format —
+//! the protocol is an explicit hand-rolled codec. Every message travels in
+//! one length-prefixed frame:
+//!
+//! | offset | size | field   | contents                                  |
+//! |-------:|-----:|---------|-------------------------------------------|
+//! |      0 |    4 | magic   | `b"UWLZ"`                                 |
+//! |      4 |    2 | version | [`WIRE_VERSION`], little-endian           |
+//! |      6 |    1 | tag     | message type (see the `tag_` constants)   |
+//! |      7 |    1 | flags   | reserved, must be 0                       |
+//! |      8 |    4 | length  | payload length in bytes, little-endian    |
+//! |     12 |  `n` | payload | message-specific fields                   |
+//! | 12+`n` |    4 | crc32   | IEEE CRC-32 of bytes `0..12+n`, LE        |
+//!
+//! Integers are little-endian; `f64` values travel as their raw IEEE-754
+//! bit patterns ([`f64::to_bits`]), so a decoded report is *bit-identical*
+//! to the encoded one — NaNs included — which is what lets the TCP path
+//! reproduce the batch runner's `EvalReport` JSON byte for byte. Strings
+//! are a `u32` length followed by UTF-8 bytes.
+//!
+//! Defensive decoding: the payload length is validated against
+//! [`MAX_PAYLOAD`] *before* any allocation, every inner length (strings,
+//! CDF vectors) is checked against the bytes actually remaining, the CRC
+//! is verified before the payload is interpreted, and trailing payload
+//! bytes are an error. Malformed input of any shape yields a structured
+//! [`WireError`], never a panic.
+//!
+//! Version negotiation: a frame whose version field differs from
+//! [`WIRE_VERSION`] decodes to [`WireError::UnsupportedVersion`] — the
+//! server answers with a [`WireMessage::ProtocolError`] frame (encoded at
+//! *its* version) and closes; [`WireMessage::HelloAck`] tells a client the
+//! server's version and payload cap up front.
+//!
+//! Jobs travel as declarative [`JobSpec`] matrix coordinates, not as
+//! serialized scenarios: the server re-expands the spec through a
+//! single-entry [`ScenarioMatrix`], which reproduces the exact cell —
+//! same id, same RNG seeding, same churn clamping — the submitter's own
+//! expansion would have built. Ad-hoc scenario jobs and replay cells
+//! (which carry decoded audio) are deliberately not wire-transportable.
+
+use crate::job::RejectReason;
+use crate::tenant::Priority;
+use std::io::Read;
+use uw_core::config::{Fidelity, NumericPath};
+use uw_core::prelude::{EnvironmentKind, FaultSchedule};
+use uw_eval::report::ErrorSummary;
+use uw_eval::runner::RoundSummary;
+use uw_eval::{CellReport, EvalCell, LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
+
+/// Frame magic: the first four bytes of every frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"UWLZ";
+/// Protocol version this build speaks (frame header field).
+pub const WIRE_VERSION: u16 = 1;
+/// Hard cap on a frame's payload length, enforced *before* allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+/// Fixed frame-header length (magic + version + tag + flags + length).
+pub const HEADER_LEN: usize = 12;
+/// CRC trailer length.
+pub const TRAILER_LEN: usize = 4;
+
+// Message type tags. Client → server messages use the low range,
+// server → client the high range; 0xFE is the shared protocol-error tag.
+const TAG_HELLO: u8 = 0x01;
+const TAG_SUBMIT: u8 = 0x02;
+const TAG_CANCEL: u8 = 0x03;
+const TAG_GOODBYE: u8 = 0x04;
+const TAG_HELLO_ACK: u8 = 0x81;
+const TAG_STARTED: u8 = 0x82;
+const TAG_ROUND: u8 = 0x83;
+const TAG_FINALIZED: u8 = 0x84;
+const TAG_CANCELLED: u8 = 0x85;
+const TAG_FAILED: u8 = 0x86;
+const TAG_REJECTED: u8 = 0x87;
+const TAG_PROTOCOL_ERROR: u8 = 0xFE;
+
+/// Structured decode/transport errors. Every way a byte stream can be
+/// wrong maps to exactly one variant — the adversarial-input suite in
+/// `crates/serve/tests/wire_fuzz.rs` pins that mapping.
+#[derive(Debug)]
+pub enum WireError {
+    /// The buffer ends mid-frame; more bytes may complete it.
+    Truncated,
+    /// The first four bytes are not [`WIRE_MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        got: [u8; 4],
+    },
+    /// The frame's version field differs from [`WIRE_VERSION`].
+    UnsupportedVersion {
+        /// The version the peer sent.
+        got: u16,
+    },
+    /// The frame's type tag names no known message.
+    UnknownTag {
+        /// The unknown tag.
+        tag: u8,
+    },
+    /// The CRC trailer does not match the frame bytes.
+    CrcMismatch {
+        /// CRC in the frame trailer.
+        got: u32,
+        /// CRC computed over the received bytes.
+        want: u32,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`]; nothing was allocated.
+    Oversized {
+        /// The advertised payload length.
+        len: u32,
+        /// The enforced cap.
+        max: u32,
+    },
+    /// The payload's internal structure is invalid (short field, bad
+    /// UTF-8, trailing bytes, out-of-range enum code, …).
+    Malformed {
+        /// What was being decoded when the payload ran out of shape.
+        context: &'static str,
+    },
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic { got } => write!(f, "bad magic {got:02x?}"),
+            WireError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::UnknownTag { tag } => write!(f, "unknown message tag 0x{tag:02x}"),
+            WireError::CrcMismatch { got, want } => {
+                write!(f, "crc mismatch: frame says {got:08x}, computed {want:08x}")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            WireError::Malformed { context } => write!(f, "malformed payload: {context}"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// IEEE CRC-32 (reflected polynomial 0xEDB88320), bitwise — frames are
+/// small enough that a lookup table would be vanity.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Declarative coordinates of one matrix cell — the wire representation
+/// of a localization job. [`JobSpec::to_cell`] re-expands it server-side
+/// through a single-entry [`ScenarioMatrix`], reproducing the exact cell
+/// (id, RNG seeding, churn clamping, fault slug) the submitter's own
+/// expansion would build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Environment preset.
+    pub environment: EnvironmentKind,
+    /// Group size.
+    pub n_devices: u32,
+    /// Link condition.
+    pub condition: LinkProfile,
+    /// Mobility profile.
+    pub mobility: MobilityProfile,
+    /// Numeric path of the waveform-level DSP.
+    pub numeric_path: NumericPath,
+    /// Physical-layer fidelity.
+    pub fidelity: Fidelity,
+    /// RNG seed.
+    pub seed: u64,
+    /// Rounds to run.
+    pub rounds: u32,
+    /// Canonical [`FaultSchedule`] spec string, if the cell is faulted.
+    pub faults: Option<String>,
+}
+
+impl JobSpec {
+    /// Extracts the wire spec from a matrix-expanded cell. Returns `None`
+    /// for replay cells — recorded audio does not travel over this
+    /// protocol (run replay campaigns through the in-process API).
+    pub fn from_cell(cell: &EvalCell) -> Option<Self> {
+        if cell.replay.is_some() {
+            return None;
+        }
+        Some(Self {
+            environment: cell.environment,
+            n_devices: cell.n_devices as u32,
+            condition: cell.condition,
+            mobility: cell.mobility,
+            numeric_path: cell.numeric_path,
+            fidelity: cell.scenario.config().fidelity,
+            seed: cell.seed,
+            rounds: cell.rounds as u32,
+            faults: cell.faults.as_ref().map(|f| f.to_spec()),
+        })
+    }
+
+    /// Reconstructs the ready-to-run cell by expanding a single-entry
+    /// matrix. Deterministic: equal specs yield equal cells (and equal
+    /// ids), so the streamed report merges exactly like the batch one.
+    pub fn to_cell(&self) -> uw_core::Result<EvalCell> {
+        let faults = match &self.faults {
+            Some(spec) => Some(FaultSchedule::parse(spec)?),
+            None => None,
+        };
+        let matrix = ScenarioMatrix {
+            environments: vec![self.environment],
+            topologies: vec![Topology::Group(self.n_devices as usize)],
+            conditions: vec![self.condition],
+            mobilities: vec![self.mobility],
+            numeric_paths: vec![self.numeric_path],
+            faults: vec![faults],
+            seeds: vec![self.seed],
+            rounds_per_cell: self.rounds as usize,
+            fidelity: self.fidelity,
+        };
+        let mut cells = matrix.expand()?;
+        Ok(cells.remove(0))
+    }
+}
+
+/// One protocol message. Client → server: `Hello`, `Submit`, `Cancel`,
+/// `Goodbye`. Server → client: `HelloAck`, the per-job event mirror of
+/// [`crate::job::CellUpdate`] (`Started` … `Rejected`), and
+/// `ProtocolError`. The `tag` fields are *client-chosen* correlation ids
+/// — the server echoes them on every event of the job, so a pipelined
+/// client can multiplex thousands of jobs over one connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Connection opener; `client` is a display name for logs.
+    Hello {
+        /// Client display name.
+        client: String,
+    },
+    /// Server's reply to `Hello`: its version and payload cap.
+    HelloAck {
+        /// The server's [`WIRE_VERSION`].
+        version: u16,
+        /// The server's [`MAX_PAYLOAD`].
+        max_payload: u32,
+    },
+    /// Submit one job.
+    Submit {
+        /// Client-chosen correlation id, echoed on every event.
+        tag: u64,
+        /// Tenant the job bills to.
+        tenant: String,
+        /// Priority class.
+        priority: Priority,
+        /// Deadline budget in milliseconds from server receipt; `None`
+        /// means no deadline.
+        deadline_ms: Option<u64>,
+        /// The job's matrix coordinates.
+        spec: JobSpec,
+    },
+    /// Request cooperative cancellation of a submitted job.
+    Cancel {
+        /// Correlation id of the job to cancel.
+        tag: u64,
+    },
+    /// Orderly half-close: no more submissions will follow; the server
+    /// finishes in-flight jobs and then closes the connection.
+    Goodbye,
+    /// Mirror of [`crate::job::CellUpdate::CellStarted`].
+    Started {
+        /// Correlation id.
+        tag: u64,
+        /// Cell id the job reports under.
+        cell_id: String,
+        /// Rounds the job will run.
+        rounds: u64,
+    },
+    /// Mirror of [`crate::job::CellUpdate::RoundCompleted`].
+    Round {
+        /// Correlation id.
+        tag: u64,
+        /// Cell id the job reports under.
+        cell_id: String,
+        /// The round's result.
+        summary: RoundSummary,
+    },
+    /// Mirror of [`crate::job::CellUpdate::CellFinalized`]; the report is
+    /// bit-identical to the server-side one.
+    Finalized {
+        /// Correlation id.
+        tag: u64,
+        /// The finalized per-cell report.
+        report: CellReport,
+    },
+    /// Mirror of [`crate::job::CellUpdate::JobCancelled`].
+    Cancelled {
+        /// Correlation id.
+        tag: u64,
+        /// Statistics over the rounds that ran before cancellation.
+        partial: CellReport,
+    },
+    /// Mirror of [`crate::job::CellUpdate::JobFailed`].
+    Failed {
+        /// Correlation id.
+        tag: u64,
+        /// Cell id the job reported under.
+        cell_id: String,
+        /// Failure reason.
+        reason: String,
+    },
+    /// Mirror of [`crate::job::CellUpdate::JobRejected`].
+    Rejected {
+        /// Correlation id.
+        tag: u64,
+        /// Cell id the job would have reported under.
+        cell_id: String,
+        /// Tenant that submitted it.
+        tenant: String,
+        /// The structured rejection.
+        reason: RejectReason,
+    },
+    /// The peer violated the protocol; the connection closes after this.
+    ProtocolError {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn env_code(env: EnvironmentKind) -> u8 {
+    match env {
+        EnvironmentKind::Pool => 0,
+        EnvironmentKind::Dock => 1,
+        EnvironmentKind::Viewpoint => 2,
+        EnvironmentKind::Boathouse => 3,
+        EnvironmentKind::OpenWater => 4,
+        EnvironmentKind::TidalChannel => 5,
+    }
+}
+
+fn path_code(path: NumericPath) -> u8 {
+    match path {
+        NumericPath::F64 => 0,
+        NumericPath::F32 => 1,
+        NumericPath::Q15 => 2,
+    }
+}
+
+fn encode_spec(out: &mut Vec<u8>, spec: &JobSpec) {
+    out.push(env_code(spec.environment));
+    put_u32(out, spec.n_devices);
+    match spec.condition {
+        LinkProfile::Clear => out.push(0),
+        LinkProfile::Occluded { bias_m } => {
+            out.push(1);
+            put_f64(out, bias_m);
+        }
+        LinkProfile::MissingLink => out.push(2),
+        LinkProfile::DeviceChurn { after_round } => {
+            out.push(3);
+            put_u64(out, after_round as u64);
+        }
+    }
+    match spec.mobility {
+        MobilityProfile::Static => out.push(0),
+        MobilityProfile::RopeOscillation { speed_cm_s } => {
+            out.push(1);
+            put_f64(out, speed_cm_s);
+        }
+        MobilityProfile::Swimmer { speed_cm_s } => {
+            out.push(2);
+            put_f64(out, speed_cm_s);
+        }
+        MobilityProfile::CurrentDrift { speed_cm_s } => {
+            out.push(3);
+            put_f64(out, speed_cm_s);
+        }
+    }
+    out.push(path_code(spec.numeric_path));
+    out.push(match spec.fidelity {
+        Fidelity::Statistical => 0,
+        Fidelity::Hybrid => 1,
+    });
+    put_u64(out, spec.seed);
+    put_u32(out, spec.rounds);
+    match &spec.faults {
+        None => put_bool(out, false),
+        Some(s) => {
+            put_bool(out, true);
+            put_str(out, s);
+        }
+    }
+}
+
+fn encode_summary(out: &mut Vec<u8>, s: &RoundSummary) {
+    put_u64(out, s.round as u64);
+    put_bool(out, s.ok);
+    put_f64(out, s.median_error_2d_m);
+    put_u64(out, s.dropped_links as u64);
+    put_bool(out, s.flipping_correct);
+}
+
+fn encode_error_summary(out: &mut Vec<u8>, s: &ErrorSummary) {
+    put_u64(out, s.count as u64);
+    put_f64(out, s.median);
+    put_f64(out, s.p90);
+    put_f64(out, s.p99);
+    put_f64(out, s.mean);
+    put_f64(out, s.max);
+}
+
+fn encode_report(out: &mut Vec<u8>, r: &CellReport) {
+    put_str(out, &r.id);
+    put_str(out, &r.environment);
+    put_u64(out, r.n_devices as u64);
+    put_str(out, &r.condition);
+    put_str(out, &r.mobility);
+    put_str(out, &r.numeric_path);
+    put_u64(out, r.seed);
+    put_u64(out, r.rounds as u64);
+    put_u64(out, r.rounds_completed as u64);
+    put_u64(out, r.rounds_failed as u64);
+    encode_error_summary(out, &r.error_2d);
+    put_u32(out, r.error_cdf.len() as u32);
+    for &(e, f) in &r.error_cdf {
+        put_f64(out, e);
+        put_f64(out, f);
+    }
+    put_f64(out, r.ranging_median_m);
+    put_f64(out, r.flip_rate);
+    put_f64(out, r.mean_dropped_links);
+    put_u64(out, r.churn_excluded as u64);
+    put_f64(out, r.latency_acoustic_s);
+    put_f64(out, r.latency_total_s);
+}
+
+fn encode_reason(out: &mut Vec<u8>, reason: &RejectReason) {
+    match reason {
+        RejectReason::AdmissionDenied { tenant } => {
+            out.push(0);
+            put_str(out, tenant);
+        }
+        RejectReason::DeadlineExpired { late_ms } => {
+            out.push(1);
+            put_u64(out, *late_ms);
+        }
+        RejectReason::Overloaded { queued, capacity } => {
+            out.push(2);
+            put_u64(out, *queued as u64);
+            put_u64(out, *capacity as u64);
+        }
+    }
+}
+
+fn encode_payload(msg: &WireMessage, out: &mut Vec<u8>) -> u8 {
+    match msg {
+        WireMessage::Hello { client } => {
+            put_str(out, client);
+            TAG_HELLO
+        }
+        WireMessage::HelloAck {
+            version,
+            max_payload,
+        } => {
+            put_u16(out, *version);
+            put_u32(out, *max_payload);
+            TAG_HELLO_ACK
+        }
+        WireMessage::Submit {
+            tag,
+            tenant,
+            priority,
+            deadline_ms,
+            spec,
+        } => {
+            put_u64(out, *tag);
+            put_str(out, tenant);
+            out.push(match priority {
+                Priority::Live => 0,
+                Priority::Replay => 1,
+            });
+            match deadline_ms {
+                None => put_bool(out, false),
+                Some(ms) => {
+                    put_bool(out, true);
+                    put_u64(out, *ms);
+                }
+            }
+            encode_spec(out, spec);
+            TAG_SUBMIT
+        }
+        WireMessage::Cancel { tag } => {
+            put_u64(out, *tag);
+            TAG_CANCEL
+        }
+        WireMessage::Goodbye => TAG_GOODBYE,
+        WireMessage::Started {
+            tag,
+            cell_id,
+            rounds,
+        } => {
+            put_u64(out, *tag);
+            put_str(out, cell_id);
+            put_u64(out, *rounds);
+            TAG_STARTED
+        }
+        WireMessage::Round {
+            tag,
+            cell_id,
+            summary,
+        } => {
+            put_u64(out, *tag);
+            put_str(out, cell_id);
+            encode_summary(out, summary);
+            TAG_ROUND
+        }
+        WireMessage::Finalized { tag, report } => {
+            put_u64(out, *tag);
+            encode_report(out, report);
+            TAG_FINALIZED
+        }
+        WireMessage::Cancelled { tag, partial } => {
+            put_u64(out, *tag);
+            encode_report(out, partial);
+            TAG_CANCELLED
+        }
+        WireMessage::Failed {
+            tag,
+            cell_id,
+            reason,
+        } => {
+            put_u64(out, *tag);
+            put_str(out, cell_id);
+            put_str(out, reason);
+            TAG_FAILED
+        }
+        WireMessage::Rejected {
+            tag,
+            cell_id,
+            tenant,
+            reason,
+        } => {
+            put_u64(out, *tag);
+            put_str(out, cell_id);
+            put_str(out, tenant);
+            encode_reason(out, reason);
+            TAG_REJECTED
+        }
+        WireMessage::ProtocolError { message } => {
+            put_str(out, message);
+            TAG_PROTOCOL_ERROR
+        }
+    }
+}
+
+/// Encodes a message into one complete frame (header + payload + CRC).
+///
+/// Panics if the payload would exceed [`MAX_PAYLOAD`] — impossible for
+/// the messages this protocol defines (reports are a few KiB; the cap is
+/// 1 MiB).
+pub fn encode_frame(msg: &WireMessage) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let tag = encode_payload(msg, &mut payload);
+    assert!(
+        payload.len() as u64 <= MAX_PAYLOAD as u64,
+        "payload {} exceeds wire cap {MAX_PAYLOAD}",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&WIRE_MAGIC);
+    put_u16(&mut out, WIRE_VERSION);
+    out.push(tag);
+    out.push(0); // flags (reserved)
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    fn bool(&mut self, context: &'static str) -> Result<bool, WireError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed { context }),
+        }
+    }
+
+    fn usize(&mut self, context: &'static str) -> Result<usize, WireError> {
+        let v = self.u64(context)?;
+        usize::try_from(v).map_err(|_| WireError::Malformed { context })
+    }
+
+    /// String: u32 length + UTF-8 bytes. The length is checked against
+    /// the bytes actually remaining before anything is copied, so a lying
+    /// prefix cannot trigger a large allocation.
+    fn str(&mut self, context: &'static str) -> Result<String, WireError> {
+        let len = self.u32(context)? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Malformed { context });
+        }
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed { context })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed {
+                context: "trailing payload bytes",
+            });
+        }
+        Ok(())
+    }
+}
+
+fn env_from(code: u8) -> Result<EnvironmentKind, WireError> {
+    Ok(match code {
+        0 => EnvironmentKind::Pool,
+        1 => EnvironmentKind::Dock,
+        2 => EnvironmentKind::Viewpoint,
+        3 => EnvironmentKind::Boathouse,
+        4 => EnvironmentKind::OpenWater,
+        5 => EnvironmentKind::TidalChannel,
+        _ => {
+            return Err(WireError::Malformed {
+                context: "environment code",
+            })
+        }
+    })
+}
+
+fn decode_spec(c: &mut Cursor<'_>) -> Result<JobSpec, WireError> {
+    let environment = env_from(c.u8("spec environment")?)?;
+    let n_devices = c.u32("spec n_devices")?;
+    let condition = match c.u8("spec condition tag")? {
+        0 => LinkProfile::Clear,
+        1 => LinkProfile::Occluded {
+            bias_m: c.f64("spec occlusion bias")?,
+        },
+        2 => LinkProfile::MissingLink,
+        3 => LinkProfile::DeviceChurn {
+            after_round: c.usize("spec churn round")?,
+        },
+        _ => {
+            return Err(WireError::Malformed {
+                context: "condition tag",
+            })
+        }
+    };
+    let mobility = match c.u8("spec mobility tag")? {
+        0 => MobilityProfile::Static,
+        1 => MobilityProfile::RopeOscillation {
+            speed_cm_s: c.f64("spec rope speed")?,
+        },
+        2 => MobilityProfile::Swimmer {
+            speed_cm_s: c.f64("spec swim speed")?,
+        },
+        3 => MobilityProfile::CurrentDrift {
+            speed_cm_s: c.f64("spec drift speed")?,
+        },
+        _ => {
+            return Err(WireError::Malformed {
+                context: "mobility tag",
+            })
+        }
+    };
+    let numeric_path = match c.u8("spec numeric path")? {
+        0 => NumericPath::F64,
+        1 => NumericPath::F32,
+        2 => NumericPath::Q15,
+        _ => {
+            return Err(WireError::Malformed {
+                context: "numeric path code",
+            })
+        }
+    };
+    let fidelity = match c.u8("spec fidelity")? {
+        0 => Fidelity::Statistical,
+        1 => Fidelity::Hybrid,
+        _ => {
+            return Err(WireError::Malformed {
+                context: "fidelity code",
+            })
+        }
+    };
+    let seed = c.u64("spec seed")?;
+    let rounds = c.u32("spec rounds")?;
+    let faults = if c.bool("spec faults flag")? {
+        Some(c.str("spec faults")?)
+    } else {
+        None
+    };
+    Ok(JobSpec {
+        environment,
+        n_devices,
+        condition,
+        mobility,
+        numeric_path,
+        fidelity,
+        seed,
+        rounds,
+        faults,
+    })
+}
+
+fn decode_summary(c: &mut Cursor<'_>) -> Result<RoundSummary, WireError> {
+    Ok(RoundSummary {
+        round: c.usize("summary round")?,
+        ok: c.bool("summary ok")?,
+        median_error_2d_m: c.f64("summary median")?,
+        dropped_links: c.usize("summary drops")?,
+        flipping_correct: c.bool("summary flip")?,
+    })
+}
+
+fn decode_error_summary(c: &mut Cursor<'_>) -> Result<ErrorSummary, WireError> {
+    Ok(ErrorSummary {
+        count: c.usize("error count")?,
+        median: c.f64("error median")?,
+        p90: c.f64("error p90")?,
+        p99: c.f64("error p99")?,
+        mean: c.f64("error mean")?,
+        max: c.f64("error max")?,
+    })
+}
+
+fn decode_report(c: &mut Cursor<'_>) -> Result<CellReport, WireError> {
+    let id = c.str("report id")?;
+    let environment = c.str("report environment")?;
+    let n_devices = c.usize("report n_devices")?;
+    let condition = c.str("report condition")?;
+    let mobility = c.str("report mobility")?;
+    let numeric_path = c.str("report numeric_path")?;
+    let seed = c.u64("report seed")?;
+    let rounds = c.usize("report rounds")?;
+    let rounds_completed = c.usize("report rounds_completed")?;
+    let rounds_failed = c.usize("report rounds_failed")?;
+    let error_2d = decode_error_summary(c)?;
+    let cdf_len = c.u32("report cdf length")? as usize;
+    // Each CDF point is 16 bytes; validate against the remaining payload
+    // before reserving anything.
+    if cdf_len.saturating_mul(16) > c.remaining() {
+        return Err(WireError::Malformed {
+            context: "report cdf length",
+        });
+    }
+    let mut error_cdf = Vec::with_capacity(cdf_len);
+    for _ in 0..cdf_len {
+        let e = c.f64("report cdf error")?;
+        let f = c.f64("report cdf fraction")?;
+        error_cdf.push((e, f));
+    }
+    Ok(CellReport {
+        id,
+        environment,
+        n_devices,
+        condition,
+        mobility,
+        numeric_path,
+        seed,
+        rounds,
+        rounds_completed,
+        rounds_failed,
+        error_2d,
+        error_cdf,
+        ranging_median_m: c.f64("report ranging")?,
+        flip_rate: c.f64("report flip rate")?,
+        mean_dropped_links: c.f64("report drops")?,
+        churn_excluded: c.usize("report churn")?,
+        latency_acoustic_s: c.f64("report latency acoustic")?,
+        latency_total_s: c.f64("report latency total")?,
+    })
+}
+
+fn decode_reason(c: &mut Cursor<'_>) -> Result<RejectReason, WireError> {
+    Ok(match c.u8("reject reason tag")? {
+        0 => RejectReason::AdmissionDenied {
+            tenant: c.str("reject tenant")?,
+        },
+        1 => RejectReason::DeadlineExpired {
+            late_ms: c.u64("reject late_ms")?,
+        },
+        2 => RejectReason::Overloaded {
+            queued: c.usize("reject queued")?,
+            capacity: c.usize("reject capacity")?,
+        },
+        _ => {
+            return Err(WireError::Malformed {
+                context: "reject reason tag",
+            })
+        }
+    })
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<WireMessage, WireError> {
+    let mut c = Cursor::new(payload);
+    let msg = match tag {
+        TAG_HELLO => WireMessage::Hello {
+            client: c.str("hello client")?,
+        },
+        TAG_HELLO_ACK => WireMessage::HelloAck {
+            version: c.u16("helloack version")?,
+            max_payload: c.u32("helloack cap")?,
+        },
+        TAG_SUBMIT => {
+            let tag = c.u64("submit tag")?;
+            let tenant = c.str("submit tenant")?;
+            let priority = match c.u8("submit priority")? {
+                0 => Priority::Live,
+                1 => Priority::Replay,
+                _ => {
+                    return Err(WireError::Malformed {
+                        context: "priority code",
+                    })
+                }
+            };
+            let deadline_ms = if c.bool("submit deadline flag")? {
+                Some(c.u64("submit deadline")?)
+            } else {
+                None
+            };
+            let spec = decode_spec(&mut c)?;
+            WireMessage::Submit {
+                tag,
+                tenant,
+                priority,
+                deadline_ms,
+                spec,
+            }
+        }
+        TAG_CANCEL => WireMessage::Cancel {
+            tag: c.u64("cancel tag")?,
+        },
+        TAG_GOODBYE => WireMessage::Goodbye,
+        TAG_STARTED => WireMessage::Started {
+            tag: c.u64("started tag")?,
+            cell_id: c.str("started cell")?,
+            rounds: c.u64("started rounds")?,
+        },
+        TAG_ROUND => WireMessage::Round {
+            tag: c.u64("round tag")?,
+            cell_id: c.str("round cell")?,
+            summary: decode_summary(&mut c)?,
+        },
+        TAG_FINALIZED => WireMessage::Finalized {
+            tag: c.u64("finalized tag")?,
+            report: decode_report(&mut c)?,
+        },
+        TAG_CANCELLED => WireMessage::Cancelled {
+            tag: c.u64("cancelled tag")?,
+            partial: decode_report(&mut c)?,
+        },
+        TAG_FAILED => WireMessage::Failed {
+            tag: c.u64("failed tag")?,
+            cell_id: c.str("failed cell")?,
+            reason: c.str("failed reason")?,
+        },
+        TAG_REJECTED => WireMessage::Rejected {
+            tag: c.u64("rejected tag")?,
+            cell_id: c.str("rejected cell")?,
+            tenant: c.str("rejected tenant")?,
+            reason: decode_reason(&mut c)?,
+        },
+        TAG_PROTOCOL_ERROR => WireMessage::ProtocolError {
+            message: c.str("protocol error")?,
+        },
+        tag => return Err(WireError::UnknownTag { tag }),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Decodes one frame from the front of `buf`. On success returns the
+/// message and the total frame length consumed. [`WireError::Truncated`]
+/// means the buffer ends mid-frame: read more bytes and retry.
+///
+/// Validation order: magic → version → length cap → completeness → CRC →
+/// tag → payload structure. The length cap is enforced before the payload
+/// is even *looked at*, so a hostile length prefix cannot drive an
+/// allocation.
+pub fn decode_frame(buf: &[u8]) -> Result<(WireMessage, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if buf[0..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic {
+            got: [buf[0], buf[1], buf[2], buf[3]],
+        });
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { got: version });
+    }
+    let tag = buf[6];
+    if buf[7] != 0 {
+        return Err(WireError::Malformed {
+            context: "reserved flags",
+        });
+    }
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let body_end = HEADER_LEN + len as usize;
+    let want = crc32(&buf[..body_end]);
+    let got = u32::from_le_bytes([
+        buf[body_end],
+        buf[body_end + 1],
+        buf[body_end + 2],
+        buf[body_end + 3],
+    ]);
+    if got != want {
+        return Err(WireError::CrcMismatch { got, want });
+    }
+    let msg = decode_payload(tag, &buf[HEADER_LEN..body_end])?;
+    Ok((msg, total))
+}
+
+/// Incremental frame reader over any [`Read`] — handles arbitrarily split
+/// reads (TCP segments, 1-byte trickles) by buffering exactly one frame
+/// at a time. The payload cap is enforced from the header before the
+/// payload buffer is allocated.
+pub struct FrameReader<R> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Consumes and returns the wrapped stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn read_full(&mut self, buf: &mut [u8]) -> Result<(), WireError> {
+        self.inner.read_exact(buf).map_err(WireError::from)
+    }
+
+    /// Reads the next complete frame. `Ok(None)` on clean EOF at a frame
+    /// boundary; EOF mid-frame is [`WireError::Truncated`].
+    pub fn read_message(&mut self) -> Result<Option<WireMessage>, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        // Distinguish clean EOF (no bytes at all) from a torn frame.
+        let mut got = 0usize;
+        while got < 1 {
+            match self.inner.read(&mut header[..1]) {
+                Ok(0) => return Ok(None),
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::from(e)),
+            }
+        }
+        self.read_full(&mut header[1..])?;
+        // Pre-validate the header so a hostile length prefix is rejected
+        // before any payload allocation.
+        if header[0..4] != WIRE_MAGIC {
+            return Err(WireError::BadMagic {
+                got: [header[0], header[1], header[2], header[3]],
+            });
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { got: version });
+        }
+        let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized {
+                len,
+                max: MAX_PAYLOAD,
+            });
+        }
+        let mut frame = vec![0u8; HEADER_LEN + len as usize + TRAILER_LEN];
+        frame[..HEADER_LEN].copy_from_slice(&header);
+        self.read_full(&mut frame[HEADER_LEN..])?;
+        let (msg, consumed) = decode_frame(&frame)?;
+        debug_assert_eq!(consumed, frame.len());
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 check: crc32(b"123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let msg = WireMessage::Hello {
+            client: "bench".into(),
+        };
+        let bytes = encode_frame(&msg);
+        let (decoded, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, msg);
+        // Byte-exact re-encode.
+        assert_eq!(encode_frame(&decoded), bytes);
+    }
+
+    #[test]
+    fn job_specs_reconstruct_matrix_cells_exactly() {
+        let mut matrix = ScenarioMatrix::smoke();
+        matrix.rounds_per_cell = 2;
+        for cell in matrix.expand().unwrap() {
+            let spec = JobSpec::from_cell(&cell).unwrap();
+            let rebuilt = spec.to_cell().unwrap();
+            assert_eq!(rebuilt.id, cell.id);
+            assert_eq!(rebuilt.seed, cell.seed);
+            assert_eq!(rebuilt.rounds, cell.rounds);
+            assert_eq!(rebuilt.scenario.name(), cell.scenario.name());
+        }
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_structured() {
+        let bytes = encode_frame(&WireMessage::Goodbye);
+        assert!(matches!(
+            decode_frame(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated)
+        ));
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&corrupt),
+            Err(WireError::CrcMismatch { .. })
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xFF;
+        wrong_version[5] = 0x00;
+        assert!(matches!(
+            decode_frame(&wrong_version),
+            Err(WireError::UnsupportedVersion { got: 255 })
+        ));
+    }
+}

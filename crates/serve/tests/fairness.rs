@@ -1,0 +1,334 @@
+//! Multi-tenant scheduling integration tests: weighted fair shares,
+//! priority overtaking, deadline shedding, admission quotas, overload
+//! policy, and work stealing — and the invariant that none of that
+//! machinery perturbs the reports themselves (byte-identical to the
+//! batch runner).
+//!
+//! The deterministic pattern throughout: pin the single worker down with
+//! a long "occupier" job, queue the contested jobs behind it, and let
+//! the fair queue arbitrate the backlog with no races on arrival order.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use uw_core::prelude::Scenario;
+use uw_eval::{run_matrix, EvalReport, ScenarioMatrix};
+use uw_serve::{
+    CellUpdate, JobId, JobOutcome, LocalizationJob, OverloadPolicy, Priority, RejectReason,
+    ServeConfig, Server, SubmitOptions, TenantConfig, UpdateStream,
+};
+
+/// A 1-round copy of the smoke matrix's dock cell.
+fn quick_cell(rounds: usize) -> uw_eval::EvalCell {
+    let mut matrix = ScenarioMatrix::smoke();
+    matrix.rounds_per_cell = rounds;
+    matrix.expand().unwrap().remove(0)
+}
+
+/// A job long enough to hold a worker for tens of milliseconds while
+/// the test stacks a backlog behind it.
+fn occupier() -> LocalizationJob {
+    LocalizationJob::Scenario {
+        scenario: Scenario::dock_five_devices(1),
+        rounds: 60,
+    }
+}
+
+/// Blocks until the update stream reports `job` started.
+fn wait_started(updates: &UpdateStream, job: JobId) {
+    loop {
+        match updates.recv() {
+            Some(CellUpdate::CellStarted { job: j, .. }) if j == job => return,
+            Some(_) => continue,
+            None => panic!("stream closed before job {job:?} started"),
+        }
+    }
+}
+
+/// Drains the stream and returns job ids in the order they *started*.
+fn drain_start_order(updates: &UpdateStream) -> Vec<JobId> {
+    let mut order = Vec::new();
+    while let Some(update) = updates.recv() {
+        if let CellUpdate::CellStarted { job, .. } = update {
+            order.push(job);
+        }
+    }
+    order
+}
+
+#[test]
+fn unequal_offered_load_converges_to_weighted_shares() {
+    let (server, updates) = Server::start(ServeConfig::with_shards(1));
+    server.configure_tenant(TenantConfig::limited(
+        "heavy",
+        3.0,
+        f64::INFINITY,
+        f64::INFINITY,
+    ));
+    server.configure_tenant(TenantConfig::unlimited("light"));
+
+    // Pin the worker, then stack an unequal backlog: 24 heavy jobs vs 8
+    // light jobs, all queued before any of them can be dequeued.
+    let pin = server.submit(occupier());
+    wait_started(&updates, pin.id());
+
+    let cell = quick_cell(1);
+    let mut heavy = Vec::new();
+    let mut light = Vec::new();
+    for _ in 0..24 {
+        heavy.push(
+            server
+                .submit_with(
+                    LocalizationJob::Cell(cell.clone()),
+                    SubmitOptions::tenant("heavy", Priority::Replay),
+                )
+                .id(),
+        );
+    }
+    for _ in 0..8 {
+        light.push(
+            server
+                .submit_with(
+                    LocalizationJob::Cell(cell.clone()),
+                    SubmitOptions::tenant("light", Priority::Replay),
+                )
+                .id(),
+        );
+    }
+    server.shutdown();
+
+    let order: Vec<JobId> = drain_start_order(&updates)
+        .into_iter()
+        .filter(|id| *id != pin.id())
+        .collect();
+    assert_eq!(order.len(), 32);
+    // A 3:1 weight ratio must hold in *every* window of 4 dequeues, not
+    // just on average — that is what "converges to fair shares" means
+    // for a stride scheduler.
+    for (w, window) in order.chunks(4).enumerate() {
+        let h = window.iter().filter(|id| heavy.contains(id)).count();
+        let l = window.iter().filter(|id| light.contains(id)).count();
+        assert_eq!((h, l), (3, 1), "window {w} broke the 3:1 share: {window:?}");
+    }
+}
+
+#[test]
+fn live_jobs_overtake_queued_replay_jobs() {
+    let (server, updates) = Server::start(ServeConfig::with_shards(1));
+    let pin = server.submit(occupier());
+    wait_started(&updates, pin.id());
+
+    let cell = quick_cell(1);
+    // Replay jobs arrive *first* and still lose the head of the queue.
+    let replay: Vec<JobId> = (0..3)
+        .map(|_| {
+            server
+                .submit_with(
+                    LocalizationJob::Cell(cell.clone()),
+                    SubmitOptions::tenant("archive", Priority::Replay),
+                )
+                .id()
+        })
+        .collect();
+    let live: Vec<JobId> = (0..2)
+        .map(|_| {
+            server
+                .submit_with(
+                    LocalizationJob::Cell(cell.clone()),
+                    SubmitOptions::tenant("diver", Priority::Live),
+                )
+                .id()
+        })
+        .collect();
+    server.shutdown();
+
+    let order: Vec<JobId> = drain_start_order(&updates)
+        .into_iter()
+        .filter(|id| *id != pin.id())
+        .collect();
+    assert_eq!(&order[..2], &live[..], "live class must run first");
+    assert_eq!(&order[2..], &replay[..], "then replay, in FIFO order");
+}
+
+#[test]
+fn expired_deadlines_shed_at_dequeue_without_occupying_the_shard() {
+    let (server, updates) = Server::start(ServeConfig::with_shards(1));
+    let pin = server.submit(occupier());
+    wait_started(&updates, pin.id());
+
+    // Queued behind ~60 rounds of work with a 1 ms budget: by the time
+    // a worker reaches it, the answer is stale.
+    let doomed = server.submit_with(
+        LocalizationJob::Cell(quick_cell(5)),
+        SubmitOptions {
+            deadline: Some(Duration::from_millis(1)),
+            ..SubmitOptions::default()
+        },
+    );
+    match doomed.wait() {
+        JobOutcome::Rejected(RejectReason::DeadlineExpired { .. }) => {}
+        other => panic!("expected a deadline rejection, got {other:?}"),
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats[0].shed, 1);
+    // The shard executed only the occupier's rounds: the shed job never
+    // ran a single localization round.
+    assert_eq!(stats[0].rounds, 60);
+
+    // And the event stream tells the same story: a JobRejected terminal,
+    // no CellStarted, ever, for the doomed job.
+    let mut saw_rejection = false;
+    while let Some(update) = updates.recv() {
+        match update {
+            CellUpdate::CellStarted { job, .. } => {
+                assert_ne!(job, doomed.id(), "shed job must never start");
+            }
+            CellUpdate::JobRejected { job, reason, .. } if job == doomed.id() => {
+                assert!(matches!(reason, RejectReason::DeadlineExpired { .. }));
+                saw_rejection = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_rejection);
+}
+
+#[test]
+fn admission_quota_rejects_at_submission() {
+    let (server, updates) = Server::start(ServeConfig::with_shards(1));
+    // rate 0, burst 1: exactly one job, ever — a hard quota.
+    server.configure_tenant(TenantConfig::limited("metered", 1.0, 0.0, 1.0));
+
+    let admitted = server.submit_with(
+        LocalizationJob::Cell(quick_cell(1)),
+        SubmitOptions::tenant("metered", Priority::Replay),
+    );
+    let denied = server.submit_with(
+        LocalizationJob::Cell(quick_cell(1)),
+        SubmitOptions::tenant("metered", Priority::Replay),
+    );
+
+    assert_eq!(
+        denied.wait(),
+        JobOutcome::Rejected(RejectReason::AdmissionDenied {
+            tenant: "metered".into()
+        })
+    );
+    assert!(matches!(admitted.wait(), JobOutcome::Completed(_)));
+    server.shutdown();
+
+    let rejected: Vec<JobId> = std::iter::from_fn(|| updates.recv())
+        .filter_map(|u| match u {
+            CellUpdate::JobRejected { job, .. } => Some(job),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(rejected, vec![denied.id()]);
+}
+
+#[test]
+fn shed_policy_rejects_deterministically_when_the_queue_is_full() {
+    let (server, updates) = Server::start(ServeConfig {
+        shards: 1,
+        queue_capacity: 1,
+    });
+    let pin = server.submit(occupier());
+    // Wait until the worker *dequeued* the occupier, so the single queue
+    // slot is demonstrably free...
+    wait_started(&updates, pin.id());
+    // ...then fill it (Block policy: would wait, but the slot is open).
+    let queued = server.submit(LocalizationJob::Cell(quick_cell(1)));
+    // A third arrival under Shed policy sees 1/1 occupied and is turned
+    // away with the exact queue depth in the reason.
+    let shed = server.submit_with(
+        LocalizationJob::Cell(quick_cell(1)),
+        SubmitOptions {
+            overload: OverloadPolicy::Shed,
+            ..SubmitOptions::default()
+        },
+    );
+    assert_eq!(
+        shed.wait(),
+        JobOutcome::Rejected(RejectReason::Overloaded {
+            queued: 1,
+            capacity: 1
+        })
+    );
+    assert!(matches!(queued.wait(), JobOutcome::Completed(_)));
+    server.shutdown();
+}
+
+#[test]
+fn idle_workers_steal_from_backlogged_shards() {
+    // Every copy of the same cell hashes to the same shard; with 2
+    // shards, one worker sits idle next to a 12-job backlog unless it
+    // steals.
+    let (server, _updates) = Server::start(ServeConfig::with_shards(2));
+    let cell = quick_cell(3);
+    let handles: Vec<_> = (0..12)
+        .map(|_| server.submit(LocalizationJob::Cell(cell.clone())))
+        .collect();
+    for h in &handles {
+        assert!(matches!(h.wait(), JobOutcome::Completed(_)));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.iter().map(|s| s.jobs).sum::<usize>(), 12);
+    let stolen: usize = stats.iter().map(|s| s.stolen).sum();
+    assert!(stolen >= 1, "the idle shard never stole: {stats:?}");
+    assert!(
+        stats.iter().all(|s| s.jobs > 0),
+        "both workers should have run jobs: {stats:?}"
+    );
+}
+
+#[test]
+fn tenancy_and_stealing_preserve_byte_identical_reports() {
+    // The entire scheduling apparatus — tenants, weights, priorities,
+    // stealing across 3 shards, per-job sinks — must be invisible in the
+    // numbers: the reconstructed report matches the batch runner's JSON
+    // byte for byte.
+    let mut matrix = ScenarioMatrix::smoke();
+    matrix.rounds_per_cell = 3;
+    let baseline = run_matrix(&matrix).unwrap().to_json();
+
+    let cells = matrix.expand().unwrap();
+    let (server, _updates) = Server::start(ServeConfig::with_shards(3));
+    server.configure_tenant(TenantConfig::limited(
+        "team-a",
+        2.0,
+        f64::INFINITY,
+        f64::INFINITY,
+    ));
+    let collected: Arc<Mutex<Vec<(usize, uw_eval::CellReport)>>> = Arc::new(Mutex::new(Vec::new()));
+    let handles: Vec<_> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let sink = Arc::clone(&collected);
+            let options = SubmitOptions {
+                tenant: Some(if i % 2 == 0 { "team-a" } else { "team-b" }.into()),
+                priority: if i % 2 == 0 {
+                    Priority::Live
+                } else {
+                    Priority::Replay
+                },
+                events: Some(Arc::new(move |update: CellUpdate| {
+                    if let CellUpdate::CellFinalized { report, .. } = update {
+                        sink.lock().unwrap().push((i, report));
+                    }
+                })),
+                ..SubmitOptions::default()
+            };
+            server.submit_with(LocalizationJob::Cell(cell), options)
+        })
+        .collect();
+    for h in &handles {
+        assert!(matches!(h.wait(), JobOutcome::Completed(_)));
+    }
+    server.shutdown();
+
+    let mut reports = Arc::try_unwrap(collected).unwrap().into_inner().unwrap();
+    reports.sort_by_key(|(i, _)| *i);
+    let served = EvalReport::new(reports.into_iter().map(|(_, r)| r).collect()).to_json();
+    assert_eq!(served, baseline);
+}

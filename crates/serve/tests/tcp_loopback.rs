@@ -1,0 +1,378 @@
+//! Loopback-TCP integration tests: the full wire path — handshake,
+//! declarative job submission, streamed per-round events, cancellation,
+//! deadlines, protocol errors — against a real `TcpListener`, pinning
+//! the headline property end to end: an [`uw_eval::EvalReport`]
+//! reconstructed from frames that crossed a socket is byte-identical to
+//! the batch runner's JSON.
+
+use std::io::Write;
+use uw_eval::{run_matrix, EvalReport, ScenarioMatrix};
+use uw_serve::wire::{
+    crc32, encode_frame, FrameReader, JobSpec, WireMessage, MAX_PAYLOAD, TRAILER_LEN, WIRE_VERSION,
+};
+use uw_serve::{Priority, RejectReason, ServeConfig, TcpClient, TcpConfig, TcpServer};
+
+fn spawn_server(shards: usize) -> TcpServer {
+    TcpServer::bind(
+        "127.0.0.1:0",
+        TcpConfig {
+            serve: ServeConfig {
+                shards,
+                queue_capacity: 64,
+            },
+            conn_queue: 64,
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn smoke_specs(rounds: usize) -> Vec<JobSpec> {
+    let mut matrix = ScenarioMatrix::smoke();
+    matrix.rounds_per_cell = rounds;
+    matrix
+        .expand()
+        .unwrap()
+        .iter()
+        .map(|cell| JobSpec::from_cell(cell).expect("simulated cells have specs"))
+        .collect()
+}
+
+#[test]
+fn handshake_negotiates_version_and_payload_cap() {
+    let server = spawn_server(1);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    let (version, max_payload) = client.hello("handshake-test").unwrap();
+    assert_eq!(version, WIRE_VERSION);
+    assert_eq!(max_payload, MAX_PAYLOAD);
+    client.send(&WireMessage::Goodbye).unwrap();
+    assert!(matches!(client.recv(), Ok(None)), "clean EOF after Goodbye");
+    server.shutdown();
+}
+
+#[test]
+fn a_single_job_streams_ordered_events_over_tcp() {
+    let server = spawn_server(1);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("single-job").unwrap();
+
+    let spec = smoke_specs(3).remove(0);
+    let expected_cell = spec.to_cell().unwrap();
+    client
+        .send(&WireMessage::Submit {
+            tag: 7,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: None,
+            spec,
+        })
+        .unwrap();
+
+    // Started → one Round per localization round, in order → Finalized.
+    match client.recv().unwrap() {
+        Some(WireMessage::Started {
+            tag,
+            cell_id,
+            rounds,
+        }) => {
+            assert_eq!(tag, 7);
+            assert_eq!(cell_id, expected_cell.id);
+            assert_eq!(rounds, 3);
+        }
+        other => panic!("expected Started, got {other:?}"),
+    }
+    for expected_round in 0..3 {
+        match client.recv().unwrap() {
+            Some(WireMessage::Round { tag, summary, .. }) => {
+                assert_eq!(tag, 7);
+                assert_eq!(summary.round, expected_round);
+            }
+            other => panic!("expected Round {expected_round}, got {other:?}"),
+        }
+    }
+    let report = match client.recv().unwrap() {
+        Some(WireMessage::Finalized { tag: 7, report }) => report,
+        other => panic!("expected Finalized, got {other:?}"),
+    };
+    client.send(&WireMessage::Goodbye).unwrap();
+    server.shutdown();
+
+    // The report that crossed the socket equals the batch runner's for
+    // the same cell — full struct equality, not a summary check.
+    let mut matrix = ScenarioMatrix::smoke();
+    matrix.rounds_per_cell = 3;
+    let baseline = run_matrix(&matrix).unwrap();
+    assert_eq!(&report, baseline.cell(&expected_cell.id).unwrap());
+}
+
+#[test]
+fn matrix_over_tcp_reconstructs_byte_identical_report() {
+    // Three shards so the single-cell-id hash imbalance forces work
+    // stealing *underneath* the socket path.
+    let mut matrix = ScenarioMatrix::smoke();
+    matrix.rounds_per_cell = 3;
+    let baseline = run_matrix(&matrix).unwrap().to_json();
+
+    let server = spawn_server(3);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("matrix-client").unwrap();
+    let specs = smoke_specs(3);
+    let n = specs.len();
+    for (i, spec) in specs.into_iter().enumerate() {
+        client
+            .send(&WireMessage::Submit {
+                tag: i as u64,
+                tenant: format!("tenant-{}", i % 2),
+                priority: if i % 2 == 0 {
+                    Priority::Live
+                } else {
+                    Priority::Replay
+                },
+                deadline_ms: None,
+                spec,
+            })
+            .unwrap();
+    }
+
+    // Events from different jobs interleave; collect Finalized by tag.
+    let mut reports = vec![None; n];
+    let mut done = 0;
+    while done < n {
+        match client.recv().unwrap() {
+            Some(WireMessage::Finalized { tag, report }) => {
+                assert!(reports[tag as usize].replace(report).is_none());
+                done += 1;
+            }
+            Some(WireMessage::Started { .. }) | Some(WireMessage::Round { .. }) => {}
+            other => panic!("unexpected frame mid-matrix: {other:?}"),
+        }
+    }
+    client.send(&WireMessage::Goodbye).unwrap();
+    server.shutdown();
+
+    let served = EvalReport::new(reports.into_iter().map(Option::unwrap).collect()).to_json();
+    assert_eq!(served, baseline);
+}
+
+#[test]
+fn cancel_over_tcp_yields_a_partial_report() {
+    let server = spawn_server(1);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("cancel-client").unwrap();
+
+    let mut spec = smoke_specs(1).remove(0);
+    spec.rounds = 500; // long enough to cancel mid-flight
+    client
+        .send(&WireMessage::Submit {
+            tag: 11,
+            tenant: "default".into(),
+            priority: Priority::Live,
+            deadline_ms: None,
+            spec,
+        })
+        .unwrap();
+    // Wait for the job to actually start, then cancel it.
+    loop {
+        match client.recv().unwrap() {
+            Some(WireMessage::Started { tag: 11, .. }) => break,
+            Some(_) => continue,
+            None => panic!("stream ended before Started"),
+        }
+    }
+    client.send(&WireMessage::Cancel { tag: 11 }).unwrap();
+    let partial = loop {
+        match client.recv().unwrap() {
+            Some(WireMessage::Cancelled { tag: 11, partial }) => break partial,
+            Some(WireMessage::Round { .. }) => continue,
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    };
+    assert!(
+        partial.rounds_completed < 500,
+        "cancellation should land mid-cell ({} rounds ran)",
+        partial.rounds_completed
+    );
+    client.send(&WireMessage::Goodbye).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn wrong_version_and_unknown_tags_get_protocol_error_replies() {
+    let server = spawn_server(1);
+
+    // A frame from protocol version 3: the server must answer with a
+    // structured ProtocolError frame, then close.
+    let mut bytes = encode_frame(&WireMessage::Goodbye);
+    bytes[4..6].copy_from_slice(&3u16.to_le_bytes());
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&bytes).unwrap();
+    let mut reader = FrameReader::new(raw.try_clone().unwrap());
+    match reader.read_message().unwrap() {
+        Some(WireMessage::ProtocolError { message }) => {
+            assert!(
+                message.contains("version"),
+                "error should name the cause: {message}"
+            );
+        }
+        other => panic!("expected ProtocolError, got {other:?}"),
+    }
+    assert!(matches!(reader.read_message(), Ok(None)), "then EOF");
+
+    // A server-to-client tag sent by a client is a protocol violation.
+    let mut bytes = encode_frame(&WireMessage::Goodbye);
+    bytes[6] = 0x83; // Round — server-only
+    let body_end = bytes.len() - TRAILER_LEN;
+    let crc = crc32(&bytes[..body_end]).to_le_bytes();
+    bytes[body_end..].copy_from_slice(&crc);
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&bytes).unwrap();
+    let mut reader = FrameReader::new(raw.try_clone().unwrap());
+    assert!(matches!(
+        reader.read_message().unwrap(),
+        Some(WireMessage::ProtocolError { .. })
+    ));
+    assert!(matches!(reader.read_message(), Ok(None)));
+
+    server.shutdown();
+}
+
+#[test]
+fn an_invalid_spec_fails_cleanly_without_becoming_a_job() {
+    let server = spawn_server(1);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("bad-spec").unwrap();
+
+    // MissingLink needs ≥ 4 devices; 3 cannot expand.
+    let mut spec = smoke_specs(1).remove(0);
+    spec.n_devices = 3;
+    spec.condition = uw_eval::LinkProfile::MissingLink;
+    client
+        .send(&WireMessage::Submit {
+            tag: 21,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: None,
+            spec,
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Some(WireMessage::Failed { tag, reason, .. }) => {
+            assert_eq!(tag, 21);
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The connection is still healthy: a valid job afterwards completes.
+    client
+        .send(&WireMessage::Submit {
+            tag: 22,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: None,
+            spec: smoke_specs(1).remove(0),
+        })
+        .unwrap();
+    loop {
+        match client.recv().unwrap() {
+            Some(WireMessage::Finalized { tag: 22, .. }) => break,
+            Some(_) => continue,
+            None => panic!("stream closed before the valid job finished"),
+        }
+    }
+    client.send(&WireMessage::Goodbye).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_travel_the_wire_and_shed_as_rejections() {
+    let server = spawn_server(1);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("deadline-client").unwrap();
+
+    // Pin the single shard with a long job first...
+    let mut long = smoke_specs(1).remove(0);
+    long.rounds = 60;
+    client
+        .send(&WireMessage::Submit {
+            tag: 1,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: None,
+            spec: long,
+        })
+        .unwrap();
+    // ...then a job whose 1 ms budget expires while it queues behind it.
+    client
+        .send(&WireMessage::Submit {
+            tag: 2,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: Some(1),
+            spec: smoke_specs(1).remove(0),
+        })
+        .unwrap();
+
+    let mut saw_rejected = false;
+    let mut saw_long_finalized = false;
+    while !(saw_rejected && saw_long_finalized) {
+        match client.recv().unwrap() {
+            Some(WireMessage::Rejected {
+                tag: 2,
+                tenant,
+                reason,
+                ..
+            }) => {
+                assert_eq!(tenant, "default");
+                assert!(matches!(reason, RejectReason::DeadlineExpired { .. }));
+                saw_rejected = true;
+            }
+            Some(WireMessage::Finalized { tag: 1, .. }) => saw_long_finalized = true,
+            Some(WireMessage::Started { tag, .. }) => {
+                assert_ne!(tag, 2, "a shed job must never start");
+            }
+            Some(_) => continue,
+            None => panic!("stream closed early"),
+        }
+    }
+    client.send(&WireMessage::Goodbye).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn split_client_halves_work_from_different_threads() {
+    // The bench's fleet mode drives submissions and event draining from
+    // separate threads over one connection; pin that pattern here.
+    let server = spawn_server(2);
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("split-client").unwrap();
+    let (mut tx, mut rx) = client.split();
+
+    let specs = smoke_specs(2);
+    let n = 6usize;
+    let writer = std::thread::spawn(move || {
+        for i in 0..n {
+            tx.send(&WireMessage::Submit {
+                tag: i as u64,
+                tenant: format!("t{}", i % 3),
+                priority: Priority::Replay,
+                deadline_ms: None,
+                spec: specs[i % specs.len()].clone(),
+            })
+            .unwrap();
+        }
+        tx.send(&WireMessage::Goodbye).unwrap();
+        tx
+    });
+
+    let mut finalized = 0;
+    loop {
+        match rx.recv().unwrap() {
+            Some(WireMessage::Finalized { .. }) => finalized += 1,
+            Some(_) => continue,
+            None => break, // server closed after Goodbye drained
+        }
+    }
+    writer.join().unwrap();
+    assert_eq!(finalized, n);
+    server.shutdown();
+}

@@ -1,0 +1,411 @@
+//! Codec round-trip properties for the wire format.
+//!
+//! Every frame type must encode→decode→encode *byte-exact* across
+//! randomized payloads — including non-finite floats, which travel as
+//! raw IEEE-754 bits (`NaN != NaN` under `PartialEq`, so byte equality
+//! of the re-encoded frame is the honest identity check). The stream
+//! reader must reassemble frames from arbitrarily split reads (1-byte
+//! trickles, odd chunk sizes), payloads at the size cap must round-trip,
+//! and version-mismatch / unknown-tag inputs must yield their structured
+//! errors.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::io::Read;
+use uw_core::config::{Fidelity, NumericPath};
+use uw_core::prelude::{EnvironmentKind, FaultSchedule};
+use uw_eval::report::ErrorSummary;
+use uw_eval::runner::RoundSummary;
+use uw_eval::{CellReport, LinkProfile, MobilityProfile};
+use uw_serve::job::RejectReason;
+use uw_serve::tenant::Priority;
+use uw_serve::wire::{
+    crc32, decode_frame, encode_frame, FrameReader, JobSpec, WireError, WireMessage, HEADER_LEN,
+    MAX_PAYLOAD, TRAILER_LEN, WIRE_VERSION,
+};
+
+// ---------------------------------------------------------------------
+// Random message construction (driven by a seed the property generates,
+// so every case is reproducible from the printed seed).
+// ---------------------------------------------------------------------
+
+fn arb_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with multi-byte code points to exercise UTF-8.
+            match rng.gen_range(0u32..10) {
+                0 => 'π',
+                1 => '/',
+                2 => '"',
+                _ => char::from(rng.gen_range(0x20u32..0x7F) as u8),
+            }
+        })
+        .collect()
+}
+
+/// Any f64 bit pattern — NaNs, infinities, subnormals included.
+fn arb_f64(rng: &mut StdRng) -> f64 {
+    f64::from_bits(rng.next_u64())
+}
+
+fn arb_spec(rng: &mut StdRng) -> JobSpec {
+    let environment = EnvironmentKind::ALL[rng.gen_range(0usize..6)];
+    let condition = match rng.gen_range(0u32..4) {
+        0 => LinkProfile::Clear,
+        1 => LinkProfile::Occluded {
+            bias_m: arb_f64(rng),
+        },
+        2 => LinkProfile::MissingLink,
+        _ => LinkProfile::DeviceChurn {
+            after_round: rng.gen_range(0usize..1000),
+        },
+    };
+    let mobility = match rng.gen_range(0u32..4) {
+        0 => MobilityProfile::Static,
+        1 => MobilityProfile::RopeOscillation {
+            speed_cm_s: arb_f64(rng),
+        },
+        2 => MobilityProfile::Swimmer {
+            speed_cm_s: arb_f64(rng),
+        },
+        _ => MobilityProfile::CurrentDrift {
+            speed_cm_s: arb_f64(rng),
+        },
+    };
+    JobSpec {
+        environment,
+        n_devices: rng.gen_range(0u32..64),
+        condition,
+        mobility,
+        numeric_path: [NumericPath::F64, NumericPath::F32, NumericPath::Q15]
+            [rng.gen_range(0usize..3)],
+        fidelity: [Fidelity::Statistical, Fidelity::Hybrid][rng.gen_range(0usize..2)],
+        seed: rng.next_u64(),
+        rounds: rng.gen_range(0u32..10_000),
+        faults: if rng.gen_bool(0.3) {
+            Some(arb_string(rng, 60))
+        } else {
+            None
+        },
+    }
+}
+
+fn arb_summary(rng: &mut StdRng) -> RoundSummary {
+    RoundSummary {
+        round: rng.gen_range(0usize..100_000),
+        ok: rng.gen::<bool>(),
+        median_error_2d_m: arb_f64(rng),
+        dropped_links: rng.gen_range(0usize..100),
+        flipping_correct: rng.gen::<bool>(),
+    }
+}
+
+fn arb_report(rng: &mut StdRng) -> CellReport {
+    let cdf_len = rng.gen_range(0usize..20);
+    CellReport {
+        id: arb_string(rng, 80),
+        environment: arb_string(rng, 20),
+        n_devices: rng.gen_range(0usize..100),
+        condition: arb_string(rng, 20),
+        mobility: arb_string(rng, 20),
+        numeric_path: arb_string(rng, 8),
+        seed: rng.next_u64(),
+        rounds: rng.gen_range(0usize..100_000),
+        rounds_completed: rng.gen_range(0usize..100_000),
+        rounds_failed: rng.gen_range(0usize..100_000),
+        error_2d: ErrorSummary {
+            count: rng.gen_range(0usize..1_000_000),
+            median: arb_f64(rng),
+            p90: arb_f64(rng),
+            p99: arb_f64(rng),
+            mean: arb_f64(rng),
+            max: arb_f64(rng),
+        },
+        error_cdf: (0..cdf_len).map(|_| (arb_f64(rng), arb_f64(rng))).collect(),
+        ranging_median_m: arb_f64(rng),
+        flip_rate: arb_f64(rng),
+        mean_dropped_links: arb_f64(rng),
+        churn_excluded: rng.gen_range(0usize..10),
+        latency_acoustic_s: arb_f64(rng),
+        latency_total_s: arb_f64(rng),
+    }
+}
+
+fn arb_reason(rng: &mut StdRng) -> RejectReason {
+    match rng.gen_range(0u32..3) {
+        0 => RejectReason::AdmissionDenied {
+            tenant: arb_string(rng, 30),
+        },
+        1 => RejectReason::DeadlineExpired {
+            late_ms: rng.next_u64(),
+        },
+        _ => RejectReason::Overloaded {
+            queued: rng.gen_range(0usize..100_000),
+            capacity: rng.gen_range(0usize..100_000),
+        },
+    }
+}
+
+/// One random message of any of the twelve frame types.
+fn arb_message(rng: &mut StdRng) -> WireMessage {
+    match rng.gen_range(0u32..12) {
+        0 => WireMessage::Hello {
+            client: arb_string(rng, 40),
+        },
+        1 => WireMessage::HelloAck {
+            version: rng.next_u64() as u16,
+            max_payload: rng.next_u64() as u32,
+        },
+        2 => WireMessage::Submit {
+            tag: rng.next_u64(),
+            tenant: arb_string(rng, 30),
+            priority: if rng.gen::<bool>() {
+                Priority::Live
+            } else {
+                Priority::Replay
+            },
+            deadline_ms: if rng.gen::<bool>() {
+                Some(rng.next_u64())
+            } else {
+                None
+            },
+            spec: arb_spec(rng),
+        },
+        3 => WireMessage::Cancel {
+            tag: rng.next_u64(),
+        },
+        4 => WireMessage::Goodbye,
+        5 => WireMessage::Started {
+            tag: rng.next_u64(),
+            cell_id: arb_string(rng, 80),
+            rounds: rng.next_u64(),
+        },
+        6 => WireMessage::Round {
+            tag: rng.next_u64(),
+            cell_id: arb_string(rng, 80),
+            summary: arb_summary(rng),
+        },
+        7 => WireMessage::Finalized {
+            tag: rng.next_u64(),
+            report: arb_report(rng),
+        },
+        8 => WireMessage::Cancelled {
+            tag: rng.next_u64(),
+            partial: arb_report(rng),
+        },
+        9 => WireMessage::Failed {
+            tag: rng.next_u64(),
+            cell_id: arb_string(rng, 80),
+            reason: arb_string(rng, 120),
+        },
+        10 => WireMessage::Rejected {
+            tag: rng.next_u64(),
+            cell_id: arb_string(rng, 80),
+            tenant: arb_string(rng, 30),
+            reason: arb_reason(rng),
+        },
+        _ => WireMessage::ProtocolError {
+            message: arb_string(rng, 120),
+        },
+    }
+}
+
+/// A reader that hands out at most `chunk` bytes per `read()` call, to
+/// model TCP segmentation.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_frame_type_round_trips_byte_exact(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = arb_message(&mut rng);
+        let bytes = encode_frame(&msg);
+        let (decoded, consumed) = match decode_frame(&bytes) {
+            Ok(ok) => ok,
+            Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e} for {msg:?}"))),
+        };
+        prop_assert_eq!(consumed, bytes.len());
+        // Byte-exact re-encode — the identity that survives NaN payloads.
+        let reencoded = encode_frame(&decoded);
+        prop_assert_eq!(&reencoded, &bytes);
+        // And for messages without floats the values compare too.
+        match (&msg, &decoded) {
+            (WireMessage::Hello { .. }, _)
+            | (WireMessage::HelloAck { .. }, _)
+            | (WireMessage::Cancel { .. }, _)
+            | (WireMessage::Goodbye, _)
+            | (WireMessage::Failed { .. }, _)
+            | (WireMessage::ProtocolError { .. }, _) => {
+                prop_assert_eq!(&decoded, &msg);
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble_frames(seed in any::<u64>(), chunk in 1usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msgs: Vec<WireMessage> = (0..3).map(|_| arb_message(&mut rng)).collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        // Both a 1-byte trickle and the generated odd chunk size.
+        for chunk in [1usize, chunk] {
+            let mut reader = FrameReader::new(ChunkedReader {
+                data: stream.clone(),
+                pos: 0,
+                chunk,
+            });
+            for expected in &msgs {
+                let got = match reader.read_message() {
+                    Ok(Some(m)) => m,
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "chunk={chunk}: expected a frame, got {other:?}"
+                        )))
+                    }
+                };
+                prop_assert_eq!(encode_frame(&got), encode_frame(expected));
+            }
+            prop_assert!(matches!(reader.read_message(), Ok(None)));
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_structured_error(seed in any::<u64>(), version in 0u32..0xFFFF) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let version = version as u16;
+        // Skip the one version that is actually ours.
+        prop_assume!(version != WIRE_VERSION);
+        let mut bytes = encode_frame(&arb_message(&mut rng));
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        // The version field is checked before the CRC, so a frame from a
+        // different protocol era gets the right error even though its
+        // CRC convention might differ too.
+        match decode_frame(&bytes) {
+            Err(WireError::UnsupportedVersion { got }) => prop_assert_eq!(got, version),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected UnsupportedVersion, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_a_structured_error(seed in any::<u64>(), tag in 0u32..255) {
+        let known = [0x01u8, 0x02, 0x03, 0x04, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0xFE];
+        let tag = tag as u8;
+        prop_assume!(!known.contains(&tag));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = encode_frame(&arb_message(&mut rng));
+        bytes[6] = tag;
+        // The tag is under the CRC, so recompute the trailer: the error
+        // must come from the *tag*, not from the checksum.
+        let body_end = bytes.len() - TRAILER_LEN;
+        let crc = crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        match decode_frame(&bytes) {
+            Err(WireError::UnknownTag { tag: got }) => prop_assert_eq!(got, tag),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected UnknownTag, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn valid_specs_survive_the_cell_round_trip(seed in any::<u64>()) {
+        // A spec that expands must come back identical from the expanded
+        // cell — this is what makes the TCP path reproduce batch cells.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let environment = EnvironmentKind::ALL[rng.gen_range(0usize..6)];
+        let condition = match rng.gen_range(0u32..4) {
+            0 => LinkProfile::Clear,
+            1 => LinkProfile::Occluded { bias_m: 12.0 },
+            2 => LinkProfile::MissingLink,
+            _ => LinkProfile::DeviceChurn { after_round: rng.gen_range(0usize..3) },
+        };
+        let mobility = match rng.gen_range(0u32..4) {
+            0 => MobilityProfile::Static,
+            1 => MobilityProfile::RopeOscillation { speed_cm_s: 40.0 },
+            2 => MobilityProfile::Swimmer { speed_cm_s: 40.0 },
+            _ => MobilityProfile::CurrentDrift { speed_cm_s: 30.0 },
+        };
+        let faults = if rng.gen_bool(0.25) {
+            // Canonicalize through parse→to_spec so the string matches
+            // what from_cell re-derives.
+            Some(FaultSchedule::parse("seed=7;loss:1..2:*:0.3").unwrap().to_spec())
+        } else {
+            None
+        };
+        let spec = JobSpec {
+            environment,
+            n_devices: rng.gen_range(4u32..8),
+            condition,
+            mobility,
+            numeric_path: NumericPath::F64,
+            fidelity: Fidelity::Statistical,
+            seed: rng.gen_range(1u64..100),
+            rounds: rng.gen_range(4u32..8),
+            faults,
+        };
+        let cell = match spec.to_cell() {
+            Ok(cell) => cell,
+            Err(e) => return Err(TestCaseError::fail(format!("expand failed: {e}"))),
+        };
+        let back = JobSpec::from_cell(&cell).expect("simulated cells have wire specs");
+        prop_assert_eq!(&back, &spec);
+        // And a second expansion is the identical cell (id + scenario).
+        let again = back.to_cell().unwrap();
+        prop_assert_eq!(&again.id, &cell.id);
+        prop_assert_eq!(again.rounds, cell.rounds);
+        prop_assert_eq!(again.seed, cell.seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn payloads_at_the_size_cap_round_trip(extra in 0usize..64) {
+        // A ProtocolError payload is 4 (length prefix) + message bytes;
+        // push it to within `extra` bytes of the cap, and once exactly
+        // onto it.
+        let len = MAX_PAYLOAD as usize - 4 - extra;
+        let msg = WireMessage::ProtocolError {
+            message: "x".repeat(len),
+        };
+        let bytes = encode_frame(&msg);
+        prop_assert_eq!(bytes.len(), HEADER_LEN + 4 + len + TRAILER_LEN);
+        let (decoded, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&decoded, &msg);
+        // Through the incremental reader too, in coarse chunks.
+        let mut reader = FrameReader::new(ChunkedReader {
+            data: bytes,
+            pos: 0,
+            chunk: 8192,
+        });
+        prop_assert_eq!(reader.read_message().unwrap(), Some(msg));
+    }
+}
