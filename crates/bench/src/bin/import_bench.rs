@@ -1,0 +1,122 @@
+//! Field-recording import benchmark: streaming burst-scan throughput and
+//! end-to-end import latency versus plain simulation.
+//!
+//! ```text
+//! cargo run --release -p uw-bench --bin import_bench -- [BENCH_import.json]
+//! ```
+//!
+//! Three measurements land in a deterministic JSON artifact next to
+//! `BENCH_replay.json`:
+//!
+//! * **scan** — Msamples/s of the streaming preamble-burst scan
+//!   (`uw_eval::scan_campaign` over the matched filter), measured on a
+//!   continuous campaign WAV padded with ambient-length silence — the
+//!   rate that decides how long an hour of hydrophone audio takes to
+//!   index,
+//! * **import** — full blind import (scan + segment + skew-compensate +
+//!   replay through the ranging pipeline) of the dock fixture campaign,
+//! * **simulate** — the same cell simulated directly, the baseline the
+//!   import path is compared against.
+//!
+//! Environment overrides: `UWGPS_IMPORT_REPS` (default 3),
+//! `UWGPS_SCAN_PAD_S` (extra rendered silence in seconds, default 30).
+
+use std::time::Instant;
+use uw_audio::wav::WavReader;
+use uw_core::prelude::EnvironmentKind;
+use uw_eval::replay::record_cell;
+use uw_eval::runner::run_cell;
+use uw_eval::{import_campaign, scan_campaign, ImportParams, RenderOptions};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_import.json".into());
+    let reps = env_usize("UWGPS_IMPORT_REPS", 3);
+    let pad_s = env_usize("UWGPS_SCAN_PAD_S", 30);
+
+    let cell = uw_eval::replay::fixture_cell().expect("fixture cell");
+    let recording = record_cell(&cell).expect("recording renders");
+    let params = ImportParams::new(EnvironmentKind::Dock, 5, 1);
+
+    // ---- streaming scan throughput --------------------------------------
+    // Pad the render with leading ambient so the scan wall-clock is
+    // dominated by the steady-state matched-filter stream, as it is on a
+    // real multi-minute capture.
+    let opts = RenderOptions {
+        start_pad_s: pad_s as f64,
+        ..RenderOptions::default()
+    };
+    let wav = uw_eval::render_campaign_wav(&recording, &opts).expect("campaign renders");
+    let mut total_frames = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let reader = WavReader::new(std::io::Cursor::new(wav.as_slice())).expect("open");
+        let (_, report) = scan_campaign(reader, &params).expect("scan");
+        total_frames = report.total_frames;
+    }
+    let scan_wall = t0.elapsed() / reps as u32;
+    let scan_msamples_per_s = total_frames as f64 / scan_wall.as_secs_f64() / 1e6;
+    println!(
+        "import_bench: scan {total_frames} frames in {:.1} ms ({:.2} Msamples/s)",
+        scan_wall.as_secs_f64() * 1e3,
+        scan_msamples_per_s,
+    );
+
+    // ---- import vs simulate latency -------------------------------------
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_cell(&cell).expect("simulated cell runs");
+    }
+    let simulate_wall = t0.elapsed() / reps as u32;
+
+    let compact = uw_eval::render_campaign_wav(&recording, &RenderOptions::default())
+        .expect("campaign renders");
+    let wav_len = compact.len();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let (campaign, _) = import_campaign(&compact, &params).expect("blind import");
+        let imported = campaign.cell().expect("import cell");
+        run_cell(&imported).expect("imported cell runs");
+    }
+    let import_wall = t0.elapsed() / reps as u32;
+    println!(
+        "  cell {}: simulate {:.1} ms, import+replay {:.1} ms ({:.1} KiB WAV)",
+        cell.id,
+        simulate_wall.as_secs_f64() * 1e3,
+        import_wall.as_secs_f64() * 1e3,
+        wav_len as f64 / 1024.0,
+    );
+
+    // ---- deterministic hand-rolled JSON --------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"uwgps-import-bench-v1\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"scan\": {{\"total_frames\": {total_frames}, \"scan_ms\": {:.3}, \
+         \"msamples_per_s\": {:.3}}},\n",
+        scan_wall.as_secs_f64() * 1e3,
+        scan_msamples_per_s,
+    ));
+    json.push_str(&format!(
+        "  \"import\": {{\"cell\": \"{}\", \"rounds\": {}, \"wav_bytes\": {}, \
+         \"simulate_ms\": {:.3}, \"import_and_replay_ms\": {:.3}}}\n",
+        cell.id,
+        cell.rounds,
+        wav_len,
+        simulate_wall.as_secs_f64() * 1e3,
+        import_wall.as_secs_f64() * 1e3,
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, json).expect("write benchmark artifact");
+    println!("wrote {out}");
+}

@@ -66,6 +66,7 @@ fn workload(jobs: usize, rounds: usize) -> ScenarioMatrix {
         numeric_paths: vec![NumericPath::F64],
         faults: vec![None],
         seeds: (1..=jobs as u64).collect(),
+        recordings: vec![],
         rounds_per_cell: rounds,
         fidelity: Fidelity::Statistical,
     }

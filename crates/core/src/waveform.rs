@@ -57,6 +57,16 @@ pub fn warm_assets(path: NumericPath) {
     let _ = preamble_for(path);
 }
 
+/// The transmitted preamble waveform for a numeric path, as the raw f64
+/// sample sequence every device emits at the start of its TDMA slot.
+/// This is the template a field-recording importer matched-filters a raw
+/// capture against (see `uw_audio::burst`); exposing the shared
+/// process-wide copy keeps the importer and the ranging hot path working
+/// from bitwise-identical samples.
+pub fn preamble_waveform(path: NumericPath) -> &'static [f64] {
+    &preamble_for(path).waveform
+}
+
 /// The matched chirp baseline (BeepBeep/CAT comparisons). Pure f64 and
 /// numeric-path independent, so it is shared by every trial.
 fn baseline() -> &'static ChirpBaseline {
@@ -214,6 +224,34 @@ impl LinkCapture {
             mic1: uw_dsp::resample::resample(&self.mic1, inverse).map_err(SystemError::from)?,
             mic2: uw_dsp::resample::resample(&self.mic2, inverse).map_err(SystemError::from)?,
         })
+    }
+
+    /// Assembles a capture from a segment sliced out of a continuous
+    /// field recording: two equal-length mic channels plus the device's
+    /// estimated clock skew, which is compensated here so the returned
+    /// capture sits on the nominal 44.1 kHz grid like a simulated one.
+    /// This is the seam the campaign importer (`uw_eval::import`) feeds
+    /// ranging through.
+    pub fn from_imported_segment(
+        mic1: Vec<f64>,
+        mic2: Vec<f64>,
+        skew_ppm: f64,
+    ) -> Result<LinkCapture> {
+        if mic1.is_empty() || mic1.len() != mic2.len() {
+            return Err(SystemError::InvalidConfig {
+                reason: format!(
+                    "imported segment channels must be non-empty and equal length, got {} and {}",
+                    mic1.len(),
+                    mic2.len()
+                ),
+            });
+        }
+        if !skew_ppm.is_finite() {
+            return Err(SystemError::InvalidConfig {
+                reason: format!("imported segment skew must be finite, got {skew_ppm}"),
+            });
+        }
+        LinkCapture { mic1, mic2 }.compensate_clock_ppm(skew_ppm)
     }
 }
 

@@ -69,6 +69,7 @@
 //!     numeric_paths: vec![NumericPath::F64],
 //!     faults: vec![None],
 //!     seeds: vec![1],
+//!     recordings: vec![],
 //!     rounds_per_cell: 2,
 //!     fidelity: Fidelity::Statistical,
 //! };
@@ -82,12 +83,17 @@
 #![warn(missing_docs)]
 
 pub mod guide;
+pub mod import;
 pub mod matrix;
 pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod soak;
 
+pub use import::{
+    import_campaign, load_campaign, render_campaign_wav, scan_campaign, CampaignLayout,
+    ImportParams, ImportReport, ImportedCampaign, RenderOptions,
+};
 pub use matrix::{EvalCell, LinkProfile, MobilityProfile, ScenarioMatrix, Topology};
 pub use replay::{record_cell, Recording, ReplayAudio};
 pub use report::{CellReport, EvalReport};

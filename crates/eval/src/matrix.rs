@@ -157,6 +157,15 @@ pub struct ScenarioMatrix {
     pub faults: Vec<Option<FaultSchedule>>,
     /// Seed axis (one cell per seed).
     pub seeds: Vec<u64>,
+    /// Imported field-recording campaigns ([`crate::import`]): each entry
+    /// expands into one cell **per numeric path** of this matrix, running
+    /// the campaign's decoded audio through the session machinery. A
+    /// campaign fixes its own environment, topology, condition, mobility,
+    /// seed and round count (they were physical properties of the
+    /// deployment), so it crosses only the numeric-path axis; its cell
+    /// ids carry an `import` segment before the seed. Default empty,
+    /// which leaves every existing grid untouched.
+    pub recordings: Vec<std::sync::Arc<crate::import::ImportedCampaign>>,
     /// Localization rounds for every cell of this matrix. Cells needing a
     /// different count go in their own matrix within a suite (e.g.
     /// [`ScenarioMatrix::latency_sweep`] runs 2 rounds while the grids run
@@ -278,6 +287,7 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
         }
@@ -302,6 +312,7 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
         }
@@ -321,6 +332,7 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
         }
@@ -336,6 +348,7 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
         }
@@ -353,6 +366,7 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 2,
             fidelity: Fidelity::Statistical,
         }
@@ -373,6 +387,7 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::Q15],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 12,
             fidelity: Fidelity::Hybrid,
         }
@@ -419,12 +434,14 @@ impl ScenarioMatrix {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: 12,
             fidelity: Fidelity::Statistical,
         }
     }
 
-    /// Number of cells this matrix expands to.
+    /// Number of cells this matrix expands to (grid cells plus one cell
+    /// per imported campaign per numeric path).
     pub fn cell_count(&self) -> usize {
         self.environments.len()
             * self.topologies.len()
@@ -433,6 +450,7 @@ impl ScenarioMatrix {
             * self.numeric_paths.len()
             * self.faults.len()
             * self.seeds.len()
+            + self.recordings.len() * self.numeric_paths.len()
     }
 
     /// Expands the matrix into concrete, ready-to-run cells.
@@ -459,6 +477,14 @@ impl ScenarioMatrix {
                         }
                     }
                 }
+            }
+        }
+        // Imported campaigns ride along after the grid: one cell per
+        // campaign per numeric path, each reusing the campaign's shared
+        // decoded audio.
+        for campaign in &self.recordings {
+            for &numeric_path in &self.numeric_paths {
+                cells.push(campaign.cell_with_path(numeric_path)?);
             }
         }
         Ok(cells)

@@ -106,6 +106,7 @@ pub fn fixture_cell() -> Result<EvalCell> {
         numeric_paths: vec![NumericPath::F64],
         faults: vec![None],
         seeds: vec![1],
+        recordings: vec![],
         rounds_per_cell: FIXTURE_ROUNDS,
         fidelity: Fidelity::Hybrid,
     };
@@ -513,6 +514,13 @@ impl ReplayAudio {
         }
     }
 
+    /// Wraps an already-assembled capture map — the entry point for the
+    /// field-recording importer ([`crate::import`]), whose captures come
+    /// from manifest frame ranges rather than a [`Recording`].
+    pub fn from_captures(captures: HashMap<(usize, usize), LinkCapture>) -> Self {
+        Self { captures }
+    }
+
     /// Number of captures available.
     pub fn len(&self) -> usize {
         self.captures.len()
@@ -557,6 +565,7 @@ impl EvalCell {
             numeric_paths: vec![path],
             faults: vec![None],
             seeds: vec![recording.seed],
+            recordings: vec![],
             rounds_per_cell: recording.rounds,
             fidelity: Fidelity::Hybrid,
         };
@@ -585,6 +594,7 @@ mod tests {
             numeric_paths: vec![NumericPath::F64],
             faults: vec![None],
             seeds: vec![1],
+            recordings: vec![],
             rounds_per_cell: rounds,
             fidelity: Fidelity::Hybrid,
         };

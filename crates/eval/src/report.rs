@@ -10,7 +10,7 @@
 use crate::matrix::EvalCell;
 
 /// Schema identifier stamped into every report.
-pub const REPORT_SCHEMA: &str = "uwgps-eval-matrix-v2";
+pub const REPORT_SCHEMA: &str = "uwgps-eval-matrix-v3";
 
 /// Frozen pre-fix reference points serialised into every report, so the
 /// artifact itself records how far a correctness overhaul moved a cell.
@@ -83,6 +83,11 @@ pub struct CellReport {
     pub mobility: String,
     /// Numeric-path slug (`f64` or `q15`).
     pub numeric_path: String,
+    /// Where the cell's audio came from: `sim` (channel simulator),
+    /// `replay` (a recorded segment directory), or `import` (a blind
+    /// import of a continuous field recording). Derived from the cell id
+    /// by [`source_from_id`].
+    pub source: String,
     /// RNG seed.
     pub seed: u64,
     /// Rounds requested.
@@ -196,6 +201,7 @@ fn cell_json(c: &CellReport, indent: &str) -> String {
     field(&mut s, "condition", json_str(&c.condition), false);
     field(&mut s, "mobility", json_str(&c.mobility), false);
     field(&mut s, "numeric_path", json_str(&c.numeric_path), false);
+    field(&mut s, "source", json_str(&c.source), false);
     field(&mut s, "seed", c.seed.to_string(), false);
     field(&mut s, "rounds", c.rounds.to_string(), false);
     field(
@@ -283,6 +289,25 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Audio provenance of a cell, read off its id segments: an `import`
+/// segment marks a blind-imported field recording, a `replay` segment a
+/// recorded segment directory, anything else the channel simulator.
+pub fn source_from_id(id: &str) -> &'static str {
+    if id
+        .split('/')
+        .any(|seg| seg == crate::import::IMPORT_SEGMENT)
+    {
+        "import"
+    } else if id
+        .split('/')
+        .any(|seg| seg == crate::replay::REPLAY_SEGMENT)
+    {
+        "replay"
+    } else {
+        "sim"
+    }
+}
+
 /// Seeds a [`CellReport`] with the cell's axes (statistics zeroed; the
 /// runner fills them in).
 pub fn cell_report_skeleton(cell: &EvalCell) -> CellReport {
@@ -293,6 +318,7 @@ pub fn cell_report_skeleton(cell: &EvalCell) -> CellReport {
         condition: cell.condition.slug().into(),
         mobility: cell.mobility.slug(),
         numeric_path: cell.numeric_path.slug().into(),
+        source: source_from_id(&cell.id).into(),
         seed: cell.seed,
         rounds: cell.rounds,
         rounds_completed: 0,
@@ -320,6 +346,7 @@ mod tests {
             condition: "clear".into(),
             mobility: "static".into(),
             numeric_path: "f64".into(),
+            source: "sim".into(),
             seed: 1,
             rounds: 12,
             rounds_completed: 12,
@@ -355,7 +382,8 @@ mod tests {
         assert_eq!(json, report.to_json());
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
-        assert!(json.contains("\"schema\": \"uwgps-eval-matrix-v2\""));
+        assert!(json.contains("\"schema\": \"uwgps-eval-matrix-v3\""));
+        assert!(json.contains("\"source\": \"sim\""));
         assert!(json.contains("\"numeric_path\": \"f64\""));
         assert!(json.contains("\"id\": \"dock/5dev/clear/static/s1\""));
         assert!(json.contains("\"median_m\": 0.600000"));

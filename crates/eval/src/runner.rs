@@ -248,6 +248,7 @@ mod tests {
             numeric_paths: vec![uw_core::config::NumericPath::F64],
             faults: vec![None],
             seeds: vec![3],
+            recordings: vec![],
             rounds_per_cell: 4,
             fidelity: Fidelity::Statistical,
         }

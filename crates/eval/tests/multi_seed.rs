@@ -19,6 +19,7 @@ fn three_seed_matrix() -> ScenarioMatrix {
         numeric_paths: vec![NumericPath::F64],
         faults: vec![None],
         seeds: vec![1, 2, 3],
+        recordings: vec![],
         rounds_per_cell: 4,
         fidelity: Fidelity::Statistical,
     }

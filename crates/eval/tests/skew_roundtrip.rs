@@ -19,6 +19,7 @@ fn tiny_hybrid_cell() -> EvalCell {
         numeric_paths: vec![NumericPath::F64],
         faults: vec![None],
         seeds: vec![1],
+        recordings: vec![],
         rounds_per_cell: 2,
         fidelity: Fidelity::Hybrid,
     };

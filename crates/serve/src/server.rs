@@ -50,14 +50,16 @@ use crate::job::{
 use crate::queue::JobQueue;
 use crate::sink::ReportBuilder;
 use crate::tenant::{FairQueue, PopWait, Priority, TenantConfig, TenantRegistry, DEFAULT_TENANT};
+use crate::wire::JobSpec;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 use uw_core::config::{Fidelity, NumericPath};
 use uw_core::{Result, SystemError};
 use uw_eval::runner::CellExecution;
-use uw_eval::{EvalCell, EvalReport, ScenarioMatrix};
+use uw_eval::{EvalCell, EvalReport, ImportedCampaign, ScenarioMatrix};
 
 /// How long an idle worker waits on its own intake before sweeping the
 /// sibling shards for stealable work.
@@ -257,6 +259,7 @@ pub struct Server {
     workers: Vec<std::thread::JoinHandle<ShardStats>>,
     events: JobQueue<CellUpdate>,
     tenants: Arc<TenantRegistry>,
+    recordings: RwLock<HashMap<String, Arc<ImportedCampaign>>>,
     next_id: AtomicU64,
 }
 
@@ -292,6 +295,7 @@ impl Server {
                 workers,
                 events: events.clone(),
                 tenants: Arc::new(TenantRegistry::new()),
+                recordings: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(0),
             },
             UpdateStream { events },
@@ -307,6 +311,87 @@ impl Server {
     /// configuration. Unconfigured tenants are unlimited at weight 1.
     pub fn configure_tenant(&self, config: TenantConfig) {
         self.tenants.configure(config);
+    }
+
+    /// Registers (or replaces) an imported field-recording campaign under
+    /// `name`. Wire jobs whose [`JobSpec::recording`] names it are run
+    /// against the campaign's recorded audio instead of the simulator;
+    /// the audio itself never travels over the wire. Returns the name it
+    /// was registered under (the manifest's recording name when `name` is
+    /// empty).
+    pub fn register_recording(&self, name: &str, campaign: Arc<ImportedCampaign>) -> String {
+        let key = if name.is_empty() {
+            campaign.manifest.recording.clone()
+        } else {
+            name.to_string()
+        };
+        self.recordings
+            .write()
+            .expect("recording registry poisoned")
+            .insert(key.clone(), campaign);
+        key
+    }
+
+    /// Looks up a registered campaign by name.
+    pub fn recording(&self, name: &str) -> Option<Arc<ImportedCampaign>> {
+        self.recordings
+            .read()
+            .expect("recording registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Expands a wire spec into a runnable cell, resolving
+    /// [`JobSpec::recording`] references through the registry. A
+    /// recording job must agree with the registered campaign on every
+    /// manifest axis (environment, device count, condition, mobility,
+    /// seed, rounds) — only the numeric path selects among the campaign's
+    /// cells — so a stale or mistargeted spec fails loudly instead of
+    /// silently running someone else's audio.
+    pub fn resolve_spec(&self, spec: &JobSpec) -> Result<EvalCell> {
+        let name = match &spec.recording {
+            None => return spec.to_cell(),
+            Some(name) => name,
+        };
+        let campaign = self
+            .recording(name)
+            .ok_or_else(|| SystemError::InvalidConfig {
+                reason: format!("no recording registered under {name:?}"),
+            })?;
+        let mut mismatches = Vec::new();
+        if spec.environment != campaign.environment {
+            mismatches.push("environment");
+        }
+        if spec.n_devices as usize != campaign.n_devices {
+            mismatches.push("n_devices");
+        }
+        if spec.condition != campaign.condition {
+            mismatches.push("condition");
+        }
+        if spec.mobility != campaign.mobility {
+            mismatches.push("mobility");
+        }
+        if spec.seed != campaign.seed {
+            mismatches.push("seed");
+        }
+        if spec.rounds as usize != campaign.rounds {
+            mismatches.push("rounds");
+        }
+        if spec.fidelity != Fidelity::Hybrid {
+            mismatches.push("fidelity");
+        }
+        if spec.faults.is_some() {
+            mismatches.push("faults");
+        }
+        if !mismatches.is_empty() {
+            return Err(SystemError::InvalidConfig {
+                reason: format!(
+                    "job disagrees with recording {name:?} on: {}",
+                    mismatches.join(", ")
+                ),
+            });
+        }
+        campaign.cell_with_path(spec.numeric_path)
     }
 
     /// Submits a job, blocking while the target shard's queue is at

@@ -173,6 +173,20 @@ impl TcpServer {
         }
     }
 
+    /// Registers an imported field-recording campaign on the underlying
+    /// pool so wire jobs can reference it by name (see
+    /// [`crate::server::Server::register_recording`]). Returns the
+    /// registered name, or `None` after shutdown.
+    pub fn register_recording(
+        &self,
+        name: &str,
+        campaign: std::sync::Arc<uw_eval::ImportedCampaign>,
+    ) -> Option<String> {
+        self.server
+            .as_ref()
+            .map(|server| server.register_recording(name, campaign))
+    }
+
     /// Stops accepting, severs remaining connections, drains the worker
     /// pool and returns its per-shard counters. Clients that already
     /// sent `Goodbye` and read to EOF are unaffected; connections still
@@ -352,7 +366,7 @@ fn submit_wire_job(
     deadline_ms: Option<u64>,
     spec: &JobSpec,
 ) {
-    let cell = match spec.to_cell() {
+    let cell = match server.resolve_spec(spec) {
         Ok(cell) => cell,
         Err(e) => {
             // An unexpandable spec fails before it becomes a job.

@@ -27,7 +27,11 @@
 //!    state). Offered load beyond a tenant's share queues in its own
 //!    lane; it cannot crowd out other tenants' jobs. A single tenant at
 //!    a single priority degrades to exact FIFO — the pre-tenancy
-//!    behaviour.
+//!    behaviour. Lanes live only as long as they hold queued work: a
+//!    lane is materialized on first push and garbage-collected when its
+//!    last job is dequeued, so a queue that has served a million
+//!    one-shot tenants holds state only for the tenants with jobs
+//!    currently queued ([`FairQueue::lane_count`]).
 //!
 //! Determinism: the dequeue order is a pure function of the sequence of
 //! pushes and pops (virtual times are rational arithmetic on f64, ties
@@ -317,6 +321,19 @@ impl<T> FairQueue<T> {
         self.len() == 0
     }
 
+    /// Tenant lanes currently materialized. Lanes are created on first
+    /// push and garbage-collected when their last queued job is dequeued,
+    /// so after a drain this returns the number of tenants with work
+    /// still queued — not every tenant name the queue has ever seen.
+    pub fn lane_count(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("fair queue lock")
+            .lanes
+            .len()
+    }
+
     /// Whether the queue has been closed *and* drained — the terminal
     /// state a stealing worker checks before exiting.
     pub fn is_drained(&self) -> bool {
@@ -411,6 +428,16 @@ impl<T> FairQueue<T> {
                 state.virtual_clock = scheduled;
                 lane.vtime = scheduled + 1.0 / lane.weight;
                 state.len -= 1;
+                // Garbage-collect the lane once both classes are empty:
+                // lanes used to persist for every tenant name ever seen,
+                // which is an unbounded leak under campaign-scale tenant
+                // churn. A tenant that returns later re-enters at the
+                // current virtual clock — the same treatment as a brand-new
+                // tenant, which is exactly what stride scheduling gives any
+                // lane that was idle long enough for the clock to pass it.
+                if lane.live.is_empty() && lane.replay.is_empty() {
+                    state.lanes.remove(&name);
+                }
                 return Some(item);
             }
         }
@@ -494,6 +521,38 @@ mod tests {
             assert_eq!(q.try_pop(), Some(i));
         }
         assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn drained_tenant_lanes_are_garbage_collected() {
+        let q: FairQueue<usize> = FairQueue::bounded(1024);
+        // A campaign's worth of one-shot tenants, plus two that keep work
+        // queued. Before lane GC every tenant name ever pushed left a
+        // permanent lane behind.
+        for i in 0..100 {
+            q.push(i, &format!("one-shot-{i}"), Priority::Replay, 1.0)
+                .unwrap();
+        }
+        q.push(1000, "steady-a", Priority::Live, 1.0).unwrap();
+        q.push(1001, "steady-a", Priority::Replay, 1.0).unwrap();
+        q.push(1002, "steady-b", Priority::Replay, 1.0).unwrap();
+        assert_eq!(q.lane_count(), 102);
+        // Drain the one-shots (live jobs dequeue first, then fair order
+        // interleaves the rest) until only the steady tenants' backlog
+        // remains: exactly their lanes must survive.
+        while q.len() > 2 {
+            assert!(q.try_pop().is_some());
+        }
+        assert_eq!(q.lane_count(), 2);
+        // Full drain leaves no lanes at all.
+        while q.try_pop().is_some() {}
+        assert_eq!(q.lane_count(), 0);
+        assert!(q.is_empty());
+        // A returning tenant simply re-materializes its lane.
+        q.push(7, "steady-a", Priority::Replay, 1.0).unwrap();
+        assert_eq!(q.lane_count(), 1);
+        assert_eq!(q.try_pop(), Some(7));
+        assert_eq!(q.lane_count(), 0);
     }
 
     #[test]

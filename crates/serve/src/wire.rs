@@ -196,6 +196,16 @@ pub struct JobSpec {
     pub rounds: u32,
     /// Canonical [`FaultSchedule`] spec string, if the cell is faulted.
     pub faults: Option<String>,
+    /// Name of a server-registered imported campaign
+    /// ([`uw_eval::ImportedCampaign`]) to run the job against instead of
+    /// the simulator. Recorded audio itself never travels over the wire —
+    /// the server resolves the name in its recording registry
+    /// ([`crate::server::Server::register_recording`]) and rejects jobs
+    /// naming an unknown recording. When set, `environment`, `n_devices`,
+    /// `condition`, `mobility`, `seed` and `rounds` must match the
+    /// campaign manifest; only `numeric_path` selects among the
+    /// campaign's cells.
+    pub recording: Option<String>,
 }
 
 impl JobSpec {
@@ -216,6 +226,7 @@ impl JobSpec {
             seed: cell.seed,
             rounds: cell.rounds as u32,
             faults: cell.faults.as_ref().map(|f| f.to_spec()),
+            recording: None,
         })
     }
 
@@ -223,6 +234,14 @@ impl JobSpec {
     /// matrix. Deterministic: equal specs yield equal cells (and equal
     /// ids), so the streamed report merges exactly like the batch one.
     pub fn to_cell(&self) -> uw_core::Result<EvalCell> {
+        if let Some(name) = &self.recording {
+            return Err(uw_core::SystemError::InvalidConfig {
+                reason: format!(
+                    "job references recording {name:?}: resolve it through the \
+                     server's recording registry, not JobSpec::to_cell"
+                ),
+            });
+        }
         let faults = match &self.faults {
             Some(spec) => Some(FaultSchedule::parse(spec)?),
             None => None,
@@ -235,6 +254,7 @@ impl JobSpec {
             numeric_paths: vec![self.numeric_path],
             faults: vec![faults],
             seeds: vec![self.seed],
+            recordings: vec![],
             rounds_per_cell: self.rounds as usize,
             fidelity: self.fidelity,
         };
@@ -437,6 +457,13 @@ fn encode_spec(out: &mut Vec<u8>, spec: &JobSpec) {
             put_str(out, s);
         }
     }
+    match &spec.recording {
+        None => put_bool(out, false),
+        Some(name) => {
+            put_bool(out, true);
+            put_str(out, name);
+        }
+    }
 }
 
 fn encode_summary(out: &mut Vec<u8>, s: &RoundSummary) {
@@ -463,6 +490,7 @@ fn encode_report(out: &mut Vec<u8>, r: &CellReport) {
     put_str(out, &r.condition);
     put_str(out, &r.mobility);
     put_str(out, &r.numeric_path);
+    put_str(out, &r.source);
     put_u64(out, r.seed);
     put_u64(out, r.rounds as u64);
     put_u64(out, r.rounds_completed as u64);
@@ -790,6 +818,11 @@ fn decode_spec(c: &mut Cursor<'_>) -> Result<JobSpec, WireError> {
     } else {
         None
     };
+    let recording = if c.bool("spec recording flag")? {
+        Some(c.str("spec recording")?)
+    } else {
+        None
+    };
     Ok(JobSpec {
         environment,
         n_devices,
@@ -800,6 +833,7 @@ fn decode_spec(c: &mut Cursor<'_>) -> Result<JobSpec, WireError> {
         seed,
         rounds,
         faults,
+        recording,
     })
 }
 
@@ -831,6 +865,7 @@ fn decode_report(c: &mut Cursor<'_>) -> Result<CellReport, WireError> {
     let condition = c.str("report condition")?;
     let mobility = c.str("report mobility")?;
     let numeric_path = c.str("report numeric_path")?;
+    let source = c.str("report source")?;
     let seed = c.u64("report seed")?;
     let rounds = c.usize("report rounds")?;
     let rounds_completed = c.usize("report rounds_completed")?;
@@ -857,6 +892,7 @@ fn decode_report(c: &mut Cursor<'_>) -> Result<CellReport, WireError> {
         condition,
         mobility,
         numeric_path,
+        source,
         seed,
         rounds,
         rounds_completed,

@@ -29,6 +29,7 @@ fn four_cell_matrix() -> ScenarioMatrix {
         numeric_paths: vec![NumericPath::F64],
         faults: vec![None],
         seeds: vec![1],
+        recordings: vec![],
         rounds_per_cell: 3,
         fidelity: Fidelity::Statistical,
     }
@@ -281,6 +282,7 @@ fn replay_cells_serve_identically_to_batch() {
         numeric_paths: vec![NumericPath::F64],
         faults: vec![None],
         seeds: vec![1],
+        recordings: vec![],
         rounds_per_cell: 1,
         fidelity: Fidelity::Hybrid,
     };

@@ -339,6 +339,121 @@ fn deadlines_travel_the_wire_and_shed_as_rejections() {
 }
 
 #[test]
+fn recording_jobs_resolve_through_the_server_registry() {
+    use uw_core::config::{Fidelity, NumericPath};
+    use uw_eval::replay::{fixture_cell, record_cell, FIXTURE_ROUNDS};
+    use uw_eval::{import_campaign, ImportParams, RenderOptions};
+
+    // Import a rendered field recording once, server-side; the audio
+    // never crosses the socket — jobs reference it by name.
+    let cell = fixture_cell().unwrap();
+    let recording = record_cell(&cell).unwrap();
+    let wav = uw_eval::render_campaign_wav(&recording, &RenderOptions::default()).unwrap();
+    let params = ImportParams::new(uw_core::prelude::EnvironmentKind::Dock, 5, 1);
+    let (campaign, _) = import_campaign(&wav, &params).unwrap();
+    let campaign = std::sync::Arc::new(campaign);
+
+    let server = spawn_server(1);
+    let name = server
+        .register_recording("dock-campaign", campaign.clone())
+        .expect("server is live");
+    assert_eq!(name, "dock-campaign");
+
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    client.hello("recording-client").unwrap();
+
+    let spec = JobSpec {
+        environment: campaign.environment,
+        n_devices: campaign.n_devices as u32,
+        condition: campaign.condition,
+        mobility: campaign.mobility,
+        numeric_path: NumericPath::F64,
+        fidelity: Fidelity::Hybrid,
+        seed: campaign.seed,
+        rounds: campaign.rounds as u32,
+        faults: None,
+        recording: Some("dock-campaign".into()),
+    };
+
+    // An unknown recording name fails before becoming a job.
+    let mut unknown = spec.clone();
+    unknown.recording = Some("nonexistent".into());
+    client
+        .send(&WireMessage::Submit {
+            tag: 1,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: None,
+            spec: unknown,
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Some(WireMessage::Failed { tag: 1, reason, .. }) => {
+            assert!(reason.contains("nonexistent"), "unattributed: {reason}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // A spec that disagrees with the campaign's manifest axes fails too.
+    let mut mismatched = spec.clone();
+    mismatched.seed = 999;
+    mismatched.rounds = 50;
+    client
+        .send(&WireMessage::Submit {
+            tag: 2,
+            tenant: "default".into(),
+            priority: Priority::Replay,
+            deadline_ms: None,
+            spec: mismatched,
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Some(WireMessage::Failed { tag: 2, reason, .. }) => {
+            assert!(reason.contains("seed"), "unattributed: {reason}");
+            assert!(reason.contains("rounds"), "unattributed: {reason}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The matching spec runs against the recorded audio and streams the
+    // import cell's events.
+    client
+        .send(&WireMessage::Submit {
+            tag: 3,
+            tenant: "default".into(),
+            priority: Priority::Live,
+            deadline_ms: None,
+            spec,
+        })
+        .unwrap();
+    match client.recv().unwrap() {
+        Some(WireMessage::Started {
+            tag: 3,
+            cell_id,
+            rounds,
+        }) => {
+            assert_eq!(cell_id, "dock/5dev/clear/static/import/s1");
+            assert_eq!(rounds, FIXTURE_ROUNDS as u64);
+        }
+        other => panic!("expected Started, got {other:?}"),
+    }
+    let report = loop {
+        match client.recv().unwrap() {
+            Some(WireMessage::Finalized { tag: 3, report }) => break report,
+            Some(WireMessage::Round { tag: 3, .. }) => continue,
+            other => panic!("expected Round/Finalized, got {other:?}"),
+        }
+    };
+    assert_eq!(report.id, "dock/5dev/clear/static/import/s1");
+    assert_eq!(report.source, "import");
+    assert_eq!(report.rounds_completed, FIXTURE_ROUNDS);
+    assert_eq!(report.rounds_failed, 0);
+
+    client.send(&WireMessage::Goodbye).unwrap();
+    server.shutdown();
+}
+
+#[test]
 fn split_client_halves_work_from_different_threads() {
     // The bench's fleet mode drives submissions and event draining from
     // separate threads over one connection; pin that pattern here.

@@ -89,6 +89,11 @@ fn arb_spec(rng: &mut StdRng) -> JobSpec {
         } else {
             None
         },
+        recording: if rng.gen_bool(0.2) {
+            Some(arb_string(rng, 40))
+        } else {
+            None
+        },
     }
 }
 
@@ -111,6 +116,7 @@ fn arb_report(rng: &mut StdRng) -> CellReport {
         condition: arb_string(rng, 20),
         mobility: arb_string(rng, 20),
         numeric_path: arb_string(rng, 8),
+        source: arb_string(rng, 8),
         seed: rng.next_u64(),
         rounds: rng.gen_range(0usize..100_000),
         rounds_completed: rng.gen_range(0usize..100_000),
@@ -368,6 +374,7 @@ proptest! {
             seed: rng.gen_range(1u64..100),
             rounds: rng.gen_range(4u32..8),
             faults,
+            recording: None,
         };
         let cell = match spec.to_cell() {
             Ok(cell) => cell,

@@ -20,6 +20,18 @@
 //!   stream over a `WavReader` that yields fixed-size per-channel `f64`
 //!   blocks at a target rate, ready to feed `uw-ranging`'s detection and
 //!   channel estimation in place of simulator output.
+//! * [`burst`] — a bounded-memory streaming preamble detector
+//!   ([`burst::BurstScanner`]) that finds every occurrence of a known
+//!   template in an arbitrarily long capture via the overlap-save
+//!   matched filter, with detections bitwise-identical across chunkings.
+//! * [`skew`] — least-squares per-device clock-skew estimation
+//!   ([`skew::estimate_skew_ppm`]) from the timing drift of detected
+//!   bursts across a campaign.
+//! * [`manifest`] — the `uwCM` campaign-manifest codec
+//!   ([`manifest::CampaignManifest`]): a strict, fuzz-hardened binary
+//!   record of a blind import (recording name, per-segment frame ranges,
+//!   skew table, scenario axes) that lets evaluation load a scanned
+//!   campaign without re-running the detector.
 //!
 //! ## Example: write, stream back, resample
 //!
@@ -50,12 +62,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod burst;
+pub mod manifest;
 pub mod replay;
 pub mod resample;
+pub mod skew;
 pub mod wav;
 
+pub use burst::{scan_all, Burst, BurstScanner};
+pub use manifest::{CampaignManifest, SegmentRange, MANIFEST_MAGIC, MANIFEST_VERSION};
 pub use replay::{ReplayBlock, ReplaySource};
 pub use resample::{resample_linear, SincResampler, StreamingLinearResampler};
+pub use skew::{estimate_skew_ppm, SKEW_DEADBAND_PPM, SKEW_MAX_PPM};
 pub use wav::{SampleFormat, WavReader, WavSpec, WavWriter};
 
 /// Errors produced by the audio ingestion layer.

@@ -1,0 +1,466 @@
+//! Campaign manifest: the durable record of a blind import.
+//!
+//! Scanning an hour of raw audio is expensive; re-running the matched
+//! filter every time a matrix wants the campaign would dominate every
+//! evaluation. A [`CampaignManifest`] captures everything the scan
+//! learned — which recording, where every (round, device) burst segment
+//! lives as frame ranges, the per-device clock-skew estimates, and the
+//! scenario axes the campaign was captured under — in a compact binary
+//! format (`uwCM` v1) that sits next to the WAV. Loading a campaign is
+//! then a cheap seek-and-slice pass.
+//!
+//! The codec is strict in both directions: every field is length-guarded
+//! against hostile counts, parsing never panics on truncated or corrupt
+//! bytes (`tests/manifest_fuzz.rs` drives every byte-level mutation), and
+//! trailing bytes after the last segment are rejected so a manifest has
+//! exactly one valid encoding.
+//!
+//! Scenario axes travel as short UTF-8 slugs (`"dock"`, `"clear"`,
+//! `"static"`, `"f64"`) rather than enum tags: `uw-audio` stays ignorant
+//! of the evaluation layer's types, and `uw-eval` owns slug ↔ enum
+//! mapping when it builds matrix cells from a manifest.
+
+use crate::skew::SKEW_MAX_PPM;
+use crate::{AudioError, Result};
+
+/// File magic for the campaign manifest format.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"uwCM";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u8 = 1;
+
+/// Encoded size of one [`SegmentRange`]: round u32 + device u32 +
+/// start u64 + len u64.
+const SEGMENT_BYTES: usize = 24;
+
+/// One burst segment inside the continuous recording: the frame range
+/// holding device `device`'s preamble capture for round `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRange {
+    /// Protocol round index, `0..rounds`.
+    pub round: u32,
+    /// Responding device id, `1..n_devices` (device 0 is the leader,
+    /// whose self-chirp anchors the grid and needs no segment).
+    pub device: u32,
+    /// First frame of the segment in the recording.
+    pub start: u64,
+    /// Segment length in frames; always non-zero in a valid manifest.
+    pub len: u64,
+}
+
+/// A parsed (or freshly scanned) campaign manifest. See the module docs
+/// for the wire layout and strictness guarantees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignManifest {
+    /// Recording file name the frame ranges refer to (relative path).
+    pub recording: String,
+    /// Environment axis slug (e.g. `"dock"`).
+    pub environment: String,
+    /// Channel-condition axis slug (e.g. `"clear"`).
+    pub condition: String,
+    /// Mobility axis slug (e.g. `"static"`).
+    pub mobility: String,
+    /// Numeric-path axis slug the campaign was captured against.
+    pub numeric_path: String,
+    /// Scenario seed the campaign corresponds to.
+    pub seed: u64,
+    /// Number of protocol rounds in the campaign.
+    pub rounds: u32,
+    /// Recording sample rate in Hz.
+    pub sample_rate: u32,
+    /// Device count including the leader (device 0).
+    pub n_devices: u16,
+    /// Estimated clock skew in ppm, one entry per device (leader first;
+    /// the leader is the reference clock, so entry 0 is 0 by
+    /// construction).
+    pub skew_ppm: Vec<f64>,
+    /// Frame ranges of every detected burst segment.
+    pub segments: Vec<SegmentRange>,
+}
+
+impl CampaignManifest {
+    /// Serialises the manifest to its `uwCM` v1 byte form.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        if self.skew_ppm.len() != self.n_devices as usize {
+            return Err(invalid(format!(
+                "skew table has {} entries for {} devices",
+                self.skew_ppm.len(),
+                self.n_devices
+            )));
+        }
+        let mut out = Vec::with_capacity(64 + self.segments.len() * SEGMENT_BYTES);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.push(MANIFEST_VERSION);
+        put_str16(&mut out, "recording name", &self.recording)?;
+        put_str8(&mut out, "environment slug", &self.environment)?;
+        put_str8(&mut out, "condition slug", &self.condition)?;
+        put_str8(&mut out, "mobility slug", &self.mobility)?;
+        put_str8(&mut out, "numeric path slug", &self.numeric_path)?;
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.rounds.to_le_bytes());
+        out.extend_from_slice(&self.sample_rate.to_le_bytes());
+        out.extend_from_slice(&self.n_devices.to_le_bytes());
+        for &ppm in &self.skew_ppm {
+            out.extend_from_slice(&ppm.to_le_bytes());
+        }
+        let n_segments = u32::try_from(self.segments.len())
+            .map_err(|_| invalid("segment count exceeds u32".to_string()))?;
+        out.extend_from_slice(&n_segments.to_le_bytes());
+        for s in &self.segments {
+            out.extend_from_slice(&s.round.to_le_bytes());
+            out.extend_from_slice(&s.device.to_le_bytes());
+            out.extend_from_slice(&s.start.to_le_bytes());
+            out.extend_from_slice(&s.len.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Parses a manifest from bytes. Structured errors on any malformed,
+    /// truncated, or trailing input — never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let magic = cur.take(4, "magic")?;
+        if magic != MANIFEST_MAGIC {
+            return Err(malformed(format!("bad magic {magic:02x?}")));
+        }
+        let version = cur.u8("version")?;
+        if version != MANIFEST_VERSION {
+            return Err(malformed(format!(
+                "unsupported manifest version {version} (expected {MANIFEST_VERSION})"
+            )));
+        }
+        let recording = cur.str16("recording name")?;
+        let environment = cur.str8("environment slug")?;
+        let condition = cur.str8("condition slug")?;
+        let mobility = cur.str8("mobility slug")?;
+        let numeric_path = cur.str8("numeric path slug")?;
+        let seed = cur.u64("seed")?;
+        let rounds = cur.u32("rounds")?;
+        let sample_rate = cur.u32("sample rate")?;
+        let n_devices = cur.u16("device count")?;
+        if n_devices as usize > cur.remaining() / 8 {
+            return Err(malformed(format!(
+                "skew table claims {n_devices} devices but only {} bytes remain",
+                cur.remaining()
+            )));
+        }
+        let mut skew_ppm = Vec::with_capacity(n_devices as usize);
+        for i in 0..n_devices {
+            skew_ppm.push(f64::from_le_bytes(
+                cur.take(8, "skew entry")?.try_into().unwrap_or([0; 8]),
+            ));
+            if !skew_ppm[i as usize].is_finite() {
+                return Err(malformed(format!("non-finite skew for device {i}")));
+            }
+        }
+        let n_segments = cur.u32("segment count")?;
+        if n_segments as usize > cur.remaining() / SEGMENT_BYTES {
+            return Err(malformed(format!(
+                "segment table claims {n_segments} entries but only {} bytes remain",
+                cur.remaining()
+            )));
+        }
+        let mut segments = Vec::with_capacity(n_segments as usize);
+        for _ in 0..n_segments {
+            segments.push(SegmentRange {
+                round: cur.u32("segment round")?,
+                device: cur.u32("segment device")?,
+                start: cur.u64("segment start")?,
+                len: cur.u64("segment length")?,
+            });
+        }
+        if cur.remaining() != 0 {
+            return Err(malformed(format!(
+                "{} trailing bytes after segment table",
+                cur.remaining()
+            )));
+        }
+        Ok(Self {
+            recording,
+            environment,
+            condition,
+            mobility,
+            numeric_path,
+            seed,
+            rounds,
+            sample_rate,
+            n_devices,
+            skew_ppm,
+            segments,
+        })
+    }
+
+    /// Structural validation against the recording the manifest claims to
+    /// describe (`total_frames` long). Rejects hostile frame ranges:
+    /// zero-length, out-of-bounds (with overflow-safe arithmetic),
+    /// overlapping, duplicated (round, device) slots, devices outside the
+    /// roster, and skews beyond crystal tolerance.
+    pub fn validate(&self, total_frames: u64) -> Result<()> {
+        if self.rounds == 0 {
+            return Err(invalid("campaign has zero rounds".to_string()));
+        }
+        if self.n_devices < 2 {
+            return Err(invalid(format!(
+                "campaign needs a leader and at least one follower, got {} devices",
+                self.n_devices
+            )));
+        }
+        if self.sample_rate == 0 {
+            return Err(invalid("zero sample rate".to_string()));
+        }
+        if self.skew_ppm.len() != self.n_devices as usize {
+            return Err(invalid(format!(
+                "skew table has {} entries for {} devices",
+                self.skew_ppm.len(),
+                self.n_devices
+            )));
+        }
+        for (d, &ppm) in self.skew_ppm.iter().enumerate() {
+            if !ppm.is_finite() || ppm.abs() > SKEW_MAX_PPM {
+                return Err(invalid(format!(
+                    "device {d} skew {ppm} ppm outside ±{SKEW_MAX_PPM} ppm"
+                )));
+            }
+        }
+        let mut by_start: Vec<&SegmentRange> = self.segments.iter().collect();
+        by_start.sort_by_key(|s| s.start);
+        for pair in by_start.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.start + a.len > b.start {
+                return Err(invalid(format!(
+                    "segments overlap: [{}, {}) and [{}, {})",
+                    a.start,
+                    a.start + a.len,
+                    b.start,
+                    b.start + b.len
+                )));
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &self.segments {
+            if s.len == 0 {
+                return Err(invalid(format!(
+                    "zero-length segment for round {} device {}",
+                    s.round, s.device
+                )));
+            }
+            if s.device == 0 || s.device >= self.n_devices as u32 {
+                return Err(invalid(format!(
+                    "segment device {} outside follower range 1..{}",
+                    s.device, self.n_devices
+                )));
+            }
+            if s.round >= self.rounds {
+                return Err(invalid(format!(
+                    "segment round {} beyond campaign rounds {}",
+                    s.round, self.rounds
+                )));
+            }
+            let end = s.start.checked_add(s.len).ok_or_else(|| {
+                invalid(format!("segment range {} + {} overflows", s.start, s.len))
+            })?;
+            if end > total_frames {
+                return Err(invalid(format!(
+                    "segment ends at frame {end} but recording has {total_frames}"
+                )));
+            }
+            if !seen.insert((s.round, s.device)) {
+                return Err(invalid(format!(
+                    "duplicate segment for round {} device {}",
+                    s.round, s.device
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(AudioError::Truncated {
+                reason: format!(
+                    "manifest ends inside {what} (need {n} bytes at offset {}, have {})",
+                    self.pos,
+                    self.remaining()
+                ),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().unwrap_or([0; 2]),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().unwrap_or([0; 4]),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().unwrap_or([0; 8]),
+        ))
+    }
+
+    fn str8(&mut self, what: &str) -> Result<String> {
+        let len = self.u8(what)? as usize;
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn str16(&mut self, what: &str) -> Result<String> {
+        let len = self.u16(what)? as usize;
+        let raw = self.take(len, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+    }
+}
+
+fn put_str8(out: &mut Vec<u8>, what: &str, s: &str) -> Result<()> {
+    let len =
+        u8::try_from(s.len()).map_err(|_| invalid(format!("{what} longer than 255 bytes")))?;
+    out.push(len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_str16(out: &mut Vec<u8>, what: &str, s: &str) -> Result<()> {
+    let len =
+        u16::try_from(s.len()).map_err(|_| invalid(format!("{what} longer than 65535 bytes")))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn malformed(reason: String) -> AudioError {
+    AudioError::MalformedFile { reason }
+}
+
+fn invalid(reason: String) -> AudioError {
+    AudioError::InvalidParameter { reason }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> CampaignManifest {
+        CampaignManifest {
+            recording: "campaign.wav".into(),
+            environment: "dock".into(),
+            condition: "clear".into(),
+            mobility: "static".into(),
+            numeric_path: "f64".into(),
+            seed: 1,
+            rounds: 3,
+            sample_rate: 44_100,
+            n_devices: 5,
+            skew_ppm: vec![0.0, 200.0, -200.0, 120.0, -160.0],
+            segments: (0..3)
+                .flat_map(|r| {
+                    (1u32..5).map(move |d| SegmentRange {
+                        round: r,
+                        device: d,
+                        start: (r as u64 * 4 + d as u64) * 20_000,
+                        len: 14_112,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        let m = sample();
+        let bytes = m.to_bytes().unwrap();
+        let back = CampaignManifest::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        back.validate(400_000).unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            CampaignManifest::from_bytes(&bytes),
+            Err(AudioError::MalformedFile { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_ranges_fail_validation() {
+        let total = 400_000;
+        let mut m = sample();
+        m.segments[0].len = 0;
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[0].start = u64::MAX - 5;
+        m.segments[0].len = 10; // overflows checked_add
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[0].start = total;
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[1].start = m.segments[0].start + 1; // overlap
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[1].round = m.segments[0].round;
+        m.segments[1].device = m.segments[0].device; // duplicate slot
+        m.segments[1].start = 390_000;
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[0].device = 0; // leader has no segments
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[0].device = 9; // beyond roster
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.segments[0].round = 99;
+        assert!(m.validate(total).is_err());
+
+        let mut m = sample();
+        m.skew_ppm[2] = 1.0e4; // beyond crystal tolerance
+        assert!(m.validate(total).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_fail_fast_without_allocation() {
+        // A header that claims 4 billion segments but carries none: the
+        // remaining-bytes guard must reject it before reserving memory.
+        let mut m = sample();
+        m.segments.clear();
+        let mut bytes = m.to_bytes().unwrap();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            CampaignManifest::from_bytes(&bytes),
+            Err(AudioError::MalformedFile { .. })
+        ));
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-device clock-skew estimation from inter-burst timing drift.
+//!
+//! A device whose sample clock runs `p` ppm fast emits its TDMA slot a
+//! little later every round relative to the recording clock: after `t`
+//! seconds of elapsed campaign time its bursts land `t · fs · p · 1e-6`
+//! samples away from the nominal grid. Given the observed
+//! (elapsed-seconds, offset-samples) pairs for one device across a
+//! campaign, the skew is the slope of the best-fit line through them —
+//! an ordinary least-squares regression, robust to the ±1-sample jitter
+//! of the burst detector because it averages over many rounds.
+
+use crate::AudioError;
+
+/// Skews smaller than this are indistinguishable from detector jitter
+/// over a short campaign (±1 sample across a few seconds is ~4 ppm) and
+/// are snapped to zero so clean recordings round-trip exactly.
+pub const SKEW_DEADBAND_PPM: f64 = 5.0;
+
+/// Largest |skew| the estimator will report. Consumer crystal oscillators
+/// are specified within ±200 ppm; anything beyond this is a mis-fit, not
+/// a clock.
+pub const SKEW_MAX_PPM: f64 = 500.0;
+
+/// Least-squares fit of clock skew from `(elapsed_s, offset_samples)`
+/// observations at sample rate `sample_rate`.
+///
+/// Returns `Ok(None)` when the observations cannot constrain a slope
+/// (fewer than two points, or no spread in elapsed time); estimates
+/// inside [`SKEW_DEADBAND_PPM`] snap to exactly `0.0`. Non-finite inputs
+/// or a fit beyond [`SKEW_MAX_PPM`] are errors — they mean the points do
+/// not describe a clock.
+pub fn estimate_skew_ppm(
+    observations: &[(f64, f64)],
+    sample_rate: f64,
+) -> Result<Option<f64>, AudioError> {
+    if !(sample_rate.is_finite() && sample_rate > 0.0) {
+        return Err(AudioError::InvalidParameter {
+            reason: format!("sample rate must be positive and finite, got {sample_rate}"),
+        });
+    }
+    for &(t, off) in observations {
+        if !(t.is_finite() && off.is_finite()) {
+            return Err(AudioError::InvalidParameter {
+                reason: format!("non-finite skew observation ({t}, {off})"),
+            });
+        }
+    }
+    if observations.len() < 2 {
+        return Ok(None);
+    }
+    let n = observations.len() as f64;
+    let mean_t = observations.iter().map(|&(t, _)| t).sum::<f64>() / n;
+    let mean_o = observations.iter().map(|&(_, o)| o).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(t, o) in observations {
+        sxx += (t - mean_t) * (t - mean_t);
+        sxy += (t - mean_t) * (o - mean_o);
+    }
+    if sxx <= f64::EPSILON {
+        return Ok(None);
+    }
+    // Slope is samples of drift per second; one second holds fs samples.
+    let ppm = sxy / sxx / sample_rate * 1e6;
+    if !ppm.is_finite() || ppm.abs() > SKEW_MAX_PPM {
+        return Err(AudioError::InvalidParameter {
+            reason: format!("skew fit {ppm:.1} ppm exceeds ±{SKEW_MAX_PPM} ppm clock bound"),
+        });
+    }
+    if ppm.abs() < SKEW_DEADBAND_PPM {
+        return Ok(Some(0.0));
+    }
+    Ok(Some(ppm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 44_100.0;
+
+    /// Synthesizes exact drift observations for a known ppm.
+    fn drift_points(ppm: f64, times: &[f64]) -> Vec<(f64, f64)> {
+        times.iter().map(|&t| (t, t * FS * ppm * 1e-6)).collect()
+    }
+
+    #[test]
+    fn recovers_planted_skew_exactly() {
+        for &ppm in &[200.0, -200.0, 57.5, -120.0] {
+            let pts = drift_points(ppm, &[0.0, 1.88, 3.76, 5.64]);
+            let got = estimate_skew_ppm(&pts, FS).unwrap().unwrap();
+            assert!((got - ppm).abs() < 1e-9, "planted {ppm}, got {got}");
+        }
+    }
+
+    #[test]
+    fn jitter_of_one_sample_snaps_to_zero() {
+        // A perfect clock observed through ±1-sample detection jitter.
+        let pts = vec![(0.0, 1.0), (1.88, -1.0), (3.76, 1.0), (5.64, 0.0)];
+        assert_eq!(estimate_skew_ppm(&pts, FS).unwrap(), Some(0.0));
+    }
+
+    #[test]
+    fn survives_jitter_on_top_of_real_skew() {
+        let mut pts = drift_points(200.0, &[0.0, 1.88, 3.76, 5.64, 7.52]);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.1 += if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let got = estimate_skew_ppm(&pts, FS).unwrap().unwrap();
+        assert!((got - 200.0).abs() < 15.0, "got {got}");
+    }
+
+    #[test]
+    fn underdetermined_inputs_yield_none() {
+        assert_eq!(estimate_skew_ppm(&[], FS).unwrap(), None);
+        assert_eq!(estimate_skew_ppm(&[(1.0, 5.0)], FS).unwrap(), None);
+        // Two observations at the same instant: no slope.
+        assert_eq!(
+            estimate_skew_ppm(&[(2.0, 1.0), (2.0, 3.0)], FS).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn hostile_inputs_are_structured_errors() {
+        assert!(estimate_skew_ppm(&[(0.0, 0.0)], 0.0).is_err());
+        assert!(estimate_skew_ppm(&[(0.0, 0.0)], f64::NAN).is_err());
+        assert!(estimate_skew_ppm(&[(f64::NAN, 0.0), (1.0, 1.0)], FS).is_err());
+        // A megasample of drift per second is not a crystal tolerance.
+        let wild = vec![(0.0, 0.0), (1.0, 1.0e6)];
+        assert!(estimate_skew_ppm(&wild, FS).is_err());
+    }
+}

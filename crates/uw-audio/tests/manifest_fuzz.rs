@@ -1,0 +1,252 @@
+//! Adversarial manifest-parsing tests: a `uwCM` manifest arrives from
+//! disk next to a field recording, so the parser must survive anything —
+//! truncation at every byte, single-byte corruption, hostile count and
+//! length prefixes, pure noise — with structured errors and bounded
+//! allocation, never a panic. Mirrors the wire-frame suite in
+//! `uw-serve` (`tests/wire_fuzz.rs`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use uw_audio::{AudioError, CampaignManifest, SegmentRange, MANIFEST_MAGIC, MANIFEST_VERSION};
+
+/// A representative, valid campaign manifest (the dock fixture's shape:
+/// 5 devices, 3 rounds, a full follower segment table).
+fn sample() -> CampaignManifest {
+    CampaignManifest {
+        recording: "campaign.wav".into(),
+        environment: "dock".into(),
+        condition: "clear".into(),
+        mobility: "static".into(),
+        numeric_path: "f64".into(),
+        seed: 1,
+        rounds: 3,
+        sample_rate: 44_100,
+        n_devices: 5,
+        skew_ppm: vec![0.0, 200.0, -200.0, 120.0, -160.0],
+        segments: (0..3)
+            .flat_map(|r| {
+                (1u32..5).map(move |d| SegmentRange {
+                    round: r,
+                    device: d,
+                    start: (r as u64 * 4 + d as u64) * 20_000,
+                    len: 14_112,
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Manifests of every size class: minimal, no-segment, and full.
+fn sample_manifests() -> Vec<Vec<u8>> {
+    let full = sample();
+    let mut no_segments = sample();
+    no_segments.segments.clear();
+    let minimal = CampaignManifest {
+        recording: String::new(),
+        environment: "dock".into(),
+        condition: "clear".into(),
+        mobility: "static".into(),
+        numeric_path: "q15".into(),
+        seed: 0,
+        rounds: 1,
+        sample_rate: 44_100,
+        n_devices: 2,
+        skew_ppm: vec![0.0, 42.5],
+        segments: vec![SegmentRange {
+            round: 0,
+            device: 1,
+            start: 0,
+            len: 1,
+        }],
+    };
+    [full, no_segments, minimal]
+        .iter()
+        .map(|m| m.to_bytes().unwrap())
+        .collect()
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_clean_error() {
+    for bytes in sample_manifests() {
+        for cut in 0..bytes.len() {
+            match CampaignManifest::from_bytes(&bytes[..cut]) {
+                Err(AudioError::Truncated { .. }) | Err(AudioError::MalformedFile { .. }) => {}
+                other => panic!(
+                    "cut at {cut}/{}: expected a structured error, got {other:?}",
+                    bytes.len()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics_and_never_validates_silently() {
+    // Unlike the CRC-protected wire frames, a manifest has no checksum:
+    // some flips (a seed byte, a skew mantissa bit) still parse. What the
+    // format guarantees is that parsing never panics, and whatever parses
+    // re-encodes to bytes that still carry the flip (compared at byte
+    // level, so a 0.0 → -0.0 sign flip counts) — corruption can never
+    // masquerade as the pristine manifest.
+    let original = sample();
+    let bytes = original.to_bytes().unwrap();
+    original.validate(1_000_000).unwrap();
+    for pos in 0..bytes.len() {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= flip;
+            match CampaignManifest::from_bytes(&bad) {
+                Ok(parsed) => assert_ne!(
+                    parsed.to_bytes().unwrap(),
+                    bytes,
+                    "flip {flip:#x} at byte {pos} reproduced the original"
+                ),
+                Err(AudioError::Truncated { .. }) | Err(AudioError::MalformedFile { .. }) => {}
+                Err(other) => panic!("flip {flip:#x} at byte {pos}: unexpected {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn corruption_errors_are_attributable() {
+    let bytes = sample().to_bytes().unwrap();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    match CampaignManifest::from_bytes(&bad_magic) {
+        Err(AudioError::MalformedFile { reason }) => {
+            assert!(reason.contains("magic"), "unattributed: {reason}")
+        }
+        other => panic!("expected MalformedFile, got {other:?}"),
+    }
+
+    let mut bad_version = bytes.clone();
+    bad_version[MANIFEST_MAGIC.len()] = MANIFEST_VERSION + 1;
+    match CampaignManifest::from_bytes(&bad_version) {
+        Err(AudioError::MalformedFile { reason }) => {
+            assert!(reason.contains("version"), "unattributed: {reason}")
+        }
+        other => panic!("expected MalformedFile, got {other:?}"),
+    }
+
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(b"junk");
+    match CampaignManifest::from_bytes(&trailing) {
+        Err(AudioError::MalformedFile { reason }) => {
+            assert!(reason.contains("trailing"), "unattributed: {reason}")
+        }
+        other => panic!("expected MalformedFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_count_prefixes_are_rejected_before_allocation() {
+    // The device count and segment count live at fixed offsets once the
+    // leading strings are known; rather than hand-compute them, corrupt
+    // a no-segment manifest whose last 4 bytes ARE the segment count,
+    // and a 2-device manifest whose skew table is the tail.
+    let mut no_segments = sample();
+    no_segments.segments.clear();
+    let mut bytes = no_segments.to_bytes().unwrap();
+    let n = bytes.len();
+    // Claim 4 billion segments with zero bytes behind the claim.
+    bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+    match CampaignManifest::from_bytes(&bytes) {
+        Err(AudioError::MalformedFile { reason }) => {
+            assert!(reason.contains("segment table"), "unattributed: {reason}")
+        }
+        other => panic!("expected MalformedFile, got {other:?}"),
+    }
+
+    // Claim 65535 devices: the skew-table guard must fire on the byte
+    // budget, not try to reserve half a megabyte of f64s.
+    let good = sample().to_bytes().unwrap();
+    // Find the device-count field by re-encoding with a marker count is
+    // brittle; instead parse-and-corrupt: the u16 sits right before the
+    // first skew entry, i.e. at a fixed offset from the end for this
+    // fixed shape: 4 (n_segments) + 12·24 (segments) + 5·8 (skews) + 2.
+    let dev_off = good.len() - (4 + 12 * 24 + 5 * 8 + 2);
+    let mut bad = good.clone();
+    bad[dev_off..dev_off + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+    match CampaignManifest::from_bytes(&bad) {
+        Err(AudioError::MalformedFile { reason }) => {
+            assert!(reason.contains("skew table"), "unattributed: {reason}")
+        }
+        other => panic!("expected MalformedFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_frame_ranges_fail_validation_with_structured_errors() {
+    let total_frames = 1_000_000;
+
+    // Each mutation is applied to freshly parsed bytes, proving hostile
+    // values survive the codec and are caught by `validate`.
+    let reparse = |m: &CampaignManifest| -> CampaignManifest {
+        CampaignManifest::from_bytes(&m.to_bytes().unwrap()).unwrap()
+    };
+
+    let mut m = sample();
+    m.segments[3].start = u64::MAX - 7;
+    m.segments[3].len = 16; // end overflows u64
+    assert!(matches!(
+        reparse(&m).validate(total_frames),
+        Err(AudioError::InvalidParameter { .. })
+    ));
+
+    let mut m = sample();
+    m.segments[0].len = 0;
+    assert!(reparse(&m).validate(total_frames).is_err());
+
+    let mut m = sample();
+    m.segments[5].start = total_frames; // ends past the recording
+    assert!(reparse(&m).validate(total_frames).is_err());
+
+    let mut m = sample();
+    m.segments[1].start = m.segments[0].start + 1; // overlaps
+    assert!(reparse(&m).validate(total_frames).is_err());
+
+    let mut m = sample();
+    m.segments[7].device = 0; // the leader never has a segment
+    assert!(reparse(&m).validate(total_frames).is_err());
+
+    let mut m = sample();
+    m.segments[7].device = 1000; // beyond the roster
+    assert!(reparse(&m).validate(total_frames).is_err());
+
+    let mut m = sample();
+    m.segments[2].round = 3_000_000; // beyond the campaign
+    assert!(reparse(&m).validate(total_frames).is_err());
+}
+
+#[test]
+fn random_byte_streams_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..4000 {
+        let len = rng.gen_range(0usize..512);
+        let noise: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = CampaignManifest::from_bytes(&noise); // must return, not panic
+    }
+}
+
+#[test]
+fn noise_behind_a_valid_prefix_never_panics() {
+    // Harder fuzz: correct magic + version, random rest — penetrates
+    // past the header checks into the string/table decoders. Anything
+    // that parses must re-encode to bytes that parse back equal.
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    for _ in 0..4000 {
+        let len = rng.gen_range(0usize..384);
+        let mut bytes = Vec::with_capacity(5 + len);
+        bytes.extend_from_slice(MANIFEST_MAGIC);
+        bytes.push(MANIFEST_VERSION);
+        for _ in 0..len {
+            bytes.push(rng.next_u64() as u8);
+        }
+        if let Ok(parsed) = CampaignManifest::from_bytes(&bytes) {
+            let reencoded = parsed.to_bytes().unwrap();
+            assert_eq!(CampaignManifest::from_bytes(&reencoded).unwrap(), parsed);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Benchmarks the field-recording import path (uw-audio burst scan +
+# uw_eval::import) and records the trajectory into BENCH_import.json:
+# streaming matched-filter scan throughput in Msamples/s and the
+# end-to-end latency of blind import + replay versus plain simulation of
+# the same dock cell — the import-layer counterpart of BENCH_replay.json.
+#
+# Usage: ./scripts/import_bench.sh [output.json]
+#   UWGPS_IMPORT_REPS — repetitions of each timed loop (default 3)
+#   UWGPS_SCAN_PAD_S  — rendered ambient lead-in in seconds (default 30)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_import.json}"
+
+cargo run --release -p uw-bench --bin import_bench -- "$out"
